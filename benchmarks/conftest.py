@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one paper artifact (table or figure) — see the
+per-experiment index in DESIGN.md — and measures the cost of the
+regenerating operation with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Shape assertions inside each bench double as correctness checks, so the
+harness fails loudly if a regenerated artifact drifts from the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudy import (
+    printing_mapping,
+    printing_service,
+    table1_mapping,
+    usi_network,
+)
+from repro.core import generate_upsim
+from repro.network import Topology
+
+
+@pytest.fixture(scope="session")
+def usi():
+    return usi_network()
+
+
+@pytest.fixture(scope="session")
+def usi_topo(usi):
+    return Topology(usi)
+
+
+@pytest.fixture(scope="session")
+def printing():
+    return printing_service()
+
+
+@pytest.fixture(scope="session")
+def table1():
+    return table1_mapping()
+
+
+@pytest.fixture(scope="session")
+def upsim_t1_p2(usi_topo, printing, table1):
+    return generate_upsim(usi_topo, printing, table1)
+
+
+@pytest.fixture(scope="session")
+def upsim_t15_p3(usi_topo, printing):
+    return generate_upsim(usi_topo, printing, printing_mapping("t15", "p3"))

@@ -1,0 +1,140 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* DFS enumerator vs the networkx baseline (same result, our iterative
+  DFS avoids graph-conversion overhead on the UML-backed topology);
+* exact bitmask enumeration vs RBD factoring vs Monte Carlo for the same
+  availability figure (accuracy/cost trade-off);
+* link failures on/off (modeling-granularity ablation);
+* model-space pattern matching vs direct traversal for a UPSIM-sized
+  query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    component_availabilities,
+    pair_availability,
+    pair_path_sets,
+    pair_rbd,
+)
+from repro.core import discover_paths, discover_paths_networkx
+from repro.dependability import TwoTerminalMC
+from repro.vpm import ModelSpace, Pattern, UMLImporter
+
+
+class TestEnumeratorAblation:
+    def test_ablation_dfs(self, benchmark, usi_topo):
+        result = benchmark(discover_paths, usi_topo, "t1", "printS")
+        assert result.count == 2
+
+    def test_ablation_networkx_baseline(self, benchmark, usi_topo):
+        result = benchmark(discover_paths_networkx, usi_topo, "t1", "printS")
+        assert result.count == 2
+
+    def test_ablation_same_answer(self, usi_topo):
+        ours = discover_paths(usi_topo, "t1", "printS")
+        reference = discover_paths_networkx(usi_topo, "t1", "printS")
+        assert set(ours.paths) == set(reference.paths)
+
+
+class TestEvaluatorAblation:
+    @pytest.fixture()
+    def problem(self, upsim_t1_p2):
+        table = component_availabilities(upsim_t1_p2.model)
+        path_set = upsim_t1_p2.path_sets["request_printing"]
+        return table, path_set
+
+    def test_ablation_exact_bitmask(self, benchmark, problem):
+        table, path_set = problem
+        sets = pair_path_sets(path_set)
+        value = benchmark(pair_availability, sets, table)
+        assert 0.99 < value < 1.0
+
+    def test_ablation_rbd_factoring(self, benchmark, problem):
+        table, path_set = problem
+        structure = pair_rbd(path_set)
+        value = benchmark(structure.availability, table)
+        exact = pair_availability(pair_path_sets(path_set), table)
+        assert value == pytest.approx(exact, abs=1e-12)
+
+    def test_ablation_rbd_structural_is_biased(self, problem):
+        """The naive structural formula (no factoring) over-estimates:
+        it treats the shared components of the two redundant paths as
+        independent."""
+        table, path_set = problem
+        structure = pair_rbd(path_set)
+        structural = structure.availability(table, method="structural")
+        exact = structure.availability(table, method="factoring")
+        assert structural > exact
+
+    def test_ablation_montecarlo(self, benchmark, problem):
+        table, path_set = problem
+        sets = pair_path_sets(path_set)
+        sampler = TwoTerminalMC(sets, table)
+        estimate = benchmark(sampler.estimate, 50_000, seed=21)
+        exact = pair_availability(sets, table)
+        assert estimate.contains(exact, z=4.0)
+
+
+class TestGranularityAblation:
+    def test_ablation_links_on(self, benchmark, upsim_t1_p2):
+        table = component_availabilities(upsim_t1_p2.model, include_links=True)
+        sets = pair_path_sets(
+            upsim_t1_p2.path_sets["request_printing"], include_links=True
+        )
+        with_links = benchmark(pair_availability, sets, table)
+        assert 0.99 < with_links < 1.0
+
+    def test_ablation_links_off(self, benchmark, upsim_t1_p2):
+        table = component_availabilities(upsim_t1_p2.model, include_links=False)
+        sets = pair_path_sets(
+            upsim_t1_p2.path_sets["request_printing"], include_links=False
+        )
+        without_links = benchmark(pair_availability, sets, table)
+        assert 0.99 < without_links < 1.0
+
+    def test_ablation_links_lower_availability(self, upsim_t1_p2):
+        on = pair_availability(
+            pair_path_sets(upsim_t1_p2.path_sets["request_printing"], include_links=True),
+            component_availabilities(upsim_t1_p2.model, include_links=True),
+        )
+        off = pair_availability(
+            pair_path_sets(upsim_t1_p2.path_sets["request_printing"], include_links=False),
+            component_availabilities(upsim_t1_p2.model, include_links=False),
+        )
+        assert on < off  # extra failure sources can only hurt
+        assert off - on < 1e-4  # but cables are reliable
+
+
+class TestQueryAblation:
+    def test_ablation_pattern_query(self, benchmark, usi):
+        """Model-space pattern matching for 'all clients linked to e1'."""
+        space = ModelSpace()
+        UMLImporter(space).import_object_model(usi)
+        pattern = (
+            Pattern("clients-on-e1")
+            .entity("c", type_fqn="uml.classes.Comp")
+            .entity("sw", fqn="uml.instances.e1")
+            .relation("link", "c", "sw", directed=False)
+        )
+
+        def query():
+            return sorted(m["c"].name for m in pattern.match(space))
+
+        names = benchmark(query)
+        assert names == ["t1", "t2", "t3", "t4", "t5"]
+
+    def test_ablation_direct_traversal(self, benchmark, usi):
+        """The equivalent direct object-model traversal."""
+
+        def query():
+            return sorted(
+                inst.name
+                for inst in usi.neighbors("e1")
+                if inst.classifier.name == "Comp"
+            )
+
+        names = benchmark(query)
+        assert names == ["t1", "t2", "t3", "t4", "t5"]

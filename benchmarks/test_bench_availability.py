@@ -1,0 +1,165 @@
+"""Benches for the Section VII availability analysis (experiment ``avail``).
+
+Formula (1) + UPSIM → RBD/FT/cut-set/Monte-Carlo analysis on the case
+study.  The shape assertions encode the paper's qualitative claims: the
+client dominates the user-perceived availability, redundant core paths
+help, and all analysis routes agree on the same number.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    analyze_upsim,
+    component_availabilities,
+    pair_availability,
+    pair_path_sets,
+    pair_rbd,
+    service_path_set_groups,
+    system_availability,
+)
+from repro.dependability import (
+    TwoTerminalMC,
+    esary_proschan_bounds,
+    minimal_cut_sets,
+    minimize_sets,
+)
+from repro.dependability.faulttree import from_rbd
+
+
+def test_avail_formula1_components(benchmark, usi):
+    """Per-component availability over the whole infrastructure."""
+    table = benchmark(component_availabilities, usi)
+    assert table["t1"] == pytest.approx(1 - 24.0 / 3000.0)
+    assert table["c1"] == pytest.approx(1 - 0.5 / 183498.0)
+    assert table["p2"] == pytest.approx(1 - 1.0 / 2880.0)
+
+
+def test_avail_pair_exact(benchmark, upsim_t1_p2):
+    """Exact pair availability (t1, printS) via bitmask enumeration."""
+    table = component_availabilities(upsim_t1_p2.model)
+    sets = pair_path_sets(upsim_t1_p2.path_sets["request_printing"])
+
+    value = benchmark(pair_availability, sets, table)
+    # dominated by the client: A_t1 = 0.992, everything else ~1
+    assert 0.9919 < value < 0.9921
+
+
+def test_avail_pair_rbd_factoring(benchmark, upsim_t1_p2):
+    """RBD-with-factoring route must equal the exact route."""
+    table = component_availabilities(upsim_t1_p2.model)
+    path_set = upsim_t1_p2.path_sets["request_printing"]
+    structure = pair_rbd(path_set)
+    sets = pair_path_sets(path_set)
+    exact = pair_availability(sets, table)
+
+    value = benchmark(structure.availability, table)
+    assert value == pytest.approx(exact, abs=1e-12)
+
+
+def test_avail_pair_fault_tree(benchmark, upsim_t1_p2):
+    """Fault-tree route (the dual formalism named in Section VII)."""
+    table = component_availabilities(upsim_t1_p2.model)
+    path_set = upsim_t1_p2.path_sets["request_printing"]
+    tree = from_rbd(pair_rbd(path_set))
+    exact = pair_availability(pair_path_sets(path_set), table)
+
+    value = benchmark(tree.availability, table)
+    assert value == pytest.approx(exact, abs=1e-12)
+
+
+def test_avail_cut_sets(benchmark, upsim_t1_p2):
+    """Minimal cut sets expose the single points of failure."""
+    sets = minimize_sets(
+        pair_path_sets(upsim_t1_p2.path_sets["request_printing"])
+    )
+
+    cuts = benchmark(minimal_cut_sets, sets)
+    singletons = {next(iter(c)) for c in cuts if len(c) == 1}
+    assert {"t1", "e1", "d1", "c1", "d4", "printS"} <= singletons
+    assert "c2" not in singletons  # the redundant core member
+
+
+def test_avail_bounds(benchmark, upsim_t1_p2):
+    """Esary–Proschan bounds bracket the exact value tightly here."""
+    table = component_availabilities(upsim_t1_p2.model)
+    sets = minimize_sets(
+        pair_path_sets(upsim_t1_p2.path_sets["request_printing"])
+    )
+    cuts = minimal_cut_sets(sets)
+    exact = pair_availability(sets, table)
+
+    lower, upper = benchmark(esary_proschan_bounds, sets, cuts, table)
+    assert lower <= exact <= upper
+    # the cut-set (lower) bound is nearly exact for this structure; the
+    # path-set (upper) bound is loosened by the shared client component
+    assert exact - lower < 1e-6
+
+
+def test_avail_montecarlo(benchmark, upsim_t1_p2):
+    """Monte-Carlo cross-check of the pair availability."""
+    table = component_availabilities(upsim_t1_p2.model)
+    sets = pair_path_sets(upsim_t1_p2.path_sets["request_printing"])
+    exact = pair_availability(sets, table)
+    sampler = TwoTerminalMC(sets, table)
+
+    estimate = benchmark(sampler.estimate, 100_000, seed=11)
+    assert estimate.contains(exact, z=4.0)
+
+
+def test_avail_service_level(benchmark, upsim_t1_p2):
+    """Composite-service availability: all distinct pairs jointly."""
+    table = component_availabilities(upsim_t1_p2.model)
+    groups = service_path_set_groups(upsim_t1_p2)
+
+    value = benchmark(system_availability, groups, table)
+    pair_values = [pair_availability(group, table) for group in groups]
+    # service availability below every pair, above their naive product
+    # (positive correlation through shared core components)
+    assert value <= min(pair_values) + 1e-12
+    naive = 1.0
+    for pair_value in pair_values:
+        naive *= pair_value
+    assert value >= naive - 1e-12
+
+
+def test_avail_full_report(benchmark, upsim_t1_p2):
+    """The complete analysis pipeline of the examples/CLI.
+
+    Node-level granularity (links excluded) keeps the exact state space at
+    2^10 so the bench measures the pipeline, not one huge enumeration; the
+    links-included variant is covered by the ablation benches.
+    """
+
+    def analyze():
+        return analyze_upsim(
+            upsim_t1_p2, include_links=False, importance_components=5
+        )
+
+    report = benchmark(analyze)
+    assert report.importance[0].component == "t1"
+    assert 0.991 < report.service_availability < 0.993
+
+
+def test_avail_perspective_comparison(benchmark, usi_topo, printing):
+    """Different user perspectives perceive different availability —
+    the paper's core motivation."""
+    from repro.casestudy import printing_mapping
+    from repro.core import generate_upsim
+
+    def analyze_perspectives():
+        values = {}
+        for client, printer in (("t1", "p2"), ("t6", "p1"), ("t15", "p3")):
+            upsim = generate_upsim(
+                usi_topo, printing, printing_mapping(client, printer)
+            )
+            report = analyze_upsim(
+                upsim, include_links=False, importance_components=0
+            )
+            values[(client, printer)] = report.service_availability
+        return values
+
+    values = benchmark(analyze_perspectives)
+    assert len(set(values.values())) > 1  # perspectives genuinely differ
+    assert all(0.99 < v < 1.0 for v in values.values())

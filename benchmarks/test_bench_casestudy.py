@@ -1,0 +1,124 @@
+"""Benches for the Section VI case-study artifacts.
+
+Covers Figure 8 (classes), Figure 9 (infrastructure), Figure 10 (printing
+service), Table I (mapping), the §VI-G path listing, and the two UPSIMs of
+Figures 11 and 12.  Each bench times the regenerating operation and
+asserts the artifact matches the paper.
+"""
+
+from __future__ import annotations
+
+from repro.casestudy import (
+    DEVICE_SPECS,
+    printing_mapping,
+    printing_service,
+    table1_mapping,
+    usi_network,
+)
+from repro.core import discover_paths, generate_upsim
+from repro.viz import class_table, mapping_table, object_model_text, paths_text
+
+FIG8_EXPECTED = {
+    "Server": (60000.0, 0.1),
+    "C6500": (183498.0, 0.5),
+    "C2960": (61320.0, 0.5),
+    "HP2650": (199000.0, 0.5),
+    "C3750": (188575.0, 0.5),
+    "Comp": (3000.0, 24.0),
+    "Printer": (2880.0, 1.0),
+}
+
+
+def test_fig8_classes(benchmark, usi):
+    """Figure 8: the stereotyped component classes with MTBF/MTTR."""
+
+    def regenerate():
+        return class_table(usi.class_model)
+
+    table = benchmark(regenerate)
+    for name, (mtbf, mttr) in FIG8_EXPECTED.items():
+        cls = usi.class_model.get_class(name)
+        assert cls.attribute_value("MTBF") == mtbf
+        assert cls.attribute_value("MTTR") == mttr
+        assert name in table
+    assert len(DEVICE_SPECS) == 7
+
+
+def test_fig9_infrastructure(benchmark):
+    """Figures 5/9: building the USI infrastructure object diagram."""
+    model = benchmark(usi_network)
+    assert len(model) == 34
+    assert len(model.links) == 34
+    rendered = object_model_text(model, root="c1")
+    assert "[c1:C6500]" in rendered
+    assert "[printS:Server]" in rendered
+
+
+def test_fig10_printing_service(benchmark):
+    """Figure 10: the printing service activity diagram."""
+    service = benchmark(printing_service)
+    assert service.execution_order() == [
+        "request_printing",
+        "login_to_printer",
+        "send_document_list",
+        "select_documents",
+        "send_documents",
+    ]
+    assert service.activity.is_valid()
+
+
+def test_table1_mapping(benchmark):
+    """Table I: the (t1, p2, printS) service mapping."""
+    mapping = benchmark(table1_mapping)
+    rows = [(p.atomic_service, p.requester, p.provider) for p in mapping.pairs]
+    assert rows == [
+        ("request_printing", "t1", "printS"),
+        ("login_to_printer", "p2", "printS"),
+        ("send_document_list", "printS", "p2"),
+        ("select_documents", "p2", "printS"),
+        ("send_documents", "printS", "p2"),
+    ]
+    assert "| t1" in mapping_table(mapping)
+
+
+def test_paths_t1_prints(benchmark, usi_topo):
+    """Section VI-G: all paths between t1 and printS."""
+
+    def discover():
+        return discover_paths(usi_topo, "t1", "printS")
+
+    result = benchmark(discover)
+    assert set(result.as_strings()) == {
+        "t1—e1—d1—c1—d4—printS",
+        "t1—e1—d1—c1—c2—d4—printS",
+    }
+    assert "2" in paths_text(result)
+
+
+def test_fig11_upsim(benchmark, usi_topo, printing, table1):
+    """Figure 11: UPSIM for printing from t1 on p2 via printS."""
+
+    def generate():
+        return generate_upsim(usi_topo, printing, table1)
+
+    upsim = benchmark(generate)
+    assert set(upsim.component_names) == {
+        "t1", "e1", "d1", "d2", "e3", "p2", "c1", "c2", "d4", "printS",
+    }
+    # signatures (and hence MTBF/MTTR properties) preserved
+    assert upsim.model.get_instance("c1").property_value("MTBF") == 183498.0
+
+
+def test_fig12_upsim(benchmark, usi_topo, printing):
+    """Figure 12: UPSIM for printing from t15 on p3 via printS.
+
+    Regenerated purely by a mapping change (Section VI-H)."""
+    mapping = printing_mapping("t15", "p3")
+
+    def generate():
+        return generate_upsim(usi_topo, printing, mapping)
+
+    upsim = benchmark(generate)
+    assert set(upsim.component_names) == {
+        "t15", "e4", "d1", "d2", "c1", "c2", "d4", "p3", "printS",
+    }

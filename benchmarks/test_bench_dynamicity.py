@@ -1,0 +1,110 @@
+"""Benches for the dynamicity analysis (experiment ``dyn``, Section V-A3).
+
+"Separating the infrastructure model, the service description and the
+mapping allows to efficiently handle dynamic system changes by updating
+only individual models."  The benches measure the incremental pipeline:
+a mapping-only update (user mobility / service migration) must be cheaper
+than a cold run, and must skip the UML import stage entirely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudy import printing_mapping
+from repro.core import MethodologyPipeline
+
+
+def _fresh_pipeline(usi, printing):
+    return (
+        MethodologyPipeline()
+        .set_infrastructure(usi)
+        .set_service(printing)
+        .set_mapping(printing_mapping("t1", "p2"))
+    )
+
+
+def test_dyn_cold_run(benchmark, usi, printing):
+    """Full Steps 5-8 from scratch."""
+
+    def cold():
+        pipeline = _fresh_pipeline(usi, printing)
+        return pipeline.run()
+
+    report = benchmark(cold)
+    assert report.executed_stages() == [
+        "import_uml",
+        "import_mapping",
+        "discover_paths",
+        "generate_upsim",
+    ]
+
+
+def test_dyn_mapping_only_update(benchmark, usi, printing):
+    """User mobility: only the mapping changes (Steps 6-8 re-run)."""
+    pipeline = _fresh_pipeline(usi, printing)
+    pipeline.run()
+    perspectives = [("t15", "p3"), ("t1", "p2")]
+    state = {"flip": 0}
+
+    def mobility_update():
+        client, printer = perspectives[state["flip"] % 2]
+        state["flip"] += 1
+        return pipeline.set_mapping(printing_mapping(client, printer)).run()
+
+    report = benchmark(mobility_update)
+    assert "import_uml" not in report.executed_stages()
+    assert "import_mapping" in report.executed_stages()
+
+
+def test_dyn_noop_rerun(benchmark, usi, printing):
+    """No change at all: every stage is reused."""
+    pipeline = _fresh_pipeline(usi, printing)
+    pipeline.run()
+
+    report = benchmark(pipeline.run)
+    assert report.executed_stages() == []
+    assert report.upsim is not None
+
+
+def test_dyn_migration(benchmark, usi, printing):
+    """Service migration: provider moves, requester stays (Section V-A3:
+    'migrating a service from one provider to another requires updating
+    only the mapping')."""
+    pipeline = _fresh_pipeline(usi, printing)
+    pipeline.run()
+    servers = ["printS", "file1"]
+    state = {"flip": 0}
+
+    def migrate():
+        server = servers[state["flip"] % 2]
+        state["flip"] += 1
+        return pipeline.set_mapping(
+            printing_mapping("t1", "p2", server)
+        ).run()
+
+    report = benchmark(migrate)
+    assert "import_uml" not in report.executed_stages()
+
+
+def test_dyn_update_cost_ratio(usi, printing):
+    """The headline shape: mapping-only updates re-execute strictly fewer
+    stages than cold runs, and never the (dominant) UML import."""
+    import time
+
+    pipeline = _fresh_pipeline(usi, printing)
+    start = time.perf_counter()
+    cold = pipeline.run()
+    cold_time = time.perf_counter() - start
+
+    durations = []
+    for client, printer in (("t15", "p3"), ("t6", "p1"), ("t1", "p2")):
+        start = time.perf_counter()
+        warm = pipeline.set_mapping(printing_mapping(client, printer)).run()
+        durations.append(time.perf_counter() - start)
+        assert len(warm.executed_stages()) < len(cold.executed_stages())
+    # timing shape (not a strict assert: CI noise) — record it for the log
+    print(
+        f"\ncold run: {cold_time * 1e3:.2f} ms; "
+        f"mapping-only updates: {[f'{d * 1e3:.2f} ms' for d in durations]}"
+    )

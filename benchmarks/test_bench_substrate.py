@@ -1,0 +1,113 @@
+"""Scaling benches for the modeling substrates themselves.
+
+The methodology claims to be "scalable and applicable to complex, dynamic
+networks" (Section VIII).  These benches measure the substrate costs that
+claim rests on, as functions of network size: building a topology, XML
+round trips, model-space import, constraint checking, pattern matching,
+and UPSIM generation on networks an order of magnitude larger than the
+case study.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ServiceMapping, ServiceMappingPair, generate_upsim
+from repro.core.mapping import ServiceMapping as SM
+from repro.network import campus
+from repro.services import AtomicService, CompositeService
+from repro.uml import xmi
+from repro.uml.constraints import standard_suite
+from repro.vpm import ModelSpace, Pattern, UMLImporter
+
+
+def _campus(dist: int):
+    return campus(dist_switches=dist, edges_per_dist=3, clients_per_edge=4)
+
+
+@pytest.mark.parametrize("dist", [2, 8, 16])
+def test_substrate_build(benchmark, dist):
+    """Topology construction, including profile application."""
+    builder = benchmark(_campus, dist)
+    assert builder.topology().is_connected()
+
+
+@pytest.mark.parametrize("dist", [2, 8, 16])
+def test_substrate_xml_roundtrip(benchmark, dist):
+    builder = _campus(dist)
+    bundle = xmi.ModelBundle(
+        profiles=builder.profiles.as_list(),
+        class_model=builder.class_model,
+        object_model=builder.object_model,
+    )
+    text = xmi.dumps(bundle)
+
+    def roundtrip():
+        return xmi.loads(text)
+
+    restored = benchmark(roundtrip)
+    assert len(restored.object_model) == len(builder.object_model)
+
+
+@pytest.mark.parametrize("dist", [2, 8, 16])
+def test_substrate_constraints(benchmark, dist):
+    model = _campus(dist).object_model
+    suite = standard_suite(
+        class_stereotype="Component",
+        association_stereotype="Component",
+        required_attributes=("MTBF", "MTTR"),
+    )
+    violations = benchmark(suite.check, model)
+    assert violations == []
+
+
+@pytest.mark.parametrize("dist", [2, 8, 16])
+def test_substrate_vpm_import(benchmark, dist):
+    model = _campus(dist).object_model
+
+    def import_model():
+        space = ModelSpace()
+        UMLImporter(space).import_object_model(model)
+        return space
+
+    space = benchmark(import_model)
+    assert space.size() > len(model)
+
+
+@pytest.mark.parametrize("dist", [2, 8, 16])
+def test_substrate_pattern_matching(benchmark, dist):
+    """Type-indexed query over a growing model space."""
+    model = _campus(dist).object_model
+    space = ModelSpace()
+    UMLImporter(space).import_object_model(model)
+    pattern = (
+        Pattern("client-edge")
+        .entity("c", type_fqn="uml.classes.GenClient")
+        .entity("sw", type_fqn="uml.classes.EdgeSwitch")
+        .relation("link", "c", "sw", directed=False)
+    )
+    matches = benchmark(lambda: sum(1 for _ in pattern.match(space)))
+    assert matches == dist * 3 * 4  # every client sits on exactly one edge
+
+
+@pytest.mark.parametrize("dist", [2, 8, 16])
+def test_substrate_upsim_generation(benchmark, dist):
+    """End-to-end UPSIM generation on growing campuses."""
+    builder = _campus(dist)
+    service = CompositeService.sequential(
+        "svc", [AtomicService("a"), AtomicService("b")]
+    )
+    mapping = ServiceMapping(
+        [
+            ServiceMappingPair("a", "client", "server"),
+            ServiceMappingPair("b", "server", "client"),
+        ]
+    )
+    topology = builder.topology()
+
+    def generate():
+        return generate_upsim(topology, service, mapping)
+
+    upsim = benchmark(generate)
+    assert "client" in upsim.component_names
+    assert "server" in upsim.component_names

@@ -1,0 +1,114 @@
+"""Design-space exploration: what is network redundancy worth to a user?
+
+The methodology's design-engineering use: before buying hardware, compare
+topology variants by the user-perceived availability they deliver.  This
+example evaluates four campus designs of identical size but different
+redundancy investments —
+
+  A. single core switch, single-homed distribution (no redundancy),
+  B. redundant core pair, single-homed distribution (the USI shape),
+  C. redundant core + dual-homed distribution switches,
+  D. design C with dual-homed edge switches on top,
+
+— and reports, for the same client→server service, the discovered path
+counts, path diversity (node-disjoint paths), single points of failure,
+and exact service availability.  The availability gain per invested link
+quantifies where redundancy stops paying: once the periphery dominates
+(the client is always a SPOF), more core links barely move the number —
+the paper's "user-perceived" argument from the design side.
+
+Run with ``python examples/design_space.py``.
+"""
+
+from repro.analysis import analyze_upsim
+from repro.core import ServiceMapping, ServiceMappingPair, diversity_report, generate_upsim
+from repro.network import DeviceSpec, TopologyBuilder
+from repro.services import AtomicService, CompositeService
+
+
+def build_variant(core_redundant: bool, dist_dual: bool, edge_dual: bool) -> TopologyBuilder:
+    builder = TopologyBuilder("variant")
+    builder.device_type(DeviceSpec("Core", "Switch", mtbf=183498.0, mttr=0.5))
+    builder.device_type(DeviceSpec("Dist", "Switch", mtbf=188575.0, mttr=0.5))
+    builder.device_type(DeviceSpec("Edge", "Switch", mtbf=199000.0, mttr=0.5))
+    builder.device_type(DeviceSpec("Pc", "Client", mtbf=3000.0, mttr=24.0))
+    builder.device_type(DeviceSpec("Srv", "Server", mtbf=60000.0, mttr=0.1))
+
+    cores = ["core1"]
+    builder.add("core1", "Core")
+    if core_redundant:
+        builder.add("core2", "Core")
+        builder.connect("core1", "core2")
+        cores.append("core2")
+
+    for dist in ("dist1", "dist2"):
+        builder.add(dist, "Dist")
+        builder.connect(dist, "core1")
+        if dist_dual and core_redundant:
+            builder.connect(dist, "core2")
+
+    builder.add("edge1", "Edge")
+    builder.connect("edge1", "dist1")
+    if edge_dual:
+        builder.connect("edge1", "dist2")
+
+    builder.add("client", "Pc")
+    builder.connect("client", "edge1")
+    builder.add("server", "Srv")
+    builder.connect("server", "dist2")
+    return builder
+
+
+def main() -> None:
+    service = CompositeService.sequential(
+        "sync", [AtomicService("push"), AtomicService("pull")]
+    )
+    mapping = ServiceMapping(
+        [
+            ServiceMappingPair("push", "client", "server"),
+            ServiceMappingPair("pull", "server", "client"),
+        ]
+    )
+
+    variants = [
+        ("A: single core", False, False, False),
+        ("B: redundant core", True, False, False),
+        ("C: B + dual-homed dist", True, True, False),
+        ("D: C + dual-homed edge", True, True, True),
+    ]
+
+    header = (
+        f"{'design':<24} {'links':>6} {'paths':>6} {'disjoint':>9} "
+        f"{'SPOFs':>6} {'service A':>13} {'downtime [min/y]':>17}"
+    )
+    print(header)
+    print("-" * len(header))
+    baseline = None
+    for label, core_r, dist_d, edge_d in variants:
+        builder = build_variant(core_r, dist_d, edge_d)
+        topology = builder.topology()
+        upsim = generate_upsim(topology, service, mapping)
+        report = analyze_upsim(upsim, importance_components=0)
+        diversity = diversity_report(topology, "client", "server")
+        availability = report.service_availability
+        if baseline is None:
+            baseline = availability
+        print(
+            f"{label:<24} {topology.link_count():>6} "
+            f"{diversity.path_count:>6} {diversity.node_disjoint_paths:>9} "
+            f"{len(diversity.single_points_of_failure):>6} "
+            f"{availability:>13.9f} "
+            f"{report.service_downtime_minutes_per_year:>17.1f}"
+        )
+    print("-" * len(header))
+    print(
+        "lessons: B shows redundancy without dual-homing is wasted (core2\n"
+        "carries no path, availability unchanged); C and D multiply paths\n"
+        "and remove SPOFs, yet the gain is second-order because the client\n"
+        "(A=0.992) and its edge chain still dominate — the user-perceived\n"
+        "view exposes exactly where redundancy investment stops paying."
+    )
+
+
+if __name__ == "__main__":
+    main()

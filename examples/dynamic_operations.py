@@ -1,0 +1,86 @@
+"""A day of operations: dynamic changes against a live deployment.
+
+Section V-A3 enumerates the change classes of a service network — user
+mobility, service migration, topology change, service substitution — and
+argues each touches only specific models.  This example replays a
+realistic operations timeline against the USI deployment and prints, per
+event, which input models changed, which automated pipeline stages
+re-executed, and what happened to the user-perceived availability.
+
+Run with ``python examples/dynamic_operations.py``.
+"""
+
+from repro.analysis import analyze_upsim
+from repro.casestudy import printing_mapping, printing_service, usi_network
+from repro.core import (
+    ComponentAddition,
+    DeploymentState,
+    LinkChange,
+    ServiceMigration,
+    UserMove,
+)
+
+
+def availability(state: DeploymentState) -> float:
+    assert state.upsim is not None
+    return analyze_upsim(
+        state.upsim, include_links=False, importance_components=0
+    ).service_availability
+
+
+def main() -> None:
+    state = DeploymentState(
+        usi_network(), printing_service(), printing_mapping("t1", "p2")
+    )
+    state.run()
+    print(
+        f"{'event':<44} {'models touched':<18} "
+        f"{'stages re-run':<14} {'service A':>12}"
+    )
+    print("-" * 92)
+    print(
+        f"{'initial deployment: t1 prints on p2':<44} {'(all)':<18} "
+        f"{'5-8':<14} {availability(state):>12.9f}"
+    )
+
+    timeline = [
+        ("user moves from t1 to t9", UserMove("t1", "t9")),
+        ("user moves on to t14", UserMove("t9", "t14")),
+        ("print service migrates to file1", ServiceMigration("printS", "file1")),
+        ("maintenance: core cross-link down", LinkChange("c1", "c2", add=False)),
+        ("core cross-link restored", LinkChange("c1", "c2", add=True)),
+        ("new uplink: d1 dual-homed to c2", LinkChange("d1", "c2", add=True)),
+        ("new client t16 deployed on e1", ComponentAddition("t16", "Comp", "e1")),
+        ("user moves to the new t16", UserMove("t14", "t16")),
+    ]
+    for label, operation in timeline:
+        report = state.apply(operation)
+        touched = "+".join(sorted(operation.affected_models()))
+        stages = {
+            "import_uml": "5",
+            "import_mapping": "6",
+            "discover_paths": "7",
+            "generate_upsim": "8",
+        }
+        rerun = ",".join(stages[s] for s in report.executed_stages())
+        print(
+            f"{label:<44} {touched:<18} {rerun:<14} "
+            f"{availability(state):>12.9f}"
+        )
+
+    print("-" * 92)
+    uml_imports = sum(
+        1
+        for _, report_touched in state.history
+        if "network" in report_touched or "service" in report_touched
+    )
+    print(
+        f"{len(state.history)} changes applied; the UML models were "
+        f"re-imported for only {uml_imports} of them (topology/service "
+        f"changes) — mobility and migration stayed mapping-only, as "
+        f"Section V-A3 claims."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""The complete Section VI case study: USI network, printing service.
+
+Reproduces, step by step, every artifact of the paper's case study:
+
+* the availability and network profiles (Figures 6, 7),
+* the predefined component classes (Figure 8),
+* the infrastructure object diagram (Figure 9),
+* the printing-service activity diagram (Figure 10),
+* the Table I mapping for the (t1, p2, printS) perspective,
+* the discovered t1→printS paths (Section VI-G),
+* the UPSIM for t1→p2 (Figure 11) and, after a mapping-only update,
+  for t15→p3 (Figure 12),
+* the Section VII availability analysis on both UPSIMs.
+
+Run with ``python examples/printing_case_study.py``.
+"""
+
+from repro.analysis import analyze_upsim
+from repro.casestudy import (
+    printing_mapping,
+    printing_service,
+    table1_mapping,
+    usi_network,
+)
+from repro.core import MethodologyPipeline, discover_paths
+from repro.network import StandardProfiles, Topology
+from repro.viz import (
+    activity_text,
+    class_table,
+    mapping_table,
+    object_model_text,
+    paths_text,
+    profile_text,
+)
+
+
+def main() -> None:
+    profiles = StandardProfiles()
+    print("=" * 72)
+    print("Step 1 — profiles and component classes")
+    print("=" * 72)
+    print(profile_text(profiles.availability))
+    print()
+    print(profile_text(profiles.network))
+    print()
+
+    infrastructure = usi_network()
+    print("Figure 8 — predefined network element classes:")
+    print(class_table(infrastructure.class_model))
+    print()
+
+    print("=" * 72)
+    print("Step 2 — infrastructure object diagram (Figure 9)")
+    print("=" * 72)
+    print(object_model_text(infrastructure, root="c1"))
+    print()
+
+    print("=" * 72)
+    print("Step 3 — printing service description (Figure 10)")
+    print("=" * 72)
+    service = printing_service()
+    print(activity_text(service.activity))
+    for atomic in service.atomic_services:
+        print(f"  {atomic.name}: {atomic.description}")
+    print()
+
+    print("=" * 72)
+    print("Step 4 — service mapping pairs (Table I)")
+    print("=" * 72)
+    mapping = table1_mapping()
+    print(mapping_table(mapping))
+    print()
+    print("Mapping XML (Figure 3 schema):")
+    print(mapping.to_xml())
+    print()
+
+    print("=" * 72)
+    print("Steps 5-8 — automated pipeline")
+    print("=" * 72)
+    pipeline = (
+        MethodologyPipeline()
+        .set_infrastructure(infrastructure)
+        .set_service(service)
+        .set_mapping(mapping)
+    )
+    report = pipeline.run()
+    upsim_t1_p2 = report.upsim
+    assert upsim_t1_p2 is not None
+    print(f"executed stages: {report.executed_stages()}")
+    print()
+
+    print("Section VI-G — paths for the first mapping pair (t1, printS):")
+    print(paths_text(discover_paths(Topology(infrastructure), "t1", "printS")))
+    print()
+
+    print("Figure 11 — UPSIM for printing from t1 on p2 via printS:")
+    print(object_model_text(upsim_t1_p2.model, root="c1"))
+    print()
+
+    print("=" * 72)
+    print("Different perspective (Figure 12): only the mapping changes")
+    print("=" * 72)
+    report2 = pipeline.set_mapping(printing_mapping("t15", "p3")).run()
+    upsim_t15_p3 = report2.upsim
+    assert upsim_t15_p3 is not None
+    print(
+        f"executed stages: {report2.executed_stages()} "
+        f"(reused: {report2.reused_stages()})"
+    )
+    print()
+    print("Figure 12 — UPSIM for printing from t15 on p3 via printS:")
+    print(object_model_text(upsim_t15_p3.model, root="c1"))
+    print()
+
+    print("=" * 72)
+    print("Section VII — user-perceived availability analysis")
+    print("=" * 72)
+    print(analyze_upsim(upsim_t1_p2, montecarlo_samples=100_000).to_text())
+    print()
+    print(analyze_upsim(upsim_t15_p3, montecarlo_samples=100_000).to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Quickstart: model a small network, describe a service, generate its UPSIM.
+
+Walks the whole methodology on a five-minute example:
+
+1. declare device types with dependability attributes (Steps 1),
+2. deploy a small redundant network (Step 2),
+3. describe a composite service as a sequence of atomic services (Step 3),
+4. map atomic services to requester/provider components (Step 4),
+5. run the automated pipeline (Steps 5-8) and analyze the UPSIM.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro.analysis import analyze_upsim
+from repro.core import MethodologyPipeline, ServiceMapping, ServiceMappingPair
+from repro.network import DeviceSpec, TopologyBuilder
+from repro.services import AtomicService, CompositeService
+from repro.viz import activity_text, mapping_table, object_model_text, paths_text
+
+
+def build_network() -> TopologyBuilder:
+    """A tiny redundant network: client → edge → two cores → server."""
+    builder = TopologyBuilder("quickstart")
+    builder.device_type(DeviceSpec("Switch48", "Switch", mtbf=180000.0, mttr=0.5))
+    builder.device_type(DeviceSpec("Workstation", "Client", mtbf=3000.0, mttr=24.0))
+    builder.device_type(DeviceSpec("AppServer", "Server", mtbf=60000.0, mttr=0.1))
+
+    builder.add("alice", "Workstation")
+    builder.add("edge", "Switch48")
+    builder.add("coreA", "Switch48")
+    builder.add("coreB", "Switch48")
+    builder.add("app", "AppServer")
+
+    builder.connect("alice", "edge")
+    builder.connect("edge", "coreA")
+    builder.connect("edge", "coreB")   # redundant uplink
+    builder.connect("coreA", "app")
+    builder.connect("coreB", "app")    # redundant downlink
+    builder.connect("coreA", "coreB")  # core cross-link
+    return builder
+
+
+def build_service() -> CompositeService:
+    """A two-step composite service: authenticate, then fetch data."""
+    return CompositeService.sequential(
+        "fetch_report",
+        [
+            AtomicService("authenticate", "Client authenticates at the server."),
+            AtomicService("fetch_data", "Client downloads the report."),
+        ],
+    )
+
+
+def main() -> None:
+    builder = build_network()
+    infrastructure = builder.build()  # validates profiles + constraints
+    service = build_service()
+    mapping = ServiceMapping(
+        [
+            ServiceMappingPair("authenticate", "alice", "app"),
+            ServiceMappingPair("fetch_data", "alice", "app"),
+        ]
+    )
+
+    print("Service description:", activity_text(service.activity))
+    print()
+    print(mapping_table(mapping, title="Service mapping:"))
+    print()
+
+    pipeline = (
+        MethodologyPipeline()
+        .set_infrastructure(infrastructure)
+        .set_service(service)
+        .set_mapping(mapping)
+    )
+    report = pipeline.run()
+    upsim = report.upsim
+    assert upsim is not None
+
+    print(f"Pipeline stages executed: {report.executed_stages()}")
+    print()
+    print(paths_text(upsim.path_sets["authenticate"]))
+    print()
+    print(object_model_text(upsim.model))
+    print()
+    print(analyze_upsim(upsim, montecarlo_samples=100_000).to_text())
+
+
+if __name__ == "__main__":
+    main()

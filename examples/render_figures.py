@@ -1,0 +1,124 @@
+"""Regenerate every paper figure as Graphviz DOT / Mermaid / text files.
+
+Writes, into ``figures/`` (or a directory given as argv[1]):
+
+* fig1  — UPSIM context class diagram (DOT)
+* fig2  — generic composite service (DOT + Mermaid)
+* fig5  — USI infrastructure (DOT, with the t1→p2 UPSIM highlighted)
+* fig6/7 — the two profiles (DOT)
+* fig8  — component class table (text)
+* fig9  — infrastructure object diagram (text + Mermaid)
+* fig10 — printing service activity diagram (DOT + text)
+* fig11/12 — the two UPSIM object diagrams (DOT + text)
+* rbd/ft — the §VII dependability structures for the t1→printS pair
+
+Render the DOT files with ``dot -Tpng figures/fig5.dot -o fig5.png`` (any
+graphviz install); the Mermaid files paste directly into markdown.
+
+Run with ``python examples/render_figures.py [outdir]``.
+"""
+
+import sys
+from pathlib import Path
+
+from repro.analysis import pair_fault_tree, pair_rbd
+from repro.casestudy import (
+    printing_mapping,
+    printing_service,
+    table1_mapping,
+    usi_network,
+)
+from repro.core import generate_upsim
+from repro.core.context import context_model
+from repro.network import StandardProfiles, Topology
+from repro.uml.activity import Activity, SPLeaf, SPParallel, SPSeries
+from repro.viz import (
+    activity_dot,
+    activity_mermaid,
+    activity_text,
+    class_model_dot,
+    class_table,
+    fault_tree_dot,
+    fault_tree_text,
+    object_model_dot,
+    object_model_mermaid,
+    object_model_text,
+    profile_dot,
+    rbd_dot,
+    rbd_text,
+)
+
+
+def main(outdir: str = "figures") -> None:
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+
+    def write(name: str, content: str) -> None:
+        path = out / name
+        path.write_text(content + "\n", encoding="utf-8")
+        written.append(name)
+
+    # figure 1: context
+    write("fig1_context.dot", class_model_dot(context_model()))
+
+    # figure 2: generic composite service
+    fig2 = Activity.from_structure(
+        "generic_composite",
+        SPSeries(
+            [
+                SPLeaf("atomic_service_1"),
+                SPParallel([SPLeaf("atomic_service_2"), SPLeaf("atomic_service_3")]),
+                SPLeaf("atomic_service_4"),
+            ]
+        ),
+    )
+    write("fig2_generic_service.dot", activity_dot(fig2))
+    write("fig2_generic_service.mmd", activity_mermaid(fig2))
+
+    # figures 6/7: profiles
+    profiles = StandardProfiles()
+    write("fig6_availability_profile.dot", profile_dot(profiles.availability))
+    write("fig7_network_profile.dot", profile_dot(profiles.network))
+
+    # figures 5/8/9: infrastructure
+    infrastructure = usi_network()
+    service = printing_service()
+    upsim11 = generate_upsim(Topology(infrastructure), service, table1_mapping())
+    write("fig8_classes.txt", class_table(infrastructure.class_model))
+    write(
+        "fig5_infrastructure.dot",
+        object_model_dot(infrastructure, highlight=upsim11.component_names),
+    )
+    write("fig9_infrastructure.txt", object_model_text(infrastructure, root="c1"))
+    write("fig9_infrastructure.mmd", object_model_mermaid(infrastructure))
+
+    # figure 10: printing service
+    write("fig10_printing.dot", activity_dot(service.activity))
+    write("fig10_printing.txt", activity_text(service.activity))
+
+    # figures 11/12: UPSIMs
+    write("fig11_upsim_t1_p2.dot", object_model_dot(upsim11.model))
+    write("fig11_upsim_t1_p2.txt", object_model_text(upsim11.model, root="c1"))
+    upsim12 = generate_upsim(
+        Topology(infrastructure), service, printing_mapping("t15", "p3")
+    )
+    write("fig12_upsim_t15_p3.dot", object_model_dot(upsim12.model))
+    write("fig12_upsim_t15_p3.txt", object_model_text(upsim12.model, root="c1"))
+
+    # section VII structures for the (t1, printS) pair
+    path_set = upsim11.path_sets["request_printing"]
+    structure = pair_rbd(path_set, include_links=False)
+    tree = pair_fault_tree(path_set, include_links=False)
+    write("rbd_t1_printS.dot", rbd_dot(structure, "rbd_t1_printS"))
+    write("rbd_t1_printS.txt", rbd_text(structure))
+    write("ft_t1_printS.dot", fault_tree_dot(tree, "ft_t1_printS"))
+    write("ft_t1_printS.txt", fault_tree_text(tree))
+
+    print(f"wrote {len(written)} artifacts to {out}/:")
+    for name in written:
+        print(f"  {name}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "figures")

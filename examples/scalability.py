@@ -1,0 +1,66 @@
+"""Scalability of path discovery across topology families (Section V-D).
+
+The paper's complexity claim: all-paths enumeration reaches O(n!) on a
+fully interconnected graph, "however, real networks usually contain few
+loops, while most clients are located in tree-like structures with a low
+number of edges."  This example measures path counts and discovery time
+over five graph families — tree, campus, ring, ladder, complete — and
+prints the resulting scaling table, showing the factorial blow-up on
+complete graphs next to the flat behaviour of realistic shapes.
+
+Run with ``python examples/scalability.py``.
+"""
+
+import math
+import time
+
+from repro.core import count_paths, discover_paths
+from repro.network import balanced_tree, campus, complete, endpoints, ladder, ring
+
+
+def measure(builder) -> tuple[int, int, int, float]:
+    topology = builder.topology()
+    requester, provider = endpoints(builder)
+    start = time.perf_counter()
+    count = count_paths(topology, requester, provider)
+    elapsed = time.perf_counter() - start
+    return topology.node_count(), topology.link_count(), count, elapsed
+
+
+def main() -> None:
+    rows = []
+
+    for depth in (2, 4, 6):
+        rows.append((f"tree depth={depth}", *measure(balanced_tree(2, depth))))
+    for dist in (2, 4, 8):
+        rows.append(
+            (f"campus dist={dist}", *measure(campus(dist_switches=dist)))
+        )
+    for n in (8, 16, 32):
+        rows.append((f"ring n={n}", *measure(ring(n))))
+    for rungs in (4, 8, 12):
+        rows.append((f"ladder rungs={rungs}", *measure(ladder(rungs))))
+    for n in (4, 6, 8):
+        rows.append((f"complete n={n}", *measure(complete(n))))
+
+    header = (
+        f"{'family':<18} {'nodes':>6} {'links':>6} {'paths':>10} {'time [ms]':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, nodes, links, count, elapsed in rows:
+        print(
+            f"{name:<18} {nodes:>6} {links:>6} {count:>10} {elapsed * 1e3:>10.2f}"
+        )
+    print("-" * len(header))
+    print(
+        "note: complete-graph path count between two attached endpoints is\n"
+        "      sum_k P(n, k) ~ e*n! over the n switches "
+        f"(n=8: {sum(math.perm(8, k) for k in range(9))} orderings),\n"
+        "      while tree/campus families stay polynomial — the paper's\n"
+        "      O(n!) worst case vs. benign-reality contrast."
+    )
+
+
+if __name__ == "__main__":
+    main()

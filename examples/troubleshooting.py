@@ -1,0 +1,75 @@
+"""Troubleshooting and planning with a UPSIM (Section VII in practice).
+
+The paper motivates the UPSIM as a triage tool: "in case of service
+problems … it provides a quick overview on which ICT components can be
+the cause."  This example takes the t1→p2 printing perspective and
+
+1. prints the **failure-impact triage list**: for every UPSIM component,
+   which atomic services a failure would hard-disconnect vs merely
+   degrade — the list an operator walks when the service misbehaves;
+2. shows the same at **cable granularity**, exposing the only genuinely
+   redundant components (the core triangle);
+3. runs **provider selection**: which printer gives client t1 the best
+   user-perceived availability (a mapping-only optimization loop).
+
+Run with ``python examples/troubleshooting.py``.
+"""
+
+from repro.analysis import impact_table, rank_providers
+from repro.casestudy import printing_mapping, printing_service, usi_topology
+from repro.core import generate_upsim
+
+
+def main() -> None:
+    topology = usi_topology()
+    service = printing_service()
+    upsim = generate_upsim(topology, service, printing_mapping("t1", "p2"))
+
+    print("Failure-impact triage for printing t1 -> p2 via printS")
+    print("(node granularity)")
+    header = (
+        f"{'component':<10} {'hard outages':>12} {'degraded':>9} "
+        f"{'A | component down':>19}"
+    )
+    print(header)
+    print("-" * len(header))
+    for impact in impact_table(upsim):
+        print(
+            f"{impact.component:<10} {len(impact.disconnected_services):>12} "
+            f"{len(impact.degraded_services):>9} "
+            f"{impact.conditional_availability:>19.9f}"
+        )
+    print()
+
+    print("Cable granularity — the genuinely redundant components:")
+    for impact in impact_table(upsim, include_links=True):
+        if not impact.is_single_point_of_failure:
+            print(
+                f"  {impact.component:<8} loses only redundancy "
+                f"(A drops to {impact.conditional_availability:.9f}, "
+                f"-{impact.availability_loss:.2e})"
+            )
+    print()
+
+    print("Provider selection: best printer for client t1")
+    scores = rank_providers(
+        topology,
+        service,
+        printing_mapping("t1", "p2"),
+        role="p2",
+        candidates=topology.nodes_of_kind("Printer"),
+    )
+    for rank, score in enumerate(scores, start=1):
+        print(
+            f"  {rank}. {score.provider}: A = {score.availability:.9f} "
+            f"(UPSIM spans {score.upsim_size} components)"
+        )
+    best = scores[0]
+    print(
+        f"\nrecommendation: print on {best.provider} — it shares more of "
+        f"t1's own infrastructure, so fewer independent components can fail."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""UPSIM → dependability-model bridge and reporting (Section VII, ref [20]).
+
+Transforms a generated UPSIM into reliability block diagrams and fault
+trees, computes exact user-perceived availability (state enumeration,
+inclusion–exclusion, factoring), and renders per-pair reports.
+"""
+
+from repro.analysis.exact import MAX_COMPONENTS, pair_availability, system_availability
+from repro.analysis.placement import PlacementScore, rank_providers
+from repro.analysis.report import AvailabilityReport, PairReport, analyze_upsim
+from repro.analysis.transformations import (
+    component_availabilities,
+    pair_fault_tree,
+    pair_path_sets,
+    pair_rbd,
+    service_path_set_groups,
+    service_rbd,
+)
+from repro.analysis.sla import SLACheck, UpgradeOption, check_sla, improvement_plan
+from repro.analysis.whatif import FailureImpact, failure_impact, impact_table
+
+__all__ = [
+    "SLACheck",
+    "UpgradeOption",
+    "check_sla",
+    "improvement_plan",
+    "FailureImpact",
+    "failure_impact",
+    "impact_table",
+    "PlacementScore",
+    "rank_providers",
+    "system_availability",
+    "pair_availability",
+    "MAX_COMPONENTS",
+    "component_availabilities",
+    "pair_rbd",
+    "pair_fault_tree",
+    "pair_path_sets",
+    "service_rbd",
+    "service_path_set_groups",
+    "AvailabilityReport",
+    "PairReport",
+    "analyze_upsim",
+]

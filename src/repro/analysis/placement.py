@@ -1,0 +1,111 @@
+"""Provider selection: choosing the best provider for a user perspective.
+
+The case study motivates multiple providers per atomic service ("each
+service has at least one provider"; printing is load-balanced across
+printers, Section VI).  Because the methodology makes per-pair analysis
+cheap — a provider change is a mapping-only update — it enables an
+optimization loop the paper's outlook implies: *for this requester, which
+provider instance yields the best user-perceived dependability?*
+
+:func:`rank_providers` runs that loop: for each candidate provider it
+rewrites the mapping with :func:`repro.core.mapping.ServiceMapping.set_pair`
+semantics, regenerates the UPSIM and scores the service availability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.exact import system_availability
+from repro.analysis.transformations import (
+    component_availabilities,
+    service_path_set_groups,
+)
+from repro.core.mapping import ServiceMapping, ServiceMappingPair
+from repro.core.upsim import UPSIM, generate_upsim
+from repro.errors import AnalysisError
+from repro.network.topology import Topology
+from repro.services.composite import CompositeService
+
+__all__ = ["PlacementScore", "rank_providers"]
+
+
+@dataclass(frozen=True)
+class PlacementScore:
+    """One candidate provider and the dependability it yields."""
+
+    provider: str
+    availability: float
+    upsim_size: int
+
+
+def _remap_provider(
+    mapping: ServiceMapping, old_provider: str, new_provider: str
+) -> ServiceMapping:
+    """A copy of *mapping* with every occurrence of *old_provider*
+    (as requester or provider) replaced by *new_provider*."""
+    pairs: List[ServiceMappingPair] = []
+    for pair in mapping.pairs:
+        pairs.append(
+            ServiceMappingPair(
+                pair.atomic_service,
+                new_provider if pair.requester == old_provider else pair.requester,
+                new_provider if pair.provider == old_provider else pair.provider,
+            )
+        )
+    return ServiceMapping(pairs)
+
+
+def rank_providers(
+    topology: Topology,
+    service: CompositeService,
+    base_mapping: ServiceMapping,
+    *,
+    role: str,
+    candidates: Sequence[str],
+    include_links: bool = True,
+) -> List[PlacementScore]:
+    """Score each candidate component in place of *role* in the mapping.
+
+    Parameters
+    ----------
+    role:
+        The component name to substitute (e.g. ``"p2"`` to try other
+        printers, or ``"printS"`` to try other print servers).
+    candidates:
+        Candidate component names; each must exist in the topology.
+        Typically ``topology.nodes_of_kind("Printer")``.
+
+    Returns scores sorted best-first (highest availability, ties broken by
+    smaller UPSIM — fewer components to depend on).
+    """
+    if not candidates:
+        raise AnalysisError("rank_providers needs at least one candidate")
+    mentioned = {
+        name for pair in base_mapping.pairs for name in pair.endpoints()
+    }
+    if role not in mentioned:
+        raise AnalysisError(
+            f"role component {role!r} does not appear in the mapping"
+        )
+    scores: List[PlacementScore] = []
+    for candidate in candidates:
+        if not topology.has_node(candidate):
+            raise AnalysisError(f"candidate {candidate!r} not in topology")
+        mapping = _remap_provider(base_mapping, role, candidate)
+        upsim = generate_upsim(topology, service, mapping)
+        table = component_availabilities(
+            upsim.model, include_links=include_links
+        )
+        groups = service_path_set_groups(upsim, include_links=include_links)
+        availability = system_availability(groups, table)
+        scores.append(
+            PlacementScore(
+                provider=candidate,
+                availability=availability,
+                upsim_size=upsim.component_count,
+            )
+        )
+    scores.sort(key=lambda s: (-s.availability, s.upsim_size, s.provider))
+    return scores

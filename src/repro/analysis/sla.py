@@ -1,0 +1,114 @@
+"""SLA checking and improvement planning on UPSIMs.
+
+Closes the loop the paper's introduction opens: "businesses are heavily
+dependent on predictable service delivery with time, performance and
+dependability constraints.  Failing to meet these requirements can cause
+a loss of profits."  Given a required availability (the SLA), this module
+
+* checks whether a perspective meets it (:func:`check_sla`),
+* and when it does not, proposes the cheapest-to-reason-about fixes
+  (:func:`improvement_plan`): for each component, the availability the
+  system would reach if that component were made perfect (the improvement
+  potential), so operators see which upgrade can close the gap at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.exact import system_availability
+from repro.analysis.transformations import (
+    component_availabilities,
+    service_path_set_groups,
+)
+from repro.core.upsim import UPSIM
+from repro.dependability.availability import downtime_minutes_per_year
+from repro.errors import AnalysisError
+
+__all__ = ["SLACheck", "UpgradeOption", "check_sla", "improvement_plan"]
+
+
+@dataclass(frozen=True)
+class SLACheck:
+    """Outcome of checking one UPSIM against a required availability."""
+
+    service_name: str
+    required: float
+    achieved: float
+    margin: float  # achieved - required; negative = violated
+    allowed_downtime_minutes_per_year: float
+    expected_downtime_minutes_per_year: float
+
+    @property
+    def met(self) -> bool:
+        return self.margin >= 0.0
+
+
+@dataclass(frozen=True)
+class UpgradeOption:
+    """Effect of making one component perfectly available."""
+
+    component: str
+    current_availability: float
+    achievable: float
+    closes_gap: bool
+
+
+def check_sla(
+    upsim: UPSIM,
+    required: float,
+    *,
+    include_links: bool = True,
+) -> SLACheck:
+    """Check the UPSIM's service availability against *required*."""
+    if not 0.0 <= required <= 1.0:
+        raise AnalysisError(f"required availability must be in [0, 1], got {required}")
+    table = component_availabilities(upsim.model, include_links=include_links)
+    groups = service_path_set_groups(upsim, include_links=include_links)
+    achieved = system_availability(groups, table)
+    return SLACheck(
+        service_name=upsim.service_name,
+        required=required,
+        achieved=achieved,
+        margin=achieved - required,
+        allowed_downtime_minutes_per_year=downtime_minutes_per_year(required),
+        expected_downtime_minutes_per_year=downtime_minutes_per_year(achieved),
+    )
+
+
+def improvement_plan(
+    upsim: UPSIM,
+    required: float,
+    *,
+    include_links: bool = False,
+    components: Optional[Sequence[str]] = None,
+) -> List[UpgradeOption]:
+    """Rank single-component upgrades by how close they get to the SLA.
+
+    Each option assumes the component is made perfect (A = 1) — an upper
+    bound on any real upgrade, so ``closes_gap=False`` is a definite
+    verdict: no investment in that component alone can meet the SLA.
+    Options are sorted by achievable availability, best first.
+    """
+    verdict = check_sla(upsim, required, include_links=include_links)
+    table = component_availabilities(upsim.model, include_links=include_links)
+    groups = service_path_set_groups(upsim, include_links=include_links)
+    names = list(components) if components is not None else list(upsim.component_names)
+    options: List[UpgradeOption] = []
+    for name in names:
+        if name not in table:
+            raise AnalysisError(f"component {name!r} not in UPSIM")
+        perturbed = dict(table)
+        perturbed[name] = 1.0
+        achievable = system_availability(groups, perturbed)
+        options.append(
+            UpgradeOption(
+                component=name,
+                current_availability=table[name],
+                achievable=achievable,
+                closes_gap=achievable >= required,
+            )
+        )
+    options.sort(key=lambda option: (-option.achievable, option.component))
+    return options

@@ -1,0 +1,144 @@
+"""What-if failure analysis on a UPSIM (the §VII troubleshooting use-case).
+
+"The generated UPSIM can be used to visualize the set of ICT components
+and their connections relevant for a particular pair requester and
+provider.  This alone is very helpful in case of service problems, as it
+provides a quick overview on which ICT components can be the cause."
+
+:func:`failure_impact` answers the operational question directly: *if
+component X fails, what happens to this service invocation?* — which
+atomic services lose connectivity entirely, which merely lose redundancy,
+and what the degraded availability is.  :func:`impact_table` runs it for
+every UPSIM component and ranks by severity, producing the triage list a
+service operator would start from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.analysis.exact import system_availability
+from repro.analysis.transformations import (
+    component_availabilities,
+    pair_path_sets,
+    service_path_set_groups,
+)
+from repro.core.upsim import UPSIM
+from repro.errors import AnalysisError
+
+__all__ = ["FailureImpact", "failure_impact", "impact_table"]
+
+
+@dataclass(frozen=True)
+class FailureImpact:
+    """Consequences of one component being down, for one UPSIM."""
+
+    component: str
+    #: atomic services with no remaining path (hard outage)
+    disconnected_services: Tuple[str, ...]
+    #: atomic services that lost at least one redundant path but still work
+    degraded_services: Tuple[str, ...]
+    #: service availability with the component forced down
+    conditional_availability: float
+    #: service availability with all components nominal
+    baseline_availability: float
+
+    @property
+    def is_single_point_of_failure(self) -> bool:
+        return bool(self.disconnected_services)
+
+    @property
+    def availability_loss(self) -> float:
+        return self.baseline_availability - self.conditional_availability
+
+
+def _surviving_paths(
+    path_sets: Sequence[FrozenSet[str]], component: str
+) -> List[FrozenSet[str]]:
+    return [path for path in path_sets if component not in path]
+
+
+def failure_impact(
+    upsim: UPSIM,
+    component: str,
+    *,
+    include_links: bool = True,
+    availabilities: Optional[Dict[str, float]] = None,
+) -> FailureImpact:
+    """Assess the impact of *component* (a node or ``a|b`` link name) being
+    down on every atomic service of the UPSIM."""
+    table = (
+        dict(availabilities)
+        if availabilities is not None
+        else component_availabilities(upsim.model, include_links=include_links)
+    )
+    if component not in table:
+        raise AnalysisError(
+            f"component {component!r} is not part of UPSIM "
+            f"{upsim.model.name!r}"
+        )
+
+    disconnected: List[str] = []
+    degraded: List[str] = []
+    for atomic_service, path_set in upsim.path_sets.items():
+        sets = pair_path_sets(path_set, include_links=include_links)
+        surviving = _surviving_paths(sets, component)
+        if not surviving:
+            disconnected.append(atomic_service)
+        elif len(surviving) < len(sets):
+            degraded.append(atomic_service)
+
+    groups = service_path_set_groups(upsim, include_links=include_links)
+    baseline = system_availability(groups, table)
+    forced = dict(table)
+    forced[component] = 0.0
+    conditional = system_availability(groups, forced)
+
+    return FailureImpact(
+        component=component,
+        disconnected_services=tuple(disconnected),
+        degraded_services=tuple(degraded),
+        conditional_availability=conditional,
+        baseline_availability=baseline,
+    )
+
+
+def impact_table(
+    upsim: UPSIM,
+    *,
+    include_links: bool = False,
+    components: Optional[Sequence[str]] = None,
+) -> List[FailureImpact]:
+    """Failure impact for every UPSIM component (or the given subset),
+    ranked most severe first (hard outages before degradations, then by
+    availability loss).
+
+    Defaults to node granularity (``include_links=False``) — the triage
+    view an operator wants; pass ``include_links=True`` to rank cables too.
+    """
+    if components is not None:
+        names = list(components)
+    else:
+        names = list(upsim.component_names)
+        if include_links:
+            from repro.dependability.cutsets import link_component_name
+
+            names.extend(
+                link_component_name(a, b) for a, b in sorted(upsim.used_links())
+            )
+    table = component_availabilities(upsim.model, include_links=include_links)
+    impacts = [
+        failure_impact(
+            upsim, name, include_links=include_links, availabilities=table
+        )
+        for name in names
+    ]
+    impacts.sort(
+        key=lambda impact: (
+            -len(impact.disconnected_services),
+            -impact.availability_loss,
+            impact.component,
+        )
+    )
+    return impacts

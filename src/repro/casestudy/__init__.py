@@ -1,0 +1,50 @@
+"""The USI case study (Section VI): network, services, mappings.
+
+Reconstructs the University of Lugano campus network of Figures 5/8/9, the
+printing service of Figure 10, and the Table I service mapping, plus the
+backup service the paper names as a second composite.
+"""
+
+from repro.casestudy.printing import (
+    PRINTING_ATOMIC_SERVICES,
+    backup_mapping,
+    backup_service,
+    email_mapping,
+    email_service,
+    printing_mapping,
+    printing_service,
+    table1_mapping,
+    usi_catalog,
+)
+from repro.casestudy.usi import (
+    CLIENTS,
+    DEVICE_SPECS,
+    PRINTERS,
+    SERVERS,
+    USI_LINKS,
+    USI_NODES,
+    usi_builder,
+    usi_network,
+    usi_topology,
+)
+
+__all__ = [
+    "DEVICE_SPECS",
+    "USI_NODES",
+    "USI_LINKS",
+    "CLIENTS",
+    "PRINTERS",
+    "SERVERS",
+    "usi_builder",
+    "usi_network",
+    "usi_topology",
+    "PRINTING_ATOMIC_SERVICES",
+    "printing_service",
+    "printing_mapping",
+    "table1_mapping",
+    "backup_service",
+    "backup_mapping",
+    "email_service",
+    "email_mapping",
+    "usi_catalog",
+]

@@ -1,0 +1,165 @@
+"""The printing service of the case study (Section VI-C, Figure 10, Table I).
+
+"A centralized print server holds all printing requests from
+authenticated clients.  Using the same authentication credentials, a
+person is then able to conclude the requests by printing the physical
+documents on any printer connected to the network."  The service composes
+five atomic services in sequential order (Figure 10); Table I binds them
+to concrete components for the perspective *client t1 printing on p2
+through printS*.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.mapping import ServiceMapping, ServiceMappingPair
+from repro.services.atomic import AtomicService
+from repro.services.catalog import ServiceCatalog
+from repro.services.composite import CompositeService
+
+__all__ = [
+    "PRINTING_ATOMIC_SERVICES",
+    "printing_service",
+    "printing_mapping",
+    "table1_mapping",
+    "usi_catalog",
+    "backup_service",
+    "backup_mapping",
+    "email_service",
+    "email_mapping",
+]
+
+#: Figure 10: the five atomic services, in execution order, with the
+#: contracts of Section VI-C.
+PRINTING_ATOMIC_SERVICES: Tuple[AtomicService, ...] = (
+    AtomicService(
+        "request_printing",
+        "Client login to print server and send documents to be printed.",
+    ),
+    AtomicService(
+        "login_to_printer",
+        "User login to printer. Authentication credentials are sent from "
+        "printer to print server.",
+    ),
+    AtomicService(
+        "send_document_list",
+        "After successful authentication, the print server sends a list of "
+        "queued documents for the specific user to the chosen printer.",
+    ),
+    AtomicService(
+        "select_documents",
+        "User selects document(s) to print from the list. Printer requests "
+        "specified document(s) from the print server.",
+    ),
+    AtomicService(
+        "send_documents",
+        "Print server sends requested document(s) to the printer. "
+        "Document(s) are in turn processed by the printer.",
+    ),
+)
+
+
+def printing_service() -> CompositeService:
+    """The printing composite service (Figure 10): five sequential steps."""
+    return CompositeService.sequential("printing", PRINTING_ATOMIC_SERVICES)
+
+
+def printing_mapping(
+    client: str = "t1", printer: str = "p2", server: str = "printS"
+) -> ServiceMapping:
+    """The service mapping of Table I, parameterized by user perspective.
+
+    With the defaults this is exactly Table I (requester t1, printer p2,
+    print server printS); generating "the UPSIM for a different
+    perspective, say, the printing service from client t15 to printer p3
+    through the same printing server" (Section VI-H) only takes different
+    arguments — the "minor adjustments to the service mapping".
+    """
+    return ServiceMapping(
+        [
+            ServiceMappingPair("request_printing", client, server),
+            ServiceMappingPair("login_to_printer", printer, server),
+            ServiceMappingPair("send_document_list", server, printer),
+            ServiceMappingPair("select_documents", printer, server),
+            ServiceMappingPair("send_documents", server, printer),
+        ]
+    )
+
+
+def table1_mapping() -> ServiceMapping:
+    """Table I verbatim: the (t1, p2, printS) perspective."""
+    return printing_mapping("t1", "p2", "printS")
+
+
+# ---------------------------------------------------------------------------
+# additional services of the USI network (Section VI names "authenticate,
+# print document, request backup" as atomic and "printing, backup" as
+# composite services)
+
+
+def backup_service() -> CompositeService:
+    """The backup composite service: authenticate, then request + transfer."""
+    return CompositeService.sequential(
+        "backup",
+        (
+            AtomicService("authenticate", "Client authentication against the directory service."),
+            AtomicService("request_backup", "Client requests a backup job."),
+            AtomicService("transfer_data", "Client streams data to the backup server."),
+        ),
+    )
+
+
+def backup_mapping(client: str = "t6", server: str = "backup") -> ServiceMapping:
+    """Mapping for the backup service from *client* to the backup server."""
+    return ServiceMapping(
+        [
+            ServiceMappingPair("authenticate", client, server),
+            ServiceMappingPair("request_backup", client, server),
+            ServiceMappingPair("transfer_data", client, server),
+        ]
+    )
+
+
+def email_service() -> CompositeService:
+    """The Section II granularity example: "email corresponds to a
+    composite service constituted by the atomic services authenticate,
+    send mail and fetch mail."
+
+    ``authenticate`` is the *same* atomic service the backup composite
+    uses — the re-usability that defines atomic granularity ("an atomic
+    service can be part of any number of composite services").
+    """
+    return CompositeService.sequential(
+        "email",
+        (
+            AtomicService("authenticate", "Client authentication against the directory service."),
+            AtomicService("send_mail", "Client submits outgoing mail."),
+            AtomicService("fetch_mail", "Client retrieves queued mail."),
+        ),
+    )
+
+
+def email_mapping(client: str = "t2", server: str = "email") -> ServiceMapping:
+    """Mapping for the email service from *client* to the email server."""
+    return ServiceMapping(
+        [
+            ServiceMappingPair("authenticate", client, server),
+            ServiceMappingPair("send_mail", client, server),
+            ServiceMappingPair("fetch_mail", client, server),
+        ]
+    )
+
+
+def usi_catalog() -> ServiceCatalog:
+    """Catalog with the case study's composite services registered.
+
+    The paper names printing and backup as composites; email is the
+    Section II granularity example.  ``authenticate`` is shared between
+    backup and email.
+    """
+    catalog = ServiceCatalog()
+    catalog.register_composite(printing_service())
+    catalog.register_composite(backup_service())
+    catalog.register_composite(email_service())
+    return catalog

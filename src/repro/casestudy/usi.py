@@ -1,0 +1,177 @@
+"""The USI campus network of the case study (Section VI, Figures 5/8/9).
+
+The topology is reconstructed from the paper: "the network core,
+consisting of the central switches with redundant connections, is nearly
+identical to the real infrastructure while the tree-formed peripheral
+parts connected to the core have been reduced for demonstration purposes."
+
+Device classes and their dependability attributes are taken verbatim from
+Figure 8:
+
+==========  =========  ========  ======  =====================
+Class       Kind       MTBF [h]  MTTR [h]  redundantComponents
+==========  =========  ========  ======  =====================
+Server      Server     60000     0.1     0
+C6500       Switch     183498    0.5     0
+C2960       Switch     61320     0.5     0
+HP2650      Switch     199000    0.5     0
+C3750       Switch     188575    0.5     0
+Comp        Client     3000      24.0    0
+Printer     Printer    2880      1.0     0
+==========  =========  ========  ======  =====================
+
+Link reconstruction.  The figures are partially illegible in the
+available copy of the paper, but the printed evidence pins the structure
+down almost completely:
+
+* the §VI-G path listing for the pair (t1, printS) —
+  ``t1—e1—d1—c1—d4—printS`` and ``t1—e1—d1—c1—c2—d4—printS`` — forces
+  ``t1—e1``, ``e1—d1``, ``d1—c1`` (and *only* c1), ``c1—c2``, and ``d4``
+  dual-homed to both core switches, with exactly two t1→printS paths;
+* Figure 11 (UPSIM t1→p2) contains ``d2``, so the p2 side reaches the
+  core through ``d2``: ``p2—e3—d2—c2``;
+* Figure 12 (UPSIM t15→p3) contains *both* distribution switches and
+  ``e4``; with ``t15—e4—d2`` this requires the p3 side to pass through
+  ``d1``, hence ``p3—d1``.
+
+Remaining free choices (peripheral placement of unobserved clients,
+``p1``, the d3 server block) follow the Figure 9 layout and are symmetric
+to the constrained parts; none of them affects any reproduced figure or
+table.  ``d3`` must be single-homed (here: to ``c1``), otherwise a third
+t1→printS path through ``c1—d3—c2`` would exist, contradicting the
+§VI-G listing.  The connector (cable) MTBF/MTTR of Figure 8 is illegible; the
+values here (1e6 h / 0.5 h) model a highly reliable passive cable and are
+recorded as a reproduction assumption in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.network.builder import TopologyBuilder
+from repro.network.components import DeviceSpec
+from repro.network.topology import Topology
+from repro.uml.objects import ObjectModel
+
+__all__ = [
+    "DEVICE_SPECS",
+    "USI_LINKS",
+    "usi_builder",
+    "usi_network",
+    "usi_topology",
+    "CLIENTS",
+    "PRINTERS",
+    "SERVERS",
+]
+
+#: Figure 8: the predefined network element classes.
+DEVICE_SPECS: Tuple[DeviceSpec, ...] = (
+    DeviceSpec("Server", "Server", mtbf=60000.0, mttr=0.1),
+    DeviceSpec("C6500", "Switch", mtbf=183498.0, mttr=0.5, manufacturer="Cisco", model="Catalyst 6500"),
+    DeviceSpec("C2960", "Switch", mtbf=61320.0, mttr=0.5, manufacturer="Cisco", model="Catalyst 2960"),
+    DeviceSpec("HP2650", "Switch", mtbf=199000.0, mttr=0.5, manufacturer="HP", model="ProCurve 2650"),
+    DeviceSpec("C3750", "Switch", mtbf=188575.0, mttr=0.5, manufacturer="Cisco", model="Catalyst 3750"),
+    DeviceSpec("Comp", "Client", mtbf=3000.0, mttr=24.0),
+    DeviceSpec("Printer", "Printer", mtbf=2880.0, mttr=1.0),
+)
+
+#: Deployed nodes: name -> class (Figure 9).
+USI_NODES: Dict[str, str] = {
+    # core (redundant C6500 pair)
+    "c1": "C6500",
+    "c2": "C6500",
+    # distribution (client side)
+    "d1": "C3750",
+    "d2": "C3750",
+    # distribution (server side)
+    "d3": "C2960",
+    "d4": "C2960",
+    # edge switches
+    "e1": "HP2650",
+    "e2": "HP2650",
+    "e3": "HP2650",
+    "e4": "HP2650",
+    # clients
+    **{f"t{i}": "Comp" for i in range(1, 16)},
+    # printers
+    "p1": "Printer",
+    "p2": "Printer",
+    "p3": "Printer",
+    # servers
+    "backup": "Server",
+    "email": "Server",
+    "db": "Server",
+    "file1": "Server",
+    "file2": "Server",
+    "printS": "Server",
+}
+
+#: Deployed links (Figure 5/9 reconstruction, see module docstring).
+USI_LINKS: Tuple[Tuple[str, str], ...] = (
+    # redundant core
+    ("c1", "c2"),
+    # distribution to core
+    ("d1", "c1"),
+    ("d2", "c2"),
+    ("d3", "c1"),
+    ("d4", "c1"),
+    ("d4", "c2"),
+    # edge to distribution
+    ("e1", "d1"),
+    ("e2", "d1"),
+    ("e3", "d2"),
+    ("e4", "d2"),
+    # clients to edge switches
+    ("t1", "e1"),
+    ("t2", "e1"),
+    ("t3", "e1"),
+    ("t4", "e1"),
+    ("t5", "e1"),
+    ("t6", "e2"),
+    ("t7", "e2"),
+    ("t8", "e2"),
+    ("t9", "e3"),
+    ("t10", "e3"),
+    ("t11", "e3"),
+    ("t12", "e3"),
+    ("t13", "e4"),
+    ("t14", "e4"),
+    ("t15", "e4"),
+    # printers
+    ("p1", "e2"),
+    ("p2", "e3"),
+    ("p3", "d1"),
+    # servers
+    ("backup", "d3"),
+    ("email", "d3"),
+    ("db", "d3"),
+    ("file1", "d4"),
+    ("file2", "d4"),
+    ("printS", "d4"),
+)
+
+CLIENTS: Tuple[str, ...] = tuple(f"t{i}" for i in range(1, 16))
+PRINTERS: Tuple[str, ...] = ("p1", "p2", "p3")
+SERVERS: Tuple[str, ...] = ("backup", "email", "db", "file1", "file2", "printS")
+
+
+def usi_builder() -> TopologyBuilder:
+    """A :class:`TopologyBuilder` populated with the USI network."""
+    builder = TopologyBuilder("usi")
+    for spec in DEVICE_SPECS:
+        builder.device_type(spec)
+    for name, type_name in USI_NODES.items():
+        builder.add(name, type_name)
+    for a, b in USI_LINKS:
+        builder.connect(a, b)
+    return builder
+
+
+def usi_network() -> ObjectModel:
+    """The validated USI infrastructure object model (Figure 9)."""
+    return usi_builder().build()
+
+
+def usi_topology() -> Topology:
+    """Graph view of the USI infrastructure (Figure 5)."""
+    return Topology(usi_network())

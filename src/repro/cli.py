@@ -1,0 +1,385 @@
+"""Command-line interface: the methodology end to end from model files.
+
+Subcommands::
+
+    upsim casestudy [--client t1] [--printer p2] [--server printS]
+        Run the built-in USI case study: print Table I, the discovered
+        paths, the UPSIM and the availability report.
+
+    upsim generate --models bundle.xml --service NAME --mapping mapping.xml
+        Steps 5-8 on externally-authored models; writes the UPSIM as an
+        XML bundle (--out) and/or Graphviz DOT (--dot).
+
+    upsim paths --models bundle.xml --requester A --provider B
+        Path discovery between two components.
+
+    upsim analyze --models bundle.xml --service NAME --mapping mapping.xml
+        Full availability analysis of the generated UPSIM.
+
+    upsim validate --models bundle.xml
+        Well-formedness constraint check of the infrastructure model.
+
+Model files use the XML dialect of :mod:`repro.uml.xmi`; mapping files use
+the Figure 3 schema of :mod:`repro.core.mapping`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import analyze_upsim
+from repro.core.mapping import ServiceMapping
+from repro.core.pathdiscovery import discover_paths
+from repro.core.pipeline import MethodologyPipeline
+from repro.errors import ReproError
+from repro.network.topology import Topology
+from repro.services.composite import CompositeService
+from repro.uml import xmi
+from repro.uml.constraints import check_infrastructure
+from repro.viz import (
+    mapping_table,
+    object_model_dot,
+    object_model_text,
+    paths_text,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="upsim",
+        description="User-perceived service infrastructure model generation "
+        "and dependability analysis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    case = sub.add_parser("casestudy", help="run the built-in USI case study")
+    case.add_argument("--client", default="t1")
+    case.add_argument("--printer", default="p2")
+    case.add_argument("--server", default="printS")
+    case.add_argument(
+        "--mc", type=int, default=0, help="Monte-Carlo cross-check samples"
+    )
+
+    def add_model_args(p: argparse.ArgumentParser, with_service: bool) -> None:
+        p.add_argument("--models", required=True, help="XML model bundle")
+        if with_service:
+            p.add_argument("--service", required=True, help="activity name")
+            p.add_argument("--mapping", required=True, help="mapping XML file")
+
+    gen = sub.add_parser("generate", help="generate a UPSIM from model files")
+    add_model_args(gen, True)
+    gen.add_argument("--out", help="write the UPSIM as an XML bundle")
+    gen.add_argument("--dot", help="write the UPSIM as Graphviz DOT")
+
+    paths = sub.add_parser("paths", help="discover all requester→provider paths")
+    add_model_args(paths, False)
+    paths.add_argument("--requester", required=True)
+    paths.add_argument("--provider", required=True)
+    paths.add_argument("--max-depth", type=int, default=None)
+    paths.add_argument("--max-paths", type=int, default=None)
+
+    analyze = sub.add_parser("analyze", help="availability analysis of a UPSIM")
+    add_model_args(analyze, True)
+    analyze.add_argument("--formula", choices=("paper", "exact"), default="paper")
+    analyze.add_argument("--mc", type=int, default=0)
+    analyze.add_argument(
+        "--no-links", action="store_true", help="ignore link failures"
+    )
+
+    validate = sub.add_parser("validate", help="constraint-check a model bundle")
+    validate.add_argument("--models", required=True)
+
+    impact = sub.add_parser(
+        "impact", help="failure-impact triage list for a UPSIM"
+    )
+    add_model_args(impact, True)
+    impact.add_argument(
+        "--links", action="store_true", help="also rank cable failures"
+    )
+
+    inventory_cmd = sub.add_parser(
+        "inventory", help="per-class inventory and availability budget"
+    )
+    inventory_cmd.add_argument("--models", required=True)
+
+    diversity = sub.add_parser(
+        "diversity", help="path-diversity profile of a requester/provider pair"
+    )
+    add_model_args(diversity, False)
+    diversity.add_argument("--requester", required=True)
+    diversity.add_argument("--provider", required=True)
+
+    sla = sub.add_parser(
+        "sla", help="check a required availability and plan upgrades"
+    )
+    add_model_args(sla, True)
+    sla.add_argument(
+        "--required", type=float, required=True, help="required availability, e.g. 0.999"
+    )
+
+    query = sub.add_parser(
+        "query", help="run a VTCL-style pattern query against the model space"
+    )
+    query.add_argument("--models", required=True)
+    query.add_argument(
+        "--pattern-file", required=True, help="file with one pattern block"
+    )
+    return parser
+
+
+def _load_bundle(path: str) -> xmi.ModelBundle:
+    bundle = xmi.load(path)
+    if bundle.object_model is None:
+        raise ReproError(f"model bundle {path!r} contains no object model")
+    return bundle
+
+
+def _composite_from_bundle(bundle: xmi.ModelBundle, name: str) -> CompositeService:
+    from repro.services.atomic import AtomicService
+
+    activity = bundle.activity(name)
+    atomics = [
+        AtomicService(service_name)
+        for service_name in dict.fromkeys(activity.atomic_service_names())
+    ]
+    return CompositeService(activity, atomics)
+
+
+def _run_pipeline(args: argparse.Namespace):
+    bundle = _load_bundle(args.models)
+    service = _composite_from_bundle(bundle, args.service)
+    mapping = ServiceMapping.load(args.mapping)
+    pipeline = (
+        MethodologyPipeline()
+        .set_infrastructure(bundle.object_model)
+        .set_service(service)
+        .set_mapping(mapping)
+    )
+    report = pipeline.run()
+    assert report.upsim is not None
+    return bundle, report.upsim
+
+
+def cmd_casestudy(args: argparse.Namespace) -> int:
+    from repro.casestudy import printing_mapping, printing_service, usi_topology
+    from repro.core.upsim import generate_upsim
+
+    topology = usi_topology()
+    service = printing_service()
+    mapping = printing_mapping(args.client, args.printer, args.server)
+    print(mapping_table(mapping, title="Service mapping (Table I schema):"))
+    print()
+    first_pair = mapping.pairs[0]
+    path_set = discover_paths(topology, first_pair.requester, first_pair.provider)
+    print(paths_text(path_set))
+    print()
+    upsim = generate_upsim(topology, service, mapping)
+    print(object_model_text(upsim.model))
+    print()
+    print(analyze_upsim(upsim, montecarlo_samples=args.mc).to_text())
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    bundle, upsim = _run_pipeline(args)
+    print(object_model_text(upsim.model))
+    if args.out:
+        out_bundle = xmi.ModelBundle(
+            profiles=bundle.profiles,
+            class_model=bundle.class_model,
+            object_model=upsim.model,
+        )
+        xmi.dump(out_bundle, args.out)
+        print(f"UPSIM written to {args.out}")
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(object_model_dot(upsim.model))
+        print(f"DOT written to {args.dot}")
+    return 0
+
+
+def cmd_paths(args: argparse.Namespace) -> int:
+    bundle = _load_bundle(args.models)
+    topology = Topology(bundle.object_model)
+    path_set = discover_paths(
+        topology,
+        args.requester,
+        args.provider,
+        max_depth=args.max_depth,
+        max_paths=args.max_paths,
+    )
+    print(paths_text(path_set))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    _, upsim = _run_pipeline(args)
+    report = analyze_upsim(
+        upsim,
+        formula=args.formula,
+        include_links=not args.no_links,
+        montecarlo_samples=args.mc,
+    )
+    print(report.to_text())
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    bundle = _load_bundle(args.models)
+    violations = check_infrastructure(bundle.object_model)
+    if not violations:
+        print(
+            f"model {bundle.object_model.name!r} is well-formed "
+            f"({len(bundle.object_model)} instances, "
+            f"{len(bundle.object_model.links)} links)"
+        )
+        return 0
+    for violation in violations:
+        print(violation)
+    return 1
+
+
+def cmd_impact(args: argparse.Namespace) -> int:
+    from repro.analysis import impact_table
+
+    _, upsim = _run_pipeline(args)
+    header = (
+        f"{'component':<14} {'hard outages':>12} {'degraded':>9} "
+        f"{'A | component down':>19}"
+    )
+    print(header)
+    print("-" * len(header))
+    for impact in impact_table(upsim, include_links=args.links):
+        print(
+            f"{impact.component:<14} {len(impact.disconnected_services):>12} "
+            f"{len(impact.degraded_services):>9} "
+            f"{impact.conditional_availability:>19.9f}"
+        )
+    return 0
+
+
+def cmd_inventory(args: argparse.Namespace) -> int:
+    from repro.network import articulation_points, availability_budget, inventory
+
+    bundle = _load_bundle(args.models)
+    topology = Topology(bundle.object_model)
+    budget = availability_budget(topology)
+    header = (
+        f"{'class':<12} {'kind':<9} {'count':>6} {'MTBF [h]':>10} "
+        f"{'MTTR [h]':>9} {'A':>11} {'downtime share':>15}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in inventory(topology):
+        print(
+            f"{row.class_name:<12} {row.kind:<9} {row.count:>6} "
+            f"{row.mtbf:>10.0f} {row.mttr:>9.2f} {row.availability:>11.7f} "
+            f"{budget[row.class_name]:>14.1%}"
+        )
+    points = sorted(articulation_points(topology))
+    print(f"\narticulation points (topology-level SPOFs): {', '.join(points)}")
+    return 0
+
+
+def cmd_diversity(args: argparse.Namespace) -> int:
+    from repro.core.diversity import diversity_report
+
+    bundle = _load_bundle(args.models)
+    topology = Topology(bundle.object_model)
+    report = diversity_report(topology, args.requester, args.provider)
+    print(f"diversity profile {report.requester} -> {report.provider}:")
+    print(f"  discovered paths:      {report.path_count}")
+    print(f"  node-disjoint paths:   {report.node_disjoint_paths}")
+    print(f"  edge-disjoint paths:   {report.edge_disjoint_paths}")
+    print(f"  hops (min..max):       {report.shortest_hops}..{report.longest_hops}")
+    spofs = ", ".join(report.single_points_of_failure) or "(none)"
+    print(f"  single points of failure: {spofs}")
+    verdict = (
+        "survives any single intermediate node failure"
+        if report.survives_any_single_node_failure
+        else "a single node failure can disconnect this pair"
+    )
+    print(f"  verdict: {verdict}")
+    return 0
+
+
+def cmd_sla(args: argparse.Namespace) -> int:
+    from repro.analysis import check_sla, improvement_plan
+
+    _, upsim = _run_pipeline(args)
+    verdict = check_sla(upsim, args.required)
+    status = "MET" if verdict.met else "VIOLATED"
+    print(
+        f"SLA {args.required:.6f} for {verdict.service_name!r}: {status} "
+        f"(achieved {verdict.achieved:.9f}, margin {verdict.margin:+.2e})"
+    )
+    print(
+        f"expected downtime {verdict.expected_downtime_minutes_per_year:.0f} "
+        f"min/year vs allowed "
+        f"{verdict.allowed_downtime_minutes_per_year:.0f} min/year"
+    )
+    if not verdict.met:
+        print("\nsingle-component upgrade options (A_component -> 1):")
+        for option in improvement_plan(upsim, args.required)[:5]:
+            marker = "closes gap" if option.closes_gap else "insufficient"
+            print(
+                f"  {option.component:<14} achievable {option.achievable:.9f} "
+                f"({marker})"
+            )
+        return 1
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.vpm import ModelSpace, UMLImporter, run_query
+
+    bundle = _load_bundle(args.models)
+    space = ModelSpace()
+    importer = UMLImporter(space)
+    importer.import_object_model(bundle.object_model)
+    for activity in bundle.activities:
+        importer.import_activity(activity)
+    with open(args.pattern_file, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    results = run_query(space, text)
+    if not results:
+        print("no matches")
+        return 0
+    variables = sorted(results[0])
+    print("  ".join(f"{v:<24}" for v in variables))
+    for row in results:
+        print("  ".join(f"{row[v]:<24}" for v in variables))
+    print(f"({len(results)} match(es))")
+    return 0
+
+
+_COMMANDS = {
+    "casestudy": cmd_casestudy,
+    "generate": cmd_generate,
+    "paths": cmd_paths,
+    "analyze": cmd_analyze,
+    "validate": cmd_validate,
+    "impact": cmd_impact,
+    "inventory": cmd_inventory,
+    "diversity": cmd_diversity,
+    "sla": cmd_sla,
+    "query": cmd_query,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

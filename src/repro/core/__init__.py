@@ -1,0 +1,68 @@
+"""Core of the methodology: mapping, path discovery, UPSIM generation.
+
+This package implements the paper's primary contribution (Sections IV–V):
+service mapping pairs (Figure 3), all-paths discovery between requester
+and provider (Step 7), UPSIM generation by path merging (Step 8,
+Definition 2), the Figure 1 context model, and the eight-step pipeline
+with incremental re-execution for dynamic environments.
+"""
+
+from repro.core.context import CONTEXT_CLASS_NAMES, context_model
+from repro.core.dynamics import (
+    ChangeOperation,
+    ComponentAddition,
+    DeploymentState,
+    LinkChange,
+    ServiceMigration,
+    ServiceSubstitution,
+    UserMove,
+)
+from repro.core.diversity import (
+    DiversityReport,
+    diversity_report,
+    edge_connectivity,
+    node_connectivity,
+    shared_components,
+)
+from repro.core.mapping import ServiceMapping, ServiceMappingPair
+from repro.core.pathdiscovery import (
+    Path,
+    PathSet,
+    count_paths,
+    discover_paths,
+    discover_paths_networkx,
+    iter_paths,
+)
+from repro.core.pipeline import MethodologyPipeline, PipelineReport, StageReport
+from repro.core.upsim import UPSIM, generate_upsim, upsim_name
+
+__all__ = [
+    "DiversityReport",
+    "diversity_report",
+    "node_connectivity",
+    "edge_connectivity",
+    "shared_components",
+    "ServiceMapping",
+    "ServiceMappingPair",
+    "ChangeOperation",
+    "UserMove",
+    "ServiceMigration",
+    "LinkChange",
+    "ComponentAddition",
+    "ServiceSubstitution",
+    "DeploymentState",
+    "Path",
+    "PathSet",
+    "discover_paths",
+    "discover_paths_networkx",
+    "count_paths",
+    "iter_paths",
+    "UPSIM",
+    "generate_upsim",
+    "upsim_name",
+    "MethodologyPipeline",
+    "PipelineReport",
+    "StageReport",
+    "context_model",
+    "CONTEXT_CLASS_NAMES",
+]

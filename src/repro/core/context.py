@@ -1,0 +1,107 @@
+"""The UPSIM context model of Figure 1, built programmatically.
+
+Figure 1 depicts the concepts of the methodology as a UML class diagram:
+an *ICT Infrastructure* aggregates *ICT Components*, subdivided into
+*Device* and *Connector* (every Connector associated to exactly two
+Devices); a *Service* is a *Composite Service* composed of two or more
+*Atomic Services*; and the *Service Mapping Pair* ties an atomic service
+to requester and provider components.  :func:`context_model` constructs
+that diagram with the library's own class-diagram machinery — it serves
+both as executable documentation and as the regeneration target for the
+``fig1`` experiment.
+"""
+
+from __future__ import annotations
+
+from repro.uml.classes import Association, AssociationEnd, Class, ClassModel
+from repro.uml.metamodel import Property
+
+__all__ = ["context_model", "CONTEXT_CLASS_NAMES"]
+
+#: The classes Figure 1 shows, in presentation order.
+CONTEXT_CLASS_NAMES = (
+    "ICTInfrastructure",
+    "ICTComponent",
+    "Device",
+    "Connector",
+    "Service",
+    "CompositeService",
+    "AtomicService",
+    "ServiceMappingPair",
+)
+
+
+def context_model() -> ClassModel:
+    """Build the Figure 1 context as a :class:`ClassModel`."""
+    model = ClassModel("upsim-context")
+
+    infrastructure = model.add_class(Class("ICTInfrastructure"))
+    component = model.add_class(Class("ICTComponent", is_abstract=True))
+    device = model.add_class(Class("Device", superclasses=[component]))
+    connector = model.add_class(Class("Connector", superclasses=[component]))
+
+    service = model.add_class(Class("Service", is_abstract=True))
+    composite = model.add_class(Class("CompositeService", superclasses=[service]))
+    atomic = model.add_class(Class("AtomicService", superclasses=[service]))
+
+    mapping_pair = model.add_class(
+        Class(
+            "ServiceMappingPair",
+            attributes=[
+                Property("atomicService", "String", is_static=False),
+                Property("requester", "String", is_static=False),
+                Property("provider", "String", is_static=False),
+            ],
+        )
+    )
+
+    # ICT Infrastructure aggregates ICT components
+    model.add_association(
+        Association(
+            "aggregates",
+            AssociationEnd(infrastructure, lower=1, upper=1),
+            AssociationEnd(component, lower=1, upper=None),
+        )
+    )
+    # every Connector must be associated to two Devices, which may have any
+    # number of Connectors
+    model.add_association(
+        Association(
+            "connects",
+            AssociationEnd(connector, lower=0, upper=None),
+            AssociationEnd(device, lower=2, upper=2),
+        )
+    )
+    # a composite service is composed of and only of two or more atomic
+    # services; an atomic service can be part of any number of composites
+    model.add_association(
+        Association(
+            "composedOf",
+            AssociationEnd(composite, lower=0, upper=None),
+            AssociationEnd(atomic, lower=2, upper=None),
+        )
+    )
+    # the mapping instantiates an atomic service …
+    model.add_association(
+        Association(
+            "maps",
+            AssociationEnd(mapping_pair, lower=0, upper=None),
+            AssociationEnd(atomic, lower=1, upper=1),
+        )
+    )
+    # … onto requester and provider components
+    model.add_association(
+        Association(
+            "requesterComponent",
+            AssociationEnd(mapping_pair, lower=0, upper=None),
+            AssociationEnd(component, lower=1, upper=1),
+        )
+    )
+    model.add_association(
+        Association(
+            "providerComponent",
+            AssociationEnd(mapping_pair, lower=0, upper=None),
+            AssociationEnd(component, lower=1, upper=1),
+        )
+    )
+    return model

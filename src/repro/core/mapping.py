@@ -1,0 +1,218 @@
+"""Service mapping pairs: binding atomic services to ICT components.
+
+"A mapping of two specific instances requester and provider to the ICT
+infrastructure, that defines the user-perceived scope, is referred to as
+service mapping pair" (Section I).  The mapping is "the key mechanism to
+support dynamicity as it allows to change service requesters and providers
+with minimal effort" (Section VI-D): user mobility, service migration and
+topology changes only ever touch this small XML file, never the service
+description.
+
+The XML schema is exactly Figure 3::
+
+    <servicemapping>
+      <atomicservice id="atomic_service_1">
+        <requester id="component_a"></requester>
+        <provider id="component_b"></provider>
+      </atomicservice>
+      ...
+    </servicemapping>
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import MappingError
+from repro.network.topology import Topology
+from repro.services.composite import CompositeService
+
+__all__ = ["ServiceMappingPair", "ServiceMapping"]
+
+
+@dataclass(frozen=True)
+class ServiceMappingPair:
+    """One row of Table I: atomic service → (requester, provider)."""
+
+    atomic_service: str
+    requester: str
+    provider: str
+
+    def __post_init__(self):
+        for field_name in ("atomic_service", "requester", "provider"):
+            value = getattr(self, field_name)
+            if not value or not isinstance(value, str):
+                raise MappingError(
+                    f"service mapping pair: {field_name} must be a non-empty "
+                    f"string, got {value!r}"
+                )
+
+    def reversed(self) -> "ServiceMappingPair":
+        """The same atomic service with requester/provider swapped.
+
+        Consecutive printing-service steps alternate direction (Table I:
+        ``login_to_printer`` is P2→printS, ``send_document_list`` is
+        printS→P2); this helper builds such alternations.
+        """
+        return ServiceMappingPair(self.atomic_service, self.provider, self.requester)
+
+    def endpoints(self) -> tuple[str, str]:
+        return (self.requester, self.provider)
+
+
+class ServiceMapping:
+    """An ordered collection of service mapping pairs, keyed by atomic
+    service name ("with their atomic service as unique key",
+    Section VI-D)."""
+
+    def __init__(self, pairs: Iterable[ServiceMappingPair] = ()):
+        self._pairs: Dict[str, ServiceMappingPair] = {}
+        for pair in pairs:
+            self.add(pair)
+
+    # -- population ---------------------------------------------------------
+
+    def add(self, pair: ServiceMappingPair) -> ServiceMappingPair:
+        if pair.atomic_service in self._pairs:
+            raise MappingError(
+                f"mapping already contains a pair for atomic service "
+                f"{pair.atomic_service!r}"
+            )
+        self._pairs[pair.atomic_service] = pair
+        return pair
+
+    def set_pair(self, atomic_service: str, requester: str, provider: str) -> ServiceMappingPair:
+        """Add or replace the pair for *atomic_service*.
+
+        Replacement is the paper's "minor adjustments to the service
+        mapping" that switch the analysis to a different user perspective
+        (Section VI-H).
+        """
+        pair = ServiceMappingPair(atomic_service, requester, provider)
+        self._pairs[atomic_service] = pair
+        return pair
+
+    def remove(self, atomic_service: str) -> None:
+        if atomic_service not in self._pairs:
+            raise MappingError(f"no mapping pair for {atomic_service!r}")
+        del self._pairs[atomic_service]
+
+    # -- access ----------------------------------------------------------------
+
+    def pair_for(self, atomic_service: str) -> ServiceMappingPair:
+        try:
+            return self._pairs[atomic_service]
+        except KeyError:
+            raise MappingError(
+                f"no mapping pair for atomic service {atomic_service!r}"
+            ) from None
+
+    def has_pair(self, atomic_service: str) -> bool:
+        return atomic_service in self._pairs
+
+    @property
+    def pairs(self) -> List[ServiceMappingPair]:
+        return list(self._pairs.values())
+
+    def pairs_for_service(self, service: CompositeService) -> List[ServiceMappingPair]:
+        """The pairs relevant for *service*, in its execution order.
+
+        "Additional service mapping pairs could be listed in the mapping
+        file to support other services.  However, they will be ignored when
+        the corresponding atomic service is irrelevant for the analyzed
+        service" (Section VI-D) — this method implements that filter.
+        Raises :class:`MappingError` if any executed atomic service lacks a
+        pair.
+        """
+        result: List[ServiceMappingPair] = []
+        for name in service.execution_order():
+            if not self.has_pair(name):
+                raise MappingError(
+                    f"composite service {service.name!r} executes atomic "
+                    f"service {name!r} with no mapping pair"
+                )
+            result.append(self._pairs[name])
+        return result
+
+    def validate_against(self, topology: Topology) -> List[str]:
+        """Check that all mapped components exist in *topology*.
+
+        Returns problem descriptions (empty when consistent) — the
+        pre-flight check of methodology Step 6, where mapping elements are
+        "matched to ICT components of the infrastructure".
+        """
+        problems: List[str] = []
+        for pair in self._pairs.values():
+            for role, component in (
+                ("requester", pair.requester),
+                ("provider", pair.provider),
+            ):
+                if not topology.has_node(component):
+                    problems.append(
+                        f"atomic service {pair.atomic_service!r}: {role} "
+                        f"{component!r} not in infrastructure"
+                    )
+        return problems
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[ServiceMappingPair]:
+        return iter(self._pairs.values())
+
+    # -- XML round trip (Figure 3) ----------------------------------------------
+
+    def to_xml(self) -> str:
+        root = ET.Element("servicemapping")
+        for pair in self._pairs.values():
+            service_elem = ET.SubElement(root, "atomicservice", id=pair.atomic_service)
+            ET.SubElement(service_elem, "requester", id=pair.requester)
+            ET.SubElement(service_elem, "provider", id=pair.provider)
+        ET.indent(root)
+        return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+    @classmethod
+    def from_xml(cls, text: str) -> "ServiceMapping":
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise MappingError(f"malformed mapping XML: {exc}") from exc
+        if root.tag != "servicemapping":
+            raise MappingError(
+                f"expected root element 'servicemapping', got {root.tag!r}"
+            )
+        mapping = cls()
+        for service_elem in root:
+            if service_elem.tag != "atomicservice":
+                raise MappingError(
+                    f"unexpected element {service_elem.tag!r} in mapping file"
+                )
+            service_id = service_elem.get("id")
+            if not service_id:
+                raise MappingError("atomicservice element without id attribute")
+            requester_elem = service_elem.find("requester")
+            provider_elem = service_elem.find("provider")
+            if requester_elem is None or provider_elem is None:
+                raise MappingError(
+                    f"atomic service {service_id!r}: mapping must name both "
+                    f"requester and provider"
+                )
+            mapping.add(
+                ServiceMappingPair(
+                    service_id,
+                    requester_elem.get("id") or "",
+                    provider_elem.get("id") or "",
+                )
+            )
+        return mapping
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_xml())
+
+    @classmethod
+    def load(cls, path: str) -> "ServiceMapping":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_xml(handle.read())

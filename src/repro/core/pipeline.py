@@ -1,0 +1,292 @@
+"""The eight-step UPSIM methodology pipeline (Section V-B, Figure 4).
+
+Steps 1–4 provide the input models (profiles + class diagram, object
+diagram, activity diagram, mapping XML); Steps 5–8 are "then fully
+automated": import into the model space, import the mapping, discover
+paths, generate the UPSIM.
+
+:class:`MethodologyPipeline` orchestrates all steps with *incremental
+re-execution*: each input setter invalidates exactly the downstream stages
+that depend on it, reproducing the paper's dynamicity analysis
+(Section V-A3) —
+
+* changing only the **mapping** (user mobility within known positions,
+  service migration) re-runs Steps 6–8 and leaves the imported UML models
+  untouched;
+* changing the **infrastructure** (topology change) re-runs Steps 5–8;
+* substituting the **service description** re-runs the service import and
+  Steps 6–8 but not the infrastructure import.
+
+Every :meth:`run` returns a :class:`PipelineReport` listing, per stage,
+whether it executed or was reused from cache, and how long it took — the
+quantity benchmark ``test_bench_dynamicity.py`` sweeps.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.mapping import ServiceMapping
+from repro.core.pathdiscovery import discover_paths
+from repro.core.upsim import UPSIM, generate_upsim
+from repro.errors import MappingError, ReproError
+from repro.network.topology import Topology
+from repro.services.composite import CompositeService
+from repro.uml.objects import ObjectModel
+from repro.vpm.importers import (
+    INSTANCES_NS,
+    MAPPING_NS,
+    PATHS_NS,
+    MappingImporter,
+    UMLImporter,
+    load_paths,
+    store_paths,
+)
+from repro.vpm.modelspace import ModelSpace
+from repro.vpm.patterns import Pattern
+from repro.vpm.transform import Transformation
+
+__all__ = ["MethodologyPipeline", "PipelineReport", "StageReport"]
+
+#: Automated stages in execution order (paper step numbers 5-8).
+STAGES = ("import_uml", "import_mapping", "discover_paths", "generate_upsim")
+
+
+@dataclass
+class StageReport:
+    """Execution record of one automated stage."""
+
+    stage: str
+    executed: bool
+    seconds: float
+
+
+@dataclass
+class PipelineReport:
+    """Result of one :meth:`MethodologyPipeline.run` invocation."""
+
+    stages: List[StageReport] = field(default_factory=list)
+    upsim: Optional[UPSIM] = None
+
+    def executed_stages(self) -> List[str]:
+        return [s.stage for s in self.stages if s.executed]
+
+    def reused_stages(self) -> List[str]:
+        return [s.stage for s in self.stages if not s.executed]
+
+    def total_seconds(self) -> float:
+        return sum(s.seconds for s in self.stages if s.executed)
+
+
+class MethodologyPipeline:
+    """Stateful orchestration of the methodology with incremental updates."""
+
+    def __init__(self):
+        self._infrastructure: Optional[ObjectModel] = None
+        self._service: Optional[CompositeService] = None
+        self._mapping: Optional[ServiceMapping] = None
+        self._dirty: Set[str] = set(STAGES)
+        self.space: Optional[ModelSpace] = None
+        self.upsim: Optional[UPSIM] = None
+
+    # -- Steps 1-4: inputs -----------------------------------------------------
+
+    def set_infrastructure(self, infrastructure: ObjectModel) -> "MethodologyPipeline":
+        """Provide the object diagram (output of Steps 1+2).
+
+        Invalidates every automated stage: "changes to the network topology
+        require updating … the network model and mapping"."""
+        self._infrastructure = infrastructure
+        self._dirty |= set(STAGES)
+        return self
+
+    def set_service(self, service: CompositeService) -> "MethodologyPipeline":
+        """Provide the composite service description (Step 3).
+
+        Substituting a service re-imports the UML models (the activity
+        import is part of Step 5) and everything downstream."""
+        self._service = service
+        self._dirty |= set(STAGES)
+        return self
+
+    def set_mapping(self, mapping: ServiceMapping) -> "MethodologyPipeline":
+        """Provide the service mapping (Step 4).
+
+        Only invalidates Steps 6–8 — the documented cheap path for user
+        mobility and service migration."""
+        self._mapping = mapping
+        self._dirty |= {"import_mapping", "discover_paths", "generate_upsim"}
+        return self
+
+    # -- Steps 5-8: automation ---------------------------------------------------
+
+    def _require_inputs(self) -> None:
+        missing = [
+            name
+            for name, value in (
+                ("infrastructure", self._infrastructure),
+                ("service", self._service),
+                ("mapping", self._mapping),
+            )
+            if value is None
+        ]
+        if missing:
+            raise ReproError(
+                f"pipeline inputs missing: {missing}; provide them with the "
+                f"set_* methods (methodology Steps 1-4)"
+            )
+
+    def run(
+        self,
+        *,
+        max_depth: Optional[int] = None,
+        max_paths: Optional[int] = None,
+    ) -> PipelineReport:
+        """Execute the automated Steps 5–8, skipping up-to-date stages."""
+        self._require_inputs()
+        assert self._infrastructure and self._service and self._mapping
+        report = PipelineReport()
+
+        # Step 5: import UML models into the model space
+        start = time.perf_counter()
+        if "import_uml" in self._dirty:
+            self.space = ModelSpace()
+            importer = UMLImporter(self.space)
+            importer.import_object_model(self._infrastructure)
+            importer.import_activity(self._service.activity)
+            self._dirty.discard("import_uml")
+            report.stages.append(
+                StageReport("import_uml", True, time.perf_counter() - start)
+            )
+        else:
+            report.stages.append(StageReport("import_uml", False, 0.0))
+        assert self.space is not None
+
+        # Step 6: import the service mapping
+        start = time.perf_counter()
+        if "import_mapping" in self._dirty:
+            self._clear_namespace(MAPPING_NS)
+            problems = self._mapping.validate_against(Topology(self._infrastructure))
+            if problems:
+                raise MappingError(
+                    f"mapping inconsistent with infrastructure: {problems}"
+                )
+            MappingImporter(self.space).import_mapping(
+                _RelevantPairs(self._mapping.pairs_for_service(self._service))
+            )
+            self._dirty.discard("import_mapping")
+            report.stages.append(
+                StageReport("import_mapping", True, time.perf_counter() - start)
+            )
+        else:
+            report.stages.append(StageReport("import_mapping", False, 0.0))
+
+        # Step 7: discover all paths per mapping pair, store in the space
+        start = time.perf_counter()
+        if "discover_paths" in self._dirty:
+            self._clear_namespace(PATHS_NS)
+            topology = Topology(self._infrastructure)
+            for pair in self._mapping.pairs_for_service(self._service):
+                path_set = discover_paths(
+                    topology,
+                    pair.requester,
+                    pair.provider,
+                    max_depth=max_depth,
+                    max_paths=max_paths,
+                )
+                store_paths(self.space, pair.atomic_service, path_set.paths)
+            self._dirty.discard("discover_paths")
+            report.stages.append(
+                StageReport("discover_paths", True, time.perf_counter() - start)
+            )
+        else:
+            report.stages.append(StageReport("discover_paths", False, 0.0))
+
+        # Step 8: generate the UPSIM (model-space filter + object diagram)
+        start = time.perf_counter()
+        if "generate_upsim" in self._dirty:
+            self.upsim = generate_upsim(
+                self._infrastructure,
+                self._service,
+                self._mapping,
+                max_depth=max_depth,
+                max_paths=max_paths,
+            )
+            self._mark_upsim_entities()
+            self._dirty.discard("generate_upsim")
+            report.stages.append(
+                StageReport("generate_upsim", True, time.perf_counter() - start)
+            )
+        else:
+            report.stages.append(StageReport("generate_upsim", False, 0.0))
+
+        report.upsim = self.upsim
+        return report
+
+    # -- model-space bookkeeping ---------------------------------------------
+
+    def _clear_namespace(self, namespace: str) -> None:
+        assert self.space is not None
+        if self.space.has_entity(namespace):
+            self.space.delete_entity(namespace)
+
+    def _mark_upsim_entities(self) -> None:
+        """Copy retained instances into the ``upsim`` namespace via a
+        transformation rule — the model-space face of the Step 8 filter.
+
+        The rule's pattern matches every instance entity visited by at
+        least one stored path; its action creates a mirror entity under
+        ``upsim.<model-name>`` related to the original with ``sameAs``.
+        """
+        assert self.space is not None and self.upsim is not None
+        space = self.space
+        container_fqn = f"upsim.{self.upsim.model.name}"
+        self._clear_namespace("upsim")
+        container = space.create_entity(container_fqn)
+
+        visited = {
+            relation.target.fqn
+            for relation in space.relations("visits")
+        }
+
+        pattern = Pattern("retained-instances").entity(
+            "n",
+            namespace=INSTANCES_NS,
+            predicate=lambda entity: entity.fqn in visited,
+        )
+
+        def copy_instance(model_space, match):
+            original = match["n"]
+            mirror = container.child(original.name, value=original.value)
+            model_space.create_relation("sameAs", mirror, original)
+
+        Transformation("upsim-generation").add_rule(
+            "copy-retained", pattern, copy_instance
+        ).run(space)
+
+    def stored_paths(self, atomic_service: str) -> List[List[str]]:
+        """Paths stored in the model space for *atomic_service* (Step 7)."""
+        if self.space is None:
+            raise ReproError("pipeline has not run yet")
+        return load_paths(self.space, atomic_service)
+
+    def upsim_entity_names(self) -> List[str]:
+        """Instance names mirrored into the ``upsim`` namespace (Step 8)."""
+        if self.space is None or self.upsim is None:
+            raise ReproError("pipeline has not run yet")
+        container = self.space.entity(f"upsim.{self.upsim.model.name}")
+        return sorted(child.name for child in container.children)
+
+
+class _RelevantPairs:
+    """Adapter exposing only the pairs relevant to the analyzed service.
+
+    Irrelevant pairs in the mapping file "will be ignored when the
+    corresponding atomic service is irrelevant for the analyzed service"
+    (Section VI-D) — so only the relevant ones are imported.
+    """
+
+    def __init__(self, pairs):
+        self.pairs = list(pairs)

@@ -1,0 +1,173 @@
+"""UPSIM generation: merging discovered paths into the output model.
+
+Definition 2: "Given an ICT infrastructure N, a providing service instance
+Sp, and a service client Sc … a user-perceived service infrastructure
+model N_UPSIM ⊆ N is that part of N which includes all components, their
+properties and relations hosting the atomic services used to compose a
+specific service provided by Sp for Sc."
+
+Methodology Step 8 (Section VI-H): the generation "behaves like a filter
+on the complete topology, where only nodes which appear at least once in
+the discovered paths are preserved.  Multiple occurrences are ignored."
+The output is a UML object diagram whose instance specifications "have the
+same signature as in the original ICT infrastructure" so that class
+properties (MTBF, MTTR, …) are automatically inherited (Section V-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.mapping import ServiceMapping, ServiceMappingPair
+from repro.core.pathdiscovery import PathSet, discover_paths
+from repro.errors import PathDiscoveryError
+from repro.network.topology import Topology
+from repro.services.composite import CompositeService
+from repro.uml.objects import ObjectModel
+
+__all__ = ["UPSIM", "generate_upsim", "upsim_name"]
+
+
+def upsim_name(service_name: str, mapping: ServiceMapping) -> str:
+    """Canonical UPSIM model name, e.g. ``upsim_printing_t1_printS``.
+
+    Uses the requester of the first pair and the provider of the first
+    pair as the user-facing labels (the "pair requester and provider" of
+    the service invocation as a whole).
+    """
+    pairs = mapping.pairs
+    if not pairs:
+        return f"upsim_{service_name}"
+    return f"upsim_{service_name}_{pairs[0].requester}_{pairs[0].provider}"
+
+
+@dataclass
+class UPSIM:
+    """The generated user-perceived service infrastructure model.
+
+    Attributes
+    ----------
+    model:
+        The output UML object diagram (instances shared with the source
+        infrastructure, so signatures and class properties are preserved).
+    service_name:
+        The composite service the UPSIM was generated for.
+    path_sets:
+        Per atomic service, the discovered :class:`PathSet` (Step 7 output).
+    contributions:
+        For every retained component, the set of atomic services whose
+        paths visit it — provenance for the §VII troubleshooting use-case
+        ("a quick overview on which ICT components can be the cause").
+    """
+
+    model: ObjectModel
+    service_name: str
+    path_sets: Dict[str, PathSet] = field(default_factory=dict)
+    contributions: Dict[str, Set[str]] = field(default_factory=dict)
+
+    @property
+    def component_names(self) -> List[str]:
+        return self.model.instance_names()
+
+    @property
+    def component_count(self) -> int:
+        return len(self.model)
+
+    def components_for(self, atomic_service: str) -> Set[str]:
+        """Components used by one atomic service's requester/provider pair."""
+        if atomic_service not in self.path_sets:
+            raise PathDiscoveryError(
+                f"UPSIM has no path set for atomic service {atomic_service!r}"
+            )
+        return self.path_sets[atomic_service].nodes()
+
+    def used_links(self) -> Set[Tuple[str, str]]:
+        """Links traversed by at least one discovered path."""
+        result: Set[Tuple[str, str]] = set()
+        for path_set in self.path_sets.values():
+            result |= path_set.links()
+        return result
+
+    def topology(self) -> Topology:
+        return Topology(self.model)
+
+    def signatures(self) -> List[str]:
+        """The ``name:Class`` labels, as drawn in Figures 11 and 12."""
+        return sorted(inst.signature for inst in self.model.instances)
+
+
+def generate_upsim(
+    infrastructure: ObjectModel | Topology,
+    service: CompositeService,
+    mapping: ServiceMapping,
+    *,
+    max_depth: Optional[int] = None,
+    max_paths: Optional[int] = None,
+) -> UPSIM:
+    """Generate the UPSIM for *service* under *mapping* (Steps 7 + 8).
+
+    Path discovery runs once per distinct unordered (requester, provider)
+    endpoint pair and is reused for atomic services that alternate
+    direction (in an undirected infrastructure the path set is symmetric;
+    reversing each path keeps provenance faithful to the pair's
+    orientation).
+
+    Raises :class:`PathDiscoveryError` if any executed atomic service has
+    no connecting path — a service whose components cannot communicate has
+    no user-perceived infrastructure.
+    """
+    topology = (
+        infrastructure
+        if isinstance(infrastructure, Topology)
+        else Topology(infrastructure)
+    )
+    pairs = mapping.pairs_for_service(service)
+
+    cache: Dict[Tuple[str, str], PathSet] = {}
+    path_sets: Dict[str, PathSet] = {}
+    for pair in pairs:
+        key = (pair.requester, pair.provider)
+        reverse_key = (pair.provider, pair.requester)
+        if key in cache:
+            discovered = cache[key]
+        elif reverse_key in cache:
+            source = cache[reverse_key]
+            discovered = PathSet(
+                pair.requester,
+                pair.provider,
+                [tuple(reversed(path)) for path in source.paths],
+                truncated=source.truncated,
+            )
+            cache[key] = discovered
+        else:
+            discovered = discover_paths(
+                topology,
+                pair.requester,
+                pair.provider,
+                max_depth=max_depth,
+                max_paths=max_paths,
+            )
+            cache[key] = discovered
+        if not discovered:
+            raise PathDiscoveryError(
+                f"atomic service {pair.atomic_service!r}: no path between "
+                f"requester {pair.requester!r} and provider {pair.provider!r}"
+            )
+        path_sets[pair.atomic_service] = discovered
+
+    # Step 8: merge into a single topology — the node-filter semantics.
+    retained: Set[str] = set()
+    contributions: Dict[str, Set[str]] = {}
+    for atomic_service, path_set in path_sets.items():
+        for node in path_set.nodes():
+            retained.add(node)
+            contributions.setdefault(node, set()).add(atomic_service)
+
+    model = topology.model.subgraph(retained, upsim_name(service.name, mapping))
+    return UPSIM(
+        model=model,
+        service_name=service.name,
+        path_sets=path_sets,
+        contributions=contributions,
+    )

@@ -1,0 +1,111 @@
+"""Dependability analysis substrate (Section VII and companion paper [20]).
+
+Component availability (Formula 1), reliability block diagrams, fault
+trees, minimal path/cut sets with exact inclusion–exclusion, Monte-Carlo
+estimation with failure injection, importance measures, responsiveness and
+performability — everything needed to analyze a generated UPSIM.
+"""
+
+from repro.dependability.availability import (
+    HOURS_PER_YEAR,
+    ComponentAvailability,
+    downtime_minutes_per_year,
+    exact_availability,
+    instance_availability,
+    link_availability,
+    steady_state_availability,
+    with_redundancy,
+)
+from repro.dependability.cutsets import (
+    esary_proschan_bounds,
+    inclusion_exclusion,
+    link_component_name,
+    minimal_cut_sets,
+    minimize_sets,
+    path_components,
+)
+from repro.dependability.faulttree import (
+    AndGate,
+    BasicEvent,
+    FaultTreeNode,
+    OrGate,
+    VoteGate,
+    from_rbd,
+)
+from repro.dependability.importance import ImportanceRow, importance_table
+from repro.dependability.markov import (
+    CTMC,
+    component_ctmc,
+    markov_reward,
+    redundancy_group_ctmc,
+)
+from repro.dependability.montecarlo import (
+    MCEstimate,
+    RenewalResult,
+    TwoTerminalMC,
+    simulate_alternating_renewal,
+)
+from repro.dependability.performability import (
+    expected_reward,
+    expected_reward_mc,
+    reward_best_throughput,
+    reward_path_capacity,
+)
+from repro.dependability.rbd import Block, KofN, Parallel, RBDNode, Series, simplify
+from repro.dependability.responsiveness import (
+    ResponsivenessResult,
+    hypoexponential_cdf,
+    pair_responsiveness,
+    path_responsiveness,
+    service_responsiveness,
+    structure_completion_samples,
+)
+
+__all__ = [
+    "steady_state_availability",
+    "exact_availability",
+    "with_redundancy",
+    "instance_availability",
+    "link_availability",
+    "downtime_minutes_per_year",
+    "ComponentAvailability",
+    "HOURS_PER_YEAR",
+    "RBDNode",
+    "Block",
+    "Series",
+    "Parallel",
+    "KofN",
+    "simplify",
+    "FaultTreeNode",
+    "BasicEvent",
+    "AndGate",
+    "OrGate",
+    "VoteGate",
+    "from_rbd",
+    "link_component_name",
+    "path_components",
+    "minimize_sets",
+    "minimal_cut_sets",
+    "inclusion_exclusion",
+    "esary_proschan_bounds",
+    "TwoTerminalMC",
+    "MCEstimate",
+    "simulate_alternating_renewal",
+    "RenewalResult",
+    "ImportanceRow",
+    "importance_table",
+    "CTMC",
+    "component_ctmc",
+    "redundancy_group_ctmc",
+    "markov_reward",
+    "expected_reward",
+    "expected_reward_mc",
+    "reward_path_capacity",
+    "reward_best_throughput",
+    "hypoexponential_cdf",
+    "path_responsiveness",
+    "pair_responsiveness",
+    "service_responsiveness",
+    "structure_completion_samples",
+    "ResponsivenessResult",
+]

@@ -1,0 +1,256 @@
+"""Fault trees: the second analysis formalism named in Section VII.
+
+A fault tree expresses the *failure* of the system (top event) as a logic
+of component failures (basic events) through AND / OR / k-of-n voting
+gates.  It is the boolean dual of the RBD: a series RBD structure fails
+when *any* block fails (OR gate); a parallel structure fails when *all*
+blocks fail (AND gate).  :func:`from_rbd` performs that conversion, and
+:func:`FaultTreeNode.probability` evaluates the top-event probability —
+exactly, with repeated basic events handled by factoring.
+
+Minimal cut sets are extracted with the classic top-down MOCUS expansion
+(:func:`FaultTreeNode.minimal_cut_sets`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, FrozenSet
+
+from repro.dependability import rbd as rbd_mod
+from repro.dependability.cutsets import minimize_sets
+from repro.errors import AnalysisError
+
+__all__ = ["FaultTreeNode", "BasicEvent", "AndGate", "OrGate", "VoteGate", "from_rbd"]
+
+
+class FaultTreeNode:
+    """Base class of fault-tree nodes.  Values are failure probabilities."""
+
+    def basic_event_names(self) -> List[str]:
+        raise NotImplementedError
+
+    def _evaluate(self, failure_probabilities: Dict[str, float]) -> float:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def leaves(self) -> Iterator["BasicEvent"]:
+        raise NotImplementedError
+
+    def probability(
+        self, failure_probabilities: Optional[Dict[str, float]] = None
+    ) -> float:
+        """Top-event (failure) probability, exact.
+
+        Repeated basic events are handled by conditioning (factoring), so
+        the result is correct for any coherent tree.
+        """
+        table: Dict[str, float] = {}
+        for leaf in self.leaves():
+            if leaf.value is not None:
+                table[leaf.name] = leaf.value
+        if failure_probabilities:
+            table.update(failure_probabilities)
+        names = self.basic_event_names()
+        missing = [n for n in set(names) if n not in table]
+        if missing:
+            raise AnalysisError(
+                f"no failure probability for basic events {sorted(missing)}"
+            )
+        for name, value in table.items():
+            if not 0.0 <= value <= 1.0:
+                raise AnalysisError(
+                    f"failure probability of {name!r} must be in [0, 1], "
+                    f"got {value}"
+                )
+        repeated = sorted({n for n in names if names.count(n) > 1})
+        return self._factor(table, repeated)
+
+    def _factor(self, table: Dict[str, float], repeated: Sequence[str]) -> float:
+        if not repeated:
+            return self._evaluate(table)
+        name = repeated[0]
+        rest = repeated[1:]
+        failed = dict(table)
+        failed[name] = 1.0
+        working = dict(table)
+        working[name] = 0.0
+        q = table[name]
+        return q * self._factor(failed, rest) + (1.0 - q) * self._factor(working, rest)
+
+    def availability(
+        self, availabilities: Optional[Dict[str, float]] = None
+    ) -> float:
+        """System availability = 1 - top-event probability, with component
+        *availabilities* (converted to failure probabilities)."""
+        failure = (
+            {name: 1.0 - value for name, value in availabilities.items()}
+            if availabilities
+            else None
+        )
+        return 1.0 - self.probability(failure)
+
+    # -- cut sets ------------------------------------------------------------
+
+    def minimal_cut_sets(self) -> List[FrozenSet[str]]:
+        """Minimal cut sets by top-down MOCUS expansion.
+
+        :class:`VoteGate` is expanded into the OR of AND-combinations of
+        its children before expansion.
+        """
+        return minimize_sets(self._expand_cut_sets())
+
+    def _expand_cut_sets(self) -> List[FrozenSet[str]]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BasicEvent(FaultTreeNode):
+    """A component failure, optionally with an intrinsic probability."""
+
+    name: str
+    value: Optional[float] = None
+
+    def basic_event_names(self) -> List[str]:
+        return [self.name]
+
+    def _evaluate(self, failure_probabilities: Dict[str, float]) -> float:
+        return failure_probabilities[self.name]
+
+    def describe(self) -> str:
+        return self.name
+
+    def leaves(self) -> Iterator["BasicEvent"]:
+        yield self
+
+    def _expand_cut_sets(self) -> List[FrozenSet[str]]:
+        return [frozenset([self.name])]
+
+
+class _Gate(FaultTreeNode):
+    symbol = "?"
+
+    def __init__(self, children: Sequence[FaultTreeNode | str]):
+        if not children:
+            raise AnalysisError(f"{type(self).__name__} requires at least one child")
+        self.children: List[FaultTreeNode] = [
+            BasicEvent(child) if isinstance(child, str) else child
+            for child in children
+        ]
+
+    def basic_event_names(self) -> List[str]:
+        names: List[str] = []
+        for child in self.children:
+            names.extend(child.basic_event_names())
+        return names
+
+    def leaves(self) -> Iterator[BasicEvent]:
+        for child in self.children:
+            yield from child.leaves()
+
+    def describe(self) -> str:
+        return f" {self.symbol} ".join(
+            child.describe() if isinstance(child, BasicEvent) else f"({child.describe()})"
+            for child in self.children
+        )
+
+
+class AndGate(_Gate):
+    """Output fails iff all inputs fail."""
+
+    symbol = "AND"
+
+    def _evaluate(self, failure_probabilities: Dict[str, float]) -> float:
+        result = 1.0
+        for child in self.children:
+            result *= child._evaluate(failure_probabilities)
+        return result
+
+    def _expand_cut_sets(self) -> List[FrozenSet[str]]:
+        result: List[FrozenSet[str]] = [frozenset()]
+        for child in self.children:
+            child_sets = child._expand_cut_sets()
+            result = [existing | cs for existing in result for cs in child_sets]
+        return result
+
+
+class OrGate(_Gate):
+    """Output fails iff any input fails."""
+
+    symbol = "OR"
+
+    def _evaluate(self, failure_probabilities: Dict[str, float]) -> float:
+        result = 1.0
+        for child in self.children:
+            result *= 1.0 - child._evaluate(failure_probabilities)
+        return 1.0 - result
+
+    def _expand_cut_sets(self) -> List[FrozenSet[str]]:
+        result: List[FrozenSet[str]] = []
+        for child in self.children:
+            result.extend(child._expand_cut_sets())
+        return result
+
+
+class VoteGate(_Gate):
+    """k-of-n voting gate: output fails iff at least *k* inputs fail."""
+
+    symbol = "VOTE"
+
+    def __init__(self, k: int, children: Sequence[FaultTreeNode | str]):
+        super().__init__(children)
+        if not 1 <= k <= len(self.children):
+            raise AnalysisError(
+                f"VoteGate requires 1 <= k <= n, got k={k}, n={len(self.children)}"
+            )
+        self.k = k
+
+    def describe(self) -> str:
+        return f"{self.k}/{len(self.children)}[" + ", ".join(
+            child.describe() for child in self.children
+        ) + "]"
+
+    def _evaluate(self, failure_probabilities: Dict[str, float]) -> float:
+        dist = [1.0]
+        for child in self.children:
+            q = child._evaluate(failure_probabilities)
+            new = [0.0] * (len(dist) + 1)
+            for count, prob in enumerate(dist):
+                new[count] += prob * (1.0 - q)
+                new[count + 1] += prob * q
+            dist = new
+        return sum(dist[self.k :])
+
+    def _expand_cut_sets(self) -> List[FrozenSet[str]]:
+        from itertools import combinations
+
+        result: List[FrozenSet[str]] = []
+        for combo in combinations(self.children, self.k):
+            partial: List[FrozenSet[str]] = [frozenset()]
+            for child in combo:
+                child_sets = child._expand_cut_sets()
+                partial = [existing | cs for existing in partial for cs in child_sets]
+            result.extend(partial)
+        return result
+
+
+def from_rbd(node: "rbd_mod.RBDNode") -> FaultTreeNode:
+    """Convert an RBD structure into its dual fault tree.
+
+    Series → OR (fails when any block fails); Parallel → AND (fails when
+    all blocks fail); KofN(k, n) available → Vote(n-k+1, n) failed; leaf
+    block availability ``a`` → basic-event probability ``1 - a``.
+    """
+    if isinstance(node, rbd_mod.Block):
+        value = None if node.value is None else 1.0 - node.value
+        return BasicEvent(node.name, value)
+    if isinstance(node, rbd_mod.Series):
+        return OrGate([from_rbd(child) for child in node.children])
+    if isinstance(node, rbd_mod.Parallel):
+        return AndGate([from_rbd(child) for child in node.children])
+    if isinstance(node, rbd_mod.KofN):
+        n = len(node.children)
+        return VoteGate(n - node.k + 1, [from_rbd(child) for child in node.children])
+    raise AnalysisError(f"cannot convert RBD node type {type(node).__name__}")

@@ -1,0 +1,261 @@
+"""Reliability block diagrams (RBDs).
+
+Section VII: availability "analysis can be performed by transforming the
+UPSIM to a reliability block diagram (RBD) or fault-tree (FT), in which
+entities correspond to components of the UPSIM".  This module implements
+the RBD formalism the companion paper [20] uses:
+
+* :class:`Block` — a leaf with a component availability;
+* :class:`Series` — all children must be available (``∏ A_i``);
+* :class:`Parallel` — at least one child available (``1 - ∏ (1-A_i)``);
+* :class:`KofN` — at least *k* of the *n* children available.
+
+Evaluation assumes independent components.  **Repeated blocks** (the same
+component appearing in several branches, which happens whenever redundant
+network paths share a node) make naive structural evaluation wrong; for
+that case :meth:`RBDNode.availability` offers ``method="factoring"``,
+which conditions on shared components (exact, exponential only in the
+number of *repeated* components), while ``method="structural"`` evaluates
+the plain formula (exact when each component appears once).
+
+The structure can be simplified (:func:`simplify`) by flattening nested
+series/series and parallel/parallel nests and collapsing single-child
+composites.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.errors import AnalysisError
+
+__all__ = ["RBDNode", "Block", "Series", "Parallel", "KofN", "simplify"]
+
+
+class RBDNode:
+    """Base class of RBD structure nodes."""
+
+    def component_names(self) -> List[str]:
+        """All leaf component names, duplicates preserved, left-to-right."""
+        raise NotImplementedError
+
+    def _evaluate(self, availabilities: Dict[str, float]) -> float:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Structural expression like ``(a • b) ‖ (a • c)``."""
+        raise NotImplementedError
+
+    # -- evaluation -------------------------------------------------------------
+
+    def availability(
+        self,
+        availabilities: Optional[Dict[str, float]] = None,
+        *,
+        method: str = "auto",
+    ) -> float:
+        """System availability.
+
+        Parameters
+        ----------
+        availabilities:
+            Overrides/values per component name; leaves may also carry an
+            intrinsic availability (see :class:`Block`).
+        method:
+            ``"structural"`` — plain series/parallel formula (exact only
+            without repeated components); ``"factoring"`` — exact via
+            conditioning on repeated components; ``"auto"`` (default) —
+            structural when no component repeats, factoring otherwise.
+        """
+        table = self._availability_table(availabilities)
+        if method not in ("auto", "structural", "factoring"):
+            raise AnalysisError(f"unknown RBD evaluation method {method!r}")
+        names = self.component_names()
+        repeated = sorted({n for n in names if names.count(n) > 1})
+        if method == "structural" or (method == "auto" and not repeated):
+            return self._evaluate(table)
+        if method == "auto":
+            method = "factoring"
+        return self._factor(table, repeated)
+
+    def _availability_table(
+        self, availabilities: Optional[Dict[str, float]]
+    ) -> Dict[str, float]:
+        table: Dict[str, float] = {}
+        for leaf in self.leaves():
+            if leaf.value is not None:
+                table[leaf.name] = leaf.value
+        if availabilities:
+            table.update(availabilities)
+        missing = [n for n in set(self.component_names()) if n not in table]
+        if missing:
+            raise AnalysisError(
+                f"no availability for RBD components {sorted(missing)}"
+            )
+        for name, value in table.items():
+            if not 0.0 <= value <= 1.0:
+                raise AnalysisError(
+                    f"availability of {name!r} must be in [0, 1], got {value}"
+                )
+        return table
+
+    def _factor(self, table: Dict[str, float], repeated: Sequence[str]) -> float:
+        """Exact evaluation by conditioning on each repeated component."""
+        if not repeated:
+            return self._evaluate(table)
+        name = repeated[0]
+        rest = repeated[1:]
+        up = dict(table)
+        up[name] = 1.0
+        down = dict(table)
+        down[name] = 0.0
+        p = table[name]
+        return p * self._factor(up, rest) + (1.0 - p) * self._factor(down, rest)
+
+    # -- traversal ----------------------------------------------------------------
+
+    def leaves(self) -> Iterator["Block"]:
+        raise NotImplementedError
+
+    def depth(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Block(RBDNode):
+    """A leaf block: one component, optionally with intrinsic availability."""
+
+    name: str
+    value: Optional[float] = None
+
+    def component_names(self) -> List[str]:
+        return [self.name]
+
+    def _evaluate(self, availabilities: Dict[str, float]) -> float:
+        return availabilities[self.name]
+
+    def describe(self) -> str:
+        return self.name
+
+    def leaves(self) -> Iterator["Block"]:
+        yield self
+
+    def depth(self) -> int:
+        return 1
+
+
+class _Composite(RBDNode):
+    symbol = "?"
+
+    def __init__(self, children: Sequence[RBDNode | str]):
+        if not children:
+            raise AnalysisError(f"{type(self).__name__} requires at least one child")
+        self.children: List[RBDNode] = [
+            Block(child) if isinstance(child, str) else child for child in children
+        ]
+
+    def component_names(self) -> List[str]:
+        names: List[str] = []
+        for child in self.children:
+            names.extend(child.component_names())
+        return names
+
+    def leaves(self) -> Iterator[Block]:
+        for child in self.children:
+            yield from child.leaves()
+
+    def depth(self) -> int:
+        return 1 + max(child.depth() for child in self.children)
+
+    def describe(self) -> str:
+        inner = f" {self.symbol} ".join(
+            child.describe() if isinstance(child, Block) else f"({child.describe()})"
+            for child in self.children
+        )
+        return inner
+
+
+class Series(_Composite):
+    """Series structure: available iff every child is available."""
+
+    symbol = "•"
+
+    def _evaluate(self, availabilities: Dict[str, float]) -> float:
+        result = 1.0
+        for child in self.children:
+            result *= child._evaluate(availabilities)
+        return result
+
+
+class Parallel(_Composite):
+    """Parallel (redundant) structure: available iff any child is."""
+
+    symbol = "‖"
+
+    def _evaluate(self, availabilities: Dict[str, float]) -> float:
+        result = 1.0
+        for child in self.children:
+            result *= 1.0 - child._evaluate(availabilities)
+        return 1.0 - result
+
+
+class KofN(_Composite):
+    """k-out-of-n structure over identically-structured children.
+
+    Available iff at least *k* of the *n* children are available.
+    Evaluated exactly by dynamic programming over the children's
+    availabilities (children need not be identical).
+    """
+
+    symbol = "/"
+
+    def __init__(self, k: int, children: Sequence[RBDNode | str]):
+        super().__init__(children)
+        if not 1 <= k <= len(self.children):
+            raise AnalysisError(
+                f"KofN requires 1 <= k <= n, got k={k}, n={len(self.children)}"
+            )
+        self.k = k
+
+    def describe(self) -> str:
+        return f"{self.k}-of-{len(self.children)}[" + ", ".join(
+            child.describe() for child in self.children
+        ) + "]"
+
+    def _evaluate(self, availabilities: Dict[str, float]) -> float:
+        # probability distribution of the number of available children
+        dist = [1.0]
+        for child in self.children:
+            p = child._evaluate(availabilities)
+            new = [0.0] * (len(dist) + 1)
+            for count, prob in enumerate(dist):
+                new[count] += prob * (1.0 - p)
+                new[count + 1] += prob * p
+            dist = new
+        return sum(dist[self.k :])
+
+
+def simplify(node: RBDNode) -> RBDNode:
+    """Flatten nested same-type composites and collapse singleton nests.
+
+    ``Series(Series(a, b), c)`` → ``Series(a, b, c)``;
+    ``Parallel(x)`` → ``x``.  :class:`KofN` children are simplified
+    recursively but the KofN node itself is preserved.
+    """
+    if isinstance(node, Block):
+        return node
+    if isinstance(node, KofN):
+        return KofN(node.k, [simplify(child) for child in node.children])
+    assert isinstance(node, (Series, Parallel))
+    flattened: List[RBDNode] = []
+    for child in node.children:
+        reduced = simplify(child)
+        if type(reduced) is type(node):
+            flattened.extend(reduced.children)  # type: ignore[attr-defined]
+        else:
+            flattened.append(reduced)
+    if len(flattened) == 1:
+        return flattened[0]
+    return type(node)(flattened)

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ModelError(ReproError):
+    """Structural problem in a UML model (metamodel violation)."""
+
+
+class ConstraintViolationError(ModelError):
+    """A well-formedness constraint was violated.
+
+    Carries the list of :class:`repro.uml.constraints.Violation` objects
+    that describe each individual failure.
+    """
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        lines = "; ".join(str(v) for v in self.violations)
+        super().__init__(f"{len(self.violations)} constraint violation(s): {lines}")
+
+
+class StereotypeError(ModelError):
+    """Illegal stereotype application or attribute access."""
+
+
+class SerializationError(ReproError):
+    """Failure while reading or writing a model from/to XML."""
+
+
+class ModelSpaceError(ReproError):
+    """Problem inside the VPM model space (unknown entity, duplicate name...)."""
+
+
+class ImportError_(ModelSpaceError):
+    """An importer could not translate an input model into the model space.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`ImportError`.
+    """
+
+
+class PatternError(ModelSpaceError):
+    """Malformed graph pattern or pattern-matching failure."""
+
+
+class MappingError(ReproError):
+    """Invalid service mapping (unknown component, duplicate atomic service...)."""
+
+
+class ServiceError(ReproError):
+    """Invalid service description (malformed activity, empty composition...)."""
+
+
+class TopologyError(ReproError):
+    """Invalid network topology operation (unknown node, duplicate link...)."""
+
+
+class PathDiscoveryError(ReproError):
+    """Path discovery failed (endpoint not in topology, budget exceeded...)."""
+
+
+class AnalysisError(ReproError):
+    """Dependability analysis failure (missing attribute, invalid structure...)."""

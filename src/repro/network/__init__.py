@@ -1,0 +1,65 @@
+"""ICT infrastructure modeling: components, profiles, topologies, generators.
+
+Implements the paper's infrastructure side (Section V-A1): device and
+connector types as stereotyped UML classes/associations, deployed networks
+as object models, a graph view for the algorithms, a fluent builder, and
+synthetic generators for the scalability experiments.
+"""
+
+from repro.network.builder import (
+    DEFAULT_CABLE_MTBF,
+    DEFAULT_CABLE_MTTR,
+    TopologyBuilder,
+)
+from repro.network.components import (
+    AVAILABILITY_ATTRIBUTES,
+    DeviceSpec,
+    StandardProfiles,
+    availability_profile,
+    make_connector_association,
+    make_device_class,
+    network_profile,
+)
+from repro.network.generators import (
+    balanced_tree,
+    campus,
+    complete,
+    endpoints,
+    erdos_renyi,
+    generic_specs,
+    ladder,
+    ring,
+)
+from repro.network.inventory import (
+    KindSummary,
+    articulation_points,
+    availability_budget,
+    inventory,
+)
+from repro.network.topology import Topology
+
+__all__ = [
+    "KindSummary",
+    "inventory",
+    "availability_budget",
+    "articulation_points",
+    "AVAILABILITY_ATTRIBUTES",
+    "DeviceSpec",
+    "StandardProfiles",
+    "availability_profile",
+    "network_profile",
+    "make_device_class",
+    "make_connector_association",
+    "Topology",
+    "TopologyBuilder",
+    "DEFAULT_CABLE_MTBF",
+    "DEFAULT_CABLE_MTTR",
+    "generic_specs",
+    "campus",
+    "balanced_tree",
+    "ring",
+    "ladder",
+    "complete",
+    "erdos_renyi",
+    "endpoints",
+]

@@ -1,0 +1,237 @@
+"""Standard profiles and component-class factories for ICT infrastructures.
+
+Reproduces the two UML profiles of the case study:
+
+* the **availability profile** (Figure 6): abstract stereotype
+  ``Component`` with attributes ``MTBF``, ``MTTR`` and
+  ``redundantComponents``, specialized by ``Device`` (extends Class) and
+  ``Connector`` (extends Association);
+* the **network profile** (Figure 7): abstract ``Network Device`` (with
+  ``manufacturer`` and ``model``) specialized by ``Router``, ``Switch``,
+  ``Printer`` and abstract ``Computer`` (with ``processor``), the latter
+  specialized into ``Client`` and ``Server``; plus ``Communication``
+  (extends Association, with ``channel`` and ``throughput``).
+
+:func:`make_device_class` and :func:`make_connector_association` build
+stereotyped classes/associations in one call, the way Section VI-A
+describes ("the corresponding class is created, with Component and Switch
+stereotypes applied from the availability and network profiles").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import ModelError
+from repro.uml.classes import Association, AssociationEnd, Class, ClassModel
+from repro.uml.metamodel import Property
+from repro.uml.profiles import Profile, Stereotype
+
+__all__ = [
+    "AVAILABILITY_ATTRIBUTES",
+    "availability_profile",
+    "network_profile",
+    "DeviceSpec",
+    "make_device_class",
+    "make_connector_association",
+    "StandardProfiles",
+]
+
+#: The dependability attributes imposed by the availability profile.
+AVAILABILITY_ATTRIBUTES = ("MTBF", "MTTR", "redundantComponents")
+
+#: Network-profile stereotype names usable for device classes.
+DEVICE_KINDS = ("Router", "Switch", "Printer", "Client", "Server")
+
+
+def availability_profile() -> Profile:
+    """Build the availability profile of Figure 6.
+
+    ``Component`` is abstract and holds the dependability attributes;
+    ``Device`` and ``Connector`` specialize it "in order to be applied —
+    respectively and exclusively — to Class and Association elements".
+    """
+    component = Stereotype(
+        "Component",
+        attributes=[
+            Property("MTBF", "Real", comment="mean time between failures [h]"),
+            Property("MTTR", "Real", comment="mean time to repair [h]"),
+            Property(
+                "redundantComponents",
+                "Integer",
+                0,
+                comment="number of cold-standby replicas of the component",
+            ),
+        ],
+        is_abstract=True,
+        comment="intrinsic dependability attributes of an ICT component",
+    )
+    device = Stereotype("Device", extends=("Class",), generalizations=[component])
+    connector = Stereotype(
+        "Connector", extends=("Association",), generalizations=[component]
+    )
+    return Profile("availability", [component, device, connector])
+
+
+def network_profile() -> Profile:
+    """Build the network profile of Figure 7."""
+    network_device = Stereotype(
+        "NetworkDevice",
+        extends=("Class",),
+        attributes=[
+            Property("manufacturer", "String"),
+            Property("model", "String"),
+        ],
+        is_abstract=True,
+    )
+    computer = Stereotype(
+        "Computer",
+        generalizations=[network_device],
+        attributes=[Property("processor", "String")],
+        is_abstract=True,
+    )
+    router = Stereotype("Router", generalizations=[network_device])
+    switch = Stereotype("Switch", generalizations=[network_device])
+    printer = Stereotype("Printer", generalizations=[network_device])
+    client = Stereotype("Client", generalizations=[computer])
+    server = Stereotype("Server", generalizations=[computer])
+    communication = Stereotype(
+        "Communication",
+        extends=("Association",),
+        attributes=[
+            Property("channel", "String"),
+            Property("throughput", "Real", comment="nominal throughput [Mbit/s]"),
+        ],
+    )
+    return Profile(
+        "network",
+        [network_device, computer, router, switch, printer, client, server, communication],
+    )
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Declarative description of one device class (a row of Figure 8).
+
+    ``kind`` selects the network-profile stereotype (``"Switch"``,
+    ``"Client"``, ...); the dependability numbers feed the availability
+    profile's ``Device`` stereotype.
+    """
+
+    name: str
+    kind: str
+    mtbf: float
+    mttr: float
+    redundant_components: int = 0
+    manufacturer: str = ""
+    model: str = ""
+    processor: str = ""
+
+    def __post_init__(self):
+        if self.kind not in DEVICE_KINDS:
+            raise ModelError(
+                f"device spec {self.name!r}: unknown kind {self.kind!r}; "
+                f"expected one of {DEVICE_KINDS}"
+            )
+        if self.mtbf <= 0:
+            raise ModelError(f"device spec {self.name!r}: MTBF must be > 0")
+        if self.mttr < 0:
+            raise ModelError(f"device spec {self.name!r}: MTTR must be >= 0")
+        if self.redundant_components < 0:
+            raise ModelError(
+                f"device spec {self.name!r}: redundantComponents must be >= 0"
+            )
+
+
+class StandardProfiles:
+    """Bundle of the two standard profiles with cached stereotype lookups."""
+
+    def __init__(self):
+        self.availability = availability_profile()
+        self.network = network_profile()
+
+    @property
+    def device(self) -> Stereotype:
+        return self.availability.stereotype("Device")
+
+    @property
+    def connector(self) -> Stereotype:
+        return self.availability.stereotype("Connector")
+
+    @property
+    def communication(self) -> Stereotype:
+        return self.network.stereotype("Communication")
+
+    def kind(self, name: str) -> Stereotype:
+        return self.network.stereotype(name)
+
+    def as_list(self):
+        return [self.availability, self.network]
+
+
+def make_device_class(
+    spec: DeviceSpec, profiles: Optional[StandardProfiles] = None
+) -> Class:
+    """Create a class for *spec* with both profiles applied (Figure 8 style)."""
+    profiles = profiles if profiles is not None else StandardProfiles()
+    cls = Class(spec.name)
+    cls.apply_stereotype(
+        profiles.device,
+        MTBF=spec.mtbf,
+        MTTR=spec.mttr,
+        redundantComponents=spec.redundant_components,
+    )
+    kind_values: Dict[str, str] = {}
+    if spec.manufacturer:
+        kind_values["manufacturer"] = spec.manufacturer
+    if spec.model:
+        kind_values["model"] = spec.model
+    if spec.processor:
+        if spec.kind not in ("Client", "Server"):
+            raise ModelError(
+                f"device spec {spec.name!r}: only computers have a processor"
+            )
+        kind_values["processor"] = spec.processor
+    cls.apply_stereotype(profiles.kind(spec.kind), **kind_values)
+    return cls
+
+
+def make_connector_association(
+    name: str,
+    end1: Class,
+    end2: Class,
+    *,
+    mtbf: float,
+    mttr: float,
+    redundant_components: int = 0,
+    channel: str = "",
+    throughput: float = 0.0,
+    profiles: Optional[StandardProfiles] = None,
+) -> Association:
+    """Create an association stereotyped «Component»+«Communication».
+
+    This mirrors Figure 8's ``<<communication,connector>>`` association:
+    links instantiate it and inherit its MTBF/MTTR, so communication
+    failures participate in the availability analysis alongside device
+    failures.
+    """
+    profiles = profiles if profiles is not None else StandardProfiles()
+    association = Association(
+        name,
+        AssociationEnd(end1, lower=0, upper=None),
+        AssociationEnd(end2, lower=0, upper=None),
+    )
+    association.apply_stereotype(
+        profiles.connector,
+        MTBF=mtbf,
+        MTTR=mttr,
+        redundantComponents=redundant_components,
+    )
+    comm_values: Dict[str, object] = {}
+    if channel:
+        comm_values["channel"] = channel
+    if throughput:
+        comm_values["throughput"] = throughput
+    association.apply_stereotype(profiles.communication, **comm_values)
+    return association

@@ -1,0 +1,267 @@
+"""Synthetic topology generators for scalability experiments.
+
+Section V-D claims the all-paths discovery "reach[es] O(n!) for a fully
+interconnected graph of n nodes" while "real networks usually contain few
+loops, [and] most clients are located in tree-like structures with a low
+number of edges."  These generators produce the graph families that bench
+suite ``benchmarks/test_bench_pathdiscovery.py`` sweeps to reproduce that
+claim:
+
+* :func:`campus` — tree-like periphery hanging off a redundant core, the
+  same shape as the USI network (benign path counts);
+* :func:`balanced_tree` — the extreme tree case (exactly one path);
+* :func:`ring` — one cycle (exactly two paths between any pair);
+* :func:`ladder` — cycle rank grows linearly, path count grows
+  exponentially in the number of rungs;
+* :func:`complete` — the factorial worst case;
+* :func:`erdos_renyi` — random graphs for average-case behaviour.
+
+All generators return a :class:`~repro.network.builder.TopologyBuilder`
+whose object model is fully profile-annotated, so the generated networks
+run through the *same* pipeline as the case study (path discovery, UPSIM
+generation, availability analysis).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.network.builder import TopologyBuilder
+from repro.network.components import DeviceSpec
+
+__all__ = [
+    "generic_specs",
+    "campus",
+    "balanced_tree",
+    "ring",
+    "ladder",
+    "complete",
+    "erdos_renyi",
+    "endpoints",
+]
+
+
+def generic_specs() -> List[DeviceSpec]:
+    """Device types shared by the synthetic generators.
+
+    MTBF/MTTR values follow the magnitudes of Figure 8: infrastructure
+    switches are far more reliable than clients.
+    """
+    return [
+        DeviceSpec("CoreSwitch", "Switch", mtbf=183498.0, mttr=0.5),
+        DeviceSpec("DistSwitch", "Switch", mtbf=188575.0, mttr=0.5),
+        DeviceSpec("EdgeSwitch", "Switch", mtbf=199000.0, mttr=0.5),
+        DeviceSpec("GenServer", "Server", mtbf=60000.0, mttr=0.1),
+        DeviceSpec("GenClient", "Client", mtbf=3000.0, mttr=24.0),
+    ]
+
+
+def _builder(name: str) -> TopologyBuilder:
+    builder = TopologyBuilder(name)
+    for spec in generic_specs():
+        builder.device_type(spec)
+    return builder
+
+
+def endpoints(builder: TopologyBuilder) -> Tuple[str, str]:
+    """Conventional (requester, provider) pair of a generated topology.
+
+    Generators attach a client named ``client`` and a server named
+    ``server`` at structurally distant positions.
+    """
+    model = builder.object_model
+    for name in ("client", "server"):
+        if not model.has_instance(name):
+            raise TopologyError(
+                f"generated topology lacks conventional endpoint {name!r}"
+            )
+    return "client", "server"
+
+
+def campus(
+    *,
+    dist_switches: int = 2,
+    edges_per_dist: int = 2,
+    clients_per_edge: int = 3,
+    dual_homed: bool = False,
+    name: str = "campus",
+) -> TopologyBuilder:
+    """A campus network: redundant 2-switch core, tree periphery.
+
+    The core pair is cross-linked and every distribution switch is dual
+    homed to both core switches, mirroring the USI core ("the central
+    switches with redundant connections").  Edge switches hang off one
+    distribution switch — or two when ``dual_homed`` — and clients hang
+    off edge switches.  A server block (one server) hangs off the core.
+    """
+    builder = _builder(name)
+    builder.add("core1", "CoreSwitch")
+    builder.add("core2", "CoreSwitch")
+    builder.connect("core1", "core2")
+    builder.add("server_dist", "DistSwitch")
+    builder.connect("server_dist", "core1")
+    builder.connect("server_dist", "core2")
+    builder.add("server", "GenServer")
+    builder.connect("server", "server_dist")
+
+    client_counter = 0
+    for d in range(dist_switches):
+        dist = f"dist{d}"
+        builder.add(dist, "DistSwitch")
+        builder.connect(dist, "core1")
+        builder.connect(dist, "core2")
+    for d in range(dist_switches):
+        dist = f"dist{d}"
+        for e in range(edges_per_dist):
+            edge = f"edge{d}_{e}"
+            builder.add(edge, "EdgeSwitch")
+            builder.connect(edge, dist)
+            if dual_homed and dist_switches > 1:
+                other = f"dist{(d + 1) % dist_switches}"
+                builder.connect(edge, other)
+            for c in range(clients_per_edge):
+                client_counter += 1
+                client = (
+                    "client"
+                    if (d, e, c) == (0, 0, 0)
+                    else f"client{client_counter}"
+                )
+                builder.add(client, "GenClient")
+                builder.connect(client, edge)
+    return builder
+
+
+def balanced_tree(
+    branching: int = 2, depth: int = 3, *, name: str = "tree"
+) -> TopologyBuilder:
+    """A balanced tree of switches; requester at a leaf, provider at root."""
+    if branching < 1 or depth < 1:
+        raise TopologyError("balanced_tree requires branching >= 1 and depth >= 1")
+    builder = _builder(name)
+    builder.add("server", "GenServer")
+    builder.add("root", "CoreSwitch")
+    builder.connect("server", "root")
+    frontier = ["root"]
+    node_id = 0
+    for level in range(depth):
+        next_frontier: List[str] = []
+        for parent in frontier:
+            for _ in range(branching):
+                node_id += 1
+                child = f"sw{node_id}"
+                builder.add(child, "DistSwitch")
+                builder.connect(parent, child)
+                next_frontier.append(child)
+        frontier = next_frontier
+    builder.add("client", "GenClient")
+    builder.connect("client", frontier[0])
+    return builder
+
+
+def ring(n: int, *, name: str = "ring") -> TopologyBuilder:
+    """A ring of *n* switches with client/server on opposite sides.
+
+    Every requester/provider pair has exactly two paths (clockwise and
+    counter-clockwise) — the minimal redundant structure.
+    """
+    if n < 3:
+        raise TopologyError("ring requires n >= 3 switches")
+    builder = _builder(name)
+    switches = [f"sw{i}" for i in range(n)]
+    for switch in switches:
+        builder.add(switch, "DistSwitch")
+    for i in range(n):
+        builder.connect(switches[i], switches[(i + 1) % n])
+    builder.add("client", "GenClient")
+    builder.connect("client", switches[0])
+    builder.add("server", "GenServer")
+    builder.connect("server", switches[n // 2])
+    return builder
+
+
+def ladder(rungs: int, *, name: str = "ladder") -> TopologyBuilder:
+    """A ladder graph: two parallel switch rails with cross rungs.
+
+    The number of simple client→server paths grows exponentially with the
+    number of rungs, while nodes/edges grow only linearly — the
+    pathological middle ground between tree and complete graph.
+    """
+    if rungs < 1:
+        raise TopologyError("ladder requires at least 1 rung")
+    builder = _builder(name)
+    top = [f"top{i}" for i in range(rungs)]
+    bottom = [f"bot{i}" for i in range(rungs)]
+    for node in [*top, *bottom]:
+        builder.add(node, "DistSwitch")
+    builder.connect_chain(top)
+    builder.connect_chain(bottom)
+    for t, b in zip(top, bottom):
+        builder.connect(t, b)
+    builder.add("client", "GenClient")
+    builder.connect("client", top[0])
+    builder.add("server", "GenServer")
+    builder.connect("server", bottom[-1])
+    return builder
+
+
+def complete(n: int, *, name: str = "complete") -> TopologyBuilder:
+    """A complete graph over *n* switches — the O(n!) worst case of §V-D."""
+    if n < 2:
+        raise TopologyError("complete requires n >= 2 switches")
+    builder = _builder(name)
+    switches = [f"sw{i}" for i in range(n)]
+    for switch in switches:
+        builder.add(switch, "DistSwitch")
+    for i in range(n):
+        for j in range(i + 1, n):
+            builder.connect(switches[i], switches[j])
+    builder.add("client", "GenClient")
+    builder.connect("client", switches[0])
+    builder.add("server", "GenServer")
+    builder.connect("server", switches[-1])
+    return builder
+
+
+def erdos_renyi(
+    n: int,
+    p: float,
+    *,
+    seed: int = 0,
+    connect_components: bool = True,
+    name: str = "er",
+) -> TopologyBuilder:
+    """An Erdős–Rényi G(n, p) switch fabric with client/server attached.
+
+    With ``connect_components`` (default) a spanning chain over component
+    representatives is added so path discovery always has at least one
+    path — isolated infrastructures are not interesting for the sweep.
+    Deterministic for a given *seed*.
+    """
+    if n < 2:
+        raise TopologyError("erdos_renyi requires n >= 2 switches")
+    if not 0.0 <= p <= 1.0:
+        raise TopologyError(f"edge probability must be in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    builder = _builder(name)
+    switches = [f"sw{i}" for i in range(n)]
+    for switch in switches:
+        builder.add(switch, "DistSwitch")
+    draws = rng.random((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draws[i, j] < p:
+                builder.connect(switches[i], switches[j])
+    if connect_components:
+        components = builder.object_model.connected_components()
+        representatives = sorted(min(component) for component in components)
+        for left, right in zip(representatives, representatives[1:]):
+            if builder.object_model.find_link(left, right) is None:
+                builder.connect(left, right)
+    builder.add("client", "GenClient")
+    builder.connect("client", switches[0])
+    builder.add("server", "GenServer")
+    builder.connect("server", switches[-1])
+    return builder

@@ -1,0 +1,12 @@
+"""Service model: atomic services, composite services, catalog.
+
+Implements the paper's service concept (Section II, after Milanovic et
+al.): composite services are activity-diagram compositions of indivisible
+atomic services, described independently of any concrete infrastructure.
+"""
+
+from repro.services.atomic import AtomicService
+from repro.services.catalog import ServiceCatalog
+from repro.services.composite import CompositeService
+
+__all__ = ["AtomicService", "CompositeService", "ServiceCatalog"]

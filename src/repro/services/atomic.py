@@ -1,0 +1,43 @@
+"""Atomic services: indivisible units of functionality.
+
+Definition 1 (after Milanovic et al.): a service "is an abstraction of the
+infrastructure, application or business level functionality" consisting of
+a contract, interface and implementation.  Atomic services are the
+indivisible entities from which composite services are built (Section II);
+"ideally, atomic service functionality should not be redundant".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ServiceError
+from repro.uml.metamodel import is_valid_identifier
+
+__all__ = ["AtomicService"]
+
+
+@dataclass(frozen=True)
+class AtomicService:
+    """An atomic service, identified by name.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier, e.g. ``"request_printing"``.  Used as the key in
+        service mapping files (Figure 3: ``<atomicservice id="…">``).
+    description:
+        Human-readable contract, e.g. "Client login to print server and
+        send documents to be printed."
+    """
+
+    name: str
+    description: str = ""
+
+    def __post_init__(self):
+        if not is_valid_identifier(self.name):
+            raise ServiceError(f"invalid atomic service name {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,98 @@
+"""Service catalog: the registry of atomic and composite services.
+
+A network "provides a number of atomic services (e.g.: authenticate,
+print document, request backup) where each service has at least one
+provider.  Atomic services can compose composite services (e.g. printing,
+backup)" (Section VI).  The catalog keeps both levels consistent: a
+composite can only be registered when all of its atomic services are
+registered, and atomic services are shared across composites — the
+re-usability that defines atomic granularity (Section II).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import ServiceError
+from repro.services.atomic import AtomicService
+from repro.services.composite import CompositeService
+
+__all__ = ["ServiceCatalog"]
+
+
+class ServiceCatalog:
+    """Registry of atomic and composite services."""
+
+    def __init__(self):
+        self._atomics: Dict[str, AtomicService] = {}
+        self._composites: Dict[str, CompositeService] = {}
+
+    # -- atomic services ----------------------------------------------------
+
+    def register_atomic(self, service: AtomicService) -> AtomicService:
+        existing = self._atomics.get(service.name)
+        if existing is not None:
+            if existing != service:
+                raise ServiceError(
+                    f"atomic service {service.name!r} already registered "
+                    f"with a different description"
+                )
+            return existing
+        self._atomics[service.name] = service
+        return service
+
+    def atomic(self, name: str) -> AtomicService:
+        try:
+            return self._atomics[name]
+        except KeyError:
+            raise ServiceError(f"no atomic service {name!r} in catalog") from None
+
+    def has_atomic(self, name: str) -> bool:
+        return name in self._atomics
+
+    @property
+    def atomic_services(self) -> List[AtomicService]:
+        return list(self._atomics.values())
+
+    # -- composite services -----------------------------------------------------
+
+    def register_composite(self, service: CompositeService) -> CompositeService:
+        if service.name in self._composites:
+            raise ServiceError(
+                f"composite service {service.name!r} already registered"
+            )
+        for atomic in service.atomic_services:
+            self.register_atomic(atomic)
+        self._composites[service.name] = service
+        return service
+
+    def composite(self, name: str) -> CompositeService:
+        try:
+            return self._composites[name]
+        except KeyError:
+            raise ServiceError(f"no composite service {name!r} in catalog") from None
+
+    def has_composite(self, name: str) -> bool:
+        return name in self._composites
+
+    @property
+    def composite_services(self) -> List[CompositeService]:
+        return list(self._composites.values())
+
+    # -- cross queries --------------------------------------------------------------
+
+    def composites_using(self, atomic_name: str) -> List[CompositeService]:
+        """All composites that execute the given atomic service — "an atomic
+        service can be part of any number of composite services"."""
+        self.atomic(atomic_name)  # raise if unknown
+        return [
+            composite
+            for composite in self._composites.values()
+            if any(a.name == atomic_name for a in composite.atomic_services)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._atomics) + len(self._composites)
+
+    def __iter__(self) -> Iterator[CompositeService]:
+        return iter(self._composites.values())

@@ -1,0 +1,135 @@
+"""Composite services: activity-diagram compositions of atomic services.
+
+"A composite service is composed of and only of two or more atomic
+services, while an atomic service can be part of any number of composite
+services" (Section II).  :class:`CompositeService` couples the abstract
+atomic-service set with the UML activity diagram describing the execution
+flow (Figure 2 / Figure 10); the description "remains generic and
+abstract … the same service description can be used to describe a service
+for arbitrary pairs in any network that provides the atomic services"
+(Section VI-C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ServiceError
+from repro.services.atomic import AtomicService
+from repro.uml.activity import Activity, SPNode
+
+__all__ = ["CompositeService"]
+
+
+class CompositeService:
+    """A composite service: named activity over atomic services.
+
+    Construction validates the paper's structural rules:
+
+    * the activity is well-formed (single initial node, series-parallel,
+      every action reachable);
+    * the composition references **two or more** atomic services;
+    * every action in the activity references a declared atomic service.
+    """
+
+    def __init__(
+        self,
+        activity: Activity,
+        atomic_services: Iterable[AtomicService],
+    ):
+        problems = activity.validate()
+        if problems:
+            raise ServiceError(
+                f"composite service {activity.name!r}: malformed activity: "
+                f"{problems}"
+            )
+        self.activity = activity
+        self._atomics: Dict[str, AtomicService] = {}
+        for service in atomic_services:
+            if service.name in self._atomics:
+                raise ServiceError(
+                    f"composite service {activity.name!r}: atomic service "
+                    f"{service.name!r} declared twice"
+                )
+            self._atomics[service.name] = service
+        referenced = activity.atomic_service_names()
+        if len(set(referenced)) < 2:
+            raise ServiceError(
+                f"composite service {activity.name!r} must compose two or "
+                f"more distinct atomic services, found {sorted(set(referenced))}"
+            )
+        missing = [name for name in referenced if name not in self._atomics]
+        if missing:
+            raise ServiceError(
+                f"composite service {activity.name!r}: actions reference "
+                f"undeclared atomic services {missing}"
+            )
+        unused = sorted(set(self._atomics) - set(referenced))
+        if unused:
+            raise ServiceError(
+                f"composite service {activity.name!r}: declared atomic "
+                f"services never executed: {unused}"
+            )
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def sequential(
+        cls,
+        name: str,
+        atomic_services: Sequence[AtomicService],
+    ) -> "CompositeService":
+        """A purely sequential composite (the printing-service shape)."""
+        activity = Activity.sequence(name, [s.name for s in atomic_services])
+        return cls(activity, atomic_services)
+
+    @classmethod
+    def from_structure(
+        cls,
+        name: str,
+        structure: SPNode,
+        atomic_services: Sequence[AtomicService],
+    ) -> "CompositeService":
+        """A composite realizing an arbitrary series-parallel structure."""
+        activity = Activity.from_structure(name, structure)
+        return cls(activity, atomic_services)
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.activity.name
+
+    def atomic_service(self, name: str) -> AtomicService:
+        try:
+            return self._atomics[name]
+        except KeyError:
+            raise ServiceError(
+                f"composite service {self.name!r} has no atomic service {name!r}"
+            ) from None
+
+    @property
+    def atomic_services(self) -> List[AtomicService]:
+        """Declared atomic services in execution (topological) order."""
+        order = self.activity.atomic_service_names()
+        seen: set[str] = set()
+        result: List[AtomicService] = []
+        for name in order:
+            if name not in seen:
+                seen.add(name)
+                result.append(self._atomics[name])
+        return result
+
+    def execution_order(self) -> List[str]:
+        """Atomic service names in one valid execution order (repeats kept)."""
+        return self.activity.atomic_service_names()
+
+    def structure(self) -> SPNode:
+        """The series-parallel structure tree of the activity."""
+        return self.activity.to_structure()
+
+    def __len__(self) -> int:
+        return len(self._atomics)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CompositeService {self.name!r} over {sorted(self._atomics)}>"

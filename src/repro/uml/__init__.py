@@ -1,0 +1,91 @@
+"""UML modeling subset used by the UPSIM methodology.
+
+Implements exactly the slice of UML 2.x the paper relies on (Section V-A):
+class diagrams for ICT component types, object diagrams for deployed
+topologies and UPSIMs, activity diagrams for service descriptions, and
+profiles/stereotypes for non-functional annotations, plus well-formedness
+constraints and XML serialization.
+"""
+
+from repro.uml.activity import (
+    Action,
+    Activity,
+    ActivityNode,
+    ControlFlow,
+    FinalNode,
+    ForkNode,
+    InitialNode,
+    JoinNode,
+    SPLeaf,
+    SPNode,
+    SPParallel,
+    SPSeries,
+)
+from repro.uml.classes import Association, AssociationEnd, Class, ClassModel
+from repro.uml.diff import ModelDiff, diff_object_models
+from repro.uml.constraints import (
+    Constraint,
+    ConstraintSuite,
+    Violation,
+    check_infrastructure,
+    standard_suite,
+)
+from repro.uml.metamodel import (
+    PRIMITIVE_TYPES,
+    Element,
+    NamedElement,
+    Property,
+    coerce_value,
+)
+from repro.uml.objects import InstanceSpecification, Link, ObjectModel, Slot
+from repro.uml.profiles import (
+    Profile,
+    Stereotype,
+    StereotypeApplication,
+    StereotypedElement,
+)
+from repro.uml.xmi import ModelBundle, dump, dumps, load, loads
+
+__all__ = [
+    "PRIMITIVE_TYPES",
+    "Element",
+    "NamedElement",
+    "Property",
+    "coerce_value",
+    "Class",
+    "Association",
+    "AssociationEnd",
+    "ClassModel",
+    "InstanceSpecification",
+    "Link",
+    "ObjectModel",
+    "Slot",
+    "Profile",
+    "Stereotype",
+    "StereotypeApplication",
+    "StereotypedElement",
+    "Activity",
+    "ActivityNode",
+    "Action",
+    "InitialNode",
+    "FinalNode",
+    "ForkNode",
+    "JoinNode",
+    "ControlFlow",
+    "SPNode",
+    "SPLeaf",
+    "SPSeries",
+    "SPParallel",
+    "Constraint",
+    "ModelDiff",
+    "diff_object_models",
+    "ConstraintSuite",
+    "Violation",
+    "check_infrastructure",
+    "standard_suite",
+    "ModelBundle",
+    "dump",
+    "dumps",
+    "load",
+    "loads",
+]

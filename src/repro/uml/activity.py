@@ -1,0 +1,551 @@
+"""UML activity diagrams for service descriptions.
+
+The paper models composite services as UML activity diagrams whose actions
+are atomic services (Section V-A2, Figures 2 and 10): "A composite service
+consists of initial and final nodes, atomic services and join and fork
+figures."  Decision nodes are deliberately excluded — "separate decision
+branches are modeled as separate services" — so every action in the
+diagram executes, either in series or in parallel.  That restriction makes
+well-formed activities *series-parallel*, which this module exploits to
+decompose an activity into a structure tree (:class:`SPNode`) used by the
+dependability analysis (a series of atomic services multiplies
+availabilities; parallel branches all execute and are likewise required).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ServiceError
+from repro.uml.metamodel import NamedElement
+
+__all__ = [
+    "ActivityNode",
+    "InitialNode",
+    "FinalNode",
+    "Action",
+    "ForkNode",
+    "JoinNode",
+    "ControlFlow",
+    "Activity",
+    "SPNode",
+    "SPLeaf",
+    "SPSeries",
+    "SPParallel",
+]
+
+
+class ActivityNode(NamedElement):
+    """Base class for nodes in an activity diagram."""
+
+    _id_prefix = "anode"
+    kind = "node"
+
+
+class InitialNode(ActivityNode):
+    """The unique starting point of an activity."""
+
+    _id_prefix = "initial"
+    kind = "initial"
+
+    def __init__(self, name: str = "initial", **kwargs):
+        super().__init__(name, **kwargs)
+
+
+class FinalNode(ActivityNode):
+    """An activity final node."""
+
+    _id_prefix = "final"
+    kind = "final"
+
+    def __init__(self, name: str = "final", **kwargs):
+        super().__init__(name, **kwargs)
+
+
+class Action(ActivityNode):
+    """An action node referencing an atomic service by name.
+
+    At modeling time the atomic service is "still considered an abstract
+    functionality" (Section V-A2); the binding to concrete ICT components
+    happens later through the service mapping.
+    """
+
+    _id_prefix = "action"
+    kind = "action"
+
+    def __init__(self, atomic_service_name: str, *, name: Optional[str] = None, **kwargs):
+        super().__init__(name if name is not None else atomic_service_name, **kwargs)
+        self.atomic_service_name = atomic_service_name
+
+
+class ForkNode(ActivityNode):
+    """A fork: splits the control flow into parallel branches."""
+
+    _id_prefix = "fork"
+    kind = "fork"
+
+    def __init__(self, name: str = "fork", **kwargs):
+        super().__init__(name, **kwargs)
+
+
+class JoinNode(ActivityNode):
+    """A join: synchronizes parallel branches back into one flow."""
+
+    _id_prefix = "join"
+    kind = "join"
+
+    def __init__(self, name: str = "join", **kwargs):
+        super().__init__(name, **kwargs)
+
+
+class ControlFlow:
+    """A directed edge between two activity nodes."""
+
+    def __init__(self, source: ActivityNode, target: ActivityNode):
+        self.source = source
+        self.target = target
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ControlFlow {self.source.name} -> {self.target.name}>"
+
+
+# ---------------------------------------------------------------------------
+# series-parallel structure tree
+
+
+class SPNode:
+    """Base of the series-parallel structure tree of an activity."""
+
+    def atomic_service_names(self) -> List[str]:
+        """All atomic service names in this subtree, in traversal order."""
+        raise NotImplementedError
+
+    def to_expression(self) -> str:
+        """Human-readable structural expression, e.g. ``a ; (b | c) ; d``."""
+        raise NotImplementedError
+
+
+class SPLeaf(SPNode):
+    """A single action (atomic service execution)."""
+
+    def __init__(self, atomic_service_name: str):
+        self.atomic_service_name = atomic_service_name
+
+    def atomic_service_names(self) -> List[str]:
+        return [self.atomic_service_name]
+
+    def to_expression(self) -> str:
+        return self.atomic_service_name
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SPLeaf)
+            and other.atomic_service_name == self.atomic_service_name
+        )
+
+    def __hash__(self):
+        return hash(("leaf", self.atomic_service_name))
+
+
+class SPSeries(SPNode):
+    """Sequential composition: children execute one after another."""
+
+    def __init__(self, children: Sequence[SPNode]):
+        self.children = list(children)
+
+    def atomic_service_names(self) -> List[str]:
+        names: List[str] = []
+        for child in self.children:
+            names.extend(child.atomic_service_names())
+        return names
+
+    def to_expression(self) -> str:
+        return " ; ".join(
+            f"({c.to_expression()})" if isinstance(c, SPSeries) else c.to_expression()
+            for c in self.children
+        )
+
+    def __eq__(self, other):
+        return isinstance(other, SPSeries) and other.children == self.children
+
+    def __hash__(self):
+        return hash(("series", tuple(self.children)))
+
+
+class SPParallel(SPNode):
+    """Parallel composition: all children execute concurrently.
+
+    All branches are *required* (no alternative/redundant branches at the
+    service level — decision branches are separate services), so for
+    availability purposes a parallel block behaves like a logical AND, the
+    same as a series block, while for latency it behaves like a max.
+    """
+
+    def __init__(self, children: Sequence[SPNode]):
+        self.children = list(children)
+
+    def atomic_service_names(self) -> List[str]:
+        names: List[str] = []
+        for child in self.children:
+            names.extend(child.atomic_service_names())
+        return names
+
+    def to_expression(self) -> str:
+        return "(" + " | ".join(c.to_expression() for c in self.children) + ")"
+
+    def __eq__(self, other):
+        return isinstance(other, SPParallel) and other.children == self.children
+
+    def __hash__(self):
+        return hash(("parallel", tuple(self.children)))
+
+
+# ---------------------------------------------------------------------------
+# the activity itself
+
+
+class Activity(NamedElement):
+    """An activity diagram describing a composite service.
+
+    Build one either node-by-node (``add_node`` / ``add_flow``) or with the
+    convenience constructors :meth:`sequence` and the fork/join helper
+    :meth:`parallel_block`.
+
+    Well-formedness (checked by :meth:`validate`):
+
+    * exactly one initial node, at least one final node;
+    * at least one action ("a composite service is composed of and only of
+      two or more atomic services" — :meth:`validate` warns below two; the
+      strict check lives in :class:`repro.services.CompositeService`);
+    * every node is reachable from the initial node and reaches a final
+    * node;
+    * forks and joins are properly nested (the diagram is series-parallel);
+    * actions have exactly one incoming and one outgoing flow; forks have
+      one incoming and two or more outgoing; joins mirror forks.
+    """
+
+    _id_prefix = "activity"
+
+    def __init__(self, name: str, **kwargs):
+        super().__init__(name, **kwargs)
+        self._nodes: List[ActivityNode] = []
+        self._flows: List[ControlFlow] = []
+        self._out: Dict[str, List[ActivityNode]] = {}
+        self._in: Dict[str, List[ActivityNode]] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def add_node(self, node: ActivityNode) -> ActivityNode:
+        if any(existing.xmi_id == node.xmi_id for existing in self._nodes):
+            raise ServiceError(f"node {node.name!r} already in activity {self.name!r}")
+        node.owner = self
+        self._nodes.append(node)
+        self._out[node.xmi_id] = []
+        self._in[node.xmi_id] = []
+        return node
+
+    def add_flow(self, source: ActivityNode, target: ActivityNode) -> ControlFlow:
+        for node in (source, target):
+            if node.xmi_id not in self._out:
+                raise ServiceError(
+                    f"node {node.name!r} not in activity {self.name!r}; add it first"
+                )
+        if any(t.xmi_id == target.xmi_id for t in self._out[source.xmi_id]):
+            raise ServiceError(
+                f"duplicate flow {source.name!r} -> {target.name!r} in "
+                f"activity {self.name!r}"
+            )
+        flow = ControlFlow(source, target)
+        self._flows.append(flow)
+        self._out[source.xmi_id].append(target)
+        self._in[target.xmi_id].append(source)
+        return flow
+
+    @classmethod
+    def sequence(cls, name: str, atomic_service_names: Sequence[str]) -> "Activity":
+        """A purely sequential activity over the given atomic services.
+
+        This is the shape of the printing service (Figure 10).
+        """
+        if not atomic_service_names:
+            raise ServiceError("sequence requires at least one atomic service")
+        activity = cls(name)
+        initial = activity.add_node(InitialNode())
+        previous: ActivityNode = initial
+        for service_name in atomic_service_names:
+            action = activity.add_node(Action(service_name))
+            activity.add_flow(previous, action)
+            previous = action
+        final = activity.add_node(FinalNode())
+        activity.add_flow(previous, final)
+        return activity
+
+    @classmethod
+    def from_structure(cls, name: str, structure: SPNode) -> "Activity":
+        """Build an activity realizing a series-parallel structure tree.
+
+        Parallel nodes become fork/join pairs; this is how Figure 2's
+        generic composite service (one action, then two parallel actions,
+        then a final action) is constructed programmatically.
+        """
+        activity = cls(name)
+        initial = activity.add_node(InitialNode())
+        last = activity._emit_structure(structure, initial)
+        final = activity.add_node(FinalNode())
+        activity.add_flow(last, final)
+        return activity
+
+    def _emit_structure(self, structure: SPNode, upstream: ActivityNode) -> ActivityNode:
+        """Emit nodes/flows for *structure* after *upstream*; return the last
+        node of the emitted fragment."""
+        if isinstance(structure, SPLeaf):
+            action = self.add_node(Action(structure.atomic_service_name))
+            self.add_flow(upstream, action)
+            return action
+        if isinstance(structure, SPSeries):
+            current = upstream
+            for child in structure.children:
+                current = self._emit_structure(child, current)
+            return current
+        if isinstance(structure, SPParallel):
+            fork = self.add_node(ForkNode())
+            self.add_flow(upstream, fork)
+            join = self.add_node(JoinNode())
+            for child in structure.children:
+                branch_last = self._emit_structure(child, fork)
+                self.add_flow(branch_last, join)
+            return join
+        raise ServiceError(f"unknown structure node type {type(structure).__name__}")
+
+    # -- access ----------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[ActivityNode]:
+        return list(self._nodes)
+
+    @property
+    def flows(self) -> List[ControlFlow]:
+        return list(self._flows)
+
+    @property
+    def actions(self) -> List[Action]:
+        return [node for node in self._nodes if isinstance(node, Action)]
+
+    def atomic_service_names(self) -> List[str]:
+        """Atomic services referenced by the activity, in topological order
+        when valid, otherwise in insertion order."""
+        try:
+            order = self.topological_order()
+        except ServiceError:
+            return [a.atomic_service_name for a in self.actions]
+        return [n.atomic_service_name for n in order if isinstance(n, Action)]
+
+    def initial_node(self) -> InitialNode:
+        initials = [n for n in self._nodes if isinstance(n, InitialNode)]
+        if len(initials) != 1:
+            raise ServiceError(
+                f"activity {self.name!r} has {len(initials)} initial nodes; "
+                f"expected exactly 1"
+            )
+        return initials[0]
+
+    def final_nodes(self) -> List[FinalNode]:
+        return [n for n in self._nodes if isinstance(n, FinalNode)]
+
+    def successors(self, node: ActivityNode) -> List[ActivityNode]:
+        return list(self._out[node.xmi_id])
+
+    def predecessors(self, node: ActivityNode) -> List[ActivityNode]:
+        return list(self._in[node.xmi_id])
+
+    # -- validation --------------------------------------------------------------
+
+    def topological_order(self) -> List[ActivityNode]:
+        """Kahn topological order; raises :class:`ServiceError` on cycles."""
+        in_degree = {n.xmi_id: len(self._in[n.xmi_id]) for n in self._nodes}
+        queue = [n for n in self._nodes if in_degree[n.xmi_id] == 0]
+        order: List[ActivityNode] = []
+        while queue:
+            node = queue.pop(0)
+            order.append(node)
+            for succ in self._out[node.xmi_id]:
+                in_degree[succ.xmi_id] -= 1
+                if in_degree[succ.xmi_id] == 0:
+                    queue.append(succ)
+        if len(order) != len(self._nodes):
+            raise ServiceError(f"activity {self.name!r} contains a cycle")
+        return order
+
+    def validate(self) -> List[str]:
+        """Return a list of well-formedness problems (empty when valid)."""
+        problems: List[str] = []
+        initials = [n for n in self._nodes if isinstance(n, InitialNode)]
+        if len(initials) != 1:
+            problems.append(f"expected exactly 1 initial node, found {len(initials)}")
+        finals = self.final_nodes()
+        if not finals:
+            problems.append("no final node")
+        if not self.actions:
+            problems.append("no actions (atomic services)")
+        try:
+            self.topological_order()
+        except ServiceError:
+            problems.append("control flow contains a cycle")
+            return problems  # reachability below assumes a DAG
+
+        # node arity rules
+        for node in self._nodes:
+            n_in = len(self._in[node.xmi_id])
+            n_out = len(self._out[node.xmi_id])
+            if isinstance(node, InitialNode):
+                if n_in != 0 or n_out != 1:
+                    problems.append(
+                        f"initial node must have 0 in / 1 out, has {n_in}/{n_out}"
+                    )
+            elif isinstance(node, FinalNode):
+                if n_in != 1 or n_out != 0:
+                    problems.append(
+                        f"final node {node.name!r} must have 1 in / 0 out, "
+                        f"has {n_in}/{n_out}"
+                    )
+            elif isinstance(node, Action):
+                if n_in != 1 or n_out != 1:
+                    problems.append(
+                        f"action {node.name!r} must have 1 in / 1 out, "
+                        f"has {n_in}/{n_out}"
+                    )
+            elif isinstance(node, ForkNode):
+                if n_in != 1 or n_out < 2:
+                    problems.append(
+                        f"fork {node.name!r} must have 1 in / >=2 out, "
+                        f"has {n_in}/{n_out}"
+                    )
+            elif isinstance(node, JoinNode):
+                if n_in < 2 or n_out != 1:
+                    problems.append(
+                        f"join {node.name!r} must have >=2 in / 1 out, "
+                        f"has {n_in}/{n_out}"
+                    )
+
+        # reachability
+        if len(initials) == 1:
+            reachable = self._reachable_from(initials[0])
+            for node in self._nodes:
+                if node.xmi_id not in reachable:
+                    problems.append(f"node {node.name!r} unreachable from initial")
+        if finals:
+            reaching = self._reaching_finals(finals)
+            for node in self._nodes:
+                if node.xmi_id not in reaching:
+                    problems.append(f"node {node.name!r} cannot reach a final node")
+
+        # series-parallel nesting
+        if not problems:
+            try:
+                self.to_structure()
+            except ServiceError as exc:
+                problems.append(f"not series-parallel: {exc}")
+        return problems
+
+    def is_valid(self) -> bool:
+        return not self.validate()
+
+    def _reachable_from(self, start: ActivityNode) -> Set[str]:
+        seen: Set[str] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node.xmi_id in seen:
+                continue
+            seen.add(node.xmi_id)
+            stack.extend(self._out[node.xmi_id])
+        return seen
+
+    def _reaching_finals(self, finals: Iterable[FinalNode]) -> Set[str]:
+        seen: Set[str] = set()
+        stack = list(finals)
+        while stack:
+            node = stack.pop()
+            if node.xmi_id in seen:
+                continue
+            seen.add(node.xmi_id)
+            stack.extend(self._in[node.xmi_id])
+        return seen
+
+    # -- structural decomposition --------------------------------------------
+
+    def to_structure(self) -> SPNode:
+        """Decompose the activity into its series-parallel structure tree.
+
+        Requires a structurally valid diagram (single initial, fork/join
+        properly nested).  Raises :class:`ServiceError` otherwise.
+        """
+        initial = self.initial_node()
+        finals = self.final_nodes()
+        if len(finals) != 1:
+            raise ServiceError(
+                f"structure decomposition requires exactly 1 final node, "
+                f"found {len(finals)}"
+            )
+        node, structure = self._parse_segment(self._single_successor(initial))
+        if not isinstance(node, FinalNode):
+            raise ServiceError(
+                f"activity {self.name!r}: flow does not terminate at the final node"
+            )
+        return structure
+
+    def _single_successor(self, node: ActivityNode) -> ActivityNode:
+        succs = self._out[node.xmi_id]
+        if len(succs) != 1:
+            raise ServiceError(
+                f"node {node.name!r} has {len(succs)} successors; expected 1"
+            )
+        return succs[0]
+
+    def _parse_segment(self, node: ActivityNode) -> Tuple[ActivityNode, SPNode]:
+        """Parse a maximal series segment starting at *node*.
+
+        Returns the node *after* the segment (a join or final node) and the
+        structure tree of the segment.
+        """
+        parts: List[SPNode] = []
+        current = node
+        while True:
+            if isinstance(current, Action):
+                parts.append(SPLeaf(current.atomic_service_name))
+                current = self._single_successor(current)
+            elif isinstance(current, ForkNode):
+                branches: List[SPNode] = []
+                join: Optional[JoinNode] = None
+                for branch_start in self._out[current.xmi_id]:
+                    stop, branch_structure = self._parse_segment(branch_start)
+                    if not isinstance(stop, JoinNode):
+                        raise ServiceError(
+                            f"fork {current.name!r}: branch does not end at a join"
+                        )
+                    if join is None:
+                        join = stop
+                    elif join.xmi_id != stop.xmi_id:
+                        raise ServiceError(
+                            f"fork {current.name!r}: branches end at different joins"
+                        )
+                    branches.append(branch_structure)
+                assert join is not None
+                parts.append(SPParallel(branches))
+                current = self._single_successor(join)
+            elif isinstance(current, (JoinNode, FinalNode)):
+                break
+            elif isinstance(current, InitialNode):
+                raise ServiceError("initial node encountered mid-flow")
+            else:  # pragma: no cover - defensive
+                raise ServiceError(f"unknown node kind {current.kind!r}")
+        if not parts:
+            raise ServiceError("empty segment (flow with no actions)")
+        structure = parts[0] if len(parts) == 1 else SPSeries(parts)
+        return current, structure
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[ActivityNode]:
+        return iter(self._nodes)

@@ -1,0 +1,292 @@
+"""UML class diagrams: classes, associations and class models.
+
+Class diagrams describe the *types* of ICT components (Section V-A1):
+"Devices and Connectors are respectively modeled as classes and
+associations in a UML class diagram."  Every class may only carry static
+attributes so that all instances of a class share identical property
+values — this is what lets the UPSIM inherit dependability attributes from
+the class model without per-instance bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import ModelError
+from repro.uml.metamodel import NamedElement, Property
+from repro.uml.profiles import StereotypedElement
+
+__all__ = [
+    "Class",
+    "AssociationEnd",
+    "Association",
+    "ClassModel",
+]
+
+
+class Class(StereotypedElement):
+    """A UML class modeling a device type (e.g. ``C6500``, ``Comp``).
+
+    Attributes are static (:class:`repro.uml.metamodel.Property` with
+    ``is_static=True``), carry their value as the property default, and are
+    inherited along generalizations.
+    """
+
+    metaclass_name = "Class"
+    _id_prefix = "cls"
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        attributes: Iterable[Property] = (),
+        superclasses: Iterable["Class"] = (),
+        is_abstract: bool = False,
+        xmi_id: Optional[str] = None,
+        comment: str = "",
+    ):
+        super().__init__(name, xmi_id=xmi_id, comment=comment)
+        self.attributes: List[Property] = list(attributes)
+        self.superclasses: List[Class] = list(superclasses)
+        self.is_abstract = bool(is_abstract)
+        names = [prop.name for prop in self.attributes]
+        if len(names) != len(set(names)):
+            raise ModelError(f"class {name!r} declares duplicate attribute names")
+
+    # -- generalization ----------------------------------------------------
+
+    def all_superclasses(self) -> Iterator["Class"]:
+        """All transitive superclasses, nearest first, each yielded once."""
+        seen: set[str] = set()
+        stack = list(self.superclasses)
+        while stack:
+            parent = stack.pop(0)
+            if parent.xmi_id in seen:
+                continue
+            seen.add(parent.xmi_id)
+            yield parent
+            stack.extend(parent.superclasses)
+
+    def conforms_to(self, other: "Class") -> bool:
+        """Whether this class is *other* or a (transitive) subclass of it."""
+        if other.xmi_id == self.xmi_id:
+            return True
+        return any(parent.xmi_id == other.xmi_id for parent in self.all_superclasses())
+
+    # -- attributes ----------------------------------------------------------
+
+    def all_attributes(self) -> List[Property]:
+        """Own plus inherited attributes; own shadow inherited of same name."""
+        result: Dict[str, Property] = {}
+        for parent in reversed(list(self.all_superclasses())):
+            for prop in parent.attributes:
+                result[prop.name] = prop
+        for prop in self.attributes:
+            result[prop.name] = prop
+        return list(result.values())
+
+    def attribute(self, name: str) -> Property:
+        for prop in self.all_attributes():
+            if prop.name == name:
+                return prop
+        raise ModelError(f"class {self.name!r} has no attribute {name!r}")
+
+    def attribute_value(self, name: str) -> Any:
+        """Static value of attribute *name* — what every instance reports.
+
+        Falls back to stereotype attributes if the class itself does not
+        declare the attribute; this models the paper's use of profiles to
+        impose dependability attributes (MTBF, MTTR, ...) on classes.
+        """
+        for prop in self.all_attributes():
+            if prop.name == name:
+                return prop.default
+        for app in self.applied_stereotypes:
+            for prop in app.stereotype.all_attributes():
+                if prop.name == name:
+                    return app.value(name)
+        raise ModelError(
+            f"class {self.name!r} has no attribute or stereotype attribute {name!r}"
+        )
+
+    def property_dict(self) -> Dict[str, Any]:
+        """All (own, inherited, stereotype) attribute values as one dict.
+
+        Stereotype attributes are overridden by class attributes of the same
+        name.  This is the "signature" that instances of the class — and
+        hence the UPSIM — inherit (Section V-E).
+        """
+        result: Dict[str, Any] = {}
+        for app in self.applied_stereotypes:
+            result.update(app.values())
+        for prop in self.all_attributes():
+            result[prop.name] = prop.default
+        return result
+
+
+class AssociationEnd:
+    """One end of an association: a type and a multiplicity range.
+
+    ``upper=None`` encodes the unbounded multiplicity ``*``.
+    """
+
+    def __init__(
+        self,
+        type_: Class,
+        *,
+        lower: int = 0,
+        upper: Optional[int] = None,
+        name: str = "",
+    ):
+        if lower < 0:
+            raise ModelError(f"association end lower bound must be >= 0, got {lower}")
+        if upper is not None and upper < max(lower, 1):
+            raise ModelError(
+                f"association end upper bound {upper} below lower bound {lower}"
+            )
+        self.type = type_
+        self.lower = lower
+        self.upper = upper
+        self.name = name
+
+    def multiplicity_str(self) -> str:
+        upper = "*" if self.upper is None else str(self.upper)
+        if str(self.lower) == upper:
+            return upper
+        return f"{self.lower}..{upper}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AssociationEnd {self.type.name}[{self.multiplicity_str()}]>"
+
+
+class Association(StereotypedElement):
+    """A UML binary association modeling a connector type.
+
+    Per the paper, "every Connector must be associated to two Devices"
+    (Section V-A1): associations are strictly binary.  Links in the object
+    diagram are instances of associations.
+    """
+
+    metaclass_name = "Association"
+    _id_prefix = "assoc"
+
+    def __init__(
+        self,
+        name: str,
+        end1: AssociationEnd | Class,
+        end2: AssociationEnd | Class,
+        *,
+        xmi_id: Optional[str] = None,
+        comment: str = "",
+    ):
+        super().__init__(name, xmi_id=xmi_id, comment=comment)
+        self.end1 = end1 if isinstance(end1, AssociationEnd) else AssociationEnd(end1)
+        self.end2 = end2 if isinstance(end2, AssociationEnd) else AssociationEnd(end2)
+
+    @property
+    def ends(self) -> Tuple[AssociationEnd, AssociationEnd]:
+        return (self.end1, self.end2)
+
+    def connects(self, class_a: Class, class_b: Class) -> bool:
+        """Whether instances of *class_a* and *class_b* may be linked by this
+        association (in either end order, honouring generalization)."""
+        forward = class_a.conforms_to(self.end1.type) and class_b.conforms_to(
+            self.end2.type
+        )
+        backward = class_a.conforms_to(self.end2.type) and class_b.conforms_to(
+            self.end1.type
+        )
+        return forward or backward
+
+    def property_dict(self) -> Dict[str, Any]:
+        """Stereotype attribute values of the association (its signature)."""
+        result: Dict[str, Any] = {}
+        for app in self.applied_stereotypes:
+            result.update(app.values())
+        return result
+
+
+class ClassModel(NamedElement):
+    """A class diagram: the set of component classes and associations.
+
+    Corresponds to Step 1 of the methodology (Section V-B): "Identify ICT
+    components and create the respective UML classes for each class type."
+    """
+
+    _id_prefix = "clsmodel"
+
+    def __init__(
+        self,
+        name: str = "classes",
+        *,
+        xmi_id: Optional[str] = None,
+        comment: str = "",
+    ):
+        super().__init__(name, xmi_id=xmi_id, comment=comment)
+        self._classes: Dict[str, Class] = {}
+        self._associations: Dict[str, Association] = {}
+
+    # -- population ----------------------------------------------------------
+
+    def add_class(self, cls: Class) -> Class:
+        if cls.name in self._classes:
+            raise ModelError(f"class model already contains class {cls.name!r}")
+        cls.owner = self
+        self._classes[cls.name] = cls
+        return cls
+
+    def add_association(self, association: Association) -> Association:
+        if association.name in self._associations:
+            raise ModelError(
+                f"class model already contains association {association.name!r}"
+            )
+        for end in association.ends:
+            if end.type.name not in self._classes and not any(
+                existing.xmi_id == end.type.xmi_id for existing in self._classes.values()
+            ):
+                raise ModelError(
+                    f"association {association.name!r} references class "
+                    f"{end.type.name!r} not present in the model"
+                )
+        association.owner = self
+        self._associations[association.name] = association
+        return association
+
+    # -- access ----------------------------------------------------------------
+
+    def get_class(self, name: str) -> Class:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise ModelError(f"class model has no class {name!r}") from None
+
+    def get_association(self, name: str) -> Association:
+        try:
+            return self._associations[name]
+        except KeyError:
+            raise ModelError(f"class model has no association {name!r}") from None
+
+    def has_class(self, name: str) -> bool:
+        return name in self._classes
+
+    def has_association(self, name: str) -> bool:
+        return name in self._associations
+
+    @property
+    def classes(self) -> List[Class]:
+        return list(self._classes.values())
+
+    @property
+    def associations(self) -> List[Association]:
+        return list(self._associations.values())
+
+    def associations_between(self, class_a: Class, class_b: Class) -> List[Association]:
+        """All associations that permit a link between the two classes."""
+        return [
+            assoc
+            for assoc in self._associations.values()
+            if assoc.connects(class_a, class_b)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._classes) + len(self._associations)

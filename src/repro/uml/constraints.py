@@ -1,0 +1,304 @@
+"""Well-formedness constraints over the UML modeling subset.
+
+The paper's metamodel imposes structural rules (Section V-A1):
+
+* every Connector must be associated to two Devices;
+* classes may only have static attributes (so instances of one class are
+  property-identical);
+* stereotypes may only be applied to the metaclasses they extend (checked
+  eagerly at application time, re-checked here for imported models);
+* dependability analysis requires specific properties (MTBF, MTTR, ...) to
+  be present on every component — a profile-completeness constraint.
+
+This module provides a small constraint engine: :class:`Constraint` objects
+check a model and emit :class:`Violation` records; :class:`ConstraintSuite`
+bundles them, and :func:`check_infrastructure` runs the standard suite used
+by the methodology pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.errors import ConstraintViolationError
+from repro.uml.classes import ClassModel
+from repro.uml.objects import ObjectModel
+from repro.uml.profiles import Stereotype
+
+__all__ = [
+    "Violation",
+    "Constraint",
+    "ConstraintSuite",
+    "StaticAttributesConstraint",
+    "ConnectorArityConstraint",
+    "StereotypeApplicabilityConstraint",
+    "ProfileCompletenessConstraint",
+    "LinkConformanceConstraint",
+    "NoDanglingInstancesConstraint",
+    "standard_suite",
+    "check_infrastructure",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One constraint violation: which rule, on which element, and why."""
+
+    constraint: str
+    element: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.constraint}] {self.element}: {self.message}"
+
+
+class Constraint:
+    """Base class: a named well-formedness rule over an object model."""
+
+    name = "constraint"
+
+    def check(self, model: ObjectModel) -> List[Violation]:
+        raise NotImplementedError
+
+    def _violation(self, element: str, message: str) -> Violation:
+        return Violation(self.name, element, message)
+
+
+class StaticAttributesConstraint(Constraint):
+    """All class attributes must be static and all slots informational.
+
+    "To ensure that two different instances of the same class have also the
+    same properties, every class may only have static attributes."  A slot
+    that shadows a declared (static) attribute would break that guarantee
+    and is reported.
+    """
+
+    name = "static-attributes"
+
+    def check(self, model: ObjectModel) -> List[Violation]:
+        violations: List[Violation] = []
+        for cls in model.class_model.classes:
+            for prop in cls.attributes:
+                if not prop.is_static:
+                    violations.append(
+                        self._violation(
+                            cls.name,
+                            f"attribute {prop.name!r} is not static",
+                        )
+                    )
+        declared_by_class: dict[str, set[str]] = {}
+        for cls in model.class_model.classes:
+            declared_by_class[cls.name] = {p.name for p in cls.all_attributes()}
+            for app in cls.applied_stereotypes:
+                declared_by_class[cls.name] |= {
+                    p.name for p in app.stereotype.all_attributes()
+                }
+        for instance in model.instances:
+            declared = declared_by_class.get(instance.classifier.name, set())
+            for slot in instance.slots:
+                if slot.defining_property_name in declared:
+                    violations.append(
+                        self._violation(
+                            instance.signature,
+                            f"slot shadows static attribute "
+                            f"{slot.defining_property_name!r}",
+                        )
+                    )
+        return violations
+
+
+class ConnectorArityConstraint(Constraint):
+    """Every association must be strictly binary and every link must connect
+    exactly two distinct instances ("every Connector must be associated to
+    two Devices")."""
+
+    name = "connector-arity"
+
+    def check(self, model: ObjectModel) -> List[Violation]:
+        violations: List[Violation] = []
+        for link in model.links:
+            if link.end1.xmi_id == link.end2.xmi_id:
+                violations.append(
+                    self._violation(link.name, "link connects an instance to itself")
+                )
+        return violations
+
+
+class StereotypeApplicabilityConstraint(Constraint):
+    """Applied stereotypes must extend the element's metaclass."""
+
+    name = "stereotype-applicability"
+
+    def check(self, model: ObjectModel) -> List[Violation]:
+        violations: List[Violation] = []
+        for element in [*model.class_model.classes, *model.class_model.associations]:
+            for app in element.applied_stereotypes:
+                applicable = app.stereotype.effective_extends()
+                if element.metaclass_name not in applicable:
+                    violations.append(
+                        self._violation(
+                            element.name,
+                            f"stereotype «{app.stereotype.name}» extends "
+                            f"{applicable or '()'} but is applied to a "
+                            f"{element.metaclass_name}",
+                        )
+                    )
+        return violations
+
+
+class ProfileCompletenessConstraint(Constraint):
+    """Every component class/association carries a required stereotype.
+
+    Used to guarantee "that every ICT component inherits [the analysis
+    attributes] and thus meets the requirements of the analysis"
+    (Section V-A1).  Parameterized by the stereotype every class (and,
+    optionally, every association) must carry.
+    """
+
+    name = "profile-completeness"
+
+    def __init__(
+        self,
+        class_stereotype: Stereotype | str,
+        association_stereotype: Optional[Stereotype | str] = None,
+        required_attributes: Sequence[str] = (),
+    ):
+        self.class_stereotype = class_stereotype
+        self.association_stereotype = association_stereotype
+        self.required_attributes = tuple(required_attributes)
+
+    def check(self, model: ObjectModel) -> List[Violation]:
+        violations: List[Violation] = []
+        for cls in model.class_model.classes:
+            if cls.is_abstract:
+                continue
+            violations.extend(self._check_element(cls, self.class_stereotype))
+        if self.association_stereotype is not None:
+            for assoc in model.class_model.associations:
+                violations.extend(
+                    self._check_element(assoc, self.association_stereotype)
+                )
+        return violations
+
+    def _check_element(self, element, stereotype) -> List[Violation]:
+        name = stereotype if isinstance(stereotype, str) else stereotype.name
+        if not element.has_stereotype(stereotype):
+            return [
+                self._violation(
+                    element.name, f"missing required stereotype «{name}»"
+                )
+            ]
+        violations: List[Violation] = []
+        app = element.stereotype_application(stereotype)
+        for attr in self.required_attributes:
+            try:
+                value = app.value(attr)
+            except Exception:
+                value = None
+            if value is None:
+                violations.append(
+                    self._violation(
+                        element.name,
+                        f"stereotype «{name}» attribute {attr!r} has no value",
+                    )
+                )
+        return violations
+
+
+class LinkConformanceConstraint(Constraint):
+    """Link ends must conform to the instantiated association's end types."""
+
+    name = "link-conformance"
+
+    def check(self, model: ObjectModel) -> List[Violation]:
+        violations: List[Violation] = []
+        for link in model.links:
+            if not link.association.connects(
+                link.end1.classifier, link.end2.classifier
+            ):
+                violations.append(
+                    self._violation(
+                        link.name,
+                        f"association {link.association.name!r} does not permit "
+                        f"{link.end1.signature} -- {link.end2.signature}",
+                    )
+                )
+        return violations
+
+
+class NoDanglingInstancesConstraint(Constraint):
+    """Every instance should participate in at least one link.
+
+    An unconnected node can never appear on any requester-provider path;
+    in an infrastructure model it is almost always a modeling mistake.
+    """
+
+    name = "no-dangling-instances"
+
+    def check(self, model: ObjectModel) -> List[Violation]:
+        if len(model) <= 1:
+            return []
+        return [
+            self._violation(instance.signature, "instance has no links")
+            for instance in model.instances
+            if model.degree(instance) == 0
+        ]
+
+
+class ConstraintSuite:
+    """An ordered bundle of constraints checked together."""
+
+    def __init__(self, constraints: Iterable[Constraint] = ()):
+        self.constraints: List[Constraint] = list(constraints)
+
+    def add(self, constraint: Constraint) -> "ConstraintSuite":
+        self.constraints.append(constraint)
+        return self
+
+    def check(self, model: ObjectModel) -> List[Violation]:
+        violations: List[Violation] = []
+        for constraint in self.constraints:
+            violations.extend(constraint.check(model))
+        return violations
+
+    def enforce(self, model: ObjectModel) -> None:
+        """Raise :class:`ConstraintViolationError` if any constraint fails."""
+        violations = self.check(model)
+        if violations:
+            raise ConstraintViolationError(violations)
+
+
+def standard_suite(
+    *,
+    class_stereotype: Optional[Stereotype | str] = None,
+    association_stereotype: Optional[Stereotype | str] = None,
+    required_attributes: Sequence[str] = (),
+) -> ConstraintSuite:
+    """The standard infrastructure suite of the methodology pipeline.
+
+    When *class_stereotype* is given, profile completeness is checked too
+    (the methodology requires the availability profile to be applied before
+    the dependability analysis can run).
+    """
+    suite = ConstraintSuite(
+        [
+            StaticAttributesConstraint(),
+            ConnectorArityConstraint(),
+            StereotypeApplicabilityConstraint(),
+            LinkConformanceConstraint(),
+            NoDanglingInstancesConstraint(),
+        ]
+    )
+    if class_stereotype is not None:
+        suite.add(
+            ProfileCompletenessConstraint(
+                class_stereotype, association_stereotype, required_attributes
+            )
+        )
+    return suite
+
+
+def check_infrastructure(model: ObjectModel, **kwargs) -> List[Violation]:
+    """Run the standard suite on *model* and return the violations."""
+    return standard_suite(**kwargs).check(model)

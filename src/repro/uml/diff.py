@@ -1,0 +1,112 @@
+"""Differencing of object models.
+
+Dynamic environments change the infrastructure model over time
+(Section V-A3); knowing *what* changed between two revisions tells an
+operator whether existing UPSIMs are stale ("topology changes require
+updating only the network model and mapping").  :func:`diff_object_models`
+computes the structural delta between two object models;
+:meth:`ModelDiff.affects` answers the staleness question for one UPSIM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Set, Tuple
+
+from repro.uml.objects import ObjectModel
+
+__all__ = ["ModelDiff", "diff_object_models"]
+
+
+def _link_key(link) -> Tuple[str, str]:
+    a, b = link.end1.name, link.end2.name
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class ModelDiff:
+    """Structural delta between two object models (old → new)."""
+
+    added_instances: Tuple[str, ...]
+    removed_instances: Tuple[str, ...]
+    reclassified_instances: Tuple[Tuple[str, str, str], ...]  # name, old, new
+    added_links: Tuple[Tuple[str, str], ...]
+    removed_links: Tuple[Tuple[str, str], ...]
+
+    def is_empty(self) -> bool:
+        return not (
+            self.added_instances
+            or self.removed_instances
+            or self.reclassified_instances
+            or self.added_links
+            or self.removed_links
+        )
+
+    def touched_components(self) -> Set[str]:
+        """Every component name involved in any change."""
+        touched: Set[str] = set(self.added_instances) | set(self.removed_instances)
+        touched |= {name for name, _, _ in self.reclassified_instances}
+        for a, b in (*self.added_links, *self.removed_links):
+            touched.add(a)
+            touched.add(b)
+        return touched
+
+    def affects(self, component_names: Iterable[str]) -> bool:
+        """Whether the delta touches any of the given components.
+
+        The operational staleness test: ``diff.affects(upsim.component_names)``
+        is a *sound* over-approximation — removals and reclassifications of
+        UPSIM components always invalidate it; additions elsewhere may
+        create new paths, so callers wanting exactness should simply
+        re-run the (cheap, incremental) pipeline when the diff is
+        non-empty.
+        """
+        names = set(component_names)
+        if names & self.touched_components():
+            return True
+        return False
+
+    def summary(self) -> str:
+        parts: List[str] = []
+        if self.added_instances:
+            parts.append(f"+{len(self.added_instances)} instances")
+        if self.removed_instances:
+            parts.append(f"-{len(self.removed_instances)} instances")
+        if self.reclassified_instances:
+            parts.append(f"~{len(self.reclassified_instances)} reclassified")
+        if self.added_links:
+            parts.append(f"+{len(self.added_links)} links")
+        if self.removed_links:
+            parts.append(f"-{len(self.removed_links)} links")
+        return ", ".join(parts) if parts else "no changes"
+
+
+def diff_object_models(old: ObjectModel, new: ObjectModel) -> ModelDiff:
+    """Compute the structural delta from *old* to *new*.
+
+    Instances are matched by name; classifier changes are reported as
+    reclassifications.  Links are matched by their (unordered) endpoint
+    pair.
+    """
+    old_names = set(old.instance_names())
+    new_names = set(new.instance_names())
+    added = tuple(sorted(new_names - old_names))
+    removed = tuple(sorted(old_names - new_names))
+    reclassified = tuple(
+        sorted(
+            (name, old.get_instance(name).classifier.name,
+             new.get_instance(name).classifier.name)
+            for name in (old_names & new_names)
+            if old.get_instance(name).classifier.name
+            != new.get_instance(name).classifier.name
+        )
+    )
+    old_links = {_link_key(link) for link in old.links}
+    new_links = {_link_key(link) for link in new.links}
+    return ModelDiff(
+        added_instances=added,
+        removed_instances=removed,
+        reclassified_instances=reclassified,
+        added_links=tuple(sorted(new_links - old_links)),
+        removed_links=tuple(sorted(old_links - new_links)),
+    )

@@ -1,0 +1,236 @@
+"""Core of the UML metamodel subset used by the UPSIM methodology.
+
+The paper models ICT infrastructures with a small, well-defined subset of
+UML 2.x: class diagrams, object diagrams, activity diagrams, and profiles
+with stereotypes (Section V-A).  This module provides the shared base
+classes of that subset:
+
+* :class:`Element` — anything with an identity inside a model,
+* :class:`NamedElement` — an element with a (qualified) name,
+* :class:`Property` — a typed, named attribute.  Per the paper, classes may
+  only carry *static* attributes so that two instances of the same class
+  always expose identical property values; :class:`Property` therefore
+  stores its default value directly,
+* primitive types (:data:`PRIMITIVE_TYPES`) and value coercion helpers.
+
+The concrete diagram elements live in sibling modules
+(:mod:`repro.uml.classes`, :mod:`repro.uml.objects`,
+:mod:`repro.uml.activity`, :mod:`repro.uml.profiles`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from repro.errors import ModelError
+
+__all__ = [
+    "PRIMITIVE_TYPES",
+    "Element",
+    "NamedElement",
+    "Property",
+    "coerce_value",
+    "is_valid_identifier",
+]
+
+#: The UML primitive types supported by the modeling subset.  The paper's
+#: profiles use ``Real`` (MTBF, MTTR, throughput), ``Integer``
+#: (redundantComponents), ``String`` (manufacturer, model, processor,
+#: channel) and ``Boolean``.
+PRIMITIVE_TYPES = ("Real", "Integer", "String", "Boolean")
+
+_PY_TYPES = {
+    "Real": float,
+    "Integer": int,
+    "String": str,
+    "Boolean": bool,
+}
+
+_id_counter = itertools.count(1)
+
+
+def _next_id(prefix: str) -> str:
+    """Return a fresh, process-unique element id like ``"cls_17"``."""
+    return f"{prefix}_{next(_id_counter)}"
+
+
+def is_valid_identifier(name: str) -> bool:
+    """Return whether *name* is acceptable as a model element name.
+
+    Names must be non-empty and must not contain the namespace separator
+    ``.`` (used to build qualified names) or XML-hostile characters.
+    """
+    if not isinstance(name, str) or not name:
+        return False
+    forbidden = set('.<>&"\n\t\r')
+    return not any(ch in forbidden for ch in name)
+
+
+def coerce_value(type_name: str, value: Any) -> Any:
+    """Coerce *value* to the Python representation of a UML primitive type.
+
+    ``Real`` accepts ints and floats, ``Integer`` accepts ints and whole
+    floats, ``Boolean`` accepts bools and the strings ``"true"``/``"false"``,
+    ``String`` accepts anything string-like.  Raises :class:`ModelError` for
+    unknown types or inconvertible values.
+    """
+    if type_name not in _PY_TYPES:
+        raise ModelError(f"unknown primitive type {type_name!r}")
+    if value is None:
+        return None
+    try:
+        if type_name == "Real":
+            if isinstance(value, bool):
+                raise TypeError("bool is not a Real")
+            return float(value)
+        if type_name == "Integer":
+            if isinstance(value, bool):
+                raise TypeError("bool is not an Integer")
+            if isinstance(value, float):
+                if not value.is_integer():
+                    raise TypeError(f"{value} is not a whole number")
+                return int(value)
+            return int(value)
+        if type_name == "Boolean":
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in ("true", "1"):
+                    return True
+                if lowered in ("false", "0"):
+                    return False
+            raise TypeError(f"{value!r} is not a Boolean")
+        # String
+        if isinstance(value, str):
+            return value
+        raise TypeError(f"{value!r} is not a String")
+    except (TypeError, ValueError) as exc:
+        raise ModelError(
+            f"cannot coerce {value!r} to UML primitive {type_name}: {exc}"
+        ) from exc
+
+
+class Element:
+    """Base class of every UML model element.
+
+    Each element carries a stable ``xmi_id`` used by the XML serializer and
+    by the VPM importer to correlate elements across models, and an optional
+    free-text ``comment`` (the UML ownedComment).
+    """
+
+    _id_prefix = "elem"
+
+    def __init__(self, *, xmi_id: Optional[str] = None, comment: str = ""):
+        self.xmi_id = xmi_id if xmi_id is not None else _next_id(self._id_prefix)
+        self.comment = comment
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} id={self.xmi_id}>"
+
+
+class NamedElement(Element):
+    """A model element with a name, optionally owned by a namespace.
+
+    The qualified name is ``owner.qualified_name + "." + name`` when the
+    element has an owner that is itself a named element, mirroring UML's
+    Namespace semantics.
+    """
+
+    _id_prefix = "named"
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        xmi_id: Optional[str] = None,
+        comment: str = "",
+        owner: Optional["NamedElement"] = None,
+    ):
+        if not is_valid_identifier(name):
+            raise ModelError(f"invalid element name: {name!r}")
+        super().__init__(xmi_id=xmi_id, comment=comment)
+        self.name = name
+        self.owner = owner
+
+    @property
+    def qualified_name(self) -> str:
+        """Dot-separated name path from the outermost namespace."""
+        if self.owner is not None:
+            return f"{self.owner.qualified_name}.{self.name}"
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.qualified_name!r}>"
+
+
+class Property(NamedElement):
+    """A typed attribute of a class or stereotype.
+
+    Per the paper (Section V-A1) class attributes are *static*: the value is
+    defined once on the class and shared by all instances, which guarantees
+    that two instances of the same class expose the same non-functional
+    properties.  ``Property`` therefore stores a ``default`` value which is
+    what instances report.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, e.g. ``"MTBF"``.
+    type_name:
+        One of :data:`PRIMITIVE_TYPES`.
+    default:
+        Optional default/static value; coerced to the primitive type.
+    is_static:
+        Whether the attribute is static (class-level).  Defaults to ``True``
+        because the methodology requires static attributes; constraint
+        checking flags non-static ones.
+    """
+
+    _id_prefix = "prop"
+
+    def __init__(
+        self,
+        name: str,
+        type_name: str,
+        default: Any = None,
+        *,
+        is_static: bool = True,
+        xmi_id: Optional[str] = None,
+        comment: str = "",
+        owner: Optional[NamedElement] = None,
+    ):
+        super().__init__(name, xmi_id=xmi_id, comment=comment, owner=owner)
+        if type_name not in PRIMITIVE_TYPES:
+            raise ModelError(
+                f"property {name!r}: unknown type {type_name!r}; "
+                f"expected one of {PRIMITIVE_TYPES}"
+            )
+        self.type_name = type_name
+        self.is_static = bool(is_static)
+        self.default = coerce_value(type_name, default) if default is not None else None
+
+    def with_default(self, value: Any) -> "Property":
+        """Return a copy of this property with a different default value."""
+        return Property(
+            self.name,
+            self.type_name,
+            value,
+            is_static=self.is_static,
+            comment=self.comment,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Property):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.type_name == other.type_name
+            and self.default == other.default
+            and self.is_static == other.is_static
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.type_name, self.default, self.is_static))
+

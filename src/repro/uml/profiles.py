@@ -1,0 +1,324 @@
+"""UML profiles and stereotypes.
+
+Profiles are UML's standard lightweight extension mechanism and the paper's
+vehicle for attaching non-functional properties to ICT components
+(Section II, V-A1).  A :class:`Stereotype` extends one or more UML
+*metaclasses* (``"Class"`` or ``"Association"`` in the paper's subset) and
+contributes *stereotype attributes*; applying the stereotype to a model
+element makes the element inherit those attributes.
+
+Two concrete profiles from the case study are provided as factories in
+:mod:`repro.network.components`:
+
+* the availability profile of Figure 6 (``Component`` with ``MTBF``,
+  ``MTTR``, ``redundantComponents``; specialized by ``Device`` and
+  ``Connector``),
+* the network profile of Figure 7 (``Network Device`` and its
+  specializations ``Router``, ``Switch``, ``Printer``, ``Computer`` →
+  ``Client``/``Server``, plus ``Communication`` for associations).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import ModelError, StereotypeError
+from repro.uml.metamodel import NamedElement, Property, coerce_value
+
+__all__ = [
+    "EXTENDABLE_METACLASSES",
+    "Stereotype",
+    "Profile",
+    "StereotypeApplication",
+    "StereotypedElement",
+]
+
+#: UML metaclasses that stereotypes may extend in this modeling subset.
+#: The paper's profiles extend exactly ``Class`` and ``Association``
+#: (Figures 6 and 7).
+EXTENDABLE_METACLASSES = ("Class", "Association")
+
+
+class Stereotype(NamedElement):
+    """A stereotype: named extension of a UML metaclass.
+
+    Parameters
+    ----------
+    name:
+        Stereotype name, e.g. ``"Component"`` or ``"Switch"``.
+    extends:
+        The metaclasses this stereotype may be applied to.  May be empty
+        for *abstract* stereotypes that only serve as generalizations
+        (e.g. ``Component`` and ``Network Device`` in the paper extend
+        nothing directly; their concrete children do).
+    attributes:
+        The stereotype attributes contributed to stereotyped elements.
+    generalizations:
+        Parent stereotypes whose attributes are inherited (UML
+        generalization between stereotypes, as between ``Device`` and
+        ``Component`` in Figure 6).
+    is_abstract:
+        Abstract stereotypes cannot be applied directly.
+    """
+
+    _id_prefix = "ster"
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        extends: Iterable[str] = (),
+        attributes: Iterable[Property] = (),
+        generalizations: Iterable["Stereotype"] = (),
+        is_abstract: bool = False,
+        xmi_id: Optional[str] = None,
+        comment: str = "",
+    ):
+        super().__init__(name, xmi_id=xmi_id, comment=comment)
+        self.extends: Tuple[str, ...] = tuple(extends)
+        for metaclass in self.extends:
+            if metaclass not in EXTENDABLE_METACLASSES:
+                raise ModelError(
+                    f"stereotype {name!r} extends unknown metaclass "
+                    f"{metaclass!r}; expected one of {EXTENDABLE_METACLASSES}"
+                )
+        self.attributes: List[Property] = list(attributes)
+        self.generalizations: List[Stereotype] = list(generalizations)
+        self.is_abstract = bool(is_abstract)
+        self._check_attribute_names()
+
+    def _check_attribute_names(self) -> None:
+        names = [prop.name for prop in self.attributes]
+        if len(names) != len(set(names)):
+            raise ModelError(
+                f"stereotype {self.name!r} declares duplicate attribute names"
+            )
+
+    # -- inheritance ------------------------------------------------------
+
+    def all_generalizations(self) -> Iterator["Stereotype"]:
+        """Yield all (transitive) parent stereotypes, nearest first."""
+        seen: set[str] = set()
+        stack = list(self.generalizations)
+        while stack:
+            parent = stack.pop(0)
+            if parent.xmi_id in seen:
+                continue
+            seen.add(parent.xmi_id)
+            yield parent
+            stack.extend(parent.generalizations)
+
+    def all_attributes(self) -> List[Property]:
+        """Own attributes plus attributes inherited from generalizations.
+
+        Own attributes shadow inherited attributes of the same name.
+        """
+        result: Dict[str, Property] = {}
+        for parent in reversed(list(self.all_generalizations())):
+            for prop in parent.attributes:
+                result[prop.name] = prop
+        for prop in self.attributes:
+            result[prop.name] = prop
+        return list(result.values())
+
+    def effective_extends(self) -> Tuple[str, ...]:
+        """Metaclasses this stereotype can be applied to, considering parents.
+
+        A stereotype with no own ``extends`` inherits applicability from its
+        generalizations (e.g. ``Switch`` extends nothing directly in
+        Figure 7 but inherits Class-applicability from ``Network Device``).
+        """
+        if self.extends:
+            return self.extends
+        collected: List[str] = []
+        for parent in self.all_generalizations():
+            for metaclass in parent.effective_extends():
+                if metaclass not in collected:
+                    collected.append(metaclass)
+        return tuple(collected)
+
+    def is_specialization_of(self, other: "Stereotype") -> bool:
+        """Whether *other* is this stereotype or one of its ancestors."""
+        if other.xmi_id == self.xmi_id:
+            return True
+        return any(parent.xmi_id == other.xmi_id for parent in self.all_generalizations())
+
+    def attribute(self, name: str) -> Property:
+        """Look up an (own or inherited) attribute by name."""
+        for prop in self.all_attributes():
+            if prop.name == name:
+                return prop
+        raise StereotypeError(
+            f"stereotype {self.name!r} has no attribute {name!r}"
+        )
+
+
+class Profile(NamedElement):
+    """A named collection of stereotypes (a UML profile)."""
+
+    _id_prefix = "prof"
+
+    def __init__(
+        self,
+        name: str,
+        stereotypes: Iterable[Stereotype] = (),
+        *,
+        xmi_id: Optional[str] = None,
+        comment: str = "",
+    ):
+        super().__init__(name, xmi_id=xmi_id, comment=comment)
+        self._stereotypes: Dict[str, Stereotype] = {}
+        for stereotype in stereotypes:
+            self.add(stereotype)
+
+    def add(self, stereotype: Stereotype) -> Stereotype:
+        if stereotype.name in self._stereotypes:
+            raise ModelError(
+                f"profile {self.name!r} already defines stereotype "
+                f"{stereotype.name!r}"
+            )
+        stereotype.owner = self
+        self._stereotypes[stereotype.name] = stereotype
+        return stereotype
+
+    def stereotype(self, name: str) -> Stereotype:
+        try:
+            return self._stereotypes[name]
+        except KeyError:
+            raise StereotypeError(
+                f"profile {self.name!r} has no stereotype {name!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stereotypes
+
+    def __iter__(self) -> Iterator[Stereotype]:
+        return iter(self._stereotypes.values())
+
+    def __len__(self) -> int:
+        return len(self._stereotypes)
+
+
+class StereotypeApplication:
+    """The application of one stereotype to one model element.
+
+    Holds the concrete values of the stereotype attributes for the target
+    element.  Values not provided fall back to the attribute defaults.
+    """
+
+    def __init__(self, stereotype: Stereotype, values: Optional[Dict[str, Any]] = None):
+        if stereotype.is_abstract:
+            raise StereotypeError(
+                f"abstract stereotype {stereotype.name!r} cannot be applied"
+            )
+        self.stereotype = stereotype
+        self._values: Dict[str, Any] = {}
+        declared = {prop.name: prop for prop in stereotype.all_attributes()}
+        for key, value in (values or {}).items():
+            if key not in declared:
+                raise StereotypeError(
+                    f"stereotype {stereotype.name!r} has no attribute {key!r}"
+                )
+            self._values[key] = coerce_value(declared[key].type_name, value)
+
+    def value(self, name: str) -> Any:
+        """Value of attribute *name*: explicit value or attribute default."""
+        prop = self.stereotype.attribute(name)
+        if name in self._values:
+            return self._values[name]
+        return prop.default
+
+    def values(self) -> Dict[str, Any]:
+        """All attribute values (explicit + defaults) as a dict."""
+        return {
+            prop.name: self.value(prop.name)
+            for prop in self.stereotype.all_attributes()
+        }
+
+    def set_value(self, name: str, value: Any) -> None:
+        prop = self.stereotype.attribute(name)
+        self._values[name] = coerce_value(prop.type_name, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StereotypeApplication «{self.stereotype.name}» {self._values}>"
+
+
+class StereotypedElement(NamedElement):
+    """Mixin base for model elements that accept stereotype applications.
+
+    Provides the ``apply_stereotype`` / ``stereotype_value`` API used by
+    :class:`repro.uml.classes.Class` and
+    :class:`repro.uml.classes.Association`.  Subclasses must define
+    :attr:`metaclass_name` (``"Class"`` or ``"Association"``) so that
+    applicability can be checked.
+    """
+
+    metaclass_name: str = ""
+
+    def __init__(self, name: str, **kwargs: Any):
+        super().__init__(name, **kwargs)
+        self.applied_stereotypes: List[StereotypeApplication] = []
+
+    def apply_stereotype(
+        self, stereotype: Stereotype, **values: Any
+    ) -> StereotypeApplication:
+        """Apply *stereotype* with the given attribute *values*.
+
+        Raises :class:`StereotypeError` if the stereotype does not extend
+        this element's metaclass or is already applied.
+        """
+        applicable = stereotype.effective_extends()
+        if self.metaclass_name not in applicable:
+            raise StereotypeError(
+                f"stereotype «{stereotype.name}» extends {applicable or '()'} "
+                f"and cannot be applied to {self.metaclass_name} {self.name!r}"
+            )
+        if any(
+            app.stereotype.xmi_id == stereotype.xmi_id
+            for app in self.applied_stereotypes
+        ):
+            raise StereotypeError(
+                f"stereotype «{stereotype.name}» already applied to {self.name!r}"
+            )
+        application = StereotypeApplication(stereotype, values)
+        self.applied_stereotypes.append(application)
+        return application
+
+    def has_stereotype(self, stereotype: Stereotype | str) -> bool:
+        """Whether the element has *stereotype* applied (directly or via a
+        specialization of it)."""
+        if isinstance(stereotype, str):
+            return any(
+                app.stereotype.name == stereotype
+                or any(
+                    parent.name == stereotype
+                    for parent in app.stereotype.all_generalizations()
+                )
+                for app in self.applied_stereotypes
+            )
+        return any(
+            app.stereotype.is_specialization_of(stereotype)
+            for app in self.applied_stereotypes
+        )
+
+    def stereotype_application(self, stereotype: Stereotype | str) -> StereotypeApplication:
+        """The application object for *stereotype* (matching specializations)."""
+        for app in self.applied_stereotypes:
+            if isinstance(stereotype, str):
+                if app.stereotype.name == stereotype or any(
+                    parent.name == stereotype
+                    for parent in app.stereotype.all_generalizations()
+                ):
+                    return app
+            elif app.stereotype.is_specialization_of(stereotype):
+                return app
+        name = stereotype if isinstance(stereotype, str) else stereotype.name
+        raise StereotypeError(f"{self.name!r} has no stereotype «{name}» applied")
+
+    def stereotype_value(self, stereotype: Stereotype | str, attribute: str) -> Any:
+        """Shorthand for ``stereotype_application(stereotype).value(attribute)``."""
+        return self.stereotype_application(stereotype).value(attribute)
+
+    def stereotype_names(self) -> List[str]:
+        """Names of all directly applied stereotypes, in application order."""
+        return [app.stereotype.name for app in self.applied_stereotypes]

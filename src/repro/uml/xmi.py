@@ -1,0 +1,384 @@
+"""XML (XMI-flavoured) serialization of the UML modeling subset.
+
+The original tool chain stores models as Papyrus/Eclipse XMI files; the
+methodology's side goal is that models be expressed "using well known
+standards and freely available tools".  This module provides a compact,
+self-contained XML dialect that round-trips every model kind used by the
+methodology: profiles, class models, object models and activities.
+
+The top-level container is a :class:`ModelBundle`; :func:`dumps`/:func:`loads`
+convert bundles to/from XML text, :func:`dump`/:func:`load` to/from files.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import SerializationError
+from repro.uml.activity import (
+    Action,
+    Activity,
+    ActivityNode,
+    FinalNode,
+    ForkNode,
+    InitialNode,
+    JoinNode,
+)
+from repro.uml.classes import Association, AssociationEnd, Class, ClassModel
+from repro.uml.metamodel import Property
+from repro.uml.objects import ObjectModel, Slot
+from repro.uml.profiles import Profile, Stereotype
+
+__all__ = ["ModelBundle", "dumps", "loads", "dump", "load"]
+
+_NODE_KINDS = {
+    "initial": InitialNode,
+    "final": FinalNode,
+    "fork": ForkNode,
+    "join": JoinNode,
+}
+
+
+@dataclass
+class ModelBundle:
+    """Everything a methodology run needs, in one serializable unit."""
+
+    profiles: List[Profile] = field(default_factory=list)
+    class_model: Optional[ClassModel] = None
+    object_model: Optional[ObjectModel] = None
+    activities: List[Activity] = field(default_factory=list)
+
+    def profile(self, name: str) -> Profile:
+        for profile in self.profiles:
+            if profile.name == name:
+                return profile
+        raise SerializationError(f"bundle has no profile {name!r}")
+
+    def activity(self, name: str) -> Activity:
+        for activity in self.activities:
+            if activity.name == name:
+                return activity
+        raise SerializationError(f"bundle has no activity {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# writing
+
+
+def _property_element(prop: Property) -> ET.Element:
+    elem = ET.Element(
+        "attribute",
+        name=prop.name,
+        type=prop.type_name,
+        static="true" if prop.is_static else "false",
+    )
+    if prop.default is not None:
+        elem.set("default", _value_to_str(prop.default))
+    return elem
+
+
+def _value_to_str(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _write_profile(profile: Profile) -> ET.Element:
+    elem = ET.Element("profile", name=profile.name)
+    for stereotype in profile:
+        s_elem = ET.SubElement(elem, "stereotype", name=stereotype.name)
+        if stereotype.is_abstract:
+            s_elem.set("abstract", "true")
+        if stereotype.extends:
+            s_elem.set("extends", ",".join(stereotype.extends))
+        if stereotype.generalizations:
+            s_elem.set(
+                "generalizes",
+                ",".join(parent.name for parent in stereotype.generalizations),
+            )
+        for prop in stereotype.attributes:
+            s_elem.append(_property_element(prop))
+    return elem
+
+
+def _write_applications(element, parent: ET.Element) -> None:
+    for app in element.applied_stereotypes:
+        a_elem = ET.SubElement(
+            parent,
+            "appliedStereotype",
+            profile=app.stereotype.owner.name if app.stereotype.owner else "",
+            stereotype=app.stereotype.name,
+        )
+        for name, value in app.values().items():
+            if value is None:
+                continue
+            ET.SubElement(a_elem, "value", attribute=name, value=_value_to_str(value))
+
+
+def _write_class_model(model: ClassModel) -> ET.Element:
+    elem = ET.Element("classModel", name=model.name)
+    for cls in model.classes:
+        c_elem = ET.SubElement(elem, "class", name=cls.name)
+        if cls.is_abstract:
+            c_elem.set("abstract", "true")
+        if cls.superclasses:
+            c_elem.set("superclasses", ",".join(s.name for s in cls.superclasses))
+        for prop in cls.attributes:
+            c_elem.append(_property_element(prop))
+        _write_applications(cls, c_elem)
+    for assoc in model.associations:
+        a_elem = ET.SubElement(elem, "association", name=assoc.name)
+        for index, end in enumerate(assoc.ends, start=1):
+            e_elem = ET.SubElement(a_elem, f"end{index}", type=end.type.name)
+            e_elem.set("lower", str(end.lower))
+            e_elem.set("upper", "*" if end.upper is None else str(end.upper))
+            if end.name:
+                e_elem.set("name", end.name)
+        _write_applications(assoc, a_elem)
+    return elem
+
+
+def _write_object_model(model: ObjectModel) -> ET.Element:
+    elem = ET.Element("objectModel", name=model.name)
+    for instance in model.instances:
+        i_elem = ET.SubElement(
+            elem, "instance", name=instance.name, classifier=instance.classifier.name
+        )
+        for slot in instance.slots:
+            ET.SubElement(
+                i_elem,
+                "slot",
+                attribute=slot.defining_property_name,
+                type=slot.type_name,
+                value=_value_to_str(slot.value),
+            )
+    for link in model.links:
+        ET.SubElement(
+            elem,
+            "link",
+            name=link.name,
+            association=link.association.name,
+            end1=link.end1.name,
+            end2=link.end2.name,
+        )
+    return elem
+
+
+def _write_activity(activity: Activity) -> ET.Element:
+    elem = ET.Element("activity", name=activity.name)
+    ids: Dict[str, str] = {}
+    for index, node in enumerate(activity.nodes):
+        node_id = f"n{index}"
+        ids[node.xmi_id] = node_id
+        n_elem = ET.SubElement(elem, "node", id=node_id, kind=node.kind)
+        if isinstance(node, Action):
+            n_elem.set("atomicService", node.atomic_service_name)
+        if node.name:
+            n_elem.set("name", node.name)
+    for flow in activity.flows:
+        ET.SubElement(
+            elem, "flow", source=ids[flow.source.xmi_id], target=ids[flow.target.xmi_id]
+        )
+    return elem
+
+
+def dumps(bundle: ModelBundle) -> str:
+    """Serialize a :class:`ModelBundle` to XML text."""
+    root = ET.Element("reproModel", version="1.0")
+    for profile in bundle.profiles:
+        root.append(_write_profile(profile))
+    if bundle.class_model is not None:
+        root.append(_write_class_model(bundle.class_model))
+    if bundle.object_model is not None:
+        root.append(_write_object_model(bundle.object_model))
+    for activity in bundle.activities:
+        root.append(_write_activity(activity))
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def dump(bundle: ModelBundle, path: str) -> None:
+    """Serialize *bundle* to the file at *path*."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(bundle))
+
+
+# ---------------------------------------------------------------------------
+# reading
+
+
+def _read_property(elem: ET.Element) -> Property:
+    return Property(
+        elem.get("name", ""),
+        elem.get("type", "String"),
+        elem.get("default"),
+        is_static=elem.get("static", "true") == "true",
+    )
+
+
+def _read_profile(elem: ET.Element) -> Profile:
+    profile = Profile(elem.get("name", "profile"))
+    pending: List[tuple[Stereotype, List[str]]] = []
+    for s_elem in elem.findall("stereotype"):
+        extends = tuple(
+            part for part in (s_elem.get("extends") or "").split(",") if part
+        )
+        parents = [part for part in (s_elem.get("generalizes") or "").split(",") if part]
+        stereotype = Stereotype(
+            s_elem.get("name", "stereotype"),
+            extends=extends,
+            attributes=[_read_property(p) for p in s_elem.findall("attribute")],
+            is_abstract=s_elem.get("abstract") == "true",
+        )
+        profile.add(stereotype)
+        pending.append((stereotype, parents))
+    for stereotype, parents in pending:
+        stereotype.generalizations.extend(profile.stereotype(p) for p in parents)
+    return profile
+
+
+def _profiles_index(profiles: List[Profile]) -> Dict[str, Profile]:
+    return {profile.name: profile for profile in profiles}
+
+
+def _apply_applications(
+    element, parent_elem: ET.Element, profiles: Dict[str, Profile]
+) -> None:
+    for a_elem in parent_elem.findall("appliedStereotype"):
+        profile_name = a_elem.get("profile", "")
+        stereotype_name = a_elem.get("stereotype", "")
+        if profile_name not in profiles:
+            raise SerializationError(
+                f"applied stereotype references unknown profile {profile_name!r}"
+            )
+        stereotype = profiles[profile_name].stereotype(stereotype_name)
+        values = {
+            v.get("attribute", ""): v.get("value")
+            for v in a_elem.findall("value")
+        }
+        element.apply_stereotype(stereotype, **values)
+
+
+def _read_class_model(elem: ET.Element, profiles: Dict[str, Profile]) -> ClassModel:
+    model = ClassModel(elem.get("name", "classes"))
+    deferred_supers: List[tuple[Class, List[str]]] = []
+    for c_elem in elem.findall("class"):
+        cls = Class(
+            c_elem.get("name", "Class"),
+            attributes=[_read_property(p) for p in c_elem.findall("attribute")],
+            is_abstract=c_elem.get("abstract") == "true",
+        )
+        model.add_class(cls)
+        supers = [s for s in (c_elem.get("superclasses") or "").split(",") if s]
+        deferred_supers.append((cls, supers))
+        _apply_applications(cls, c_elem, profiles)
+    for cls, supers in deferred_supers:
+        cls.superclasses.extend(model.get_class(s) for s in supers)
+    for a_elem in elem.findall("association"):
+        ends: List[AssociationEnd] = []
+        for key in ("end1", "end2"):
+            e_elem = a_elem.find(key)
+            if e_elem is None:
+                raise SerializationError(
+                    f"association {a_elem.get('name')!r} missing {key}"
+                )
+            upper_str = e_elem.get("upper", "*")
+            ends.append(
+                AssociationEnd(
+                    model.get_class(e_elem.get("type", "")),
+                    lower=int(e_elem.get("lower", "0")),
+                    upper=None if upper_str == "*" else int(upper_str),
+                    name=e_elem.get("name", ""),
+                )
+            )
+        assoc = Association(a_elem.get("name", "assoc"), ends[0], ends[1])
+        model.add_association(assoc)
+        _apply_applications(assoc, a_elem, profiles)
+    return model
+
+
+def _read_object_model(elem: ET.Element, class_model: ClassModel) -> ObjectModel:
+    model = ObjectModel(elem.get("name", "infrastructure"), class_model)
+    for i_elem in elem.findall("instance"):
+        slots = [
+            Slot(
+                s.get("attribute", ""),
+                s.get("type", "String"),
+                s.get("value"),
+            )
+            for s in i_elem.findall("slot")
+        ]
+        model.add_instance(
+            i_elem.get("name", ""), i_elem.get("classifier", ""), slots=slots
+        )
+    for l_elem in elem.findall("link"):
+        model.add_link(
+            l_elem.get("end1", ""),
+            l_elem.get("end2", ""),
+            l_elem.get("association"),
+            name=l_elem.get("name"),
+        )
+    return model
+
+
+def _read_activity(elem: ET.Element) -> Activity:
+    activity = Activity(elem.get("name", "activity"))
+    nodes: Dict[str, ActivityNode] = {}
+    for n_elem in elem.findall("node"):
+        kind = n_elem.get("kind", "")
+        node_id = n_elem.get("id", "")
+        if kind == "action":
+            node = Action(
+                n_elem.get("atomicService", ""),
+                name=n_elem.get("name"),
+            )
+        elif kind in _NODE_KINDS:
+            name = n_elem.get("name")
+            node = _NODE_KINDS[kind]() if name is None else _NODE_KINDS[kind](name)
+        else:
+            raise SerializationError(f"unknown activity node kind {kind!r}")
+        nodes[node_id] = activity.add_node(node)
+    for f_elem in elem.findall("flow"):
+        source_id = f_elem.get("source", "")
+        target_id = f_elem.get("target", "")
+        if source_id not in nodes or target_id not in nodes:
+            raise SerializationError(
+                f"flow references unknown node: {source_id!r} -> {target_id!r}"
+            )
+        activity.add_flow(nodes[source_id], nodes[target_id])
+    return activity
+
+
+def loads(text: str) -> ModelBundle:
+    """Parse XML text produced by :func:`dumps` back into a bundle."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise SerializationError(f"malformed XML: {exc}") from exc
+    if root.tag != "reproModel":
+        raise SerializationError(
+            f"expected root element 'reproModel', got {root.tag!r}"
+        )
+    bundle = ModelBundle()
+    for p_elem in root.findall("profile"):
+        bundle.profiles.append(_read_profile(p_elem))
+    index = _profiles_index(bundle.profiles)
+    cm_elem = root.find("classModel")
+    if cm_elem is not None:
+        bundle.class_model = _read_class_model(cm_elem, index)
+    om_elem = root.find("objectModel")
+    if om_elem is not None:
+        if bundle.class_model is None:
+            raise SerializationError("objectModel present without classModel")
+        bundle.object_model = _read_object_model(om_elem, bundle.class_model)
+    for a_elem in root.findall("activity"):
+        bundle.activities.append(_read_activity(a_elem))
+    return bundle
+
+
+def load(path: str) -> ModelBundle:
+    """Read a bundle from the file at *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,37 @@
+"""Visualization backends: Graphviz DOT, plain text, Mermaid.
+
+Every diagram kind of the methodology (object, class, activity, profile)
+has an emitter in each backend; the figure-regeneration benchmarks print
+the text backend, and the DOT/Mermaid outputs can be rendered externally.
+"""
+
+from repro.viz.ascii_art import (
+    activity_text,
+    class_table,
+    mapping_table,
+    object_model_text,
+    paths_text,
+    profile_text,
+)
+from repro.viz.dot import activity_dot, class_model_dot, object_model_dot, profile_dot
+from repro.viz.mermaid import activity_mermaid, object_model_mermaid
+from repro.viz.structures import fault_tree_dot, fault_tree_text, rbd_dot, rbd_text
+
+__all__ = [
+    "rbd_text",
+    "rbd_dot",
+    "fault_tree_text",
+    "fault_tree_dot",
+    "object_model_dot",
+    "class_model_dot",
+    "activity_dot",
+    "profile_dot",
+    "object_model_text",
+    "activity_text",
+    "mapping_table",
+    "paths_text",
+    "profile_text",
+    "class_table",
+    "object_model_mermaid",
+    "activity_mermaid",
+]

@@ -1,0 +1,176 @@
+"""Plain-text renderers for terminals, logs and the benchmark harness.
+
+The figure-regeneration benches print these renderings so every paper
+figure has a textual counterpart in ``bench_output.txt``:
+
+* :func:`object_model_text` — Figure 9/11/12 style box rows per network
+  layer (BFS layers from a chosen root);
+* :func:`activity_text` — Figure 10 style ``●→[a]→[b]→…→◉`` chain with
+  fork/join brackets;
+* :func:`mapping_table` — Table I as an aligned text table;
+* :func:`paths_text` — the §VI-G path listing;
+* :func:`profile_text` / :func:`class_table` — profile and Figure 8
+  summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.mapping import ServiceMapping
+from repro.core.pathdiscovery import PathSet
+from repro.uml.activity import Activity, SPLeaf, SPNode, SPParallel, SPSeries
+from repro.uml.classes import ClassModel
+from repro.uml.objects import ObjectModel
+from repro.uml.profiles import Profile
+
+__all__ = [
+    "object_model_text",
+    "activity_text",
+    "mapping_table",
+    "paths_text",
+    "profile_text",
+    "class_table",
+]
+
+
+def object_model_text(model: ObjectModel, *, root: Optional[str] = None) -> str:
+    """Render an object diagram as rows of ``[name:Class]`` boxes.
+
+    Rows are BFS layers from *root* (default: the highest-degree node,
+    which in a campus network is a core switch), echoing the layered
+    layout of Figure 9.
+    """
+    if len(model) == 0:
+        return "(empty object diagram)"
+    if root is None:
+        root = max(model.instance_names(), key=model.degree)
+    elif not model.has_instance(root):
+        root = max(model.instance_names(), key=model.degree)
+
+    visited = {root}
+    layers: List[List[str]] = [[root]]
+    frontier = [root]
+    while frontier:
+        next_frontier: List[str] = []
+        for name in frontier:
+            for neighbor in model.neighbors(name):
+                if neighbor.name not in visited:
+                    visited.add(neighbor.name)
+                    next_frontier.append(neighbor.name)
+        if next_frontier:
+            layers.append(sorted(next_frontier))
+        frontier = next_frontier
+    unreachable = sorted(set(model.instance_names()) - visited)
+    if unreachable:
+        layers.append(unreachable)
+
+    lines = [f"object diagram {model.name!r} ({len(model)} instances, "
+             f"{len(model.links)} links)"]
+    for layer in layers:
+        boxes = "  ".join(f"[{model.get_instance(n).signature}]" for n in layer)
+        lines.append("  " + boxes)
+    return "\n".join(lines)
+
+
+def _structure_text(structure: SPNode) -> str:
+    if isinstance(structure, SPLeaf):
+        return f"[{structure.atomic_service_name}]"
+    if isinstance(structure, SPSeries):
+        return "→".join(_structure_text(child) for child in structure.children)
+    if isinstance(structure, SPParallel):
+        inner = " ∥ ".join(_structure_text(child) for child in structure.children)
+        return "⟨" + inner + "⟩"
+    return "?"
+
+
+def activity_text(activity: Activity) -> str:
+    """Figure 10 style rendering: ``●→[request printing]→…→◉``."""
+    structure = activity.to_structure()
+    return f"●→{_structure_text(structure)}→◉"
+
+
+def mapping_table(mapping: ServiceMapping, *, title: str = "") -> str:
+    """Table I as aligned text (AS | RQ | PR)."""
+    width_service = max(
+        [len("atomic service (AS)")] + [len(p.atomic_service) for p in mapping.pairs]
+    )
+    width_requester = max(
+        [len("RQ")] + [len(p.requester) for p in mapping.pairs]
+    )
+    width_provider = max([len("PR")] + [len(p.provider) for p in mapping.pairs])
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'atomic service (AS)':<{width_service}} | "
+        f"{'RQ':<{width_requester}} | {'PR':<{width_provider}}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for pair in mapping.pairs:
+        lines.append(
+            f"{pair.atomic_service:<{width_service}} | "
+            f"{pair.requester:<{width_requester}} | "
+            f"{pair.provider:<{width_provider}}"
+        )
+    return "\n".join(lines)
+
+
+def paths_text(path_set: PathSet) -> str:
+    """The §VI-G style path listing for one pair."""
+    lines = [
+        f"paths {path_set.requester} -> {path_set.provider} "
+        f"({path_set.count}{', truncated' if path_set.truncated else ''}):"
+    ]
+    for rendered in path_set.as_strings():
+        lines.append(f"  {rendered}")
+    return "\n".join(lines)
+
+
+def profile_text(profile: Profile) -> str:
+    """Figure 6/7 style profile summary."""
+    lines = [f"profile {profile.name!r}:"]
+    for stereotype in profile:
+        flags = []
+        if stereotype.is_abstract:
+            flags.append("abstract")
+        if stereotype.extends:
+            flags.append("extends " + ",".join(stereotype.extends))
+        if stereotype.generalizations:
+            flags.append(
+                "specializes " + ",".join(p.name for p in stereotype.generalizations)
+            )
+        suffix = f" ({'; '.join(flags)})" if flags else ""
+        lines.append(f"  «{stereotype.name}»{suffix}")
+        for prop in stereotype.attributes:
+            lines.append(f"      {prop.name}: {prop.type_name}")
+    return "\n".join(lines)
+
+
+def class_table(model: ClassModel, attributes: Sequence[str] = ("MTBF", "MTTR", "redundantComponents")) -> str:
+    """Figure 8 as a table: one row per concrete class with its values."""
+    rows: List[List[str]] = []
+    for cls in model.classes:
+        if cls.is_abstract:
+            continue
+        row = [cls.name, ";".join(cls.stereotype_names())]
+        for attribute in attributes:
+            try:
+                value = cls.attribute_value(attribute)
+            except Exception:
+                value = ""
+            row.append(str(value))
+        rows.append(row)
+    headers = ["class", "stereotypes", *attributes]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(f"{headers[i]:<{widths[i]}}" for i in range(len(headers)))
+    ]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(f"{row[i]:<{widths[i]}}" for i in range(len(row))))
+    return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""Graphviz DOT emitters for every diagram kind.
+
+"The generated UPSIM can be used to visualize the set of ICT components
+and their connections relevant for a particular pair requester and
+provider" (Section VII).  These emitters produce standard DOT text (no
+graphviz binary required — any renderer works), one function per diagram
+kind of the methodology:
+
+* :func:`object_model_dot` — object diagrams (Figures 9, 11, 12), with
+  UML-style ``name:Class`` labels and optional highlighting of a node
+  subset (e.g. the UPSIM inside the full infrastructure);
+* :func:`class_model_dot` — class diagrams (Figures 1, 8) with stereotype
+  and attribute compartments;
+* :func:`activity_dot` — activity diagrams (Figures 2, 10);
+* :func:`profile_dot` — profile diagrams (Figures 6, 7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.uml.activity import Action, Activity, FinalNode, ForkNode, InitialNode, JoinNode
+from repro.uml.classes import ClassModel
+from repro.uml.objects import ObjectModel
+from repro.uml.profiles import Profile
+
+__all__ = ["object_model_dot", "class_model_dot", "activity_dot", "profile_dot"]
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def object_model_dot(
+    model: ObjectModel,
+    *,
+    highlight: Optional[Iterable[str]] = None,
+    kind_shapes: bool = True,
+) -> str:
+    """DOT for an object diagram.
+
+    ``highlight`` fills the named instances — used to show a UPSIM inside
+    the full infrastructure.  With ``kind_shapes`` the network-profile
+    stereotype selects the node shape (servers as cylinders, printers as
+    notes, clients as ellipses, switches as boxes).
+    """
+    highlighted: Set[str] = set(highlight or ())
+    lines = [f"graph {_quote(model.name)} {{"]
+    lines.append("  node [fontsize=10];")
+    for instance in model.instances:
+        attrs = [f"label={_quote(instance.signature)}"]
+        shape = "box"
+        if kind_shapes:
+            classifier = instance.classifier
+            if classifier.has_stereotype("Server"):
+                shape = "cylinder"
+            elif classifier.has_stereotype("Printer"):
+                shape = "note"
+            elif classifier.has_stereotype("Client"):
+                shape = "ellipse"
+        attrs.append(f"shape={shape}")
+        if instance.name in highlighted:
+            attrs.append('style=filled fillcolor="#cfe8ff"')
+        lines.append(f"  {_quote(instance.name)} [{' '.join(attrs)}];")
+    for link in model.links:
+        lines.append(
+            f"  {_quote(link.end1.name)} -- {_quote(link.end2.name)};"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def class_model_dot(model: ClassModel) -> str:
+    """DOT for a class diagram with stereotype/attribute compartments."""
+    lines = [f"digraph {_quote(model.name)} {{"]
+    lines.append("  node [shape=record fontsize=10];")
+    lines.append("  rankdir=BT;")
+    for cls in model.classes:
+        stereotypes = ";".join(cls.stereotype_names())
+        header = f"\\<\\<{stereotypes}\\>\\>\\n{cls.name}" if stereotypes else cls.name
+        if cls.is_abstract:
+            header += "\\n(abstract)"
+        attributes = []
+        for app in cls.applied_stereotypes:
+            for name, value in app.values().items():
+                if value is not None:
+                    attributes.append(f"{name}={value}")
+        for prop in cls.attributes:
+            rendered = f"{prop.name}:{prop.type_name}"
+            if prop.default is not None:
+                rendered += f"={prop.default}"
+            attributes.append(rendered)
+        label = "{" + header + ("|" + "\\l".join(attributes) + "\\l" if attributes else "") + "}"
+        lines.append(f"  {_quote(cls.name)} [label={_quote(label)}];")
+    for cls in model.classes:
+        for parent in cls.superclasses:
+            lines.append(
+                f"  {_quote(cls.name)} -> {_quote(parent.name)} "
+                f"[arrowhead=onormal];"
+            )
+    for assoc in model.associations:
+        lines.append(
+            f"  {_quote(assoc.end1.type.name)} -> {_quote(assoc.end2.type.name)} "
+            f"[arrowhead=none label={_quote(assoc.name)} fontsize=9 "
+            f"taillabel={_quote(assoc.end1.multiplicity_str())} "
+            f"headlabel={_quote(assoc.end2.multiplicity_str())}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def activity_dot(activity: Activity) -> str:
+    """DOT for an activity diagram (Figure 10 style)."""
+    lines = [f"digraph {_quote(activity.name)} {{"]
+    lines.append("  rankdir=LR;")
+    lines.append("  node [fontsize=10];")
+    ids: Dict[str, str] = {}
+    for index, node in enumerate(activity.nodes):
+        node_id = f"n{index}"
+        ids[node.xmi_id] = node_id
+        if isinstance(node, InitialNode):
+            lines.append(
+                f"  {node_id} [shape=circle style=filled fillcolor=black "
+                f'label="" width=0.15];'
+            )
+        elif isinstance(node, FinalNode):
+            lines.append(
+                f"  {node_id} [shape=doublecircle style=filled "
+                f'fillcolor=black label="" width=0.12];'
+            )
+        elif isinstance(node, (ForkNode, JoinNode)):
+            lines.append(
+                f'  {node_id} [shape=box style=filled fillcolor=black '
+                f'label="" height=0.08 width=0.6];'
+            )
+        elif isinstance(node, Action):
+            lines.append(
+                f"  {node_id} [shape=box style=rounded "
+                f"label={_quote(node.atomic_service_name)}];"
+            )
+    for flow in activity.flows:
+        lines.append(f"  {ids[flow.source.xmi_id]} -> {ids[flow.target.xmi_id]};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def profile_dot(profile: Profile) -> str:
+    """DOT for a profile diagram (Figures 6, 7 style)."""
+    lines = [f"digraph {_quote(profile.name)} {{"]
+    lines.append("  node [shape=record fontsize=10];")
+    lines.append("  rankdir=BT;")
+    for stereotype in profile:
+        header = f"\\<\\<Stereotype\\>\\>\\n{stereotype.name}"
+        if stereotype.is_abstract:
+            header += "\\n(abstract)"
+        attributes = [
+            f"{prop.name}:{prop.type_name}" for prop in stereotype.attributes
+        ]
+        label = "{" + header + ("|" + "\\l".join(attributes) + "\\l" if attributes else "") + "}"
+        lines.append(f"  {_quote(stereotype.name)} [label={_quote(label)}];")
+        for metaclass in stereotype.extends:
+            meta_id = f"meta_{metaclass}"
+            meta_label = "{\\<\\<metaclass\\>\\>\\n" + metaclass + "}"
+            lines.append(f"  {meta_id} [label={_quote(meta_label)}];")
+            lines.append(
+                f"  {_quote(stereotype.name)} -> {meta_id} [arrowhead=normal "
+                f'style=solid label="extends" fontsize=9];'
+            )
+    for stereotype in profile:
+        for parent in stereotype.generalizations:
+            lines.append(
+                f"  {_quote(stereotype.name)} -> {_quote(parent.name)} "
+                f"[arrowhead=onormal];"
+            )
+    lines.append("}")
+    return "\n".join(lines)

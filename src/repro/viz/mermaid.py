@@ -1,0 +1,59 @@
+"""Mermaid emitters — a second, markdown-embeddable rendering backend.
+
+Mermaid diagrams render directly in GitHub/GitLab markdown, so reports and
+issues can embed UPSIM visualizations without a graphviz toolchain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.uml.activity import Action, Activity, FinalNode, ForkNode, InitialNode, JoinNode
+from repro.uml.objects import ObjectModel
+
+__all__ = ["object_model_mermaid", "activity_mermaid"]
+
+
+def _safe_id(name: str) -> str:
+    return "".join(ch if ch.isalnum() else "_" for ch in name)
+
+
+def object_model_mermaid(
+    model: ObjectModel, *, highlight: Optional[Iterable[str]] = None
+) -> str:
+    """``graph TD`` rendering of an object diagram."""
+    highlighted: Set[str] = set(highlight or ())
+    lines = ["graph TD"]
+    for instance in model.instances:
+        node_id = _safe_id(instance.name)
+        lines.append(f'    {node_id}["{instance.signature}"]')
+    for link in model.links:
+        lines.append(
+            f"    {_safe_id(link.end1.name)} --- {_safe_id(link.end2.name)}"
+        )
+    for name in sorted(highlighted):
+        if model.has_instance(name):
+            lines.append(f"    style {_safe_id(name)} fill:#cfe8ff")
+    return "\n".join(lines)
+
+
+def activity_mermaid(activity: Activity) -> str:
+    """``graph LR`` rendering of an activity diagram."""
+    lines = ["graph LR"]
+    ids: Dict[str, str] = {}
+    for index, node in enumerate(activity.nodes):
+        node_id = f"n{index}"
+        ids[node.xmi_id] = node_id
+        if isinstance(node, InitialNode):
+            lines.append(f"    {node_id}((start))")
+        elif isinstance(node, FinalNode):
+            lines.append(f"    {node_id}(((end)))")
+        elif isinstance(node, ForkNode):
+            lines.append(f"    {node_id}{{fork}}")
+        elif isinstance(node, JoinNode):
+            lines.append(f"    {node_id}{{join}}")
+        elif isinstance(node, Action):
+            lines.append(f'    {node_id}["{node.atomic_service_name}"]')
+    for flow in activity.flows:
+        lines.append(f"    {ids[flow.source.xmi_id]} --> {ids[flow.target.xmi_id]}")
+    return "\n".join(lines)

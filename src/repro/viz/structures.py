@@ -1,0 +1,110 @@
+"""Renderers for dependability structures (RBDs and fault trees).
+
+Section VII's outlook transforms the UPSIM into RBDs and fault trees;
+these renderers make the transformed structures inspectable — an indented
+text tree for terminals and Graphviz DOT for documents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dependability import faulttree as ft
+from repro.dependability import rbd
+
+__all__ = ["rbd_text", "rbd_dot", "fault_tree_text", "fault_tree_dot"]
+
+
+def _rbd_label(node: rbd.RBDNode) -> str:
+    if isinstance(node, rbd.Block):
+        if node.value is not None:
+            return f"[{node.name} A={node.value:g}]"
+        return f"[{node.name}]"
+    if isinstance(node, rbd.Series):
+        return "SERIES"
+    if isinstance(node, rbd.Parallel):
+        return "PARALLEL"
+    if isinstance(node, rbd.KofN):
+        return f"{node.k}-of-{len(node.children)}"
+    return type(node).__name__
+
+
+def rbd_text(node: rbd.RBDNode, *, indent: str = "") -> str:
+    """Indented tree rendering of an RBD structure."""
+    lines: List[str] = [f"{indent}{_rbd_label(node)}"]
+    if not isinstance(node, rbd.Block):
+        for child in node.children:  # type: ignore[attr-defined]
+            lines.append(rbd_text(child, indent=indent + "  "))
+    return "\n".join(lines)
+
+
+def _emit_dot(
+    node,
+    label_fn,
+    shape_fn,
+    lines: List[str],
+    counter: Dict[str, int],
+) -> str:
+    node_id = f"n{counter['n']}"
+    counter["n"] += 1
+    label = label_fn(node).replace('"', '\\"')
+    lines.append(f'  {node_id} [label="{label}" shape={shape_fn(node)}];')
+    children = getattr(node, "children", None)
+    if children:
+        for child in children:
+            child_id = _emit_dot(child, label_fn, shape_fn, lines, counter)
+            lines.append(f"  {node_id} -> {child_id};")
+    return node_id
+
+
+def rbd_dot(node: rbd.RBDNode, name: str = "rbd") -> str:
+    """Graphviz DOT rendering of an RBD structure tree."""
+
+    def shape(n) -> str:
+        return "box" if isinstance(n, rbd.Block) else "ellipse"
+
+    lines = [f'digraph "{name}" {{', "  node [fontsize=10];"]
+    _emit_dot(node, _rbd_label, shape, lines, {"n": 0})
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _ft_label(node: ft.FaultTreeNode) -> str:
+    if isinstance(node, ft.BasicEvent):
+        if node.value is not None:
+            return f"{node.name} q={node.value:g}"
+        return node.name
+    if isinstance(node, ft.VoteGate):
+        return f"VOTE {node.k}/{len(node.children)}"
+    if isinstance(node, ft.AndGate):
+        return "AND"
+    if isinstance(node, ft.OrGate):
+        return "OR"
+    return type(node).__name__
+
+
+def fault_tree_text(node: ft.FaultTreeNode, *, indent: str = "") -> str:
+    """Indented tree rendering of a fault tree (top event first)."""
+    lines: List[str] = [f"{indent}{_ft_label(node)}"]
+    if not isinstance(node, ft.BasicEvent):
+        for child in node.children:  # type: ignore[attr-defined]
+            lines.append(fault_tree_text(child, indent=indent + "  "))
+    return "\n".join(lines)
+
+
+def fault_tree_dot(node: ft.FaultTreeNode, name: str = "faulttree") -> str:
+    """Graphviz DOT rendering of a fault tree."""
+
+    def shape(n) -> str:
+        if isinstance(n, ft.BasicEvent):
+            return "circle"
+        if isinstance(n, ft.AndGate):
+            return "invhouse"
+        if isinstance(n, ft.OrGate):
+            return "invtriangle"
+        return "diamond"
+
+    lines = [f'digraph "{name}" {{', "  node [fontsize=10];"]
+    _emit_dot(node, _ft_label, shape, lines, {"n": 0})
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""VPM-style model space and transformation engine (VIATRA2 substrate).
+
+Reimplements the slice of VIATRA2 the methodology relies on: the Visual and
+Precise Metamodeling (VPM) model space with hierarchical entities and typed
+relations, declarative graph-pattern queries, rule-based model-to-model
+transformations, and the UML / service-mapping importers of methodology
+Steps 5–6.
+"""
+
+from repro.vpm.importers import (
+    CLASSES_NS,
+    INSTANCES_NS,
+    MAPPING_NS,
+    METAMODEL_NS,
+    PATHS_NS,
+    SERVICES_NS,
+    MappingImporter,
+    UMLImporter,
+    install_metamodel,
+    load_paths,
+    store_paths,
+)
+from repro.vpm.modelspace import Entity, ModelSpace, Relation
+from repro.vpm.patterns import EntityConstraint, Match, Pattern, RelationConstraint
+from repro.vpm.transform import Rule, Transformation, TransformationTrace
+from repro.vpm.vtcl import parse_pattern, parse_patterns, run_query
+
+__all__ = [
+    "parse_pattern",
+    "parse_patterns",
+    "run_query",
+    "Entity",
+    "ModelSpace",
+    "Relation",
+    "Pattern",
+    "Match",
+    "EntityConstraint",
+    "RelationConstraint",
+    "Rule",
+    "Transformation",
+    "TransformationTrace",
+    "UMLImporter",
+    "MappingImporter",
+    "install_metamodel",
+    "store_paths",
+    "load_paths",
+    "METAMODEL_NS",
+    "CLASSES_NS",
+    "INSTANCES_NS",
+    "SERVICES_NS",
+    "MAPPING_NS",
+    "PATHS_NS",
+]

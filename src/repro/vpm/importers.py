@@ -1,0 +1,279 @@
+"""Importers that load input models into the VPM model space.
+
+Two importers mirror the original tool chain (methodology Steps 5 and 6):
+
+* :class:`UMLImporter` — the "native UML importer": translates class
+  models, object models and activity diagrams into entities and relations
+  ("VIATRA2 creates entities for model elements and their relations.
+  Also, atomic services are transformed into entities of the model
+  space.");
+* :class:`MappingImporter` — the "custom service mapping importer":
+  translates service mapping pairs into entities linked to the imported
+  infrastructure ("parse the XML file, traverse the content tree and find
+  appropriate VPM entities in the metamodel corresponding to the type of
+  each element").
+
+A third helper, :func:`store_paths`, implements the path bookkeeping of
+Step 7: discovered paths are "stored separately in the model space" in a
+reserved tree (``paths.…``) for further manipulation by the UPSIM
+transformation.
+
+Namespace layout used in the model space::
+
+    metamodel.uml.{Class,Association,Instance,AtomicService,CompositeService}
+    uml.classes.<ClassName>          -- value: the Class object
+    uml.instances.<instanceName>     -- value: the InstanceSpecification
+    services.atomic.<serviceName>
+    services.composite.<activityName>
+    mapping.<atomicServiceName>      -- relations: requester, provider
+    paths.<pairKey>.p<i>             -- relations: visits (ordered)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import ImportError_
+from repro.uml.activity import Action, Activity
+from repro.uml.classes import ClassModel
+from repro.uml.objects import ObjectModel
+from repro.vpm.modelspace import Entity, ModelSpace
+
+__all__ = [
+    "UMLImporter",
+    "MappingImporter",
+    "store_paths",
+    "METAMODEL_NS",
+    "CLASSES_NS",
+    "INSTANCES_NS",
+    "SERVICES_NS",
+    "MAPPING_NS",
+    "PATHS_NS",
+]
+
+METAMODEL_NS = "metamodel.uml"
+CLASSES_NS = "uml.classes"
+INSTANCES_NS = "uml.instances"
+SERVICES_NS = "services"
+MAPPING_NS = "mapping"
+PATHS_NS = "paths"
+
+_META_TYPES = (
+    "Class",
+    "Association",
+    "Instance",
+    "Link",
+    "Stereotype",
+    "AtomicService",
+    "CompositeService",
+)
+
+
+def install_metamodel(space: ModelSpace) -> None:
+    """Create the UML metamodel entities (idempotent)."""
+    for type_name in _META_TYPES:
+        space.create_entity(f"{METAMODEL_NS}.{type_name}")
+
+
+class UMLImporter:
+    """Translates UML models into model-space entities and relations."""
+
+    def __init__(self, space: ModelSpace):
+        self.space = space
+        install_metamodel(space)
+
+    # -- class model -------------------------------------------------------
+
+    def import_class_model(self, class_model: ClassModel) -> List[Entity]:
+        """Import classes and associations.
+
+        Classes become entities under ``uml.classes`` typed by the
+        ``Class`` metamodel entity; generalizations become typing between
+        the class entities themselves so that type-extent queries follow
+        the hierarchy.  Associations become ``association`` relations
+        between the class entities (carrying the Association object).
+        """
+        class_meta = self.space.entity(f"{METAMODEL_NS}.Class")
+        created: List[Entity] = []
+        for cls in class_model.classes:
+            entity = self.space.create_entity(
+                f"{CLASSES_NS}.{cls.name}", value=cls, type_entity=class_meta
+            )
+            created.append(entity)
+        for cls in class_model.classes:
+            entity = self.space.entity(f"{CLASSES_NS}.{cls.name}")
+            for parent in cls.superclasses:
+                parent_fqn = f"{CLASSES_NS}.{parent.name}"
+                if not self.space.has_entity(parent_fqn):
+                    raise ImportError_(
+                        f"superclass {parent.name!r} of {cls.name!r} not imported"
+                    )
+                entity.declare_supertype(self.space.entity(parent_fqn))
+        for assoc in class_model.associations:
+            source_fqn = f"{CLASSES_NS}.{assoc.end1.type.name}"
+            target_fqn = f"{CLASSES_NS}.{assoc.end2.type.name}"
+            for fqn in (source_fqn, target_fqn):
+                if not self.space.has_entity(fqn):
+                    raise ImportError_(
+                        f"association {assoc.name!r} references class entity "
+                        f"{fqn!r} not in the model space"
+                    )
+            self.space.create_relation(
+                "association", source_fqn, target_fqn, value=assoc
+            )
+        return created
+
+    # -- object model --------------------------------------------------------
+
+    def import_object_model(self, object_model: ObjectModel) -> List[Entity]:
+        """Import instances and links.
+
+        Instances are typed both by the generic ``Instance`` metamodel
+        entity and by their class entity (so ``instances_of`` a class entity
+        returns its deployed instances).  Links become undirected-by-
+        convention ``link`` relations carrying the Link object.
+        """
+        self.import_class_model(object_model.class_model)
+        instance_meta = self.space.entity(f"{METAMODEL_NS}.Instance")
+        created: List[Entity] = []
+        for instance in object_model.instances:
+            entity = self.space.create_entity(
+                f"{INSTANCES_NS}.{instance.name}",
+                value=instance,
+                type_entity=instance_meta,
+            )
+            class_fqn = f"{CLASSES_NS}.{instance.classifier.name}"
+            if not self.space.has_entity(class_fqn):
+                raise ImportError_(
+                    f"instance {instance.name!r} has classifier "
+                    f"{instance.classifier.name!r} with no class entity"
+                )
+            entity.declare_instance_of(self.space.entity(class_fqn))
+            created.append(entity)
+        for link in object_model.links:
+            self.space.create_relation(
+                "link",
+                f"{INSTANCES_NS}.{link.end1.name}",
+                f"{INSTANCES_NS}.{link.end2.name}",
+                value=link,
+            )
+        return created
+
+    # -- activities ------------------------------------------------------------
+
+    def import_activity(self, activity: Activity) -> Entity:
+        """Import a composite-service activity.
+
+        The composite service becomes an entity under
+        ``services.composite``; each referenced atomic service becomes an
+        entity under ``services.atomic`` (created once, shared between
+        composites); ``contains`` relations connect composite to atomics in
+        topological order (the relation value is the 0-based position).
+        """
+        problems = activity.validate()
+        if problems:
+            raise ImportError_(
+                f"activity {activity.name!r} is not well-formed: {problems}"
+            )
+        atomic_meta = self.space.entity(f"{METAMODEL_NS}.AtomicService")
+        composite_meta = self.space.entity(f"{METAMODEL_NS}.CompositeService")
+        composite = self.space.create_entity(
+            f"{SERVICES_NS}.composite.{activity.name}",
+            value=activity,
+            type_entity=composite_meta,
+        )
+        for position, service_name in enumerate(activity.atomic_service_names()):
+            atomic = self.space.create_entity(
+                f"{SERVICES_NS}.atomic.{service_name}", type_entity=atomic_meta
+            )
+            self.space.create_relation("contains", composite, atomic, value=position)
+        return composite
+
+    def import_bundle(self, bundle) -> None:
+        """Import a full :class:`repro.uml.xmi.ModelBundle`."""
+        if bundle.object_model is not None:
+            self.import_object_model(bundle.object_model)
+        elif bundle.class_model is not None:
+            self.import_class_model(bundle.class_model)
+        for activity in bundle.activities:
+            self.import_activity(activity)
+
+
+class MappingImporter:
+    """Translates service mapping pairs into model-space entities.
+
+    Works with any mapping object exposing ``pairs`` where each pair has
+    ``atomic_service``, ``requester`` and ``provider`` string attributes
+    (duck-typed to keep this substrate independent of
+    :mod:`repro.core.mapping`).  Requester/provider must already exist as
+    instance entities — matching "appropriate VPM entities … corresponding
+    to the type of each element" — otherwise the import fails.
+    """
+
+    def __init__(self, space: ModelSpace):
+        self.space = space
+        install_metamodel(space)
+
+    def import_mapping(self, mapping) -> List[Entity]:
+        created: List[Entity] = []
+        for pair in mapping.pairs:
+            for role, component in (
+                ("requester", pair.requester),
+                ("provider", pair.provider),
+            ):
+                fqn = f"{INSTANCES_NS}.{component}"
+                if not self.space.has_entity(fqn):
+                    raise ImportError_(
+                        f"mapping pair for {pair.atomic_service!r}: {role} "
+                        f"component {component!r} has no instance entity"
+                    )
+            entity = self.space.create_entity(
+                f"{MAPPING_NS}.{pair.atomic_service}", value=pair
+            )
+            self.space.create_relation(
+                "requester", entity, f"{INSTANCES_NS}.{pair.requester}"
+            )
+            self.space.create_relation(
+                "provider", entity, f"{INSTANCES_NS}.{pair.provider}"
+            )
+            created.append(entity)
+        return created
+
+
+def store_paths(
+    space: ModelSpace,
+    pair_key: str,
+    paths: Iterable[Sequence[str]],
+) -> Entity:
+    """Store discovered paths in the reserved ``paths`` tree (Step 7).
+
+    Each path (a sequence of instance names) becomes an entity
+    ``paths.<pair_key>.p<i>`` with ordered ``visits`` relations to the
+    instance entities; the relation value is the hop index so the path can
+    be reconstructed exactly.
+
+    Returns the ``paths.<pair_key>`` container entity.
+    """
+    container = space.create_entity(f"{PATHS_NS}.{pair_key}")
+    for index, path in enumerate(paths):
+        path_entity = container.child(f"p{index}")
+        for hop, node_name in enumerate(path):
+            fqn = f"{INSTANCES_NS}.{node_name}"
+            if not space.has_entity(fqn):
+                raise ImportError_(
+                    f"path {pair_key}/p{index} visits unknown instance "
+                    f"{node_name!r}"
+                )
+            space.create_relation("visits", path_entity, fqn, value=hop)
+    return container
+
+
+def load_paths(space: ModelSpace, pair_key: str) -> List[List[str]]:
+    """Reconstruct the paths stored under ``paths.<pair_key>``."""
+    container = space.entity(f"{PATHS_NS}.{pair_key}")
+    paths: List[List[str]] = []
+    for path_entity in sorted(container.children, key=lambda e: int(e.name[1:])):
+        visits = space.relations_from(path_entity, "visits")
+        visits.sort(key=lambda r: r.value)
+        paths.append([r.target.name for r in visits])
+    return paths

@@ -1,0 +1,373 @@
+"""VPM-style model space: hierarchical entities and typed relations.
+
+VIATRA2 stores all models in its Visual and Precise Metamodeling (VPM)
+model space, "which provides a flexible way to capture languages and models
+from various domains by identifying their entities and relations"
+(Section V-C).  This module reimplements that substrate:
+
+* :class:`Entity` — a named node in a hierarchical namespace tree; entities
+  have a fully-qualified name (``"uml.instances.t1"``), may carry a value,
+  and may be declared *instances of* other entities (their type);
+* :class:`Relation` — a named, directed, typed edge between two entities;
+* :class:`ModelSpace` — the container: root entity, lookup by qualified
+  name, type-extent queries, and relation queries.
+
+Metamodels are ordinary entities (conventionally under ``metamodel.…``);
+conformance is expressed through ``instance_of`` typing, exactly as VPM
+does with its ``instanceOf`` relation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import ModelSpaceError
+
+__all__ = ["Entity", "Relation", "ModelSpace"]
+
+_SEPARATOR = "."
+
+
+class Entity:
+    """A node in the model space's containment tree.
+
+    Entities are created through :meth:`ModelSpace.create_entity` (or
+    :meth:`Entity.child`); direct construction is reserved for the root.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parent: Optional["Entity"] = None,
+        *,
+        value: Any = None,
+        space: Optional["ModelSpace"] = None,
+    ):
+        if not name or _SEPARATOR in name:
+            raise ModelSpaceError(f"invalid entity name {name!r}")
+        self.name = name
+        self.parent = parent
+        self.value = value
+        self._children: Dict[str, Entity] = {}
+        self._types: List[Entity] = []
+        self._supertypes: List[Entity] = []
+        self.space = space if space is not None else (parent.space if parent else None)
+
+    # -- namespace ---------------------------------------------------------
+
+    @property
+    def fqn(self) -> str:
+        """Fully-qualified name, dot-separated from (but excluding) the root."""
+        parts: List[str] = []
+        node: Optional[Entity] = self
+        while node is not None and node.parent is not None:
+            parts.append(node.name)
+            node = node.parent
+        return _SEPARATOR.join(reversed(parts))
+
+    @property
+    def children(self) -> List["Entity"]:
+        return list(self._children.values())
+
+    def child(self, name: str, *, value: Any = None) -> "Entity":
+        """Create (or return existing) child entity *name*."""
+        if name in self._children:
+            existing = self._children[name]
+            if value is not None:
+                existing.value = value
+            return existing
+        entity = Entity(name, self, value=value)
+        self._children[name] = entity
+        if self.space is not None:
+            self.space._register(entity)
+        return entity
+
+    def get(self, name: str) -> "Entity":
+        try:
+            return self._children[name]
+        except KeyError:
+            raise ModelSpaceError(
+                f"entity {self.fqn or '<root>'!r} has no child {name!r}"
+            ) from None
+
+    def has_child(self, name: str) -> bool:
+        return name in self._children
+
+    def remove_child(self, name: str) -> None:
+        if name not in self._children:
+            raise ModelSpaceError(
+                f"entity {self.fqn or '<root>'!r} has no child {name!r}"
+            )
+        child = self._children.pop(name)
+        if self.space is not None:
+            self.space._unregister(child)
+
+    def walk(self) -> Iterator["Entity"]:
+        """Yield this entity and all descendants, depth-first."""
+        yield self
+        for child in self._children.values():
+            yield from child.walk()
+
+    # -- typing ---------------------------------------------------------------
+
+    def declare_instance_of(self, type_entity: "Entity") -> None:
+        """Declare this entity an instance of *type_entity* (VPM instanceOf)."""
+        if any(t is type_entity for t in self._types):
+            return
+        self._types.append(type_entity)
+        if self.space is not None:
+            self.space._register_instance(type_entity, self)
+
+    def declare_supertype(self, supertype: "Entity") -> None:
+        """Declare *supertype* a supertype of this (type) entity — VPM's
+        ``supertypeOf`` relation.  Instances of this entity then also count
+        as instances of *supertype*."""
+        if any(t is supertype for t in self._supertypes):
+            return
+        self._supertypes.append(supertype)
+        if self.space is not None:
+            self.space._register_subtype(supertype, self)
+
+    @property
+    def types(self) -> List["Entity"]:
+        return list(self._types)
+
+    @property
+    def supertypes(self) -> List["Entity"]:
+        return list(self._supertypes)
+
+    def is_instance_of(self, type_entity: "Entity") -> bool:
+        """Whether this entity is an instance of *type_entity*, directly or
+        through the supertype closure of its declared types."""
+        stack = list(self._types)
+        seen: set[int] = set()
+        while stack:
+            current = stack.pop()
+            if id(current) in seen:
+                continue
+            seen.add(id(current))
+            if current is type_entity:
+                return True
+            stack.extend(current._supertypes)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Entity {self.fqn or '<root>'}>"
+
+
+class Relation:
+    """A named, directed edge between two entities, optionally typed."""
+
+    def __init__(
+        self,
+        name: str,
+        source: Entity,
+        target: Entity,
+        *,
+        type_entity: Optional[Entity] = None,
+        value: Any = None,
+    ):
+        self.name = name
+        self.source = source
+        self.target = target
+        self.type_entity = type_entity
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Relation {self.name!r} {self.source.fqn} -> {self.target.fqn}>"
+
+
+class ModelSpace:
+    """The VPM model space: one containment tree plus a relation store."""
+
+    def __init__(self):
+        self.root = Entity("root", None, space=self)
+        self.root.space = self
+        self._by_fqn: Dict[str, Entity] = {}
+        self._relations: List[Relation] = []
+        self._out: Dict[int, List[Relation]] = {}
+        self._in: Dict[int, List[Relation]] = {}
+        self._extent: Dict[int, List[Entity]] = {}
+        self._subtypes: Dict[int, List[Entity]] = {}
+
+    # -- registration internals -------------------------------------------
+
+    def _register(self, entity: Entity) -> None:
+        fqn = entity.fqn
+        if fqn in self._by_fqn:
+            raise ModelSpaceError(f"duplicate entity fqn {fqn!r}")
+        self._by_fqn[fqn] = entity
+
+    def _unregister(self, entity: Entity) -> None:
+        removed = {id(descendant) for descendant in entity.walk()}
+        for descendant in list(entity.walk()):
+            self._by_fqn.pop(descendant.fqn, None)
+        self._relations = [
+            r
+            for r in self._relations
+            if id(r.source) not in removed and id(r.target) not in removed
+        ]
+        # rebuild the per-entity indexes so surviving entities do not keep
+        # stale references to relations of deleted entities
+        self._out = {}
+        self._in = {}
+        for relation in self._relations:
+            self._out.setdefault(id(relation.source), []).append(relation)
+            self._in.setdefault(id(relation.target), []).append(relation)
+        for index in (self._extent, self._subtypes):
+            for type_id in list(index):
+                if type_id in removed:
+                    del index[type_id]
+                    continue
+                kept = [e for e in index[type_id] if id(e) not in removed]
+                if kept:
+                    index[type_id] = kept
+                else:
+                    del index[type_id]
+
+    def _register_instance(self, type_entity: Entity, instance: Entity) -> None:
+        self._extent.setdefault(id(type_entity), []).append(instance)
+
+    def _register_subtype(self, supertype: Entity, subtype: Entity) -> None:
+        self._subtypes.setdefault(id(supertype), []).append(subtype)
+
+    # -- entities ---------------------------------------------------------------
+
+    def create_entity(
+        self,
+        fqn: str,
+        *,
+        value: Any = None,
+        type_entity: Optional[Entity] = None,
+    ) -> Entity:
+        """Create the entity at *fqn*, creating intermediate namespaces.
+
+        Idempotent for the intermediate containers; the leaf may already
+        exist, in which case its value/typing is extended.
+        """
+        if not fqn:
+            raise ModelSpaceError("empty fqn")
+        node = self.root
+        parts = fqn.split(_SEPARATOR)
+        for part in parts[:-1]:
+            node = node.child(part)
+        leaf = node.child(parts[-1], value=value)
+        if type_entity is not None:
+            leaf.declare_instance_of(type_entity)
+        return leaf
+
+    def entity(self, fqn: str) -> Entity:
+        try:
+            return self._by_fqn[fqn]
+        except KeyError:
+            raise ModelSpaceError(f"no entity with fqn {fqn!r}") from None
+
+    def has_entity(self, fqn: str) -> bool:
+        return fqn in self._by_fqn
+
+    def find(self, fqn: str) -> Optional[Entity]:
+        return self._by_fqn.get(fqn)
+
+    def delete_entity(self, fqn: str) -> None:
+        entity = self.entity(fqn)
+        if entity.parent is None:
+            raise ModelSpaceError("cannot delete the root entity")
+        entity.parent.remove_child(entity.name)
+
+    def entities(self) -> Iterator[Entity]:
+        """All entities except the root, in containment order."""
+        for entity in self.root.walk():
+            if entity.parent is not None:
+                yield entity
+
+    def instances_of(self, type_entity: Entity | str) -> List[Entity]:
+        """All instances of a type entity or any of its (transitive) subtypes."""
+        if isinstance(type_entity, str):
+            type_entity = self.entity(type_entity)
+        result: List[Entity] = []
+        seen: set[int] = set()
+        stack = [type_entity]
+        type_seen: set[int] = set()
+        while stack:
+            current = stack.pop()
+            if id(current) in type_seen:
+                continue
+            type_seen.add(id(current))
+            for instance in self._extent.get(id(current), []):
+                if id(instance) not in seen:
+                    seen.add(id(instance))
+                    result.append(instance)
+            stack.extend(self._subtypes.get(id(current), []))
+        return result
+
+    # -- relations --------------------------------------------------------------
+
+    def create_relation(
+        self,
+        name: str,
+        source: Entity | str,
+        target: Entity | str,
+        *,
+        type_entity: Optional[Entity] = None,
+        value: Any = None,
+    ) -> Relation:
+        source_e = self.entity(source) if isinstance(source, str) else source
+        target_e = self.entity(target) if isinstance(target, str) else target
+        relation = Relation(
+            name, source_e, target_e, type_entity=type_entity, value=value
+        )
+        self._relations.append(relation)
+        self._out.setdefault(id(source_e), []).append(relation)
+        self._in.setdefault(id(target_e), []).append(relation)
+        return relation
+
+    def relations(self, name: Optional[str] = None) -> List[Relation]:
+        if name is None:
+            return list(self._relations)
+        return [r for r in self._relations if r.name == name]
+
+    def relations_from(self, entity: Entity | str, name: Optional[str] = None) -> List[Relation]:
+        entity_e = self.entity(entity) if isinstance(entity, str) else entity
+        out = self._out.get(id(entity_e), [])
+        if name is None:
+            return list(out)
+        return [r for r in out if r.name == name]
+
+    def relations_to(self, entity: Entity | str, name: Optional[str] = None) -> List[Relation]:
+        entity_e = self.entity(entity) if isinstance(entity, str) else entity
+        incoming = self._in.get(id(entity_e), [])
+        if name is None:
+            return list(incoming)
+        return [r for r in incoming if r.name == name]
+
+    def relations_of(self, entity: Entity | str, name: Optional[str] = None) -> List[Relation]:
+        """Relations touching *entity* in either direction."""
+        entity_e = self.entity(entity) if isinstance(entity, str) else entity
+        return self.relations_from(entity_e, name) + self.relations_to(entity_e, name)
+
+    def neighbors(self, entity: Entity | str, relation_name: Optional[str] = None) -> List[Entity]:
+        """Entities reachable over one relation hop, either direction."""
+        entity_e = self.entity(entity) if isinstance(entity, str) else entity
+        result: List[Entity] = []
+        seen: set[int] = set()
+        for relation in self.relations_of(entity_e, relation_name):
+            other = relation.target if relation.source is entity_e else relation.source
+            if id(other) not in seen:
+                seen.add(id(other))
+                result.append(other)
+        return result
+
+    # -- bulk helpers --------------------------------------------------------
+
+    def ensure_namespace(self, fqn: str) -> Entity:
+        """Create (if necessary) and return the namespace entity at *fqn*."""
+        return self.create_entity(fqn)
+
+    def size(self) -> int:
+        return len(self._by_fqn)
+
+    def relation_count(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, fqn: str) -> bool:
+        return fqn in self._by_fqn

@@ -1,0 +1,260 @@
+"""Declarative graph patterns over the model space (VTCL-style queries).
+
+The VIATRA2 textual command language (VTCL) "provides declarative model
+queries and manipulation" based on graph pattern matching (Section V-C);
+model transformations "rely on identifying graph patterns as model elements
+and match them to given structures of the metamodel" [14].  This module is
+a compact reimplementation: a :class:`Pattern` declares variables with
+entity constraints (type membership, namespace, fqn, value predicates) and
+relation constraints between variables; :meth:`Pattern.match` enumerates
+all bindings via backtracking search with most-constrained-variable
+ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import PatternError
+from repro.vpm.modelspace import Entity, ModelSpace, Relation
+
+__all__ = [
+    "EntityConstraint",
+    "RelationConstraint",
+    "Match",
+    "Pattern",
+]
+
+
+@dataclass
+class EntityConstraint:
+    """Restrictions on the entity a pattern variable may bind to."""
+
+    variable: str
+    type_fqn: Optional[str] = None
+    namespace: Optional[str] = None
+    fqn: Optional[str] = None
+    predicate: Optional[Callable[[Entity], bool]] = None
+
+    def admits(self, entity: Entity, space: ModelSpace) -> bool:
+        if self.fqn is not None and entity.fqn != self.fqn:
+            return False
+        if self.namespace is not None:
+            prefix = self.namespace + "."
+            if not entity.fqn.startswith(prefix):
+                return False
+        if self.type_fqn is not None:
+            type_entity = space.find(self.type_fqn)
+            if type_entity is None or not entity.is_instance_of(type_entity):
+                return False
+        if self.predicate is not None and not self.predicate(entity):
+            return False
+        return True
+
+    def candidates(self, space: ModelSpace) -> List[Entity]:
+        """Smallest easily-computed candidate set for this constraint."""
+        if self.fqn is not None:
+            entity = space.find(self.fqn)
+            return [entity] if entity is not None else []
+        if self.type_fqn is not None:
+            type_entity = space.find(self.type_fqn)
+            if type_entity is None:
+                return []
+            pool = space.instances_of(type_entity)
+        else:
+            pool = list(space.entities())
+        return [e for e in pool if self.admits(e, space)]
+
+
+@dataclass
+class RelationConstraint:
+    """Requires a relation named *name* between two bound variables.
+
+    ``directed=False`` accepts the relation in either direction.
+    """
+
+    name: str
+    source: str
+    target: str
+    directed: bool = True
+    predicate: Optional[Callable[[Relation], bool]] = None
+
+    def holds(self, src: Entity, dst: Entity, space: ModelSpace) -> bool:
+        for relation in space.relations_from(src, self.name):
+            if relation.target is dst and (
+                self.predicate is None or self.predicate(relation)
+            ):
+                return True
+        if not self.directed:
+            for relation in space.relations_from(dst, self.name):
+                if relation.target is src and (
+                    self.predicate is None or self.predicate(relation)
+                ):
+                    return True
+        return False
+
+
+@dataclass(frozen=True)
+class Match:
+    """One complete binding of pattern variables to entities."""
+
+    bindings: Tuple[Tuple[str, Entity], ...]
+
+    def __getitem__(self, variable: str) -> Entity:
+        for name, entity in self.bindings:
+            if name == variable:
+                return entity
+        raise KeyError(variable)
+
+    def as_dict(self) -> Dict[str, Entity]:
+        return dict(self.bindings)
+
+    def __contains__(self, variable: str) -> bool:
+        return any(name == variable for name, _ in self.bindings)
+
+
+class Pattern:
+    """A graph pattern: variables + entity/relation constraints.
+
+    Example — all instances connected to a given switch::
+
+        pattern = (
+            Pattern("neighbors")
+            .entity("n", type_fqn="metamodel.uml.Instance")
+            .entity("sw", fqn="uml.instances.c1")
+            .relation("link", "n", "sw", directed=False)
+        )
+        for match in pattern.match(space):
+            print(match["n"].fqn)
+    """
+
+    def __init__(self, name: str = "pattern"):
+        self.name = name
+        self._entities: Dict[str, EntityConstraint] = {}
+        self._relations: List[RelationConstraint] = []
+        self._injective = True
+
+    # -- construction (fluent) ----------------------------------------------
+
+    def entity(
+        self,
+        variable: str,
+        *,
+        type_fqn: Optional[str] = None,
+        namespace: Optional[str] = None,
+        fqn: Optional[str] = None,
+        predicate: Optional[Callable[[Entity], bool]] = None,
+    ) -> "Pattern":
+        if variable in self._entities:
+            raise PatternError(f"variable {variable!r} declared twice")
+        self._entities[variable] = EntityConstraint(
+            variable, type_fqn, namespace, fqn, predicate
+        )
+        return self
+
+    def relation(
+        self,
+        name: str,
+        source: str,
+        target: str,
+        *,
+        directed: bool = True,
+        predicate: Optional[Callable[[Relation], bool]] = None,
+    ) -> "Pattern":
+        self._relations.append(
+            RelationConstraint(name, source, target, directed, predicate)
+        )
+        return self
+
+    def allow_repeated_bindings(self) -> "Pattern":
+        """Permit two variables to bind to the same entity (default is an
+        injective match, the common convention in graph transformation)."""
+        self._injective = False
+        return self
+
+    # -- matching -------------------------------------------------------------
+
+    def _check_declared(self) -> None:
+        for constraint in self._relations:
+            for variable in (constraint.source, constraint.target):
+                if variable not in self._entities:
+                    raise PatternError(
+                        f"relation constraint references undeclared variable "
+                        f"{variable!r}"
+                    )
+
+    def match(
+        self, space: ModelSpace, *, bindings: Optional[Dict[str, Entity]] = None
+    ) -> Iterator[Match]:
+        """Enumerate all matches, optionally with some variables pre-bound."""
+        self._check_declared()
+        if not self._entities:
+            return iter(())
+        pre = dict(bindings or {})
+        for variable in pre:
+            if variable not in self._entities:
+                raise PatternError(f"pre-binding for undeclared variable {variable!r}")
+
+        candidate_sets: Dict[str, List[Entity]] = {}
+        for variable, constraint in self._entities.items():
+            if variable in pre:
+                entity = pre[variable]
+                candidate_sets[variable] = (
+                    [entity] if constraint.admits(entity, space) else []
+                )
+            else:
+                candidate_sets[variable] = constraint.candidates(space)
+
+        # most-constrained-variable first
+        order = sorted(candidate_sets, key=lambda v: len(candidate_sets[v]))
+        return self._search(space, order, candidate_sets, {}, 0)
+
+    def _relations_checkable(self, bound: Dict[str, Entity]) -> List[RelationConstraint]:
+        return [
+            c
+            for c in self._relations
+            if c.source in bound and c.target in bound
+        ]
+
+    def _search(
+        self,
+        space: ModelSpace,
+        order: Sequence[str],
+        candidates: Dict[str, List[Entity]],
+        bound: Dict[str, Entity],
+        depth: int,
+    ) -> Iterator[Match]:
+        if depth == len(order):
+            yield Match(tuple(sorted(bound.items())))
+            return
+        variable = order[depth]
+        for entity in candidates[variable]:
+            if self._injective and any(e is entity for e in bound.values()):
+                continue
+            bound[variable] = entity
+            ok = True
+            for constraint in self._relations:
+                if constraint.source in bound and constraint.target in bound:
+                    # only re-check constraints that involve the new variable
+                    if variable not in (constraint.source, constraint.target):
+                        continue
+                    if not constraint.holds(
+                        bound[constraint.source], bound[constraint.target], space
+                    ):
+                        ok = False
+                        break
+            if ok:
+                yield from self._search(space, order, candidates, bound, depth + 1)
+            del bound[variable]
+
+    def match_one(
+        self, space: ModelSpace, *, bindings: Optional[Dict[str, Entity]] = None
+    ) -> Optional[Match]:
+        """First match or ``None``."""
+        for match in self.match(space, bindings=bindings):
+            return match
+        return None
+
+    def count(self, space: ModelSpace) -> int:
+        return sum(1 for _ in self.match(space))

@@ -1,0 +1,126 @@
+"""Rule-based model-to-model transformation over the model space.
+
+VIATRA2 "complements the Eclipse framework with a transformation language
+based on graph theory techniques and abstract state machines"
+(Section V).  This module provides the corresponding engine: a
+:class:`Rule` couples a :class:`~repro.vpm.patterns.Pattern` (the left-hand
+side) with an action callback (the right-hand side); a
+:class:`Transformation` executes rules in order — either *forall* (apply
+the action to every match of the current state) or *iterate* (re-match
+after each application until a fixpoint, with a safety bound).
+
+The UPSIM generation of Step 8 is expressed as such a transformation in
+:mod:`repro.core.upsim` (entities matched in the discovered-path tree are
+copied into the output model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ModelSpaceError
+from repro.vpm.modelspace import Entity, ModelSpace
+from repro.vpm.patterns import Match, Pattern
+
+__all__ = ["Rule", "Transformation", "TransformationTrace"]
+
+#: Safety bound for ``iterate`` rules to guarantee termination even when a
+#: rule keeps producing new matches.
+MAX_ITERATIONS = 100_000
+
+
+@dataclass
+class TransformationTrace:
+    """Execution record: how often each rule fired."""
+
+    firings: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, rule_name: str) -> None:
+        self.firings[rule_name] = self.firings.get(rule_name, 0) + 1
+
+    def total(self) -> int:
+        return sum(self.firings.values())
+
+
+class Rule:
+    """One transformation rule: pattern (LHS) + action (RHS).
+
+    Parameters
+    ----------
+    name:
+        Rule name, used in traces and error messages.
+    pattern:
+        The graph pattern to match.
+    action:
+        ``action(space, match)``; may create/delete entities and relations.
+    mode:
+        ``"forall"`` (default) — snapshot all matches of the current state,
+        then apply the action once per match.  ``"iterate"`` — repeatedly
+        find one match and apply the action until no match remains; the
+        action must eventually invalidate the pattern or the engine raises.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pattern: Pattern,
+        action: Callable[[ModelSpace, Match], None],
+        *,
+        mode: str = "forall",
+    ):
+        if mode not in ("forall", "iterate"):
+            raise ModelSpaceError(f"unknown rule mode {mode!r}")
+        self.name = name
+        self.pattern = pattern
+        self.action = action
+        self.mode = mode
+
+    def apply(self, space: ModelSpace, trace: TransformationTrace) -> int:
+        """Execute the rule; return the number of firings."""
+        fired = 0
+        if self.mode == "forall":
+            for match in list(self.pattern.match(space)):
+                self.action(space, match)
+                trace.record(self.name)
+                fired += 1
+            return fired
+        # iterate
+        while True:
+            match = self.pattern.match_one(space)
+            if match is None:
+                return fired
+            self.action(space, match)
+            trace.record(self.name)
+            fired += 1
+            if fired > MAX_ITERATIONS:
+                raise ModelSpaceError(
+                    f"rule {self.name!r} exceeded {MAX_ITERATIONS} iterations; "
+                    f"the action likely does not invalidate the pattern"
+                )
+
+
+class Transformation:
+    """An ordered sequence of rules executed against one model space."""
+
+    def __init__(self, name: str = "transformation"):
+        self.name = name
+        self.rules: List[Rule] = []
+
+    def add_rule(
+        self,
+        name: str,
+        pattern: Pattern,
+        action: Callable[[ModelSpace, Match], None],
+        *,
+        mode: str = "forall",
+    ) -> "Transformation":
+        self.rules.append(Rule(name, pattern, action, mode=mode))
+        return self
+
+    def run(self, space: ModelSpace) -> TransformationTrace:
+        """Execute all rules in order; return the firing trace."""
+        trace = TransformationTrace()
+        for rule in self.rules:
+            rule.apply(space, trace)
+        return trace

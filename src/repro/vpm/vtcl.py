@@ -1,0 +1,214 @@
+"""A small VTCL-style textual pattern language.
+
+VIATRA2's textual command language (VTCL) "provides a flexible syntax to
+access the VPM model space … based on mathematical formalisms and provides
+declarative model queries" (Section V-C).  This module implements a
+compact textual front end over :class:`repro.vpm.patterns.Pattern`, so
+queries can be written as text (in files, configuration, or a REPL) rather
+than built programmatically::
+
+    pattern clients_on_edge(c, sw) {
+        c : instanceof "uml.classes.Comp"
+        sw = "uml.instances.e1"
+        link(c, sw) undirected
+    }
+
+Statement forms inside a pattern body (one per line, ``//`` and ``#``
+comments allowed):
+
+``VAR = "FQN"``
+    bind the variable to the entity with that fully-qualified name;
+``VAR : instanceof "TYPE_FQN"``
+    the variable's entity must be an instance of the type entity;
+``VAR in "NAMESPACE"``
+    the variable's entity must live under the namespace;
+``NAME(SRC, DST) [undirected]``
+    a relation named ``NAME`` must connect the two variables.
+
+Multiple constraint clauses for one variable may be chained:
+``c : instanceof "X" in "ns"``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PatternError
+from repro.vpm.modelspace import ModelSpace
+from repro.vpm.patterns import Pattern
+
+__all__ = ["parse_pattern", "parse_patterns", "run_query"]
+
+_HEADER_RE = re.compile(
+    r"^\s*pattern\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*"
+    r"\(\s*(?P<params>[^)]*)\)\s*\{\s*$"
+)
+_BINDING_RE = re.compile(
+    r"^(?P<var>[A-Za-z_][A-Za-z0-9_]*)\s*=\s*\"(?P<fqn>[^\"]+)\"$"
+)
+_CONSTRAINT_RE = re.compile(
+    r"^(?P<var>[A-Za-z_][A-Za-z0-9_]*)\s*:?\s*"
+    r"(?P<clauses>(?:instanceof|in)\s+.+)$"
+)
+_CLAUSE_RE = re.compile(
+    r"(instanceof\s+\"(?P<type>[^\"]+)\")|(in\s+\"(?P<ns>[^\"]+)\")"
+)
+_RELATION_RE = re.compile(
+    r"^(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*\(\s*(?P<src>[A-Za-z_][A-Za-z0-9_]*)\s*,"
+    r"\s*(?P<dst>[A-Za-z_][A-Za-z0-9_]*)\s*\)\s*(?P<undirected>undirected)?$"
+)
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("//", "#"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+class _PatternBuilder:
+    """Accumulates per-variable constraints before building the Pattern."""
+
+    def __init__(self, name: str, variables: List[str]):
+        self.name = name
+        self.variables = variables
+        self.fqn: Dict[str, str] = {}
+        self.type_fqn: Dict[str, str] = {}
+        self.namespace: Dict[str, str] = {}
+        self.relations: List[Tuple[str, str, str, bool]] = []
+
+    def check_declared(self, variable: str, line_number: int) -> None:
+        if variable not in self.variables:
+            raise PatternError(
+                f"line {line_number}: variable {variable!r} not declared in "
+                f"pattern {self.name!r} header"
+            )
+
+    def build(self) -> Pattern:
+        pattern = Pattern(self.name)
+        for variable in self.variables:
+            pattern.entity(
+                variable,
+                fqn=self.fqn.get(variable),
+                type_fqn=self.type_fqn.get(variable),
+                namespace=self.namespace.get(variable),
+            )
+        for name, source, target, directed in self.relations:
+            pattern.relation(name, source, target, directed=directed)
+        return pattern
+
+
+def _parse_body_line(
+    builder: _PatternBuilder, line: str, line_number: int
+) -> None:
+    binding = _BINDING_RE.match(line)
+    if binding:
+        builder.check_declared(binding.group("var"), line_number)
+        builder.fqn[binding.group("var")] = binding.group("fqn")
+        return
+    constraint = _CONSTRAINT_RE.match(line)
+    if constraint:
+        variable = constraint.group("var")
+        builder.check_declared(variable, line_number)
+        clauses = constraint.group("clauses")
+        matched_any = False
+        consumed = 0
+        for clause in _CLAUSE_RE.finditer(clauses):
+            matched_any = True
+            consumed += len(clause.group(0))
+            if clause.group("type"):
+                builder.type_fqn[variable] = clause.group("type")
+            if clause.group("ns"):
+                builder.namespace[variable] = clause.group("ns")
+        leftovers = _CLAUSE_RE.sub("", clauses).strip()
+        if not matched_any or leftovers:
+            raise PatternError(
+                f"line {line_number}: cannot parse constraint clause(s) "
+                f"{clauses!r}"
+            )
+        return
+    relation = _RELATION_RE.match(line)
+    if relation:
+        for variable in (relation.group("src"), relation.group("dst")):
+            builder.check_declared(variable, line_number)
+        builder.relations.append(
+            (
+                relation.group("name"),
+                relation.group("src"),
+                relation.group("dst"),
+                relation.group("undirected") is None,
+            )
+        )
+        return
+    raise PatternError(f"line {line_number}: cannot parse statement {line!r}")
+
+
+def parse_patterns(text: str) -> Dict[str, Pattern]:
+    """Parse all ``pattern … { … }`` blocks in *text*."""
+    patterns: Dict[str, Pattern] = {}
+    builder: Optional[_PatternBuilder] = None
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        header = _HEADER_RE.match(raw)
+        if header:
+            if builder is not None:
+                raise PatternError(
+                    f"line {line_number}: nested pattern definition"
+                )
+            params = [
+                p.strip() for p in header.group("params").split(",") if p.strip()
+            ]
+            if not params:
+                raise PatternError(
+                    f"line {line_number}: pattern "
+                    f"{header.group('name')!r} declares no variables"
+                )
+            if len(set(params)) != len(params):
+                raise PatternError(
+                    f"line {line_number}: duplicate pattern variables"
+                )
+            builder = _PatternBuilder(header.group("name"), params)
+            continue
+        if line == "}":
+            if builder is None:
+                raise PatternError(f"line {line_number}: unmatched '}}'")
+            if builder.name in patterns:
+                raise PatternError(
+                    f"line {line_number}: duplicate pattern {builder.name!r}"
+                )
+            patterns[builder.name] = builder.build()
+            builder = None
+            continue
+        if builder is None:
+            raise PatternError(
+                f"line {line_number}: statement outside a pattern block"
+            )
+        _parse_body_line(builder, line, line_number)
+    if builder is not None:
+        raise PatternError(f"pattern {builder.name!r} not closed with '}}'")
+    if not patterns:
+        raise PatternError("no pattern definitions found")
+    return patterns
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse exactly one pattern block."""
+    patterns = parse_patterns(text)
+    if len(patterns) != 1:
+        raise PatternError(
+            f"expected exactly one pattern, found {sorted(patterns)}"
+        )
+    return next(iter(patterns.values()))
+
+
+def run_query(space: ModelSpace, text: str) -> List[Dict[str, str]]:
+    """Parse one pattern and return its matches as variable→fqn dicts."""
+    pattern = parse_pattern(text)
+    return [
+        {variable: entity.fqn for variable, entity in match.bindings}
+        for match in pattern.match(space)
+    ]

@@ -1,0 +1,91 @@
+"""Tests for provider selection / placement ranking."""
+
+import pytest
+
+from repro.analysis.placement import rank_providers
+from repro.casestudy import printing_mapping, printing_service
+from repro.errors import AnalysisError
+
+
+class TestRankProviders:
+    def test_printer_candidates_all_scored(self, usi_topo, printing):
+        scores = rank_providers(
+            usi_topo,
+            printing,
+            printing_mapping("t1", "p2"),
+            role="p2",
+            candidates=usi_topo.nodes_of_kind("Printer"),
+        )
+        assert {s.provider for s in scores} == {"p1", "p2", "p3"}
+        availabilities = [s.availability for s in scores]
+        assert availabilities == sorted(availabilities, reverse=True)
+
+    def test_best_printer_for_t1_shares_its_path(self, usi_topo, printing):
+        """p3 hangs off d1 — the same distribution switch t1 uses — so for
+        client t1 it shares more components (positive correlation) and
+        yields the best perceived availability."""
+        scores = rank_providers(
+            usi_topo,
+            printing,
+            printing_mapping("t1", "p2"),
+            role="p2",
+            candidates=["p1", "p2", "p3"],
+            include_links=False,
+        )
+        assert scores[0].provider in ("p1", "p3")  # both on d1's side
+        by_name = {s.provider: s for s in scores}
+        assert by_name["p3"].availability >= by_name["p2"].availability
+
+    def test_server_candidates(self, usi_topo, printing):
+        scores = rank_providers(
+            usi_topo,
+            printing,
+            printing_mapping("t1", "p2"),
+            role="printS",
+            candidates=["printS", "file1", "file2"],
+            include_links=False,
+        )
+        assert len(scores) == 3
+        # all three servers hang off d4 -> identical structure, equal scores
+        values = {round(s.availability, 12) for s in scores}
+        assert len(values) == 1
+
+    def test_upsim_size_reported(self, usi_topo, printing):
+        scores = rank_providers(
+            usi_topo,
+            printing,
+            printing_mapping("t1", "p2"),
+            role="p2",
+            candidates=["p2"],
+        )
+        assert scores[0].upsim_size == 10
+
+    def test_unknown_role(self, usi_topo, printing):
+        with pytest.raises(AnalysisError):
+            rank_providers(
+                usi_topo,
+                printing,
+                printing_mapping("t1", "p2"),
+                role="ghost",
+                candidates=["p1"],
+            )
+
+    def test_unknown_candidate(self, usi_topo, printing):
+        with pytest.raises(AnalysisError):
+            rank_providers(
+                usi_topo,
+                printing,
+                printing_mapping("t1", "p2"),
+                role="p2",
+                candidates=["ghost"],
+            )
+
+    def test_empty_candidates(self, usi_topo, printing):
+        with pytest.raises(AnalysisError):
+            rank_providers(
+                usi_topo,
+                printing,
+                printing_mapping("t1", "p2"),
+                role="p2",
+                candidates=[],
+            )

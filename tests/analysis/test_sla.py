@@ -1,0 +1,70 @@
+"""Tests for SLA checking and improvement planning."""
+
+import pytest
+
+from repro.analysis.sla import check_sla, improvement_plan
+from repro.errors import AnalysisError
+
+
+class TestCheckSLA:
+    def test_met(self, upsim_t1_p2):
+        verdict = check_sla(upsim_t1_p2, 0.99)
+        assert verdict.met
+        assert verdict.margin > 0
+        assert verdict.achieved == pytest.approx(0.9916267, abs=1e-6)
+
+    def test_violated(self, upsim_t1_p2):
+        verdict = check_sla(upsim_t1_p2, 0.999)
+        assert not verdict.met
+        assert verdict.margin < 0
+
+    def test_downtime_fields(self, upsim_t1_p2):
+        verdict = check_sla(upsim_t1_p2, 0.999)
+        assert verdict.allowed_downtime_minutes_per_year == pytest.approx(
+            0.001 * 8760 * 60
+        )
+        assert (
+            verdict.expected_downtime_minutes_per_year
+            > verdict.allowed_downtime_minutes_per_year
+        )
+
+    def test_invalid_requirement(self, upsim_t1_p2):
+        with pytest.raises(AnalysisError):
+            check_sla(upsim_t1_p2, 1.5)
+
+
+class TestImprovementPlan:
+    def test_upgrading_the_client_closes_the_gap(self, upsim_t1_p2):
+        """The client dominates: a perfect t1 meets 99.9%, nothing else does."""
+        options = improvement_plan(upsim_t1_p2, 0.999)
+        by_name = {o.component: o for o in options}
+        assert by_name["t1"].closes_gap
+        losers = [o for o in options if o.component != "t1"]
+        assert all(not o.closes_gap for o in losers)
+
+    def test_sorted_best_first(self, upsim_t1_p2):
+        options = improvement_plan(upsim_t1_p2, 0.999)
+        achievables = [o.achievable for o in options]
+        assert achievables == sorted(achievables, reverse=True)
+        assert options[0].component == "t1"
+
+    def test_achievable_is_upper_bound(self, upsim_t1_p2):
+        baseline = check_sla(upsim_t1_p2, 0.5, include_links=False).achieved
+        for option in improvement_plan(upsim_t1_p2, 0.999):
+            assert option.achievable >= baseline - 1e-12
+
+    def test_subset(self, upsim_t1_p2):
+        options = improvement_plan(upsim_t1_p2, 0.999, components=["c1", "c2"])
+        assert {o.component for o in options} == {"c1", "c2"}
+
+    def test_unknown_component(self, upsim_t1_p2):
+        with pytest.raises(AnalysisError):
+            improvement_plan(upsim_t1_p2, 0.999, components=["ghost"])
+
+    def test_redundant_component_upgrade_useless(self, upsim_t1_p2):
+        """Making c2 perfect barely moves the needle — its failures are
+        already masked on the t1 side and it is not the bottleneck."""
+        options = improvement_plan(upsim_t1_p2, 0.999)
+        by_name = {o.component: o for o in options}
+        baseline = check_sla(upsim_t1_p2, 0.999, include_links=False).achieved
+        assert by_name["c2"].achievable - baseline < 1e-4

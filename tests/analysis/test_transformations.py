@@ -1,0 +1,122 @@
+"""Tests for the UPSIM → RBD/FT transformations."""
+
+import pytest
+
+from repro.analysis.transformations import (
+    component_availabilities,
+    pair_fault_tree,
+    pair_path_sets,
+    pair_rbd,
+    service_path_set_groups,
+    service_rbd,
+)
+from repro.core.pathdiscovery import PathSet
+from repro.dependability.rbd import Parallel, Series
+from repro.errors import AnalysisError
+
+
+class TestComponentAvailabilities:
+    def test_all_instances_covered(self, upsim_t1_p2):
+        table = component_availabilities(upsim_t1_p2.model, include_links=False)
+        assert set(table) == set(upsim_t1_p2.component_names)
+
+    def test_links_included_by_default(self, upsim_t1_p2):
+        table = component_availabilities(upsim_t1_p2.model)
+        assert "c1|c2" in table
+        assert table["c1|c2"] == pytest.approx(1 - 0.5 / 1e6)
+
+    def test_paper_vs_exact_formula(self, upsim_t1_p2):
+        paper = component_availabilities(upsim_t1_p2.model, include_links=False)
+        exact = component_availabilities(
+            upsim_t1_p2.model, formula="exact", include_links=False
+        )
+        for name in paper:
+            assert exact[name] >= paper[name]
+            assert exact[name] == pytest.approx(paper[name], abs=1e-4)
+
+    def test_t1_value(self, upsim_t1_p2):
+        table = component_availabilities(upsim_t1_p2.model, include_links=False)
+        assert table["t1"] == pytest.approx(0.992)
+
+
+class TestPairRBD:
+    def test_two_paths_parallel_of_series(self, upsim_t1_p2):
+        structure = pair_rbd(
+            upsim_t1_p2.path_sets["request_printing"], include_links=False
+        )
+        assert isinstance(structure, Parallel)
+        assert len(structure.children) == 2
+        assert all(isinstance(c, Series) for c in structure.children)
+
+    def test_includes_link_blocks(self, upsim_t1_p2):
+        structure = pair_rbd(upsim_t1_p2.path_sets["request_printing"])
+        names = set(structure.component_names())
+        assert "t1|e1" in names or "e1|t1" in names
+
+    def test_empty_pathset_rejected(self):
+        with pytest.raises(AnalysisError):
+            pair_rbd(PathSet("a", "b"))
+        with pytest.raises(AnalysisError):
+            pair_path_sets(PathSet("a", "b"))
+
+    def test_single_path_is_series(self, diamond_topo):
+        from repro.core.pathdiscovery import discover_paths
+
+        single = discover_paths(diamond_topo, "pc", "e")
+        structure = pair_rbd(single, include_links=False)
+        assert isinstance(structure, Series)
+
+    def test_evaluation_exact_under_sharing(self, upsim_t1_p2):
+        """Both t1 paths share t1/e1/d1/c1/d4/printS; factoring vs the
+        brute-force bitmask evaluator must agree."""
+        from repro.analysis.exact import pair_availability
+
+        path_set = upsim_t1_p2.path_sets["request_printing"]
+        table = component_availabilities(upsim_t1_p2.model)
+        structure = pair_rbd(path_set)
+        sets = pair_path_sets(path_set)
+        assert structure.availability(table) == pytest.approx(
+            pair_availability(sets, table), abs=1e-12
+        )
+
+
+class TestPairFaultTree:
+    def test_dual_of_rbd(self, upsim_t1_p2):
+        path_set = upsim_t1_p2.path_sets["request_printing"]
+        table = component_availabilities(upsim_t1_p2.model)
+        tree = pair_fault_tree(path_set)
+        structure = pair_rbd(path_set)
+        assert tree.availability(table) == pytest.approx(
+            structure.availability(table), abs=1e-12
+        )
+
+    def test_cut_sets_contain_spofs(self, upsim_t1_p2):
+        tree = pair_fault_tree(
+            upsim_t1_p2.path_sets["request_printing"], include_links=False
+        )
+        cuts = tree.minimal_cut_sets()
+        singletons = {next(iter(c)) for c in cuts if len(c) == 1}
+        # every component on ALL paths is a single point of failure
+        assert {"t1", "e1", "d1", "c1", "d4", "printS"} <= singletons
+        assert "c2" not in singletons  # redundant core member
+
+
+class TestServiceRBD:
+    def test_distinct_pairs_deduplicated(self, upsim_t1_p2):
+        structure = service_rbd(upsim_t1_p2, include_links=False)
+        # Table I has 5 atomic services but only 2 distinct pairs
+        assert isinstance(structure, Series)
+        assert len(structure.children) == 2
+
+    def test_groups_match_rbd(self, upsim_t1_p2):
+        groups = service_path_set_groups(upsim_t1_p2, include_links=False)
+        assert len(groups) == 2
+        sizes = sorted(len(group) for group in groups)
+        assert sizes == [2, 2]  # two redundant paths per pair
+
+    def test_empty_upsim_rejected(self, upsim_t1_p2):
+        from repro.core.upsim import UPSIM
+
+        empty = UPSIM(model=upsim_t1_p2.model, service_name="x")
+        with pytest.raises(AnalysisError):
+            service_rbd(empty)

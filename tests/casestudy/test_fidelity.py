@@ -1,0 +1,216 @@
+"""Fidelity tests: the reproduction must match the paper's printed artifacts.
+
+Each test cites the paper artifact it checks.  These are the ground-truth
+anchors of the whole reproduction.
+"""
+
+import pytest
+
+from repro.casestudy import (
+    CLIENTS,
+    PRINTERS,
+    SERVERS,
+    printing_mapping,
+    printing_service,
+    table1_mapping,
+    usi_catalog,
+)
+from repro.core import discover_paths, generate_upsim
+
+
+class TestFigure8Classes:
+    """Figure 8: predefined network element classes with availability data."""
+
+    EXPECTED = {
+        "Server": (60000.0, 0.1),
+        "C6500": (183498.0, 0.5),
+        "C2960": (61320.0, 0.5),
+        "HP2650": (199000.0, 0.5),
+        "C3750": (188575.0, 0.5),
+        "Comp": (3000.0, 24.0),
+        "Printer": (2880.0, 1.0),
+    }
+
+    @pytest.mark.parametrize("class_name", sorted(EXPECTED))
+    def test_mtbf_mttr(self, usi, class_name):
+        cls = usi.class_model.get_class(class_name)
+        mtbf, mttr = self.EXPECTED[class_name]
+        assert cls.attribute_value("MTBF") == mtbf
+        assert cls.attribute_value("MTTR") == mttr
+        assert cls.attribute_value("redundantComponents") == 0
+
+    def test_stereotype_kinds(self, usi):
+        cm = usi.class_model
+        assert cm.get_class("C6500").has_stereotype("Switch")
+        assert cm.get_class("Comp").has_stereotype("Client")
+        assert cm.get_class("Printer").has_stereotype("Printer")
+        assert cm.get_class("Server").has_stereotype("Server")
+
+    def test_all_classes_carry_component_stereotype(self, usi):
+        for name in self.EXPECTED:
+            assert usi.class_model.get_class(name).has_stereotype("Component")
+
+
+class TestFigure9Infrastructure:
+    """Figures 5/9: the deployed topology."""
+
+    def test_roster(self, usi):
+        names = set(usi.instance_names())
+        assert set(CLIENTS) <= names
+        assert set(PRINTERS) <= names
+        assert set(SERVERS) <= names
+        assert {"c1", "c2", "d1", "d2", "d3", "d4", "e1", "e2", "e3", "e4"} <= names
+        assert len(names) == 34
+
+    def test_core_redundancy(self, usi_topo):
+        assert "c2" in usi_topo.neighbors("c1")
+        assert {"c1", "c2"} <= set(usi_topo.neighbors("d4"))
+
+    def test_client_counts(self, usi):
+        assert len(usi.instances_of("Comp")) == 15
+        assert len(usi.instances_of("Printer")) == 3
+        assert len(usi.instances_of("Server")) == 6
+
+    def test_connected(self, usi_topo):
+        assert usi_topo.is_connected()
+
+    def test_print_server_on_d4(self, usi_topo):
+        assert usi_topo.neighbors("printS") == ["d4"]
+
+
+class TestSectionVIGPaths:
+    """Section VI-G: the printed path listing for pair (t1, printS)."""
+
+    def test_exactly_the_two_paths(self, usi_topo):
+        result = discover_paths(usi_topo, "t1", "printS")
+        assert set(result.paths) == {
+            ("t1", "e1", "d1", "c1", "d4", "printS"),
+            ("t1", "e1", "d1", "c1", "c2", "d4", "printS"),
+        }
+
+    def test_rendered_like_paper(self, usi_topo):
+        rendered = set(discover_paths(usi_topo, "t1", "printS").as_strings())
+        assert rendered == {
+            "t1—e1—d1—c1—d4—printS",
+            "t1—e1—d1—c1—c2—d4—printS",
+        }
+
+
+class TestTable1:
+    """Table I: mapping of atomic services to (RQ, PR)."""
+
+    def test_rows(self, table1):
+        expected = [
+            ("request_printing", "t1", "printS"),
+            ("login_to_printer", "p2", "printS"),
+            ("send_document_list", "printS", "p2"),
+            ("select_documents", "p2", "printS"),
+            ("send_documents", "printS", "p2"),
+        ]
+        actual = [
+            (p.atomic_service, p.requester, p.provider) for p in table1.pairs
+        ]
+        assert actual == expected
+
+
+class TestFigure10Printing:
+    """Figure 10: the printing service activity diagram."""
+
+    def test_five_sequential_atomic_services(self, printing):
+        assert printing.execution_order() == [
+            "request_printing",
+            "login_to_printer",
+            "send_document_list",
+            "select_documents",
+            "send_documents",
+        ]
+        # strictly sequential: no forks
+        kinds = [node.kind for node in printing.activity.nodes]
+        assert "fork" not in kinds and "join" not in kinds
+
+    def test_descriptions_present(self, printing):
+        for atomic in printing.atomic_services:
+            assert atomic.description
+
+
+class TestFigure11UPSIM:
+    """Figure 11: UPSIM for printing from t1 on p2 via printS."""
+
+    def test_component_set(self, upsim_t1_p2):
+        assert set(upsim_t1_p2.component_names) == {
+            "t1", "e1", "d1", "c1", "c2", "d4", "printS", "e3", "d2", "p2",
+        }
+
+    def test_signatures(self, upsim_t1_p2):
+        signatures = set(upsim_t1_p2.signatures())
+        assert {"t1:Comp", "e1:HP2650", "d1:C3750", "d2:C3750", "c1:C6500",
+                "c2:C6500", "d4:C2960", "p2:Printer", "printS:Server",
+                "e3:HP2650"} == signatures
+
+    def test_properties_inherited(self, upsim_t1_p2):
+        """Section V-E: UPSIM instances keep the class properties."""
+        assert upsim_t1_p2.model.get_instance("t1").property_value("MTBF") == 3000.0
+        assert upsim_t1_p2.model.get_instance("c1").property_value("MTBF") == 183498.0
+
+
+class TestFigure12UPSIM:
+    """Figure 12: UPSIM for printing from t15 on p3 via printS."""
+
+    def test_component_set(self, upsim_t15_p3):
+        assert set(upsim_t15_p3.component_names) == {
+            "t15", "e4", "d2", "c2", "c1", "d4", "printS", "p3", "d1",
+        }
+
+    def test_contains_both_distribution_switches(self, upsim_t15_p3):
+        # the visible fragment of Figure 12 shows d1 AND d2
+        assert "d1" in upsim_t15_p3.component_names
+        assert "d2" in upsim_t15_p3.component_names
+
+    def test_only_mapping_changed(self, usi_topo, printing):
+        """Section VI-H: 'we only have to make minor adjustments to the
+        service mapping' — same service object, different mapping."""
+        upsim = generate_upsim(usi_topo, printing, printing_mapping("t15", "p3"))
+        assert upsim.service_name == "printing"
+
+
+class TestCatalog:
+    def test_usi_catalog_contents(self):
+        catalog = usi_catalog()
+        assert catalog.has_composite("printing")
+        assert catalog.has_composite("backup")
+        assert catalog.has_atomic("request_printing")
+        assert catalog.has_atomic("authenticate")
+
+    def test_backup_service_runs(self, usi_topo):
+        from repro.casestudy import backup_mapping, backup_service
+
+        upsim = generate_upsim(usi_topo, backup_service(), backup_mapping("t6"))
+        assert "backup" in upsim.component_names
+        assert "d3" in upsim.component_names
+
+
+class TestEmailService:
+    """Section II: the email granularity example with shared atomics."""
+
+    def test_email_composition(self):
+        from repro.casestudy import email_service
+
+        service = email_service()
+        assert service.execution_order() == [
+            "authenticate",
+            "send_mail",
+            "fetch_mail",
+        ]
+
+    def test_authenticate_shared_between_composites(self):
+        catalog = usi_catalog()
+        users = {c.name for c in catalog.composites_using("authenticate")}
+        assert users == {"backup", "email"}
+
+    def test_email_upsim(self, usi_topo):
+        from repro.casestudy import email_mapping, email_service
+
+        upsim = generate_upsim(usi_topo, email_service(), email_mapping("t2"))
+        assert "email" in upsim.component_names
+        assert "d3" in upsim.component_names
+        assert "t2" in upsim.component_names

@@ -1,0 +1,61 @@
+"""Tests for the Figure 1 context model."""
+
+from repro.core.context import CONTEXT_CLASS_NAMES, context_model
+
+
+class TestContextModel:
+    def test_all_figure1_classes_present(self):
+        model = context_model()
+        for name in CONTEXT_CLASS_NAMES:
+            assert model.has_class(name), name
+
+    def test_component_hierarchy(self):
+        model = context_model()
+        component = model.get_class("ICTComponent")
+        assert component.is_abstract
+        assert model.get_class("Device").conforms_to(component)
+        assert model.get_class("Connector").conforms_to(component)
+
+    def test_service_hierarchy(self):
+        model = context_model()
+        service = model.get_class("Service")
+        assert service.is_abstract
+        assert model.get_class("CompositeService").conforms_to(service)
+        assert model.get_class("AtomicService").conforms_to(service)
+
+    def test_connector_connects_exactly_two_devices(self):
+        """Figure 1: every Connector must be associated to two Devices."""
+        model = context_model()
+        connects = model.get_association("connects")
+        device_end = (
+            connects.end2
+            if connects.end2.type.name == "Device"
+            else connects.end1
+        )
+        assert device_end.lower == 2
+        assert device_end.upper == 2
+
+    def test_composition_requires_two_atomics(self):
+        """A composite is composed of two or more atomic services."""
+        model = context_model()
+        composed = model.get_association("composedOf")
+        atomic_end = (
+            composed.end2
+            if composed.end2.type.name == "AtomicService"
+            else composed.end1
+        )
+        assert atomic_end.lower == 2
+        assert atomic_end.upper is None
+
+    def test_mapping_pair_references(self):
+        model = context_model()
+        for name in ("maps", "requesterComponent", "providerComponent"):
+            assoc = model.get_association(name)
+            type_names = {assoc.end1.type.name, assoc.end2.type.name}
+            assert "ServiceMappingPair" in type_names
+
+    def test_mapping_pair_attributes(self):
+        model = context_model()
+        pair = model.get_class("ServiceMappingPair")
+        names = {p.name for p in pair.attributes}
+        assert names == {"atomicService", "requester", "provider"}

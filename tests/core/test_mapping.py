@@ -1,0 +1,153 @@
+"""Tests for service mapping pairs and the Figure 3 XML round trip."""
+
+import pytest
+
+from repro.core.mapping import ServiceMapping, ServiceMappingPair
+from repro.errors import MappingError
+from repro.network.topology import Topology
+
+
+class TestPair:
+    def test_fields_required(self):
+        with pytest.raises(MappingError):
+            ServiceMappingPair("", "a", "b")
+        with pytest.raises(MappingError):
+            ServiceMappingPair("s", "", "b")
+        with pytest.raises(MappingError):
+            ServiceMappingPair("s", "a", "")
+
+    def test_reversed(self):
+        pair = ServiceMappingPair("s", "a", "b")
+        back = pair.reversed()
+        assert back.requester == "b"
+        assert back.provider == "a"
+        assert back.atomic_service == "s"
+
+    def test_endpoints(self):
+        assert ServiceMappingPair("s", "a", "b").endpoints() == ("a", "b")
+
+
+class TestMapping:
+    def test_atomic_service_is_unique_key(self):
+        mapping = ServiceMapping([ServiceMappingPair("s", "a", "b")])
+        with pytest.raises(MappingError):
+            mapping.add(ServiceMappingPair("s", "x", "y"))
+
+    def test_set_pair_replaces(self):
+        mapping = ServiceMapping([ServiceMappingPair("s", "a", "b")])
+        mapping.set_pair("s", "x", "y")
+        assert mapping.pair_for("s").requester == "x"
+        assert len(mapping) == 1
+
+    def test_remove(self):
+        mapping = ServiceMapping([ServiceMappingPair("s", "a", "b")])
+        mapping.remove("s")
+        assert not mapping.has_pair("s")
+        with pytest.raises(MappingError):
+            mapping.remove("s")
+
+    def test_pair_for_unknown(self):
+        with pytest.raises(MappingError):
+            ServiceMapping().pair_for("ghost")
+
+    def test_pairs_for_service_filters_and_orders(self, printing):
+        """Extra pairs are ignored; executed services must all be mapped."""
+        mapping = ServiceMapping(
+            [
+                ServiceMappingPair("request_printing", "t1", "printS"),
+                ServiceMappingPair("login_to_printer", "p2", "printS"),
+                ServiceMappingPair("send_document_list", "printS", "p2"),
+                ServiceMappingPair("select_documents", "p2", "printS"),
+                ServiceMappingPair("send_documents", "printS", "p2"),
+                ServiceMappingPair("unrelated_service", "x", "y"),  # ignored
+            ]
+        )
+        pairs = mapping.pairs_for_service(printing)
+        assert [p.atomic_service for p in pairs] == [
+            "request_printing",
+            "login_to_printer",
+            "send_document_list",
+            "select_documents",
+            "send_documents",
+        ]
+
+    def test_pairs_for_service_missing_pair(self, printing):
+        mapping = ServiceMapping(
+            [ServiceMappingPair("request_printing", "t1", "printS")]
+        )
+        with pytest.raises(MappingError):
+            mapping.pairs_for_service(printing)
+
+    def test_validate_against_topology(self, diamond):
+        topology = Topology(diamond)
+        good = ServiceMapping([ServiceMappingPair("s", "pc", "s")])
+        assert good.validate_against(topology) == []
+        bad = ServiceMapping([ServiceMappingPair("s", "pc", "ghost")])
+        problems = bad.validate_against(topology)
+        assert len(problems) == 1
+        assert "ghost" in problems[0]
+
+
+class TestXML:
+    def test_roundtrip(self, table1):
+        text = table1.to_xml()
+        restored = ServiceMapping.from_xml(text)
+        assert len(restored) == len(table1)
+        for pair in table1.pairs:
+            other = restored.pair_for(pair.atomic_service)
+            assert other == pair
+
+    def test_figure3_schema_shape(self, table1):
+        text = table1.to_xml()
+        assert "<servicemapping>" in text
+        assert '<atomicservice id="request_printing">' in text
+        assert '<requester id="t1"' in text
+        assert '<provider id="printS"' in text
+
+    def test_parse_figure3_example(self):
+        """The exact XML shape printed in Figure 3."""
+        text = """<servicemapping>
+            <atomicservice id="atomic_service_1">
+              <requester id="component_a"></requester>
+              <provider id="component_b"></provider>
+            </atomicservice>
+        </servicemapping>"""
+        mapping = ServiceMapping.from_xml(text)
+        pair = mapping.pair_for("atomic_service_1")
+        assert pair.requester == "component_a"
+        assert pair.provider == "component_b"
+
+    def test_malformed_xml(self):
+        with pytest.raises(MappingError):
+            ServiceMapping.from_xml("<oops")
+
+    def test_wrong_root(self):
+        with pytest.raises(MappingError):
+            ServiceMapping.from_xml("<mapping/>")
+
+    def test_missing_requester(self):
+        text = (
+            '<servicemapping><atomicservice id="s">'
+            '<provider id="b"/></atomicservice></servicemapping>'
+        )
+        with pytest.raises(MappingError):
+            ServiceMapping.from_xml(text)
+
+    def test_missing_id(self):
+        text = (
+            "<servicemapping><atomicservice>"
+            '<requester id="a"/><provider id="b"/>'
+            "</atomicservice></servicemapping>"
+        )
+        with pytest.raises(MappingError):
+            ServiceMapping.from_xml(text)
+
+    def test_unexpected_element(self):
+        with pytest.raises(MappingError):
+            ServiceMapping.from_xml("<servicemapping><weird/></servicemapping>")
+
+    def test_file_roundtrip(self, tmp_path, table1):
+        path = tmp_path / "mapping.xml"
+        table1.save(str(path))
+        restored = ServiceMapping.load(str(path))
+        assert len(restored) == 5

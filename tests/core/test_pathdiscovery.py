@@ -1,0 +1,171 @@
+"""Tests for path discovery, including the networkx cross-check property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pathdiscovery import (
+    PathSet,
+    count_paths,
+    discover_paths,
+    discover_paths_networkx,
+    iter_paths,
+)
+from repro.errors import PathDiscoveryError
+from repro.network.generators import complete, erdos_renyi, ladder, ring
+
+
+class TestDiamond:
+    def test_two_paths(self, diamond_topo):
+        result = discover_paths(diamond_topo, "pc", "s")
+        assert result.count == 2
+        assert set(result.paths) == {
+            ("pc", "e", "a", "s"),
+            ("pc", "e", "b", "s"),
+        }
+
+    def test_paths_are_simple(self, diamond_topo):
+        for path in discover_paths(diamond_topo, "pc", "s"):
+            assert len(path) == len(set(path))
+
+    def test_endpoints_included(self, diamond_topo):
+        for path in discover_paths(diamond_topo, "pc", "s"):
+            assert path[0] == "pc"
+            assert path[-1] == "s"
+
+    def test_same_node_pair(self, diamond_topo):
+        result = discover_paths(diamond_topo, "pc", "pc")
+        assert result.paths == [("pc",)]
+
+    def test_unknown_endpoint(self, diamond_topo):
+        with pytest.raises(PathDiscoveryError):
+            discover_paths(diamond_topo, "pc", "ghost")
+        with pytest.raises(PathDiscoveryError):
+            discover_paths(diamond_topo, "ghost", "s")
+
+    def test_deterministic_order(self, diamond_topo):
+        first = discover_paths(diamond_topo, "pc", "s").paths
+        second = discover_paths(diamond_topo, "pc", "s").paths
+        assert first == second
+
+
+class TestBudgets:
+    def test_max_depth_filters_long_paths(self, diamond_topo):
+        result = discover_paths(diamond_topo, "pc", "s", max_depth=3)
+        assert result.count == 2  # both paths have exactly 3 links
+        result2 = discover_paths(diamond_topo, "pc", "s", max_depth=2)
+        assert result2.count == 0
+
+    def test_max_paths_truncation_flag(self):
+        builder = complete(6)
+        topology = builder.topology()
+        result = discover_paths(topology, "client", "server", max_paths=10)
+        assert result.count == 10
+        assert result.truncated
+
+    def test_max_paths_not_truncated_when_enough(self, diamond_topo):
+        result = discover_paths(diamond_topo, "pc", "s", max_paths=2)
+        assert result.count == 2
+        assert not result.truncated
+
+    def test_count_budget_guard(self):
+        topology = complete(7).topology()
+        with pytest.raises(PathDiscoveryError):
+            count_paths(topology, "client", "server", budget=5)
+
+    def test_count_within_budget(self, diamond_topo):
+        assert count_paths(diamond_topo, "pc", "s", budget=100) == 2
+
+    def test_iter_is_lazy(self):
+        """Pulling one path from a huge space must be cheap."""
+        topology = complete(30).topology()  # astronomically many paths
+        iterator = iter_paths(topology, "client", "server")
+        first = next(iterator)
+        assert first[0] == "client" and first[-1] == "server"
+
+
+class TestPathSet:
+    def test_nodes_union(self, diamond_topo):
+        result = discover_paths(diamond_topo, "pc", "s")
+        assert result.nodes() == {"pc", "e", "a", "b", "s"}
+
+    def test_links_union(self, diamond_topo):
+        result = discover_paths(diamond_topo, "pc", "s")
+        assert result.links() == {
+            ("e", "pc"),
+            ("a", "e"),
+            ("b", "e"),
+            ("a", "s"),
+            ("b", "s"),
+        }
+
+    def test_shortest_longest(self, usi_topo):
+        result = discover_paths(usi_topo, "t1", "printS")
+        assert result.shortest() == ("t1", "e1", "d1", "c1", "d4", "printS")
+        assert result.longest() == ("t1", "e1", "d1", "c1", "c2", "d4", "printS")
+        assert sorted(result.hop_counts()) == [5, 6]
+
+    def test_empty_pathset_raises(self):
+        empty = PathSet("a", "b")
+        assert not empty
+        with pytest.raises(PathDiscoveryError):
+            empty.shortest()
+        with pytest.raises(PathDiscoveryError):
+            empty.longest()
+
+    def test_as_strings(self, usi_topo):
+        rendered = discover_paths(usi_topo, "t1", "printS").as_strings()
+        assert "t1—e1—d1—c1—d4—printS" in rendered
+
+
+class TestCrossCheck:
+    @pytest.mark.parametrize(
+        "builder_factory",
+        [
+            lambda: ring(8),
+            lambda: ladder(5),
+            lambda: complete(6),
+            lambda: erdos_renyi(12, 0.25, seed=11),
+        ],
+    )
+    def test_matches_networkx_on_families(self, builder_factory):
+        topology = builder_factory().topology()
+        ours = discover_paths(topology, "client", "server")
+        reference = discover_paths_networkx(topology, "client", "server")
+        assert set(ours.paths) == set(reference.paths)
+
+    def test_matches_networkx_on_usi(self, usi_topo):
+        for requester, provider in [("t1", "printS"), ("p2", "printS"), ("t15", "p3")]:
+            ours = discover_paths(usi_topo, requester, provider)
+            reference = discover_paths_networkx(usi_topo, requester, provider)
+            assert set(ours.paths) == set(reference.paths)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(4, 12),
+        p=st.floats(0.1, 0.6),
+        seed=st.integers(0, 10_000),
+        max_depth=st.one_of(st.none(), st.integers(2, 8)),
+    )
+    def test_property_matches_networkx_on_random_graphs(self, n, p, seed, max_depth):
+        """The DFS and networkx must agree on arbitrary random topologies."""
+        topology = erdos_renyi(n, p, seed=seed).topology()
+        ours = discover_paths(
+            topology, "client", "server", max_depth=max_depth
+        )
+        reference = discover_paths_networkx(
+            topology, "client", "server", max_depth=max_depth
+        )
+        assert set(ours.paths) == set(reference.paths)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(4, 10), p=st.floats(0.2, 0.7), seed=st.integers(0, 1000))
+    def test_property_paths_are_simple_and_anchored(self, n, p, seed):
+        topology = erdos_renyi(n, p, seed=seed).topology()
+        for path in iter_paths(topology, "client", "server"):
+            assert path[0] == "client"
+            assert path[-1] == "server"
+            assert len(path) == len(set(path))
+            # consecutive nodes must actually be linked
+            for a, b in zip(path, path[1:]):
+                assert b in topology.neighbors(a)

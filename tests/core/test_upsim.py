@@ -1,0 +1,125 @@
+"""Tests for UPSIM generation (Definition 2, methodology Step 8)."""
+
+import pytest
+
+from repro.core.mapping import ServiceMapping, ServiceMappingPair
+from repro.core.upsim import generate_upsim, upsim_name
+from repro.errors import PathDiscoveryError
+from repro.network.topology import Topology
+from repro.services.atomic import AtomicService
+from repro.services.composite import CompositeService
+
+
+@pytest.fixture()
+def fetch_service():
+    return CompositeService.sequential(
+        "fetch", [AtomicService("auth"), AtomicService("get")]
+    )
+
+
+@pytest.fixture()
+def fetch_mapping():
+    return ServiceMapping(
+        [
+            ServiceMappingPair("auth", "pc", "s"),
+            ServiceMappingPair("get", "s", "pc"),
+        ]
+    )
+
+
+class TestGeneration:
+    def test_upsim_is_subset_of_infrastructure(self, diamond, fetch_service, fetch_mapping):
+        upsim = generate_upsim(diamond, fetch_service, fetch_mapping)
+        assert set(upsim.component_names) <= set(diamond.instance_names())
+
+    def test_definition2_node_filter(self, diamond, fetch_service, fetch_mapping):
+        """Only nodes on at least one discovered path are preserved."""
+        upsim = generate_upsim(diamond, fetch_service, fetch_mapping)
+        assert set(upsim.component_names) == {"pc", "e", "a", "b", "s"}
+
+    def test_signatures_preserved(self, diamond, fetch_service, fetch_mapping):
+        upsim = generate_upsim(diamond, fetch_service, fetch_mapping)
+        for name in upsim.component_names:
+            assert upsim.model.get_instance(name) is diamond.get_instance(name)
+
+    def test_properties_inherited(self, diamond, fetch_service, fetch_mapping):
+        upsim = generate_upsim(diamond, fetch_service, fetch_mapping)
+        assert upsim.model.get_instance("pc").property_value("MTBF") == 5000.0
+
+    def test_accepts_topology_or_model(self, diamond, fetch_service, fetch_mapping):
+        from_model = generate_upsim(diamond, fetch_service, fetch_mapping)
+        from_topo = generate_upsim(Topology(diamond), fetch_service, fetch_mapping)
+        assert set(from_model.component_names) == set(from_topo.component_names)
+
+    def test_reversed_pair_reuses_discovery(self, diamond, fetch_service, fetch_mapping):
+        upsim = generate_upsim(diamond, fetch_service, fetch_mapping)
+        forward = upsim.path_sets["auth"]
+        backward = upsim.path_sets["get"]
+        assert {tuple(reversed(p)) for p in backward.paths} == set(forward.paths)
+        assert backward.requester == "s"
+        assert backward.provider == "pc"
+
+    def test_no_path_raises(self, small_builder, fetch_service):
+        small_builder.add("island", "Pc")
+        mapping = ServiceMapping(
+            [
+                ServiceMappingPair("auth", "island", "s"),
+                ServiceMappingPair("get", "s", "island"),
+            ]
+        )
+        model = small_builder.build(validate=False)
+        with pytest.raises(PathDiscoveryError):
+            generate_upsim(model, fetch_service, mapping)
+
+    def test_contributions_tracked(self, diamond, fetch_service, fetch_mapping):
+        upsim = generate_upsim(diamond, fetch_service, fetch_mapping)
+        assert upsim.contributions["pc"] == {"auth", "get"}
+        assert upsim.contributions["a"] == {"auth", "get"}
+
+    def test_components_for(self, diamond, fetch_service, fetch_mapping):
+        upsim = generate_upsim(diamond, fetch_service, fetch_mapping)
+        assert upsim.components_for("auth") == {"pc", "e", "a", "b", "s"}
+        with pytest.raises(PathDiscoveryError):
+            upsim.components_for("ghost")
+
+    def test_used_links(self, diamond, fetch_service, fetch_mapping):
+        upsim = generate_upsim(diamond, fetch_service, fetch_mapping)
+        assert ("a", "e") in upsim.used_links()
+        assert len(upsim.used_links()) == 5
+
+    def test_model_name(self, diamond, fetch_service, fetch_mapping):
+        upsim = generate_upsim(diamond, fetch_service, fetch_mapping)
+        assert upsim.model.name == upsim_name("fetch", fetch_mapping)
+        assert upsim.model.name == "upsim_fetch_pc_s"
+
+    def test_topology_view(self, diamond, fetch_service, fetch_mapping):
+        upsim = generate_upsim(diamond, fetch_service, fetch_mapping)
+        assert upsim.topology().is_connected()
+
+
+class TestPartialScope:
+    def test_disjoint_pairs_merge(self, small_builder):
+        """A service whose atomic services touch different subtrees."""
+        small_builder.add("pc2", "Pc")
+        small_builder.connect("pc2", "b")
+        model = small_builder.build()
+        service = CompositeService.sequential(
+            "two", [AtomicService("one"), AtomicService("two_")]
+        )
+        mapping = ServiceMapping(
+            [
+                ServiceMappingPair("one", "pc", "a"),
+                ServiceMappingPair("two_", "pc2", "b"),
+            ]
+        )
+        upsim = generate_upsim(model, service, mapping)
+        # pair one: pc-e-a (and pc-e-b-s? no: provider is a; paths pc-e-a,
+        # pc-e-b-s-a) — union covers both pairs' paths
+        assert "pc" in upsim.component_names
+        assert "pc2" in upsim.component_names
+        assert upsim.contributions["pc2"] == {"two_"}
+
+    def test_upsim_excludes_unrelated_periphery(self, usi_topo, printing, table1):
+        upsim = generate_upsim(usi_topo, printing, table1)
+        for absent in ("t2", "t9", "e2", "e4", "d3", "backup", "email", "p1", "p3"):
+            assert absent not in upsim.component_names

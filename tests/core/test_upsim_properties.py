@@ -1,0 +1,123 @@
+"""Property-based tests of UPSIM generation invariants (Definition 2).
+
+Over randomly generated infrastructures, services and mappings, the UPSIM
+must always be a connected, endpoint-containing sub-model whose instances
+keep their signatures, and generation must be idempotent (re-running the
+methodology on the UPSIM itself yields the same model).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapping import ServiceMapping, ServiceMappingPair
+from repro.core.upsim import generate_upsim
+from repro.errors import PathDiscoveryError
+from repro.network.generators import erdos_renyi
+from repro.network.topology import Topology
+from repro.services.atomic import AtomicService
+from repro.services.composite import CompositeService
+
+
+def _service_and_mapping(node_names, draw_pairs):
+    """Build a 2..4-step composite service with random endpoint pairs."""
+    atomics = [AtomicService(f"step{i}") for i in range(len(draw_pairs))]
+    service = CompositeService.sequential("svc", atomics)
+    mapping = ServiceMapping(
+        [
+            ServiceMappingPair(atomic.name, requester, provider)
+            for atomic, (requester, provider) in zip(atomics, draw_pairs)
+        ]
+    )
+    return service, mapping
+
+
+@st.composite
+def upsim_problems(draw):
+    # keep densities moderate: all-paths enumeration on dense 14-node
+    # graphs is combinatorial and would dominate the test run
+    n = draw(st.integers(5, 12))
+    p = draw(st.floats(0.1, 0.35))
+    seed = draw(st.integers(0, 10_000))
+    builder = erdos_renyi(n, p, seed=seed)
+    topology = builder.topology()
+    nodes = topology.nodes()
+    n_steps = draw(st.integers(2, 4))
+    pairs = []
+    for _ in range(n_steps):
+        requester = draw(st.sampled_from(nodes))
+        provider = draw(st.sampled_from(nodes))
+        pairs.append((requester, provider))
+    service, mapping = _service_and_mapping(nodes, pairs)
+    return topology, service, mapping
+
+
+class TestUPSIMInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(problem=upsim_problems())
+    def test_subset_endpoints_signatures(self, problem):
+        topology, service, mapping = problem
+        try:
+            upsim = generate_upsim(topology, service, mapping)
+        except PathDiscoveryError:
+            return  # requester == provider is fine; disconnection impossible here
+        names = set(upsim.component_names)
+        # UPSIM ⊆ N (Definition 2)
+        assert names <= set(topology.nodes())
+        # every mapped endpoint is included
+        for pair in mapping.pairs:
+            assert pair.requester in names
+            assert pair.provider in names
+        # signatures are shared objects from the source infrastructure
+        for name in names:
+            assert upsim.model.get_instance(name) is topology.model.get_instance(
+                name
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(problem=upsim_problems())
+    def test_nodes_match_pathset_union(self, problem):
+        topology, service, mapping = problem
+        try:
+            upsim = generate_upsim(topology, service, mapping)
+        except PathDiscoveryError:
+            return
+        union = set()
+        for path_set in upsim.path_sets.values():
+            union |= path_set.nodes()
+        assert set(upsim.component_names) == union
+
+    @settings(max_examples=25, deadline=None)
+    @given(problem=upsim_problems())
+    def test_idempotence(self, problem):
+        """Generating a UPSIM from a UPSIM (same service+mapping) changes
+        nothing: the model is already exactly the user-perceived scope."""
+        topology, service, mapping = problem
+        try:
+            first = generate_upsim(topology, service, mapping)
+        except PathDiscoveryError:
+            return
+        second = generate_upsim(Topology(first.model), service, mapping)
+        assert set(second.component_names) == set(first.component_names)
+        for name, path_set in first.path_sets.items():
+            assert set(second.path_sets[name].paths) == set(path_set.paths)
+
+    @settings(max_examples=25, deadline=None)
+    @given(problem=upsim_problems())
+    def test_every_pairs_endpoints_connected_inside_upsim(self, problem):
+        """Each pair must remain connected within the UPSIM itself."""
+        topology, service, mapping = problem
+        try:
+            upsim = generate_upsim(topology, service, mapping)
+        except PathDiscoveryError:
+            return
+        inner = upsim.topology()
+        from repro.core.pathdiscovery import iter_paths
+
+        for pair in mapping.pairs:
+            assert (
+                next(
+                    iter_paths(inner, pair.requester, pair.provider), None
+                )
+                is not None
+            )

@@ -1,0 +1,147 @@
+"""Tests for Formula (1) and component availability resolution."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dependability.availability import (
+    HOURS_PER_YEAR,
+    downtime_minutes_per_year,
+    exact_availability,
+    instance_availability,
+    link_availability,
+    steady_state_availability,
+    with_redundancy,
+)
+from repro.errors import AnalysisError
+
+
+class TestFormula1:
+    def test_paper_values(self):
+        """Figure 8 component availabilities via Formula (1)."""
+        assert steady_state_availability(3000.0, 24.0) == pytest.approx(0.992)
+        assert steady_state_availability(2880.0, 1.0) == pytest.approx(1 - 1 / 2880)
+        assert steady_state_availability(183498.0, 0.5) == pytest.approx(
+            1 - 0.5 / 183498
+        )
+
+    def test_zero_mttr_is_perfect(self):
+        assert steady_state_availability(100.0, 0.0) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            steady_state_availability(0.0, 1.0)
+        with pytest.raises(AnalysisError):
+            steady_state_availability(-5.0, 1.0)
+        with pytest.raises(AnalysisError):
+            steady_state_availability(10.0, -1.0)
+        with pytest.raises(AnalysisError):
+            steady_state_availability(10.0, 20.0)
+
+    def test_exact_formula(self):
+        assert exact_availability(3000.0, 24.0) == pytest.approx(3000.0 / 3024.0)
+        with pytest.raises(AnalysisError):
+            exact_availability(0.0, 1.0)
+
+    @given(
+        mtbf=st.floats(1.0, 1e7),
+        mttr=st.floats(0.0, 100.0),
+    )
+    def test_paper_vs_exact_close_when_mttr_small(self, mtbf, mttr):
+        """Formula (1) is the first-order approximation of the exact value;
+        the gap is bounded by (MTTR/MTBF)^2."""
+        if mttr > mtbf:
+            return
+        paper = steady_state_availability(mtbf, mttr)
+        exact = exact_availability(mtbf, mttr)
+        # 1 - x <= 1/(1+x) mathematically; allow float rounding noise
+        assert paper <= exact + 1e-12
+        assert exact - paper <= (mttr / mtbf) ** 2 + 1e-12
+
+    @given(mtbf=st.floats(1.0, 1e7), mttr=st.floats(0.0, 1.0))
+    def test_formula_in_unit_interval(self, mtbf, mttr):
+        value = steady_state_availability(mtbf, mttr)
+        assert 0.0 <= value <= 1.0
+
+
+class TestRedundancy:
+    def test_zero_redundancy_identity(self):
+        assert with_redundancy(0.9, 0) == pytest.approx(0.9)
+
+    def test_one_spare(self):
+        assert with_redundancy(0.9, 1) == pytest.approx(1 - 0.01)
+
+    def test_monotone_in_spares(self):
+        values = [with_redundancy(0.8, k) for k in range(5)]
+        assert values == sorted(values)
+
+    def test_invalid(self):
+        with pytest.raises(AnalysisError):
+            with_redundancy(1.5, 0)
+        with pytest.raises(AnalysisError):
+            with_redundancy(0.9, -1)
+
+
+class TestResolution:
+    def test_instance_availability_paper(self, usi):
+        t1 = usi.get_instance("t1")
+        resolved = instance_availability(t1)
+        assert resolved.mtbf == 3000.0
+        assert resolved.mttr == 24.0
+        assert resolved.availability == pytest.approx(0.992)
+        assert resolved.unavailability() == pytest.approx(0.008)
+
+    def test_instance_availability_exact(self, usi):
+        t1 = usi.get_instance("t1")
+        resolved = instance_availability(t1, formula="exact")
+        assert resolved.availability == pytest.approx(3000.0 / 3024.0)
+
+    def test_unknown_formula(self, usi):
+        with pytest.raises(AnalysisError):
+            instance_availability(usi.get_instance("t1"), formula="magic")
+
+    def test_link_availability(self, usi):
+        link = usi.find_link("t1", "e1")
+        assert link is not None
+        resolved = link_availability(link)
+        assert resolved.mtbf == 1_000_000.0
+        assert resolved.availability == pytest.approx(1 - 0.5 / 1e6)
+
+    def test_missing_attributes_detected(self):
+        from repro.uml.classes import Class, ClassModel
+        from repro.uml.objects import ObjectModel
+
+        cm = ClassModel()
+        cm.add_class(Class("Bare"))
+        om = ObjectModel("m", cm)
+        inst = om.add_instance("x", "Bare")
+        with pytest.raises(AnalysisError):
+            instance_availability(inst)
+
+    def test_redundant_components_applied(self):
+        from repro.network import DeviceSpec, TopologyBuilder
+
+        builder = TopologyBuilder("r")
+        builder.device_type(
+            DeviceSpec("HA", "Server", mtbf=100.0, mttr=10.0, redundant_components=1)
+        )
+        builder.add("x", "HA")
+        inst = builder.object_model.get_instance("x")
+        resolved = instance_availability(inst)
+        base = 1 - 10.0 / 100.0
+        assert resolved.availability == pytest.approx(1 - (1 - base) ** 2)
+
+
+class TestDowntime:
+    def test_perfect_availability_no_downtime(self):
+        assert downtime_minutes_per_year(1.0) == 0.0
+
+    def test_magnitude(self):
+        # 99.9% -> 0.1% of a year
+        assert downtime_minutes_per_year(0.999) == pytest.approx(
+            0.001 * HOURS_PER_YEAR * 60.0
+        )
+
+    def test_invalid(self):
+        with pytest.raises(AnalysisError):
+            downtime_minutes_per_year(1.1)

@@ -1,0 +1,197 @@
+"""Tests for minimal path/cut sets, inclusion-exclusion and bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependability.cutsets import (
+    esary_proschan_bounds,
+    inclusion_exclusion,
+    link_component_name,
+    minimal_cut_sets,
+    minimize_sets,
+    path_components,
+)
+from repro.errors import AnalysisError
+
+fs = frozenset
+
+
+class TestPathComponents:
+    def test_link_name_canonical(self):
+        assert link_component_name("b", "a") == link_component_name("a", "b")
+        assert link_component_name("a", "b") == "a|b"
+
+    def test_nodes_only(self):
+        assert path_components(["a", "b", "c"], include_links=False) == fs("abc")
+
+    def test_with_links(self):
+        components = path_components(["a", "b", "c"])
+        assert components == fs({"a", "b", "c", "a|b", "b|c"})
+
+
+class TestMinimize:
+    def test_removes_supersets(self):
+        sets = [fs("ab"), fs("abc"), fs("b")]
+        assert minimize_sets(sets) == [fs("b")]
+
+    def test_removes_duplicates(self):
+        assert minimize_sets([fs("ab"), fs("ba")]) == [fs("ab")]
+
+    def test_keeps_incomparable(self):
+        result = minimize_sets([fs("ab"), fs("cd")])
+        assert sorted(result, key=sorted) == [fs("ab"), fs("cd")]
+
+    def test_empty(self):
+        assert minimize_sets([]) == []
+
+
+class TestCutSets:
+    def test_series_cuts_are_singletons(self):
+        # one path a-b-c: every component alone is a cut
+        cuts = minimal_cut_sets([fs("abc")])
+        assert sorted(cuts, key=sorted) == [fs("a"), fs("b"), fs("c")]
+
+    def test_parallel_cut_is_joint(self):
+        # two disjoint paths {a}, {b}: only cut is {a, b}
+        cuts = minimal_cut_sets([fs("a"), fs("b")])
+        assert cuts == [fs("ab")]
+
+    def test_shared_component_is_single_point_of_failure(self):
+        cuts = minimal_cut_sets([fs({"x", "a"}), fs({"x", "b"})])
+        assert fs("x") in cuts
+        assert fs("ab") in cuts
+        assert len(cuts) == 2
+
+    def test_diamond_cuts(self, diamond_topo):
+        from repro.core.pathdiscovery import discover_paths
+
+        paths = discover_paths(diamond_topo, "pc", "s")
+        sets = [path_components(p, include_links=False) for p in paths]
+        cuts = minimal_cut_sets(sets)
+        assert fs({"pc"}) in cuts
+        assert fs({"e"}) in cuts
+        assert fs({"s"}) in cuts
+        assert fs({"a", "b"}) in cuts
+        assert len(cuts) == 4
+
+    def test_order_truncation(self):
+        cuts = minimal_cut_sets([fs("a"), fs("b"), fs("c")], max_cut_order=2)
+        # the only minimal cut {a,b,c} has order 3 -> truncated away
+        assert cuts == []
+
+    def test_empty_paths(self):
+        assert minimal_cut_sets([]) == []
+
+
+class TestInclusionExclusion:
+    def test_single_path(self):
+        assert inclusion_exclusion([fs("ab")], {"a": 0.9, "b": 0.8}) == pytest.approx(
+            0.72
+        )
+
+    def test_disjoint_paths(self):
+        result = inclusion_exclusion([fs("a"), fs("b")], {"a": 0.9, "b": 0.8})
+        assert result == pytest.approx(1 - 0.1 * 0.2)
+
+    def test_shared_component_counted_once(self):
+        table = {"x": 0.9, "a": 0.8, "b": 0.8}
+        result = inclusion_exclusion([fs({"x", "a"}), fs({"x", "b"})], table)
+        # exact: x up AND (a or b up) = 0.9 * (1 - 0.2*0.2)
+        assert result == pytest.approx(0.9 * (1 - 0.04))
+
+    def test_empty_sets(self):
+        assert inclusion_exclusion([], {}) == 0.0
+
+    def test_missing_availability(self):
+        with pytest.raises(AnalysisError):
+            inclusion_exclusion([fs("a")], {})
+
+    def test_too_many_sets_refused(self):
+        sets = [fs({f"c{i}"}) for i in range(30)]
+        table = {f"c{i}": 0.5 for i in range(30)}
+        with pytest.raises(AnalysisError):
+            inclusion_exclusion(sets, table)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n_paths=st.integers(1, 5),
+        values=st.lists(st.floats(0.0, 1.0), min_size=6, max_size=6),
+        data=st.data(),
+    )
+    def test_matches_enumeration(self, n_paths, values, data):
+        components = list("abcdef")
+        table = dict(zip(components, values))
+        sets = []
+        for _ in range(n_paths):
+            size = data.draw(st.integers(1, 4))
+            members = data.draw(
+                st.lists(
+                    st.sampled_from(components),
+                    min_size=size,
+                    max_size=size,
+                    unique=True,
+                )
+            )
+            sets.append(fs(members))
+        # brute force over all 2^6 states
+        import itertools
+
+        expected = 0.0
+        for states in itertools.product((True, False), repeat=6):
+            state = dict(zip(components, states))
+            probability = 1.0
+            for name, up in state.items():
+                probability *= table[name] if up else 1 - table[name]
+            if any(all(state[c] for c in s) for s in sets):
+                expected += probability
+        assert inclusion_exclusion(sets, table) == pytest.approx(expected, abs=1e-9)
+
+
+class TestBounds:
+    def test_bounds_bracket_exact(self):
+        table = {"x": 0.9, "a": 0.8, "b": 0.8}
+        paths = [fs({"x", "a"}), fs({"x", "b"})]
+        cuts = minimal_cut_sets(paths)
+        lower, upper = esary_proschan_bounds(paths, cuts, table)
+        exact = inclusion_exclusion(paths, table)
+        assert lower <= exact + 1e-12
+        assert exact <= upper + 1e-12
+
+    def test_bounds_tight_for_series(self):
+        paths = [fs("ab")]
+        cuts = minimal_cut_sets(paths)
+        table = {"a": 0.9, "b": 0.8}
+        lower, upper = esary_proschan_bounds(paths, cuts, table)
+        assert lower == pytest.approx(0.72)
+        assert upper == pytest.approx(0.72)
+
+    def test_requires_sets(self):
+        with pytest.raises(AnalysisError):
+            esary_proschan_bounds([], [fs("a")], {"a": 0.5})
+        with pytest.raises(AnalysisError):
+            esary_proschan_bounds([fs("a")], [], {"a": 0.5})
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(st.floats(0.01, 0.999), min_size=5, max_size=5),
+        data=st.data(),
+    )
+    def test_property_bounds_bracket(self, values, data):
+        components = list("abcde")
+        table = dict(zip(components, values))
+        n_paths = data.draw(st.integers(1, 4))
+        sets = []
+        for _ in range(n_paths):
+            members = data.draw(
+                st.lists(
+                    st.sampled_from(components), min_size=1, max_size=3, unique=True
+                )
+            )
+            sets.append(fs(members))
+        sets = minimize_sets(sets)
+        cuts = minimal_cut_sets(sets)
+        exact = inclusion_exclusion(sets, table)
+        lower, upper = esary_proschan_bounds(sets, cuts, table)
+        assert lower <= exact + 1e-9
+        assert exact <= upper + 1e-9

@@ -1,0 +1,96 @@
+"""Property-based tests of the cut-set machinery's defining invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependability.cutsets import minimal_cut_sets, minimize_sets
+
+fs = frozenset
+
+_COMPONENTS = list("abcdefg")
+
+
+@st.composite
+def path_set_families(draw):
+    n_paths = draw(st.integers(1, 5))
+    paths = []
+    for _ in range(n_paths):
+        members = draw(
+            st.lists(
+                st.sampled_from(_COMPONENTS), min_size=1, max_size=4, unique=True
+            )
+        )
+        paths.append(fs(members))
+    return minimize_sets(paths)
+
+
+class TestMinimizeProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(paths=path_set_families())
+    def test_antichain(self, paths):
+        """No minimized set contains another."""
+        for i, a in enumerate(paths):
+            for j, b in enumerate(paths):
+                if i != j:
+                    assert not a <= b
+
+    @settings(max_examples=100, deadline=None)
+    @given(paths=path_set_families())
+    def test_idempotent(self, paths):
+        assert minimize_sets(paths) == paths
+
+
+class TestCutSetProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(paths=path_set_families())
+    def test_every_cut_hits_every_path(self, paths):
+        """Defining property of a cut set: it intersects all path sets."""
+        for cut in minimal_cut_sets(paths):
+            for path in paths:
+                assert cut & path, (cut, path)
+
+    @settings(max_examples=100, deadline=None)
+    @given(paths=path_set_families())
+    def test_cuts_are_minimal(self, paths):
+        """Removing any element from a minimal cut leaves some path unhit."""
+        for cut in minimal_cut_sets(paths):
+            for element in cut:
+                reduced = cut - {element}
+                assert any(not (reduced & path) for path in paths), (cut, element)
+
+    @settings(max_examples=100, deadline=None)
+    @given(paths=path_set_families())
+    def test_cut_family_is_antichain(self, paths):
+        cuts = minimal_cut_sets(paths)
+        for i, a in enumerate(cuts):
+            for j, b in enumerate(cuts):
+                if i != j:
+                    assert not a <= b
+
+    @settings(max_examples=60, deadline=None)
+    @given(paths=path_set_families())
+    def test_duality_roundtrip(self, paths):
+        """Path sets are the minimal hitting sets of their own cut sets
+        (for coherent structures both families determine each other)."""
+        cuts = minimal_cut_sets(paths)
+        recovered = minimal_cut_sets(cuts)
+        assert sorted(recovered, key=sorted) == sorted(paths, key=sorted)
+
+    @settings(max_examples=60, deadline=None)
+    @given(paths=path_set_families())
+    def test_complete_enumeration(self, paths):
+        """minimal_cut_sets finds exactly the minimal hitting sets found by
+        brute-force subset enumeration."""
+        from itertools import combinations
+
+        universe = sorted({c for path in paths for c in path})
+        hitting = []
+        for size in range(1, len(universe) + 1):
+            for combo in combinations(universe, size):
+                candidate = fs(combo)
+                if all(candidate & path for path in paths):
+                    hitting.append(candidate)
+        expected = minimize_sets(hitting)
+        assert sorted(minimal_cut_sets(paths), key=sorted) == sorted(
+            expected, key=sorted
+        )

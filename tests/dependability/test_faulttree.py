@@ -1,0 +1,145 @@
+"""Tests for fault trees and the RBD duality."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependability.faulttree import (
+    AndGate,
+    BasicEvent,
+    OrGate,
+    VoteGate,
+    from_rbd,
+)
+from repro.dependability.rbd import Block, KofN, Parallel, Series
+from repro.errors import AnalysisError
+
+fs = frozenset
+
+
+class TestGates:
+    def test_and_gate(self):
+        tree = AndGate(["a", "b"])
+        assert tree.probability({"a": 0.1, "b": 0.2}) == pytest.approx(0.02)
+
+    def test_or_gate(self):
+        tree = OrGate(["a", "b"])
+        assert tree.probability({"a": 0.1, "b": 0.2}) == pytest.approx(
+            1 - 0.9 * 0.8
+        )
+
+    def test_vote_gate(self):
+        tree = VoteGate(2, ["a", "b", "c"])
+        q = 0.1
+        expected = 3 * q**2 * (1 - q) + q**3
+        assert tree.probability({"a": q, "b": q, "c": q}) == pytest.approx(expected)
+
+    def test_vote_bounds(self):
+        with pytest.raises(AnalysisError):
+            VoteGate(0, ["a"])
+        with pytest.raises(AnalysisError):
+            VoteGate(3, ["a", "b"])
+
+    def test_empty_gate_rejected(self):
+        with pytest.raises(AnalysisError):
+            AndGate([])
+
+    def test_intrinsic_values(self):
+        tree = OrGate([BasicEvent("a", 0.5), BasicEvent("b", 0.5)])
+        assert tree.probability() == pytest.approx(0.75)
+
+    def test_missing_probability(self):
+        with pytest.raises(AnalysisError):
+            OrGate(["a"]).probability({})
+
+    def test_out_of_range(self):
+        with pytest.raises(AnalysisError):
+            OrGate(["a"]).probability({"a": -0.1})
+
+    def test_availability_view(self):
+        tree = OrGate(["a", "b"])  # series system
+        assert tree.availability({"a": 0.9, "b": 0.9}) == pytest.approx(0.81)
+
+    def test_repeated_events_exact(self):
+        """x appears under both branches; factoring must handle it."""
+        tree = AndGate([OrGate(["x", "a"]), OrGate(["x", "b"])])
+        q = {"x": 0.2, "a": 0.3, "b": 0.4}
+        # exact: P(fail) = P(x) + P(!x) * P(a)P(b)
+        expected = 0.2 + 0.8 * 0.3 * 0.4
+        assert tree.probability(q) == pytest.approx(expected)
+
+    def test_describe(self):
+        tree = AndGate([OrGate(["a", "b"]), BasicEvent("c")])
+        text = tree.describe()
+        assert "OR" in text and "AND" in text
+
+
+class TestCutSets:
+    def test_or_of_basics(self):
+        cuts = OrGate(["a", "b"]).minimal_cut_sets()
+        assert sorted(cuts, key=sorted) == [fs("a"), fs("b")]
+
+    def test_and_of_basics(self):
+        assert AndGate(["a", "b"]).minimal_cut_sets() == [fs("ab")]
+
+    def test_nested(self):
+        tree = OrGate([AndGate(["a", "b"]), BasicEvent("c")])
+        cuts = tree.minimal_cut_sets()
+        assert fs("c") in cuts
+        assert fs("ab") in cuts
+        assert len(cuts) == 2
+
+    def test_repeated_event_minimized(self):
+        tree = AndGate([OrGate(["x", "a"]), OrGate(["x", "b"])])
+        cuts = tree.minimal_cut_sets()
+        assert fs("x") in cuts
+        assert fs("ab") in cuts
+        assert len(cuts) == 2
+
+    def test_vote_gate_cuts(self):
+        cuts = VoteGate(2, ["a", "b", "c"]).minimal_cut_sets()
+        assert sorted(cuts, key=sorted) == [fs("ab"), fs("ac"), fs("bc")]
+
+
+class TestRBDDuality:
+    def test_series_becomes_or(self):
+        tree = from_rbd(Series(["a", "b"]))
+        assert isinstance(tree, OrGate)
+
+    def test_parallel_becomes_and(self):
+        tree = from_rbd(Parallel(["a", "b"]))
+        assert isinstance(tree, AndGate)
+
+    def test_kofn_becomes_vote(self):
+        tree = from_rbd(KofN(2, ["a", "b", "c"]))
+        assert isinstance(tree, VoteGate)
+        assert tree.k == 2  # fails when n-k+1 = 2 fail
+
+    def test_block_value_complemented(self):
+        tree = from_rbd(Block("a", 0.9))
+        assert isinstance(tree, BasicEvent)
+        assert tree.value == pytest.approx(0.1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.floats(0.0, 1.0), min_size=4, max_size=4))
+    def test_duality_identity(self, values):
+        """For any structure: FT availability == RBD availability."""
+        table = dict(zip("abcd", values))
+        structure = Parallel(
+            [Series(["a", "b"]), KofN(1, ["c", "d"]), Block("a")]
+        )
+        tree = from_rbd(structure)
+        assert tree.availability(table) == pytest.approx(
+            structure.availability(table, method="factoring"), abs=1e-9
+        )
+
+    def test_usi_pair_duality(self, upsim_t1_p2):
+        from repro.analysis import component_availabilities, pair_fault_tree, pair_rbd
+
+        table = component_availabilities(upsim_t1_p2.model)
+        path_set = upsim_t1_p2.path_sets["request_printing"]
+        rbd = pair_rbd(path_set)
+        tree = pair_fault_tree(path_set)
+        assert tree.availability(table) == pytest.approx(
+            rbd.availability(table), abs=1e-12
+        )

@@ -1,0 +1,94 @@
+"""Tests for component importance measures."""
+
+import pytest
+
+from repro.dependability.importance import importance_table
+from repro.dependability.rbd import Parallel, Series
+from repro.errors import AnalysisError
+
+
+def series_evaluator(structure):
+    return lambda table: structure.availability(table, method="factoring")
+
+
+class TestBirnbaum:
+    def test_series_birnbaum_is_product_of_others(self):
+        structure = Series(["a", "b", "c"])
+        table = {"a": 0.9, "b": 0.8, "c": 0.7}
+        rows = {r.component: r for r in importance_table(series_evaluator(structure), table)}
+        assert rows["a"].birnbaum == pytest.approx(0.8 * 0.7)
+        assert rows["b"].birnbaum == pytest.approx(0.9 * 0.7)
+        assert rows["c"].birnbaum == pytest.approx(0.9 * 0.8)
+
+    def test_weakest_series_component_most_important(self):
+        structure = Series(["a", "b"])
+        table = {"a": 0.99, "b": 0.5}
+        rows = importance_table(series_evaluator(structure), table)
+        # Birnbaum of a = A_b = 0.5; of b = A_a = 0.99 -> b's *improvement*
+        # is higher but a's failure hurts less often; ranking is by Birnbaum
+        assert rows[0].component == "b"
+
+    def test_parallel_redundant_component_less_important(self):
+        structure = Series(["spof", Parallel(["r1", "r2"])])
+        table = {"spof": 0.95, "r1": 0.95, "r2": 0.95}
+        rows = {r.component: r for r in importance_table(series_evaluator(structure), table)}
+        assert rows["spof"].birnbaum > rows["r1"].birnbaum
+
+    def test_irrelevant_component_zero(self):
+        structure = Series(["a"])
+        table = {"a": 0.9, "unused": 0.5}
+        rows = {r.component: r for r in importance_table(series_evaluator(structure), table)}
+        assert rows["unused"].birnbaum == pytest.approx(0.0)
+        assert rows["unused"].fussell_vesely == pytest.approx(0.0)
+
+
+class TestOtherMeasures:
+    def test_improvement_potential(self):
+        structure = Series(["a", "b"])
+        table = {"a": 0.9, "b": 0.8}
+        rows = {r.component: r for r in importance_table(series_evaluator(structure), table)}
+        assert rows["a"].improvement_potential == pytest.approx(0.8 - 0.72)
+
+    def test_risk_achievement_worth(self):
+        structure = Series(["a", "b"])
+        table = {"a": 0.9, "b": 0.8}
+        rows = {r.component: r for r in importance_table(series_evaluator(structure), table)}
+        # a down -> system down: RAW = 1 / U = 1 / 0.28
+        assert rows["a"].risk_achievement_worth == pytest.approx(1 / 0.28)
+
+    def test_fussell_vesely_in_unit_interval(self):
+        structure = Series(["a", Parallel(["b", "c"])])
+        table = {"a": 0.9, "b": 0.8, "c": 0.7}
+        for row in importance_table(series_evaluator(structure), table):
+            assert 0.0 <= row.fussell_vesely <= 1.0 + 1e-12
+
+    def test_perfect_system_degenerate(self):
+        """U_sys = 0 takes the guarded code path for RAW and FV."""
+        structure = Series(["a"])
+        rows = importance_table(series_evaluator(structure), {"a": 1.0})
+        assert rows[0].risk_achievement_worth == 1.0
+        assert rows[0].fussell_vesely == 0.0
+
+
+class TestValidation:
+    def test_unknown_component(self):
+        structure = Series(["a"])
+        with pytest.raises(AnalysisError):
+            importance_table(series_evaluator(structure), {"a": 0.9}, ["ghost"])
+
+    def test_bad_evaluator_detected(self):
+        with pytest.raises(AnalysisError):
+            importance_table(lambda table: 2.0, {"a": 0.5})
+
+    def test_subset_of_components(self):
+        structure = Series(["a", "b"])
+        table = {"a": 0.9, "b": 0.8}
+        rows = importance_table(series_evaluator(structure), table, ["a"])
+        assert [r.component for r in rows] == ["a"]
+
+    def test_sorted_by_birnbaum_desc(self):
+        structure = Series(["a", "b", "c"])
+        table = {"a": 0.99, "b": 0.5, "c": 0.75}
+        rows = importance_table(series_evaluator(structure), table)
+        birnbaums = [r.birnbaum for r in rows]
+        assert birnbaums == sorted(birnbaums, reverse=True)

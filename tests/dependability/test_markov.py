@@ -1,0 +1,137 @@
+"""Tests for the CTMC availability models."""
+
+import numpy as np
+import pytest
+
+from repro.dependability.availability import exact_availability, with_redundancy
+from repro.dependability.markov import (
+    CTMC,
+    component_ctmc,
+    markov_reward,
+    redundancy_group_ctmc,
+)
+from repro.errors import AnalysisError
+
+
+class TestCTMC:
+    def test_generator_validation(self):
+        with pytest.raises(AnalysisError):
+            CTMC(["a"], np.zeros((2, 2)))  # shape mismatch
+        with pytest.raises(AnalysisError):
+            CTMC(["a", "b"], np.array([[0.0, -1.0], [1.0, 0.0]]))  # negative rate
+        with pytest.raises(AnalysisError):
+            CTMC(["a", "a"], np.zeros((2, 2)))  # duplicate labels
+
+    def test_diagonal_recomputed(self):
+        chain = CTMC(["a", "b"], np.array([[99.0, 2.0], [3.0, 99.0]]))
+        assert chain.generator[0, 0] == -2.0
+        assert chain.generator[1, 1] == -3.0
+
+    def test_steady_state_two_state(self):
+        chain = CTMC(["up", "down"], np.array([[0.0, 1.0], [4.0, 0.0]]))
+        pi = chain.steady_state()
+        # balance: pi_up * 1 = pi_down * 4
+        assert pi[chain.index("up")] == pytest.approx(0.8)
+        assert pi[chain.index("down")] == pytest.approx(0.2)
+
+    def test_unknown_state(self):
+        chain = component_ctmc(10.0, 1.0)
+        with pytest.raises(AnalysisError):
+            chain.index("ghost")
+
+    def test_transient_converges_to_steady_state(self):
+        chain = component_ctmc(10.0, 1.0)
+        late = chain.transient("up", 1000.0)
+        assert late == pytest.approx(chain.steady_state(), abs=1e-9)
+
+    def test_transient_at_zero(self):
+        chain = component_ctmc(10.0, 1.0)
+        p = chain.transient("up", 0.0)
+        assert p[chain.index("up")] == pytest.approx(1.0)
+
+    def test_transient_negative_time(self):
+        with pytest.raises(AnalysisError):
+            component_ctmc(10.0, 1.0).transient("up", -1.0)
+
+    def test_mean_time_to_absorption_is_mtbf(self):
+        chain = component_ctmc(250.0, 5.0)
+        assert chain.mean_time_to_absorption("up", ["down"]) == pytest.approx(250.0)
+
+    def test_absorption_from_absorbing_state(self):
+        chain = component_ctmc(250.0, 5.0)
+        assert chain.mean_time_to_absorption("down", ["down"]) == 0.0
+
+
+class TestComponentChain:
+    def test_matches_exact_availability(self):
+        chain = component_ctmc(3000.0, 24.0)
+        availability = chain.steady_state_probability(["up"])
+        assert availability == pytest.approx(exact_availability(3000.0, 24.0))
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            component_ctmc(0.0, 1.0)
+        with pytest.raises(AnalysisError):
+            component_ctmc(1.0, 0.0)
+
+
+class TestRedundancyGroup:
+    def test_single_unit_is_component(self):
+        group = redundancy_group_ctmc(1, 100.0, 10.0)
+        assert group.steady_state_probability([0]) == pytest.approx(
+            exact_availability(100.0, 10.0)
+        )
+
+    def test_full_crews_match_independence_formula(self):
+        """With one crew per unit the group behaves like independent
+        components: unavailability = (U_comp)^n."""
+        n, mtbf, mttr = 3, 100.0, 5.0
+        group = redundancy_group_ctmc(n, mtbf, mttr, repair_crews=n)
+        unavailability = group.steady_state_probability([n])
+        u_comp = 1 - exact_availability(mtbf, mttr)
+        assert unavailability == pytest.approx(u_comp**n, rel=1e-9)
+        # and therefore matches with_redundancy on the exact per-unit A
+        availability = 1 - unavailability
+        assert availability == pytest.approx(
+            with_redundancy(exact_availability(mtbf, mttr), n - 1)
+        )
+
+    def test_repair_contention_hurts(self):
+        n, mtbf, mttr = 4, 50.0, 10.0
+        contended = redundancy_group_ctmc(n, mtbf, mttr, repair_crews=1)
+        relaxed = redundancy_group_ctmc(n, mtbf, mttr, repair_crews=n)
+        a_contended = 1 - contended.steady_state_probability([n])
+        a_relaxed = 1 - relaxed.steady_state_probability([n])
+        assert a_contended < a_relaxed
+
+    def test_mttf_of_group_exceeds_single_unit(self):
+        single = component_ctmc(100.0, 5.0).mean_time_to_absorption("up", ["down"])
+        group = redundancy_group_ctmc(2, 100.0, 5.0)
+        group_mttf = group.mean_time_to_absorption(0, [2])
+        assert group_mttf > single
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            redundancy_group_ctmc(0, 1.0, 1.0)
+        with pytest.raises(AnalysisError):
+            redundancy_group_ctmc(2, 1.0, 1.0, repair_crews=0)
+
+
+class TestMarkovReward:
+    def test_degraded_operation_reward(self):
+        """Performability of a 2-unit group: full reward with both up,
+        half with one, none with zero."""
+        group = redundancy_group_ctmc(2, 100.0, 10.0, repair_crews=2)
+        reward = markov_reward(group, {0: 1.0, 1: 0.5, 2: 0.0})
+        availability = 1 - group.steady_state_probability([2])
+        assert 0.0 < reward < availability  # stricter than plain availability
+
+    def test_binary_reward_is_availability(self):
+        chain = component_ctmc(100.0, 10.0)
+        reward = markov_reward(chain, {"up": 1.0, "down": 0.0})
+        assert reward == pytest.approx(exact_availability(100.0, 10.0))
+
+    def test_missing_reward(self):
+        chain = component_ctmc(100.0, 10.0)
+        with pytest.raises(AnalysisError):
+            markov_reward(chain, {"up": 1.0})

@@ -1,0 +1,122 @@
+"""Tests for performability (reward-weighted availability)."""
+
+import pytest
+
+from repro.dependability.performability import (
+    expected_reward,
+    expected_reward_mc,
+    reward_best_throughput,
+    reward_path_capacity,
+)
+from repro.errors import AnalysisError
+
+fs = frozenset
+
+
+class TestExpectedReward:
+    def test_binary_reward_equals_availability(self):
+        """Reward 1 iff component up -> expected reward = availability."""
+        result = expected_reward({"a": 0.7}, lambda state: 1.0 if state["a"] else 0.0)
+        assert result == pytest.approx(0.7)
+
+    def test_two_components_linear_reward(self):
+        table = {"a": 0.9, "b": 0.5}
+        result = expected_reward(
+            table, lambda state: (state["a"] + state["b"]) / 2.0
+        )
+        assert result == pytest.approx((0.9 + 0.5) / 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            expected_reward({}, lambda s: 1.0)
+
+    def test_too_many_components_refused(self):
+        table = {f"c{i}": 0.5 for i in range(25)}
+        with pytest.raises(AnalysisError):
+            expected_reward(table, lambda s: 1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AnalysisError):
+            expected_reward({"a": 1.5}, lambda s: 1.0)
+
+    def test_mc_matches_exact(self):
+        table = {"a": 0.9, "b": 0.5, "c": 0.8}
+
+        def reward(state):
+            return sum(state.values()) / 3.0
+
+        exact = expected_reward(table, reward)
+        sampled = expected_reward_mc(table, reward, samples=100_000, seed=0)
+        assert sampled == pytest.approx(exact, abs=0.01)
+
+    def test_mc_deterministic_for_seed(self):
+        table = {"a": 0.6}
+        r = lambda state: 1.0 if state["a"] else 0.0
+        assert expected_reward_mc(table, r, samples=5_000, seed=3) == expected_reward_mc(
+            table, r, samples=5_000, seed=3
+        )
+
+
+class TestPathCapacityReward:
+    def test_all_paths_up_full_reward(self):
+        reward = reward_path_capacity([fs("a"), fs("b")])
+        assert reward({"a": True, "b": True}) == 1.0
+
+    def test_half_paths_up(self):
+        reward = reward_path_capacity([fs("a"), fs("b")])
+        assert reward({"a": True, "b": False}) == 0.5
+
+    def test_disconnected_zero(self):
+        reward = reward_path_capacity([fs("a"), fs("b")])
+        assert reward({"a": False, "b": False}) == 0.0
+
+    def test_expected_capacity_between_availability_and_one(self):
+        table = {"x": 0.9, "a": 0.8, "b": 0.8}
+        paths = [fs({"x", "a"}), fs({"x", "b"})]
+        capacity = expected_reward(table, reward_path_capacity(paths))
+        from repro.dependability.cutsets import inclusion_exclusion
+
+        availability = inclusion_exclusion(paths, table)
+        assert capacity <= availability + 1e-12  # capacity is stricter
+
+    def test_requires_paths(self):
+        with pytest.raises(AnalysisError):
+            reward_path_capacity([])
+
+
+class TestThroughputReward:
+    def test_best_path_selected(self):
+        paths = [["a", "b"], ["a", "c"]]
+        throughput = {
+            fs(("a", "b")): 100.0,
+            fs(("a", "c")): 1000.0,
+        }
+        reward = reward_best_throughput(paths, throughput)
+        state = {"a": True, "b": True, "c": True}
+        assert reward(state) == 1000.0
+
+    def test_falls_back_to_slower_path(self):
+        paths = [["a", "b"], ["a", "c"]]
+        throughput = {fs(("a", "b")): 100.0, fs(("a", "c")): 1000.0}
+        reward = reward_best_throughput(paths, throughput)
+        assert reward({"a": True, "b": True, "c": False}) == 100.0
+
+    def test_zero_when_disconnected(self):
+        paths = [["a", "b"]]
+        throughput = {fs(("a", "b")): 100.0}
+        reward = reward_best_throughput(paths, throughput)
+        assert reward({"a": False, "b": True}) == 0.0
+
+    def test_bottleneck_is_minimum(self):
+        paths = [["a", "b", "c"]]
+        throughput = {fs(("a", "b")): 1000.0, fs(("b", "c")): 10.0}
+        reward = reward_best_throughput(paths, throughput)
+        assert reward({"a": True, "b": True, "c": True}) == 10.0
+
+    def test_missing_throughput_rejected(self):
+        with pytest.raises(AnalysisError):
+            reward_best_throughput([["a", "b"]], {})
+
+    def test_requires_paths(self):
+        with pytest.raises(AnalysisError):
+            reward_best_throughput([], {})

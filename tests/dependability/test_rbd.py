@@ -1,0 +1,214 @@
+"""Tests for reliability block diagrams, including factoring correctness."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dependability.rbd import Block, KofN, Parallel, RBDNode, Series, simplify
+from repro.errors import AnalysisError
+
+
+def brute_force(structure: RBDNode, availabilities: dict) -> float:
+    """Reference evaluation by full state enumeration."""
+    names = sorted(set(structure.component_names()))
+
+    def structure_up(node: RBDNode, state: dict) -> bool:
+        if isinstance(node, Block):
+            return state[node.name]
+        if isinstance(node, Series):
+            return all(structure_up(c, state) for c in node.children)
+        if isinstance(node, Parallel):
+            return any(structure_up(c, state) for c in node.children)
+        if isinstance(node, KofN):
+            return sum(structure_up(c, state) for c in node.children) >= node.k
+        raise TypeError(node)
+
+    total = 0.0
+    for states in itertools.product((True, False), repeat=len(names)):
+        state = dict(zip(names, states))
+        probability = 1.0
+        for name, up in state.items():
+            probability *= availabilities[name] if up else 1 - availabilities[name]
+        if structure_up(structure, state):
+            total += probability
+    return total
+
+
+class TestBasics:
+    def test_series_product(self):
+        structure = Series(["a", "b"])
+        assert structure.availability({"a": 0.9, "b": 0.8}) == pytest.approx(0.72)
+
+    def test_parallel_complement(self):
+        structure = Parallel(["a", "b"])
+        assert structure.availability({"a": 0.9, "b": 0.8}) == pytest.approx(
+            1 - 0.1 * 0.2
+        )
+
+    def test_block_intrinsic_value(self):
+        structure = Series([Block("a", 0.5), Block("b", 0.5)])
+        assert structure.availability() == pytest.approx(0.25)
+
+    def test_override_beats_intrinsic(self):
+        structure = Block("a", 0.5)
+        assert structure.availability({"a": 1.0}) == 1.0
+
+    def test_missing_availability(self):
+        with pytest.raises(AnalysisError):
+            Series(["a"]).availability({})
+
+    def test_out_of_range_availability(self):
+        with pytest.raises(AnalysisError):
+            Series(["a"]).availability({"a": 1.5})
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(AnalysisError):
+            Series([])
+
+    def test_kofn_bounds(self):
+        with pytest.raises(AnalysisError):
+            KofN(0, ["a", "b"])
+        with pytest.raises(AnalysisError):
+            KofN(3, ["a", "b"])
+
+    def test_kofn_values(self):
+        structure = KofN(2, ["a", "b", "c"])
+        table = {"a": 0.9, "b": 0.9, "c": 0.9}
+        expected = 3 * 0.9**2 * 0.1 + 0.9**3
+        assert structure.availability(table) == pytest.approx(expected)
+
+    def test_kofn_1_of_n_is_parallel(self):
+        table = {"a": 0.7, "b": 0.5, "c": 0.3}
+        assert KofN(1, ["a", "b", "c"]).availability(table) == pytest.approx(
+            Parallel(["a", "b", "c"]).availability(table)
+        )
+
+    def test_kofn_n_of_n_is_series(self):
+        table = {"a": 0.7, "b": 0.5}
+        assert KofN(2, ["a", "b"]).availability(table) == pytest.approx(
+            Series(["a", "b"]).availability(table)
+        )
+
+    def test_describe(self):
+        structure = Parallel([Series(["a", "b"]), Block("c")])
+        text = structure.describe()
+        assert "a" in text and "•" in text and "‖" in text
+
+    def test_depth_and_names(self):
+        structure = Parallel([Series(["a", "b"]), Block("c")])
+        assert structure.depth() == 3
+        assert structure.component_names() == ["a", "b", "c"]
+
+
+class TestRepeatedComponents:
+    def test_structural_wrong_with_sharing(self):
+        """Two 'redundant' paths sharing component x: structural formula
+        double-counts x, factoring fixes it."""
+        shared = Parallel([Series(["x", "a"]), Series(["x", "b"])])
+        table = {"x": 0.9, "a": 0.8, "b": 0.8}
+        structural = shared.availability(table, method="structural")
+        factored = shared.availability(table, method="factoring")
+        exact = brute_force(shared, table)
+        assert factored == pytest.approx(exact)
+        assert structural != pytest.approx(exact)
+
+    def test_auto_selects_factoring(self):
+        shared = Parallel([Series(["x", "a"]), Series(["x", "b"])])
+        table = {"x": 0.9, "a": 0.8, "b": 0.8}
+        assert shared.availability(table) == pytest.approx(brute_force(shared, table))
+
+    def test_auto_uses_structural_when_unique(self):
+        plain = Parallel([Series(["a", "b"]), Series(["c", "d"])])
+        table = {k: 0.9 for k in "abcd"}
+        assert plain.availability(table) == pytest.approx(brute_force(plain, table))
+
+    def test_unknown_method(self):
+        with pytest.raises(AnalysisError):
+            Block("a", 0.5).availability(method="guess")
+
+
+@st.composite
+def rbd_structures(draw, names=("a", "b", "c", "d", "e")):
+    def build(depth):
+        if depth == 0:
+            return Block(draw(st.sampled_from(names)))
+        kind = draw(st.sampled_from(["block", "series", "parallel", "kofn"]))
+        if kind == "block":
+            return Block(draw(st.sampled_from(names)))
+        n = draw(st.integers(2, 3))
+        children = [build(depth - 1) for _ in range(n)]
+        if kind == "series":
+            return Series(children)
+        if kind == "parallel":
+            return Parallel(children)
+        return KofN(draw(st.integers(1, n)), children)
+
+    return build(draw(st.integers(1, 3)))
+
+
+class TestPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        structure=rbd_structures(),
+        values=st.lists(st.floats(0.0, 1.0), min_size=5, max_size=5),
+    )
+    def test_factoring_matches_brute_force(self, structure, values):
+        table = dict(zip("abcde", values))
+        result = structure.availability(table, method="factoring")
+        assert result == pytest.approx(brute_force(structure, table), abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        structure=rbd_structures(),
+        values=st.lists(st.floats(0.0, 1.0), min_size=5, max_size=5),
+    )
+    def test_simplify_preserves_availability(self, structure, values):
+        table = dict(zip("abcde", values))
+        simplified = simplify(structure)
+        assert simplified.availability(table, method="factoring") == pytest.approx(
+            structure.availability(table, method="factoring"), abs=1e-9
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        structure=rbd_structures(),
+        values=st.lists(st.floats(0.0, 1.0), min_size=5, max_size=5),
+    )
+    def test_availability_monotone_in_components(self, structure, values):
+        """Coherent structure: raising any component availability never
+        lowers system availability."""
+        table = dict(zip("abcde", values))
+        base = structure.availability(table, method="factoring")
+        for name in set(structure.component_names()):
+            raised = dict(table)
+            raised[name] = min(1.0, raised[name] + 0.1)
+            assert (
+                structure.availability(raised, method="factoring") >= base - 1e-9
+            )
+
+
+class TestSimplify:
+    def test_flattens_nested_series(self):
+        structure = Series([Series(["a", "b"]), Block("c")])
+        simplified = simplify(structure)
+        assert isinstance(simplified, Series)
+        assert simplified.component_names() == ["a", "b", "c"]
+        assert simplified.depth() == 2
+
+    def test_collapses_singletons(self):
+        structure = Parallel([Series([Block("a")])])
+        assert isinstance(simplify(structure), Block)
+
+    def test_preserves_mixed_nesting(self):
+        structure = Series([Parallel(["a", "b"]), Block("c")])
+        simplified = simplify(structure)
+        assert isinstance(simplified, Series)
+        assert isinstance(simplified.children[0], Parallel)
+
+    def test_kofn_children_simplified(self):
+        structure = KofN(1, [Series([Block("a")]), Block("b")])
+        simplified = simplify(structure)
+        assert isinstance(simplified, KofN)
+        assert isinstance(simplified.children[0], Block)

@@ -1,0 +1,220 @@
+"""Tests for the responsiveness model."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.dependability.responsiveness import (
+    hypoexponential_cdf,
+    pair_responsiveness,
+    path_responsiveness,
+)
+from repro.errors import AnalysisError
+
+
+class TestHypoexponential:
+    def test_single_stage_is_exponential(self):
+        rate = 0.5
+        for t in (0.1, 1.0, 5.0):
+            assert hypoexponential_cdf([rate], t) == pytest.approx(
+                1 - np.exp(-rate * t), abs=1e-10
+            )
+
+    def test_equal_rates_is_erlang(self):
+        rate, n, t = 2.0, 4, 1.5
+        expected = stats.gamma.cdf(t, a=n, scale=1 / rate)
+        assert hypoexponential_cdf([rate] * n, t) == pytest.approx(expected, abs=1e-9)
+
+    def test_distinct_rates_closed_form(self):
+        """Two distinct stages: F(t) = 1 - (l2 e^{-l1 t} - l1 e^{-l2 t})/(l2-l1)."""
+        l1, l2, t = 1.0, 3.0, 0.7
+        expected = 1 - (l2 * np.exp(-l1 * t) - l1 * np.exp(-l2 * t)) / (l2 - l1)
+        assert hypoexponential_cdf([l1, l2], t) == pytest.approx(expected, abs=1e-9)
+
+    def test_zero_deadline(self):
+        assert hypoexponential_cdf([1.0, 2.0], 0.0) == pytest.approx(0.0)
+
+    def test_negative_deadline(self):
+        assert hypoexponential_cdf([1.0], -1.0) == 0.0
+
+    def test_empty_rates_trivially_met(self):
+        assert hypoexponential_cdf([], 1.0) == 1.0
+
+    def test_monotone_in_deadline(self):
+        rates = [1.0, 2.0, 0.5]
+        values = [hypoexponential_cdf(rates, t) for t in np.linspace(0, 10, 20)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_invalid_rates(self):
+        with pytest.raises(AnalysisError):
+            hypoexponential_cdf([0.0], 1.0)
+        with pytest.raises(AnalysisError):
+            hypoexponential_cdf([-1.0], 1.0)
+
+
+class TestPathResponsiveness:
+    def test_from_means(self):
+        # mean latency 2 -> rate 0.5
+        assert path_responsiveness([2.0], 1.0) == pytest.approx(
+            1 - np.exp(-0.5), abs=1e-9
+        )
+
+    def test_invalid_means(self):
+        with pytest.raises(AnalysisError):
+            path_responsiveness([0.0], 1.0)
+
+
+class TestPairResponsiveness:
+    def test_independent_combination(self):
+        paths = [["a", "x"], ["a", "y"]]
+        latency = {"a": 1.0, "x": 1.0, "y": 1.0}
+        result = pair_responsiveness(paths, latency, 5.0)
+        p = result.per_path[0]
+        assert result.probability == pytest.approx(1 - (1 - p) ** 2)
+
+    def test_redundancy_helps(self):
+        latency = {"a": 1.0, "x": 1.0, "y": 1.0}
+        one = pair_responsiveness([["a", "x"]], latency, 2.0)
+        two = pair_responsiveness([["a", "x"], ["a", "y"]], latency, 2.0)
+        assert two.probability > one.probability
+
+    def test_availability_discount(self):
+        paths = [["a"]]
+        latency = {"a": 0.001}  # effectively instant
+        available = pair_responsiveness(
+            paths, latency, 10.0, availabilities={"a": 0.9}
+        )
+        assert available.probability == pytest.approx(0.9, abs=1e-3)
+
+    def test_montecarlo_matches_exact_single_path(self):
+        paths = [["a", "b"]]
+        latency = {"a": 1.0, "b": 2.0}
+        exact = pair_responsiveness(paths, latency, 3.0)
+        mc = pair_responsiveness(
+            paths, latency, 3.0, method="montecarlo", samples=200_000, seed=1
+        )
+        assert mc.probability == pytest.approx(exact.probability, abs=0.01)
+
+    def test_montecarlo_handles_shared_components(self):
+        """With a shared slow component, independence over-estimates."""
+        paths = [["shared", "x"], ["shared", "y"]]
+        latency = {"shared": 5.0, "x": 0.01, "y": 0.01}
+        independent = pair_responsiveness(paths, latency, 5.0)
+        exact = pair_responsiveness(
+            paths, latency, 5.0, method="montecarlo", samples=300_000, seed=2
+        )
+        # exact ~ P(shared <= 5) ~ 0.632; independent ~ 1-(1-0.632)^2 ~ 0.865
+        assert independent.probability > exact.probability + 0.1
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            pair_responsiveness([], {}, 1.0)
+        with pytest.raises(AnalysisError):
+            pair_responsiveness([["a"]], {}, 1.0)
+        with pytest.raises(AnalysisError):
+            pair_responsiveness([["a"]], {"a": 1.0}, -1.0)
+        with pytest.raises(AnalysisError):
+            pair_responsiveness([["a"]], {"a": 1.0}, 1.0, method="magic")
+        with pytest.raises(AnalysisError):
+            pair_responsiveness(
+                [["a"]], {"a": 1.0}, 1.0, availabilities={}
+            )
+
+    def test_result_fields(self):
+        result = pair_responsiveness([["a"]], {"a": 1.0}, 2.0)
+        assert result.deadline == 2.0
+        assert result.method == "independent"
+        assert len(result.per_path) == 1
+
+
+class TestServiceResponsiveness:
+    def test_sequential_matches_hypoexponential(self):
+        """A purely sequential service's completion time is the sum of its
+        step durations — the hypoexponential CDF."""
+        from repro.services import AtomicService, CompositeService
+        from repro.dependability.responsiveness import service_responsiveness
+
+        service = CompositeService.sequential(
+            "seq", [AtomicService("a"), AtomicService("b"), AtomicService("c")]
+        )
+        means = {"a": 1.0, "b": 2.0, "c": 0.5}
+        mc = service_responsiveness(service, means, 5.0, samples=300_000, seed=3)
+        exact = hypoexponential_cdf([1.0, 0.5, 2.0], 5.0)
+        assert mc == pytest.approx(exact, abs=0.005)
+
+    def test_parallel_slower_than_single_branch(self):
+        """A parallel section waits for its slowest branch, so it is less
+        responsive than either branch alone."""
+        from repro.services import AtomicService, CompositeService
+        from repro.uml.activity import SPLeaf, SPParallel
+        from repro.dependability.responsiveness import service_responsiveness
+
+        service = CompositeService.from_structure(
+            "par",
+            SPParallel([SPLeaf("a"), SPLeaf("b")]),
+            [AtomicService("a"), AtomicService("b")],
+        )
+        means = {"a": 2.0, "b": 2.0}
+        parallel = service_responsiveness(service, means, 3.0, samples=200_000, seed=4)
+        single = 1 - np.exp(-3.0 / 2.0)
+        # P(max(X, Y) <= d) = P(X <= d)^2 for iid branches
+        assert parallel == pytest.approx(single**2, abs=0.005)
+        assert parallel < single
+
+    def test_parallel_faster_than_series_of_same_steps(self):
+        from repro.services import AtomicService, CompositeService
+        from repro.uml.activity import SPLeaf, SPParallel
+        from repro.dependability.responsiveness import service_responsiveness
+
+        atomics = [AtomicService("a"), AtomicService("b")]
+        means = {"a": 2.0, "b": 2.0}
+        series = CompositeService.sequential("s", atomics)
+        parallel = CompositeService.from_structure(
+            "p", SPParallel([SPLeaf("a"), SPLeaf("b")]), atomics
+        )
+        kwargs = dict(samples=100_000, seed=5)
+        assert service_responsiveness(
+            parallel, means, 4.0, **kwargs
+        ) > service_responsiveness(series, means, 4.0, **kwargs)
+
+    def test_printing_service_curve_monotone(self):
+        from repro.casestudy import printing_service
+        from repro.dependability.responsiveness import service_responsiveness
+
+        service = printing_service()
+        means = {name: 2.0 for name in service.execution_order()}
+        values = [
+            service_responsiveness(service, means, d, samples=30_000, seed=6)
+            for d in (2.0, 5.0, 10.0, 30.0)
+        ]
+        assert values == sorted(values)
+        assert values[-1] > 0.9
+
+    def test_validation(self):
+        from repro.services import AtomicService, CompositeService
+        from repro.dependability.responsiveness import service_responsiveness
+        from repro.errors import AnalysisError
+
+        service = CompositeService.sequential(
+            "s", [AtomicService("a"), AtomicService("b")]
+        )
+        with pytest.raises(AnalysisError):
+            service_responsiveness(service, {"a": 1.0}, 1.0)  # missing b
+        with pytest.raises(AnalysisError):
+            service_responsiveness(service, {"a": 1.0, "b": 0.0}, 1.0)
+        with pytest.raises(AnalysisError):
+            service_responsiveness(service, {"a": 1.0, "b": 1.0}, -1.0)
+        with pytest.raises(AnalysisError):
+            service_responsiveness(service, {"a": 1.0, "b": 1.0}, 1.0, samples=0)
+
+    def test_deterministic_for_seed(self):
+        from repro.services import AtomicService, CompositeService
+        from repro.dependability.responsiveness import service_responsiveness
+
+        service = CompositeService.sequential(
+            "s", [AtomicService("a"), AtomicService("b")]
+        )
+        means = {"a": 1.0, "b": 1.0}
+        first = service_responsiveness(service, means, 2.0, samples=10_000, seed=9)
+        second = service_responsiveness(service, means, 2.0, samples=10_000, seed=9)
+        assert first == second

@@ -1,0 +1,89 @@
+"""Tests for the fluent topology builder."""
+
+import pytest
+
+from repro.errors import ConstraintViolationError, ModelError, TopologyError
+from repro.network.builder import TopologyBuilder
+from repro.network.components import DeviceSpec
+
+
+@pytest.fixture()
+def builder():
+    b = TopologyBuilder("test")
+    b.device_type(DeviceSpec("Sw", "Switch", mtbf=1000.0, mttr=0.5))
+    b.device_type(DeviceSpec("Pc", "Client", mtbf=100.0, mttr=10.0))
+    return b
+
+
+class TestTypes:
+    def test_device_type_idempotent_same_spec(self, builder):
+        spec = DeviceSpec("Sw", "Switch", mtbf=1000.0, mttr=0.5)
+        cls = builder.device_type(spec)
+        assert cls is builder.class_model.get_class("Sw")
+
+    def test_device_type_conflicting_spec_rejected(self, builder):
+        with pytest.raises(ModelError):
+            builder.device_type(DeviceSpec("Sw", "Switch", mtbf=999.0, mttr=0.5))
+
+    def test_add_unknown_type_rejected(self, builder):
+        with pytest.raises(TopologyError):
+            builder.add("x", "Router9000")
+
+    def test_connector_type(self, builder):
+        builder.connector_type("Fibre", mtbf=2e6, mttr=0.25, channel="fibre")
+        builder.add("a", "Sw")
+        builder.add("b", "Sw")
+        link = builder.connect("a", "b", "Fibre")
+        assert link.property_dict()["MTBF"] == 2e6
+
+
+class TestConnecting:
+    def test_connect_chain(self, builder):
+        builder.add_many(["a", "b", "c"], "Sw")
+        builder.connect_chain(["a", "b", "c"])
+        topo = builder.topology()
+        assert topo.link_count() == 2
+        assert topo.neighbors("b") == ["a", "c"]
+
+    def test_connect_star(self, builder):
+        builder.add("hub", "Sw")
+        builder.add_many(["p1", "p2", "p3"], "Pc")
+        builder.connect_star("hub", ["p1", "p2", "p3"])
+        assert builder.topology().degree("hub") == 3
+
+    def test_default_cable_association(self, builder):
+        builder.add("a", "Sw")
+        builder.add("p", "Pc")
+        link = builder.connect("a", "p")
+        assert link.association.name == "Cable"
+        assert link.property_dict()["MTBF"] == 1_000_000.0
+
+
+class TestBuild:
+    def test_build_validates(self, builder):
+        builder.add("a", "Sw")
+        builder.add("lonely", "Pc")  # dangling -> violation
+        builder.add("b", "Sw")
+        builder.connect("a", "b")
+        with pytest.raises(ConstraintViolationError):
+            builder.build()
+
+    def test_build_without_validation(self, builder):
+        builder.add("lonely", "Pc")
+        builder.add("a", "Sw")
+        builder.connect("lonely", "a")
+        builder.add("dangling", "Pc")
+        model = builder.build(validate=False)
+        assert len(model) == 3
+
+    def test_built_model_has_profiles_applied(self, builder):
+        builder.add("a", "Sw")
+        builder.add("p", "Pc")
+        builder.connect("a", "p")
+        model = builder.build()
+        assert model.get_instance("a").property_value("MTBF") == 1000.0
+        assert model.get_instance("p").property_value("MTTR") == 10.0
+
+    def test_abstract_root_not_instantiable(self, builder):
+        with pytest.raises(ModelError):
+            builder.object_model.add_instance("x", "ICTDevice")

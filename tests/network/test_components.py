@@ -1,0 +1,136 @@
+"""Tests for the standard profiles and component factories (Figures 6-8)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.network.components import (
+    AVAILABILITY_ATTRIBUTES,
+    DeviceSpec,
+    StandardProfiles,
+    availability_profile,
+    make_connector_association,
+    make_device_class,
+    network_profile,
+)
+from repro.uml.classes import Class
+
+
+class TestAvailabilityProfile:
+    def test_figure6_structure(self):
+        profile = availability_profile()
+        component = profile.stereotype("Component")
+        assert component.is_abstract
+        assert [p.name for p in component.attributes] == list(
+            AVAILABILITY_ATTRIBUTES
+        )
+        device = profile.stereotype("Device")
+        connector = profile.stereotype("Connector")
+        # Device/Connector extend Class/Association respectively & exclusively
+        assert device.extends == ("Class",)
+        assert connector.extends == ("Association",)
+        assert device.is_specialization_of(component)
+        assert connector.is_specialization_of(component)
+
+    def test_attribute_types(self):
+        component = availability_profile().stereotype("Component")
+        assert component.attribute("MTBF").type_name == "Real"
+        assert component.attribute("MTTR").type_name == "Real"
+        assert component.attribute("redundantComponents").type_name == "Integer"
+        assert component.attribute("redundantComponents").default == 0
+
+
+class TestNetworkProfile:
+    def test_figure7_hierarchy(self):
+        profile = network_profile()
+        network_device = profile.stereotype("NetworkDevice")
+        assert network_device.is_abstract
+        computer = profile.stereotype("Computer")
+        assert computer.is_abstract
+        for kind in ("Router", "Switch", "Printer"):
+            assert profile.stereotype(kind).is_specialization_of(network_device)
+        for kind in ("Client", "Server"):
+            stereotype = profile.stereotype(kind)
+            assert stereotype.is_specialization_of(computer)
+            assert stereotype.is_specialization_of(network_device)
+
+    def test_computer_adds_processor(self):
+        profile = network_profile()
+        client = profile.stereotype("Client")
+        names = [p.name for p in client.all_attributes()]
+        assert names == ["manufacturer", "model", "processor"]
+
+    def test_communication_extends_association(self):
+        communication = network_profile().stereotype("Communication")
+        assert communication.extends == ("Association",)
+        assert [p.name for p in communication.attributes] == ["channel", "throughput"]
+
+
+class TestDeviceSpec:
+    def test_invalid_kind(self):
+        with pytest.raises(ModelError):
+            DeviceSpec("X", "Firewall", mtbf=1.0, mttr=0.1)
+
+    def test_invalid_numbers(self):
+        with pytest.raises(ModelError):
+            DeviceSpec("X", "Switch", mtbf=0.0, mttr=0.1)
+        with pytest.raises(ModelError):
+            DeviceSpec("X", "Switch", mtbf=1.0, mttr=-1.0)
+        with pytest.raises(ModelError):
+            DeviceSpec("X", "Switch", mtbf=1.0, mttr=0.1, redundant_components=-1)
+
+
+class TestFactories:
+    def test_make_device_class_applies_both_profiles(self):
+        profiles = StandardProfiles()
+        cls = make_device_class(
+            DeviceSpec(
+                "C6500",
+                "Switch",
+                mtbf=183498.0,
+                mttr=0.5,
+                manufacturer="Cisco",
+                model="Catalyst",
+            ),
+            profiles,
+        )
+        assert cls.stereotype_value("Component", "MTBF") == 183498.0
+        assert cls.stereotype_value("NetworkDevice", "manufacturer") == "Cisco"
+        assert cls.has_stereotype("Switch")
+
+    def test_processor_only_for_computers(self):
+        profiles = StandardProfiles()
+        with pytest.raises(ModelError):
+            make_device_class(
+                DeviceSpec("X", "Switch", mtbf=1.0, mttr=0.1, processor="i7"),
+                profiles,
+            )
+        cls = make_device_class(
+            DeviceSpec("PC", "Client", mtbf=1.0, mttr=0.1, processor="i7"),
+            profiles,
+        )
+        assert cls.stereotype_value("Computer", "processor") == "i7"
+
+    def test_make_connector_association(self):
+        profiles = StandardProfiles()
+        a, b = Class("A"), Class("B")
+        assoc = make_connector_association(
+            "Fibre",
+            a,
+            b,
+            mtbf=1e6,
+            mttr=0.5,
+            channel="fibre",
+            throughput=10000.0,
+            profiles=profiles,
+        )
+        assert assoc.stereotype_value("Component", "MTBF") == 1e6
+        assert assoc.stereotype_value("Communication", "throughput") == 10000.0
+        assert assoc.property_dict()["channel"] == "fibre"
+
+    def test_standard_profiles_shortcuts(self):
+        profiles = StandardProfiles()
+        assert profiles.device.name == "Device"
+        assert profiles.connector.name == "Connector"
+        assert profiles.communication.name == "Communication"
+        assert profiles.kind("Printer").name == "Printer"
+        assert len(profiles.as_list()) == 2

@@ -1,0 +1,134 @@
+"""Tests for the synthetic topology generators."""
+
+import pytest
+
+from repro.core.pathdiscovery import count_paths
+from repro.errors import TopologyError
+from repro.network.generators import (
+    balanced_tree,
+    campus,
+    complete,
+    endpoints,
+    erdos_renyi,
+    ladder,
+    ring,
+)
+
+
+class TestEndpoints:
+    def test_every_family_has_conventional_endpoints(self):
+        for builder in (
+            campus(),
+            balanced_tree(2, 2),
+            ring(4),
+            ladder(3),
+            complete(4),
+            erdos_renyi(6, 0.3, seed=1),
+        ):
+            requester, provider = endpoints(builder)
+            assert requester == "client"
+            assert provider == "server"
+
+    def test_missing_endpoint_detected(self):
+        builder = campus()
+        builder.object_model._instances.pop("client")  # simulate damage
+        with pytest.raises(TopologyError):
+            endpoints(builder)
+
+
+class TestFamilies:
+    def test_tree_has_exactly_one_path(self):
+        builder = balanced_tree(3, 3)
+        assert count_paths(builder.topology(), "client", "server") == 1
+
+    def test_tree_validates(self):
+        balanced_tree(2, 2).build()
+
+    def test_tree_rejects_bad_args(self):
+        with pytest.raises(TopologyError):
+            balanced_tree(0, 2)
+        with pytest.raises(TopologyError):
+            balanced_tree(2, 0)
+
+    def test_ring_has_exactly_two_paths(self):
+        for n in (4, 7, 12):
+            builder = ring(n)
+            assert count_paths(builder.topology(), "client", "server") == 2
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(TopologyError):
+            ring(2)
+
+    def test_ladder_path_count_doubles_per_rung(self):
+        # known closed form for 2xN grid simple corner-to-corner paths is
+        # not a plain power of two, but growth must be superlinear
+        counts = [
+            count_paths(ladder(r).topology(), "client", "server")
+            for r in (2, 3, 4, 5)
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] > 4 * counts[0]
+
+    def test_complete_counts_match_formula(self):
+        # client on sw0, server on sw_{n-1}: paths = sum over k of P(n-2, k)
+        import math
+
+        for n in (3, 4, 5, 6):
+            expected = sum(math.perm(n - 2, k) for k in range(n - 1))
+            builder = complete(n)
+            assert count_paths(builder.topology(), "client", "server") == expected
+
+    def test_complete_minimum_size(self):
+        with pytest.raises(TopologyError):
+            complete(1)
+
+    def test_campus_structure(self):
+        builder = campus(dist_switches=3, edges_per_dist=2, clients_per_edge=2)
+        topo = builder.topology()
+        assert topo.is_connected()
+        assert "core1" in topo and "core2" in topo
+        assert topo.nodes_of_kind("Client")  # clients exist
+        assert count_paths(topo, "client", "server") >= 2  # redundant core
+
+    def test_campus_dual_homing_increases_paths(self):
+        single = campus(dist_switches=2, dual_homed=False)
+        dual = campus(dist_switches=2, dual_homed=True)
+        count_single = count_paths(single.topology(), "client", "server")
+        count_dual = count_paths(dual.topology(), "client", "server")
+        assert count_dual > count_single
+
+    def test_campus_validates(self):
+        campus().build()
+
+
+class TestErdosRenyi:
+    def test_deterministic_for_seed(self):
+        a = erdos_renyi(15, 0.2, seed=42)
+        b = erdos_renyi(15, 0.2, seed=42)
+        assert sorted(a.topology().edges()) == sorted(b.topology().edges())
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi(15, 0.2, seed=1)
+        b = erdos_renyi(15, 0.2, seed=2)
+        assert sorted(a.topology().edges()) != sorted(b.topology().edges())
+
+    def test_connected_by_default(self):
+        builder = erdos_renyi(20, 0.05, seed=3)
+        assert builder.topology().is_connected()
+
+    def test_p_bounds_checked(self):
+        with pytest.raises(TopologyError):
+            erdos_renyi(5, 1.5)
+        with pytest.raises(TopologyError):
+            erdos_renyi(5, -0.1)
+        with pytest.raises(TopologyError):
+            erdos_renyi(1, 0.5)
+
+    def test_p_one_yields_complete_fabric(self):
+        builder = erdos_renyi(6, 1.0, seed=0)
+        topo = builder.topology()
+        # 6 switches complete = 15 edges, plus client and server attachments
+        assert topo.link_count() == 15 + 2
+
+    def test_validates(self):
+        erdos_renyi(12, 0.3, seed=5).build()

@@ -1,0 +1,104 @@
+"""Tests for the topology graph view."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.topology import Topology
+
+
+class TestStructure:
+    def test_counts(self, diamond_topo):
+        assert diamond_topo.node_count() == 5
+        assert diamond_topo.link_count() == 5
+        assert len(diamond_topo) == 5
+
+    def test_neighbors(self, diamond_topo):
+        assert sorted(diamond_topo.neighbors("e")) == ["a", "b", "pc"]
+        assert diamond_topo.degree("e") == 3
+
+    def test_unknown_node_raises(self, diamond_topo):
+        with pytest.raises(TopologyError):
+            diamond_topo.neighbors("ghost")
+        with pytest.raises(TopologyError):
+            diamond_topo.degree("ghost")
+        with pytest.raises(TopologyError):
+            diamond_topo.instance("ghost")
+
+    def test_membership(self, diamond_topo):
+        assert "pc" in diamond_topo
+        assert "ghost" not in diamond_topo
+
+    def test_edges(self, diamond_topo):
+        edges = {tuple(sorted(e)) for e in diamond_topo.edges()}
+        assert ("a", "e") in edges
+        assert len(edges) == 5
+
+    def test_link_between(self, diamond_topo):
+        link = diamond_topo.link_between("pc", "e")
+        assert {link.end1.name, link.end2.name} == {"pc", "e"}
+        with pytest.raises(TopologyError):
+            diamond_topo.link_between("pc", "s")
+
+    def test_connected(self, diamond_topo):
+        assert diamond_topo.is_connected()
+
+    def test_cycle_rank(self, diamond_topo):
+        # 5 links, 5 nodes, 1 component -> rank 1 (the a/b diamond)
+        assert diamond_topo.cycle_rank() == 1
+
+
+class TestProperties:
+    def test_node_property_inherited(self, diamond_topo):
+        assert diamond_topo.node_property("pc", "MTBF") == 5000.0
+        assert diamond_topo.node_property("s", "MTTR") == 0.5
+
+    def test_link_property(self, diamond_topo):
+        assert diamond_topo.link_property("pc", "e", "MTBF") == 1_000_000.0
+
+    def test_link_property_missing(self, diamond_topo):
+        with pytest.raises(TopologyError):
+            diamond_topo.link_property("pc", "e", "color")
+
+    def test_nodes_of_kind(self, diamond_topo):
+        assert diamond_topo.nodes_of_kind("Client") == ["pc"]
+        assert diamond_topo.nodes_of_kind("Server") == ["s"]
+        assert sorted(diamond_topo.nodes_of_kind("Switch")) == ["a", "b", "e"]
+
+
+class TestConversions:
+    def test_to_networkx_structure(self, diamond_topo):
+        graph = diamond_topo.to_networkx()
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 5
+        assert nx.is_connected(graph)
+        assert graph.nodes["pc"]["classifier"] == "Pc"
+
+    def test_to_networkx_with_properties(self, diamond_topo):
+        graph = diamond_topo.to_networkx(with_properties=True)
+        assert graph.nodes["pc"]["MTBF"] == 5000.0
+        assert graph.edges["pc", "e"]["MTBF"] == 1_000_000.0
+
+
+class TestStatistics:
+    def test_degree_histogram(self, diamond_topo):
+        histogram = diamond_topo.degree_histogram()
+        assert sum(histogram.values()) == 5
+        assert histogram[1] == 1  # pc
+        assert histogram[3] == 1  # e
+
+    def test_summary_keys(self, diamond_topo):
+        summary = diamond_topo.summary()
+        assert summary["nodes"] == 5
+        assert summary["links"] == 5
+        assert summary["connected"] is True
+        assert summary["cycle_rank"] == 1
+
+    def test_usi_summary(self, usi_topo):
+        summary = usi_topo.summary()
+        assert summary["nodes"] == 34
+        assert summary["links"] == 34
+        assert summary["connected"] is True
+        # exactly one independent cycle: the redundant core triangle
+        # c1 - c2 - d4 (d4 dual-homed, d1/d2/d3 single-homed)
+        assert summary["cycle_rank"] == 1

@@ -1,0 +1,159 @@
+"""Tests for atomic services, composite services and the catalog."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.services.atomic import AtomicService
+from repro.services.catalog import ServiceCatalog
+from repro.services.composite import CompositeService
+from repro.uml.activity import Activity, SPLeaf, SPParallel, SPSeries
+
+
+class TestAtomicService:
+    def test_valid(self):
+        service = AtomicService("send_mail", "Sends one mail.")
+        assert str(service) == "send_mail"
+
+    def test_invalid_name(self):
+        with pytest.raises(ServiceError):
+            AtomicService("")
+        with pytest.raises(ServiceError):
+            AtomicService("a.b")
+
+    def test_frozen_and_hashable(self):
+        a = AtomicService("x")
+        with pytest.raises(AttributeError):
+            a.name = "y"  # type: ignore[misc]
+        assert len({AtomicService("x"), AtomicService("x")}) == 1
+
+
+class TestCompositeService:
+    def test_sequential(self):
+        service = CompositeService.sequential(
+            "mail", [AtomicService("auth"), AtomicService("send")]
+        )
+        assert service.execution_order() == ["auth", "send"]
+        assert len(service) == 2
+
+    def test_requires_two_distinct_atomics(self):
+        """Definition: composed of and only of two or more atomic services."""
+        with pytest.raises(ServiceError):
+            CompositeService.sequential("solo", [AtomicService("only")])
+
+    def test_repeated_atomic_does_not_count_twice(self):
+        activity = Activity.sequence("rep", ["a", "a"])
+        with pytest.raises(ServiceError):
+            CompositeService(activity, [AtomicService("a")])
+
+    def test_undeclared_atomic_rejected(self):
+        activity = Activity.sequence("svc", ["a", "b"])
+        with pytest.raises(ServiceError):
+            CompositeService(activity, [AtomicService("a")])
+
+    def test_unused_atomic_rejected(self):
+        activity = Activity.sequence("svc", ["a", "b"])
+        with pytest.raises(ServiceError):
+            CompositeService(
+                activity,
+                [AtomicService("a"), AtomicService("b"), AtomicService("ghost")],
+            )
+
+    def test_duplicate_declaration_rejected(self):
+        activity = Activity.sequence("svc", ["a", "b"])
+        with pytest.raises(ServiceError):
+            CompositeService(
+                activity,
+                [AtomicService("a"), AtomicService("a"), AtomicService("b")],
+            )
+
+    def test_malformed_activity_rejected(self):
+        activity = Activity("broken")
+        with pytest.raises(ServiceError):
+            CompositeService(activity, [AtomicService("a"), AtomicService("b")])
+
+    def test_from_structure_parallel(self):
+        structure = SPSeries(
+            [SPLeaf("a"), SPParallel([SPLeaf("b"), SPLeaf("c")])]
+        )
+        service = CompositeService.from_structure(
+            "par",
+            structure,
+            [AtomicService("a"), AtomicService("b"), AtomicService("c")],
+        )
+        assert service.structure() == structure
+        assert service.execution_order()[0] == "a"
+
+    def test_atomic_lookup(self):
+        service = CompositeService.sequential(
+            "mail", [AtomicService("auth", "desc"), AtomicService("send")]
+        )
+        assert service.atomic_service("auth").description == "desc"
+        with pytest.raises(ServiceError):
+            service.atomic_service("ghost")
+
+    def test_atomic_services_in_execution_order(self):
+        service = CompositeService.sequential(
+            "svc", [AtomicService("z"), AtomicService("a"), AtomicService("m")]
+        )
+        assert [s.name for s in service.atomic_services] == ["z", "a", "m"]
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        catalog = ServiceCatalog()
+        service = CompositeService.sequential(
+            "mail", [AtomicService("auth"), AtomicService("send")]
+        )
+        catalog.register_composite(service)
+        assert catalog.composite("mail") is service
+        assert catalog.has_atomic("auth")
+        assert catalog.atomic("send").name == "send"
+
+    def test_atomics_shared_between_composites(self):
+        catalog = ServiceCatalog()
+        auth = AtomicService("auth")
+        catalog.register_composite(
+            CompositeService.sequential("mail", [auth, AtomicService("send")])
+        )
+        catalog.register_composite(
+            CompositeService.sequential("files", [auth, AtomicService("fetch")])
+        )
+        users = catalog.composites_using("auth")
+        assert {c.name for c in users} == {"mail", "files"}
+        assert len(catalog.atomic_services) == 3
+
+    def test_conflicting_atomic_description_rejected(self):
+        catalog = ServiceCatalog()
+        catalog.register_atomic(AtomicService("auth", "one"))
+        with pytest.raises(ServiceError):
+            catalog.register_atomic(AtomicService("auth", "two"))
+
+    def test_duplicate_composite_rejected(self):
+        catalog = ServiceCatalog()
+        service = CompositeService.sequential(
+            "mail", [AtomicService("a"), AtomicService("b")]
+        )
+        catalog.register_composite(service)
+        with pytest.raises(ServiceError):
+            catalog.register_composite(
+                CompositeService.sequential(
+                    "mail", [AtomicService("a"), AtomicService("b")]
+                )
+            )
+
+    def test_unknown_lookups_raise(self):
+        catalog = ServiceCatalog()
+        with pytest.raises(ServiceError):
+            catalog.atomic("ghost")
+        with pytest.raises(ServiceError):
+            catalog.composite("ghost")
+        with pytest.raises(ServiceError):
+            catalog.composites_using("ghost")
+
+    def test_len_and_iter(self):
+        catalog = ServiceCatalog()
+        catalog.register_composite(
+            CompositeService.sequential("m", [AtomicService("a"), AtomicService("b")])
+        )
+        assert len(catalog) == 3  # 2 atomics + 1 composite
+        assert [c.name for c in catalog] == ["m"]

@@ -1,0 +1,105 @@
+"""API-surface tests: error hierarchy, exports, entry points."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is errors.ReproError:
+                    continue
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_constraint_violation_carries_violations(self):
+        from repro.uml.constraints import Violation
+
+        violations = [Violation("rule", "elem", "broken")]
+        exc = errors.ConstraintViolationError(violations)
+        assert exc.violations == violations
+        assert "broken" in str(exc)
+
+    def test_catching_base_catches_subsystem_errors(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.PathDiscoveryError("x")
+        with pytest.raises(errors.ReproError):
+            raise errors.ModelSpaceError("x")
+
+
+class TestExports:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro",
+            "repro.uml",
+            "repro.vpm",
+            "repro.network",
+            "repro.services",
+            "repro.core",
+            "repro.dependability",
+            "repro.analysis",
+            "repro.casestudy",
+            "repro.viz",
+        ],
+    )
+    def test_all_names_resolve(self, module_name):
+        """Every name in __all__ must actually exist in the module."""
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__")
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_exports_are_errors(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            obj = getattr(repro, name)
+            assert issubclass(obj, Exception)
+
+
+class TestCLIEntryPoint:
+    def test_help_exits_zero(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for command in (
+            "casestudy",
+            "generate",
+            "paths",
+            "analyze",
+            "validate",
+            "impact",
+            "inventory",
+            "diversity",
+            "sla",
+            "query",
+        ):
+            assert command in out
+
+    def test_unknown_command_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code != 0
+
+    def test_pyproject_declares_entry_point(self):
+        import pathlib
+
+        pyproject = (
+            pathlib.Path(__file__).resolve().parent.parent / "pyproject.toml"
+        )
+        text = pyproject.read_text()
+        assert 'upsim = "repro.cli:main"' in text

@@ -1,0 +1,159 @@
+"""Tests for the operational CLI subcommands (impact/inventory/diversity/sla/query)."""
+
+import pytest
+
+from repro.casestudy import printing_service, table1_mapping, usi_builder
+from repro.cli import main
+from repro.uml import xmi
+
+
+@pytest.fixture(scope="module")
+def usi_files(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("usi_cli")
+    builder = usi_builder()
+    service = printing_service()
+    bundle = xmi.ModelBundle(
+        profiles=builder.profiles.as_list(),
+        class_model=builder.class_model,
+        object_model=builder.object_model,
+        activities=[service.activity],
+    )
+    models = tmp_path / "usi.xml"
+    xmi.dump(bundle, str(models))
+    mapping = tmp_path / "mapping.xml"
+    table1_mapping().save(str(mapping))
+    return str(models), str(mapping), tmp_path
+
+
+class TestImpact:
+    def test_node_granularity(self, usi_files, capsys):
+        models, mapping, _ = usi_files
+        code = main(
+            ["impact", "--models", models, "--service", "printing", "--mapping", mapping]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "printS" in out
+        assert "hard outages" in out
+
+    def test_link_granularity(self, usi_files, capsys):
+        models, mapping, _ = usi_files
+        code = main(
+            [
+                "impact",
+                "--models", models,
+                "--service", "printing",
+                "--mapping", mapping,
+                "--links",
+            ]
+        )
+        assert code == 0
+        assert "c1|c2" in capsys.readouterr().out
+
+
+class TestInventory:
+    def test_table_and_articulation_points(self, usi_files, capsys):
+        models, _, _ = usi_files
+        assert main(["inventory", "--models", models]) == 0
+        out = capsys.readouterr().out
+        assert "Comp" in out
+        assert "articulation points" in out
+        assert "e1" in out
+
+
+class TestDiversity:
+    def test_usi_pair(self, usi_files, capsys):
+        models, _, _ = usi_files
+        code = main(
+            [
+                "diversity",
+                "--models", models,
+                "--requester", "t1",
+                "--provider", "printS",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "discovered paths:      2" in out
+        assert "single node failure can disconnect" in out
+
+    def test_unknown_node(self, usi_files, capsys):
+        models, _, _ = usi_files
+        assert main(
+            [
+                "diversity",
+                "--models", models,
+                "--requester", "t1",
+                "--provider", "zzz",
+            ]
+        ) == 2
+
+
+class TestSLA:
+    def test_met(self, usi_files, capsys):
+        models, mapping, _ = usi_files
+        code = main(
+            [
+                "sla",
+                "--models", models,
+                "--service", "printing",
+                "--mapping", mapping,
+                "--required", "0.99",
+            ]
+        )
+        assert code == 0
+        assert "MET" in capsys.readouterr().out
+
+    def test_violated_with_plan(self, usi_files, capsys):
+        models, mapping, _ = usi_files
+        code = main(
+            [
+                "sla",
+                "--models", models,
+                "--service", "printing",
+                "--mapping", mapping,
+                "--required", "0.999",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out
+        assert "upgrade options" in out
+        assert "t1" in out
+
+
+class TestQuery:
+    def test_query_printers(self, usi_files, capsys):
+        models, _, tmp_path = usi_files
+        pattern = tmp_path / "printers.vtcl"
+        pattern.write_text(
+            'pattern printers(p) {\n'
+            '    p : instanceof "uml.classes.Printer"\n'
+            '}\n',
+            encoding="utf-8",
+        )
+        assert main(
+            ["query", "--models", models, "--pattern-file", str(pattern)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "uml.instances.p1" in out
+        assert "(3 match(es))" in out
+
+    def test_query_no_matches(self, usi_files, capsys):
+        models, _, tmp_path = usi_files
+        pattern = tmp_path / "none.vtcl"
+        pattern.write_text(
+            'pattern q(x) {\n    x in "nowhere"\n}\n', encoding="utf-8"
+        )
+        assert main(
+            ["query", "--models", models, "--pattern-file", str(pattern)]
+        ) == 0
+        assert "no matches" in capsys.readouterr().out
+
+    def test_query_bad_pattern(self, usi_files, capsys):
+        models, _, tmp_path = usi_files
+        pattern = tmp_path / "bad.vtcl"
+        pattern.write_text("not a pattern", encoding="utf-8")
+        assert main(
+            ["query", "--models", models, "--pattern-file", str(pattern)]
+        ) == 2

@@ -1,0 +1,188 @@
+"""Executable versions of the docs/extending.md recipes.
+
+Keeps the extension documentation honest: every recipe shown there is
+exercised here with the same API calls.
+"""
+
+import pytest
+
+from repro.errors import ConstraintViolationError
+
+
+class TestCustomProfileRecipe:
+    def test_security_profile(self, small_builder):
+        from repro.uml import Profile, Property, Stereotype
+
+        security = Profile(
+            "security",
+            [
+                Stereotype(
+                    "Hardened",
+                    extends=("Class",),
+                    attributes=[
+                        Property("patchLevel", "Integer", 0),
+                        Property("certified", "Boolean", False),
+                    ],
+                )
+            ],
+        )
+        cls = small_builder.class_model.get_class("Sw")
+        cls.apply_stereotype(security.stereotype("Hardened"), patchLevel=7)
+        assert cls.stereotype_value("Hardened", "patchLevel") == 7
+        # instances inherit through property_dict
+        inst = small_builder.object_model.get_instance("e")
+        assert inst.property_dict()["patchLevel"] == 7
+        assert inst.property_dict()["certified"] is False
+
+
+class TestCustomConstraintRecipe:
+    def test_no_uncertified_core(self, small_builder):
+        from repro.uml import Profile, Property, Stereotype
+        from repro.uml.constraints import Constraint, ConstraintSuite
+
+        security = Profile(
+            "security",
+            [
+                Stereotype(
+                    "Hardened",
+                    extends=("Class",),
+                    attributes=[Property("certified", "Boolean", False)],
+                )
+            ],
+        )
+        small_builder.class_model.get_class("Sw").apply_stereotype(
+            security.stereotype("Hardened")
+        )
+
+        class NoUncertifiedCore(Constraint):
+            name = "no-uncertified-core"
+
+            def check(self, model):
+                return [
+                    self._violation(inst.signature, "core switch not certified")
+                    for inst in model.instances
+                    if inst.classifier.has_stereotype("Switch")
+                    and inst.classifier.has_stereotype("Hardened")
+                    and not inst.property_value("certified")
+                ]
+
+        suite = ConstraintSuite([NoUncertifiedCore()])
+        with pytest.raises(ConstraintViolationError) as excinfo:
+            suite.enforce(small_builder.object_model)
+        assert len(excinfo.value.violations) == 3  # e, a, b
+
+
+class TestCustomGeneratorRecipe:
+    def test_generator_with_generic_specs(self):
+        from repro.network.builder import TopologyBuilder
+        from repro.network.generators import generic_specs
+
+        def two_tier(leaves: int) -> TopologyBuilder:
+            builder = TopologyBuilder("twotier")
+            for spec in generic_specs():
+                builder.device_type(spec)
+            builder.add("server", "GenServer")
+            builder.add("root", "CoreSwitch")
+            builder.connect("server", "root")
+            for i in range(leaves):
+                name = "client" if i == 0 else f"client{i}"
+                builder.add(name, "GenClient")
+                builder.connect(name, "root")
+            return builder
+
+        builder = two_tier(4)
+        from repro.network.generators import endpoints
+
+        requester, provider = endpoints(builder)
+        builder.build()  # validates against the standard suite
+        assert (requester, provider) == ("client", "server")
+
+
+class TestCustomEvaluatorRecipe:
+    def test_importance_with_custom_evaluator(self, upsim_t1_p2):
+        from repro.analysis import (
+            component_availabilities,
+            service_path_set_groups,
+            system_availability,
+        )
+        from repro.dependability import importance_table
+
+        table = component_availabilities(upsim_t1_p2.model, include_links=False)
+        groups = service_path_set_groups(upsim_t1_p2, include_links=False)
+        rows = importance_table(
+            lambda t: system_availability(groups, t), table
+        )
+        assert rows[0].component == "t1"
+
+
+class TestCustomRewardRecipe:
+    def test_weighted_paths_reward(self, upsim_t1_p2):
+        from repro.analysis import component_availabilities
+        from repro.dependability import expected_reward
+
+        table = component_availabilities(upsim_t1_p2.model, include_links=False)
+
+        def weighted_paths(state):
+            gold = all(
+                state[c] for c in ("t1", "e1", "d1", "c1", "d4", "printS")
+            )
+            return 1.0 if gold else 0.25 if state["printS"] else 0.0
+
+        value = expected_reward(table, weighted_paths)
+        assert 0.0 < value < 1.0
+
+
+class TestCustomChangeOperationRecipe:
+    def test_firmware_upgrade(self, usi, printing, table1):
+        from dataclasses import dataclass
+
+        from repro.core.dynamics import ChangeOperation, DeploymentState
+
+        @dataclass(frozen=True)
+        class FirmwareUpgrade(ChangeOperation):
+            class_name: str
+            new_mtbf: float
+
+            def affected_models(self):
+                return frozenset({"network", "mapping"})
+
+            def apply(self, state):
+                cls = state.infrastructure.class_model.get_class(self.class_name)
+                cls.stereotype_application("Component").set_value(
+                    "MTBF", self.new_mtbf
+                )
+
+        state = DeploymentState(usi, printing, table1)
+        state.run()
+        try:
+            before = usi.get_instance("t1").property_value("MTBF")
+            state.apply(FirmwareUpgrade("Comp", 6000.0))
+            after = usi.get_instance("t1").property_value("MTBF")
+            assert before == 3000.0 and after == 6000.0
+            # every Comp instance reflects the class-level change at once
+            assert usi.get_instance("t9").property_value("MTBF") == 6000.0
+        finally:
+            # restore for other session-scoped users of the fixture
+            usi.class_model.get_class("Comp").stereotype_application(
+                "Component"
+            ).set_value("MTBF", 3000.0)
+
+
+class TestVTCLRecipe:
+    def test_uplinks_query(self, usi):
+        from repro.vpm import ModelSpace, UMLImporter, run_query
+
+        space = ModelSpace()
+        UMLImporter(space).import_object_model(usi)
+        results = run_query(
+            space,
+            """
+            pattern uplinks(edge, dist) {
+                edge : instanceof "uml.classes.HP2650"
+                dist : instanceof "uml.classes.C3750"
+                link(edge, dist) undirected
+            }
+            """,
+        )
+        pairs = {(r["edge"].split(".")[-1], r["dist"].split(".")[-1]) for r in results}
+        assert pairs == {("e1", "d1"), ("e2", "d1"), ("e3", "d2"), ("e4", "d2")}

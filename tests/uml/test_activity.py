@@ -1,0 +1,198 @@
+"""Tests for activity diagrams: construction, validation, decomposition."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.uml.activity import (
+    Action,
+    Activity,
+    FinalNode,
+    ForkNode,
+    InitialNode,
+    JoinNode,
+    SPLeaf,
+    SPParallel,
+    SPSeries,
+)
+
+
+class TestSequence:
+    def test_sequence_valid(self):
+        activity = Activity.sequence("svc", ["a", "b", "c"])
+        assert activity.is_valid()
+        assert activity.atomic_service_names() == ["a", "b", "c"]
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ServiceError):
+            Activity.sequence("svc", [])
+
+    def test_sequence_structure(self):
+        activity = Activity.sequence("svc", ["a", "b"])
+        assert activity.to_structure() == SPSeries([SPLeaf("a"), SPLeaf("b")])
+
+    def test_single_action_structure_is_leaf(self):
+        activity = Activity.sequence("svc", ["only"])
+        assert activity.to_structure() == SPLeaf("only")
+
+
+class TestFromStructure:
+    def test_figure2_shape(self):
+        """Figure 2: as1, then (as2 | as3) in parallel, then as4."""
+        structure = SPSeries(
+            [SPLeaf("as1"), SPParallel([SPLeaf("as2"), SPLeaf("as3")]), SPLeaf("as4")]
+        )
+        activity = Activity.from_structure("generic", structure)
+        assert activity.is_valid()
+        assert activity.to_structure() == structure
+        kinds = [node.kind for node in activity.nodes]
+        assert kinds.count("fork") == 1
+        assert kinds.count("join") == 1
+
+    def test_nested_parallel(self):
+        structure = SPParallel(
+            [
+                SPSeries([SPLeaf("a"), SPLeaf("b")]),
+                SPParallel([SPLeaf("c"), SPLeaf("d")]),
+            ]
+        )
+        activity = Activity.from_structure("nested", structure)
+        assert activity.is_valid()
+        assert activity.to_structure() == structure
+
+    def test_expression_rendering(self):
+        structure = SPSeries([SPLeaf("a"), SPParallel([SPLeaf("b"), SPLeaf("c")])])
+        assert structure.to_expression() == "a ; (b | c)"
+
+    def test_atomic_names_cover_all_branches(self):
+        structure = SPParallel([SPLeaf("x"), SPSeries([SPLeaf("y"), SPLeaf("z")])])
+        assert sorted(structure.atomic_service_names()) == ["x", "y", "z"]
+
+
+class TestValidation:
+    def test_missing_initial(self):
+        activity = Activity("bad")
+        a = activity.add_node(Action("a"))
+        f = activity.add_node(FinalNode())
+        activity.add_flow(a, f)
+        assert any("initial" in p for p in activity.validate())
+
+    def test_two_initials(self):
+        activity = Activity("bad")
+        i1 = activity.add_node(InitialNode("i1"))
+        i2 = activity.add_node(InitialNode("i2"))
+        a = activity.add_node(Action("a"))
+        f = activity.add_node(FinalNode())
+        activity.add_flow(i1, a)
+        activity.add_flow(i2, a)
+        problems = activity.validate()
+        assert any("expected exactly 1 initial" in p for p in problems)
+
+    def test_missing_final(self):
+        activity = Activity("bad")
+        i = activity.add_node(InitialNode())
+        a = activity.add_node(Action("a"))
+        activity.add_flow(i, a)
+        assert any("no final node" in p for p in activity.validate())
+
+    def test_cycle_detected(self):
+        activity = Activity("loop")
+        i = activity.add_node(InitialNode())
+        a = activity.add_node(Action("a"))
+        b = activity.add_node(Action("b"))
+        f = activity.add_node(FinalNode())
+        activity.add_flow(i, a)
+        activity.add_flow(a, b)
+        activity.add_flow(b, a)  # cycle
+        activity.add_flow(b, f)
+        problems = activity.validate()
+        assert any("cycle" in p for p in problems)
+        with pytest.raises(ServiceError):
+            activity.topological_order()
+
+    def test_unreachable_node(self):
+        activity = Activity.sequence("svc", ["a"])
+        orphan = activity.add_node(Action("orphan"))
+        final2 = activity.add_node(FinalNode("f2"))
+        activity.add_flow(orphan, final2)
+        problems = activity.validate()
+        assert any("unreachable" in p for p in problems)
+
+    def test_fork_with_single_branch_invalid(self):
+        activity = Activity("bad")
+        i = activity.add_node(InitialNode())
+        fork = activity.add_node(ForkNode())
+        a = activity.add_node(Action("a"))
+        join = activity.add_node(JoinNode())
+        f = activity.add_node(FinalNode())
+        activity.add_flow(i, fork)
+        activity.add_flow(fork, a)
+        activity.add_flow(a, join)
+        # join with single input is also invalid
+        activity.add_flow(join, f)
+        problems = activity.validate()
+        assert any("fork" in p for p in problems)
+        assert any("join" in p for p in problems)
+
+    def test_unbalanced_fork_join_not_series_parallel(self):
+        """Branches of one fork must meet at the same join."""
+        activity = Activity("bad")
+        i = activity.add_node(InitialNode())
+        fork = activity.add_node(ForkNode())
+        a = activity.add_node(Action("a"))
+        b = activity.add_node(Action("b"))
+        j1 = activity.add_node(JoinNode("j1"))
+        j2 = activity.add_node(JoinNode("j2"))
+        c = activity.add_node(Action("c"))
+        d = activity.add_node(Action("d"))
+        f = activity.add_node(FinalNode())
+        activity.add_flow(i, fork)
+        activity.add_flow(fork, a)
+        activity.add_flow(fork, b)
+        activity.add_flow(a, j1)
+        activity.add_flow(b, j2)
+        activity.add_flow(c, j1)
+        activity.add_flow(d, j2)
+        activity.add_flow(j1, f)
+        with pytest.raises(ServiceError):
+            activity.to_structure()
+
+    def test_duplicate_flow_rejected(self):
+        activity = Activity("dup")
+        i = activity.add_node(InitialNode())
+        a = activity.add_node(Action("a"))
+        activity.add_flow(i, a)
+        with pytest.raises(ServiceError):
+            activity.add_flow(i, a)
+
+    def test_flow_requires_registered_nodes(self):
+        activity = Activity("x")
+        inside = activity.add_node(Action("in"))
+        outside = Action("out")
+        with pytest.raises(ServiceError):
+            activity.add_flow(inside, outside)
+
+
+class TestAccessors:
+    def test_topological_order_respects_flow(self):
+        activity = Activity.sequence("svc", ["a", "b", "c"])
+        order = [n.name for n in activity.topological_order()]
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_actions_list(self):
+        activity = Activity.sequence("svc", ["x", "y"])
+        assert [a.atomic_service_name for a in activity.actions] == ["x", "y"]
+
+    def test_successors_predecessors(self):
+        activity = Activity.sequence("svc", ["a"])
+        initial = activity.initial_node()
+        action = activity.actions[0]
+        assert activity.successors(initial) == [action]
+        assert activity.predecessors(action) == [initial]
+
+    def test_parallel_atomic_order_is_topological(self):
+        structure = SPSeries([SPLeaf("first"), SPParallel([SPLeaf("p1"), SPLeaf("p2")]), SPLeaf("last")])
+        activity = Activity.from_structure("svc", structure)
+        names = activity.atomic_service_names()
+        assert names[0] == "first"
+        assert names[-1] == "last"
+        assert set(names[1:3]) == {"p1", "p2"}

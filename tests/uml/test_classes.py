@@ -1,0 +1,126 @@
+"""Tests for class diagrams: classes, generalization, associations."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.uml.classes import Association, AssociationEnd, Class, ClassModel
+from repro.uml.metamodel import Property
+
+
+class TestClass:
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ModelError):
+            Class("C", attributes=[Property("a", "Real"), Property("a", "Real")])
+
+    def test_attribute_inheritance(self):
+        base = Class("Base", attributes=[Property("MTBF", "Real", 10.0)])
+        child = Class("Child", superclasses=[base])
+        assert child.attribute_value("MTBF") == 10.0
+
+    def test_child_shadows_parent_attribute(self):
+        base = Class("Base", attributes=[Property("x", "Integer", 1)])
+        child = Class("Child", superclasses=[base], attributes=[Property("x", "Integer", 2)])
+        assert child.attribute_value("x") == 2
+
+    def test_diamond_inheritance_single_visit(self):
+        root = Class("Root", attributes=[Property("a", "Integer", 1)])
+        left = Class("Left", superclasses=[root])
+        right = Class("Right", superclasses=[root])
+        bottom = Class("Bottom", superclasses=[left, right])
+        ancestors = [c.name for c in bottom.all_superclasses()]
+        assert ancestors.count("Root") == 1
+        assert bottom.attribute_value("a") == 1
+
+    def test_conforms_to(self):
+        base = Class("Base")
+        mid = Class("Mid", superclasses=[base])
+        leaf = Class("Leaf", superclasses=[mid])
+        assert leaf.conforms_to(base)
+        assert leaf.conforms_to(leaf)
+        assert not base.conforms_to(leaf)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(ModelError):
+            Class("C").attribute_value("ghost")
+
+    def test_property_dict_merges_stereotypes_and_attributes(self):
+        from repro.uml.profiles import Stereotype
+
+        ster = Stereotype(
+            "S", extends=("Class",), attributes=[Property("MTBF", "Real")]
+        )
+        cls = Class("C", attributes=[Property("speed", "Integer", 5)])
+        cls.apply_stereotype(ster, MTBF=100)
+        assert cls.property_dict() == {"MTBF": 100.0, "speed": 5}
+
+
+class TestAssociationEnd:
+    def test_multiplicity_star(self):
+        end = AssociationEnd(Class("C"))
+        assert end.multiplicity_str() == "0..*"
+
+    def test_multiplicity_exact(self):
+        end = AssociationEnd(Class("C"), lower=2, upper=2)
+        assert end.multiplicity_str() == "2"
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ModelError):
+            AssociationEnd(Class("C"), lower=-1)
+        with pytest.raises(ModelError):
+            AssociationEnd(Class("C"), lower=3, upper=2)
+
+
+class TestAssociation:
+    def test_connects_with_generalization(self):
+        base = Class("Device", is_abstract=True)
+        switch = Class("Switch", superclasses=[base])
+        client = Class("Client", superclasses=[base])
+        cable = Association("Cable", base, base)
+        assert cable.connects(switch, client)
+        assert cable.connects(client, switch)
+
+    def test_connects_respects_end_types(self):
+        a, b, c = Class("A"), Class("B"), Class("C")
+        assoc = Association("ab", a, b)
+        assert assoc.connects(a, b)
+        assert assoc.connects(b, a)  # undirected link semantics
+        assert not assoc.connects(a, c)
+
+
+class TestClassModel:
+    def test_duplicate_class_rejected(self):
+        model = ClassModel()
+        model.add_class(Class("C"))
+        with pytest.raises(ModelError):
+            model.add_class(Class("C"))
+
+    def test_association_requires_known_classes(self):
+        model = ClassModel()
+        a = model.add_class(Class("A"))
+        stranger = Class("X")
+        with pytest.raises(ModelError):
+            model.add_association(Association("ax", a, stranger))
+
+    def test_lookup_errors(self):
+        model = ClassModel()
+        with pytest.raises(ModelError):
+            model.get_class("nope")
+        with pytest.raises(ModelError):
+            model.get_association("nope")
+
+    def test_associations_between(self):
+        model = ClassModel()
+        base = model.add_class(Class("Base", is_abstract=True))
+        a = model.add_class(Class("A", superclasses=[base]))
+        b = model.add_class(Class("B", superclasses=[base]))
+        cable = model.add_association(Association("cable", base, base))
+        fibre = model.add_association(Association("fibre", a, b))
+        found = model.associations_between(a, b)
+        assert {assoc.name for assoc in found} == {"cable", "fibre"}
+        assert model.associations_between(a, a) == [cable]
+
+    def test_len_counts_classes_and_associations(self):
+        model = ClassModel()
+        a = model.add_class(Class("A"))
+        model.add_association(Association("aa", a, a))
+        assert len(model) == 2

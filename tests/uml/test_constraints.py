@@ -1,0 +1,145 @@
+"""Tests for the well-formedness constraint engine."""
+
+import pytest
+
+from repro.errors import ConstraintViolationError
+from repro.uml.classes import Association, Class, ClassModel
+from repro.uml.constraints import (
+    ConstraintSuite,
+    NoDanglingInstancesConstraint,
+    ProfileCompletenessConstraint,
+    StaticAttributesConstraint,
+    StereotypeApplicabilityConstraint,
+    check_infrastructure,
+    standard_suite,
+)
+from repro.uml.metamodel import Property
+from repro.uml.objects import ObjectModel, Slot
+from repro.uml.profiles import Stereotype
+
+
+def make_model(*, static=True):
+    cm = ClassModel()
+    cls = cm.add_class(
+        Class("Sw", attributes=[Property("MTBF", "Real", 10.0, is_static=static)])
+    )
+    cm.add_association(Association("Cable", cls, cls))
+    om = ObjectModel("net", cm)
+    om.add_instance("a", "Sw")
+    om.add_instance("b", "Sw")
+    om.add_link("a", "b")
+    return om
+
+
+class TestStaticAttributes:
+    def test_clean_model_passes(self):
+        assert StaticAttributesConstraint().check(make_model()) == []
+
+    def test_non_static_attribute_flagged(self):
+        violations = StaticAttributesConstraint().check(make_model(static=False))
+        assert len(violations) == 1
+        assert "not static" in violations[0].message
+
+    def test_slot_shadowing_static_attribute_flagged(self):
+        om = make_model()
+        om.add_instance("c", "Sw", slots=[Slot("MTBF", "Real", 999.0)])
+        violations = StaticAttributesConstraint().check(om)
+        assert any("shadows" in v.message for v in violations)
+
+    def test_informational_slot_allowed(self):
+        om = make_model()
+        om.add_instance("c", "Sw", slots=[Slot("assetTag", "String", "X")])
+        assert StaticAttributesConstraint().check(om) == []
+
+
+class TestProfileCompleteness:
+    def test_missing_stereotype_flagged(self):
+        om = make_model()
+        constraint = ProfileCompletenessConstraint("Component")
+        violations = constraint.check(om)
+        assert any("missing required stereotype" in v.message for v in violations)
+
+    def test_applied_stereotype_passes(self):
+        component = Stereotype(
+            "Component",
+            extends=("Class",),
+            attributes=[Property("MTBF", "Real"), Property("MTTR", "Real")],
+        )
+        cm = ClassModel()
+        cls = cm.add_class(Class("Sw"))
+        cls.apply_stereotype(component, MTBF=1.0, MTTR=0.1)
+        cm.add_association(Association("Cable", cls, cls))
+        om = ObjectModel("net", cm)
+        om.add_instance("a", "Sw")
+        om.add_instance("b", "Sw")
+        om.add_link("a", "b")
+        constraint = ProfileCompletenessConstraint(
+            "Component", required_attributes=("MTBF", "MTTR")
+        )
+        assert constraint.check(om) == []
+
+    def test_missing_attribute_value_flagged(self):
+        component = Stereotype(
+            "Component",
+            extends=("Class",),
+            attributes=[Property("MTBF", "Real"), Property("MTTR", "Real")],
+        )
+        cm = ClassModel()
+        cls = cm.add_class(Class("Sw"))
+        cls.apply_stereotype(component, MTBF=1.0)  # MTTR left unset
+        om = ObjectModel("net", cm)
+        om.add_instance("a", "Sw")
+        constraint = ProfileCompletenessConstraint(
+            "Component", required_attributes=("MTBF", "MTTR")
+        )
+        violations = constraint.check(om)
+        assert any("MTTR" in v.message for v in violations)
+
+    def test_abstract_classes_skipped(self):
+        cm = ClassModel()
+        cm.add_class(Class("Base", is_abstract=True))
+        om = ObjectModel("net", cm)
+        assert ProfileCompletenessConstraint("Component").check(om) == []
+
+
+class TestDangling:
+    def test_dangling_instance_flagged(self):
+        om = make_model()
+        om.add_instance("lonely", "Sw")
+        violations = NoDanglingInstancesConstraint().check(om)
+        assert len(violations) == 1
+        assert "lonely" in violations[0].element
+
+    def test_single_instance_model_ok(self):
+        cm = ClassModel()
+        cm.add_class(Class("Sw"))
+        om = ObjectModel("net", cm)
+        om.add_instance("only", "Sw")
+        assert NoDanglingInstancesConstraint().check(om) == []
+
+
+class TestSuite:
+    def test_enforce_raises_with_violations(self):
+        om = make_model(static=False)
+        suite = ConstraintSuite([StaticAttributesConstraint()])
+        with pytest.raises(ConstraintViolationError) as excinfo:
+            suite.enforce(om)
+        assert len(excinfo.value.violations) == 1
+
+    def test_enforce_passes_clean_model(self):
+        suite = ConstraintSuite([StaticAttributesConstraint()])
+        suite.enforce(make_model())  # no raise
+
+    def test_check_infrastructure_on_usi(self, usi):
+        assert check_infrastructure(usi) == []
+
+    def test_standard_suite_with_profile(self, usi):
+        suite = standard_suite(
+            class_stereotype="Component",
+            association_stereotype="Component",
+            required_attributes=("MTBF", "MTTR"),
+        )
+        assert suite.check(usi) == []
+
+    def test_applicability_constraint_on_usi(self, usi):
+        assert StereotypeApplicabilityConstraint().check(usi) == []

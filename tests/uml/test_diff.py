@@ -1,0 +1,102 @@
+"""Tests for object-model differencing."""
+
+import pytest
+
+from repro.uml.classes import Class, ClassModel
+from repro.uml.diff import diff_object_models
+from repro.uml.objects import ObjectModel
+
+
+def build(nodes, links, *, classifiers=None):
+    cm = ClassModel()
+    base = cm.add_class(Class("Node", is_abstract=True))
+    cm.add_class(Class("Switch", superclasses=[base]))
+    cm.add_class(Class("Host", superclasses=[base]))
+    from repro.uml.classes import Association
+
+    cm.add_association(Association("Cable", base, base))
+    om = ObjectModel("m", cm)
+    classifiers = classifiers or {}
+    for name in nodes:
+        om.add_instance(name, classifiers.get(name, "Switch"))
+    for a, b in links:
+        om.add_link(a, b)
+    return om
+
+
+class TestDiff:
+    def test_identical_models_empty_diff(self):
+        old = build(["a", "b"], [("a", "b")])
+        new = build(["a", "b"], [("a", "b")])
+        diff = diff_object_models(old, new)
+        assert diff.is_empty()
+        assert diff.summary() == "no changes"
+
+    def test_added_and_removed_instances(self):
+        old = build(["a", "b"], [("a", "b")])
+        new = build(["a", "c"], [("a", "c")])
+        diff = diff_object_models(old, new)
+        assert diff.added_instances == ("c",)
+        assert diff.removed_instances == ("b",)
+
+    def test_link_changes(self):
+        old = build(["a", "b", "c"], [("a", "b")])
+        new = build(["a", "b", "c"], [("b", "c")])
+        diff = diff_object_models(old, new)
+        assert diff.added_links == (("b", "c"),)
+        assert diff.removed_links == (("a", "b"),)
+
+    def test_link_key_is_unordered(self):
+        old = build(["a", "b"], [("a", "b")])
+        new = build(["a", "b"], [("b", "a")])
+        assert diff_object_models(old, new).is_empty()
+
+    def test_reclassification(self):
+        old = build(["a"], [], classifiers={"a": "Switch"})
+        new = build(["a"], [], classifiers={"a": "Host"})
+        diff = diff_object_models(old, new)
+        assert diff.reclassified_instances == (("a", "Switch", "Host"),)
+
+    def test_touched_components(self):
+        old = build(["a", "b", "c"], [("a", "b")])
+        new = build(["a", "b", "d"], [("a", "b"), ("a", "d")])
+        diff = diff_object_models(old, new)
+        assert diff.touched_components() == {"c", "d", "a"}
+
+    def test_affects(self):
+        old = build(["a", "b", "c"], [("a", "b"), ("b", "c")])
+        new = build(["a", "b"], [("a", "b")])
+        diff = diff_object_models(old, new)
+        assert diff.affects(["c"])
+        assert diff.affects(["b", "z"])  # b touched via the removed b-c link
+        assert not diff.affects(["a"])  # a's link to b survived untouched
+        assert not diff.affects(["z"])
+
+    def test_summary_counts(self):
+        old = build(["a", "b"], [("a", "b")])
+        new = build(["a", "c"], [])
+        summary = diff_object_models(old, new).summary()
+        assert "+1 instances" in summary
+        assert "-1 instances" in summary
+        assert "-1 links" in summary
+
+    def test_usi_maintenance_scenario(self, usi):
+        """Diff a maintenance revision of the USI network and test UPSIM
+        staleness."""
+        from repro.casestudy import printing_service, table1_mapping, usi_builder
+        from repro.core import generate_upsim
+
+        upsim = generate_upsim(usi, printing_service(), table1_mapping())
+        revised = usi_builder()
+        revised.add("t16", "Comp")
+        revised.connect("t16", "e2")
+        diff = diff_object_models(usi, revised.object_model)
+        assert diff.added_instances == ("t16",)
+        # the addition hangs off e2, which is outside the t1→p2 UPSIM
+        assert not diff.affects(upsim.component_names)
+        # but a change at d1 is inside it
+        revised2 = usi_builder()
+        revised2.add("t16", "Comp")
+        revised2.connect("t16", "d1")
+        diff2 = diff_object_models(usi, revised2.object_model)
+        assert diff2.affects(upsim.component_names)

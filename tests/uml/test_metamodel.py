@@ -1,0 +1,132 @@
+"""Tests for the UML metamodel core: elements, names, properties, coercion."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.uml.metamodel import (
+    PRIMITIVE_TYPES,
+    Element,
+    NamedElement,
+    Property,
+    coerce_value,
+    is_valid_identifier,
+)
+
+
+class TestIdentifiers:
+    def test_simple_name_valid(self):
+        assert is_valid_identifier("t1")
+
+    def test_empty_name_invalid(self):
+        assert not is_valid_identifier("")
+
+    def test_dot_invalid(self):
+        assert not is_valid_identifier("a.b")
+
+    def test_xml_hostile_chars_invalid(self):
+        for bad in ("a<b", "a>b", 'a"b', "a&b", "a\nb"):
+            assert not is_valid_identifier(bad)
+
+    def test_non_string_invalid(self):
+        assert not is_valid_identifier(42)  # type: ignore[arg-type]
+
+    def test_spaces_and_dashes_allowed(self):
+        assert is_valid_identifier("Network Device")
+        assert is_valid_identifier("send-mail")
+
+
+class TestCoercion:
+    def test_real_from_int(self):
+        assert coerce_value("Real", 3) == 3.0
+        assert isinstance(coerce_value("Real", 3), float)
+
+    def test_real_from_string(self):
+        assert coerce_value("Real", "2.5") == 2.5
+
+    def test_real_rejects_bool(self):
+        with pytest.raises(ModelError):
+            coerce_value("Real", True)
+
+    def test_integer_from_whole_float(self):
+        assert coerce_value("Integer", 4.0) == 4
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(ModelError):
+            coerce_value("Integer", 4.5)
+
+    def test_integer_from_string(self):
+        assert coerce_value("Integer", "17") == 17
+
+    def test_boolean_from_strings(self):
+        assert coerce_value("Boolean", "true") is True
+        assert coerce_value("Boolean", "False") is False
+        assert coerce_value("Boolean", "1") is True
+        assert coerce_value("Boolean", "0") is False
+
+    def test_boolean_rejects_other(self):
+        with pytest.raises(ModelError):
+            coerce_value("Boolean", "maybe")
+
+    def test_string_passthrough(self):
+        assert coerce_value("String", "hello") == "hello"
+
+    def test_string_rejects_numbers(self):
+        with pytest.raises(ModelError):
+            coerce_value("String", 5)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ModelError):
+            coerce_value("Complex", 1)
+
+    def test_none_passes_through(self):
+        for type_name in PRIMITIVE_TYPES:
+            assert coerce_value(type_name, None) is None
+
+
+class TestElements:
+    def test_elements_get_unique_ids(self):
+        a, b = Element(), Element()
+        assert a.xmi_id != b.xmi_id
+
+    def test_explicit_id_kept(self):
+        assert Element(xmi_id="custom_1").xmi_id == "custom_1"
+
+    def test_named_element_rejects_bad_name(self):
+        with pytest.raises(ModelError):
+            NamedElement("a.b")
+
+    def test_qualified_name_follows_owner_chain(self):
+        outer = NamedElement("outer")
+        inner = NamedElement("inner", owner=outer)
+        leaf = NamedElement("leaf", owner=inner)
+        assert leaf.qualified_name == "outer.inner.leaf"
+
+    def test_qualified_name_without_owner(self):
+        assert NamedElement("solo").qualified_name == "solo"
+
+
+class TestProperty:
+    def test_default_coerced_to_type(self):
+        prop = Property("MTBF", "Real", "100")
+        assert prop.default == 100.0
+
+    def test_static_by_default(self):
+        assert Property("x", "Integer").is_static
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ModelError):
+            Property("x", "Duration")
+
+    def test_with_default_returns_modified_copy(self):
+        base = Property("MTTR", "Real", 1.0)
+        changed = base.with_default(2.0)
+        assert changed.default == 2.0
+        assert base.default == 1.0
+        assert changed.name == "MTTR"
+
+    def test_equality_by_value(self):
+        assert Property("a", "Real", 1.0) == Property("a", "Real", 1.0)
+        assert Property("a", "Real", 1.0) != Property("a", "Real", 2.0)
+
+    def test_hashable(self):
+        assert len({Property("a", "Real", 1.0), Property("a", "Real", 1.0)}) == 1

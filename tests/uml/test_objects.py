@@ -1,0 +1,155 @@
+"""Tests for object diagrams: instances, links, subgraphs."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.uml.classes import Association, Class, ClassModel
+from repro.uml.metamodel import Property
+from repro.uml.objects import InstanceSpecification, ObjectModel, Slot
+
+
+@pytest.fixture()
+def model():
+    cm = ClassModel()
+    base = cm.add_class(Class("Node", is_abstract=True))
+    cm.add_class(Class("Switch", superclasses=[base], attributes=[Property("MTBF", "Real", 100.0)]))
+    cm.add_class(Class("Host", superclasses=[base]))
+    cm.add_association(Association("Cable", base, base))
+    om = ObjectModel("net", cm)
+    return om
+
+
+class TestInstances:
+    def test_abstract_class_not_instantiable(self, model):
+        abstract = Class("Ghost", is_abstract=True)
+        with pytest.raises(ModelError):
+            InstanceSpecification("g", abstract)
+
+    def test_signature(self, model):
+        inst = model.add_instance("sw1", "Switch")
+        assert inst.signature == "sw1:Switch"
+
+    def test_duplicate_instance_rejected(self, model):
+        model.add_instance("sw1", "Switch")
+        with pytest.raises(ModelError):
+            model.add_instance("sw1", "Switch")
+
+    def test_property_from_class(self, model):
+        inst = model.add_instance("sw1", "Switch")
+        assert inst.property_value("MTBF") == 100.0
+
+    def test_slot_overrides_for_informational_data(self, model):
+        inst = model.add_instance(
+            "sw1", "Switch", slots=[Slot("assetTag", "String", "INV-7")]
+        )
+        assert inst.property_value("assetTag") == "INV-7"
+        assert inst.property_dict()["MTBF"] == 100.0
+
+
+class TestLinks:
+    def test_link_auto_association(self, model):
+        model.add_instance("sw1", "Switch")
+        model.add_instance("h1", "Host")
+        link = model.add_link("sw1", "h1")
+        assert link.association.name == "Cable"
+
+    def test_self_link_rejected(self, model):
+        model.add_instance("sw1", "Switch")
+        with pytest.raises(ModelError):
+            model.add_link("sw1", "sw1")
+
+    def test_parallel_link_rejected(self, model):
+        model.add_instance("sw1", "Switch")
+        model.add_instance("h1", "Host")
+        model.add_link("sw1", "h1")
+        with pytest.raises(ModelError):
+            model.add_link("h1", "sw1")
+
+    def test_ambiguous_association_rejected(self, model):
+        fibre = Association("Fibre", model.class_model.get_class("Node"), model.class_model.get_class("Node"))
+        model.class_model.add_association(fibre)
+        model.add_instance("sw1", "Switch")
+        model.add_instance("sw2", "Switch")
+        with pytest.raises(ModelError):
+            model.add_link("sw1", "sw2")
+        # explicit association resolves the ambiguity
+        link = model.add_link("sw1", "sw2", "Fibre")
+        assert link.association.name == "Fibre"
+
+    def test_other_end(self, model):
+        a = model.add_instance("a", "Switch")
+        b = model.add_instance("b", "Switch")
+        c = model.add_instance("c", "Switch")
+        link = model.add_link(a, b)
+        assert link.other_end(a) is b
+        assert link.other_end(b) is a
+        with pytest.raises(ModelError):
+            link.other_end(c)
+
+    def test_find_link(self, model):
+        model.add_instance("a", "Switch")
+        model.add_instance("b", "Switch")
+        model.add_instance("c", "Switch")
+        model.add_link("a", "b")
+        assert model.find_link("a", "b") is not None
+        assert model.find_link("b", "a") is not None
+        assert model.find_link("a", "c") is None
+
+    def test_neighbors_and_degree(self, model):
+        for name in "abc":
+            model.add_instance(name, "Switch")
+        model.add_link("a", "b")
+        model.add_link("a", "c")
+        assert sorted(n.name for n in model.neighbors("a")) == ["b", "c"]
+        assert model.degree("a") == 2
+        assert model.degree("b") == 1
+
+
+class TestWholeModel:
+    def test_instances_of_follows_hierarchy(self, model):
+        model.add_instance("sw1", "Switch")
+        model.add_instance("h1", "Host")
+        nodes = model.instances_of("Node")
+        assert {i.name for i in nodes} == {"sw1", "h1"}
+        assert {i.name for i in model.instances_of("Switch")} == {"sw1"}
+
+    def test_connected_components(self, model):
+        for name in "abcd":
+            model.add_instance(name, "Switch")
+        model.add_link("a", "b")
+        model.add_link("c", "d")
+        components = model.connected_components()
+        assert sorted(sorted(c) for c in components) == [["a", "b"], ["c", "d"]]
+        assert not model.is_connected()
+
+    def test_empty_model_is_connected(self, model):
+        assert model.is_connected()
+
+    def test_subgraph_shares_instances(self, model):
+        for name in "abc":
+            model.add_instance(name, "Switch")
+        model.add_link("a", "b")
+        model.add_link("b", "c")
+        sub = model.subgraph(["a", "b"])
+        assert sub.get_instance("a") is model.get_instance("a")
+        assert len(sub) == 2
+        assert len(sub.links) == 1
+
+    def test_subgraph_drops_boundary_links(self, model):
+        for name in "abc":
+            model.add_instance(name, "Switch")
+        model.add_link("a", "b")
+        model.add_link("b", "c")
+        sub = model.subgraph(["a", "c"])
+        assert len(sub.links) == 0
+
+    def test_subgraph_unknown_instance_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.subgraph(["ghost"])
+
+    def test_subgraph_deduplicates_names(self, model):
+        model.add_instance("a", "Switch")
+        model.add_instance("b", "Switch")
+        model.add_link("a", "b")
+        sub = model.subgraph(["a", "a", "b"])
+        assert len(sub) == 2

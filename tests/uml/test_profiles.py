@@ -1,0 +1,170 @@
+"""Tests for profiles, stereotypes and stereotype application."""
+
+import pytest
+
+from repro.errors import ModelError, StereotypeError
+from repro.uml.classes import Association, Class
+from repro.uml.metamodel import Property
+from repro.uml.profiles import Profile, Stereotype, StereotypeApplication
+
+
+@pytest.fixture()
+def component():
+    return Stereotype(
+        "Component",
+        attributes=[
+            Property("MTBF", "Real"),
+            Property("MTTR", "Real"),
+            Property("redundantComponents", "Integer", 0),
+        ],
+        is_abstract=True,
+    )
+
+
+@pytest.fixture()
+def device(component):
+    return Stereotype("Device", extends=("Class",), generalizations=[component])
+
+
+@pytest.fixture()
+def connector(component):
+    return Stereotype("Connector", extends=("Association",), generalizations=[component])
+
+
+class TestStereotype:
+    def test_unknown_metaclass_rejected(self):
+        with pytest.raises(ModelError):
+            Stereotype("Bad", extends=("Package",))
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(ModelError):
+            Stereotype("Dup", attributes=[Property("a", "Real"), Property("a", "Real")])
+
+    def test_inherited_attributes(self, device, component):
+        names = [p.name for p in device.all_attributes()]
+        assert names == ["MTBF", "MTTR", "redundantComponents"]
+
+    def test_own_attribute_shadows_inherited(self, component):
+        child = Stereotype(
+            "Special",
+            extends=("Class",),
+            generalizations=[component],
+            attributes=[Property("MTBF", "Real", 42.0)],
+        )
+        mtbf = child.attribute("MTBF")
+        assert mtbf.default == 42.0
+
+    def test_effective_extends_inherited(self, component):
+        # Figure 7: Switch extends nothing directly, inherits from
+        # Network Device which extends Class
+        network_device = Stereotype("NetworkDevice", extends=("Class",), is_abstract=True)
+        switch = Stereotype("Switch", generalizations=[network_device])
+        assert switch.effective_extends() == ("Class",)
+
+    def test_transitive_generalizations(self, component, device):
+        grandchild = Stereotype("CoreSwitch", generalizations=[device])
+        names = [s.name for s in grandchild.all_generalizations()]
+        assert names == ["Device", "Component"]
+
+    def test_is_specialization_of(self, component, device):
+        assert device.is_specialization_of(component)
+        assert device.is_specialization_of(device)
+        assert not component.is_specialization_of(device)
+
+    def test_attribute_lookup_error(self, device):
+        with pytest.raises(StereotypeError):
+            device.attribute("nonexistent")
+
+
+class TestProfile:
+    def test_duplicate_stereotype_rejected(self, component):
+        profile = Profile("p", [component])
+        with pytest.raises(ModelError):
+            profile.add(Stereotype("Component"))
+
+    def test_lookup(self, component, device):
+        profile = Profile("availability", [component, device])
+        assert profile.stereotype("Device") is device
+        assert "Device" in profile
+        assert len(profile) == 2
+
+    def test_unknown_stereotype_raises(self, component):
+        profile = Profile("p", [component])
+        with pytest.raises(StereotypeError):
+            profile.stereotype("Ghost")
+
+    def test_iteration_preserves_order(self, component, device, connector):
+        profile = Profile("p", [component, device, connector])
+        assert [s.name for s in profile] == ["Component", "Device", "Connector"]
+
+
+class TestApplication:
+    def test_abstract_stereotype_cannot_be_applied(self, component):
+        cls = Class("C6500")
+        with pytest.raises(StereotypeError):
+            cls.apply_stereotype(component)
+
+    def test_metaclass_mismatch_rejected(self, connector):
+        cls = Class("C6500")
+        with pytest.raises(StereotypeError):
+            cls.apply_stereotype(connector, MTBF=1.0, MTTR=1.0)
+
+    def test_double_application_rejected(self, device):
+        cls = Class("C6500")
+        cls.apply_stereotype(device, MTBF=1.0, MTTR=1.0)
+        with pytest.raises(StereotypeError):
+            cls.apply_stereotype(device, MTBF=2.0, MTTR=2.0)
+
+    def test_values_and_defaults(self, device):
+        cls = Class("C6500")
+        app = cls.apply_stereotype(device, MTBF=183498, MTTR=0.5)
+        assert app.value("MTBF") == 183498.0
+        assert app.value("redundantComponents") == 0  # from default
+
+    def test_unknown_attribute_rejected(self, device):
+        cls = Class("C6500")
+        with pytest.raises(StereotypeError):
+            cls.apply_stereotype(device, weight=10)
+
+    def test_value_coercion(self, device):
+        cls = Class("C")
+        app = cls.apply_stereotype(device, MTBF="100", MTTR="0.5")
+        assert app.value("MTBF") == 100.0
+
+    def test_set_value_after_application(self, device):
+        cls = Class("C")
+        app = cls.apply_stereotype(device, MTBF=100, MTTR=1)
+        app.set_value("MTBF", 200)
+        assert app.value("MTBF") == 200.0
+
+    def test_has_stereotype_matches_generalization(self, device, component):
+        cls = Class("C")
+        cls.apply_stereotype(device, MTBF=1, MTTR=0.1)
+        # «Device» specializes «Component», so the class "has" both
+        assert cls.has_stereotype(device)
+        assert cls.has_stereotype(component)
+        assert cls.has_stereotype("Component")
+        assert cls.has_stereotype("Device")
+        assert not cls.has_stereotype("Connector")
+
+    def test_stereotype_value_shorthand(self, device):
+        cls = Class("C")
+        cls.apply_stereotype(device, MTBF=100, MTTR=1)
+        assert cls.stereotype_value("Component", "MTBF") == 100.0
+
+    def test_application_on_association(self, connector):
+        a, b = Class("A"), Class("B")
+        assoc = Association("link", a, b)
+        assoc.apply_stereotype(connector, MTBF=1e6, MTTR=0.5)
+        assert assoc.stereotype_value("Connector", "MTBF") == 1e6
+
+    def test_missing_application_raises(self, device):
+        cls = Class("C")
+        with pytest.raises(StereotypeError):
+            cls.stereotype_application("Device")
+
+    def test_values_dict_complete(self, device):
+        cls = Class("C")
+        cls.apply_stereotype(device, MTBF=10, MTTR=1)
+        values = cls.stereotype_application("Device").values()
+        assert values == {"MTBF": 10.0, "MTTR": 1.0, "redundantComponents": 0}

@@ -1,0 +1,239 @@
+"""Tests for the XML serialization round trip, including property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.network import DeviceSpec, StandardProfiles, TopologyBuilder
+from repro.uml import xmi
+from repro.uml.activity import Activity, SPLeaf, SPParallel, SPSeries
+from repro.uml.classes import Association, Class, ClassModel
+from repro.uml.metamodel import Property
+from repro.uml.objects import ObjectModel, Slot
+from repro.uml.profiles import Profile, Stereotype
+
+
+def build_bundle() -> xmi.ModelBundle:
+    builder = TopologyBuilder("roundtrip")
+    builder.device_type(DeviceSpec("Sw", "Switch", mtbf=1000.0, mttr=0.5))
+    builder.device_type(DeviceSpec("Pc", "Client", mtbf=100.0, mttr=10.0))
+    builder.add("s1", "Sw")
+    builder.add("s2", "Sw")
+    builder.add("pc", "Pc")
+    builder.connect("s1", "s2")
+    builder.connect("pc", "s1")
+    activity = Activity.from_structure(
+        "svc", SPSeries([SPLeaf("a"), SPParallel([SPLeaf("b"), SPLeaf("c")])])
+    )
+    return xmi.ModelBundle(
+        profiles=builder.profiles.as_list(),
+        class_model=builder.class_model,
+        object_model=builder.object_model,
+        activities=[activity],
+    )
+
+
+class TestRoundTrip:
+    def test_full_bundle_roundtrip(self):
+        bundle = build_bundle()
+        text = xmi.dumps(bundle)
+        restored = xmi.loads(text)
+        assert restored.object_model is not None
+        assert set(restored.object_model.instance_names()) == {"s1", "s2", "pc"}
+        assert len(restored.object_model.links) == 2
+        # stereotype values preserved through the class model
+        sw = restored.class_model.get_class("Sw")
+        assert sw.stereotype_value("Component", "MTBF") == 1000.0
+        # activity structure preserved
+        activity = restored.activity("svc")
+        assert activity.is_valid()
+        assert activity.to_structure().to_expression() == "a ; (b | c)"
+
+    def test_properties_inherited_after_roundtrip(self):
+        bundle = build_bundle()
+        restored = xmi.loads(xmi.dumps(bundle))
+        inst = restored.object_model.get_instance("s1")
+        assert inst.property_dict()["MTBF"] == 1000.0
+
+    def test_double_roundtrip_stable(self):
+        bundle = build_bundle()
+        once = xmi.dumps(bundle)
+        twice = xmi.dumps(xmi.loads(once))
+        assert once == twice
+
+    def test_file_roundtrip(self, tmp_path):
+        bundle = build_bundle()
+        path = tmp_path / "bundle.xml"
+        xmi.dump(bundle, str(path))
+        restored = xmi.load(str(path))
+        assert restored.object_model is not None
+        assert len(restored.object_model) == 3
+
+    def test_slots_roundtrip(self):
+        cm = ClassModel()
+        cm.add_class(Class("C"))
+        om = ObjectModel("m", cm)
+        om.add_instance("x", "C", slots=[Slot("tag", "String", "inv-1")])
+        bundle = xmi.ModelBundle(class_model=cm, object_model=om)
+        restored = xmi.loads(xmi.dumps(bundle))
+        assert restored.object_model.get_instance("x").property_value("tag") == "inv-1"
+
+    def test_generalizations_roundtrip(self):
+        cm = ClassModel()
+        base = cm.add_class(Class("Base", attributes=[Property("a", "Integer", 5)]))
+        cm.add_class(Class("Child", superclasses=[base]))
+        bundle = xmi.ModelBundle(class_model=cm)
+        restored = xmi.loads(xmi.dumps(bundle))
+        child = restored.class_model.get_class("Child")
+        assert child.attribute_value("a") == 5
+
+    def test_stereotype_generalizations_roundtrip(self):
+        profiles = StandardProfiles()
+        bundle = xmi.ModelBundle(profiles=profiles.as_list())
+        restored = xmi.loads(xmi.dumps(bundle))
+        device = restored.profile("availability").stereotype("Device")
+        assert [p.name for p in device.generalizations] == ["Component"]
+        assert device.effective_extends() == ("Class",)
+
+
+class TestErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(SerializationError):
+            xmi.loads("<not-even-closed")
+
+    def test_wrong_root(self):
+        with pytest.raises(SerializationError):
+            xmi.loads("<wrong/>")
+
+    def test_object_model_without_class_model(self):
+        with pytest.raises(SerializationError):
+            xmi.loads('<reproModel><objectModel name="m"/></reproModel>')
+
+    def test_unknown_activity_node_kind(self):
+        text = (
+            '<reproModel><activity name="a">'
+            '<node id="n0" kind="decision"/></activity></reproModel>'
+        )
+        with pytest.raises(SerializationError):
+            xmi.loads(text)
+
+    def test_flow_with_unknown_node(self):
+        text = (
+            '<reproModel><activity name="a">'
+            '<node id="n0" kind="initial"/>'
+            '<flow source="n0" target="n9"/></activity></reproModel>'
+        )
+        with pytest.raises(SerializationError):
+            xmi.loads(text)
+
+    def test_bundle_lookup_errors(self):
+        bundle = xmi.ModelBundle()
+        with pytest.raises(SerializationError):
+            bundle.profile("none")
+        with pytest.raises(SerializationError):
+            bundle.activity("none")
+
+
+# ---------------------------------------------------------------------------
+# property-based round trip
+
+_names = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+
+
+@st.composite
+def class_models(draw):
+    names = draw(
+        st.lists(_names, min_size=1, max_size=5, unique=True)
+    )
+    cm = ClassModel()
+    for name in names:
+        n_attrs = draw(st.integers(0, 3))
+        attrs = []
+        for i in range(n_attrs):
+            type_name = draw(st.sampled_from(["Real", "Integer", "String", "Boolean"]))
+            default = {
+                "Real": draw(
+                    st.floats(
+                        min_value=-1e6, max_value=1e6,
+                        allow_nan=False, allow_infinity=False,
+                    )
+                ),
+                "Integer": draw(st.integers(-1000, 1000)),
+                "String": draw(st.text(alphabet="xyz", max_size=5)),
+                "Boolean": draw(st.booleans()),
+            }[type_name]
+            attrs.append(Property(f"p{i}", type_name, default))
+        cm.add_class(Class(f"C{name}", attributes=attrs))
+    classes = cm.classes
+    n_assocs = draw(st.integers(0, 3))
+    for i in range(n_assocs):
+        a = draw(st.sampled_from(classes))
+        b = draw(st.sampled_from(classes))
+        cm.add_association(Association(f"assoc{i}", a, b))
+    return cm
+
+
+@st.composite
+def object_models(draw):
+    cm = draw(class_models())
+    if not cm.associations:
+        cm.add_association(
+            Association("fallback", cm.classes[0], cm.classes[0])
+        )
+    om = ObjectModel("gen", cm)
+    n_instances = draw(st.integers(1, 8))
+    for i in range(n_instances):
+        cls = draw(st.sampled_from(cm.classes))
+        om.add_instance(f"i{i}", cls.name)
+    instances = om.instance_names()
+    n_links = draw(st.integers(0, min(6, len(instances) * 2)))
+    for _ in range(n_links):
+        a = draw(st.sampled_from(instances))
+        b = draw(st.sampled_from(instances))
+        if a == b or om.find_link(a, b) is not None:
+            continue
+        candidates = om.class_model.associations_between(
+            om.get_instance(a).classifier, om.get_instance(b).classifier
+        )
+        if len(candidates) >= 1:
+            om.add_link(a, b, candidates[0])
+    return om
+
+
+class TestPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(object_models())
+    def test_object_model_roundtrip(self, om):
+        bundle = xmi.ModelBundle(class_model=om.class_model, object_model=om)
+        restored = xmi.loads(xmi.dumps(bundle))
+        assert restored.object_model is not None
+        assert set(restored.object_model.instance_names()) == set(om.instance_names())
+        assert len(restored.object_model.links) == len(om.links)
+        for inst in om.instances:
+            restored_inst = restored.object_model.get_instance(inst.name)
+            assert restored_inst.classifier.name == inst.classifier.name
+            # str(float) round-trips exactly in Python 3, so plain equality
+            assert restored_inst.property_dict() == inst.property_dict()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.recursive(
+            st.builds(SPLeaf, st.sampled_from(["a", "b", "c", "d", "e"])),
+            lambda children: st.one_of(
+                st.builds(SPSeries, st.lists(children, min_size=2, max_size=3)),
+                st.builds(SPParallel, st.lists(children, min_size=2, max_size=3)),
+            ),
+            max_leaves=8,
+        )
+    )
+    def test_activity_roundtrip_preserves_structure(self, structure):
+        activity = Activity.from_structure("gen", structure)
+        bundle = xmi.ModelBundle(activities=[activity])
+        restored = xmi.loads(xmi.dumps(bundle))
+        restored_activity = restored.activity("gen")
+        assert restored_activity.is_valid()
+        assert (
+            restored_activity.to_structure().to_expression()
+            == activity.to_structure().to_expression()
+        )

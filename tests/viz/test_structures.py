@@ -1,0 +1,67 @@
+"""Tests for RBD / fault-tree renderers."""
+
+from repro.analysis import pair_fault_tree, pair_rbd
+from repro.dependability.faulttree import AndGate, BasicEvent, OrGate, VoteGate
+from repro.dependability.rbd import Block, KofN, Parallel, Series
+from repro.viz import fault_tree_dot, fault_tree_text, rbd_dot, rbd_text
+
+
+class TestRBDRenderers:
+    def test_text_tree(self):
+        structure = Parallel([Series(["a", "b"]), Block("c", 0.9)])
+        text = rbd_text(structure)
+        lines = text.splitlines()
+        assert lines[0] == "PARALLEL"
+        assert "  SERIES" in lines
+        assert "    [a]" in lines
+        assert "  [c A=0.9]" in lines
+
+    def test_text_kofn(self):
+        text = rbd_text(KofN(2, ["a", "b", "c"]))
+        assert text.splitlines()[0] == "2-of-3"
+
+    def test_dot(self):
+        structure = Series([Block("a"), Parallel(["b", "c"])])
+        dot = rbd_dot(structure, "demo")
+        assert dot.startswith('digraph "demo"')
+        assert dot.count("->") == 4  # series->a, series->par, par->b, par->c
+        assert 'label="[a]"' in dot
+
+    def test_case_study_rbd_renders(self, upsim_t1_p2):
+        structure = pair_rbd(
+            upsim_t1_p2.path_sets["request_printing"], include_links=False
+        )
+        text = rbd_text(structure)
+        assert "PARALLEL" in text
+        assert "[t1]" in text
+        dot = rbd_dot(structure)
+        assert "t1" in dot
+
+
+class TestFaultTreeRenderers:
+    def test_text_tree(self):
+        tree = OrGate([AndGate(["a", "b"]), BasicEvent("c", 0.1)])
+        text = fault_tree_text(tree)
+        lines = text.splitlines()
+        assert lines[0] == "OR"
+        assert "  AND" in lines
+        assert "  c q=0.1" in lines
+
+    def test_vote_label(self):
+        text = fault_tree_text(VoteGate(2, ["a", "b", "c"]))
+        assert text.splitlines()[0] == "VOTE 2/3"
+
+    def test_dot_shapes(self):
+        tree = OrGate([AndGate(["a", "b"]), BasicEvent("c")])
+        dot = fault_tree_dot(tree)
+        assert "invtriangle" in dot  # OR
+        assert "invhouse" in dot  # AND
+        assert "circle" in dot  # basic events
+
+    def test_case_study_fault_tree_renders(self, upsim_t1_p2):
+        tree = pair_fault_tree(
+            upsim_t1_p2.path_sets["request_printing"], include_links=False
+        )
+        text = fault_tree_text(tree)
+        assert text.splitlines()[0] == "AND"  # fails when BOTH paths fail
+        assert "printS" in text

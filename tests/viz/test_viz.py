@@ -1,0 +1,163 @@
+"""Tests for the DOT / text / Mermaid renderers."""
+
+import pytest
+
+from repro.core import discover_paths
+from repro.network import StandardProfiles
+from repro.viz import (
+    activity_dot,
+    activity_mermaid,
+    activity_text,
+    class_model_dot,
+    class_table,
+    mapping_table,
+    object_model_dot,
+    object_model_mermaid,
+    object_model_text,
+    paths_text,
+    profile_dot,
+    profile_text,
+)
+
+
+class TestDot:
+    def test_object_model_dot_structure(self, usi):
+        dot = object_model_dot(usi)
+        assert dot.startswith('graph "usi" {')
+        assert dot.rstrip().endswith("}")
+        assert '"t1" [label="t1:Comp"' in dot
+        assert '"c1" -- "c2";' in dot
+
+    def test_object_model_dot_shapes(self, usi):
+        dot = object_model_dot(usi)
+        assert "shape=cylinder" in dot  # servers
+        assert "shape=note" in dot  # printers
+        assert "shape=ellipse" in dot  # clients
+
+    def test_highlight(self, usi, upsim_t1_p2):
+        dot = object_model_dot(usi, highlight=upsim_t1_p2.component_names)
+        assert dot.count("fillcolor") == upsim_t1_p2.component_count
+
+    def test_class_model_dot(self, usi):
+        dot = class_model_dot(usi.class_model)
+        assert "digraph" in dot
+        assert "C6500" in dot
+        assert "MTBF=183498" in dot
+
+    def test_activity_dot(self, printing):
+        dot = activity_dot(printing.activity)
+        assert "request_printing" in dot
+        assert "doublecircle" in dot  # final node
+        assert dot.count("->") == len(printing.activity.flows)
+
+    def test_activity_dot_fork_join(self):
+        from repro.uml.activity import Activity, SPLeaf, SPParallel, SPSeries
+
+        activity = Activity.from_structure(
+            "par", SPSeries([SPLeaf("a"), SPParallel([SPLeaf("b"), SPLeaf("c")])])
+        )
+        dot = activity_dot(activity)
+        assert "fillcolor=black" in dot
+
+    def test_profile_dot(self):
+        profiles = StandardProfiles()
+        dot = profile_dot(profiles.availability)
+        assert "Component" in dot
+        assert "metaclass" in dot
+        assert "extends" in dot
+
+    def test_quoting(self, usi):
+        dot = object_model_dot(usi)
+        assert '""' not in dot.replace('label=""', "")
+
+
+class TestText:
+    def test_object_model_text_layers(self, usi):
+        text = object_model_text(usi, root="c1")
+        lines = text.splitlines()
+        assert "[c1:C6500]" in lines[1]
+        assert "34 instances" in lines[0]
+
+    def test_object_model_text_default_root(self, usi):
+        # default root = highest degree node; must not raise
+        assert "object diagram" in object_model_text(usi)
+
+    def test_object_model_text_empty(self):
+        from repro.uml.classes import ClassModel
+        from repro.uml.objects import ObjectModel
+
+        assert "empty" in object_model_text(ObjectModel("m", ClassModel()))
+
+    def test_object_model_text_disconnected(self, small_builder):
+        small_builder.add("island", "Pc")
+        text = object_model_text(small_builder.object_model, root="pc")
+        assert "island" in text
+
+    def test_activity_text(self, printing):
+        text = activity_text(printing.activity)
+        assert text.startswith("●→")
+        assert text.endswith("→◉")
+        assert "[request_printing]" in text
+
+    def test_activity_text_parallel(self):
+        from repro.uml.activity import Activity, SPLeaf, SPParallel
+
+        activity = Activity.from_structure(
+            "p", SPParallel([SPLeaf("a"), SPLeaf("b")])
+        )
+        assert "∥" in activity_text(activity)
+
+    def test_mapping_table(self, table1):
+        table = mapping_table(table1, title="Table I")
+        assert table.splitlines()[0] == "Table I"
+        assert "request_printing" in table
+        assert "| t1" in table
+
+    def test_paths_text(self, usi_topo):
+        text = paths_text(discover_paths(usi_topo, "t1", "printS"))
+        assert "t1 -> printS (2)" in text
+        assert "t1—e1—d1—c1—d4—printS" in text
+
+    def test_paths_text_truncated_flag(self, usi_topo):
+        result = discover_paths(usi_topo, "t1", "printS", max_paths=1)
+        assert "truncated" in paths_text(result)
+
+    def test_profile_text(self):
+        profiles = StandardProfiles()
+        text = profile_text(profiles.network)
+        assert "«Switch»" in text
+        assert "specializes" in text
+        assert "manufacturer: String" in text
+
+    def test_class_table(self, usi):
+        table = class_table(usi.class_model)
+        assert "C6500" in table
+        assert "183498" in table
+        # abstract root class excluded
+        assert "ICTDevice" not in table
+
+
+class TestMermaid:
+    def test_object_model_mermaid(self, upsim_t1_p2):
+        text = object_model_mermaid(upsim_t1_p2.model, highlight=["t1"])
+        assert text.startswith("graph TD")
+        assert 't1["t1:Comp"]' in text
+        assert "style t1 fill" in text
+
+    def test_activity_mermaid(self, printing):
+        text = activity_mermaid(printing.activity)
+        assert text.startswith("graph LR")
+        assert "((start))" in text
+        assert "(((end)))" in text
+        assert "-->" in text
+
+    def test_mermaid_sanitizes_ids(self):
+        from repro.uml.classes import Class, ClassModel
+        from repro.uml.objects import ObjectModel
+
+        cm = ClassModel()
+        cm.add_class(Class("C"))
+        om = ObjectModel("m", cm)
+        om.add_instance("node-1", "C")
+        text = object_model_mermaid(om)
+        assert "node_1[" in text

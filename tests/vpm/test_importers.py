@@ -1,0 +1,122 @@
+"""Tests for the UML and service-mapping importers and path storage."""
+
+import pytest
+
+from repro.core.mapping import ServiceMapping, ServiceMappingPair
+from repro.errors import ImportError_
+from repro.uml.activity import Activity
+from repro.vpm.importers import (
+    CLASSES_NS,
+    INSTANCES_NS,
+    MappingImporter,
+    UMLImporter,
+    load_paths,
+    store_paths,
+)
+from repro.vpm.modelspace import ModelSpace
+
+
+@pytest.fixture()
+def space():
+    return ModelSpace()
+
+
+class TestUMLImporter:
+    def test_class_entities_created(self, space, diamond):
+        UMLImporter(space).import_class_model(diamond.class_model)
+        assert space.has_entity(f"{CLASSES_NS}.Sw")
+        assert space.has_entity(f"{CLASSES_NS}.Pc")
+        class_meta = space.entity("metamodel.uml.Class")
+        names = {e.name for e in space.instances_of(class_meta)}
+        assert {"Sw", "Pc", "Srv", "ICTDevice"} <= names
+
+    def test_instances_typed_by_class(self, space, diamond):
+        UMLImporter(space).import_object_model(diamond)
+        sw_entity = space.entity(f"{CLASSES_NS}.Sw")
+        assert {e.name for e in space.instances_of(sw_entity)} == {"e", "a", "b"}
+
+    def test_generalization_extends_extent(self, space, diamond):
+        UMLImporter(space).import_object_model(diamond)
+        root = space.entity(f"{CLASSES_NS}.ICTDevice")
+        # all five instances conform to the abstract root class
+        assert len(space.instances_of(root)) == 5
+
+    def test_links_become_relations(self, space, diamond):
+        UMLImporter(space).import_object_model(diamond)
+        links = space.relations("link")
+        assert len(links) == 5
+        assert all(link.value is not None for link in links)
+
+    def test_instance_entity_value_is_specification(self, space, diamond):
+        UMLImporter(space).import_object_model(diamond)
+        entity = space.entity(f"{INSTANCES_NS}.pc")
+        assert entity.value.signature == "pc:Pc"
+
+    def test_activity_import(self, space, printing):
+        importer = UMLImporter(space)
+        composite = importer.import_activity(printing.activity)
+        assert composite.fqn == "services.composite.printing"
+        contains = space.relations_from(composite, "contains")
+        assert len(contains) == 5
+        positions = sorted(r.value for r in contains)
+        assert positions == [0, 1, 2, 3, 4]
+        assert space.has_entity("services.atomic.request_printing")
+
+    def test_invalid_activity_rejected(self, space):
+        activity = Activity("broken")  # no nodes at all
+        with pytest.raises(ImportError_):
+            UMLImporter(space).import_activity(activity)
+
+    def test_atomic_entities_shared_between_composites(self, space):
+        importer = UMLImporter(space)
+        importer.import_activity(Activity.sequence("s1", ["x", "y"]))
+        importer.import_activity(Activity.sequence("s2", ["y", "z"]))
+        y = space.entity("services.atomic.y")
+        incoming = space.relations_to(y, "contains")
+        assert len(incoming) == 2
+
+
+class TestMappingImporter:
+    def test_import_creates_entities_and_relations(self, space, diamond):
+        UMLImporter(space).import_object_model(diamond)
+        mapping = ServiceMapping([ServiceMappingPair("fetch", "pc", "s")])
+        created = MappingImporter(space).import_mapping(mapping)
+        assert len(created) == 1
+        entity = space.entity("mapping.fetch")
+        requester = space.relations_from(entity, "requester")[0]
+        provider = space.relations_from(entity, "provider")[0]
+        assert requester.target.name == "pc"
+        assert provider.target.name == "s"
+
+    def test_unknown_component_rejected(self, space, diamond):
+        UMLImporter(space).import_object_model(diamond)
+        mapping = ServiceMapping([ServiceMappingPair("fetch", "ghost", "s")])
+        with pytest.raises(ImportError_):
+            MappingImporter(space).import_mapping(mapping)
+
+
+class TestPathStorage:
+    def test_store_and_load_roundtrip(self, space, diamond):
+        UMLImporter(space).import_object_model(diamond)
+        paths = [["pc", "e", "a", "s"], ["pc", "e", "b", "s"]]
+        store_paths(space, "fetch", paths)
+        assert load_paths(space, "fetch") == paths
+
+    def test_store_rejects_unknown_nodes(self, space, diamond):
+        UMLImporter(space).import_object_model(diamond)
+        with pytest.raises(ImportError_):
+            store_paths(space, "fetch", [["pc", "ghost"]])
+
+    def test_visits_relations_ordered(self, space, diamond):
+        UMLImporter(space).import_object_model(diamond)
+        store_paths(space, "fetch", [["pc", "e", "a", "s"]])
+        path_entity = space.entity("paths.fetch.p0")
+        visits = space.relations_from(path_entity, "visits")
+        assert sorted(r.value for r in visits) == [0, 1, 2, 3]
+
+    def test_many_paths_order_preserved(self, space, diamond):
+        UMLImporter(space).import_object_model(diamond)
+        # 12 paths to exercise numeric (not lexicographic) p<i> ordering
+        paths = [["pc", "e", "a", "s"]] * 12
+        store_paths(space, "many", paths)
+        assert load_paths(space, "many") == paths

@@ -1,0 +1,164 @@
+"""Tests for the VPM model space: entities, relations, typing, deletion."""
+
+import pytest
+
+from repro.errors import ModelSpaceError
+from repro.vpm.modelspace import Entity, ModelSpace
+
+
+@pytest.fixture()
+def space():
+    return ModelSpace()
+
+
+class TestEntities:
+    def test_create_nested(self, space):
+        entity = space.create_entity("a.b.c")
+        assert entity.fqn == "a.b.c"
+        assert space.entity("a.b").fqn == "a.b"
+
+    def test_create_is_idempotent_for_namespaces(self, space):
+        space.create_entity("a.b.c")
+        space.create_entity("a.b.d")
+        assert {child.name for child in space.entity("a.b").children} == {"c", "d"}
+
+    def test_invalid_names(self, space):
+        with pytest.raises(ModelSpaceError):
+            space.create_entity("")
+        with pytest.raises(ModelSpaceError):
+            Entity("has.dot")
+
+    def test_value_stored(self, space):
+        space.create_entity("x", value=42)
+        assert space.entity("x").value == 42
+
+    def test_value_update_on_recreate(self, space):
+        space.create_entity("x", value=1)
+        space.create_entity("x", value=2)
+        assert space.entity("x").value == 2
+
+    def test_unknown_fqn_raises(self, space):
+        with pytest.raises(ModelSpaceError):
+            space.entity("ghost")
+        assert space.find("ghost") is None
+
+    def test_walk_and_entities(self, space):
+        space.create_entity("a.b")
+        space.create_entity("a.c")
+        fqns = {e.fqn for e in space.entities()}
+        assert fqns == {"a", "a.b", "a.c"}
+
+    def test_contains(self, space):
+        space.create_entity("x.y")
+        assert "x.y" in space
+        assert "x.z" not in space
+
+
+class TestTyping:
+    def test_instances_of(self, space):
+        type_entity = space.create_entity("meta.T")
+        space.create_entity("m.a", type_entity=type_entity)
+        space.create_entity("m.b", type_entity=type_entity)
+        assert {e.name for e in space.instances_of("meta.T")} == {"a", "b"}
+
+    def test_transitive_typing_through_supertypes(self, space):
+        base = space.create_entity("meta.Base")
+        sub = space.create_entity("meta.Sub")
+        sub.declare_supertype(base)
+        instance = space.create_entity("m.x", type_entity=sub)
+        assert instance.is_instance_of(sub)
+        assert instance.is_instance_of(base)
+        assert {e.name for e in space.instances_of(base)} == {"x"}
+
+    def test_subtype_entities_not_in_extent(self, space):
+        base = space.create_entity("meta.Base")
+        sub = space.create_entity("meta.Sub")
+        sub.declare_supertype(base)
+        # a subtype is not itself an instance of its supertype
+        assert space.instances_of(base) == []
+        assert not sub.is_instance_of(base)
+
+    def test_diamond_supertypes(self, space):
+        root = space.create_entity("meta.Root")
+        left = space.create_entity("meta.Left")
+        right = space.create_entity("meta.Right")
+        bottom = space.create_entity("meta.Bottom")
+        left.declare_supertype(root)
+        right.declare_supertype(root)
+        bottom.declare_supertype(left)
+        bottom.declare_supertype(right)
+        x = space.create_entity("m.x", type_entity=bottom)
+        assert x.is_instance_of(root)
+        assert [e.name for e in space.instances_of(root)] == ["x"]
+
+    def test_duplicate_typing_ignored(self, space):
+        t = space.create_entity("meta.T")
+        e = space.create_entity("m.a")
+        e.declare_instance_of(t)
+        e.declare_instance_of(t)
+        assert len(e.types) == 1
+        assert len(space.instances_of(t)) == 1
+
+
+class TestRelations:
+    def test_create_and_query(self, space):
+        space.create_entity("m.a")
+        space.create_entity("m.b")
+        space.create_relation("link", "m.a", "m.b", value=7)
+        assert len(space.relations("link")) == 1
+        assert space.relations_from("m.a", "link")[0].value == 7
+        assert space.relations_to("m.b", "link")[0].source.fqn == "m.a"
+
+    def test_neighbors_both_directions(self, space):
+        for name in ("m.a", "m.b", "m.c"):
+            space.create_entity(name)
+        space.create_relation("link", "m.a", "m.b")
+        space.create_relation("link", "m.c", "m.a")
+        assert {e.name for e in space.neighbors("m.a", "link")} == {"b", "c"}
+
+    def test_relations_of_combines(self, space):
+        space.create_entity("m.a")
+        space.create_entity("m.b")
+        space.create_relation("x", "m.a", "m.b")
+        space.create_relation("y", "m.b", "m.a")
+        assert len(space.relations_of("m.a")) == 2
+        assert len(space.relations_of("m.a", "x")) == 1
+
+
+class TestDeletion:
+    def test_delete_removes_subtree(self, space):
+        space.create_entity("ns.a.deep")
+        space.delete_entity("ns.a")
+        assert "ns.a" not in space
+        assert "ns.a.deep" not in space
+        assert "ns" in space
+
+    def test_delete_scrubs_relations(self, space):
+        space.create_entity("keep.x")
+        space.create_entity("gone.y")
+        space.create_relation("r", "gone.y", "keep.x")
+        space.delete_entity("gone")
+        assert space.relations("r") == []
+        assert space.relations_to("keep.x") == []
+
+    def test_delete_scrubs_type_extents(self, space):
+        t = space.create_entity("meta.T")
+        space.create_entity("m.a", type_entity=t)
+        space.delete_entity("m.a")
+        assert space.instances_of(t) == []
+
+    def test_delete_unknown_raises(self, space):
+        with pytest.raises(ModelSpaceError):
+            space.delete_entity("ghost")
+
+    def test_recreate_after_delete(self, space):
+        space.create_entity("ns.a", value=1)
+        space.delete_entity("ns.a")
+        space.create_entity("ns.a", value=2)
+        assert space.entity("ns.a").value == 2
+
+    def test_size_counts(self, space):
+        space.create_entity("a.b")
+        assert space.size() == 2
+        space.create_relation("r", "a", "a.b")
+        assert space.relation_count() == 1

@@ -1,0 +1,171 @@
+"""Tests for graph-pattern matching over the model space."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.vpm.modelspace import ModelSpace
+from repro.vpm.patterns import Pattern
+
+
+@pytest.fixture()
+def space():
+    """A small typed graph: two switches, two hosts, links."""
+    s = ModelSpace()
+    switch_t = s.create_entity("meta.Switch")
+    host_t = s.create_entity("meta.Host")
+    for name in ("sw1", "sw2"):
+        s.create_entity(f"net.{name}", type_entity=switch_t)
+    for name in ("h1", "h2"):
+        s.create_entity(f"net.{name}", type_entity=host_t)
+    s.create_relation("link", "net.sw1", "net.sw2")
+    s.create_relation("link", "net.h1", "net.sw1")
+    s.create_relation("link", "net.h2", "net.sw2")
+    return s
+
+
+class TestEntityConstraints:
+    def test_match_by_type(self, space):
+        pattern = Pattern().entity("x", type_fqn="meta.Switch")
+        names = sorted(m["x"].name for m in pattern.match(space))
+        assert names == ["sw1", "sw2"]
+
+    def test_match_by_fqn(self, space):
+        pattern = Pattern().entity("x", fqn="net.h1")
+        matches = list(pattern.match(space))
+        assert len(matches) == 1
+        assert matches[0]["x"].name == "h1"
+
+    def test_match_by_namespace(self, space):
+        pattern = Pattern().entity("x", namespace="net")
+        assert pattern.count(space) == 4
+
+    def test_match_by_predicate(self, space):
+        pattern = Pattern().entity(
+            "x", namespace="net", predicate=lambda e: e.name.startswith("h")
+        )
+        assert pattern.count(space) == 2
+
+    def test_unknown_type_matches_nothing(self, space):
+        pattern = Pattern().entity("x", type_fqn="meta.Ghost")
+        assert pattern.count(space) == 0
+
+
+class TestRelationConstraints:
+    def test_directed_relation(self, space):
+        pattern = (
+            Pattern()
+            .entity("a", type_fqn="meta.Host")
+            .entity("b", type_fqn="meta.Switch")
+            .relation("link", "a", "b")
+        )
+        pairs = sorted((m["a"].name, m["b"].name) for m in pattern.match(space))
+        assert pairs == [("h1", "sw1"), ("h2", "sw2")]
+
+    def test_direction_matters(self, space):
+        pattern = (
+            Pattern()
+            .entity("a", type_fqn="meta.Switch")
+            .entity("b", type_fqn="meta.Host")
+            .relation("link", "a", "b")  # no switch->host relations exist
+        )
+        assert pattern.count(space) == 0
+
+    def test_undirected_relation(self, space):
+        pattern = (
+            Pattern()
+            .entity("a", type_fqn="meta.Switch")
+            .entity("b", type_fqn="meta.Host")
+            .relation("link", "a", "b", directed=False)
+        )
+        assert pattern.count(space) == 2
+
+    def test_triangle_pattern(self, space):
+        # host -- switch -- switch chain
+        pattern = (
+            Pattern()
+            .entity("h", type_fqn="meta.Host")
+            .entity("s1", type_fqn="meta.Switch")
+            .entity("s2", type_fqn="meta.Switch")
+            .relation("link", "h", "s1", directed=False)
+            .relation("link", "s1", "s2", directed=False)
+        )
+        triples = sorted(
+            (m["h"].name, m["s1"].name, m["s2"].name) for m in pattern.match(space)
+        )
+        assert triples == [("h1", "sw1", "sw2"), ("h2", "sw2", "sw1")]
+
+    def test_relation_predicate(self, space):
+        space.create_relation("weight", "net.sw1", "net.sw2", value=10)
+        pattern = (
+            Pattern()
+            .entity("a", namespace="net")
+            .entity("b", namespace="net")
+            .relation("weight", "a", "b", predicate=lambda r: r.value > 5)
+        )
+        assert pattern.count(space) == 1
+
+
+class TestMatchingMechanics:
+    def test_injective_by_default(self, space):
+        pattern = (
+            Pattern()
+            .entity("a", type_fqn="meta.Switch")
+            .entity("b", type_fqn="meta.Switch")
+        )
+        # without relations, all ordered distinct pairs
+        assert pattern.count(space) == 2
+
+    def test_repeated_bindings_opt_in(self, space):
+        pattern = (
+            Pattern()
+            .entity("a", type_fqn="meta.Switch")
+            .entity("b", type_fqn="meta.Switch")
+            .allow_repeated_bindings()
+        )
+        assert pattern.count(space) == 4
+
+    def test_prebindings(self, space):
+        pattern = (
+            Pattern()
+            .entity("a", type_fqn="meta.Host")
+            .entity("b", type_fqn="meta.Switch")
+            .relation("link", "a", "b")
+        )
+        h1 = space.entity("net.h1")
+        matches = list(pattern.match(space, bindings={"a": h1}))
+        assert len(matches) == 1
+        assert matches[0]["b"].name == "sw1"
+
+    def test_prebinding_violating_constraint_yields_nothing(self, space):
+        pattern = Pattern().entity("a", type_fqn="meta.Host")
+        sw = space.entity("net.sw1")
+        assert list(pattern.match(space, bindings={"a": sw})) == []
+
+    def test_undeclared_variable_in_relation(self, space):
+        pattern = Pattern().entity("a", namespace="net").relation("link", "a", "zz")
+        with pytest.raises(PatternError):
+            list(pattern.match(space))
+
+    def test_duplicate_variable_declaration(self, space):
+        pattern = Pattern().entity("a")
+        with pytest.raises(PatternError):
+            pattern.entity("a")
+
+    def test_match_one(self, space):
+        pattern = Pattern().entity("x", type_fqn="meta.Host")
+        match = pattern.match_one(space)
+        assert match is not None and match["x"].name in ("h1", "h2")
+        none_pattern = Pattern().entity("x", type_fqn="meta.Ghost")
+        assert none_pattern.match_one(space) is None
+
+    def test_match_getitem_and_dict(self, space):
+        pattern = Pattern().entity("x", fqn="net.h1")
+        match = next(iter(pattern.match(space)))
+        assert match["x"].fqn == "net.h1"
+        assert "x" in match
+        assert list(match.as_dict()) == ["x"]
+        with pytest.raises(KeyError):
+            match["y"]
+
+    def test_empty_pattern_matches_nothing(self, space):
+        assert list(Pattern().match(space)) == []

@@ -1,0 +1,87 @@
+"""Property-based test: the pattern matcher vs brute-force enumeration."""
+
+from itertools import permutations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vpm.modelspace import ModelSpace
+from repro.vpm.patterns import Pattern
+
+
+@st.composite
+def spaces_and_patterns(draw):
+    """A small random typed graph plus a random 2-variable pattern."""
+    space = ModelSpace()
+    n_types = draw(st.integers(1, 3))
+    types = [space.create_entity(f"meta.T{i}") for i in range(n_types)]
+    n_entities = draw(st.integers(2, 6))
+    entities = []
+    for i in range(n_entities):
+        type_entity = draw(st.sampled_from(types))
+        entities.append(
+            space.create_entity(f"m.e{i}", type_entity=type_entity)
+        )
+    n_relations = draw(st.integers(0, 8))
+    for _ in range(n_relations):
+        source = draw(st.sampled_from(entities))
+        target = draw(st.sampled_from(entities))
+        name = draw(st.sampled_from(["link", "uses"]))
+        space.create_relation(name, source, target)
+
+    type_a = draw(st.sampled_from(types))
+    type_b = draw(st.sampled_from(types))
+    relation_name = draw(st.sampled_from(["link", "uses"]))
+    directed = draw(st.booleans())
+    pattern = (
+        Pattern("p")
+        .entity("a", type_fqn=type_a.fqn)
+        .entity("b", type_fqn=type_b.fqn)
+        .relation(relation_name, "a", "b", directed=directed)
+    )
+    return space, pattern, (type_a, type_b, relation_name, directed)
+
+
+def brute_force(space, type_a, type_b, relation_name, directed):
+    """Enumerate all injective (a, b) bindings satisfying the constraints."""
+    candidates_a = space.instances_of(type_a)
+    candidates_b = space.instances_of(type_b)
+    results = set()
+    for a in candidates_a:
+        for b in candidates_b:
+            if a is b:
+                continue
+            forward = any(
+                r.target is b for r in space.relations_from(a, relation_name)
+            )
+            backward = any(
+                r.target is a for r in space.relations_from(b, relation_name)
+            )
+            if forward or (not directed and backward):
+                results.add((a.fqn, b.fqn))
+    return results
+
+
+class TestPatternMatcherProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(problem=spaces_and_patterns())
+    def test_matches_equal_brute_force(self, problem):
+        space, pattern, (type_a, type_b, relation_name, directed) = problem
+        matched = {
+            (match["a"].fqn, match["b"].fqn) for match in pattern.match(space)
+        }
+        expected = brute_force(space, type_a, type_b, relation_name, directed)
+        assert matched == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(problem=spaces_and_patterns())
+    def test_count_consistent(self, problem):
+        space, pattern, _ = problem
+        assert pattern.count(space) == len(list(pattern.match(space)))
+
+    @settings(max_examples=50, deadline=None)
+    @given(problem=spaces_and_patterns())
+    def test_bindings_are_injective(self, problem):
+        space, pattern, _ = problem
+        for match in pattern.match(space):
+            assert match["a"] is not match["b"]

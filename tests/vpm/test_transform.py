@@ -1,0 +1,102 @@
+"""Tests for the rule-based transformation engine."""
+
+import pytest
+
+from repro.errors import ModelSpaceError
+from repro.vpm.modelspace import ModelSpace
+from repro.vpm.patterns import Pattern
+from repro.vpm.transform import Rule, Transformation
+
+
+@pytest.fixture()
+def space():
+    s = ModelSpace()
+    t = s.create_entity("meta.T")
+    for name in ("a", "b", "c"):
+        s.create_entity(f"src.{name}", type_entity=t, value=name.upper())
+    return s
+
+
+class TestForallRules:
+    def test_copy_rule_fires_per_match(self, space):
+        target = space.create_entity("dst")
+        pattern = Pattern().entity("x", type_fqn="meta.T")
+
+        def copy(model_space, match):
+            original = match["x"]
+            target.child(original.name, value=original.value)
+
+        transformation = Transformation("copy").add_rule("copy-all", pattern, copy)
+        trace = transformation.run(space)
+        assert trace.firings["copy-all"] == 3
+        assert {child.name for child in target.children} == {"a", "b", "c"}
+        assert space.entity("dst.a").value == "A"
+
+    def test_forall_snapshots_matches(self, space):
+        """Entities created by the action must not be re-matched."""
+        t = space.entity("meta.T")
+        pattern = Pattern().entity("x", type_fqn="meta.T")
+        counter = {"n": 0}
+
+        def spawn(model_space, match):
+            counter["n"] += 1
+            model_space.create_entity(
+                f"src.spawn{counter['n']}", type_entity=t
+            )
+
+        Transformation().add_rule("spawn", pattern, spawn).run(space)
+        assert counter["n"] == 3  # only the original three
+
+
+class TestIterateRules:
+    def test_iterate_until_fixpoint(self, space):
+        """Consume entities one at a time until none match."""
+        pattern = Pattern().entity("x", type_fqn="meta.T")
+
+        def consume(model_space, match):
+            model_space.delete_entity(match["x"].fqn)
+
+        transformation = Transformation().add_rule(
+            "consume", pattern, consume, mode="iterate"
+        )
+        trace = transformation.run(space)
+        assert trace.firings["consume"] == 3
+        assert space.instances_of("meta.T") == []
+
+    def test_runaway_iterate_detected(self):
+        space = ModelSpace()
+        space.create_entity("x", value=0)
+        pattern = Pattern().entity("e", fqn="x")
+
+        def never_invalidates(model_space, match):
+            match["e"].value += 1
+
+        transformation = Transformation().add_rule(
+            "loop", pattern, never_invalidates, mode="iterate"
+        )
+        with pytest.raises(ModelSpaceError):
+            transformation.run(space)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ModelSpaceError):
+            Rule("bad", Pattern().entity("x"), lambda s, m: None, mode="while")
+
+
+class TestTrace:
+    def test_rules_run_in_order(self, space):
+        order = []
+        p = Pattern().entity("x", fqn="src.a")
+        transformation = (
+            Transformation()
+            .add_rule("first", p, lambda s, m: order.append("first"))
+            .add_rule("second", p, lambda s, m: order.append("second"))
+        )
+        trace = transformation.run(space)
+        assert order == ["first", "second"]
+        assert trace.total() == 2
+
+    def test_trace_empty_when_no_matches(self, space):
+        pattern = Pattern().entity("x", type_fqn="meta.Ghost")
+        trace = Transformation().add_rule("r", pattern, lambda s, m: None).run(space)
+        assert trace.total() == 0
+        assert trace.firings == {}

@@ -1,0 +1,204 @@
+"""Tests for the VTCL-style textual pattern language."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.vpm.importers import UMLImporter
+from repro.vpm.modelspace import ModelSpace
+from repro.vpm.vtcl import parse_pattern, parse_patterns, run_query
+
+
+@pytest.fixture()
+def space(usi):
+    s = ModelSpace()
+    UMLImporter(s).import_object_model(usi)
+    return s
+
+
+class TestParsing:
+    def test_single_pattern(self):
+        pattern = parse_pattern(
+            """
+            pattern p(a) {
+                a in "uml.instances"
+            }
+            """
+        )
+        assert pattern.name == "p"
+
+    def test_multiple_patterns(self):
+        patterns = parse_patterns(
+            """
+            pattern one(a) { a in "x" }  // header+body on separate lines only
+            """.replace("{ a", "{\n a").replace('"x" }', '"x"\n}')
+            + """
+            pattern two(b) {
+                b in "y"
+            }
+            """
+        )
+        assert set(patterns) == {"one", "two"}
+
+    def test_comments_ignored(self):
+        pattern = parse_pattern(
+            """
+            // leading comment
+            pattern p(a) {
+                # another comment
+                a in "ns"   // trailing comment
+            }
+            """
+        )
+        assert pattern.name == "p"
+
+    def test_undeclared_variable(self):
+        with pytest.raises(PatternError):
+            parse_pattern(
+                """
+                pattern p(a) {
+                    b in "ns"
+                }
+                """
+            )
+
+    def test_unparseable_statement(self):
+        with pytest.raises(PatternError):
+            parse_pattern(
+                """
+                pattern p(a) {
+                    a maybe "ns"
+                }
+                """
+            )
+
+    def test_unclosed_pattern(self):
+        with pytest.raises(PatternError):
+            parse_patterns("pattern p(a) {\n a in \"ns\"\n")
+
+    def test_statement_outside_block(self):
+        with pytest.raises(PatternError):
+            parse_patterns('a in "ns"')
+
+    def test_no_variables(self):
+        with pytest.raises(PatternError):
+            parse_pattern("pattern p() {\n}")
+
+    def test_duplicate_variables(self):
+        with pytest.raises(PatternError):
+            parse_pattern('pattern p(a, a) {\n a in "ns"\n}')
+
+    def test_parse_pattern_requires_exactly_one(self):
+        text = (
+            'pattern one(a) {\n a in "x"\n}\n'
+            'pattern two(b) {\n b in "y"\n}\n'
+        )
+        with pytest.raises(PatternError):
+            parse_pattern(text)
+
+    def test_empty_input(self):
+        with pytest.raises(PatternError):
+            parse_patterns("   \n  // nothing\n")
+
+
+class TestQueries:
+    def test_instanceof_query(self, space):
+        results = run_query(
+            space,
+            """
+            pattern printers(p) {
+                p : instanceof "uml.classes.Printer"
+            }
+            """,
+        )
+        names = sorted(r["p"] for r in results)
+        assert names == [
+            "uml.instances.p1",
+            "uml.instances.p2",
+            "uml.instances.p3",
+        ]
+
+    def test_fixed_binding_and_relation(self, space):
+        results = run_query(
+            space,
+            """
+            pattern clients_on_e1(c, sw) {
+                c : instanceof "uml.classes.Comp"
+                sw = "uml.instances.e1"
+                link(c, sw) undirected
+            }
+            """,
+        )
+        clients = sorted(r["c"].split(".")[-1] for r in results)
+        assert clients == ["t1", "t2", "t3", "t4", "t5"]
+
+    def test_directed_relation_misses_reverse(self, space):
+        # links were imported in (end1, end2) order; a directed pattern
+        # only sees one orientation
+        directed = run_query(
+            space,
+            """
+            pattern q(a, b) {
+                a = "uml.instances.c1"
+                b = "uml.instances.c2"
+                link(a, b)
+            }
+            """,
+        )
+        undirected = run_query(
+            space,
+            """
+            pattern q(a, b) {
+                a = "uml.instances.c2"
+                b = "uml.instances.c1"
+                link(a, b) undirected
+            }
+            """,
+        )
+        assert len(undirected) == 1
+        assert len(directed) in (0, 1)
+
+    def test_chained_clauses(self, space):
+        results = run_query(
+            space,
+            """
+            pattern servers(s) {
+                s : instanceof "uml.classes.Server" in "uml.instances"
+            }
+            """,
+        )
+        assert len(results) == 6
+
+    def test_two_hop_pattern(self, space):
+        """Find the distribution switch between e1 and the core."""
+        results = run_query(
+            space,
+            """
+            pattern uplink(edge, dist, core) {
+                edge = "uml.instances.e1"
+                dist : instanceof "uml.classes.C3750"
+                core : instanceof "uml.classes.C6500"
+                link(edge, dist) undirected
+                link(dist, core) undirected
+            }
+            """,
+        )
+        assert len(results) == 1
+        assert results[0]["dist"].endswith(".d1")
+        assert results[0]["core"].endswith(".c1")
+
+    def test_equivalent_to_programmatic_pattern(self, space):
+        from repro.vpm.patterns import Pattern
+
+        textual = parse_pattern(
+            """
+            pattern printers(p) {
+                p : instanceof "uml.classes.Printer"
+            }
+            """
+        )
+        programmatic = Pattern("printers").entity(
+            "p", type_fqn="uml.classes.Printer"
+        )
+        assert {m["p"].fqn for m in textual.match(space)} == {
+            m["p"].fqn for m in programmatic.match(space)
+        }
