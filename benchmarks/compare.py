@@ -1,0 +1,101 @@
+"""Compare two pytest-benchmark JSON files and flag regressions.
+
+Usage::
+
+    python benchmarks/compare.py BASELINE.json CANDIDATE.json [--threshold 0.20]
+
+Benchmarks are matched by their fully qualified name (``fullname``).
+For each match the candidate's mean runtime is compared against the
+baseline's; anything slower by more than the threshold (default 20%)
+is a regression.  The exit code is the number of regressions, so the
+script slots directly into CI::
+
+    pytest benchmarks -q --benchmark-json=BENCH_new.json
+    python benchmarks/compare.py BENCH_pathdiscovery.json BENCH_new.json
+
+Benchmarks present in only one file are reported but never fail the
+comparison (new benches appear, obsolete ones disappear).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+
+def load_means(path: str) -> Dict[str, float]:
+    """Map of benchmark fullname -> mean seconds from a bench JSON."""
+    with open(path) as handle:
+        data = json.load(handle)
+    means: Dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        means[bench["fullname"]] = bench["stats"]["mean"]
+    return means
+
+
+def compare(
+    baseline: Dict[str, float],
+    candidate: Dict[str, float],
+    threshold: float,
+) -> Tuple[List[str], List[str], List[str]]:
+    """Returns (regressions, improvements, unmatched) report lines."""
+    regressions: List[str] = []
+    improvements: List[str] = []
+    unmatched: List[str] = []
+    for name in sorted(set(baseline) | set(candidate)):
+        if name not in baseline:
+            unmatched.append(f"only in candidate: {name}")
+            continue
+        if name not in candidate:
+            unmatched.append(f"only in baseline:  {name}")
+            continue
+        base = baseline[name]
+        cand = candidate[name]
+        if base <= 0:
+            continue
+        ratio = cand / base
+        line = (
+            f"{name}: {base * 1e3:.3f}ms -> {cand * 1e3:.3f}ms "
+            f"({ratio:.2f}x)"
+        )
+        if ratio > 1 + threshold:
+            regressions.append(line)
+        elif ratio < 1 - threshold:
+            improvements.append(line)
+    return regressions, improvements, unmatched
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("candidate", help="candidate benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="relative slowdown treated as a regression (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    regressions, improvements, unmatched = compare(
+        load_means(args.baseline), load_means(args.candidate), args.threshold
+    )
+    for line in unmatched:
+        print(line)
+    if improvements:
+        print(f"improvements (> {args.threshold:.0%} faster):")
+        for line in improvements:
+            print(f"  {line}")
+    if regressions:
+        print(f"REGRESSIONS (> {args.threshold:.0%} slower):")
+        for line in regressions:
+            print(f"  {line}")
+    else:
+        print("no regressions")
+    return len(regressions)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""Benches for the compiled path-discovery engine (experiment ``engine``).
+
+The engine (`repro.core.engine`) must beat the seed DFS
+(`discover_paths_reference`) on the realistic Section V-D families —
+``campus`` (tree periphery + redundant core) and ``erdos_renyi`` (few
+loops, many bridges) — and must make repeated-query scenarios (user
+mobility over known positions, Section V-A3) practically free through
+PathSet memoization.  The assertions below are the acceptance floor
+(≥5×); the recorded numbers are typically well above it.
+
+Record a baseline with::
+
+    pytest benchmarks -q --benchmark-json=BENCH_pathdiscovery.json
+
+and compare future runs with ``python benchmarks/compare.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import engine
+from repro.core.pathdiscovery import discover_paths_reference
+from repro.network import Topology, campus, erdos_renyi
+
+SPEEDUP_FLOOR = 5.0
+
+
+@pytest.fixture(scope="module")
+def campus_topo():
+    builder = campus(dist_switches=8, edges_per_dist=2, clients_per_edge=4)
+    return Topology(builder.object_model)
+
+
+@pytest.fixture(scope="module")
+def er_topo():
+    # sparse ER: average degree ~2.4 — "real networks usually contain few
+    # loops"; dominated by bridges and small biconnected cores
+    builder = erdos_renyi(80, 0.03, seed=7)
+    return Topology(builder.object_model)
+
+
+def _best(fn, reps: int = 3) -> float:
+    """Best-of-N wall time — the fairest single number for a baseline."""
+    times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+# -- cold enumeration: compiled + pruned vs seed DFS ------------------------
+
+
+def test_engine_campus_cold(benchmark, campus_topo):
+    """Compiled engine vs seed DFS on the campus family (cold cache)."""
+    result = benchmark(
+        engine.discover,
+        campus_topo,
+        "client",
+        "server",
+        use_cache=False,
+    )
+    reference = discover_paths_reference(campus_topo, "client", "server")
+    assert result.paths == reference.paths  # identical, not just faster
+    seed_time = _best(
+        lambda: discover_paths_reference(campus_topo, "client", "server")
+    )
+    engine_time = _best(
+        lambda: engine.discover(
+            campus_topo, "client", "server", use_cache=False
+        )
+    )
+    assert seed_time / engine_time >= SPEEDUP_FLOOR
+
+
+def test_engine_erdos_renyi_cold(benchmark, er_topo):
+    """Compiled engine vs seed DFS on sparse Erdős–Rényi (cold cache)."""
+    result = benchmark.pedantic(
+        engine.discover,
+        args=(er_topo, "client", "server"),
+        kwargs={"use_cache": False},
+        rounds=3,
+        iterations=1,
+    )
+    reference = discover_paths_reference(er_topo, "client", "server")
+    assert result.paths == reference.paths
+    seed_time = _best(
+        lambda: discover_paths_reference(er_topo, "client", "server"),
+        reps=2,
+    )
+    engine_time = _best(
+        lambda: engine.discover(er_topo, "client", "server", use_cache=False),
+        reps=2,
+    )
+    assert seed_time / engine_time >= SPEEDUP_FLOOR
+
+
+def test_reference_campus_baseline(benchmark, campus_topo):
+    """The seed DFS baseline, recorded for the trajectory."""
+    result = benchmark(
+        discover_paths_reference, campus_topo, "client", "server"
+    )
+    assert result.count > 0
+
+
+def test_reference_erdos_renyi_baseline(benchmark, er_topo):
+    result = benchmark.pedantic(
+        discover_paths_reference,
+        args=(er_topo, "client", "server"),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.count > 0
+
+
+def test_engine_count_erdos_renyi(benchmark, er_topo):
+    """Counting multiplies per-block counts — no path materialization."""
+    expected = len(discover_paths_reference(er_topo, "client", "server").paths)
+    count = benchmark.pedantic(
+        engine.count,
+        args=(er_topo, "client", "server"),
+        rounds=3,
+        iterations=1,
+    )
+    assert count == expected
+
+
+# -- the mobility sweep: repeated queries over known positions ---------------
+
+
+def _mobility_positions(topology: Topology, limit: int = 12):
+    """A deterministic set of client positions for the sweep."""
+    return [
+        name for name in topology.nodes() if name.startswith("client")
+    ][:limit]
+
+
+def test_engine_mobility_sweep_cached(benchmark, campus_topo):
+    """Section V-A3: a user moving across known positions re-queries the
+    same pairs over an unchanged infrastructure — after the first visit
+    each query is a cache hit."""
+    positions = _mobility_positions(campus_topo)
+    assert len(positions) >= 8
+
+    def sweep_engine():
+        for position in positions:
+            engine.discover(campus_topo, position, "server")
+
+    sweep_engine()  # warm the cache: every position has been visited once
+    benchmark(sweep_engine)
+
+    def sweep_reference():
+        for position in positions:
+            discover_paths_reference(campus_topo, position, "server")
+
+    seed_time = _best(sweep_reference)
+    engine_time = _best(sweep_engine)
+    assert seed_time / engine_time >= SPEEDUP_FLOOR
+
+    # and the cached results stay correct
+    for position in positions:
+        assert (
+            engine.discover(campus_topo, position, "server").paths
+            == discover_paths_reference(campus_topo, position, "server").paths
+        )

@@ -4,7 +4,8 @@ Subcommands::
 
     upsim casestudy [--client t1] [--printer p2] [--server printS]
         Run the built-in USI case study: print Table I, the discovered
-        paths, the UPSIM and the availability report.
+        paths for every mapping pair (filter with --service, parallelize
+        with --jobs), the UPSIM and the availability report.
 
     upsim generate --models bundle.xml --service NAME --mapping mapping.xml
         Steps 5-8 on externally-authored models; writes the UPSIM as an
@@ -30,6 +31,7 @@ import sys
 from typing import List, Optional
 
 from repro.analysis import analyze_upsim
+from repro.core.engine import discover_many
 from repro.core.mapping import ServiceMapping
 from repro.core.pathdiscovery import discover_paths
 from repro.core.pipeline import MethodologyPipeline
@@ -63,12 +65,29 @@ def build_parser() -> argparse.ArgumentParser:
     case.add_argument(
         "--mc", type=int, default=0, help="Monte-Carlo cross-check samples"
     )
+    case.add_argument(
+        "--service",
+        default=None,
+        help="only report discovered paths for this atomic service",
+    )
+    case.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel path-discovery workers (default: serial)",
+    )
 
     def add_model_args(p: argparse.ArgumentParser, with_service: bool) -> None:
         p.add_argument("--models", required=True, help="XML model bundle")
         if with_service:
             p.add_argument("--service", required=True, help="activity name")
             p.add_argument("--mapping", required=True, help="mapping XML file")
+            p.add_argument(
+                "--jobs",
+                type=int,
+                default=None,
+                help="parallel path-discovery workers (default: serial)",
+            )
 
     gen = sub.add_parser("generate", help="generate a UPSIM from model files")
     add_model_args(gen, True)
@@ -159,7 +178,7 @@ def _run_pipeline(args: argparse.Namespace):
         .set_service(service)
         .set_mapping(mapping)
     )
-    report = pipeline.run()
+    report = pipeline.run(jobs=getattr(args, "jobs", None))
     assert report.upsim is not None
     return bundle, report.upsim
 
@@ -173,9 +192,23 @@ def cmd_casestudy(args: argparse.Namespace) -> int:
     mapping = printing_mapping(args.client, args.printer, args.server)
     print(mapping_table(mapping, title="Service mapping (Table I schema):"))
     print()
-    first_pair = mapping.pairs[0]
-    path_set = discover_paths(topology, first_pair.requester, first_pair.provider)
-    print(paths_text(path_set))
+    pairs = mapping.pairs_for_service(service)
+    if args.service is not None:
+        pairs = [p for p in pairs if p.atomic_service == args.service]
+        if not pairs:
+            known = ", ".join(p.atomic_service for p in mapping.pairs)
+            raise ReproError(
+                f"no mapping pair for atomic service {args.service!r} "
+                f"(known: {known})"
+            )
+    discovered = discover_many(
+        topology,
+        [(p.requester, p.provider) for p in pairs],
+        jobs=args.jobs,
+    )
+    for pair in pairs:
+        print(f"atomic service {pair.atomic_service!r}:")
+        print(paths_text(discovered[(pair.requester, pair.provider)]))
     print()
     upsim = generate_upsim(topology, service, mapping)
     print(object_model_text(upsim.model))

@@ -31,7 +31,18 @@ from repro.core.pathdiscovery import (
     count_paths,
     discover_paths,
     discover_paths_networkx,
+    discover_paths_reference,
     iter_paths,
+    iter_paths_reference,
+)
+from repro.core.engine import (
+    CompiledTopology,
+    compile_topology,
+    discover_many,
+    engine_stats,
+    path_cache_clear,
+    path_cache_info,
+    reset_engine_stats,
 )
 from repro.core.pipeline import MethodologyPipeline, PipelineReport, StageReport
 from repro.core.upsim import UPSIM, generate_upsim, upsim_name
@@ -55,8 +66,17 @@ __all__ = [
     "PathSet",
     "discover_paths",
     "discover_paths_networkx",
+    "discover_paths_reference",
     "count_paths",
     "iter_paths",
+    "iter_paths_reference",
+    "CompiledTopology",
+    "compile_topology",
+    "discover_many",
+    "engine_stats",
+    "reset_engine_stats",
+    "path_cache_info",
+    "path_cache_clear",
     "UPSIM",
     "generate_upsim",
     "upsim_name",

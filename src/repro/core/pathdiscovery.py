@@ -10,15 +10,21 @@ complexity "reaching O(n!) for a fully interconnected graph of n nodes".
 
 This module provides:
 
-* :func:`discover_paths` — the DFS enumerator (iterative, so deep
-  tree-like peripheries cannot hit Python's recursion limit; the on-path
-  set is the paper's path-tracking mechanism), with optional depth/count
-  budgets for the combinatorial worst case;
+* :func:`discover_paths` — the all-paths enumerator (delegating to the
+  compiled engine in :mod:`repro.core.engine`: integer-ID CSR DFS with
+  block-cut-tree pruning and fingerprint-keyed memoization), with
+  optional depth/count budgets for the combinatorial worst case;
 * :func:`count_paths` — enumeration without storing paths, for the
   scalability sweeps;
+* :func:`iter_paths` — the lazy engine-backed iterator;
+* :func:`iter_paths_reference` / :func:`discover_paths_reference` — the
+  seed string-keyed DFS (iterative, so deep tree-like peripheries cannot
+  hit Python's recursion limit; the on-path set is the paper's
+  path-tracking mechanism), kept as a second oracle and as the baseline
+  the engine benchmarks measure against;
 * :func:`discover_paths_networkx` — an independent baseline built on
   :func:`networkx.all_simple_paths`, used by the test-suite to cross-check
-  the DFS on every topology family;
+  both enumerators on every topology family;
 * :class:`PathSet` — the result container, with the node/link union that
   UPSIM generation consumes (Step 8 merges paths "into a single network
   topology").
@@ -41,6 +47,8 @@ __all__ = [
     "count_paths",
     "discover_paths_networkx",
     "iter_paths",
+    "iter_paths_reference",
+    "discover_paths_reference",
 ]
 
 #: A path is the ordered tuple of visited instance names, endpoints included.
@@ -120,21 +128,23 @@ def _check_endpoints(topology: Topology, requester: str, provider: str) -> None:
             )
 
 
-def iter_paths(
+def iter_paths_reference(
     topology: Topology,
     requester: str,
     provider: str,
     *,
     max_depth: Optional[int] = None,
 ) -> Iterator[Path]:
-    """Lazily yield all simple requester→provider paths (DFS order).
+    """The seed DFS: lazily yield all simple requester→provider paths.
 
     The DFS keeps an *on-path* set — the paper's "path tracking mechanism
     to avoid live-locks within cycles" — so each node appears at most once
     per path.  ``max_depth`` bounds the number of links per path.
 
     The iteration order is deterministic: neighbors are explored in the
-    order links were added to the model.
+    order links were added to the model.  The compiled engine preserves
+    this exact order; the equivalence suite and the benchmarks use this
+    function as the seed baseline.
     """
     _check_endpoints(topology, requester, provider)
     if requester == provider:
@@ -179,6 +189,50 @@ def iter_paths(
         stack.append(iter(neighbors_of(node)))
 
 
+def discover_paths_reference(
+    topology: Topology,
+    requester: str,
+    provider: str,
+    *,
+    max_depth: Optional[int] = None,
+    max_paths: Optional[int] = None,
+) -> PathSet:
+    """Seed-DFS counterpart of :func:`discover_paths` (no compilation,
+    no pruning, no memoization) — the benchmark baseline."""
+    result = PathSet(requester, provider)
+    iterator = iter_paths_reference(
+        topology, requester, provider, max_depth=max_depth
+    )
+    for path in iterator:
+        result.paths.append(path)
+        if max_paths is not None and len(result.paths) >= max_paths:
+            # peek once so the flag truthfully reports whether paths were cut
+            if next(iterator, None) is not None:
+                result.truncated = True
+            break
+    return result
+
+
+def iter_paths(
+    topology: Topology,
+    requester: str,
+    provider: str,
+    *,
+    max_depth: Optional[int] = None,
+) -> Iterator[Path]:
+    """Lazily yield all simple requester→provider paths (DFS order).
+
+    Delegates to the compiled engine (:mod:`repro.core.engine`): the DFS
+    runs over integer ids with block-cut-tree pruning, in exactly the
+    deterministic neighbor order of the seed implementation.
+    """
+    from repro.core import engine
+
+    return engine.iterate(
+        topology, requester, provider, max_depth=max_depth
+    )
+
+
 def discover_paths(
     topology: Topology,
     requester: str,
@@ -188,6 +242,10 @@ def discover_paths(
     max_paths: Optional[int] = None,
 ) -> PathSet:
     """Enumerate all simple paths between *requester* and *provider*.
+
+    Delegates to the compiled engine, which memoizes the result keyed on
+    the topology fingerprint — repeated queries for the same pair on an
+    unchanged topology are cache hits.
 
     Parameters
     ----------
@@ -199,16 +257,15 @@ def discover_paths(
         necessary on dense graphs where the full count is factorial
         (Section V-D).
     """
-    result = PathSet(requester, provider)
-    iterator = iter_paths(topology, requester, provider, max_depth=max_depth)
-    for path in iterator:
-        result.paths.append(path)
-        if max_paths is not None and len(result.paths) >= max_paths:
-            # peek once so the flag truthfully reports whether paths were cut
-            if next(iterator, None) is not None:
-                result.truncated = True
-            break
-    return result
+    from repro.core import engine
+
+    return engine.discover(
+        topology,
+        requester,
+        provider,
+        max_depth=max_depth,
+        max_paths=max_paths,
+    )
 
 
 def count_paths(
@@ -225,15 +282,15 @@ def count_paths(
     exceeds the budget — the guard rail the scalability benchmarks use on
     the factorial families.
     """
-    count = 0
-    for _ in iter_paths(topology, requester, provider, max_depth=max_depth):
-        count += 1
-        if budget is not None and count > budget:
-            raise PathDiscoveryError(
-                f"path count between {requester!r} and {provider!r} exceeds "
-                f"budget {budget}"
-            )
-    return count
+    from repro.core import engine
+
+    return engine.count(
+        topology,
+        requester,
+        provider,
+        max_depth=max_depth,
+        budget=budget,
+    )
 
 
 def discover_paths_networkx(

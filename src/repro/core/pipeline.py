@@ -28,8 +28,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from repro.core.engine import discover_many
 from repro.core.mapping import ServiceMapping
-from repro.core.pathdiscovery import discover_paths
+from repro.core.pathdiscovery import PathSet
 from repro.core.upsim import UPSIM, generate_upsim
 from repro.errors import MappingError, ReproError
 from repro.network.topology import Topology
@@ -88,6 +89,7 @@ class MethodologyPipeline:
         self._service: Optional[CompositeService] = None
         self._mapping: Optional[ServiceMapping] = None
         self._dirty: Set[str] = set(STAGES)
+        self._path_sets: Optional[Dict[str, PathSet]] = None
         self.space: Optional[ModelSpace] = None
         self.upsim: Optional[UPSIM] = None
 
@@ -143,8 +145,15 @@ class MethodologyPipeline:
         *,
         max_depth: Optional[int] = None,
         max_paths: Optional[int] = None,
+        jobs: Optional[int] = None,
     ) -> PipelineReport:
-        """Execute the automated Steps 5–8, skipping up-to-date stages."""
+        """Execute the automated Steps 5–8, skipping up-to-date stages.
+
+        With ``jobs`` > 1, Step 7 fans the independent mapping pairs out
+        over a thread pool (:func:`repro.core.engine.discover_many`); the
+        serial default and the pair-keyed collection keep stored results
+        deterministically ordered either way.
+        """
         self._require_inputs()
         assert self._infrastructure and self._service and self._mapping
         report = PipelineReport()
@@ -188,14 +197,18 @@ class MethodologyPipeline:
         if "discover_paths" in self._dirty:
             self._clear_namespace(PATHS_NS)
             topology = Topology(self._infrastructure)
-            for pair in self._mapping.pairs_for_service(self._service):
-                path_set = discover_paths(
-                    topology,
-                    pair.requester,
-                    pair.provider,
-                    max_depth=max_depth,
-                    max_paths=max_paths,
-                )
+            pairs = self._mapping.pairs_for_service(self._service)
+            discovered = discover_many(
+                topology,
+                [(pair.requester, pair.provider) for pair in pairs],
+                max_depth=max_depth,
+                max_paths=max_paths,
+                jobs=jobs,
+            )
+            self._path_sets = {}
+            for pair in pairs:
+                path_set = discovered[(pair.requester, pair.provider)]
+                self._path_sets[pair.atomic_service] = path_set
                 store_paths(self.space, pair.atomic_service, path_set.paths)
             self._dirty.discard("discover_paths")
             report.stages.append(
@@ -204,7 +217,9 @@ class MethodologyPipeline:
         else:
             report.stages.append(StageReport("discover_paths", False, 0.0))
 
-        # Step 8: generate the UPSIM (model-space filter + object diagram)
+        # Step 8: generate the UPSIM (model-space filter + object diagram).
+        # The Step-7 PathSets are threaded through so each run enumerates
+        # every mapping pair exactly once.
         start = time.perf_counter()
         if "generate_upsim" in self._dirty:
             self.upsim = generate_upsim(
@@ -213,6 +228,7 @@ class MethodologyPipeline:
                 self._mapping,
                 max_depth=max_depth,
                 max_paths=max_paths,
+                path_sets=self._path_sets,
             )
             self._mark_upsim_entities()
             self._dirty.discard("generate_upsim")

@@ -104,8 +104,15 @@ def generate_upsim(
     *,
     max_depth: Optional[int] = None,
     max_paths: Optional[int] = None,
+    path_sets: Optional[Dict[str, PathSet]] = None,
 ) -> UPSIM:
     """Generate the UPSIM for *service* under *mapping* (Steps 7 + 8).
+
+    ``path_sets`` accepts already-discovered Step-7 results keyed by
+    atomic service (as :class:`MethodologyPipeline` supplies them), so a
+    pipeline run enumerates each mapping pair exactly once.  An entry is
+    only trusted when its endpoints match the pair's current mapping;
+    anything missing or stale is discovered here.
 
     Path discovery runs once per distinct unordered (requester, provider)
     endpoint pair and is reused for atomic services that alternate
@@ -125,11 +132,18 @@ def generate_upsim(
     pairs = mapping.pairs_for_service(service)
 
     cache: Dict[Tuple[str, str], PathSet] = {}
-    path_sets: Dict[str, PathSet] = {}
+    result_sets: Dict[str, PathSet] = {}
     for pair in pairs:
         key = (pair.requester, pair.provider)
         reverse_key = (pair.provider, pair.requester)
-        if key in cache:
+        supplied = path_sets.get(pair.atomic_service) if path_sets else None
+        if (
+            supplied is not None
+            and (supplied.requester, supplied.provider) == key
+        ):
+            discovered = supplied
+            cache.setdefault(key, supplied)
+        elif key in cache:
             discovered = cache[key]
         elif reverse_key in cache:
             source = cache[reverse_key]
@@ -154,12 +168,12 @@ def generate_upsim(
                 f"atomic service {pair.atomic_service!r}: no path between "
                 f"requester {pair.requester!r} and provider {pair.provider!r}"
             )
-        path_sets[pair.atomic_service] = discovered
+        result_sets[pair.atomic_service] = discovered
 
     # Step 8: merge into a single topology — the node-filter semantics.
     retained: Set[str] = set()
     contributions: Dict[str, Set[str]] = {}
-    for atomic_service, path_set in path_sets.items():
+    for atomic_service, path_set in result_sets.items():
         for node in path_set.nodes():
             retained.add(node)
             contributions.setdefault(node, set()).add(atomic_service)
@@ -168,6 +182,6 @@ def generate_upsim(
     return UPSIM(
         model=model,
         service_name=service.name,
-        path_sets=path_sets,
+        path_sets=result_sets,
         contributions=contributions,
     )

@@ -9,9 +9,13 @@ the single source of truth for component properties.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+import hashlib
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 import networkx as nx
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.engine import CompiledTopology
 
 from repro.errors import TopologyError
 from repro.uml.objects import InstanceSpecification, Link, ObjectModel
@@ -107,6 +111,38 @@ class Topology:
             for inst in self.model.instances
             if inst.classifier.has_stereotype(stereotype_name)
         ]
+
+    # -- identity and compilation -------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Content hash of the graph structure (nodes + links, in model
+        order).
+
+        Any mutation of the underlying object model — adding/removing an
+        instance or a link, or reordering them — changes the fingerprint.
+        The path engine keys every compiled artifact and memoized result
+        on it, so stale caches can never be served for a mutated model.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        for name in self.model.instance_names():
+            digest.update(b"\x00n")
+            digest.update(name.encode("utf-8"))
+        for a, b in self.edges():
+            digest.update(b"\x00l")
+            digest.update(a.encode("utf-8"))
+            digest.update(b"\x01")
+            digest.update(b.encode("utf-8"))
+        return digest.hexdigest()
+
+    def compiled(self) -> "CompiledTopology":
+        """The compiled integer-ID CSR view used by the path engine.
+
+        Reuses the cached compilation while :meth:`fingerprint` is
+        unchanged; recompiles transparently after a model mutation.
+        """
+        from repro.core.engine import compile_topology
+
+        return compile_topology(self)
 
     # -- conversions --------------------------------------------------------------
 

@@ -1,0 +1,308 @@
+"""Tests for the compiled path-discovery engine.
+
+Three layers of guarantees:
+
+* **equivalence** — on every generator family the engine returns exactly
+  the seed DFS's path sequence, and the same path *set* as the
+  independent networkx oracle;
+* **caching** — memoized PathSets are keyed on the topology fingerprint,
+  so mutations invalidate implicitly and results are never stale;
+* **pipeline economy** — one pipeline run enumerates each mapping pair
+  exactly once (Step 8 reuses the Step-7 results).
+"""
+
+import pytest
+
+from repro.core import engine
+from repro.core.engine import (
+    CompiledTopology,
+    compile_topology,
+    discover_many,
+    engine_stats,
+    path_cache_clear,
+    reset_engine_stats,
+)
+from repro.core.mapping import ServiceMapping
+from repro.core.pathdiscovery import (
+    count_paths,
+    discover_paths,
+    discover_paths_networkx,
+    discover_paths_reference,
+    iter_paths,
+)
+from repro.core.pipeline import MethodologyPipeline
+from repro.errors import PathDiscoveryError
+from repro.network.generators import (
+    balanced_tree,
+    campus,
+    complete,
+    endpoints,
+    erdos_renyi,
+    ladder,
+    ring,
+)
+from repro.network.topology import Topology
+
+
+def _families():
+    yield "tree", balanced_tree(2, 4)
+    yield "tree-wide", balanced_tree(3, 3)
+    yield "ring", ring(12)
+    yield "ladder", ladder(6)
+    yield "complete", complete(6)
+    yield "campus", campus(dist_switches=3, edges_per_dist=2, clients_per_edge=2)
+    yield "campus-dual", campus(
+        dist_switches=3, edges_per_dist=2, clients_per_edge=2, dual_homed=True
+    )
+    for seed in (1, 2, 7, 13, 42):
+        yield f"er-{seed}", erdos_renyi(16, 0.2, seed=seed)
+
+
+FAMILIES = list(_families())
+FAMILY_IDS = [name for name, _ in FAMILIES]
+FAMILY_TOPOS = [Topology(builder.object_model) for _, builder in FAMILIES]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    path_cache_clear()
+    reset_engine_stats()
+    yield
+    path_cache_clear()
+
+
+@pytest.mark.parametrize("topo", FAMILY_TOPOS, ids=FAMILY_IDS)
+@pytest.mark.parametrize("max_depth", [None, 3, 5])
+class TestEquivalence:
+    def test_matches_networkx_set(self, topo, max_depth):
+        oracle = discover_paths_networkx(
+            topo, "client", "server", max_depth=max_depth
+        )
+        result = engine.discover(
+            topo, "client", "server", max_depth=max_depth, use_cache=False
+        )
+        assert set(result.paths) == set(oracle.paths)
+
+    def test_matches_reference_sequence(self, topo, max_depth):
+        reference = discover_paths_reference(
+            topo, "client", "server", max_depth=max_depth
+        )
+        result = engine.discover(
+            topo, "client", "server", max_depth=max_depth, use_cache=False
+        )
+        assert result.paths == reference.paths
+        assert result.truncated == reference.truncated
+
+    def test_count_matches(self, topo, max_depth):
+        reference = discover_paths_reference(
+            topo, "client", "server", max_depth=max_depth
+        )
+        assert (
+            engine.count(topo, "client", "server", max_depth=max_depth)
+            == reference.count
+        )
+
+
+@pytest.mark.parametrize("topo", FAMILY_TOPOS, ids=FAMILY_IDS)
+def test_truncation_matches_reference(topo):
+    reference = discover_paths_reference(topo, "client", "server", max_paths=2)
+    result = engine.discover(
+        topo, "client", "server", max_paths=2, use_cache=False
+    )
+    assert result.paths == reference.paths
+    assert result.truncated == reference.truncated
+
+
+@pytest.mark.parametrize("topo", FAMILY_TOPOS, ids=FAMILY_IDS)
+def test_iterate_is_lazy_and_equivalent(topo):
+    iterator = engine.iterate(topo, "client", "server")
+    reference = discover_paths_reference(topo, "client", "server")
+    assert list(iterator) == reference.paths
+
+
+def test_public_api_delegates_to_engine(usi_topo):
+    """discover_paths/iter_paths/count_paths are the engine, same results."""
+    reference = discover_paths_reference(usi_topo, "t1", "printS")
+    assert discover_paths(usi_topo, "t1", "printS").paths == reference.paths
+    assert list(iter_paths(usi_topo, "t1", "printS")) == reference.paths
+    assert count_paths(usi_topo, "t1", "printS") == reference.count
+
+
+class TestCompiledTopology:
+    def test_fingerprint_is_stable(self, usi_topo):
+        assert usi_topo.fingerprint() == usi_topo.fingerprint()
+
+    def test_compile_is_reused_for_unchanged_topology(self, usi_topo):
+        first = compile_topology(usi_topo)
+        second = compile_topology(usi_topo)
+        assert first is second
+
+    def test_relevant_mask_is_exact(self):
+        """Masked-in vertices are precisely those on some simple path."""
+        topo = Topology(
+            campus(dist_switches=2, edges_per_dist=2, clients_per_edge=2)
+            .object_model
+        )
+        compiled = compile_topology(topo)
+        s = compiled.node_id("client")
+        t = compiled.node_id("server")
+        mask = compiled.relevant_mask(s, t)
+        on_some_path = set()
+        for path in discover_paths_networkx(topo, "client", "server"):
+            on_some_path.update(path)
+        masked = {compiled.names[i] for i in range(compiled.n) if mask[i]}
+        assert masked == on_some_path
+
+    def test_segments_chain_multiplies_counts(self):
+        """client->edge->dist->core-block->...: bridges factor out and the
+        total count is the product of per-segment counts."""
+        topo = Topology(
+            campus(dist_switches=2, edges_per_dist=2, clients_per_edge=2)
+            .object_model
+        )
+        compiled = compile_topology(topo)
+        s = compiled.node_id("client")
+        t = compiled.node_id("server")
+        segments = compiled.segments(s, t)
+        assert segments is not None
+        assert len(segments) > 1  # the periphery contributes bridge segments
+        assert segments[0][0] == s
+        assert segments[-1][1] == t
+        for (_, exit_a, _), (entry_b, _, _) in zip(segments, segments[1:]):
+            assert exit_a == entry_b  # joined at cut vertices
+        assert compiled.count_simple_paths(s, t) == len(
+            discover_paths_networkx(topo, "client", "server").paths
+        )
+
+    def test_disconnected_pair_yields_no_paths(self):
+        from repro.network.builder import TopologyBuilder
+        from repro.network.generators import generic_specs
+
+        builder = TopologyBuilder("split")
+        for spec in generic_specs():
+            builder.device_type(spec)
+        builder.add("client", "GenClient")
+        builder.add("server", "GenServer")
+        builder.add("lonely", "EdgeSwitch")
+        builder.connect("client", "lonely")
+        topo = Topology(builder.object_model)
+        assert engine.discover(topo, "client", "server").paths == []
+        assert engine.count(topo, "client", "server") == 0
+
+
+class TestMemoization:
+    def test_repeated_query_hits_cache(self, usi_topo):
+        engine.discover(usi_topo, "t1", "printS")
+        before = engine_stats()
+        again = engine.discover(usi_topo, "t1", "printS")
+        after = engine_stats()
+        assert after["enumerations"] == before["enumerations"]  # no new DFS
+        assert after["path_cache_hits"] == before["path_cache_hits"] + 1
+        assert again.paths == discover_paths_reference(usi_topo, "t1", "printS").paths
+
+    def test_cached_result_is_a_fresh_pathset(self, usi_topo):
+        first = engine.discover(usi_topo, "t1", "printS")
+        first.paths.append(("bogus",))
+        second = engine.discover(usi_topo, "t1", "printS")
+        assert ("bogus",) not in second.paths
+
+    def test_mutation_invalidates_via_fingerprint(self):
+        builder = campus(dist_switches=2, edges_per_dist=2, clients_per_edge=2)
+        topo = Topology(builder.object_model)
+        stale = engine.discover(topo, "client", "server")
+        old_fingerprint = topo.fingerprint()
+        builder.connect("edge0_0", "edge1_0")  # live mutation of the model
+        assert topo.fingerprint() != old_fingerprint
+        fresh = engine.discover(topo, "client", "server")
+        oracle = discover_paths_networkx(topo, "client", "server")
+        assert set(fresh.paths) == set(oracle.paths)
+        assert len(fresh.paths) > len(stale.paths)
+
+    def test_use_cache_false_bypasses(self, usi_topo):
+        engine.discover(usi_topo, "t1", "printS")
+        before = engine_stats()
+        engine.discover(usi_topo, "t1", "printS", use_cache=False)
+        after = engine_stats()
+        assert after["enumerations"] == before["enumerations"] + 1
+
+    def test_budget_exceeded_raises(self):
+        topo = Topology(complete(6).object_model)
+        with pytest.raises(PathDiscoveryError, match="budget"):
+            engine.count(topo, "client", "server", budget=3)
+
+
+class TestDiscoverMany:
+    PAIRS = [("t1", "printS"), ("p2", "printS"), ("t1", "printS")]
+
+    def test_serial_equals_parallel(self, usi_topo):
+        serial = discover_many(usi_topo, self.PAIRS, jobs=1, use_cache=False)
+        path_cache_clear()
+        parallel = discover_many(usi_topo, self.PAIRS, jobs=4, use_cache=False)
+        assert list(serial) == list(parallel)
+        for key in serial:
+            assert serial[key].paths == parallel[key].paths
+
+    def test_duplicate_pairs_enumerate_once(self, usi_topo):
+        reset_engine_stats()
+        discover_many(usi_topo, self.PAIRS, use_cache=False)
+        assert engine_stats()["enumerations"] == 2  # two unique pairs
+
+
+class TestPipelineSingleEnumeration:
+    def test_one_enumeration_per_pair_per_run(
+        self, usi, printing, table1, monkeypatch
+    ):
+        """Step 8 must reuse Step 7's PathSets: the pipeline performs
+        exactly one enumeration per unique mapping pair and never falls
+        back to ad-hoc discovery inside generate_upsim."""
+
+        def _forbidden(*args, **kwargs):
+            raise AssertionError(
+                "generate_upsim re-discovered paths during a pipeline run"
+            )
+
+        monkeypatch.setattr(
+            "repro.core.upsim.discover_paths", _forbidden
+        )
+        pipeline = (
+            MethodologyPipeline()
+            .set_infrastructure(usi)
+            .set_service(printing)
+            .set_mapping(table1)
+        )
+        path_cache_clear()
+        reset_engine_stats()
+        report = pipeline.run()
+        unique_pairs = {
+            (pair.requester, pair.provider)
+            for pair in table1.pairs_for_service(printing)
+        }
+        assert engine_stats()["enumerations"] == len(unique_pairs)
+        assert report.upsim is not None
+        assert report.upsim.component_count > 0
+
+    def test_pipeline_upsim_unchanged_by_threading(self, usi, printing, table1):
+        serial = (
+            MethodologyPipeline()
+            .set_infrastructure(usi)
+            .set_service(printing)
+            .set_mapping(table1)
+            .run()
+        )
+        threaded = (
+            MethodologyPipeline()
+            .set_infrastructure(usi)
+            .set_service(printing)
+            .set_mapping(table1)
+            .run(jobs=4)
+        )
+        assert serial.upsim is not None and threaded.upsim is not None
+        assert (
+            serial.upsim.signatures() == threaded.upsim.signatures()
+        )
+        assert serial.upsim.path_sets.keys() == threaded.upsim.path_sets.keys()
+        for key in serial.upsim.path_sets:
+            assert (
+                serial.upsim.path_sets[key].paths
+                == threaded.upsim.path_sets[key].paths
+            )
