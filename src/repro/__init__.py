@@ -33,6 +33,9 @@ Subpackages
     responsiveness, performability.
 ``repro.analysis``
     UPSIM → dependability-model transformations and reports.
+``repro.resilience``
+    Fault injection (copy-on-write topology overlays), the
+    degradation-tolerant pipeline runner, and fault campaigns.
 ``repro.casestudy``
     The USI campus network and printing service of Section VI.
 ``repro.viz``
@@ -42,15 +45,18 @@ Subpackages
 from repro.errors import (
     AnalysisError,
     ConstraintViolationError,
+    FaultPlanError,
     MappingError,
     ModelError,
     ModelSpaceError,
     PathDiscoveryError,
+    PathDiscoveryTimeout,
     ReproError,
     SerializationError,
     ServiceError,
     StereotypeError,
     TopologyError,
+    UnreachablePairError,
 )
 
 __version__ = "1.0.0"
@@ -67,5 +73,8 @@ __all__ = [
     "ServiceError",
     "TopologyError",
     "PathDiscoveryError",
+    "PathDiscoveryTimeout",
+    "UnreachablePairError",
     "AnalysisError",
+    "FaultPlanError",
 ]

@@ -17,7 +17,12 @@ from repro.analysis.transformations import (
     service_rbd,
 )
 from repro.analysis.sla import SLACheck, UpgradeOption, check_sla, improvement_plan
-from repro.analysis.whatif import FailureImpact, failure_impact, impact_table
+from repro.analysis.whatif import (
+    FailureImpact,
+    combined_failure_impact,
+    failure_impact,
+    impact_table,
+)
 
 __all__ = [
     "SLACheck",
@@ -26,6 +31,7 @@ __all__ = [
     "improvement_plan",
     "FailureImpact",
     "failure_impact",
+    "combined_failure_impact",
     "impact_table",
     "PlacementScore",
     "rank_providers",

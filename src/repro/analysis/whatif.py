@@ -27,7 +27,12 @@ from repro.analysis.transformations import (
 from repro.core.upsim import UPSIM
 from repro.errors import AnalysisError
 
-__all__ = ["FailureImpact", "failure_impact", "impact_table"]
+__all__ = [
+    "FailureImpact",
+    "failure_impact",
+    "combined_failure_impact",
+    "impact_table",
+]
 
 
 @dataclass(frozen=True)
@@ -54,9 +59,67 @@ class FailureImpact:
 
 
 def _surviving_paths(
-    path_sets: Sequence[FrozenSet[str]], component: str
+    path_sets: Sequence[FrozenSet[str]], components: FrozenSet[str]
 ) -> List[FrozenSet[str]]:
-    return [path for path in path_sets if component not in path]
+    return [path for path in path_sets if not (path & components)]
+
+
+def combined_failure_impact(
+    upsim: UPSIM,
+    components: Sequence[str],
+    *,
+    include_links: bool = True,
+    availabilities: Optional[Dict[str, float]] = None,
+) -> FailureImpact:
+    """Assess *components* (nodes and/or ``a|b`` link names) all being down
+    at once — the k-fault scenario a resilience campaign sweeps.
+
+    With an empty sequence this degenerates to the nominal evaluation of
+    the given availability table (useful for degrade-only fault plans,
+    where nothing is structurally down but the table carries overridden
+    MTBF/MTTR values).
+    """
+    table = (
+        dict(availabilities)
+        if availabilities is not None
+        else component_availabilities(upsim.model, include_links=include_links)
+    )
+    down = frozenset(components)
+    for component in down:
+        if component not in table:
+            raise AnalysisError(
+                f"component {component!r} is not part of UPSIM "
+                f"{upsim.model.name!r}"
+            )
+
+    disconnected: List[str] = []
+    degraded: List[str] = []
+    if down:
+        for atomic_service, path_set in upsim.path_sets.items():
+            sets = pair_path_sets(path_set, include_links=include_links)
+            surviving = _surviving_paths(sets, down)
+            if not surviving:
+                disconnected.append(atomic_service)
+            elif len(surviving) < len(sets):
+                degraded.append(atomic_service)
+
+    groups = service_path_set_groups(upsim, include_links=include_links)
+    baseline = system_availability(groups, table)
+    if down:
+        forced = dict(table)
+        for component in down:
+            forced[component] = 0.0
+        conditional = system_availability(groups, forced)
+    else:
+        conditional = baseline
+
+    return FailureImpact(
+        component="+".join(sorted(down)),
+        disconnected_services=tuple(disconnected),
+        degraded_services=tuple(degraded),
+        conditional_availability=conditional,
+        baseline_availability=baseline,
+    )
 
 
 def failure_impact(
@@ -68,39 +131,11 @@ def failure_impact(
 ) -> FailureImpact:
     """Assess the impact of *component* (a node or ``a|b`` link name) being
     down on every atomic service of the UPSIM."""
-    table = (
-        dict(availabilities)
-        if availabilities is not None
-        else component_availabilities(upsim.model, include_links=include_links)
-    )
-    if component not in table:
-        raise AnalysisError(
-            f"component {component!r} is not part of UPSIM "
-            f"{upsim.model.name!r}"
-        )
-
-    disconnected: List[str] = []
-    degraded: List[str] = []
-    for atomic_service, path_set in upsim.path_sets.items():
-        sets = pair_path_sets(path_set, include_links=include_links)
-        surviving = _surviving_paths(sets, component)
-        if not surviving:
-            disconnected.append(atomic_service)
-        elif len(surviving) < len(sets):
-            degraded.append(atomic_service)
-
-    groups = service_path_set_groups(upsim, include_links=include_links)
-    baseline = system_availability(groups, table)
-    forced = dict(table)
-    forced[component] = 0.0
-    conditional = system_availability(groups, forced)
-
-    return FailureImpact(
-        component=component,
-        disconnected_services=tuple(disconnected),
-        degraded_services=tuple(degraded),
-        conditional_availability=conditional,
-        baseline_availability=baseline,
+    return combined_failure_impact(
+        upsim,
+        (component,),
+        include_links=include_links,
+        availabilities=availabilities,
     )
 
 

@@ -20,8 +20,37 @@ Subcommands::
     upsim validate --models bundle.xml
         Well-formedness constraint check of the infrastructure model.
 
+    upsim campaign [--k 2] [--faults crash:c1 ...] [--json]
+        Fault-injection campaign over the case-study service: sweep
+        single- and k-fault combinations, rank by user-perceived impact.
+
 Model files use the XML dialect of :mod:`repro.uml.xmi`; mapping files use
 the Figure 3 schema of :mod:`repro.core.mapping`.
+
+Exit codes
+----------
+Every :class:`~repro.errors.ReproError` subclass maps to a distinct
+non-zero exit code with a one-line ``error:`` message (no traceback), so
+scripts can branch on the failure class:
+
+====  ========================
+code  failure
+====  ========================
+   0  success
+   1  ``validate`` found constraint violations / ``sla`` not met
+   2  other error (generic :class:`ReproError`, ``OSError``, usage)
+   3  :class:`ModelError` (incl. constraint/stereotype violations)
+   4  :class:`SerializationError`
+   5  :class:`ModelSpaceError`
+   6  :class:`MappingError`
+   7  :class:`ServiceError`
+   8  :class:`TopologyError`
+   9  :class:`PathDiscoveryTimeout`
+  10  :class:`UnreachablePairError`
+  11  :class:`PathDiscoveryError`
+  12  :class:`AnalysisError`
+  13  :class:`FaultPlanError`
+====  ========================
 """
 
 from __future__ import annotations
@@ -35,7 +64,20 @@ from repro.core.engine import discover_many
 from repro.core.mapping import ServiceMapping
 from repro.core.pathdiscovery import discover_paths
 from repro.core.pipeline import MethodologyPipeline
-from repro.errors import ReproError
+from repro.errors import (
+    AnalysisError,
+    FaultPlanError,
+    MappingError,
+    ModelError,
+    ModelSpaceError,
+    PathDiscoveryError,
+    PathDiscoveryTimeout,
+    ReproError,
+    SerializationError,
+    ServiceError,
+    TopologyError,
+    UnreachablePairError,
+)
 from repro.network.topology import Topology
 from repro.services.composite import CompositeService
 from repro.uml import xmi
@@ -47,7 +89,31 @@ from repro.viz import (
     paths_text,
 )
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_CODES", "exit_code_for"]
+
+#: most-derived classes first — the first ``isinstance`` match wins, so a
+#: :class:`PathDiscoveryTimeout` maps to 9, not to its base class's 11.
+EXIT_CODES = (
+    (PathDiscoveryTimeout, 9),
+    (UnreachablePairError, 10),
+    (PathDiscoveryError, 11),
+    (SerializationError, 4),
+    (ModelSpaceError, 5),
+    (MappingError, 6),
+    (ServiceError, 7),
+    (TopologyError, 8),
+    (AnalysisError, 12),
+    (FaultPlanError, 13),
+    (ModelError, 3),
+)
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Map an exception to the CLI exit code documented above."""
+    for exc_class, code in EXIT_CODES:
+        if isinstance(exc, exc_class):
+            return code
+    return 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,6 +141,46 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="parallel path-discovery workers (default: serial)",
+    )
+    case.add_argument(
+        "--inject",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="inject a fault (repeatable), e.g. crash:c1, cut:e1|d1, "
+        "degrade:c2:mtbf=100; runs in degradation-tolerant mode and "
+        "reports per-pair diagnostics plus the partial UPSIM",
+    )
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="fault-injection campaign over the case-study service",
+    )
+    campaign.add_argument("--client", default="t1")
+    campaign.add_argument("--printer", default="p2")
+    campaign.add_argument("--server", default="printS")
+    campaign.add_argument(
+        "--k", type=int, default=1, help="sweep 1..k simultaneous faults"
+    )
+    campaign.add_argument(
+        "--links", action="store_true", help="also inject link cuts"
+    )
+    campaign.add_argument(
+        "--faults",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="explicit candidate fault (repeatable); default: one crash "
+        "per UPSIM component",
+    )
+    campaign.add_argument(
+        "--ticks", type=int, default=4, help="schedule ticks for flap faults"
+    )
+    campaign.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    campaign.add_argument(
+        "--limit", type=int, default=10, help="rows in the text ranking"
     )
 
     def add_model_args(p: argparse.ArgumentParser, with_service: bool) -> None:
@@ -185,9 +291,20 @@ def _run_pipeline(args: argparse.Namespace):
 
 def cmd_casestudy(args: argparse.Namespace) -> int:
     from repro.casestudy import printing_mapping, printing_service, usi_topology
+    from repro.core.pathdiscovery import PathSet
     from repro.core.upsim import generate_upsim
 
     topology = usi_topology()
+    plan = None
+    if args.inject:
+        from repro.resilience import FaultPlan
+
+        plan = FaultPlan.parse(args.inject)
+        if not plan.is_resolved:
+            plan = plan.at(0)
+        topology = plan.apply(topology)
+        print(f"injected faults: {', '.join(plan.specs())}")
+        print()
     service = printing_service()
     mapping = printing_mapping(args.client, args.printer, args.server)
     print(mapping_table(mapping, title="Service mapping (Table I schema):"))
@@ -201,19 +318,71 @@ def cmd_casestudy(args: argparse.Namespace) -> int:
                 f"no mapping pair for atomic service {args.service!r} "
                 f"(known: {known})"
             )
-    discovered = discover_many(
-        topology,
-        [(p.requester, p.provider) for p in pairs],
-        jobs=args.jobs,
-    )
+    endpoint_pairs = [(p.requester, p.provider) for p in pairs]
+    if plan is None:
+        discovered = discover_many(topology, endpoint_pairs, jobs=args.jobs)
+        supplied = None
+    else:
+        from repro.resilience import ResiliencePolicy, discover_many_resilient
+
+        outcome = discover_many_resilient(
+            topology,
+            endpoint_pairs,
+            policy=ResiliencePolicy(jobs=args.jobs),
+        )
+        discovered = {
+            pair: outcome.path_sets.get(pair, PathSet(pair[0], pair[1]))
+            for pair in dict.fromkeys(endpoint_pairs)
+        }
+        print("pair diagnostics:")
+        for diagnostic in outcome.diagnostics:
+            print(f"  {diagnostic.describe()}")
+        print()
+        supplied = {
+            p.atomic_service: discovered[(p.requester, p.provider)]
+            for p in pairs
+        }
     for pair in pairs:
         print(f"atomic service {pair.atomic_service!r}:")
         print(paths_text(discovered[(pair.requester, pair.provider)]))
     print()
-    upsim = generate_upsim(topology, service, mapping)
+    upsim = generate_upsim(
+        topology,
+        service,
+        mapping,
+        path_sets=supplied,
+        partial=plan is not None,
+    )
     print(object_model_text(upsim.model))
     print()
     print(analyze_upsim(upsim, montecarlo_samples=args.mc).to_text())
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.casestudy import printing_mapping, printing_service, usi_topology
+    from repro.resilience import run_campaign
+
+    report = run_campaign(
+        usi_topology(),
+        printing_service(),
+        printing_mapping(args.client, args.printer, args.server),
+        candidates=args.faults,
+        k=args.k,
+        ticks=args.ticks,
+        include_links=args.links,
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.to_text(limit=args.limit))
+        spofs = report.single_points_of_failure()
+        if spofs:
+            print()
+            print(
+                "single points of failure: "
+                + ", ".join(" + ".join(r.faults) for r in spofs)
+            )
     return 0
 
 
@@ -392,6 +561,7 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "casestudy": cmd_casestudy,
+    "campaign": cmd_campaign,
     "generate": cmd_generate,
     "paths": cmd_paths,
     "analyze": cmd_analyze,
@@ -411,7 +581,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _COMMANDS[args.command](args)
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1048,6 +1048,7 @@ def discover_many(
     max_paths: Optional[int] = None,
     jobs: Optional[int] = None,
     use_cache: bool = True,
+    return_exceptions: bool = False,
 ) -> Dict[Tuple[str, str], PathSet]:
     """Discover paths for many (requester, provider) pairs.
 
@@ -1055,20 +1056,39 @@ def discover_many(
     pairs fan out over a thread pool (the compiled arrays are shared and
     read-only); the result dict is keyed and built in first-seen pair
     order either way, so stored results stay deterministic.
+
+    A failing worker never surfaces as a bare future error: the raised
+    :class:`PathDiscoveryError` names the (requester, provider) pair that
+    failed.  With ``return_exceptions=True`` (the mode the resilient
+    runner builds on) no worker failure raises at all — the result dict
+    maps each failed pair to its exception instance instead of a
+    :class:`PathSet`, so one bad pair cannot abort the whole batch.
     """
     unique: List[Tuple[str, str]] = list(dict.fromkeys(tuple(p) for p in pairs))
     compiled = compile_topology(topology)
     compiled.ensure_structure()  # share one decomposition across workers
 
-    def run_one(pair: Tuple[str, str]) -> PathSet:
-        return discover(
-            topology,
-            pair[0],
-            pair[1],
-            max_depth=max_depth,
-            max_paths=max_paths,
-            use_cache=use_cache,
-        )
+    def run_one(pair: Tuple[str, str]):
+        try:
+            return discover(
+                topology,
+                pair[0],
+                pair[1],
+                max_depth=max_depth,
+                max_paths=max_paths,
+                use_cache=use_cache,
+            )
+        except Exception as exc:
+            if return_exceptions:
+                return exc
+            if isinstance(exc, PathDiscoveryError):
+                raise PathDiscoveryError(
+                    f"pair ({pair[0]!r}, {pair[1]!r}): {exc}"
+                ) from exc
+            raise PathDiscoveryError(
+                f"pair ({pair[0]!r}, {pair[1]!r}): discovery worker failed "
+                f"with {type(exc).__name__}: {exc}"
+            ) from exc
 
     if jobs is not None and jobs > 1 and len(unique) > 1:
         with ThreadPoolExecutor(max_workers=jobs) as executor:

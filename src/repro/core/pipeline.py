@@ -15,24 +15,37 @@ that depend on it, reproducing the paper's dynamicity analysis
   untouched;
 * changing the **infrastructure** (topology change) re-runs Steps 5–8;
 * substituting the **service description** re-runs the service import and
-  Steps 6–8 but not the infrastructure import.
+  Steps 6–8 but not the infrastructure import;
+* changing the **fault plan** (:meth:`set_fault_plan`) re-runs Steps 7–8
+  on a copy-on-write overlay — the cheap path for "what does the UPSIM
+  look like when switch S3 is down?".
 
 Every :meth:`run` returns a :class:`PipelineReport` listing, per stage,
 whether it executed or was reused from cache, and how long it took — the
 quantity benchmark ``test_bench_dynamicity.py`` sweeps.
+
+Failure semantics.  The default is **strict**: any failing stage raises,
+and an unreachable mapping pair aborts Step 8 — exactly the seed
+behavior.  Passing ``resilience=ResiliencePolicy(...)`` switches to
+**graceful degradation**: stages are error-isolated (a failure is
+recorded on the :class:`StageReport` and downstream stages are skipped,
+never crashed into), Step 7 runs under per-pair timeouts and bounded
+retries, unreachable or stalled pairs become structured
+:class:`~repro.resilience.runner.PairDiagnostic` records on the report,
+and Step 8 produces a *partial* UPSIM covering the reachable pairs.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, TYPE_CHECKING
 
 from repro.core.engine import discover_many
 from repro.core.mapping import ServiceMapping
 from repro.core.pathdiscovery import PathSet
 from repro.core.upsim import UPSIM, generate_upsim
-from repro.errors import MappingError, ReproError
+from repro.errors import MappingError, ReproError, UnreachablePairError
 from repro.network.topology import Topology
 from repro.services.composite import CompositeService
 from repro.uml.objects import ObjectModel
@@ -49,6 +62,10 @@ from repro.vpm.modelspace import ModelSpace
 from repro.vpm.patterns import Pattern
 from repro.vpm.transform import Transformation
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import at load
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.runner import PairDiagnostic, ResiliencePolicy
+
 __all__ = ["MethodologyPipeline", "PipelineReport", "StageReport"]
 
 #: Automated stages in execution order (paper step numbers 5-8).
@@ -62,6 +79,13 @@ class StageReport:
     stage: str
     executed: bool
     seconds: float
+    #: failure description when the stage failed or was skipped in
+    #: resilient mode (``None`` on success or cache reuse)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 @dataclass
@@ -70,12 +94,23 @@ class PipelineReport:
 
     stages: List[StageReport] = field(default_factory=list)
     upsim: Optional[UPSIM] = None
+    #: per-pair discovery outcomes (resilient runs; empty when strict)
+    diagnostics: List["PairDiagnostic"] = field(default_factory=list)
+    #: True when the run degraded: a stage failed, or at least one
+    #: mapping pair contributed no paths to the generated UPSIM
+    partial: bool = False
 
     def executed_stages(self) -> List[str]:
         return [s.stage for s in self.stages if s.executed]
 
     def reused_stages(self) -> List[str]:
-        return [s.stage for s in self.stages if not s.executed]
+        return [s.stage for s in self.stages if not s.executed and s.ok]
+
+    def failed_stages(self) -> List[str]:
+        return [s.stage for s in self.stages if s.error is not None]
+
+    def unreachable_pairs(self) -> List["PairDiagnostic"]:
+        return [d for d in self.diagnostics if not d.ok]
 
     def total_seconds(self) -> float:
         return sum(s.seconds for s in self.stages if s.executed)
@@ -88,8 +123,12 @@ class MethodologyPipeline:
         self._infrastructure: Optional[ObjectModel] = None
         self._service: Optional[CompositeService] = None
         self._mapping: Optional[ServiceMapping] = None
+        self._fault_plan: Optional["FaultPlan"] = None
+        self._fault_tick: Optional[int] = None
         self._dirty: Set[str] = set(STAGES)
         self._path_sets: Optional[Dict[str, PathSet]] = None
+        self._diagnostics: List["PairDiagnostic"] = []
+        self._discovery_mode: Optional[str] = None
         self.space: Optional[ModelSpace] = None
         self.upsim: Optional[UPSIM] = None
 
@@ -122,6 +161,35 @@ class MethodologyPipeline:
         self._dirty |= {"import_mapping", "discover_paths", "generate_upsim"}
         return self
 
+    def set_fault_plan(
+        self,
+        plan: Optional["FaultPlan"],
+        *,
+        tick: Optional[int] = None,
+    ) -> "MethodologyPipeline":
+        """Inject (or clear, with ``None``) a fault plan for Steps 7–8.
+
+        The infrastructure model is never touched: discovery and UPSIM
+        generation run on a copy-on-write
+        :class:`~repro.resilience.overlay.FaultOverlayTopology`, so only
+        Steps 7–8 are invalidated — the same cheap path as a mapping
+        change.  *plan* also accepts ``"crash:c1"``-style spec strings or
+        an iterable of them; *tick* resolves flapping schedules.
+        """
+        if plan is not None:
+            from repro.resilience.faults import FaultPlan
+
+            if not isinstance(plan, FaultPlan):
+                plan = FaultPlan.parse(plan)
+        self._fault_plan = plan
+        self._fault_tick = tick
+        self._dirty |= {"discover_paths", "generate_upsim"}
+        return self
+
+    @property
+    def fault_plan(self) -> Optional["FaultPlan"]:
+        return self._fault_plan
+
     # -- Steps 5-8: automation ---------------------------------------------------
 
     def _require_inputs(self) -> None:
@@ -140,12 +208,21 @@ class MethodologyPipeline:
                 f"set_* methods (methodology Steps 1-4)"
             )
 
+    def _topology(self) -> Topology:
+        """The analyzed topology view: nominal, or the fault overlay."""
+        assert self._infrastructure is not None
+        topology = Topology(self._infrastructure)
+        if self._fault_plan is not None and len(self._fault_plan):
+            return self._fault_plan.apply(topology, tick=self._fault_tick)
+        return topology
+
     def run(
         self,
         *,
         max_depth: Optional[int] = None,
         max_paths: Optional[int] = None,
         jobs: Optional[int] = None,
+        resilience: Optional["ResiliencePolicy"] = None,
     ) -> PipelineReport:
         """Execute the automated Steps 5–8, skipping up-to-date stages.
 
@@ -153,22 +230,79 @@ class MethodologyPipeline:
         over a thread pool (:func:`repro.core.engine.discover_many`); the
         serial default and the pair-keyed collection keep stored results
         deterministically ordered either way.
+
+        ``resilience`` switches failure semantics from strict (raise on
+        the first failing stage or unreachable pair) to graceful
+        degradation — see the module docstring.  ``resilience.jobs``
+        overrides *jobs* when set.
         """
         self._require_inputs()
         assert self._infrastructure and self._service and self._mapping
+
+        # Strict and resilient discovery have different outputs (the latter
+        # degrades unreachable pairs to empty PathSets and records
+        # diagnostics), so cached Step-7 results do not carry across modes.
+        mode = "strict" if resilience is None else "resilient"
+        if mode != self._discovery_mode:
+            self._dirty |= {"discover_paths", "generate_upsim"}
+            self._discovery_mode = mode
+
         report = PipelineReport()
+
+        if resilience is None:
+            self._run_stages(report, max_depth, max_paths, jobs, None)
+            report.upsim = self.upsim
+            return report
+
+        # resilient mode: per-stage error isolation — a failing stage is
+        # recorded, its dependents are skipped, and the report returns
+        try:
+            self._run_stages(report, max_depth, max_paths, jobs, resilience)
+        except ReproError as exc:
+            failed = (
+                report.stages[-1].stage
+                if report.stages
+                else "import_uml"
+            )
+            if report.stages and report.stages[-1].error is None:
+                report.stages[-1].error = str(exc)
+                report.stages[-1].executed = True
+            for stage in STAGES[STAGES.index(failed) + 1 :]:
+                report.stages.append(
+                    StageReport(
+                        stage,
+                        False,
+                        0.0,
+                        error=f"skipped: upstream stage {failed!r} failed",
+                    )
+                )
+            report.partial = True
+        report.diagnostics = list(self._diagnostics)
+        if report.unreachable_pairs() or report.failed_stages():
+            report.partial = True
+        report.upsim = self.upsim
+        return report
+
+    def _run_stages(
+        self,
+        report: PipelineReport,
+        max_depth: Optional[int],
+        max_paths: Optional[int],
+        jobs: Optional[int],
+        resilience: Optional["ResiliencePolicy"],
+    ) -> None:
+        assert self._infrastructure and self._service and self._mapping
 
         # Step 5: import UML models into the model space
         start = time.perf_counter()
         if "import_uml" in self._dirty:
+            report.stages.append(StageReport("import_uml", True, 0.0))
             self.space = ModelSpace()
             importer = UMLImporter(self.space)
             importer.import_object_model(self._infrastructure)
             importer.import_activity(self._service.activity)
             self._dirty.discard("import_uml")
-            report.stages.append(
-                StageReport("import_uml", True, time.perf_counter() - start)
-            )
+            report.stages[-1].seconds = time.perf_counter() - start
         else:
             report.stages.append(StageReport("import_uml", False, 0.0))
         assert self.space is not None
@@ -176,6 +310,7 @@ class MethodologyPipeline:
         # Step 6: import the service mapping
         start = time.perf_counter()
         if "import_mapping" in self._dirty:
+            report.stages.append(StageReport("import_mapping", True, 0.0))
             self._clear_namespace(MAPPING_NS)
             problems = self._mapping.validate_against(Topology(self._infrastructure))
             if problems:
@@ -186,34 +321,55 @@ class MethodologyPipeline:
                 _RelevantPairs(self._mapping.pairs_for_service(self._service))
             )
             self._dirty.discard("import_mapping")
-            report.stages.append(
-                StageReport("import_mapping", True, time.perf_counter() - start)
-            )
+            report.stages[-1].seconds = time.perf_counter() - start
         else:
             report.stages.append(StageReport("import_mapping", False, 0.0))
 
         # Step 7: discover all paths per mapping pair, store in the space
         start = time.perf_counter()
         if "discover_paths" in self._dirty:
+            report.stages.append(StageReport("discover_paths", True, 0.0))
             self._clear_namespace(PATHS_NS)
-            topology = Topology(self._infrastructure)
+            topology = self._topology()
             pairs = self._mapping.pairs_for_service(self._service)
-            discovered = discover_many(
-                topology,
-                [(pair.requester, pair.provider) for pair in pairs],
-                max_depth=max_depth,
-                max_paths=max_paths,
-                jobs=jobs,
-            )
+            endpoint_pairs = [(p.requester, p.provider) for p in pairs]
+            self._diagnostics = []
+            if resilience is None:
+                discovered = discover_many(
+                    topology,
+                    endpoint_pairs,
+                    max_depth=max_depth,
+                    max_paths=max_paths,
+                    jobs=jobs,
+                )
+            else:
+                from repro.resilience.runner import discover_many_resilient
+
+                if resilience.jobs is None and jobs is not None:
+                    from dataclasses import replace
+
+                    resilience = replace(resilience, jobs=jobs)
+                outcome = discover_many_resilient(
+                    topology,
+                    endpoint_pairs,
+                    max_depth=max_depth,
+                    max_paths=max_paths,
+                    policy=resilience,
+                )
+                self._diagnostics = list(outcome.diagnostics)
+                # unreachable pairs degrade to an *empty* PathSet: Step 8
+                # skips them in partial mode without re-running discovery
+                discovered = {
+                    pair: outcome.path_sets.get(pair, PathSet(pair[0], pair[1]))
+                    for pair in dict.fromkeys(endpoint_pairs)
+                }
             self._path_sets = {}
             for pair in pairs:
                 path_set = discovered[(pair.requester, pair.provider)]
                 self._path_sets[pair.atomic_service] = path_set
                 store_paths(self.space, pair.atomic_service, path_set.paths)
             self._dirty.discard("discover_paths")
-            report.stages.append(
-                StageReport("discover_paths", True, time.perf_counter() - start)
-            )
+            report.stages[-1].seconds = time.perf_counter() - start
         else:
             report.stages.append(StageReport("discover_paths", False, 0.0))
 
@@ -222,24 +378,29 @@ class MethodologyPipeline:
         # every mapping pair exactly once.
         start = time.perf_counter()
         if "generate_upsim" in self._dirty:
-            self.upsim = generate_upsim(
-                self._infrastructure,
-                self._service,
-                self._mapping,
-                max_depth=max_depth,
-                max_paths=max_paths,
-                path_sets=self._path_sets,
-            )
+            report.stages.append(StageReport("generate_upsim", True, 0.0))
+            try:
+                self.upsim = generate_upsim(
+                    self._topology(),
+                    self._service,
+                    self._mapping,
+                    max_depth=max_depth,
+                    max_paths=max_paths,
+                    path_sets=self._path_sets,
+                    partial=resilience is not None,
+                )
+            except UnreachablePairError:
+                # resilient mode only: nothing at all is reachable — there
+                # is no UPSIM, but the diagnostics say why, pair by pair
+                if resilience is None:
+                    raise
+                self.upsim = None
+                raise
             self._mark_upsim_entities()
             self._dirty.discard("generate_upsim")
-            report.stages.append(
-                StageReport("generate_upsim", True, time.perf_counter() - start)
-            )
+            report.stages[-1].seconds = time.perf_counter() - start
         else:
             report.stages.append(StageReport("generate_upsim", False, 0.0))
-
-        report.upsim = self.upsim
-        return report
 
     # -- model-space bookkeeping ---------------------------------------------
 

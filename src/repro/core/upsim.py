@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.mapping import ServiceMapping, ServiceMappingPair
 from repro.core.pathdiscovery import PathSet, discover_paths
-from repro.errors import PathDiscoveryError
+from repro.errors import PathDiscoveryError, UnreachablePairError
 from repro.network.topology import Topology
 from repro.services.composite import CompositeService
 from repro.uml.objects import ObjectModel
@@ -105,6 +105,7 @@ def generate_upsim(
     max_depth: Optional[int] = None,
     max_paths: Optional[int] = None,
     path_sets: Optional[Dict[str, PathSet]] = None,
+    partial: bool = False,
 ) -> UPSIM:
     """Generate the UPSIM for *service* under *mapping* (Steps 7 + 8).
 
@@ -122,7 +123,13 @@ def generate_upsim(
 
     Raises :class:`PathDiscoveryError` if any executed atomic service has
     no connecting path — a service whose components cannot communicate has
-    no user-perceived infrastructure.
+    no user-perceived infrastructure.  With ``partial=True`` (the
+    resilient pipeline's degraded mode) pathless pairs are *skipped*
+    instead: a supplied **empty** PathSet marks a pair as known
+    unreachable without re-running its discovery, and the result covers
+    only the reachable pairs.  :class:`UnreachablePairError` is still
+    raised when no pair at all is reachable — an empty UPSIM has no
+    user-perceived infrastructure to model.
     """
     topology = (
         infrastructure
@@ -155,20 +162,36 @@ def generate_upsim(
             )
             cache[key] = discovered
         else:
-            discovered = discover_paths(
-                topology,
-                pair.requester,
-                pair.provider,
-                max_depth=max_depth,
-                max_paths=max_paths,
-            )
+            try:
+                discovered = discover_paths(
+                    topology,
+                    pair.requester,
+                    pair.provider,
+                    max_depth=max_depth,
+                    max_paths=max_paths,
+                )
+            except PathDiscoveryError:
+                # a crashed/unknown endpoint: in partial mode that pair is
+                # simply unreachable, like any other pathless pair
+                if not partial:
+                    raise
+                discovered = PathSet(pair.requester, pair.provider)
             cache[key] = discovered
         if not discovered:
+            if partial:
+                continue
             raise PathDiscoveryError(
                 f"atomic service {pair.atomic_service!r}: no path between "
                 f"requester {pair.requester!r} and provider {pair.provider!r}"
             )
         result_sets[pair.atomic_service] = discovered
+
+    if partial and not result_sets:
+        raise UnreachablePairError(
+            pairs[0].requester if pairs else "?",
+            pairs[0].provider if pairs else "?",
+            "no atomic service of the composite has any surviving path",
+        )
 
     # Step 8: merge into a single topology — the node-filter semantics.
     retained: Set[str] = set()

@@ -2,7 +2,30 @@
 
 Every error raised by the library derives from :class:`ReproError`, so
 callers can catch library failures with a single ``except`` clause while
-still being able to distinguish the subsystem that failed.
+still being able to distinguish the subsystem that failed::
+
+    ReproError
+    ├── ModelError                    structural UML problems
+    │   ├── ConstraintViolationError  well-formedness suite failures
+    │   └── StereotypeError           illegal stereotype use
+    ├── SerializationError            XML read/write failures
+    ├── ModelSpaceError               VPM model-space problems
+    │   ├── ImportError_              importer translation failures
+    │   └── PatternError              malformed/failed pattern matching
+    ├── MappingError                  invalid service mapping
+    ├── ServiceError                  invalid service description
+    ├── TopologyError                 invalid topology operation
+    ├── PathDiscoveryError            path discovery failures
+    │   ├── PathDiscoveryTimeout      a per-pair discovery deadline expired
+    │   └── UnreachablePairError      a (requester, provider) pair has no path
+    ├── AnalysisError                 dependability analysis failures
+    └── FaultPlanError                invalid fault-injection plan
+
+The three leaf classes under :class:`PathDiscoveryError` and
+:class:`FaultPlanError` belong to the resilience subsystem
+(:mod:`repro.resilience`): strict pipeline runs raise them, resilient
+runs convert them into structured
+:class:`~repro.resilience.runner.PairDiagnostic` records instead.
 """
 
 from __future__ import annotations
@@ -69,5 +92,45 @@ class PathDiscoveryError(ReproError):
     """Path discovery failed (endpoint not in topology, budget exceeded...)."""
 
 
+class PathDiscoveryTimeout(PathDiscoveryError):
+    """A per-pair path-discovery deadline expired.
+
+    Raised by the resilient runner when one (requester, provider) pair
+    exceeds its :class:`~repro.resilience.runner.ResiliencePolicy`
+    ``pair_timeout``.  Carries the pair so batch callers can report which
+    discovery stalled.
+    """
+
+    def __init__(self, requester: str, provider: str, timeout: float):
+        self.requester = requester
+        self.provider = provider
+        self.timeout = timeout
+        super().__init__(
+            f"path discovery for pair ({requester!r}, {provider!r}) exceeded "
+            f"the {timeout:g}s deadline"
+        )
+
+
+class UnreachablePairError(PathDiscoveryError):
+    """A (requester, provider) pair has no connecting path.
+
+    In strict mode an unreachable pair aborts the run; in resilient mode
+    it degrades into a diagnostic attached to a partial UPSIM.
+    """
+
+    def __init__(self, requester: str, provider: str, reason: str = ""):
+        self.requester = requester
+        self.provider = provider
+        detail = f": {reason}" if reason else ""
+        super().__init__(
+            f"no path between requester {requester!r} and provider "
+            f"{provider!r}{detail}"
+        )
+
+
 class AnalysisError(ReproError):
     """Dependability analysis failure (missing attribute, invalid structure...)."""
+
+
+class FaultPlanError(ReproError):
+    """Invalid fault-injection plan (unknown kind, bad spec, missing target...)."""

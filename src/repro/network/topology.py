@@ -144,6 +144,23 @@ class Topology:
 
         return compile_topology(self)
 
+    def with_faults(self, plan, *, tick: Optional[int] = None) -> "Topology":
+        """Overlay a :class:`~repro.resilience.faults.FaultPlan` on this view.
+
+        Returns a copy-on-write
+        :class:`~repro.resilience.overlay.FaultOverlayTopology`: the
+        shared object model is untouched, this view keeps answering
+        nominally, and the overlay answers as if the plan's faults had
+        happened.  *plan* also accepts spec strings (``"crash:c1"``) or
+        an iterable of them; flapping faults need a *tick* to resolve
+        their seeded schedule.
+        """
+        from repro.resilience.faults import FaultPlan
+
+        if not isinstance(plan, FaultPlan):
+            plan = FaultPlan.parse(plan)
+        return plan.apply(self, tick=tick)
+
     # -- conversions --------------------------------------------------------------
 
     def to_networkx(self, *, with_properties: bool = False) -> nx.Graph:

@@ -1,0 +1,41 @@
+"""Fault injection and graceful degradation (:mod:`repro.resilience`).
+
+The paper evaluates *user-perceived* dependability in the nominal
+topology; this subsystem evaluates it **under failure**: deterministic
+fault plans overlay a topology copy-on-write
+(:class:`FaultOverlayTopology`), the degradation-tolerant runner
+(:func:`discover_many_resilient`) turns unreachable or stalled pairs
+into structured :class:`PairDiagnostic` records instead of exceptions,
+and :func:`run_campaign` sweeps 1..k-fault combinations and ranks them
+by user-visible damage.  See ``docs/robustness.md``.
+"""
+
+from repro.resilience.faults import FAULT_KINDS, Fault, FaultPlan
+from repro.resilience.overlay import FaultOverlayTopology
+from repro.resilience.runner import (
+    DiscoveryOutcome,
+    PairDiagnostic,
+    ResiliencePolicy,
+    discover_many_resilient,
+)
+from repro.resilience.campaign import (
+    CampaignReport,
+    CampaignResult,
+    default_candidates,
+    run_campaign,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "FaultOverlayTopology",
+    "DiscoveryOutcome",
+    "PairDiagnostic",
+    "ResiliencePolicy",
+    "discover_many_resilient",
+    "CampaignReport",
+    "CampaignResult",
+    "default_candidates",
+    "run_campaign",
+]

@@ -1,0 +1,367 @@
+"""Fault-injection campaigns: sweep fault combinations, rank the damage.
+
+:func:`run_campaign` answers "which failures hurt this service's users,
+and how much?" systematically: it generates candidate faults (every
+UPSIM component crash by default, optionally cable cuts), sweeps all
+single- and k-fault combinations, evaluates each combination on a
+copy-on-write :class:`~repro.resilience.overlay.FaultOverlayTopology`
+with the degradation-tolerant runner, and ranks the results by
+unreachable-pair count and availability loss — reusing
+:func:`repro.analysis.whatif.combined_failure_impact` for the
+availability side of the ranking.
+
+Determinism contract: a campaign is a pure function of its inputs.
+Flapping faults resolve through seeded schedules, evaluation memoizes by
+resolved-plan fingerprint (so a flap that resolves to the same crash
+pattern on two ticks is evaluated once — and the underlying PathSets are
+additionally memoized by overlay fingerprint inside the engine), and
+:meth:`CampaignReport.to_dict` excludes wall-clock timing.  Equal inputs
+therefore produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.whatif import combined_failure_impact
+from repro.analysis.transformations import component_availabilities
+from repro.core.mapping import ServiceMapping
+from repro.core.upsim import UPSIM, generate_upsim
+from repro.dependability.availability import (
+    steady_state_availability,
+    with_redundancy,
+)
+from repro.errors import FaultPlanError
+from repro.network.topology import Topology
+from repro.resilience.faults import Fault, FaultPlan
+from repro.resilience.runner import (
+    DiscoveryOutcome,
+    PairDiagnostic,
+    ResiliencePolicy,
+    discover_many_resilient,
+)
+from repro.services.composite import CompositeService
+from repro.uml.objects import ObjectModel
+
+__all__ = ["CampaignResult", "CampaignReport", "run_campaign", "default_candidates"]
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Aggregated consequences of one fault combination.
+
+    Plans without flapping evaluate exactly once (``ticks_evaluated ==
+    1``); flapping plans are swept over the tick range and aggregated:
+    unreachable pairs and service outages are unions over ticks,
+    availability is the per-tick mean, and ``diagnostics`` carries the
+    worst tick's per-pair records.
+    """
+
+    faults: Tuple[str, ...]
+    fingerprint: str
+    ticks_evaluated: int
+    #: ticks on which at least one fault was active (flap schedules)
+    active_ticks: int
+    unreachable_pairs: Tuple[Tuple[str, str], ...]
+    disconnected_services: Tuple[str, ...]
+    degraded_services: Tuple[str, ...]
+    #: mean service availability over the evaluated ticks
+    availability: float
+    #: nominal baseline minus :attr:`availability`
+    availability_loss: float
+    diagnostics: Tuple[PairDiagnostic, ...] = ()
+
+    @property
+    def is_single_point_of_failure(self) -> bool:
+        """A *single* injected fault that severs at least one pair."""
+        return len(self.faults) == 1 and bool(self.unreachable_pairs)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "faults": list(self.faults),
+            "fingerprint": self.fingerprint,
+            "ticks_evaluated": self.ticks_evaluated,
+            "active_ticks": self.active_ticks,
+            "unreachable_pairs": [list(p) for p in self.unreachable_pairs],
+            "disconnected_services": list(self.disconnected_services),
+            "degraded_services": list(self.degraded_services),
+            "availability": self.availability,
+            "availability_loss": self.availability_loss,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Machine-readable outcome of one campaign, ranked most severe first."""
+
+    service_name: str
+    topology_fingerprint: str
+    baseline_availability: float
+    pairs: Tuple[Tuple[str, str], ...]
+    results: List[CampaignResult] = field(default_factory=list)
+
+    def single_points_of_failure(self) -> List[CampaignResult]:
+        return [r for r in self.results if r.is_single_point_of_failure]
+
+    def worst(self, n: int = 5) -> List[CampaignResult]:
+        return self.results[:n]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "service": self.service_name,
+            "topology_fingerprint": self.topology_fingerprint,
+            "baseline_availability": self.baseline_availability,
+            "pairs": [list(p) for p in self.pairs],
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def to_text(self, *, limit: Optional[int] = 10) -> str:
+        lines = [
+            f"fault campaign for service {self.service_name!r} "
+            f"(baseline availability {self.baseline_availability:.9f})",
+            f"{'faults':<32} {'unreachable':>11} {'outages':>8} "
+            f"{'availability':>13} {'loss':>10}",
+        ]
+        shown = self.results if limit is None else self.results[:limit]
+        for result in shown:
+            lines.append(
+                f"{' + '.join(result.faults):<32} "
+                f"{len(result.unreachable_pairs):>11} "
+                f"{len(result.disconnected_services):>8} "
+                f"{result.availability:>13.9f} "
+                f"{result.availability_loss:>10.3e}"
+            )
+        hidden = len(self.results) - len(shown)
+        if hidden > 0:
+            lines.append(f"... {hidden} more combination(s)")
+        return "\n".join(lines)
+
+
+def default_candidates(
+    upsim: UPSIM, *, include_links: bool = False
+) -> List[Fault]:
+    """One crash fault per UPSIM component (the components whose failure
+    can affect this service at all), plus one cut per used link when
+    ``include_links`` is set."""
+    candidates = [Fault.crash(name) for name in sorted(upsim.component_names)]
+    if include_links:
+        candidates.extend(
+            Fault.cut(a, b) for a, b in sorted(upsim.used_links())
+        )
+    return candidates
+
+
+def _degraded_table(
+    upsim: UPSIM, plan: FaultPlan, nominal: Dict[str, float]
+) -> Dict[str, float]:
+    """The availability table with the plan's degrade overrides applied."""
+    overrides = plan.overrides()
+    if not overrides:
+        return nominal
+    table = dict(nominal)
+    model = upsim.model
+    for target, values in overrides.items():
+        if target not in table:
+            continue  # degraded component outside the user-perceived scope
+        if "|" in target and not model.has_instance(target):
+            a, b = target.split("|", 1)
+            link = model.find_link(a, b)
+            properties = link.property_dict() if link is not None else {}
+        else:
+            properties = model.get_instance(target).property_dict()
+        mtbf = float(values.get("MTBF", properties.get("MTBF", 0.0)))
+        mttr = float(values.get("MTTR", properties.get("MTTR", 0.0)))
+        redundant = int(properties.get("redundantComponents") or 0)
+        table[target] = with_redundancy(
+            steady_state_availability(mtbf, mttr), redundant
+        )
+    return table
+
+
+@dataclass
+class _Evaluation:
+    """Cached per-resolved-plan evaluation."""
+
+    outcome: DiscoveryOutcome
+    unreachable: Tuple[Tuple[str, str], ...]
+    disconnected: Tuple[str, ...]
+    degraded: Tuple[str, ...]
+    availability: float
+
+
+def run_campaign(
+    infrastructure: Union[ObjectModel, Topology],
+    service: CompositeService,
+    mapping: ServiceMapping,
+    *,
+    candidates: Optional[Iterable[Union[Fault, str]]] = None,
+    k: int = 1,
+    ticks: int = 4,
+    include_links: bool = False,
+    policy: Optional[ResiliencePolicy] = None,
+    max_depth: Optional[int] = None,
+    max_paths: Optional[int] = None,
+) -> CampaignReport:
+    """Sweep all 1..k-fault combinations of the candidate faults.
+
+    *candidates* accepts :class:`Fault` objects or spec strings; the
+    default is every UPSIM component crash (plus used-link cuts with
+    ``include_links``).  *ticks* bounds the schedule sweep for flapping
+    candidates; plans without flapping are evaluated once.  Evaluations
+    are memoized by resolved-plan fingerprint, so overlapping
+    combinations and repeating flap schedules cost nothing extra.
+    """
+    if k < 1:
+        raise FaultPlanError(f"campaign needs k >= 1, got {k}")
+    if ticks < 1:
+        raise FaultPlanError(f"campaign needs ticks >= 1, got {ticks}")
+    topology = (
+        infrastructure
+        if isinstance(infrastructure, Topology)
+        else Topology(infrastructure)
+    )
+    policy = policy or ResiliencePolicy()
+
+    # nominal reference: strict generation — a campaign over a service
+    # that does not work nominally has no baseline to degrade from
+    upsim = generate_upsim(
+        topology, service, mapping, max_depth=max_depth, max_paths=max_paths
+    )
+    pairs = tuple(
+        (pair.requester, pair.provider)
+        for pair in mapping.pairs_for_service(service)
+    )
+    nominal_table = component_availabilities(upsim.model, include_links=True)
+    baseline = combined_failure_impact(
+        upsim, (), availabilities=nominal_table
+    ).baseline_availability
+
+    if candidates is None:
+        fault_pool = default_candidates(upsim, include_links=include_links)
+    else:
+        fault_pool = [
+            Fault.parse(c) if isinstance(c, str) else c for c in candidates
+        ]
+    if not fault_pool:
+        raise FaultPlanError("campaign has no candidate faults to inject")
+
+    evaluations: Dict[str, _Evaluation] = {}
+
+    def evaluate(resolved: FaultPlan) -> _Evaluation:
+        cached = evaluations.get(resolved.fingerprint())
+        if cached is not None:
+            return cached
+        overlay = resolved.apply(topology)
+        outcome = discover_many_resilient(
+            overlay,
+            pairs,
+            max_depth=max_depth,
+            max_paths=max_paths,
+            policy=policy,
+        )
+        table = _degraded_table(upsim, resolved, nominal_table)
+        structural = [
+            name for name in resolved.component_names() if name in table
+        ]
+        impact = combined_failure_impact(
+            upsim, structural, availabilities=table
+        )
+        # degrade faults leave every path alive but still weaken any
+        # service whose paths visit an overridden component
+        degraded = set(impact.degraded_services)
+        weakened = {
+            target
+            for target in resolved.overrides()
+            if table.get(target) != nominal_table.get(target)
+        }
+        if weakened:
+            for atomic_service, path_set in upsim.path_sets.items():
+                if atomic_service in degraded:
+                    continue
+                if atomic_service in impact.disconnected_services:
+                    continue
+                touched = set(path_set.nodes())
+                touched.update(
+                    "|".join(sorted((a, b))) for a, b in path_set.links()
+                )
+                if touched & weakened:
+                    degraded.add(atomic_service)
+        evaluation = _Evaluation(
+            outcome=outcome,
+            unreachable=tuple(
+                (d.requester, d.provider) for d in outcome.failed()
+            ),
+            disconnected=impact.disconnected_services,
+            degraded=tuple(sorted(degraded)),
+            availability=impact.conditional_availability,
+        )
+        evaluations[resolved.fingerprint()] = evaluation
+        return evaluation
+
+    results: List[CampaignResult] = []
+    for size in range(1, min(k, len(fault_pool)) + 1):
+        for combo in combinations(fault_pool, size):
+            plan = FaultPlan(combo)
+            if len(plan) < size:
+                continue  # duplicate faults collapsed — same as a smaller combo
+            tick_range = range(ticks) if not plan.is_resolved else range(1)
+            unreachable: Dict[Tuple[str, str], None] = {}
+            disconnected: Dict[str, None] = {}
+            degraded: Dict[str, None] = {}
+            availability_sum = 0.0
+            active_ticks = 0
+            worst: Optional[_Evaluation] = None
+            for tick in tick_range:
+                resolved = plan.at(tick)
+                evaluation = evaluate(resolved)
+                if len(resolved):
+                    active_ticks += 1
+                availability_sum += evaluation.availability
+                for pair in evaluation.unreachable:
+                    unreachable.setdefault(pair)
+                for name in evaluation.disconnected:
+                    disconnected.setdefault(name)
+                for name in evaluation.degraded:
+                    degraded.setdefault(name)
+                if worst is None or len(evaluation.unreachable) > len(
+                    worst.unreachable
+                ):
+                    worst = evaluation
+            assert worst is not None
+            availability = availability_sum / len(tick_range)
+            results.append(
+                CampaignResult(
+                    faults=plan.specs(),
+                    fingerprint=plan.fingerprint(),
+                    ticks_evaluated=len(tick_range),
+                    active_ticks=active_ticks,
+                    unreachable_pairs=tuple(unreachable),
+                    disconnected_services=tuple(disconnected),
+                    degraded_services=tuple(degraded),
+                    availability=availability,
+                    availability_loss=baseline - availability,
+                    diagnostics=tuple(worst.outcome.diagnostics),
+                )
+            )
+
+    results.sort(
+        key=lambda r: (
+            -len(r.unreachable_pairs),
+            -r.availability_loss,
+            r.faults,
+        )
+    )
+    return CampaignReport(
+        service_name=service.name,
+        topology_fingerprint=topology.fingerprint(),
+        baseline_availability=baseline,
+        pairs=pairs,
+        results=results,
+    )

@@ -1,0 +1,335 @@
+"""Degradation-tolerant path discovery: timeouts, retries, diagnostics.
+
+The engine's :func:`repro.core.engine.discover_many` is strict: the first
+worker failure aborts the whole batch.  :func:`discover_many_resilient`
+keeps going — every (requester, provider) pair independently resolves to
+either a :class:`~repro.core.pathdiscovery.PathSet` or a structured
+:class:`PairDiagnostic` explaining *why* it failed (crashed endpoint,
+severed cut, expired deadline, repeated worker error) — so one
+unreachable pair degrades the analysis instead of killing it.
+
+Mechanics, governed by a :class:`ResiliencePolicy`:
+
+* **per-pair timeout** — each discovery attempt runs on its own thread
+  and is abandoned when ``pair_timeout`` expires (the DFS is pure CPU
+  with no cancellation point; the abandoned thread finishes in the
+  background and at worst warms the PathSet cache).  Timeouts are not
+  retried: enumeration is deterministic, so a second identical attempt
+  would expire identically.
+* **bounded retry with backoff** — unexpected worker errors are retried
+  up to ``retries`` times with exponential backoff; deterministic
+  failures (missing endpoints, empty path sets) are diagnosed
+  immediately.
+* **graceful degradation** — unreachable pairs get a diagnostic carrying
+  the active fault context and the *nearest-reachable cut*: the set of
+  crashed components / severed links sitting on the frontier of the
+  requester's surviving connected region — the first thing an operator
+  would check.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.engine import discover
+from repro.core.pathdiscovery import PathSet
+from repro.errors import PathDiscoveryTimeout
+from repro.network.topology import Topology
+from repro.resilience.faults import _link_name
+from repro.resilience.overlay import FaultOverlayTopology
+
+__all__ = [
+    "ResiliencePolicy",
+    "PairDiagnostic",
+    "DiscoveryOutcome",
+    "discover_many_resilient",
+]
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Knobs of the degradation-tolerant runner.
+
+    ``pair_timeout``
+        Seconds allowed per discovery attempt (``None`` disables the
+        deadline).  The default keeps pathological topologies from
+        stalling a campaign while staying far above any realistic
+        enumeration.
+    ``retries``
+        Extra attempts after the first worker *error* (timeouts and
+        deterministic unreachability are never retried).
+    ``backoff``
+        Base sleep before retry *n* (seconds, doubled each retry).
+    ``jobs``
+        Fan-out width across pairs (``None``/1 = sequential).
+    """
+
+    pair_timeout: Optional[float] = 30.0
+    retries: int = 1
+    backoff: float = 0.05
+    jobs: Optional[int] = None
+
+    def __post_init__(self):
+        if self.pair_timeout is not None and self.pair_timeout <= 0:
+            raise ValueError("pair_timeout must be > 0 or None")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.jobs is not None and self.jobs < 1:
+            raise ValueError("jobs must be >= 1 or None")
+
+
+@dataclass(frozen=True)
+class PairDiagnostic:
+    """Structured outcome of one (requester, provider) discovery.
+
+    ``status`` is one of ``"ok"``, ``"unreachable"``, ``"timeout"``,
+    ``"error"``; everything except ``"ok"`` means the pair contributed no
+    paths and the surrounding analysis degraded around it.
+    """
+
+    requester: str
+    provider: str
+    status: str
+    reason: str = ""
+    attempts: int = 1
+    path_count: int = 0
+    #: spec strings of the faults active on the analyzed topology
+    fault_context: Tuple[str, ...] = ()
+    #: crashed components / severed links on the frontier of the
+    #: requester's surviving region (empty when not determinable)
+    nearest_cut: Tuple[str, ...] = ()
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view.  Wall-clock timing is deliberately excluded so
+        equal campaigns serialize identically (determinism contract)."""
+        return {
+            "requester": self.requester,
+            "provider": self.provider,
+            "status": self.status,
+            "reason": self.reason,
+            "attempts": self.attempts,
+            "path_count": self.path_count,
+            "fault_context": list(self.fault_context),
+            "nearest_cut": list(self.nearest_cut),
+        }
+
+    def describe(self) -> str:
+        label = f"{self.requester} -> {self.provider}"
+        if self.ok:
+            return f"{label}: reachable ({self.path_count} path(s))"
+        text = f"{label}: {self.status}"
+        if self.reason:
+            text += f" ({self.reason})"
+        if self.nearest_cut:
+            text += f"; nearest cut: {', '.join(self.nearest_cut)}"
+        return text
+
+
+@dataclass
+class DiscoveryOutcome:
+    """Result of one resilient batch discovery."""
+
+    #: PathSets of the reachable pairs, keyed (requester, provider),
+    #: first-seen order
+    path_sets: Dict[Tuple[str, str], PathSet] = field(default_factory=dict)
+    #: one diagnostic per distinct pair, first-seen order (ok pairs too)
+    diagnostics: List[PairDiagnostic] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return all(diag.ok for diag in self.diagnostics)
+
+    def failed(self) -> List[PairDiagnostic]:
+        return [diag for diag in self.diagnostics if not diag.ok]
+
+    def diagnostic_for(self, requester: str, provider: str) -> PairDiagnostic:
+        for diag in self.diagnostics:
+            if (diag.requester, diag.provider) == (requester, provider):
+                return diag
+        raise KeyError((requester, provider))
+
+
+def _nearest_cut(topology: Topology, requester: str) -> Tuple[str, ...]:
+    """Faulted elements on the frontier of the requester's surviving region.
+
+    Only meaningful on a fault overlay: walk the surviving component
+    around *requester*, then collect every crashed neighbor and severed
+    link incident to it in the *base* topology.  On a plain topology (or
+    a crashed requester) there is no frontier to report.
+    """
+    if not isinstance(topology, FaultOverlayTopology):
+        return ()
+    if not topology.has_node(requester):
+        # the requester itself is down — it is its own cut
+        return (requester,) if topology.base.has_node(requester) else ()
+    region = topology.reachable_from(requester)
+    cut: set = set()
+    down = topology._down
+    severed = topology._cut
+    for node in region:
+        for neighbor in topology.base.neighbors(node):
+            if neighbor in down:
+                cut.add(neighbor)
+            elif _link_name(node, neighbor) in severed:
+                cut.add(_link_name(node, neighbor))
+    return tuple(sorted(cut))
+
+
+def _attempt_with_deadline(run, timeout: Optional[float]):
+    """Run *run()* on a dedicated thread, abandoning it after *timeout*.
+
+    Returns ``(finished, result, exception)``.  The DFS has no
+    cancellation point, so an expired attempt's thread is left to finish
+    in the background (daemonized; at worst it warms the PathSet cache).
+    """
+    if timeout is None:
+        try:
+            return True, run(), None
+        except Exception as exc:  # noqa: BLE001 - diagnosed by the caller
+            return True, None, exc
+    box: Dict[str, object] = {}
+
+    def target() -> None:
+        try:
+            box["result"] = run()
+        except Exception as exc:  # noqa: BLE001 - diagnosed by the caller
+            box["error"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        return False, None, None
+    return True, box.get("result"), box.get("error")
+
+
+def discover_many_resilient(
+    topology: Topology,
+    pairs: Iterable[Tuple[str, str]],
+    *,
+    max_depth: Optional[int] = None,
+    max_paths: Optional[int] = None,
+    policy: Optional[ResiliencePolicy] = None,
+    use_cache: bool = True,
+) -> DiscoveryOutcome:
+    """Discover paths for many pairs, degrading instead of raising.
+
+    Duplicate pairs are processed once; the outcome's diagnostics list
+    carries exactly one entry per distinct pair in first-seen order, so
+    reports are deterministic regardless of ``policy.jobs``.
+    """
+    policy = policy or ResiliencePolicy()
+    unique = list(dict.fromkeys(tuple(p) for p in pairs))
+    context = (
+        topology.plan.specs()
+        if isinstance(topology, FaultOverlayTopology)
+        else ()
+    )
+
+    def run_pair(pair: Tuple[str, str]) -> PairDiagnostic:
+        requester, provider = pair
+        started = time.perf_counter()
+
+        def diag(status: str, reason: str = "", **kw) -> PairDiagnostic:
+            return PairDiagnostic(
+                requester,
+                provider,
+                status,
+                reason=reason,
+                fault_context=context,
+                seconds=time.perf_counter() - started,
+                **kw,
+            )
+
+        # deterministic pre-flight: a missing endpoint can never succeed,
+        # so diagnose it without burning an attempt
+        for role, node in (("requester", requester), ("provider", provider)):
+            if not topology.has_node(node):
+                crashed = isinstance(
+                    topology, FaultOverlayTopology
+                ) and topology.base.has_node(node)
+                reason = (
+                    f"{role} {node!r} crashed by fault injection"
+                    if crashed
+                    else f"{role} {node!r} is not a component of the topology"
+                )
+                return diag(
+                    "unreachable",
+                    reason,
+                    nearest_cut=(node,) if crashed else (),
+                )
+
+        attempts = policy.retries + 1
+        last_error: Optional[Exception] = None
+        for attempt in range(1, attempts + 1):
+            finished, result, error = _attempt_with_deadline(
+                lambda: discover(
+                    topology,
+                    requester,
+                    provider,
+                    max_depth=max_depth,
+                    max_paths=max_paths,
+                    use_cache=use_cache,
+                ),
+                policy.pair_timeout,
+            )
+            if not finished:
+                # enumeration is deterministic — retrying an expired
+                # deadline would expire again, so diagnose immediately
+                timeout_error = PathDiscoveryTimeout(
+                    requester, provider, policy.pair_timeout or 0.0
+                )
+                return diag("timeout", str(timeout_error), attempts=attempt)
+            if error is None:
+                path_set = result
+                assert isinstance(path_set, PathSet)
+                if not path_set:
+                    return diag(
+                        "unreachable",
+                        "no surviving path"
+                        if context
+                        else "no path in the topology",
+                        attempts=attempt,
+                        nearest_cut=_nearest_cut(topology, requester),
+                    )
+                outcome.path_sets[pair] = path_set
+                return diag(
+                    "ok", attempts=attempt, path_count=len(path_set.paths)
+                )
+            last_error = error
+            if attempt <= policy.retries and policy.backoff > 0:
+                time.sleep(policy.backoff * (2 ** (attempt - 1)))
+        return diag(
+            "error",
+            f"{type(last_error).__name__}: {last_error}",
+            attempts=attempts,
+        )
+
+    outcome = DiscoveryOutcome()
+    jobs = policy.jobs
+    if jobs is not None and jobs > 1 and len(unique) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as executor:
+            futures = {pair: executor.submit(run_pair, pair) for pair in unique}
+            results = {pair: futures[pair].result() for pair in unique}
+    else:
+        results = {pair: run_pair(pair) for pair in unique}
+    # rebuild stores in first-seen order (workers may finish out of order)
+    ordered_sets = {
+        pair: outcome.path_sets[pair]
+        for pair in unique
+        if pair in outcome.path_sets
+    }
+    outcome.path_sets = ordered_sets
+    outcome.diagnostics = [results[pair] for pair in unique]
+    return outcome

@@ -1,0 +1,193 @@
+"""Fault campaigns: sweeps, ranking, determinism, memoization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.mapping import ServiceMapping, ServiceMappingPair
+from repro.errors import FaultPlanError
+from repro.resilience import Fault, default_candidates, run_campaign
+from repro.services.atomic import AtomicService
+from repro.services.composite import CompositeService
+
+
+@pytest.fixture()
+def fetch_service():
+    return CompositeService.sequential(
+        "fetch", [AtomicService("auth"), AtomicService("get")]
+    )
+
+
+@pytest.fixture()
+def fetch_mapping():
+    return ServiceMapping(
+        [
+            ServiceMappingPair("auth", "pc", "s"),
+            ServiceMappingPair("get", "s", "pc"),
+        ]
+    )
+
+
+class TestRunCampaign:
+    def test_single_fault_sweep_over_case_study(self, usi, printing, table1):
+        """Acceptance: the full single-fault sweep completes and reports
+        a diagnostic for every mapping pair of every combination."""
+        report = run_campaign(usi, printing, table1, k=1)
+        assert report.service_name == "printing"
+        assert 0.0 < report.baseline_availability < 1.0
+        pairs = set(report.pairs)
+        assert len(report.results) == 10  # one crash per UPSIM component
+        for result in report.results:
+            assert len(result.faults) == 1
+            diagnosed = {
+                (d.requester, d.provider) for d in result.diagnostics
+            }
+            assert diagnosed == pairs
+            assert 0.0 <= result.availability <= 1.0
+        # crashing the print server severs every pair
+        worst = next(
+            r for r in report.results if r.faults == ("crash:printS",)
+        )
+        assert set(worst.unreachable_pairs) == pairs
+
+    def test_results_ranked_most_severe_first(self, usi, printing, table1):
+        report = run_campaign(usi, printing, table1, k=1)
+        severities = [len(r.unreachable_pairs) for r in report.results]
+        assert severities == sorted(severities, reverse=True)
+        assert report.worst(3) == report.results[:3]
+
+    def test_single_points_of_failure(self, diamond, fetch_service, fetch_mapping):
+        report = run_campaign(diamond, fetch_service, fetch_mapping, k=1)
+        spof_faults = {
+            r.faults[0] for r in report.single_points_of_failure()
+        }
+        # e is the articulation point; endpoints sever their own pairs;
+        # the redundant switches a and b survive alone
+        assert "crash:e" in spof_faults
+        assert "crash:a" not in spof_faults
+        assert "crash:b" not in spof_faults
+
+    def test_k2_includes_redundant_pair_combination(
+        self, diamond, fetch_service, fetch_mapping
+    ):
+        report = run_campaign(
+            diamond,
+            fetch_service,
+            fetch_mapping,
+            candidates=["crash:a", "crash:b"],
+            k=2,
+        )
+        assert {r.faults for r in report.results} == {
+            ("crash:a",),
+            ("crash:b",),
+            ("crash:a", "crash:b"),
+        }
+        combo = next(r for r in report.results if len(r.faults) == 2)
+        assert combo.unreachable_pairs  # both redundant switches down
+        assert not combo.is_single_point_of_failure
+        singles = [r for r in report.results if len(r.faults) == 1]
+        assert all(not r.unreachable_pairs for r in singles)
+
+    def test_degrade_candidate_reduces_availability(
+        self, diamond, fetch_service, fetch_mapping
+    ):
+        report = run_campaign(
+            diamond,
+            fetch_service,
+            fetch_mapping,
+            # Formula 1: A = 1 - MTTR/MTBF = 0.5
+            candidates=[Fault.degrade("e", mtbf=100.0, mttr=50.0)],
+        )
+        (result,) = report.results
+        assert not result.unreachable_pairs
+        # every atomic service routes through the degraded switch e
+        assert result.degraded_services == ("auth", "get")
+        assert 0.0 < result.availability < report.baseline_availability
+        assert result.availability_loss > 0.0
+
+    def test_candidates_accept_faults_and_strings(
+        self, diamond, fetch_service, fetch_mapping
+    ):
+        report = run_campaign(
+            diamond,
+            fetch_service,
+            fetch_mapping,
+            candidates=[Fault.crash("e"), "cut:a|e"],
+        )
+        assert {r.faults for r in report.results} == {
+            ("crash:e",),
+            ("cut:a|e",),
+        }
+
+    def test_validation(self, diamond, fetch_service, fetch_mapping):
+        with pytest.raises(FaultPlanError):
+            run_campaign(diamond, fetch_service, fetch_mapping, k=0)
+        with pytest.raises(FaultPlanError):
+            run_campaign(diamond, fetch_service, fetch_mapping, ticks=0)
+        with pytest.raises(FaultPlanError):
+            run_campaign(
+                diamond, fetch_service, fetch_mapping, candidates=[]
+            )
+
+
+class TestDeterminism:
+    def test_seeded_flapping_campaign_is_reproducible(
+        self, diamond, fetch_service, fetch_mapping
+    ):
+        """Acceptance: same seed -> byte-identical campaign report."""
+        kwargs = dict(
+            candidates=["flap:e@42:0.5", "crash:a"],
+            k=2,
+            ticks=8,
+        )
+        first = run_campaign(diamond, fetch_service, fetch_mapping, **kwargs)
+        second = run_campaign(diamond, fetch_service, fetch_mapping, **kwargs)
+        assert first.to_json() == second.to_json()
+
+    def test_different_seed_changes_schedule(
+        self, diamond, fetch_service, fetch_mapping
+    ):
+        def flap_result(seed):
+            report = run_campaign(
+                diamond,
+                fetch_service,
+                fetch_mapping,
+                candidates=[f"flap:e@{seed}:0.5"],
+                ticks=16,
+            )
+            (result,) = report.results
+            return result
+
+        a, b = flap_result(1), flap_result(2)
+        # both sweep all 16 ticks deterministically
+        assert a.ticks_evaluated == b.ticks_evaluated == 16
+        assert 0 < a.active_ticks < 16
+        assert (a.active_ticks, a.availability) != (
+            b.active_ticks,
+            b.availability,
+        )
+
+    def test_json_round_trips(self, diamond, fetch_service, fetch_mapping):
+        report = run_campaign(
+            diamond, fetch_service, fetch_mapping, candidates=["crash:e"]
+        )
+        payload = json.loads(report.to_json())
+        assert payload["service"] == "fetch"
+        assert payload["results"][0]["faults"] == ["crash:e"]
+        # wall-clock timings must not leak into the machine-readable form
+        assert "seconds" not in json.dumps(payload)
+
+
+class TestDefaultCandidates:
+    def test_component_crashes(self, upsim_t1_p2):
+        candidates = default_candidates(upsim_t1_p2)
+        specs = [fault.spec() for fault in candidates]
+        assert all(spec.startswith("crash:") for spec in specs)
+        assert len(specs) == upsim_t1_p2.component_count
+
+    def test_link_cuts_included_on_request(self, upsim_t1_p2):
+        candidates = default_candidates(upsim_t1_p2, include_links=True)
+        cuts = [f for f in candidates if f.kind == "cut"]
+        assert len(cuts) == len(upsim_t1_p2.used_links())

@@ -48,7 +48,8 @@ class TestCasestudy:
         assert "p3" in out
 
     def test_unknown_client_is_error(self, capsys):
-        assert main(["casestudy", "--client", "t99"]) == 2
+        # PathDiscoveryError maps to exit code 11 (see repro.cli docstring)
+        assert main(["casestudy", "--client", "t99"]) == 11
         assert "error:" in capsys.readouterr().err
 
 
@@ -80,9 +81,10 @@ class TestFileCommands:
 
     def test_paths_unknown_node(self, model_files, capsys):
         models, _ = model_files
+        # PathDiscoveryError maps to exit code 11 (see repro.cli docstring)
         assert main(
             ["paths", "--models", models, "--requester", "pc", "--provider", "zz"]
-        ) == 2
+        ) == 11
 
     def test_generate_with_outputs(self, model_files, tmp_path, capsys):
         models, mapping = model_files
@@ -140,6 +142,7 @@ class TestFileCommands:
 
     def test_unknown_service_in_bundle(self, model_files, capsys):
         models, mapping = model_files
+        # SerializationError (no such activity in the bundle) maps to 4
         assert main(
             ["analyze", "--models", models, "--service", "ghost", "--mapping", mapping]
-        ) == 2
+        ) == 4

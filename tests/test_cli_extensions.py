@@ -86,7 +86,7 @@ class TestDiversity:
                 "--requester", "t1",
                 "--provider", "zzz",
             ]
-        ) == 2
+        ) == 11  # PathDiscoveryError exit code
 
 
 class TestSLA:
@@ -156,4 +156,4 @@ class TestQuery:
         pattern.write_text("not a pattern", encoding="utf-8")
         assert main(
             ["query", "--models", models, "--pattern-file", str(pattern)]
-        ) == 2
+        ) == 5  # ModelSpaceError exit code
