@@ -1,8 +1,15 @@
-"""Compare two pytest-benchmark JSON files and flag regressions.
+"""Compare pytest-benchmark JSON files and flag regressions.
 
 Usage::
 
     python benchmarks/compare.py BASELINE.json CANDIDATE.json [--threshold 0.20]
+    python benchmarks/compare.py 'BENCH_*.json' BENCH_new.json
+
+Both arguments accept glob patterns (quote them so the shell does not
+expand first); every matching file is loaded and merged, keeping the
+smallest mean recorded per benchmark name — so one committed baseline
+per subsystem (``BENCH_pathdiscovery.json``, ``BENCH_availability.json``,
+…) can be checked in a single invocation.
 
 Benchmarks are matched by their fully qualified name (``fullname``).
 For each match the candidate's mean runtime is compared against the
@@ -10,28 +17,35 @@ baseline's; anything slower by more than the threshold (default 20%)
 is a regression.  The exit code is the number of regressions, so the
 script slots directly into CI::
 
-    pytest benchmarks -q --benchmark-json=BENCH_new.json
-    python benchmarks/compare.py BENCH_pathdiscovery.json BENCH_new.json
+    pytest benchmarks -q --benchmark-json=bench_candidate.json
+    python benchmarks/compare.py 'BENCH_*.json' bench_candidate.json
 
-Benchmarks present in only one file are reported but never fail the
+Benchmarks present in only one side are reported but never fail the
 comparison (new benches appear, obsolete ones disappear).
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
 import json
 import sys
 from typing import Dict, List, Tuple
 
 
-def load_means(path: str) -> Dict[str, float]:
-    """Map of benchmark fullname -> mean seconds from a bench JSON."""
-    with open(path) as handle:
-        data = json.load(handle)
+def load_means(pattern: str) -> Dict[str, float]:
+    """Map of benchmark fullname -> mean seconds, merged over every file
+    matching *pattern* (a literal path or a glob); the smallest recorded
+    mean wins when a name appears in several files."""
+    paths = sorted(glob.glob(pattern)) or [pattern]
     means: Dict[str, float] = {}
-    for bench in data.get("benchmarks", []):
-        means[bench["fullname"]] = bench["stats"]["mean"]
+    for path in paths:
+        with open(path) as handle:
+            data = json.load(handle)
+        for bench in data.get("benchmarks", []):
+            name = bench["fullname"]
+            mean = bench["stats"]["mean"]
+            means[name] = min(mean, means.get(name, mean))
     return means
 
 
@@ -69,8 +83,8 @@ def compare(
 
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="baseline benchmark JSON")
-    parser.add_argument("candidate", help="candidate benchmark JSON")
+    parser.add_argument("baseline", help="baseline benchmark JSON (or glob)")
+    parser.add_argument("candidate", help="candidate benchmark JSON (or glob)")
     parser.add_argument(
         "--threshold",
         type=float,

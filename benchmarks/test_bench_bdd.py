@@ -1,0 +1,170 @@
+"""Benches for the compiled BDD availability kernel (experiment ``bdd``).
+
+The kernel (`repro.dependability.bdd`) must beat the seed state
+enumeration (`system_availability_reference`) on the case-study
+structure, and must make repeated-structure scenarios — fault-injection
+campaigns re-evaluating one compiled structure under hundreds of
+probability vectors — batch at better than 50× through
+``evaluate_many``.  The assertions below are the acceptance floor; the
+recorded numbers are typically well above it.
+
+Record a baseline with::
+
+    pytest benchmarks/test_bench_bdd.py -q --benchmark-json=BENCH_availability.json
+
+and compare future runs with ``python benchmarks/compare.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.exact import (
+    pair_availability_reference,
+    system_availability_reference,
+)
+from repro.analysis.transformations import (
+    component_availabilities,
+    service_availability_kernel,
+    service_path_set_groups,
+)
+from repro.dependability.bdd import kernel_cache_clear, kernel_cache_info
+from repro.resilience import run_campaign
+
+ALL_PAIRS_FLOOR = 10.0
+CAMPAIGN_FLOOR = 50.0
+HIT_RATE_FLOOR = 0.90
+
+
+@pytest.fixture(scope="module")
+def structure(upsim_t1_p2):
+    groups = service_path_set_groups(upsim_t1_p2)
+    table = component_availabilities(upsim_t1_p2.model)
+    kernel = service_availability_kernel(upsim_t1_p2)  # compile once, warm
+    return groups, table, kernel
+
+
+def _best(fn, reps: int = 3) -> float:
+    """Best-of-N wall time — the fairest single number for a baseline."""
+    times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+# -- all-pairs sweep: one compiled DAG vs per-pair enumerations --------------
+
+
+def test_bdd_all_pairs_sweep(benchmark, structure):
+    """System + every pair availability from one bottom-up pass, against
+    the seed enumeration run once for the system and once per pair."""
+    groups, table, kernel = structure
+
+    def sweep_bdd():
+        return kernel.evaluate_all(table)
+
+    system, per_group = benchmark(sweep_bdd)
+
+    def sweep_reference():
+        return (
+            system_availability_reference(groups, table),
+            tuple(
+                pair_availability_reference(group, table) for group in groups
+            ),
+        )
+
+    ref_system, ref_groups = sweep_reference()
+    assert system == pytest.approx(ref_system, abs=1e-12)
+    for value, expected in zip(per_group, ref_groups):
+        assert value == pytest.approx(expected, abs=1e-12)
+
+    seed_time = _best(sweep_reference)
+    bdd_time = _best(sweep_bdd)
+    assert seed_time / bdd_time >= ALL_PAIRS_FLOOR
+
+
+def test_reference_all_pairs_baseline(benchmark, structure):
+    """The seed enumeration baseline, recorded for the trajectory."""
+    groups, table, _ = structure
+    value = benchmark.pedantic(
+        system_availability_reference,
+        args=(groups, table),
+        rounds=3,
+        iterations=1,
+    )
+    assert 0.0 < value < 1.0
+
+
+# -- k=2 campaign sweep: batched re-evaluation of one structure --------------
+
+
+def _fault_tables(kernel, table):
+    """One probability vector per k=2 crash combination, in kernel
+    variable order — the campaign's evaluation workload."""
+    base = kernel.probability_vector(table)
+    nodes = [name for name in kernel.variables if "|" not in name]
+    combos = list(itertools.combinations(nodes, 2))
+    matrix = np.repeat(base[np.newaxis, :], len(combos), axis=0)
+    for row, combo in enumerate(combos):
+        for name in combo:
+            matrix[row, kernel.index[name]] = 0.0
+    return combos, matrix
+
+
+def test_bdd_k2_campaign_batch(benchmark, structure):
+    """All k=2 crash combinations in one vectorized ``evaluate_many``
+    call vs one seed enumeration per combination."""
+    groups, table, kernel = structure
+    combos, matrix = _fault_tables(kernel, table)
+    assert len(combos) >= 28  # the case study has ≥8 node components
+
+    def sweep_bdd():
+        return kernel.evaluate_many(matrix)
+
+    batch = benchmark(sweep_bdd)
+
+    def sweep_reference():
+        values = []
+        for combo in combos:
+            forced = dict(table, **{name: 0.0 for name in combo})
+            values.append(system_availability_reference(groups, forced))
+        return values
+
+    for value, expected in zip(batch, sweep_reference()):
+        assert value == pytest.approx(expected, abs=1e-12)
+
+    seed_time = _best(sweep_reference, reps=2)
+    bdd_time = _best(sweep_bdd)
+    assert seed_time / bdd_time >= CAMPAIGN_FLOOR
+
+
+# -- kernel memoization: same-plan campaign re-runs --------------------------
+
+
+def test_campaign_rerun_hit_rate(benchmark, usi, printing, table1):
+    """Re-running the same campaign plan recompiles nothing: every
+    structure lookup after the first run is a fingerprint cache hit."""
+    kernel_cache_clear()
+    run_campaign(usi, printing, table1, k=1, kernel="bdd")  # populate
+
+    before = kernel_cache_info()
+    report = benchmark.pedantic(
+        run_campaign,
+        args=(usi, printing, table1),
+        kwargs={"k": 1, "kernel": "bdd"},
+        rounds=3,
+        iterations=1,
+    )
+    after = kernel_cache_info()
+    assert report.results
+
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    assert hits > 0
+    assert hits / (hits + misses) >= HIT_RATE_FLOOR

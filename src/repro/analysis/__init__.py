@@ -1,11 +1,19 @@
 """UPSIM → dependability-model bridge and reporting (Section VII, ref [20]).
 
 Transforms a generated UPSIM into reliability block diagrams and fault
-trees, computes exact user-perceived availability (state enumeration,
-inclusion–exclusion, factoring), and renders per-pair reports.
+trees, computes exact user-perceived availability (compiled BDD kernel,
+inclusion–exclusion, state enumeration), and renders per-pair reports.
 """
 
-from repro.analysis.exact import MAX_COMPONENTS, pair_availability, system_availability
+from repro.analysis.exact import (
+    KERNELS,
+    MAX_COMPONENTS,
+    pair_availability,
+    pair_availability_reference,
+    system_availability,
+    system_availability_reference,
+    system_path_sets,
+)
 from repro.analysis.placement import PlacementScore, rank_providers
 from repro.analysis.report import AvailabilityReport, PairReport, analyze_upsim
 from repro.analysis.transformations import (
@@ -13,6 +21,7 @@ from repro.analysis.transformations import (
     pair_fault_tree,
     pair_path_sets,
     pair_rbd,
+    service_availability_kernel,
     service_path_set_groups,
     service_rbd,
 )
@@ -36,9 +45,14 @@ __all__ = [
     "PlacementScore",
     "rank_providers",
     "system_availability",
+    "system_availability_reference",
     "pair_availability",
+    "pair_availability_reference",
+    "system_path_sets",
+    "KERNELS",
     "MAX_COMPONENTS",
     "component_availabilities",
+    "service_availability_kernel",
     "pair_rbd",
     "pair_fault_tree",
     "pair_path_sets",

@@ -16,9 +16,11 @@ value by enumerating all component states, vectorized with numpy:
 
 With n components this costs O(2^n) memory/time; :data:`MAX_COMPONENTS`
 caps n at 22 (≈ 34 MB of float64), which comfortably covers case-study
-UPSIMs.  Larger systems should use
-:class:`repro.dependability.montecarlo.TwoTerminalMC` or the RBD with
-factoring.
+UPSIMs.  The enumeration is kept as the ``*_reference`` oracle; passing
+``kernel="bdd"`` routes the same queries through the compiled
+:mod:`repro.dependability.bdd` kernel — one O(|BDD|) pass per probability
+vector, no component bound, structure memoized across calls — and
+``kernel="ie"`` through inclusion–exclusion over the system path sets.
 """
 
 from __future__ import annotations
@@ -29,7 +31,19 @@ import numpy as np
 
 from repro.errors import AnalysisError
 
-__all__ = ["system_availability", "pair_availability", "MAX_COMPONENTS"]
+__all__ = [
+    "system_availability",
+    "pair_availability",
+    "system_availability_reference",
+    "pair_availability_reference",
+    "system_path_sets",
+    "MAX_COMPONENTS",
+    "KERNELS",
+]
+
+#: Recognized evaluation kernels: compiled BDD, inclusion–exclusion over
+#: system path sets, and the seed's state enumeration.
+KERNELS = ("bdd", "ie", "enum")
 
 #: Exact enumeration bound (2^22 states ≈ 34 MB of probabilities).
 MAX_COMPONENTS = 22
@@ -53,13 +67,85 @@ def _state_probabilities(availabilities: Sequence[float]) -> np.ndarray:
 def system_availability(
     path_set_groups: Sequence[Sequence[FrozenSet[str]]],
     availabilities: Dict[str, float],
+    *,
+    kernel: str = "enum",
 ) -> float:
     """Exact P(every group has at least one fully-available path set).
 
     *path_set_groups* holds, per requester/provider pair, that pair's path
     component sets.  Shared components across groups are handled exactly —
-    each physical component is one bit, regardless of how many paths and
-    pairs it appears in.
+    each physical component is one random variable, regardless of how many
+    paths and pairs it appears in.
+
+    *kernel* selects the evaluation route: ``"enum"`` (default) is the
+    seed's vectorized state enumeration, bounded by :data:`MAX_COMPONENTS`;
+    ``"bdd"`` compiles the structure into a memoized
+    :class:`repro.dependability.bdd.AvailabilityKernel` (no component
+    bound, and repeat evaluations of the same structure only re-run the
+    O(|BDD|) probability pass); ``"ie"`` runs inclusion–exclusion over the
+    minimized system path sets (bounded by
+    :data:`repro.dependability.cutsets.MAX_INCLUSION_EXCLUSION_SETS`).
+    All three agree to within floating-point noise.
+    """
+    if kernel not in KERNELS:
+        raise AnalysisError(
+            f"unknown availability kernel {kernel!r}; expected one of {KERNELS}"
+        )
+    if kernel == "bdd":
+        from repro.dependability.bdd import system_availability_bdd
+
+        return system_availability_bdd(path_set_groups, availabilities)
+    if kernel == "ie":
+        from repro.dependability.cutsets import inclusion_exclusion
+
+        return inclusion_exclusion(
+            system_path_sets(path_set_groups), availabilities
+        )
+    return system_availability_reference(path_set_groups, availabilities)
+
+
+def system_path_sets(
+    path_set_groups: Sequence[Sequence[FrozenSet[str]]],
+) -> List[FrozenSet[str]]:
+    """The system-level minimal path sets: the conjunction over groups
+    distributes into unions of one path per group, minimized.
+
+    This is the shape inclusion–exclusion needs; the cross product can
+    grow multiplicatively, so the incremental result is re-minimized after
+    every group and the inclusion–exclusion bound is enforced along the
+    way.
+    """
+    from repro.dependability.cutsets import (
+        MAX_INCLUSION_EXCLUSION_SETS,
+        minimize_sets,
+    )
+
+    if not path_set_groups:
+        raise AnalysisError("system_availability requires at least one group")
+    sets: List[FrozenSet[str]] = [frozenset()]
+    for group in path_set_groups:
+        if not group:
+            raise AnalysisError("a pair with no path sets is never connected")
+        sets = minimize_sets(
+            partial | path for partial in sets for path in group
+        )
+        if len(sets) > MAX_INCLUSION_EXCLUSION_SETS:
+            raise AnalysisError(
+                f"system path sets exceed {MAX_INCLUSION_EXCLUSION_SETS} "
+                f"(got {len(sets)}); use the bdd kernel instead"
+            )
+    if sets == [frozenset()]:
+        raise AnalysisError("system_availability requires at least one component")
+    return sets
+
+
+def system_availability_reference(
+    path_set_groups: Sequence[Sequence[FrozenSet[str]]],
+    availabilities: Dict[str, float],
+) -> float:
+    """The seed evaluator — vectorized enumeration of all 2^n component
+    states.  Kept verbatim as the oracle the compiled kernels are tested
+    against (PR-1 ``*_reference`` convention).
     """
     if not path_set_groups:
         raise AnalysisError("system_availability requires at least one group")
@@ -106,6 +192,16 @@ def system_availability(
 def pair_availability(
     path_sets: Sequence[FrozenSet[str]],
     availabilities: Dict[str, float],
+    *,
+    kernel: str = "enum",
 ) -> float:
     """Exact availability of a single requester/provider pair."""
-    return system_availability([list(path_sets)], availabilities)
+    return system_availability([list(path_sets)], availabilities, kernel=kernel)
+
+
+def pair_availability_reference(
+    path_sets: Sequence[FrozenSet[str]],
+    availabilities: Dict[str, float],
+) -> float:
+    """Seed pair evaluator (state enumeration) — the equivalence oracle."""
+    return system_availability_reference([list(path_sets)], availabilities)

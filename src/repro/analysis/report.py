@@ -12,11 +12,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.analysis.exact import MAX_COMPONENTS, pair_availability, system_availability
+from repro.analysis.exact import (
+    KERNELS,
+    MAX_COMPONENTS,
+    pair_availability,
+    system_availability,
+)
 from repro.analysis.transformations import (
     component_availabilities,
     pair_path_sets,
     pair_rbd,
+    service_availability_kernel,
     service_path_set_groups,
     service_rbd,
 )
@@ -27,7 +33,11 @@ from repro.dependability.cutsets import (
     minimal_cut_sets,
     minimize_sets,
 )
-from repro.dependability.importance import ImportanceRow, importance_table
+from repro.dependability.importance import (
+    ImportanceRow,
+    importance_from_birnbaum,
+    importance_table,
+)
 from repro.dependability.montecarlo import MCEstimate
 from repro.errors import AnalysisError
 from repro.uml.objects import ObjectModel
@@ -177,6 +187,7 @@ def analyze_upsim(
     montecarlo_samples: int = 0,
     importance_components: int = 10,
     seed: int = 0,
+    kernel: str = "bdd",
 ) -> AvailabilityReport:
     """Analyze a UPSIM end to end.
 
@@ -191,15 +202,39 @@ def analyze_upsim(
     importance_components:
         Number of node components to rank (0 disables).  Importance is
         evaluated against the exact service availability.
+    kernel:
+        Evaluation route (see :data:`repro.analysis.exact.KERNELS`).  The
+        default ``"bdd"`` compiles the service structure once and answers
+        every query — pair and service availabilities, minimal cut sets,
+        the full importance gradient — from the same DAG; it is exact at
+        any component count.  ``"enum"``/``"ie"`` use the reference
+        evaluators (enumeration falls back to Monte Carlo beyond
+        :data:`~repro.analysis.exact.MAX_COMPONENTS` components).
     """
+    if kernel not in KERNELS:
+        raise AnalysisError(
+            f"unknown availability kernel {kernel!r}; expected one of {KERNELS}"
+        )
     availabilities = component_availabilities(
         upsim.model, formula=formula, include_links=include_links
     )
+    groups = service_path_set_groups(upsim, include_links=include_links)
+
+    if kernel == "bdd":
+        return _analyze_upsim_bdd(
+            upsim,
+            availabilities,
+            groups,
+            include_links=include_links,
+            montecarlo_samples=montecarlo_samples,
+            importance_components=importance_components,
+            seed=seed,
+        )
 
     pair_reports: List[PairReport] = []
     for atomic_service, path_set in upsim.path_sets.items():
         sets = minimize_sets(pair_path_sets(path_set, include_links=include_links))
-        exact = pair_availability(sets, availabilities)
+        exact = pair_availability(sets, availabilities, kernel=kernel)
         cuts = minimal_cut_sets(sets)
         lower, upper = esary_proschan_bounds(sets, cuts, availabilities)
         pair_reports.append(
@@ -216,10 +251,11 @@ def analyze_upsim(
             )
         )
 
-    groups = service_path_set_groups(upsim, include_links=include_links)
     component_count = len({c for group in groups for path in group for c in path})
-    if component_count <= MAX_COMPONENTS:
-        service_availability = system_availability(groups, availabilities)
+    if kernel == "ie" or component_count <= MAX_COMPONENTS:
+        service_availability = system_availability(
+            groups, availabilities, kernel=kernel
+        )
     else:
         # beyond the exact-enumeration bound: estimate with a large
         # vectorized Monte-Carlo run (factoring the service RBD would be
@@ -238,10 +274,10 @@ def analyze_upsim(
     if importance_components > 0:
         node_names = [name for name in upsim.component_names]
 
-        if component_count <= MAX_COMPONENTS:
+        if kernel == "ie" or component_count <= MAX_COMPONENTS:
 
             def evaluator(table: Dict[str, float]) -> float:
-                return system_availability(groups, table)
+                return system_availability(groups, table, kernel=kernel)
 
         else:
             # beyond the exact bound: a fixed-seed MC evaluator keeps the
@@ -254,6 +290,81 @@ def analyze_upsim(
         importance = importance_table(evaluator, availabilities, node_names)[
             :importance_components
         ]
+
+    return AvailabilityReport(
+        service_name=upsim.service_name,
+        pairs=pair_reports,
+        service_availability=service_availability,
+        service_downtime_minutes_per_year=downtime_minutes_per_year(
+            service_availability
+        ),
+        importance=importance,
+        montecarlo=montecarlo,
+    )
+
+
+def _analyze_upsim_bdd(
+    upsim: UPSIM,
+    availabilities: Dict[str, float],
+    groups: Sequence[Sequence[FrozenSet[str]]],
+    *,
+    include_links: bool,
+    montecarlo_samples: int,
+    importance_components: int,
+    seed: int,
+) -> AvailabilityReport:
+    """The compiled-kernel analysis route: every quantity of the report —
+    all pair availabilities, the service availability, per-pair minimal
+    cut sets and the full importance gradient — comes from one compiled
+    BDD, evaluated in a handful of O(|BDD|) passes (the enumeration route
+    re-enumerates 2^n states for each of those queries)."""
+    kernel = service_availability_kernel(upsim, include_links=include_links)
+    service_availability, group_values = kernel.evaluate_all(availabilities)
+
+    # kernel groups are the distinct unordered pairs in first-seen order;
+    # atomic services repeating a pair share its group (same keying as
+    # transformations._distinct_pairs)
+    group_index: Dict[Tuple[str, str], int] = {}
+    group_cuts: Dict[int, Tuple[FrozenSet[str], ...]] = {}
+    pair_reports: List[PairReport] = []
+    for atomic_service, path_set in upsim.path_sets.items():
+        key = tuple(sorted((path_set.requester, path_set.provider)))
+        index = group_index.setdefault(key, len(group_index))
+        if index not in group_cuts:
+            group_cuts[index] = tuple(kernel.minimal_cut_sets(group=index))
+        exact = group_values[index]
+        cuts = group_cuts[index]
+        lower, upper = esary_proschan_bounds(
+            kernel.minimal_path_sets(group=index), cuts, availabilities
+        )
+        pair_reports.append(
+            PairReport(
+                atomic_service=atomic_service,
+                requester=path_set.requester,
+                provider=path_set.provider,
+                path_count=path_set.count,
+                availability=exact,
+                lower_bound=lower,
+                upper_bound=upper,
+                downtime_minutes_per_year=downtime_minutes_per_year(exact),
+                min_cut_sets=cuts,
+            )
+        )
+
+    montecarlo: Optional[MCEstimate] = None
+    if montecarlo_samples > 0:
+        montecarlo = _sample_service_availability(
+            groups, availabilities, samples=montecarlo_samples, seed=seed
+        )
+
+    importance: List[ImportanceRow] = []
+    if importance_components > 0:
+        importance = importance_from_birnbaum(
+            availabilities,
+            service_availability,
+            kernel.birnbaum(availabilities),
+            list(upsim.component_names),
+        )[:importance_components]
 
     return AvailabilityReport(
         service_name=upsim.service_name,

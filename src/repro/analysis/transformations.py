@@ -42,6 +42,7 @@ __all__ = [
     "service_rbd",
     "pair_path_sets",
     "service_path_set_groups",
+    "service_availability_kernel",
 ]
 
 
@@ -155,3 +156,24 @@ def service_path_set_groups(
         pair_path_sets(path_set, include_links=include_links)
         for _, path_set in _distinct_pairs(upsim)
     ]
+
+
+def service_availability_kernel(
+    upsim: UPSIM, *, include_links: bool = True
+):
+    """The compiled BDD kernel of the whole service structure.
+
+    Groups follow :func:`service_path_set_groups` order (distinct pairs),
+    so ``kernel.group_roots[i]`` is the i-th distinct pair's function.
+    The variable order comes from the engine's CSR ids
+    (:func:`repro.dependability.bdd.order_from_topology`), and the
+    compiled kernel is memoized by structure fingerprint — a campaign
+    re-evaluating the same UPSIM under hundreds of fault combinations
+    compiles once.
+    """
+    from repro.dependability.bdd import compile_structure, order_from_topology
+
+    groups = service_path_set_groups(upsim, include_links=include_links)
+    components = {c for group in groups for path in group for c in path}
+    order = order_from_topology(Topology(upsim.model), components)
+    return compile_structure(groups, order=order)

@@ -18,10 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.analysis.exact import system_availability
+from repro.analysis.exact import KERNELS, system_availability
 from repro.analysis.transformations import (
     component_availabilities,
     pair_path_sets,
+    service_availability_kernel,
     service_path_set_groups,
 )
 from repro.core.upsim import UPSIM
@@ -70,6 +71,7 @@ def combined_failure_impact(
     *,
     include_links: bool = True,
     availabilities: Optional[Dict[str, float]] = None,
+    kernel: str = "bdd",
 ) -> FailureImpact:
     """Assess *components* (nodes and/or ``a|b`` link names) all being down
     at once — the k-fault scenario a resilience campaign sweeps.
@@ -78,7 +80,17 @@ def combined_failure_impact(
     the given availability table (useful for degrade-only fault plans,
     where nothing is structurally down but the table carries overridden
     MTBF/MTTR values).
+
+    The default ``kernel="bdd"`` compiles the service structure once (and
+    finds it in the kernel cache on every subsequent call for the same
+    UPSIM — a campaign sweeping hundreds of fault combinations pays one
+    compilation); ``"enum"``/``"ie"`` route through
+    :func:`repro.analysis.exact.system_availability`.
     """
+    if kernel not in KERNELS:
+        raise AnalysisError(
+            f"unknown availability kernel {kernel!r}; expected one of {KERNELS}"
+        )
     table = (
         dict(availabilities)
         if availabilities is not None
@@ -103,15 +115,26 @@ def combined_failure_impact(
             elif len(surviving) < len(sets):
                 degraded.append(atomic_service)
 
-    groups = service_path_set_groups(upsim, include_links=include_links)
-    baseline = system_availability(groups, table)
-    if down:
-        forced = dict(table)
-        for component in down:
-            forced[component] = 0.0
-        conditional = system_availability(groups, forced)
+    if kernel == "bdd":
+        compiled = service_availability_kernel(upsim, include_links=include_links)
+        baseline = compiled.availability(table)
+        if down:
+            forced = dict(table)
+            for component in down:
+                forced[component] = 0.0
+            conditional = compiled.availability(forced)
+        else:
+            conditional = baseline
     else:
-        conditional = baseline
+        groups = service_path_set_groups(upsim, include_links=include_links)
+        baseline = system_availability(groups, table, kernel=kernel)
+        if down:
+            forced = dict(table)
+            for component in down:
+                forced[component] = 0.0
+            conditional = system_availability(groups, forced, kernel=kernel)
+        else:
+            conditional = baseline
 
     return FailureImpact(
         component="+".join(sorted(down)),
@@ -128,6 +151,7 @@ def failure_impact(
     *,
     include_links: bool = True,
     availabilities: Optional[Dict[str, float]] = None,
+    kernel: str = "bdd",
 ) -> FailureImpact:
     """Assess the impact of *component* (a node or ``a|b`` link name) being
     down on every atomic service of the UPSIM."""
@@ -136,6 +160,7 @@ def failure_impact(
         (component,),
         include_links=include_links,
         availabilities=availabilities,
+        kernel=kernel,
     )
 
 
@@ -144,6 +169,7 @@ def impact_table(
     *,
     include_links: bool = False,
     components: Optional[Sequence[str]] = None,
+    kernel: str = "bdd",
 ) -> List[FailureImpact]:
     """Failure impact for every UPSIM component (or the given subset),
     ranked most severe first (hard outages before degradations, then by
@@ -151,6 +177,11 @@ def impact_table(
 
     Defaults to node granularity (``include_links=False``) — the triage
     view an operator wants; pass ``include_links=True`` to rank cables too.
+
+    With the default ``kernel="bdd"`` the whole scan is one batched
+    :meth:`~repro.dependability.bdd.AvailabilityKernel.evaluate_many`
+    sweep: one probability matrix with one row per candidate component,
+    one vectorized DAG pass, instead of a full evaluation per component.
     """
     if components is not None:
         names = list(components)
@@ -163,12 +194,21 @@ def impact_table(
                 link_component_name(a, b) for a, b in sorted(upsim.used_links())
             )
     table = component_availabilities(upsim.model, include_links=include_links)
-    impacts = [
-        failure_impact(
-            upsim, name, include_links=include_links, availabilities=table
+    if kernel == "bdd":
+        impacts = _impact_table_batched(
+            upsim, names, table, include_links=include_links
         )
-        for name in names
-    ]
+    else:
+        impacts = [
+            failure_impact(
+                upsim,
+                name,
+                include_links=include_links,
+                availabilities=table,
+                kernel=kernel,
+            )
+            for name in names
+        ]
     impacts.sort(
         key=lambda impact: (
             -len(impact.disconnected_services),
@@ -176,4 +216,56 @@ def impact_table(
             impact.component,
         )
     )
+    return impacts
+
+
+def _impact_table_batched(
+    upsim: UPSIM,
+    names: Sequence[str],
+    table: Dict[str, float],
+    *,
+    include_links: bool,
+) -> List[FailureImpact]:
+    """One compiled kernel, one probability matrix, one vectorized pass."""
+    import numpy as np
+
+    for name in names:
+        if name not in table:
+            raise AnalysisError(
+                f"component {name!r} is not part of UPSIM {upsim.model.name!r}"
+            )
+    compiled = service_availability_kernel(upsim, include_links=include_links)
+    base_vector = compiled.probability_vector(table)
+    baseline = float(compiled.evaluate_many(base_vector[np.newaxis, :])[0])
+    matrix = np.repeat(base_vector[np.newaxis, :], len(names), axis=0)
+    for row, name in enumerate(names):
+        column = compiled.index.get(name)
+        if column is not None:
+            matrix[row, column] = 0.0
+    conditionals = compiled.evaluate_many(matrix)
+
+    service_sets = {
+        atomic_service: pair_path_sets(path_set, include_links=include_links)
+        for atomic_service, path_set in upsim.path_sets.items()
+    }
+    impacts: List[FailureImpact] = []
+    for row, name in enumerate(names):
+        down = frozenset((name,))
+        disconnected: List[str] = []
+        degraded: List[str] = []
+        for atomic_service, sets in service_sets.items():
+            surviving = _surviving_paths(sets, down)
+            if not surviving:
+                disconnected.append(atomic_service)
+            elif len(surviving) < len(sets):
+                degraded.append(atomic_service)
+        impacts.append(
+            FailureImpact(
+                component=name,
+                disconnected_services=tuple(disconnected),
+                degraded_services=tuple(degraded),
+                conditional_availability=float(conditionals[row]),
+                baseline_availability=baseline,
+            )
+        )
     return impacts

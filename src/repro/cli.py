@@ -151,6 +151,13 @@ def build_parser() -> argparse.ArgumentParser:
         "degrade:c2:mtbf=100; runs in degradation-tolerant mode and "
         "reports per-pair diagnostics plus the partial UPSIM",
     )
+    case.add_argument(
+        "--kernel",
+        choices=("bdd", "ie", "enum"),
+        default="bdd",
+        help="availability evaluator: compiled BDD kernel (default), "
+        "inclusion-exclusion, or reference state enumeration",
+    )
 
     campaign = sub.add_parser(
         "campaign",
@@ -181,6 +188,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--limit", type=int, default=10, help="rows in the text ranking"
+    )
+    campaign.add_argument(
+        "--kernel",
+        choices=("bdd", "ie", "enum"),
+        default="bdd",
+        help="availability evaluator for the sweep (default: compiled BDD)",
     )
 
     def add_model_args(p: argparse.ArgumentParser, with_service: bool) -> None:
@@ -213,6 +226,12 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--mc", type=int, default=0)
     analyze.add_argument(
         "--no-links", action="store_true", help="ignore link failures"
+    )
+    analyze.add_argument(
+        "--kernel",
+        choices=("bdd", "ie", "enum"),
+        default="bdd",
+        help="availability evaluator (default: compiled BDD)",
     )
 
     validate = sub.add_parser("validate", help="constraint-check a model bundle")
@@ -355,7 +374,11 @@ def cmd_casestudy(args: argparse.Namespace) -> int:
     )
     print(object_model_text(upsim.model))
     print()
-    print(analyze_upsim(upsim, montecarlo_samples=args.mc).to_text())
+    print(
+        analyze_upsim(
+            upsim, montecarlo_samples=args.mc, kernel=args.kernel
+        ).to_text()
+    )
     return 0
 
 
@@ -371,6 +394,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         k=args.k,
         ticks=args.ticks,
         include_links=args.links,
+        kernel=args.kernel,
     )
     if args.json:
         print(report.to_json())
@@ -425,6 +449,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         formula=args.formula,
         include_links=not args.no_links,
         montecarlo_samples=args.mc,
+        kernel=args.kernel,
     )
     print(report.to_text())
     return 0

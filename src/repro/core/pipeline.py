@@ -223,6 +223,7 @@ class MethodologyPipeline:
         max_paths: Optional[int] = None,
         jobs: Optional[int] = None,
         resilience: Optional["ResiliencePolicy"] = None,
+        kernel: Optional[str] = None,
     ) -> PipelineReport:
         """Execute the automated Steps 5–8, skipping up-to-date stages.
 
@@ -235,6 +236,13 @@ class MethodologyPipeline:
         the first failing stage or unreachable pair) to graceful
         degradation — see the module docstring.  ``resilience.jobs``
         overrides *jobs* when set.
+
+        ``kernel`` (``"bdd"``/``"ie"``/``"enum"``) pre-selects the
+        availability evaluator for the analysis that follows Step 8:
+        with ``"bdd"`` the service structure is compiled into the
+        memoized BDD kernel as part of Step 8, so the first
+        :meth:`analyze` (and every campaign evaluation of this UPSIM)
+        starts from a warm cache.
         """
         self._require_inputs()
         assert self._infrastructure and self._service and self._mapping
@@ -247,17 +255,26 @@ class MethodologyPipeline:
             self._dirty |= {"discover_paths", "generate_upsim"}
             self._discovery_mode = mode
 
+        if kernel is not None:
+            from repro.analysis.exact import KERNELS
+
+            if kernel not in KERNELS:
+                raise ReproError(
+                    f"unknown availability kernel {kernel!r}; "
+                    f"expected one of {KERNELS}"
+                )
+
         report = PipelineReport()
 
         if resilience is None:
-            self._run_stages(report, max_depth, max_paths, jobs, None)
+            self._run_stages(report, max_depth, max_paths, jobs, None, kernel)
             report.upsim = self.upsim
             return report
 
         # resilient mode: per-stage error isolation — a failing stage is
         # recorded, its dependents are skipped, and the report returns
         try:
-            self._run_stages(report, max_depth, max_paths, jobs, resilience)
+            self._run_stages(report, max_depth, max_paths, jobs, resilience, kernel)
         except ReproError as exc:
             failed = (
                 report.stages[-1].stage
@@ -290,6 +307,7 @@ class MethodologyPipeline:
         max_paths: Optional[int],
         jobs: Optional[int],
         resilience: Optional["ResiliencePolicy"],
+        kernel: Optional[str] = None,
     ) -> None:
         assert self._infrastructure and self._service and self._mapping
 
@@ -397,10 +415,46 @@ class MethodologyPipeline:
                 self.upsim = None
                 raise
             self._mark_upsim_entities()
+            if kernel is not None:
+                self._warm_kernel(kernel, resilient=resilience is not None)
             self._dirty.discard("generate_upsim")
             report.stages[-1].seconds = time.perf_counter() - start
         else:
             report.stages.append(StageReport("generate_upsim", False, 0.0))
+            if kernel is not None and self.upsim is not None:
+                # a reused Step 8 still warms the kernel cache (memoized —
+                # free when an earlier run already compiled the structure)
+                self._warm_kernel(kernel, resilient=resilience is not None)
+
+    def _warm_kernel(self, kernel: str, *, resilient: bool) -> None:
+        """Pre-compile the availability kernel for the generated UPSIM.
+
+        Only ``"bdd"`` has structure to compile; the reference kernels
+        evaluate from scratch every time.  Partial UPSIMs (resilient mode
+        with unreachable pairs) have no total structure function — the
+        warm-up is skipped rather than failed.
+        """
+        if kernel != "bdd" or self.upsim is None:
+            return
+        from repro.analysis.transformations import service_availability_kernel
+
+        try:
+            service_availability_kernel(self.upsim, include_links=True)
+        except ReproError:
+            if not resilient:
+                raise
+
+    def analyze(self, **kwargs):
+        """Section-VII availability analysis of the generated UPSIM
+        (delegates to :func:`repro.analysis.report.analyze_upsim`; pass
+        ``kernel=...`` and friends through as keyword arguments)."""
+        if self.upsim is None:
+            raise ReproError(
+                "pipeline has not produced a UPSIM yet; call run() first"
+            )
+        from repro.analysis.report import analyze_upsim
+
+        return analyze_upsim(self.upsim, **kwargs)
 
     # -- model-space bookkeeping ---------------------------------------------
 

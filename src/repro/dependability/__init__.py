@@ -1,11 +1,27 @@
 """Dependability analysis substrate (Section VII and companion paper [20]).
 
 Component availability (Formula 1), reliability block diagrams, fault
-trees, minimal path/cut sets with exact inclusion–exclusion, Monte-Carlo
+trees, minimal path/cut sets with exact inclusion–exclusion, a compiled
+BDD availability kernel (:mod:`repro.dependability.bdd`), Monte-Carlo
 estimation with failure injection, importance measures, responsiveness and
 performability — everything needed to analyze a generated UPSIM.
 """
 
+from repro.dependability.bdd import (
+    BDD,
+    AvailabilityKernel,
+    compile_pair,
+    compile_structure,
+    frequency_order,
+    kernel_cache_clear,
+    kernel_cache_info,
+    kernel_stats,
+    order_from_topology,
+    pair_availability_bdd,
+    reset_kernel_stats,
+    structure_fingerprint,
+    system_availability_bdd,
+)
 from repro.dependability.availability import (
     HOURS_PER_YEAR,
     ComponentAvailability,
@@ -25,6 +41,7 @@ from repro.dependability.cutsets import (
     path_components,
 )
 from repro.dependability.faulttree import (
+    MAX_FACTORED_REPEATS,
     AndGate,
     BasicEvent,
     FaultTreeNode,
@@ -32,7 +49,11 @@ from repro.dependability.faulttree import (
     VoteGate,
     from_rbd,
 )
-from repro.dependability.importance import ImportanceRow, importance_table
+from repro.dependability.importance import (
+    ImportanceRow,
+    importance_from_birnbaum,
+    importance_table,
+)
 from repro.dependability.markov import (
     CTMC,
     component_ctmc,
@@ -42,6 +63,7 @@ from repro.dependability.markov import (
 from repro.dependability.montecarlo import (
     MCEstimate,
     RenewalResult,
+    SeedLike,
     TwoTerminalMC,
     simulate_alternating_renewal,
 )
@@ -82,6 +104,20 @@ __all__ = [
     "OrGate",
     "VoteGate",
     "from_rbd",
+    "MAX_FACTORED_REPEATS",
+    "BDD",
+    "AvailabilityKernel",
+    "compile_structure",
+    "compile_pair",
+    "system_availability_bdd",
+    "pair_availability_bdd",
+    "frequency_order",
+    "order_from_topology",
+    "structure_fingerprint",
+    "kernel_stats",
+    "reset_kernel_stats",
+    "kernel_cache_info",
+    "kernel_cache_clear",
     "link_component_name",
     "path_components",
     "minimize_sets",
@@ -90,10 +126,12 @@ __all__ = [
     "esary_proschan_bounds",
     "TwoTerminalMC",
     "MCEstimate",
+    "SeedLike",
     "simulate_alternating_renewal",
     "RenewalResult",
     "ImportanceRow",
     "importance_table",
+    "importance_from_birnbaum",
     "CTMC",
     "component_ctmc",
     "redundancy_group_ctmc",

@@ -1,0 +1,657 @@
+"""Compiled availability kernel: reduced ordered binary decision diagrams.
+
+The exact evaluators of :mod:`repro.analysis.exact` enumerate all 2^n
+component states and :func:`repro.dependability.cutsets.inclusion_exclusion`
+is exponential in the number of path sets — and both redo all of that work
+for every (requester, provider) pair and for every fault combination of a
+campaign sweep, even though the logical *structure* never changes between
+evaluations.  This module compiles the structure once:
+
+* the success function of a pair (OR over its path sets, each the AND of
+  its components) — and of the whole service (AND over all distinct
+  pairs) — is built as a reduced ordered BDD with a shared unique table,
+  so components repeated across paths and across pairs appear once;
+* availability is a single bottom-up pass over the DAG,
+  ``P(node) = p·P(high) + (1-p)·P(low)`` — O(|BDD|) per probability
+  vector instead of O(2^n);
+* Birnbaum importances for *every* variable come from one extra top-down
+  pass (node reach probabilities), and all classic importance measures
+  derive from them by multilinearity;
+* minimal cut sets and minimal path sets fall out of one memoized
+  bottom-up recursion over the same DAG (the structure function is
+  monotone — all literals are positive — so no complement handling is
+  needed);
+* :meth:`AvailabilityKernel.evaluate_many` batches k probability vectors
+  through one vectorized numpy sweep — the campaign fast path.
+
+Compiled kernels are memoized in a weight-bounded LRU keyed by a blake2b
+fingerprint of the path-set structure and the variable order, mirroring
+the engine's PathSet cache: a campaign that evaluates hundreds of fault
+combinations against one UPSIM compiles the BDD once and then only
+re-evaluates terminal probabilities.
+
+Variable order matters for BDD size; :func:`order_from_topology` derives
+it from the compiled engine's CSR ids so that topologically adjacent
+components (and the links between them) get adjacent decision levels —
+a good heuristic for network connectivity functions.  Without a topology
+the fallback orders by descending occurrence frequency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import Counter
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.core.engine import _LRU, compile_topology
+from repro.dependability.cutsets import minimize_sets
+from repro.errors import AnalysisError
+from repro.network.topology import Topology
+
+__all__ = [
+    "BDD",
+    "AvailabilityKernel",
+    "compile_structure",
+    "compile_pair",
+    "structure_fingerprint",
+    "frequency_order",
+    "order_from_topology",
+    "system_availability_bdd",
+    "pair_availability_bdd",
+    "kernel_stats",
+    "reset_kernel_stats",
+    "kernel_cache_info",
+    "kernel_cache_clear",
+]
+
+
+class BDD:
+    """A reduced ordered BDD manager over variables ``0 … nvar-1``.
+
+    Nodes live in parallel arrays (``var``/``low``/``high``) indexed by
+    node id; ids 0 and 1 are the FALSE/TRUE terminals (their ``var`` is
+    the out-of-range sentinel ``nvar``, which makes "smallest variable on
+    top" comparisons uniform).  The unique table guarantees one node per
+    (var, low, high) triple, so structurally equal functions are pointer
+    equal and the apply caches can key on ids alone.
+    """
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self, nvar: int):
+        self.nvar = nvar
+        self.var: List[int] = [nvar, nvar]
+        self.low: List[int] = [0, 1]
+        self.high: List[int] = [0, 1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._cache: Dict[Tuple[int, ...], int] = {}
+
+    def __len__(self) -> int:
+        return len(self.var)
+
+    def mk(self, variable: int, low: int, high: int) -> int:
+        """The unique node for (variable, low, high), reduced."""
+        if low == high:
+            return low
+        key = (variable, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self.var)
+            self.var.append(variable)
+            self.low.append(low)
+            self.high.append(high)
+            self._unique[key] = node
+        return node
+
+    def cube(self, variables: Iterable[int]) -> int:
+        """The conjunction of positive literals — one path's success."""
+        node = self.TRUE
+        for variable in sorted(set(variables), reverse=True):
+            node = self.mk(variable, self.FALSE, node)
+        return node
+
+    def _cofactors(self, node: int, variable: int) -> Tuple[int, int]:
+        if self.var[node] == variable:
+            return self.low[node], self.high[node]
+        return node, node
+
+    def apply_and(self, f: int, g: int) -> int:
+        if f == 0 or g == 0:
+            return 0
+        if f == 1:
+            return g
+        if g == 1 or f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (0, f, g)
+        result = self._cache.get(key)
+        if result is None:
+            top = min(self.var[f], self.var[g])
+            f0, f1 = self._cofactors(f, top)
+            g0, g1 = self._cofactors(g, top)
+            result = self.mk(top, self.apply_and(f0, g0), self.apply_and(f1, g1))
+            self._cache[key] = result
+        return result
+
+    def apply_or(self, f: int, g: int) -> int:
+        if f == 1 or g == 1:
+            return 1
+        if f == 0:
+            return g
+        if g == 0 or f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (1, f, g)
+        result = self._cache.get(key)
+        if result is None:
+            top = min(self.var[f], self.var[g])
+            f0, f1 = self._cofactors(f, top)
+            g0, g1 = self._cofactors(g, top)
+            result = self.mk(top, self.apply_or(f0, g0), self.apply_or(f1, g1))
+            self._cache[key] = result
+        return result
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """if-then-else — the general apply, needed for voting gates."""
+        if f == 1:
+            return g
+        if f == 0:
+            return h
+        if g == h:
+            return g
+        if g == 1 and h == 0:
+            return f
+        key = (2, f, g, h)
+        result = self._cache.get(key)
+        if result is None:
+            top = min(self.var[f], self.var[g], self.var[h])
+            f0, f1 = self._cofactors(f, top)
+            g0, g1 = self._cofactors(g, top)
+            h0, h1 = self._cofactors(h, top)
+            result = self.mk(top, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+            self._cache[key] = result
+        return result
+
+
+_STATS_LOCK = threading.Lock()
+_STATS = {"compilations": 0, "evaluations": 0}
+
+#: Compiled kernels keyed by structure fingerprint.  The weight budget
+#: (total BDD nodes retained) mirrors the engine's PathSet cache: a sweep
+#: over many structures cannot grow memory without bound.
+_KERNELS = _LRU(maxsize=256, max_weight=2_000_000)
+
+
+def _count_evaluation(count: int = 1) -> None:
+    with _STATS_LOCK:
+        _STATS["evaluations"] += count
+
+
+class AvailabilityKernel:
+    """A compiled service structure: one BDD, many cheap evaluations.
+
+    Holds the system root (conjunction over all pair functions) plus one
+    root per pair group, all in the same manager — pairs share subgraphs
+    wherever their paths share components.  All queries are passes over
+    the linearized DAG:
+
+    * :meth:`availability` / :meth:`unavailability` — one bottom-up pass;
+    * :meth:`evaluate_all` — the same pass, also reporting every pair root;
+    * :meth:`evaluate_many` — the pass vectorized over k probability
+      vectors (numpy row operations);
+    * :meth:`birnbaum` — one bottom-up plus one top-down pass, giving the
+      importance of **every** variable at once;
+    * :meth:`minimal_cut_sets` / :meth:`minimal_path_sets` — one memoized
+      bottom-up recursion.
+    """
+
+    def __init__(
+        self,
+        bdd: BDD,
+        root: int,
+        group_roots: Sequence[int],
+        variables: Sequence[str],
+        fingerprint: str = "",
+    ):
+        self._bdd = bdd
+        self.root = root
+        self.group_roots = tuple(group_roots)
+        self.variables = tuple(variables)
+        self.index = {name: i for i, name in enumerate(self.variables)}
+        self.fingerprint = fingerprint
+        self._linearize()
+
+    # -- layout ---------------------------------------------------------------
+
+    def _linearize(self) -> None:
+        """Topologically order the reachable DAG into flat arrays.
+
+        In an ordered BDD every edge goes from a smaller variable index to
+        a larger one (or to a terminal), so sorting non-terminal nodes by
+        *descending* variable yields a valid bottom-up evaluation order.
+        Positions 0 and 1 are the FALSE/TRUE terminals.
+        """
+        bdd = self._bdd
+        reachable: set = {0, 1}
+        stack = [self.root, *self.group_roots]
+        while stack:
+            node = stack.pop()
+            if node in reachable:
+                continue
+            reachable.add(node)
+            stack.append(bdd.low[node])
+            stack.append(bdd.high[node])
+        interior = sorted(
+            (n for n in reachable if n > 1), key=lambda n: (-bdd.var[n], n)
+        )
+        position = {0: 0, 1: 1}
+        for offset, node in enumerate(interior):
+            position[node] = offset + 2
+        self._var_ix = [bdd.var[n] for n in interior]
+        self._low_pos = [position[bdd.low[n]] for n in interior]
+        self._high_pos = [position[bdd.high[n]] for n in interior]
+        self._np_var = np.array(self._var_ix, dtype=np.intp)
+        self._np_low = np.array(self._low_pos, dtype=np.intp)
+        self._np_high = np.array(self._high_pos, dtype=np.intp)
+        self._root_pos = position[self.root]
+        self._group_pos = tuple(position[r] for r in self.group_roots)
+        #: number of interior (decision) nodes reachable from the roots
+        self.size = len(interior)
+
+    # -- probability vectors --------------------------------------------------
+
+    def probability_vector(self, availabilities: Mapping[str, float]) -> np.ndarray:
+        """The kernel-ordered numpy vector for a component→availability
+        table (extra table entries are ignored; missing ones raise)."""
+        missing = [name for name in self.variables if name not in availabilities]
+        if missing:
+            raise AnalysisError(f"no availability for components {missing}")
+        vector = np.empty(len(self.variables), dtype=np.float64)
+        for i, name in enumerate(self.variables):
+            value = availabilities[name]
+            if not 0.0 <= value <= 1.0:
+                raise AnalysisError(
+                    f"availability of {name!r} must be in [0, 1], got {value}"
+                )
+            vector[i] = value
+        return vector
+
+    # -- evaluation -----------------------------------------------------------
+
+    def _values(self, p: np.ndarray) -> List[float]:
+        """Bottom-up node probabilities for one probability vector."""
+        values = [0.0] * (len(self._var_ix) + 2)
+        values[1] = 1.0
+        var_ix, low, high = self._var_ix, self._low_pos, self._high_pos
+        for k in range(len(var_ix)):
+            pv = p[var_ix[k]]
+            values[k + 2] = pv * values[high[k]] + (1.0 - pv) * values[low[k]]
+        return values
+
+    def availability(self, availabilities: Mapping[str, float]) -> float:
+        """P(system structure function is true) — one O(|BDD|) pass."""
+        p = self.probability_vector(availabilities)
+        _count_evaluation()
+        return self._values(p)[self._root_pos]
+
+    def unavailability(self, availabilities: Mapping[str, float]) -> float:
+        return 1.0 - self.availability(availabilities)
+
+    def pair_availability(
+        self, group: int, availabilities: Mapping[str, float]
+    ) -> float:
+        """Availability of one pair's root (index into the compiled groups)."""
+        p = self.probability_vector(availabilities)
+        _count_evaluation()
+        return self._values(p)[self._group_pos[group]]
+
+    def evaluate_all(
+        self, availabilities: Mapping[str, float]
+    ) -> Tuple[float, Tuple[float, ...]]:
+        """(system availability, per-group availabilities) in one pass."""
+        p = self.probability_vector(availabilities)
+        _count_evaluation()
+        values = self._values(p)
+        return values[self._root_pos], tuple(values[g] for g in self._group_pos)
+
+    def evaluate_many(
+        self,
+        tables: Union[np.ndarray, Sequence[Mapping[str, float]]],
+    ) -> np.ndarray:
+        """System availability for k probability vectors in one vectorized
+        sweep — the campaign/what-if batch fast path.
+
+        *tables* is either a (k, n_variables) float array in kernel
+        variable order (see :meth:`probability_vector`) or a sequence of
+        component→availability mappings.
+        """
+        if isinstance(tables, np.ndarray):
+            matrix = np.asarray(tables, dtype=np.float64)
+            if matrix.ndim != 2 or matrix.shape[1] != len(self.variables):
+                raise AnalysisError(
+                    f"probability matrix must be (k, {len(self.variables)}), "
+                    f"got {matrix.shape}"
+                )
+        else:
+            matrix = np.stack(
+                [self.probability_vector(table) for table in tables]
+            ) if tables else np.empty((0, len(self.variables)))
+        k = matrix.shape[0]
+        if k == 0:
+            return np.empty(0, dtype=np.float64)
+        _count_evaluation(k)
+        values = np.empty((len(self._var_ix) + 2, k), dtype=np.float64)
+        values[0] = 0.0
+        values[1] = 1.0
+        var_ix, low, high = self._var_ix, self._low_pos, self._high_pos
+        for i in range(len(var_ix)):
+            pv = matrix[:, var_ix[i]]
+            values[i + 2] = pv * values[high[i]] + (1.0 - pv) * values[low[i]]
+        return values[self._root_pos].copy()
+
+    # -- importance -----------------------------------------------------------
+
+    def birnbaum(self, availabilities: Mapping[str, float]) -> Dict[str, float]:
+        """Birnbaum importance ``∂A_sys/∂A_c`` of every variable at once.
+
+        One bottom-up pass gives node probabilities; one top-down pass
+        accumulates each node's *reach* probability (the chance the
+        evaluation path passes through it); the importance of variable v
+        is ``Σ_{nodes n labeled v} reach(n)·(P(high) - P(low))``.
+        """
+        p = self.probability_vector(availabilities)
+        _count_evaluation()
+        values = self._values(p)
+        reach = [0.0] * len(values)
+        reach[self._root_pos] = 1.0
+        var_ix, low, high = self._var_ix, self._low_pos, self._high_pos
+        gradient = [0.0] * len(self.variables)
+        # interior nodes are stored deepest-variable first, so the reverse
+        # walk visits every parent before its children: reach is final at
+        # visit time and the gradient can accumulate in the same sweep
+        for k in range(len(var_ix) - 1, -1, -1):
+            r = reach[k + 2]
+            if r == 0.0:
+                continue
+            v = var_ix[k]
+            pv = p[v]
+            gradient[v] += r * (values[high[k]] - values[low[k]])
+            reach[high[k]] += r * pv
+            reach[low[k]] += r * (1.0 - pv)
+        return dict(zip(self.variables, gradient))
+
+    # -- cut / path sets ------------------------------------------------------
+
+    def _bottom_up_sets(
+        self, root: int, terminal_false, terminal_true, combine
+    ) -> List[FrozenSet[str]]:
+        """Shared memoized bottom-up recursion (iterative: component
+        counts can exceed the interpreter recursion limit)."""
+        bdd = self._bdd
+        memo: Dict[int, Tuple[FrozenSet[str], ...]] = {
+            0: terminal_false,
+            1: terminal_true,
+        }
+        stack = [root]
+        while stack:
+            node = stack[-1]
+            if node in memo:
+                stack.pop()
+                continue
+            low, high = bdd.low[node], bdd.high[node]
+            pending = [child for child in (low, high) if child not in memo]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            name = self.variables[bdd.var[node]]
+            memo[node] = tuple(
+                minimize_sets(combine(name, memo[low], memo[high]))
+            )
+        return list(memo[root])
+
+    def minimal_path_sets(
+        self, group: Optional[int] = None
+    ) -> List[FrozenSet[str]]:
+        """Minimal path sets (minimal variable sets forcing the function
+        true), from the DAG itself — independent of the input path lists."""
+        root = self.root if group is None else self.group_roots[group]
+        return self._bottom_up_sets(
+            root,
+            terminal_false=(),
+            terminal_true=(frozenset(),),
+            combine=lambda name, low, high: list(low)
+            + [s | {name} for s in high],
+        )
+
+    def minimal_cut_sets(
+        self, group: Optional[int] = None
+    ) -> List[FrozenSet[str]]:
+        """Minimal cut sets (minimal variable sets forcing the function
+        false) by the dual bottom-up recursion over the same DAG."""
+        root = self.root if group is None else self.group_roots[group]
+        return self._bottom_up_sets(
+            root,
+            terminal_false=(frozenset(),),
+            terminal_true=(),
+            combine=lambda name, low, high: [s | {name} for s in low]
+            + list(high),
+        )
+
+
+# -- variable orders ----------------------------------------------------------
+
+
+def frequency_order(
+    path_set_groups: Sequence[Sequence[FrozenSet[str]]],
+) -> Tuple[str, ...]:
+    """Fallback variable order: most frequently used components first
+    (shared components high in the diagram maximizes subgraph sharing)."""
+    counts: Counter = Counter()
+    for group in path_set_groups:
+        for path in group:
+            counts.update(path)
+    return tuple(sorted(counts, key=lambda name: (-counts[name], name)))
+
+
+def order_from_topology(
+    topology: Topology, components: Iterable[str]
+) -> Tuple[str, ...]:
+    """Variable order from the compiled engine's CSR ids.
+
+    Node components sort by their CSR id; a link component ``a|b`` sorts
+    right after its lower-id endpoint (keeping each cable adjacent to the
+    device it hangs off), and names unknown to the topology go last in
+    lexical order.
+    """
+    compiled = compile_topology(topology)
+    index = compiled.index
+
+    def key(name: str) -> Tuple[int, int, int, str]:
+        node_id = index.get(name)
+        if node_id is not None:
+            return (node_id, 0, -1, name)
+        if "|" in name:
+            a, b = name.split("|", 1)
+            ia, ib = index.get(a), index.get(b)
+            if ia is not None and ib is not None:
+                low_id, high_id = sorted((ia, ib))
+                return (low_id, 1, high_id, name)
+        return (len(compiled.names), 2, 0, name)
+
+    return tuple(sorted(set(components), key=key))
+
+
+# -- compilation --------------------------------------------------------------
+
+
+def _canonical_groups(
+    path_set_groups: Sequence[Sequence[FrozenSet[str]]],
+) -> Tuple[Tuple[Tuple[str, ...], ...], ...]:
+    return tuple(
+        tuple(sorted({tuple(sorted(path)) for path in group}))
+        for group in path_set_groups
+    )
+
+
+def structure_fingerprint(
+    path_set_groups: Sequence[Sequence[FrozenSet[str]]],
+    order: Sequence[str],
+) -> str:
+    """blake2b digest of the path-set structure plus variable order — the
+    kernel cache key (same idiom as the engine's topology fingerprint)."""
+    digest = hashlib.blake2b(digest_size=16)
+    for name in order:
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\x1f")
+    digest.update(b"\x1e")
+    for group in _canonical_groups(path_set_groups):
+        for path in group:
+            for component in path:
+                digest.update(component.encode("utf-8"))
+                digest.update(b"\x1f")
+            digest.update(b"\x1d")
+        digest.update(b"\x1e")
+    return digest.hexdigest()
+
+
+def compile_structure(
+    path_set_groups: Sequence[Sequence[FrozenSet[str]]],
+    *,
+    order: Optional[Sequence[str]] = None,
+    use_cache: bool = True,
+) -> AvailabilityKernel:
+    """Compile path-set groups (the :func:`system_availability` input
+    shape) into an :class:`AvailabilityKernel`, memoized by structure
+    fingerprint.
+
+    All groups compile into one shared manager: the system root is the
+    conjunction of the group roots, and any component shared across pairs
+    is a single decision level reused by every function that tests it.
+    """
+    groups = [list(group) for group in path_set_groups]
+    if not groups:
+        raise AnalysisError("system_availability requires at least one group")
+    for group in groups:
+        if not group:
+            raise AnalysisError("a pair with no path sets is never connected")
+    components = {c for group in groups for path in group for c in path}
+    if not components:
+        raise AnalysisError("system_availability requires at least one component")
+    if order is None:
+        ordered = frequency_order(groups)
+    else:
+        ordered = tuple(name for name in order if name in components)
+        missing = components.difference(ordered)
+        if missing:
+            raise AnalysisError(
+                f"variable order does not cover components {sorted(missing)}"
+            )
+    fingerprint = structure_fingerprint(groups, ordered)
+    if use_cache:
+        cached = _KERNELS.get(fingerprint)
+        if cached is not None:
+            return cached
+
+    bdd = BDD(len(ordered))
+    index = {name: i for i, name in enumerate(ordered)}
+    group_roots: List[int] = []
+    for group in groups:
+        root = BDD.FALSE
+        for path in group:
+            root = bdd.apply_or(root, bdd.cube(index[c] for c in path))
+        group_roots.append(root)
+    system = BDD.TRUE
+    for root in dict.fromkeys(group_roots):
+        system = bdd.apply_and(system, root)
+    kernel = AvailabilityKernel(bdd, system, group_roots, ordered, fingerprint)
+    with _STATS_LOCK:
+        _STATS["compilations"] += 1
+    if use_cache:
+        _KERNELS.put(fingerprint, kernel, weight=len(bdd))
+    return kernel
+
+
+def compile_pair(
+    path_sets: Sequence[FrozenSet[str]],
+    *,
+    order: Optional[Sequence[str]] = None,
+    use_cache: bool = True,
+) -> AvailabilityKernel:
+    """Compile a single pair's path sets."""
+    return compile_structure([list(path_sets)], order=order, use_cache=use_cache)
+
+
+def system_availability_bdd(
+    path_set_groups: Sequence[Sequence[FrozenSet[str]]],
+    availabilities: Mapping[str, float],
+    *,
+    order: Optional[Sequence[str]] = None,
+) -> float:
+    """Drop-in BDD-backed equivalent of
+    :func:`repro.analysis.exact.system_availability` (no component bound)."""
+    return compile_structure(path_set_groups, order=order).availability(
+        availabilities
+    )
+
+
+def pair_availability_bdd(
+    path_sets: Sequence[FrozenSet[str]],
+    availabilities: Mapping[str, float],
+    *,
+    order: Optional[Sequence[str]] = None,
+) -> float:
+    """Drop-in BDD-backed equivalent of
+    :func:`repro.analysis.exact.pair_availability`."""
+    return compile_pair(path_sets, order=order).availability(availabilities)
+
+
+# -- counters (same shape as repro.core.engine.engine_stats) ------------------
+
+
+def kernel_stats() -> Dict[str, int]:
+    """Counters for tests and benchmarks: structure compilations and
+    probability-vector evaluations, plus the kernel-cache tally."""
+    with _STATS_LOCK:
+        stats = dict(_STATS)
+    stats["kernel_cache_hits"] = _KERNELS.hits
+    stats["kernel_cache_misses"] = _KERNELS.misses
+    return stats
+
+
+def reset_kernel_stats() -> None:
+    with _STATS_LOCK:
+        _STATS["compilations"] = 0
+        _STATS["evaluations"] = 0
+
+
+def kernel_cache_info() -> Dict[str, int]:
+    return {
+        "hits": _KERNELS.hits,
+        "misses": _KERNELS.misses,
+        "currsize": len(_KERNELS.data),
+        "maxsize": _KERNELS.maxsize,
+        "weight": _KERNELS.total_weight,
+    }
+
+
+def kernel_cache_clear() -> None:
+    """Drop every compiled kernel (the big hammer for tests/benchmarks;
+    structure changes invalidate implicitly via the fingerprint key)."""
+    _KERNELS.clear()

@@ -62,12 +62,36 @@ def minimize_sets(sets: Iterable[FrozenSet[str]]) -> List[FrozenSet[str]]:
 
     A path whose component set contains another path's components adds no
     reliability information — its success implies the other's.
+
+    Candidates are processed smallest first, so a kept set can never be a
+    strict superset of a later candidate — only "is the candidate a
+    superset of some kept set?" needs answering.  Every kept set is
+    registered in an element→sets index under one of its elements (the
+    one with the shortest posting list, to keep the index balanced); a
+    kept subset of the candidate necessarily has its registered element
+    inside the candidate, so only the candidate's own posting lists are
+    scanned instead of the whole family — the family-wide quadratic scan
+    this replaces dominated MOCUS expansion profiles.
     """
     unique = sorted(set(sets), key=lambda s: (len(s), sorted(s)))
+    if unique and not unique[0]:
+        # the empty set dominates every other set
+        return [unique[0]]
     minimal: List[FrozenSet[str]] = []
+    by_element: Dict[str, List[FrozenSet[str]]] = {}
     for candidate in unique:
-        if not any(kept <= candidate for kept in minimal):
-            minimal.append(candidate)
+        dominated = False
+        for element in candidate:
+            if any(kept <= candidate for kept in by_element.get(element, ())):
+                dominated = True
+                break
+        if dominated:
+            continue
+        minimal.append(candidate)
+        anchor = min(
+            candidate, key=lambda element: len(by_element.get(element, ()))
+        )
+        by_element.setdefault(anchor, []).append(candidate)
     return minimal
 
 

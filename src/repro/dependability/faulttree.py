@@ -6,10 +6,15 @@ gates.  It is the boolean dual of the RBD: a series RBD structure fails
 when *any* block fails (OR gate); a parallel structure fails when *all*
 blocks fail (AND gate).  :func:`from_rbd` performs that conversion, and
 :func:`FaultTreeNode.probability` evaluates the top-event probability —
-exactly, with repeated basic events handled by factoring.
+exactly, with repeated basic events handled by factoring (exponential in
+the number of *distinct* repeated events) or, with ``method="bdd"``, by
+compiling the tree into a BDD over the basic events and running one
+O(|BDD|) bottom-up pass (:mod:`repro.dependability.bdd`); ``"auto"``
+switches to the BDD once factoring's conditioning depth gets expensive.
 
 Minimal cut sets are extracted with the classic top-down MOCUS expansion
-(:func:`FaultTreeNode.minimal_cut_sets`).
+(:func:`FaultTreeNode.minimal_cut_sets`), or from the compiled BDD with
+``method="bdd"`` — both fully minimized and identical up to ordering.
 """
 
 from __future__ import annotations
@@ -21,7 +26,20 @@ from repro.dependability import rbd as rbd_mod
 from repro.dependability.cutsets import minimize_sets
 from repro.errors import AnalysisError
 
-__all__ = ["FaultTreeNode", "BasicEvent", "AndGate", "OrGate", "VoteGate", "from_rbd"]
+__all__ = [
+    "FaultTreeNode",
+    "BasicEvent",
+    "AndGate",
+    "OrGate",
+    "VoteGate",
+    "from_rbd",
+    "MAX_FACTORED_REPEATS",
+]
+
+
+#: ``method="auto"``: factor up to this many distinct repeated events
+#: (2^12 tree evaluations), compile to a BDD beyond it.
+MAX_FACTORED_REPEATS = 12
 
 
 class FaultTreeNode:
@@ -40,13 +58,26 @@ class FaultTreeNode:
         raise NotImplementedError
 
     def probability(
-        self, failure_probabilities: Optional[Dict[str, float]] = None
+        self,
+        failure_probabilities: Optional[Dict[str, float]] = None,
+        *,
+        method: str = "auto",
     ) -> float:
         """Top-event (failure) probability, exact.
 
-        Repeated basic events are handled by conditioning (factoring), so
-        the result is correct for any coherent tree.
+        Repeated basic events make the naive gate-by-gate product wrong;
+        ``method`` picks the exact strategy: ``"factor"`` conditions on
+        every distinct repeated event (2^r tree evaluations — the seed
+        behavior), ``"bdd"`` compiles the tree into a BDD over the basic
+        events and runs one bottom-up pass, and ``"auto"`` (default)
+        factors while ``r <= MAX_FACTORED_REPEATS`` and compiles beyond.
+        All strategies agree to within floating-point noise.
         """
+        if method not in ("auto", "factor", "bdd"):
+            raise AnalysisError(
+                f"unknown evaluation method {method!r}; "
+                f"expected 'auto', 'factor' or 'bdd'"
+            )
         table: Dict[str, float] = {}
         for leaf in self.leaves():
             if leaf.value is not None:
@@ -66,7 +97,31 @@ class FaultTreeNode:
                     f"got {value}"
                 )
         repeated = sorted({n for n in names if names.count(n) > 1})
+        if method == "auto":
+            method = "factor" if len(repeated) <= MAX_FACTORED_REPEATS else "bdd"
+        if method == "bdd":
+            kernel = self._compile_bdd()
+            return kernel.availability(table)
         return self._factor(table, repeated)
+
+    def _compile_bdd(self):
+        """The tree as an :class:`~repro.dependability.bdd.AvailabilityKernel`
+        over the basic events (variable true = event occurs, root value =
+        top-event probability).  Variables are ordered most-shared first."""
+        from collections import Counter
+
+        from repro.dependability.bdd import BDD, AvailabilityKernel
+
+        names = self.basic_event_names()
+        counts = Counter(names)
+        variables = tuple(sorted(counts, key=lambda n: (-counts[n], n)))
+        index = {name: i for i, name in enumerate(variables)}
+        bdd = BDD(len(variables))
+        root = self._build_bdd(bdd, index)
+        return AvailabilityKernel(bdd, root, (root,), variables)
+
+    def _build_bdd(self, bdd, index: Dict[str, int]) -> int:
+        raise NotImplementedError
 
     def _factor(self, table: Dict[str, float], repeated: Sequence[str]) -> float:
         if not repeated:
@@ -94,12 +149,24 @@ class FaultTreeNode:
 
     # -- cut sets ------------------------------------------------------------
 
-    def minimal_cut_sets(self) -> List[FrozenSet[str]]:
-        """Minimal cut sets by top-down MOCUS expansion.
+    def minimal_cut_sets(self, *, method: str = "mocus") -> List[FrozenSet[str]]:
+        """Minimal cut sets by top-down MOCUS expansion (default) or from
+        the compiled BDD (``method="bdd"`` — one memoized bottom-up pass,
+        immune to MOCUS's intermediate cross-product blow-up).
 
         :class:`VoteGate` is expanded into the OR of AND-combinations of
-        its children before expansion.
+        its children before MOCUS expansion; the BDD route handles it
+        natively through the voting threshold network.
         """
+        if method == "bdd":
+            # the tree maps event-occurrence variables to top-event
+            # occurrence, so its minimal *path* sets (variable sets forcing
+            # the function true) are exactly the minimal cut sets
+            return minimize_sets(self._compile_bdd().minimal_path_sets())
+        if method != "mocus":
+            raise AnalysisError(
+                f"unknown cut-set method {method!r}; expected 'mocus' or 'bdd'"
+            )
         return minimize_sets(self._expand_cut_sets())
 
     def _expand_cut_sets(self) -> List[FrozenSet[str]]:
@@ -127,6 +194,9 @@ class BasicEvent(FaultTreeNode):
 
     def _expand_cut_sets(self) -> List[FrozenSet[str]]:
         return [frozenset([self.name])]
+
+    def _build_bdd(self, bdd, index: Dict[str, int]) -> int:
+        return bdd.mk(index[self.name], bdd.FALSE, bdd.TRUE)
 
 
 class _Gate(FaultTreeNode):
@@ -175,6 +245,12 @@ class AndGate(_Gate):
             result = [existing | cs for existing in result for cs in child_sets]
         return result
 
+    def _build_bdd(self, bdd, index: Dict[str, int]) -> int:
+        root = bdd.TRUE
+        for child in self.children:
+            root = bdd.apply_and(root, child._build_bdd(bdd, index))
+        return root
+
 
 class OrGate(_Gate):
     """Output fails iff any input fails."""
@@ -192,6 +268,12 @@ class OrGate(_Gate):
         for child in self.children:
             result.extend(child._expand_cut_sets())
         return result
+
+    def _build_bdd(self, bdd, index: Dict[str, int]) -> int:
+        root = bdd.FALSE
+        for child in self.children:
+            root = bdd.apply_or(root, child._build_bdd(bdd, index))
+        return root
 
 
 class VoteGate(_Gate):
@@ -234,6 +316,16 @@ class VoteGate(_Gate):
                 partial = [existing | cs for existing in partial for cs in child_sets]
             result.extend(partial)
         return result
+
+    def _build_bdd(self, bdd, index: Dict[str, int]) -> int:
+        # threshold network: at_least[j] = "at least j of the children
+        # processed so far have failed", updated child by child with ITE
+        at_least = [bdd.TRUE] + [bdd.FALSE] * self.k
+        for child in self.children:
+            failed = child._build_bdd(bdd, index)
+            for j in range(self.k, 0, -1):
+                at_least[j] = bdd.ite(failed, at_least[j - 1], at_least[j])
+        return at_least[self.k]
 
 
 def from_rbd(node: "rbd_mod.RBDNode") -> FaultTreeNode:

@@ -20,7 +20,7 @@ argument).  Two estimators are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -31,7 +31,26 @@ __all__ = [
     "TwoTerminalMC",
     "RenewalResult",
     "simulate_alternating_renewal",
+    "SeedLike",
 ]
+
+#: Accepted everywhere a seed is taken: an integer seed or an already
+#: constructed :class:`numpy.random.Generator` (for callers interleaving
+#: several estimators on one stream).
+SeedLike = Union[int, np.random.Generator]
+
+
+def _as_generator(seed: SeedLike) -> np.random.Generator:
+    """A Generator from an int seed, or the Generator itself, unchanged —
+    so every entry point accepts both uniformly."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (bool, float)) or not isinstance(seed, (int, np.integer)):
+        raise AnalysisError(
+            f"seed must be an int or numpy.random.Generator, "
+            f"got {type(seed).__name__}"
+        )
+    return np.random.default_rng(seed)
 
 
 @dataclass(frozen=True)
@@ -110,17 +129,19 @@ class TwoTerminalMC:
         self,
         samples: int = 100_000,
         *,
-        seed: int = 0,
+        seed: SeedLike = 0,
         batch: int = 262_144,
     ) -> MCEstimate:
         """Estimate system availability from *samples* draws.
 
         Sampling runs in batches to bound peak memory (samples × components
-        booleans per batch).
+        booleans per batch).  *seed* accepts an int or a
+        :class:`numpy.random.Generator`; equal int seeds give identical
+        estimates.
         """
         if samples <= 0:
             raise AnalysisError(f"samples must be > 0, got {samples}")
-        rng = np.random.default_rng(seed)
+        rng = _as_generator(seed)
         remaining = samples
         up_count = 0
         while remaining > 0:
@@ -137,7 +158,7 @@ class TwoTerminalMC:
         up: bool,
         samples: int = 100_000,
         *,
-        seed: int = 0,
+        seed: SeedLike = 0,
     ) -> MCEstimate:
         """Failure-injection estimate with one component pinned up/down.
 
@@ -168,7 +189,7 @@ def simulate_alternating_renewal(
     mttr: Dict[str, float],
     *,
     horizon_hours: float = 1_000_000.0,
-    seed: int = 0,
+    seed: SeedLike = 0,
 ) -> RenewalResult:
     """Time-dynamic simulation of component failures and repairs.
 
@@ -189,7 +210,7 @@ def simulate_alternating_renewal(
         if mtbf[name] <= 0 or mttr[name] < 0:
             raise AnalysisError(f"invalid MTBF/MTTR for component {name!r}")
 
-    rng = np.random.default_rng(seed)
+    rng = _as_generator(seed)
     # transition times per component: strictly increasing; state flips at
     # each instant, starting from "up"
     events: List[Tuple[float, int]] = []  # (time, component index)

@@ -110,3 +110,57 @@ class TestServiceLevel:
         # different infrastructures, same magnitude, not identical
         assert a.service_availability != b.service_availability
         assert abs(a.service_availability - b.service_availability) < 0.01
+
+
+class TestKernelEquivalence:
+    """The BDD, inclusion–exclusion and enumeration kernels produce the
+    same report (the new default is ``kernel="bdd"``)."""
+
+    def test_bdd_matches_enum(self, upsim_t1_p2):
+        via_bdd = analyze_upsim(
+            upsim_t1_p2, montecarlo_samples=0, kernel="bdd"
+        )
+        via_enum = analyze_upsim(
+            upsim_t1_p2, montecarlo_samples=0, kernel="enum"
+        )
+        assert via_bdd.service_availability == pytest.approx(
+            via_enum.service_availability, abs=1e-12
+        )
+        assert len(via_bdd.pairs) == len(via_enum.pairs)
+        for a, b in zip(via_bdd.pairs, via_enum.pairs):
+            assert (a.requester, a.provider) == (b.requester, b.provider)
+            assert a.availability == pytest.approx(b.availability, abs=1e-12)
+            assert a.lower_bound == pytest.approx(b.lower_bound, abs=1e-12)
+            assert a.upper_bound == pytest.approx(b.upper_bound, abs=1e-12)
+            assert sorted(a.min_cut_sets, key=sorted) == sorted(
+                b.min_cut_sets, key=sorted
+            )
+
+    def test_importance_values_match(self, upsim_t1_p2):
+        via_bdd = analyze_upsim(
+            upsim_t1_p2, montecarlo_samples=0, kernel="bdd"
+        )
+        via_enum = analyze_upsim(
+            upsim_t1_p2, montecarlo_samples=0, kernel="enum"
+        )
+        # symmetric components can swap rank on 1e-16 noise, so compare
+        # per-component values rather than row order
+        bdd_rows = {row.component: row for row in via_bdd.importance}
+        enum_rows = {row.component: row for row in via_enum.importance}
+        assert bdd_rows.keys() == enum_rows.keys()
+        for name, row in bdd_rows.items():
+            other = enum_rows[name]
+            assert row.birnbaum == pytest.approx(other.birnbaum, abs=1e-10)
+            assert row.improvement_potential == pytest.approx(
+                other.improvement_potential, abs=1e-10
+            )
+            assert row.risk_achievement_worth == pytest.approx(
+                other.risk_achievement_worth, abs=1e-8
+            )
+            assert row.fussell_vesely == pytest.approx(
+                other.fussell_vesely, abs=1e-8
+            )
+
+    def test_unknown_kernel_rejected(self, upsim_t1_p2):
+        with pytest.raises(AnalysisError, match="unknown availability kernel"):
+            analyze_upsim(upsim_t1_p2, kernel="magic")

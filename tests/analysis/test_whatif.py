@@ -103,3 +103,35 @@ class TestImpactTable:
         assert non_spof == {"c1|c2", "c1|d4", "c2|d4"}
         # and they rank at the bottom of the triage list
         assert {i.component for i in impacts[-3:]} == non_spof
+
+
+class TestKernelEquivalence:
+    def test_impact_table_bdd_matches_enum(self, upsim_t1_p2):
+        via_bdd = impact_table(upsim_t1_p2, kernel="bdd")
+        via_enum = impact_table(upsim_t1_p2, kernel="enum")
+        assert [r.component for r in via_bdd] == [
+            r.component for r in via_enum
+        ]
+        for a, b in zip(via_bdd, via_enum):
+            assert a.baseline_availability == pytest.approx(
+                b.baseline_availability, abs=1e-12
+            )
+            assert a.conditional_availability == pytest.approx(
+                b.conditional_availability, abs=1e-12
+            )
+            assert a.disconnected_services == b.disconnected_services
+            assert a.degraded_services == b.degraded_services
+
+    def test_failure_impact_bdd_matches_enum(self, upsim_t1_p2):
+        via_bdd = failure_impact(upsim_t1_p2, "c1", kernel="bdd")
+        via_enum = failure_impact(upsim_t1_p2, "c1", kernel="enum")
+        assert via_bdd.conditional_availability == pytest.approx(
+            via_enum.conditional_availability, abs=1e-12
+        )
+        # a crashed component forces availability to exactly zero on both
+        # routes, so the classification is identical, not just close
+        assert via_bdd.disconnected_services == via_enum.disconnected_services
+
+    def test_unknown_kernel_rejected(self, upsim_t1_p2):
+        with pytest.raises(AnalysisError, match="unknown availability kernel"):
+            impact_table(upsim_t1_p2, kernel="magic")

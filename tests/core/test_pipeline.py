@@ -201,3 +201,34 @@ class TestUSIIntegration:
         assert second.upsim is not None
         assert "p3" in second.upsim.component_names
         assert "p2" not in second.upsim.component_names
+
+
+class TestAvailabilityKernel:
+    def test_run_warms_kernel_cache(self, pipeline):
+        from repro.dependability.bdd import kernel_cache_clear, kernel_cache_info
+
+        kernel_cache_clear()
+        pipeline.run(kernel="bdd")
+        warmed = kernel_cache_info()
+        assert warmed["currsize"] == 1
+        # the post-run analysis reuses the compiled kernel, no recompile
+        report = pipeline.analyze(montecarlo_samples=0)
+        after = kernel_cache_info()
+        assert after["currsize"] == warmed["currsize"]
+        assert after["hits"] > warmed["hits"]
+        assert 0.0 < report.service_availability <= 1.0
+        kernel_cache_clear()
+
+    def test_unknown_kernel_rejected(self, pipeline):
+        with pytest.raises(ReproError, match="unknown availability kernel"):
+            pipeline.run(kernel="magic")
+
+    def test_analyze_requires_a_run(self, diamond, service, mapping):
+        fresh = (
+            MethodologyPipeline()
+            .set_infrastructure(diamond)
+            .set_service(service)
+            .set_mapping(mapping)
+        )
+        with pytest.raises(ReproError, match="call run"):
+            fresh.analyze()

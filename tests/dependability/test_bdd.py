@@ -1,0 +1,398 @@
+"""Tests for the compiled BDD availability kernel.
+
+Three layers of guarantees, mirroring the path-discovery engine tests:
+
+* **equivalence** — on the case-study service and on every generator
+  family the kernel returns the seed state-enumeration oracle's values
+  (availability, per-group availabilities, Birnbaum importance, minimal
+  path/cut sets) to 1e-12;
+* **caching** — kernels are keyed on the structure fingerprint, so
+  re-compiling the same path-set groups (in any order) is a cache hit and
+  different structures never collide;
+* **bounds** — the Esary–Proschan bounds bracket the BDD-exact value on
+  every case-study pair.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.exact import (
+    pair_availability,
+    pair_availability_reference,
+    system_availability,
+    system_availability_reference,
+)
+from repro.analysis.transformations import (
+    component_availabilities,
+    pair_path_sets,
+    service_availability_kernel,
+    service_path_set_groups,
+)
+from repro.core import engine
+from repro.dependability.bdd import (
+    AvailabilityKernel,
+    compile_pair,
+    compile_structure,
+    frequency_order,
+    kernel_cache_clear,
+    kernel_cache_info,
+    kernel_stats,
+    order_from_topology,
+    pair_availability_bdd,
+    reset_kernel_stats,
+    structure_fingerprint,
+    system_availability_bdd,
+)
+from repro.dependability.cutsets import (
+    esary_proschan_bounds,
+    minimal_cut_sets,
+    minimize_sets,
+    path_components,
+)
+from repro.errors import AnalysisError
+from repro.network.generators import (
+    balanced_tree,
+    campus,
+    complete,
+    erdos_renyi,
+    ladder,
+    ring,
+)
+from repro.network.topology import Topology
+
+fs = frozenset
+
+
+def _families():
+    yield "tree", balanced_tree(2, 3)
+    yield "ring", ring(8)
+    yield "ladder", ladder(4)
+    yield "complete", complete(5)
+    yield "campus", campus(dist_switches=2, edges_per_dist=1, clients_per_edge=1)
+    yield "er-7", erdos_renyi(10, 0.25, seed=7)
+
+
+FAMILIES = list(_families())
+FAMILY_IDS = [name for name, _ in FAMILIES]
+
+
+def _family_case(builder):
+    """(path sets, availabilities) for client→server, sized so the seed
+    enumeration oracle stays inside its component bound."""
+    topo = Topology(builder.object_model)
+    result = engine.discover(topo, "client", "server", max_depth=6)
+    include_links = topo.node_count() <= 8
+    paths = [
+        path_components(path, include_links=include_links)
+        for path in result.paths
+    ]
+    table = component_availabilities(topo, include_links=include_links)
+    return minimize_sets(paths), table
+
+
+FAMILY_CASES = [_family_case(builder) for _, builder in FAMILIES]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    kernel_cache_clear()
+    reset_kernel_stats()
+    yield
+    kernel_cache_clear()
+
+
+@pytest.fixture(scope="module")
+def casestudy(upsim_t1_p2):
+    groups = service_path_set_groups(upsim_t1_p2)
+    table = component_availabilities(upsim_t1_p2.model)
+    return groups, table
+
+
+# -- equivalence ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    ("paths", "table"), FAMILY_CASES, ids=FAMILY_IDS
+)
+class TestFamilyEquivalence:
+    def test_matches_reference(self, paths, table):
+        oracle = pair_availability_reference(paths, table)
+        assert pair_availability_bdd(paths, table) == pytest.approx(
+            oracle, abs=1e-12
+        )
+
+    def test_all_kernels_agree(self, paths, table):
+        oracle = pair_availability(paths, table, kernel="enum")
+        assert pair_availability(paths, table, kernel="bdd") == pytest.approx(
+            oracle, abs=1e-12
+        )
+        try:
+            via_ie = pair_availability(paths, table, kernel="ie")
+        except AnalysisError:
+            return  # too many system path sets for inclusion–exclusion
+        # the alternating sum cancels catastrophically with many sets, so
+        # inclusion–exclusion gets a looser tolerance than the BDD route
+        assert via_ie == pytest.approx(oracle, abs=1e-9)
+
+    def test_path_and_cut_sets_match_oracles(self, paths, table):
+        kernel = compile_pair(paths)
+        assert sorted(kernel.minimal_path_sets(), key=sorted) == sorted(
+            minimize_sets(paths), key=sorted
+        )
+        assert sorted(kernel.minimal_cut_sets(), key=sorted) == sorted(
+            minimal_cut_sets(paths), key=sorted
+        )
+
+    def test_birnbaum_matches_finite_difference(self, paths, table):
+        kernel = compile_pair(paths)
+        gradient = kernel.birnbaum(table)
+        for name in kernel.variables:
+            up = dict(table, **{name: 1.0})
+            down = dict(table, **{name: 0.0})
+            expected = pair_availability_reference(
+                paths, up
+            ) - pair_availability_reference(paths, down)
+            assert gradient[name] == pytest.approx(expected, abs=1e-10)
+
+
+class TestCaseStudyEquivalence:
+    def test_system_matches_reference(self, casestudy):
+        groups, table = casestudy
+        oracle = system_availability_reference(groups, table)
+        assert system_availability_bdd(groups, table) == pytest.approx(
+            oracle, abs=1e-12
+        )
+        assert system_availability(groups, table, kernel="bdd") == pytest.approx(
+            oracle, abs=1e-12
+        )
+
+    def test_every_pair_matches_reference(self, casestudy, upsim_t1_p2):
+        groups, table = casestudy
+        kernel = service_availability_kernel(upsim_t1_p2)
+        _, group_values = kernel.evaluate_all(table)
+        assert len(group_values) == len(groups)
+        for group, value in zip(groups, group_values):
+            assert value == pytest.approx(
+                pair_availability_reference(group, table), abs=1e-12
+            )
+
+    def test_shared_structure_one_manager(self, casestudy):
+        groups, table = casestudy
+        kernel = compile_structure(groups)
+        # every group root lives in the same diagram as the system root
+        assert len(kernel.group_roots) == len(groups)
+        for group_index in range(len(groups)):
+            assert kernel.pair_availability(group_index, table) == pytest.approx(
+                pair_availability_reference(groups[group_index], table),
+                abs=1e-12,
+            )
+
+    def test_bounds_bracket_exact_value(self, casestudy):
+        groups, table = casestudy
+        kernel = compile_structure(groups)
+        for index, group in enumerate(groups):
+            exact = kernel.pair_availability(index, table)
+            lower, upper = esary_proschan_bounds(
+                kernel.minimal_path_sets(group=index),
+                kernel.minimal_cut_sets(group=index),
+                table,
+            )
+            assert lower - 1e-12 <= exact <= upper + 1e-12
+
+
+# -- batched evaluation --------------------------------------------------------
+
+
+class TestEvaluateMany:
+    def test_matches_individual_evaluations(self, casestudy):
+        groups, table = casestudy
+        kernel = compile_structure(groups)
+        rng = np.random.default_rng(3)
+        tables = []
+        for _ in range(7):
+            perturbed = {
+                name: float(np.clip(value - rng.uniform(0.0, 0.05), 0.0, 1.0))
+                for name, value in table.items()
+            }
+            tables.append(perturbed)
+        batch = kernel.evaluate_many(tables)
+        assert batch.shape == (7,)
+        for row, perturbed in zip(batch, tables):
+            assert row == pytest.approx(
+                kernel.availability(perturbed), abs=1e-12
+            )
+
+    def test_accepts_probability_matrix(self, casestudy):
+        groups, table = casestudy
+        kernel = compile_structure(groups)
+        base = kernel.probability_vector(table)
+        matrix = np.repeat(base[np.newaxis, :], 3, axis=0)
+        matrix[1] *= 0.9
+        matrix[2, 0] = 0.0
+        batch = kernel.evaluate_many(matrix)
+        assert batch[0] == pytest.approx(kernel.availability(table), abs=1e-12)
+        assert batch.shape == (3,)
+
+    def test_rejects_wrong_width(self, casestudy):
+        groups, _ = casestudy
+        kernel = compile_structure(groups)
+        with pytest.raises(AnalysisError, match="probability matrix"):
+            kernel.evaluate_many(np.zeros((2, len(kernel.variables) + 1)))
+
+    def test_empty_batch(self, casestudy):
+        groups, _ = casestudy
+        kernel = compile_structure(groups)
+        assert kernel.evaluate_many([]).shape == (0,)
+
+
+# -- caching -------------------------------------------------------------------
+
+
+class TestKernelCache:
+    def test_same_structure_hits(self, casestudy):
+        groups, _ = casestudy
+        first = compile_structure(groups)
+        before = kernel_cache_info()
+        second = compile_structure(groups)
+        after = kernel_cache_info()
+        assert second is first
+        assert after["hits"] == before["hits"] + 1
+
+    def test_path_order_is_canonicalized(self, casestudy):
+        groups, _ = casestudy
+        first = compile_structure(groups)
+        shuffled = [list(reversed(group)) for group in groups]
+        assert compile_structure(shuffled) is first
+
+    def test_different_structure_misses(self):
+        a = compile_pair([fs("ab"), fs("ac")])
+        b = compile_pair([fs("ab"), fs("bc")])
+        assert a is not b
+        assert a.fingerprint != b.fingerprint
+
+    def test_use_cache_false_bypasses(self, casestudy):
+        groups, _ = casestudy
+        first = compile_structure(groups)
+        second = compile_structure(groups, use_cache=False)
+        assert second is not first
+        assert second.fingerprint == first.fingerprint
+
+    def test_clear_drops_kernels(self, casestudy):
+        groups, _ = casestudy
+        compile_structure(groups)
+        kernel_cache_clear()
+        assert kernel_cache_info()["currsize"] == 0
+        assert kernel_cache_info()["weight"] == 0
+
+    def test_stats_count_compilations_and_evaluations(self, casestudy):
+        groups, table = casestudy
+        kernel = compile_structure(groups)
+        kernel.availability(table)
+        kernel.evaluate_many([table, table])
+        stats = kernel_stats()
+        assert stats["compilations"] == 1
+        assert stats["evaluations"] == 3
+
+    def test_fingerprint_depends_on_order(self, casestudy):
+        groups, _ = casestudy
+        default = structure_fingerprint(groups, frequency_order(groups))
+        components = sorted({c for g in groups for p in g for c in p})
+        assert default != structure_fingerprint(groups, components)
+
+
+# -- variable orders -----------------------------------------------------------
+
+
+class TestVariableOrder:
+    def test_topology_order_keeps_links_adjacent(self, usi_topo, upsim_t1_p2):
+        groups = service_path_set_groups(upsim_t1_p2)
+        components = {c for group in groups for path in group for c in path}
+        order = order_from_topology(usi_topo, components)
+        assert set(order) == components
+        position = {name: i for i, name in enumerate(order)}
+        for name in order:
+            if "|" not in name:
+                continue
+            a, b = name.split("|", 1)
+            anchor = min(
+                (position[end] for end in (a, b) if end in position),
+                default=None,
+            )
+            if anchor is not None:
+                assert position[name] > anchor
+
+    def test_explicit_order_must_cover_components(self):
+        with pytest.raises(AnalysisError, match="does not cover"):
+            compile_pair([fs("ab")], order=("a",), use_cache=False)
+
+    def test_order_equivalence(self, casestudy):
+        """Any admissible variable order gives the same value."""
+        groups, table = casestudy
+        components = sorted({c for g in groups for p in g for c in p})
+        forward = compile_structure(groups, order=components, use_cache=False)
+        backward = compile_structure(
+            groups, order=tuple(reversed(components)), use_cache=False
+        )
+        assert forward.availability(table) == pytest.approx(
+            backward.availability(table), abs=1e-12
+        )
+
+
+# -- validation ----------------------------------------------------------------
+
+
+class TestValidation:
+    def test_no_groups(self):
+        with pytest.raises(AnalysisError, match="at least one group"):
+            compile_structure([])
+
+    def test_empty_group(self):
+        with pytest.raises(AnalysisError, match="never connected"):
+            compile_structure([[fs("a")], []])
+
+    def test_no_components(self):
+        with pytest.raises(AnalysisError, match="at least one component"):
+            compile_structure([[fs()]])
+
+    def test_missing_availability(self):
+        kernel = compile_pair([fs("ab")])
+        with pytest.raises(AnalysisError, match="no availability"):
+            kernel.availability({"a": 0.9})
+
+    def test_out_of_range_availability(self):
+        kernel = compile_pair([fs("ab")])
+        with pytest.raises(AnalysisError, match=r"\[0, 1\]"):
+            kernel.availability({"a": 0.9, "b": 1.5})
+
+
+# -- degenerate structures -----------------------------------------------------
+
+
+class TestDegenerateStructures:
+    def test_single_component(self):
+        kernel = compile_pair([fs("a")])
+        assert kernel.availability({"a": 0.25}) == pytest.approx(0.25)
+        assert kernel.minimal_path_sets() == [fs("a")]
+        assert kernel.minimal_cut_sets() == [fs("a")]
+
+    def test_forced_down_is_exactly_zero(self, casestudy):
+        groups, table = casestudy
+        kernel = compile_structure(groups)
+        cut = kernel.minimal_cut_sets()[0]
+        forced = dict(table, **{name: 0.0 for name in cut})
+        assert kernel.availability(forced) == 0.0
+
+    def test_perfect_components_give_one(self):
+        kernel = compile_pair([fs("ab"), fs("ac")])
+        assert kernel.availability({c: 1.0 for c in "abc"}) == 1.0
+
+    def test_series_parallel_closed_form(self):
+        # (a and b) or (a and c): a * (1 - (1-b)(1-c))
+        kernel = compile_pair([fs("ab"), fs("ac")])
+        table = {"a": 0.9, "b": 0.8, "c": 0.7}
+        expected = 0.9 * (1.0 - 0.2 * 0.3)
+        assert kernel.availability(table) == pytest.approx(expected, abs=1e-15)
+        assert kernel.unavailability(table) == pytest.approx(
+            1.0 - expected, abs=1e-15
+        )
+        assert isinstance(kernel, AvailabilityKernel)

@@ -94,3 +94,45 @@ class TestCutSetProperties:
         assert sorted(minimal_cut_sets(paths), key=sorted) == sorted(
             expected, key=sorted
         )
+
+
+def _minimize_naive(sets):
+    """The seed's quadratic all-pairs scan, kept as the oracle for the
+    indexed implementation."""
+    unique = sorted(set(sets), key=lambda s: (len(s), sorted(s)))
+    minimal = []
+    for candidate in unique:
+        if not any(kept <= candidate for kept in minimal):
+            minimal.append(candidate)
+    return minimal
+
+
+@st.composite
+def raw_set_families(draw):
+    """Unminimized families, duplicates and empty sets included."""
+    n_sets = draw(st.integers(0, 12))
+    return [
+        fs(
+            draw(
+                st.lists(
+                    st.sampled_from(_COMPONENTS), min_size=0, max_size=5
+                )
+            )
+        )
+        for _ in range(n_sets)
+    ]
+
+
+class TestMinimizeMatchesNaive:
+    @settings(max_examples=200, deadline=None)
+    @given(sets=raw_set_families())
+    def test_same_family_as_quadratic_scan(self, sets):
+        assert sorted(minimize_sets(sets), key=sorted) == sorted(
+            _minimize_naive(sets), key=sorted
+        )
+
+    def test_empty_set_dominates(self):
+        assert minimize_sets([fs("ab"), fs(), fs("c")]) == [fs()]
+
+    def test_empty_family(self):
+        assert minimize_sets([]) == []

@@ -143,3 +143,61 @@ class TestRBDDuality:
         assert tree.availability(table) == pytest.approx(
             rbd.availability(table), abs=1e-12
         )
+
+
+class TestBDDMethod:
+    """The BDD evaluation route agrees with factoring everywhere."""
+
+    def _diamond(self):
+        # shared event "x" under both branches — the repeated-event case
+        # naive gate-by-gate evaluation gets wrong
+        return AndGate([OrGate(["x", "a"]), OrGate(["x", "b"])])
+
+    def test_matches_factoring_with_repeats(self):
+        tree = self._diamond()
+        table = {"x": 0.1, "a": 0.2, "b": 0.3}
+        assert tree.probability(table, method="bdd") == pytest.approx(
+            tree.probability(table, method="factor"), abs=1e-12
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=st.lists(st.floats(0.0, 1.0), min_size=4, max_size=4))
+    def test_vote_gate_equivalence(self, values):
+        tree = VoteGate(2, ["a", "b", OrGate(["c", "a"]), AndGate(["d", "b"])])
+        table = dict(zip("abcd", values))
+        assert tree.probability(table, method="bdd") == pytest.approx(
+            tree.probability(table, method="factor"), abs=1e-9
+        )
+
+    def test_auto_switches_beyond_factoring_bound(self):
+        from repro.dependability.faulttree import MAX_FACTORED_REPEATS
+
+        names = [f"r{i}" for i in range(MAX_FACTORED_REPEATS + 2)]
+        tree = OrGate(
+            [AndGate([a, b]) for a, b in zip(names, names[1:] + names[:1])]
+        )
+        table = {name: 0.01 * (i + 1) for i, name in enumerate(names)}
+        # every name repeats twice, so "auto" must take the BDD route —
+        # and still agree with explicit factoring
+        assert tree.probability(table, method="auto") == pytest.approx(
+            tree.probability(table, method="factor"), abs=1e-12
+        )
+
+    def test_cut_sets_match_mocus(self):
+        tree = self._diamond()
+        assert sorted(tree.minimal_cut_sets(method="bdd"), key=sorted) == sorted(
+            tree.minimal_cut_sets(method="mocus"), key=sorted
+        )
+
+    def test_vote_cut_sets_match_mocus(self):
+        tree = VoteGate(2, ["a", "b", "c", OrGate(["a", "d"])])
+        assert sorted(tree.minimal_cut_sets(method="bdd"), key=sorted) == sorted(
+            tree.minimal_cut_sets(method="mocus"), key=sorted
+        )
+
+    def test_unknown_methods_rejected(self):
+        tree = self._diamond()
+        with pytest.raises(AnalysisError, match="unknown evaluation method"):
+            tree.probability({"x": 0.1, "a": 0.2, "b": 0.3}, method="magic")
+        with pytest.raises(AnalysisError, match="unknown cut-set method"):
+            tree.minimal_cut_sets(method="magic")

@@ -153,3 +153,54 @@ class TestRenewalSimulation:
         }
         exact = inclusion_exclusion(sets, exact_table)
         assert renewal.availability == pytest.approx(exact, abs=0.005)
+
+
+class TestSeedHandling:
+    """Every entry point accepts an int seed or a prepared Generator."""
+
+    def test_generator_matches_int_seed(self):
+        table = {"a": 0.7, "b": 0.6}
+        sets = [fs("a"), fs("b")]
+        by_int = TwoTerminalMC(sets, table).estimate(10_000, seed=11)
+        by_rng = TwoTerminalMC(sets, table).estimate(
+            10_000, seed=np.random.default_rng(11)
+        )
+        assert by_rng.mean == by_int.mean
+        assert by_rng.confidence_interval() == by_int.confidence_interval()
+
+    def test_generator_state_is_consumed(self):
+        table = {"a": 0.7, "b": 0.6}
+        sets = [fs("a"), fs("b")]
+        rng = np.random.default_rng(11)
+        first = TwoTerminalMC(sets, table).estimate(10_000, seed=rng)
+        second = TwoTerminalMC(sets, table).estimate(10_000, seed=rng)
+        assert first.mean != second.mean  # stream advanced, not reset
+
+    def test_forced_state_accepts_generator(self):
+        table = {"a": 0.7, "b": 0.6}
+        mc = TwoTerminalMC([fs("ab")], table)
+        by_int = mc.estimate_with_forced_state("a", False, 5_000, seed=3)
+        by_rng = mc.estimate_with_forced_state(
+            "a", False, 5_000, seed=np.random.default_rng(3)
+        )
+        assert by_rng.mean == by_int.mean
+
+    def test_renewal_accepts_generator(self):
+        by_int = simulate_alternating_renewal(
+            [fs("a")], {"a": 50.0}, {"a": 5.0}, horizon_hours=20_000.0, seed=9
+        )
+        by_rng = simulate_alternating_renewal(
+            [fs("a")],
+            {"a": 50.0},
+            {"a": 5.0},
+            horizon_hours=20_000.0,
+            seed=np.random.default_rng(9),
+        )
+        assert by_rng.availability == by_int.availability
+        assert by_rng.outages == by_int.outages
+
+    @pytest.mark.parametrize("bad", [1.5, True, "7", None, object()])
+    def test_rejects_non_seed_types(self, bad):
+        mc = TwoTerminalMC([fs("a")], {"a": 0.9})
+        with pytest.raises(AnalysisError, match="seed must be"):
+            mc.estimate(100, seed=bad)

@@ -191,3 +191,22 @@ class TestDefaultCandidates:
         candidates = default_candidates(upsim_t1_p2, include_links=True)
         cuts = [f for f in candidates if f.kind == "cut"]
         assert len(cuts) == len(upsim_t1_p2.used_links())
+
+
+class TestCampaignKernels:
+    def test_bdd_matches_enum(self, usi, printing, table1):
+        via_bdd = run_campaign(usi, printing, table1, k=1, kernel="bdd")
+        via_enum = run_campaign(usi, printing, table1, k=1, kernel="enum")
+        assert via_bdd.baseline_availability == pytest.approx(
+            via_enum.baseline_availability, abs=1e-12
+        )
+        assert [r.faults for r in via_bdd.results] == [
+            r.faults for r in via_enum.results
+        ]
+        for a, b in zip(via_bdd.results, via_enum.results):
+            assert a.availability == pytest.approx(b.availability, abs=1e-12)
+            assert a.unreachable_pairs == b.unreachable_pairs
+
+    def test_unknown_kernel_rejected(self, usi, printing, table1):
+        with pytest.raises(FaultPlanError, match="unknown availability kernel"):
+            run_campaign(usi, printing, table1, kernel="magic")

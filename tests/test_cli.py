@@ -146,3 +146,23 @@ class TestFileCommands:
         assert main(
             ["analyze", "--models", models, "--service", "ghost", "--mapping", mapping]
         ) == 4
+
+
+class TestKernelFlag:
+    def test_casestudy_kernels_agree(self, capsys):
+        outputs = {}
+        for kernel in ("bdd", "enum"):
+            assert main(["casestudy", "--kernel", kernel]) == 0
+            outputs[kernel] = capsys.readouterr().out
+        assert "service (all pairs)" in outputs["bdd"]
+        # same report either way: identical availability figures (tied
+        # importance rows may swap order on float noise, so compare the
+        # line multiset, not the exact string)
+        assert sorted(outputs["bdd"].splitlines()) == sorted(
+            outputs["enum"].splitlines()
+        )
+
+    def test_unknown_kernel_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["casestudy", "--kernel", "magic"])
+        assert "invalid choice" in capsys.readouterr().err
