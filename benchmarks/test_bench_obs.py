@@ -1,0 +1,109 @@
+"""Observability overhead benchmarks.
+
+Quantifies the three costs the obs layer is allowed to have:
+
+* a **disabled** instrumentation point (the no-op span) — the price every
+  hot path pays unconditionally;
+* an **active** span (record + nest + clock) — the price of ``--trace``;
+* a counter increment and a histogram observation — the price of the
+  always-on metrics.
+
+The no-op numbers are the contract: they must stay negligible relative
+to the ~100us+ operations they wrap (path discovery, BDD compilation,
+pipeline stages).
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, activate
+
+N = 10_000
+
+
+def test_bench_noop_span(benchmark):
+    def loop():
+        for _ in range(N):
+            with _trace.span("bench.noop", kind="bench"):
+                pass
+
+    benchmark(loop)
+    assert _trace.get_tracer().span_count == 0
+
+
+def test_bench_active_span(benchmark):
+    def loop():
+        tracer = Tracer()
+        with activate(tracer):
+            with tracer.span("root"):
+                for _ in range(N):
+                    with _trace.span("bench.active"):
+                        pass
+        return tracer
+
+    tracer = benchmark(loop)
+    assert tracer.span_count == N + 1
+
+
+def test_bench_counter_inc(benchmark):
+    registry = MetricsRegistry()
+    counter = registry.counter("bench_total")
+
+    def loop():
+        for _ in range(N):
+            counter.inc()
+
+    benchmark(loop)
+    assert counter.value >= N
+
+
+def test_bench_labeled_counter_inc(benchmark):
+    registry = MetricsRegistry()
+    series = registry.counter(
+        "bench_labeled_total", labelnames=("stage",)
+    ).labels(stage="discover_paths")
+
+    def loop():
+        for _ in range(N):
+            series.inc()
+
+    benchmark(loop)
+    assert series.value >= N
+
+
+def test_bench_histogram_observe(benchmark):
+    registry = MetricsRegistry()
+    histogram = registry.histogram("bench_seconds")
+
+    def loop():
+        for i in range(N):
+            histogram.observe(i * 1e-4)
+
+    benchmark(loop)
+
+
+def test_bench_prometheus_export(benchmark):
+    registry = MetricsRegistry()
+    for i in range(20):
+        counter = registry.counter(f"bench_family_{i}_total", "help text")
+        counter.inc(i)
+    labeled = registry.counter("bench_stages_total", labelnames=("stage",))
+    for stage in ("import_uml", "import_mapping", "discover", "generate"):
+        labeled.labels(stage=stage).inc()
+
+    text = benchmark(registry.to_prometheus)
+    assert text.endswith("\n")
+    assert "bench_stages_total" in text
+
+
+def test_bench_metrics_noop_vs_direct(benchmark):
+    """The full instrumented engine cache-read path: gauges backed by
+    callbacks must not make ``collect()`` expensive."""
+    import repro.core.engine  # noqa: F401 — registers the cache gauges
+    import repro.dependability.bdd  # noqa: F401
+
+    registry = _metrics.registry()
+    snapshot = benchmark(registry.collect)
+    assert any(f["name"].startswith("repro_") for f in snapshot)

@@ -30,6 +30,7 @@ from typing import Dict, FrozenSet, List, Sequence
 import numpy as np
 
 from repro.errors import AnalysisError
+from repro.obs import metrics as _metrics
 
 __all__ = [
     "system_availability",
@@ -47,6 +48,12 @@ KERNELS = ("bdd", "ie", "enum")
 
 #: Exact enumeration bound (2^22 states ≈ 34 MB of probabilities).
 MAX_COMPONENTS = 22
+
+_M_EVALUATIONS = _metrics.counter(
+    "repro_analysis_evaluations_total",
+    "system_availability evaluations by kernel",
+    labelnames=("kernel",),
+)
 
 
 def _state_probabilities(availabilities: Sequence[float]) -> np.ndarray:
@@ -91,6 +98,7 @@ def system_availability(
         raise AnalysisError(
             f"unknown availability kernel {kernel!r}; expected one of {KERNELS}"
         )
+    _M_EVALUATIONS.labels(kernel=kernel).inc()
     if kernel == "bdd":
         from repro.dependability.bdd import system_availability_bdd
 

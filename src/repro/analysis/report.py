@@ -40,6 +40,7 @@ from repro.dependability.importance import (
 )
 from repro.dependability.montecarlo import MCEstimate
 from repro.errors import AnalysisError
+from repro.obs import trace as _trace
 from repro.uml.objects import ObjectModel
 
 __all__ = ["PairReport", "AvailabilityReport", "analyze_upsim"]
@@ -215,6 +216,30 @@ def analyze_upsim(
         raise AnalysisError(
             f"unknown availability kernel {kernel!r}; expected one of {KERNELS}"
         )
+    with _trace.span(
+        "analysis.analyze_upsim", service=upsim.service_name, kernel=kernel
+    ):
+        return _analyze_upsim_traced(
+            upsim,
+            formula=formula,
+            include_links=include_links,
+            montecarlo_samples=montecarlo_samples,
+            importance_components=importance_components,
+            seed=seed,
+            kernel=kernel,
+        )
+
+
+def _analyze_upsim_traced(
+    upsim: UPSIM,
+    *,
+    formula: str,
+    include_links: bool,
+    montecarlo_samples: int,
+    importance_components: int,
+    seed: int,
+    kernel: str,
+) -> AvailabilityReport:
     availabilities = component_availabilities(
         upsim.model, formula=formula, include_links=include_links
     )

@@ -27,6 +27,7 @@ from repro.analysis.transformations import (
 )
 from repro.core.upsim import UPSIM
 from repro.errors import AnalysisError
+from repro.obs import trace as _trace
 
 __all__ = [
     "FailureImpact",
@@ -91,6 +92,26 @@ def combined_failure_impact(
         raise AnalysisError(
             f"unknown availability kernel {kernel!r}; expected one of {KERNELS}"
         )
+    with _trace.span(
+        "analysis.failure_impact", components=len(components), kernel=kernel
+    ):
+        return _combined_failure_impact(
+            upsim,
+            components,
+            include_links=include_links,
+            availabilities=availabilities,
+            kernel=kernel,
+        )
+
+
+def _combined_failure_impact(
+    upsim: UPSIM,
+    components: Sequence[str],
+    *,
+    include_links: bool,
+    availabilities: Optional[Dict[str, float]],
+    kernel: str,
+) -> FailureImpact:
     table = (
         dict(availabilities)
         if availabilities is not None
@@ -194,21 +215,24 @@ def impact_table(
                 link_component_name(a, b) for a, b in sorted(upsim.used_links())
             )
     table = component_availabilities(upsim.model, include_links=include_links)
-    if kernel == "bdd":
-        impacts = _impact_table_batched(
-            upsim, names, table, include_links=include_links
-        )
-    else:
-        impacts = [
-            failure_impact(
-                upsim,
-                name,
-                include_links=include_links,
-                availabilities=table,
-                kernel=kernel,
+    with _trace.span(
+        "analysis.impact_table", components=len(names), kernel=kernel
+    ):
+        if kernel == "bdd":
+            impacts = _impact_table_batched(
+                upsim, names, table, include_links=include_links
             )
-            for name in names
-        ]
+        else:
+            impacts = [
+                failure_impact(
+                    upsim,
+                    name,
+                    include_links=include_links,
+                    availabilities=table,
+                    kernel=kernel,
+                )
+                for name in names
+            ]
     impacts.sort(
         key=lambda impact: (
             -len(impact.disconnected_services),

@@ -24,6 +24,15 @@ Subcommands::
         Fault-injection campaign over the case-study service: sweep
         single- and k-fault combinations, rank by user-perceived impact.
 
+    upsim obs trace.json
+        Pretty-print a trace file produced by ``--trace`` as an indented
+        span tree.
+
+``casestudy`` and ``campaign`` accept ``--trace FILE.json`` (record a
+hierarchical span trace of the whole run) and ``--metrics`` (print the
+collected counters/gauges/histograms as a table plus the Prometheus text
+exposition) — see :mod:`repro.obs`.
+
 Model files use the XML dialect of :mod:`repro.uml.xmi`; mapping files use
 the Figure 3 schema of :mod:`repro.core.mapping`.
 
@@ -57,6 +66,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from types import SimpleNamespace
 from typing import List, Optional
 
 from repro.analysis import analyze_upsim
@@ -79,6 +89,8 @@ from repro.errors import (
     UnreachablePairError,
 )
 from repro.network.topology import Topology
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.services.composite import CompositeService
 from repro.uml import xmi
 from repro.uml.constraints import check_infrastructure
@@ -114,6 +126,21 @@ def exit_code_for(exc: BaseException) -> int:
         if isinstance(exc, exc_class):
             return code
     return 2
+
+
+def _add_observability_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE.json",
+        help="record a hierarchical span trace of the run to FILE.json "
+        "(inspect with 'upsim obs FILE.json')",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print collected metrics (table + Prometheus text exposition)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -158,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="availability evaluator: compiled BDD kernel (default), "
         "inclusion-exclusion, or reference state enumeration",
     )
+    _add_observability_args(case)
 
     campaign = sub.add_parser(
         "campaign",
@@ -194,6 +222,21 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("bdd", "ie", "enum"),
         default="bdd",
         help="availability evaluator for the sweep (default: compiled BDD)",
+    )
+    _add_observability_args(campaign)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="pretty-print a trace file written by --trace"
+    )
+    obs_cmd.add_argument("tracefile", help="JSON trace file")
+    obs_cmd.add_argument(
+        "--max-depth", type=int, default=None, help="truncate deep traces"
+    )
+    obs_cmd.add_argument(
+        "--min-ms",
+        type=float,
+        default=0.0,
+        help="hide spans faster than this many milliseconds",
     )
 
     def add_model_args(p: argparse.ArgumentParser, with_service: bool) -> None:
@@ -309,11 +352,18 @@ def _run_pipeline(args: argparse.Namespace):
 
 
 def cmd_casestudy(args: argparse.Namespace) -> int:
-    from repro.casestudy import printing_mapping, printing_service, usi_topology
+    from repro.casestudy import printing_mapping, printing_service, usi_builder
     from repro.core.pathdiscovery import PathSet
     from repro.core.upsim import generate_upsim
+    from repro.vpm import MappingImporter, ModelSpace, UMLImporter
 
-    topology = usi_topology()
+    # One span per methodology step (paper Figure 4): Steps 1-4 construct
+    # the input models, Steps 5-8 are the automated chain.
+    with _trace.span("casestudy.step1_annotate_profiles"):
+        builder = usi_builder()
+    with _trace.span("casestudy.step2_object_diagram"):
+        infrastructure = builder.build()
+    topology = Topology(infrastructure)
     plan = None
     if args.inject:
         from repro.resilience import FaultPlan
@@ -324,8 +374,10 @@ def cmd_casestudy(args: argparse.Namespace) -> int:
         topology = plan.apply(topology)
         print(f"injected faults: {', '.join(plan.specs())}")
         print()
-    service = printing_service()
-    mapping = printing_mapping(args.client, args.printer, args.server)
+    with _trace.span("casestudy.step3_service_description"):
+        service = printing_service()
+    with _trace.span("casestudy.step4_mapping"):
+        mapping = printing_mapping(args.client, args.printer, args.server)
     print(mapping_table(mapping, title="Service mapping (Table I schema):"))
     print()
     pairs = mapping.pairs_for_service(service)
@@ -337,41 +389,65 @@ def cmd_casestudy(args: argparse.Namespace) -> int:
                 f"no mapping pair for atomic service {args.service!r} "
                 f"(known: {known})"
             )
-    endpoint_pairs = [(p.requester, p.provider) for p in pairs]
-    if plan is None:
-        discovered = discover_many(topology, endpoint_pairs, jobs=args.jobs)
-        supplied = None
-    else:
-        from repro.resilience import ResiliencePolicy, discover_many_resilient
-
-        outcome = discover_many_resilient(
-            topology,
-            endpoint_pairs,
-            policy=ResiliencePolicy(jobs=args.jobs),
+    with _trace.span("casestudy.step5_import_uml"):
+        space = ModelSpace()
+        importer = UMLImporter(space)
+        importer.import_object_model(infrastructure)
+        importer.import_activity(service.activity)
+    with _trace.span("casestudy.step6_import_mapping"):
+        # pairs naming unknown components are left to Step 7, which
+        # diagnoses them properly (missing endpoint -> PathDiscoveryError)
+        importable = SimpleNamespace(
+            pairs=[
+                p
+                for p in pairs
+                if infrastructure.has_instance(p.requester)
+                and infrastructure.has_instance(p.provider)
+            ]
         )
-        discovered = {
-            pair: outcome.path_sets.get(pair, PathSet(pair[0], pair[1]))
-            for pair in dict.fromkeys(endpoint_pairs)
-        }
-        print("pair diagnostics:")
-        for diagnostic in outcome.diagnostics:
-            print(f"  {diagnostic.describe()}")
-        print()
-        supplied = {
-            p.atomic_service: discovered[(p.requester, p.provider)]
-            for p in pairs
-        }
+        MappingImporter(space).import_mapping(importable)
+    endpoint_pairs = [(p.requester, p.provider) for p in pairs]
+    with _trace.span(
+        "casestudy.step7_path_discovery", pairs=len(endpoint_pairs)
+    ):
+        if plan is None:
+            discovered = discover_many(topology, endpoint_pairs, jobs=args.jobs)
+            supplied = None
+        else:
+            from repro.resilience import (
+                ResiliencePolicy,
+                discover_many_resilient,
+            )
+
+            outcome = discover_many_resilient(
+                topology,
+                endpoint_pairs,
+                policy=ResiliencePolicy(jobs=args.jobs),
+            )
+            discovered = {
+                pair: outcome.path_sets.get(pair, PathSet(pair[0], pair[1]))
+                for pair in dict.fromkeys(endpoint_pairs)
+            }
+            print("pair diagnostics:")
+            for diagnostic in outcome.diagnostics:
+                print(f"  {diagnostic.describe()}")
+            print()
+            supplied = {
+                p.atomic_service: discovered[(p.requester, p.provider)]
+                for p in pairs
+            }
     for pair in pairs:
         print(f"atomic service {pair.atomic_service!r}:")
         print(paths_text(discovered[(pair.requester, pair.provider)]))
     print()
-    upsim = generate_upsim(
-        topology,
-        service,
-        mapping,
-        path_sets=supplied,
-        partial=plan is not None,
-    )
+    with _trace.span("casestudy.step8_generate_upsim"):
+        upsim = generate_upsim(
+            topology,
+            service,
+            mapping,
+            path_sets=supplied,
+            partial=plan is not None,
+        )
     print(object_model_text(upsim.model))
     print()
     print(
@@ -407,6 +483,22 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                 "single points of failure: "
                 + ", ".join(" + ".join(r.faults) for r in spofs)
             )
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    try:
+        data = _trace.load(args.tracefile)
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    print(
+        _trace.render(
+            data,
+            max_depth=args.max_depth,
+            min_seconds=args.min_ms / 1000.0,
+        )
+    )
+    print(f"({data.get('span_count', 0)} span(s) recorded)")
     return 0
 
 
@@ -587,6 +679,7 @@ def cmd_query(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "casestudy": cmd_casestudy,
     "campaign": cmd_campaign,
+    "obs": cmd_obs,
     "generate": cmd_generate,
     "paths": cmd_paths,
     "analyze": cmd_analyze,
@@ -602,11 +695,26 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_path: Optional[str] = getattr(args, "trace", None)
+    show_metrics: bool = getattr(args, "metrics", False)
+    tracer = _trace.Tracer() if trace_path else _trace.NOOP_TRACER
     try:
-        return _COMMANDS[args.command](args)
+        with _trace.activate(tracer):
+            code = _COMMANDS[args.command](args)
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return exit_code_for(exc)
+        code = exit_code_for(exc)
+    if trace_path:
+        assert isinstance(tracer, _trace.Tracer)
+        tracer.save(trace_path)
+        print()
+        print(f"trace written to {trace_path} ({tracer.span_count} span(s))")
+    if show_metrics:
+        print()
+        print(_metrics.registry().summary())
+        print()
+        print(_metrics.registry().to_prometheus(), end="")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

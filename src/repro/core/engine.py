@@ -57,6 +57,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 from repro.errors import PathDiscoveryError
 from repro.network.topology import Topology
 from repro.core.pathdiscovery import Path, PathSet, _check_endpoints
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
 __all__ = [
     "CompiledTopology",
@@ -876,6 +878,37 @@ _PATHS = _LRU(maxsize=1024, max_weight=2_000_000)
 _STATS_LOCK = threading.Lock()
 _STATS = {"compilations": 0, "enumerations": 0}
 
+# -- observability: coarse counters + live cache gauges (repro.obs) ----------
+
+_M_COMPILATIONS = _metrics.counter(
+    "repro_engine_compilations_total",
+    "Topology compilations into CSR form",
+)
+_M_ENUMERATIONS = _metrics.counter(
+    "repro_engine_enumerations_total",
+    "Full path enumerations run (cache hits perform none)",
+)
+_M_PATHS_DISCOVERED = _metrics.counter(
+    "repro_engine_paths_discovered_total",
+    "Simple paths emitted by full enumerations",
+)
+_metrics.gauge(
+    "repro_engine_path_cache_hits",
+    "PathSet LRU hits since process start",
+).set_function(lambda: _PATHS.hits)
+_metrics.gauge(
+    "repro_engine_path_cache_misses",
+    "PathSet LRU misses since process start",
+).set_function(lambda: _PATHS.misses)
+_metrics.gauge(
+    "repro_engine_path_cache_entries",
+    "PathSets currently memoized",
+).set_function(lambda: len(_PATHS.data))
+_metrics.gauge(
+    "repro_engine_path_cache_weight",
+    "Total path elements retained in the PathSet LRU",
+).set_function(lambda: _PATHS.total_weight)
+
 
 def engine_stats() -> Dict[str, int]:
     """Counters for tests and benchmarks: compilations and full DFS runs
@@ -922,9 +955,12 @@ def compile_topology(topology: Topology) -> CompiledTopology:
         return cached
     compiled = _COMPILED.get(fingerprint)
     if compiled is None:
-        compiled = CompiledTopology.from_topology(topology, fingerprint)
+        with _trace.span("engine.compile", fingerprint=fingerprint) as span:
+            compiled = CompiledTopology.from_topology(topology, fingerprint)
+            span.set(nodes=compiled.n, edges=len(compiled.indices) // 2)
         with _STATS_LOCK:
             _STATS["compilations"] += 1
+        _M_COMPILATIONS.inc()
         _COMPILED.put(fingerprint, compiled)
     try:
         topology._compiled = compiled  # type: ignore[attr-defined]
@@ -959,6 +995,7 @@ def _enumerate(
 ) -> PathSet:
     with _STATS_LOCK:
         _STATS["enumerations"] += 1
+    _M_ENUMERATIONS.inc()
     result = PathSet(requester, provider)
     # a truncated query must stay lazy; a full one benefits from the
     # eager C-speed product assembly
@@ -972,6 +1009,7 @@ def _enumerate(
             if next(iterator, None) is not None:
                 result.truncated = True
             break
+    _M_PATHS_DISCOVERED.inc(len(result.paths))
     return result
 
 
@@ -985,19 +1023,26 @@ def discover(
     use_cache: bool = True,
 ) -> PathSet:
     """Memoized all-paths discovery on the compiled topology."""
-    _check_endpoints(topology, requester, provider)
-    compiled = compile_topology(topology)
-    key = (compiled.fingerprint, requester, provider, max_depth, max_paths)
-    if use_cache:
-        hit = _PATHS.get(key)
-        if hit is not None:
-            paths, truncated = hit
-            return PathSet(requester, provider, list(paths), truncated=truncated)
-    result = _enumerate(compiled, requester, provider, max_depth, max_paths)
-    if use_cache:
-        weight = sum(map(len, result.paths)) + 1
-        _PATHS.put(key, (tuple(result.paths), result.truncated), weight=weight)
-    return result
+    with _trace.span(
+        "engine.discover", requester=requester, provider=provider
+    ) as span:
+        _check_endpoints(topology, requester, provider)
+        compiled = compile_topology(topology)
+        key = (compiled.fingerprint, requester, provider, max_depth, max_paths)
+        if use_cache:
+            hit = _PATHS.get(key)
+            if hit is not None:
+                paths, truncated = hit
+                span.set(cached=True, paths=len(paths))
+                return PathSet(
+                    requester, provider, list(paths), truncated=truncated
+                )
+        result = _enumerate(compiled, requester, provider, max_depth, max_paths)
+        span.set(cached=False, paths=len(result.paths))
+        if use_cache:
+            weight = sum(map(len, result.paths)) + 1
+            _PATHS.put(key, (tuple(result.paths), result.truncated), weight=weight)
+        return result
 
 
 def count(
@@ -1068,16 +1113,19 @@ def discover_many(
     compiled = compile_topology(topology)
     compiled.ensure_structure()  # share one decomposition across workers
 
-    def run_one(pair: Tuple[str, str]):
+    tracer = _trace.get_tracer()
+
+    def run_one(pair: Tuple[str, str], parent=None):
         try:
-            return discover(
-                topology,
-                pair[0],
-                pair[1],
-                max_depth=max_depth,
-                max_paths=max_paths,
-                use_cache=use_cache,
-            )
+            with tracer.context(parent):
+                return discover(
+                    topology,
+                    pair[0],
+                    pair[1],
+                    max_depth=max_depth,
+                    max_paths=max_paths,
+                    use_cache=use_cache,
+                )
         except Exception as exc:
             if return_exceptions:
                 return exc
@@ -1090,8 +1138,17 @@ def discover_many(
                 f"with {type(exc).__name__}: {exc}"
             ) from exc
 
-    if jobs is not None and jobs > 1 and len(unique) > 1:
-        with ThreadPoolExecutor(max_workers=jobs) as executor:
-            futures = {pair: executor.submit(run_one, pair) for pair in unique}
-            return {pair: futures[pair].result() for pair in unique}
-    return {pair: run_one(pair) for pair in unique}
+    with tracer.span(
+        "engine.discover_many", pairs=len(unique), jobs=jobs or 1
+    ):
+        if jobs is not None and jobs > 1 and len(unique) > 1:
+            # Thread-local span stacks do not flow into pool workers, so
+            # capture the batch span here and re-attach it per worker.
+            parent = tracer.current()
+            with ThreadPoolExecutor(max_workers=jobs) as executor:
+                futures = {
+                    pair: executor.submit(run_one, pair, parent)
+                    for pair in unique
+                }
+                return {pair: futures[pair].result() for pair in unique}
+        return {pair: run_one(pair) for pair in unique}

@@ -38,8 +38,9 @@ and Step 8 produces a *partial* UPSIM covering the reachable pairs.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, TYPE_CHECKING
+from typing import Dict, Iterator, List, Optional, Set, TYPE_CHECKING
 
 from repro.core.engine import discover_many
 from repro.core.mapping import ServiceMapping
@@ -47,6 +48,8 @@ from repro.core.pathdiscovery import PathSet
 from repro.core.upsim import UPSIM, generate_upsim
 from repro.errors import MappingError, ReproError, UnreachablePairError
 from repro.network.topology import Topology
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.services.composite import CompositeService
 from repro.uml.objects import ObjectModel
 from repro.vpm.importers import (
@@ -71,6 +74,25 @@ __all__ = ["MethodologyPipeline", "PipelineReport", "StageReport"]
 #: Automated stages in execution order (paper step numbers 5-8).
 STAGES = ("import_uml", "import_mapping", "discover_paths", "generate_upsim")
 
+_M_RUNS = _metrics.counter(
+    "repro_pipeline_runs_total", "MethodologyPipeline.run() invocations"
+)
+_M_STAGE_RUNS = _metrics.counter(
+    "repro_pipeline_stage_runs_total",
+    "Pipeline stage executions (incremental reuses not counted)",
+    labelnames=("stage",),
+)
+_M_STAGE_REUSES = _metrics.counter(
+    "repro_pipeline_stage_reuses_total",
+    "Pipeline stages satisfied from the incremental cache",
+    labelnames=("stage",),
+)
+_M_STAGE_SECONDS = _metrics.histogram(
+    "repro_pipeline_stage_seconds",
+    "Wall time of executed pipeline stages",
+    labelnames=("stage",),
+)
+
 
 @dataclass
 class StageReport:
@@ -82,10 +104,39 @@ class StageReport:
     #: failure description when the stage failed or was skipped in
     #: resilient mode (``None`` on success or cache reuse)
     error: Optional[str] = None
+    #: the trace span covering this stage's execution (``None`` when the
+    #: stage was reused from cache or tracing is disabled)
+    span: Optional[_trace.Span] = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+
+@contextmanager
+def _executed_stage(report: PipelineReport, name: str) -> Iterator[StageReport]:
+    """Record one executing stage under a ``pipeline.<stage>`` span.
+
+    ``seconds`` is stamped in a ``finally`` so failed stages keep their
+    elapsed time (the old success-path-only assignment leaked the timer —
+    a raising stage reported 0.0s)."""
+    entry = StageReport(name, True, 0.0)
+    report.stages.append(entry)
+    _M_STAGE_RUNS.labels(stage=name).inc()
+    start = time.perf_counter()
+    try:
+        with _trace.span(f"pipeline.{name}") as span_:
+            if isinstance(span_, _trace.Span):
+                entry.span = span_
+            yield entry
+    finally:
+        entry.seconds = time.perf_counter() - start
+        _M_STAGE_SECONDS.labels(stage=name).observe(entry.seconds)
+
+
+def _reused_stage(report: PipelineReport, name: str) -> None:
+    report.stages.append(StageReport(name, False, 0.0))
+    _M_STAGE_REUSES.labels(stage=name).inc()
 
 
 @dataclass
@@ -265,40 +316,50 @@ class MethodologyPipeline:
                 )
 
         report = PipelineReport()
+        _M_RUNS.inc()
 
-        if resilience is None:
-            self._run_stages(report, max_depth, max_paths, jobs, None, kernel)
-            report.upsim = self.upsim
-            return report
-
-        # resilient mode: per-stage error isolation — a failing stage is
-        # recorded, its dependents are skipped, and the report returns
-        try:
-            self._run_stages(report, max_depth, max_paths, jobs, resilience, kernel)
-        except ReproError as exc:
-            failed = (
-                report.stages[-1].stage
-                if report.stages
-                else "import_uml"
-            )
-            if report.stages and report.stages[-1].error is None:
-                report.stages[-1].error = str(exc)
-                report.stages[-1].executed = True
-            for stage in STAGES[STAGES.index(failed) + 1 :]:
-                report.stages.append(
-                    StageReport(
-                        stage,
-                        False,
-                        0.0,
-                        error=f"skipped: upstream stage {failed!r} failed",
-                    )
+        with _trace.span("pipeline.run", mode=mode, jobs=jobs or 1) as run_span:
+            if resilience is None:
+                self._run_stages(
+                    report, max_depth, max_paths, jobs, None, kernel
                 )
-            report.partial = True
-        report.diagnostics = list(self._diagnostics)
-        if report.unreachable_pairs() or report.failed_stages():
-            report.partial = True
-        report.upsim = self.upsim
-        return report
+                report.upsim = self.upsim
+                run_span.set(executed=len(report.executed_stages()))
+                return report
+
+            # resilient mode: per-stage error isolation — a failing stage is
+            # recorded, its dependents are skipped, and the report returns
+            try:
+                self._run_stages(
+                    report, max_depth, max_paths, jobs, resilience, kernel
+                )
+            except ReproError as exc:
+                failed = (
+                    report.stages[-1].stage
+                    if report.stages
+                    else "import_uml"
+                )
+                if report.stages and report.stages[-1].error is None:
+                    report.stages[-1].error = str(exc)
+                    report.stages[-1].executed = True
+                for stage in STAGES[STAGES.index(failed) + 1 :]:
+                    report.stages.append(
+                        StageReport(
+                            stage,
+                            False,
+                            0.0,
+                            error=f"skipped: upstream stage {failed!r} failed",
+                        )
+                    )
+                report.partial = True
+            report.diagnostics = list(self._diagnostics)
+            if report.unreachable_pairs() or report.failed_stages():
+                report.partial = True
+            report.upsim = self.upsim
+            run_span.set(
+                executed=len(report.executed_stages()), partial=report.partial
+            )
+            return report
 
     def _run_stages(
         self,
@@ -312,115 +373,115 @@ class MethodologyPipeline:
         assert self._infrastructure and self._service and self._mapping
 
         # Step 5: import UML models into the model space
-        start = time.perf_counter()
         if "import_uml" in self._dirty:
-            report.stages.append(StageReport("import_uml", True, 0.0))
-            self.space = ModelSpace()
-            importer = UMLImporter(self.space)
-            importer.import_object_model(self._infrastructure)
-            importer.import_activity(self._service.activity)
-            self._dirty.discard("import_uml")
-            report.stages[-1].seconds = time.perf_counter() - start
+            with _executed_stage(report, "import_uml"):
+                self.space = ModelSpace()
+                importer = UMLImporter(self.space)
+                importer.import_object_model(self._infrastructure)
+                importer.import_activity(self._service.activity)
+                self._dirty.discard("import_uml")
         else:
-            report.stages.append(StageReport("import_uml", False, 0.0))
+            _reused_stage(report, "import_uml")
         assert self.space is not None
 
         # Step 6: import the service mapping
-        start = time.perf_counter()
         if "import_mapping" in self._dirty:
-            report.stages.append(StageReport("import_mapping", True, 0.0))
-            self._clear_namespace(MAPPING_NS)
-            problems = self._mapping.validate_against(Topology(self._infrastructure))
-            if problems:
-                raise MappingError(
-                    f"mapping inconsistent with infrastructure: {problems}"
+            with _executed_stage(report, "import_mapping"):
+                self._clear_namespace(MAPPING_NS)
+                problems = self._mapping.validate_against(
+                    Topology(self._infrastructure)
                 )
-            MappingImporter(self.space).import_mapping(
-                _RelevantPairs(self._mapping.pairs_for_service(self._service))
-            )
-            self._dirty.discard("import_mapping")
-            report.stages[-1].seconds = time.perf_counter() - start
+                if problems:
+                    raise MappingError(
+                        f"mapping inconsistent with infrastructure: {problems}"
+                    )
+                MappingImporter(self.space).import_mapping(
+                    _RelevantPairs(
+                        self._mapping.pairs_for_service(self._service)
+                    )
+                )
+                self._dirty.discard("import_mapping")
         else:
-            report.stages.append(StageReport("import_mapping", False, 0.0))
+            _reused_stage(report, "import_mapping")
 
         # Step 7: discover all paths per mapping pair, store in the space
-        start = time.perf_counter()
         if "discover_paths" in self._dirty:
-            report.stages.append(StageReport("discover_paths", True, 0.0))
-            self._clear_namespace(PATHS_NS)
-            topology = self._topology()
-            pairs = self._mapping.pairs_for_service(self._service)
-            endpoint_pairs = [(p.requester, p.provider) for p in pairs]
-            self._diagnostics = []
-            if resilience is None:
-                discovered = discover_many(
-                    topology,
-                    endpoint_pairs,
-                    max_depth=max_depth,
-                    max_paths=max_paths,
-                    jobs=jobs,
-                )
-            else:
-                from repro.resilience.runner import discover_many_resilient
+            with _executed_stage(report, "discover_paths") as entry:
+                self._clear_namespace(PATHS_NS)
+                topology = self._topology()
+                pairs = self._mapping.pairs_for_service(self._service)
+                endpoint_pairs = [(p.requester, p.provider) for p in pairs]
+                self._diagnostics = []
+                if resilience is None:
+                    discovered = discover_many(
+                        topology,
+                        endpoint_pairs,
+                        max_depth=max_depth,
+                        max_paths=max_paths,
+                        jobs=jobs,
+                    )
+                else:
+                    from repro.resilience.runner import discover_many_resilient
 
-                if resilience.jobs is None and jobs is not None:
-                    from dataclasses import replace
+                    if resilience.jobs is None and jobs is not None:
+                        from dataclasses import replace
 
-                    resilience = replace(resilience, jobs=jobs)
-                outcome = discover_many_resilient(
-                    topology,
-                    endpoint_pairs,
-                    max_depth=max_depth,
-                    max_paths=max_paths,
-                    policy=resilience,
-                )
-                self._diagnostics = list(outcome.diagnostics)
-                # unreachable pairs degrade to an *empty* PathSet: Step 8
-                # skips them in partial mode without re-running discovery
-                discovered = {
-                    pair: outcome.path_sets.get(pair, PathSet(pair[0], pair[1]))
-                    for pair in dict.fromkeys(endpoint_pairs)
-                }
-            self._path_sets = {}
-            for pair in pairs:
-                path_set = discovered[(pair.requester, pair.provider)]
-                self._path_sets[pair.atomic_service] = path_set
-                store_paths(self.space, pair.atomic_service, path_set.paths)
-            self._dirty.discard("discover_paths")
-            report.stages[-1].seconds = time.perf_counter() - start
+                        resilience = replace(resilience, jobs=jobs)
+                    outcome = discover_many_resilient(
+                        topology,
+                        endpoint_pairs,
+                        max_depth=max_depth,
+                        max_paths=max_paths,
+                        policy=resilience,
+                    )
+                    self._diagnostics = list(outcome.diagnostics)
+                    # unreachable pairs degrade to an *empty* PathSet: Step 8
+                    # skips them in partial mode without re-running discovery
+                    discovered = {
+                        pair: outcome.path_sets.get(
+                            pair, PathSet(pair[0], pair[1])
+                        )
+                        for pair in dict.fromkeys(endpoint_pairs)
+                    }
+                self._path_sets = {}
+                for pair in pairs:
+                    path_set = discovered[(pair.requester, pair.provider)]
+                    self._path_sets[pair.atomic_service] = path_set
+                    store_paths(self.space, pair.atomic_service, path_set.paths)
+                if entry.span is not None:
+                    entry.span.set(pairs=len(endpoint_pairs))
+                self._dirty.discard("discover_paths")
         else:
-            report.stages.append(StageReport("discover_paths", False, 0.0))
+            _reused_stage(report, "discover_paths")
 
         # Step 8: generate the UPSIM (model-space filter + object diagram).
         # The Step-7 PathSets are threaded through so each run enumerates
         # every mapping pair exactly once.
-        start = time.perf_counter()
         if "generate_upsim" in self._dirty:
-            report.stages.append(StageReport("generate_upsim", True, 0.0))
-            try:
-                self.upsim = generate_upsim(
-                    self._topology(),
-                    self._service,
-                    self._mapping,
-                    max_depth=max_depth,
-                    max_paths=max_paths,
-                    path_sets=self._path_sets,
-                    partial=resilience is not None,
-                )
-            except UnreachablePairError:
-                # resilient mode only: nothing at all is reachable — there
-                # is no UPSIM, but the diagnostics say why, pair by pair
-                if resilience is None:
+            with _executed_stage(report, "generate_upsim"):
+                try:
+                    self.upsim = generate_upsim(
+                        self._topology(),
+                        self._service,
+                        self._mapping,
+                        max_depth=max_depth,
+                        max_paths=max_paths,
+                        path_sets=self._path_sets,
+                        partial=resilience is not None,
+                    )
+                except UnreachablePairError:
+                    # resilient mode only: nothing at all is reachable — there
+                    # is no UPSIM, but the diagnostics say why, pair by pair
+                    if resilience is None:
+                        raise
+                    self.upsim = None
                     raise
-                self.upsim = None
-                raise
-            self._mark_upsim_entities()
-            if kernel is not None:
-                self._warm_kernel(kernel, resilient=resilience is not None)
-            self._dirty.discard("generate_upsim")
-            report.stages[-1].seconds = time.perf_counter() - start
+                self._mark_upsim_entities()
+                if kernel is not None:
+                    self._warm_kernel(kernel, resilient=resilience is not None)
+                self._dirty.discard("generate_upsim")
         else:
-            report.stages.append(StageReport("generate_upsim", False, 0.0))
+            _reused_stage(report, "generate_upsim")
             if kernel is not None and self.upsim is not None:
                 # a reused Step 8 still warms the kernel cache (memoized —
                 # free when an earlier run already compiled the structure)

@@ -60,6 +60,8 @@ from repro.core.engine import _LRU, compile_topology
 from repro.dependability.cutsets import minimize_sets
 from repro.errors import AnalysisError
 from repro.network.topology import Topology
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 
 __all__ = [
     "BDD",
@@ -99,6 +101,8 @@ class BDD:
         self.high: List[int] = [0, 1]
         self._unique: Dict[Tuple[int, int, int], int] = {}
         self._cache: Dict[Tuple[int, ...], int] = {}
+        #: memoized apply/ITE results reused during construction
+        self.cache_hits = 0
 
     def __len__(self) -> int:
         return len(self.var)
@@ -146,6 +150,8 @@ class BDD:
             g0, g1 = self._cofactors(g, top)
             result = self.mk(top, self.apply_and(f0, g0), self.apply_and(f1, g1))
             self._cache[key] = result
+        else:
+            self.cache_hits += 1
         return result
 
     def apply_or(self, f: int, g: int) -> int:
@@ -165,6 +171,8 @@ class BDD:
             g0, g1 = self._cofactors(g, top)
             result = self.mk(top, self.apply_or(f0, g0), self.apply_or(f1, g1))
             self._cache[key] = result
+        else:
+            self.cache_hits += 1
         return result
 
     def ite(self, f: int, g: int, h: int) -> int:
@@ -186,6 +194,8 @@ class BDD:
             h0, h1 = self._cofactors(h, top)
             result = self.mk(top, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
             self._cache[key] = result
+        else:
+            self.cache_hits += 1
         return result
 
 
@@ -197,10 +207,41 @@ _STATS = {"compilations": 0, "evaluations": 0}
 #: over many structures cannot grow memory without bound.
 _KERNELS = _LRU(maxsize=256, max_weight=2_000_000)
 
+_M_COMPILATIONS = _metrics.counter(
+    "repro_bdd_compilations_total",
+    "Structure compilations into the BDD availability kernel",
+)
+_M_NODES_ALLOCATED = _metrics.counter(
+    "repro_bdd_nodes_allocated_total",
+    "Decision nodes allocated across BDD compilations",
+)
+_M_ITE_CACHE_HITS = _metrics.counter(
+    "repro_bdd_ite_cache_hits_total",
+    "Apply/ITE memo hits while building BDD structure functions",
+)
+_M_EVALUATIONS = _metrics.counter(
+    "repro_bdd_evaluations_total",
+    "Probability-vector evaluations on compiled kernels",
+)
+_metrics.gauge(
+    "repro_bdd_kernel_cache_hits", "Compiled-kernel LRU cache hits"
+).set_function(lambda: _KERNELS.hits)
+_metrics.gauge(
+    "repro_bdd_kernel_cache_misses", "Compiled-kernel LRU cache misses"
+).set_function(lambda: _KERNELS.misses)
+_metrics.gauge(
+    "repro_bdd_kernel_cache_entries", "Compiled kernels currently cached"
+).set_function(lambda: len(_KERNELS.data))
+_metrics.gauge(
+    "repro_bdd_kernel_cache_weight",
+    "Total BDD nodes retained by the kernel cache",
+).set_function(lambda: _KERNELS.total_weight)
+
 
 def _count_evaluation(count: int = 1) -> None:
     with _STATS_LOCK:
         _STATS["evaluations"] += count
+    _M_EVALUATIONS.inc(count)
 
 
 class AvailabilityKernel:
@@ -569,20 +610,32 @@ def compile_structure(
         if cached is not None:
             return cached
 
-    bdd = BDD(len(ordered))
-    index = {name: i for i, name in enumerate(ordered)}
-    group_roots: List[int] = []
-    for group in groups:
-        root = BDD.FALSE
-        for path in group:
-            root = bdd.apply_or(root, bdd.cube(index[c] for c in path))
-        group_roots.append(root)
-    system = BDD.TRUE
-    for root in dict.fromkeys(group_roots):
-        system = bdd.apply_and(system, root)
-    kernel = AvailabilityKernel(bdd, system, group_roots, ordered, fingerprint)
+    with _trace.span(
+        "bdd.compile",
+        variables=len(ordered),
+        groups=len(groups),
+        fingerprint=fingerprint,
+    ) as span:
+        bdd = BDD(len(ordered))
+        index = {name: i for i, name in enumerate(ordered)}
+        group_roots: List[int] = []
+        for group in groups:
+            root = BDD.FALSE
+            for path in group:
+                root = bdd.apply_or(root, bdd.cube(index[c] for c in path))
+            group_roots.append(root)
+        system = BDD.TRUE
+        for root in dict.fromkeys(group_roots):
+            system = bdd.apply_and(system, root)
+        kernel = AvailabilityKernel(
+            bdd, system, group_roots, ordered, fingerprint
+        )
+        span.set(nodes=len(bdd) - 2, ite_cache_hits=bdd.cache_hits)
     with _STATS_LOCK:
         _STATS["compilations"] += 1
+    _M_COMPILATIONS.inc()
+    _M_NODES_ALLOCATED.inc(len(bdd) - 2)
+    _M_ITE_CACHE_HITS.inc(bdd.cache_hits)
     if use_cache:
         _KERNELS.put(fingerprint, kernel, weight=len(bdd))
     return kernel

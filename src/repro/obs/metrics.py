@@ -1,0 +1,488 @@
+"""Counters, gauges, histograms; JSON / Prometheus / table exporters.
+
+A :class:`MetricsRegistry` holds named metric families.  Three kinds:
+
+* :class:`Counter` — monotonically increasing totals (paths discovered,
+  BDD nodes allocated, retries);
+* :class:`Gauge` — point-in-time values, either set explicitly or read
+  from a callback at collection time (the cache-statistics gauges poll
+  the engine / kernel LRUs this way, so the registry never holds stale
+  copies);
+* :class:`Histogram` — cumulative-bucket distributions (stage latency).
+
+Families may declare label names; :meth:`Counter.labels` (etc.) returns
+the child series for one label-value combination.  Collection output is
+deterministic: families sort by name, series by label values, and label
+pairs render sorted by label name — equal registries always produce
+byte-identical exposition, whatever the insertion order was.
+
+Exporters: :meth:`MetricsRegistry.to_json` (machine-readable snapshot),
+:meth:`MetricsRegistry.to_prometheus` (Prometheus text exposition format
+0.0.4, with the required HELP/label-value escaping), and
+:meth:`MetricsRegistry.summary` (an aligned human table for the CLI).
+
+Everything here is dependency-free and thread-safe; the module-global
+:func:`registry` is the default sink the instrumented subsystems write
+to.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from collections import OrderedDict
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "counter",
+    "gauge",
+    "histogram",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets (seconds) — tuned for stage/pair timings.
+DEFAULT_BUCKETS = (
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample formatting: integers without a trailing ``.0``."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_suffix(items: Sequence[Tuple[str, str]]) -> str:
+    if not items:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in items
+    )
+    return "{" + body + "}"
+
+
+class _Metric:
+    """Shared family bookkeeping: name, help text, label names, series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._series: Dict[LabelKey, Any] = {}
+        if not self.labelnames:
+            self._series[()] = self._new_series()
+
+    def _new_series(self) -> Any:
+        raise NotImplementedError
+
+    def _series_for(self, labels: Dict[str, str]) -> Any:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} expects labels "
+                f"{sorted(self.labelnames)}, got {sorted(labels)}"
+            )
+        key: LabelKey = tuple(
+            sorted((name, str(value)) for name, value in labels.items())
+        )
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._new_series()
+                self._series[key] = series
+        return series
+
+    def _default(self) -> Any:
+        if self.labelnames:
+            raise ValueError(
+                f"metric {self.name!r} is labeled "
+                f"({sorted(self.labelnames)}); use .labels(...)"
+            )
+        return self._series[()]
+
+    def series(self) -> List[Tuple[LabelKey, Any]]:
+        with self._lock:
+            return sorted(self._series.items())
+
+
+class Counter(_Metric):
+    """Monotonically increasing total."""
+
+    kind = "counter"
+
+    class _Series:
+        __slots__ = ("value", "lock")
+
+        def __init__(self):
+            self.value = 0.0
+            self.lock = threading.Lock()
+
+        def inc(self, amount: float = 1.0) -> None:
+            if amount < 0:
+                raise ValueError("counters only go up")
+            with self.lock:
+                self.value += amount
+
+    def _new_series(self) -> "Counter._Series":
+        return Counter._Series()
+
+    def labels(self, **labels: str) -> "Counter._Series":
+        return self._series_for(labels)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default().value
+
+    def samples(self) -> List[Tuple[str, LabelKey, float]]:
+        return [
+            (self.name, key, series.value) for key, series in self.series()
+        ]
+
+
+class Gauge(_Metric):
+    """Point-in-time value, settable or callback-backed."""
+
+    kind = "gauge"
+
+    class _Series:
+        __slots__ = ("_value", "fn", "lock")
+
+        def __init__(self):
+            self._value = 0.0
+            self.fn: Optional[Callable[[], float]] = None
+            self.lock = threading.Lock()
+
+        def set(self, value: float) -> None:
+            with self.lock:
+                self.fn = None
+                self._value = float(value)
+
+        def set_function(self, fn: Callable[[], float]) -> None:
+            with self.lock:
+                self.fn = fn
+
+        @property
+        def value(self) -> float:
+            with self.lock:
+                if self.fn is not None:
+                    return float(self.fn())
+                return self._value
+
+    def _new_series(self) -> "Gauge._Series":
+        return Gauge._Series()
+
+    def labels(self, **labels: str) -> "Gauge._Series":
+        return self._series_for(labels)
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Read the gauge from *fn* at every collection — the pattern the
+        cache-statistics gauges use, so values are never stale."""
+        self._default().set_function(fn)
+
+    @property
+    def value(self) -> float:
+        return self._default().value
+
+    def samples(self) -> List[Tuple[str, LabelKey, float]]:
+        return [
+            (self.name, key, series.value) for key, series in self.series()
+        ]
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket distribution (Prometheus histogram semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b != b or b == math.inf for b in bounds):
+            raise ValueError("bucket bounds must be finite numbers")
+        self.bounds = bounds
+        super().__init__(name, help, labelnames)
+
+    class _Series:
+        __slots__ = ("bounds", "bucket_counts", "total", "count", "lock")
+
+        def __init__(self, bounds: Tuple[float, ...]):
+            self.bounds = bounds
+            self.bucket_counts = [0] * (len(bounds) + 1)  # +Inf last
+            self.total = 0.0
+            self.count = 0
+            self.lock = threading.Lock()
+
+        def observe(self, value: float) -> None:
+            with self.lock:
+                index = len(self.bounds)
+                for i, bound in enumerate(self.bounds):
+                    if value <= bound:
+                        index = i
+                        break
+                self.bucket_counts[index] += 1
+                self.total += value
+                self.count += 1
+
+    def _new_series(self) -> "Histogram._Series":
+        return Histogram._Series(self.bounds)
+
+    def labels(self, **labels: str) -> "Histogram._Series":
+        return self._series_for(labels)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+    def samples(self) -> List[Tuple[str, LabelKey, float]]:
+        """Flattened cumulative samples: ``_bucket`` per bound (plus
+        ``+Inf``), then ``_sum`` and ``_count`` — the exposition shape."""
+        out: List[Tuple[str, LabelKey, float]] = []
+        for key, series in self.series():
+            with series.lock:
+                counts = list(series.bucket_counts)
+                total = series.total
+                count = series.count
+            cumulative = 0
+            for bound, bucket_count in zip(self.bounds, counts):
+                cumulative += bucket_count
+                le = ((("le", _format_value(bound)),))
+                out.append((f"{self.name}_bucket", key + le, float(cumulative)))
+            out.append(
+                (f"{self.name}_bucket", key + (("le", "+Inf"),), float(count))
+            )
+            out.append((f"{self.name}_sum", key, total))
+            out.append((f"{self.name}_count", key, float(count)))
+        return out
+
+
+class MetricsRegistry:
+    """A named collection of metric families with deterministic export."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: "OrderedDict[str, _Metric]" = OrderedDict()
+
+    # -- registration ---------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Any:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(
+            Counter, name, help, labelnames=labelnames
+        )
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames=labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames=labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._metrics.pop(name, None)
+
+    def clear(self) -> None:
+        """Drop every family — a fresh registry (tests)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # -- collection -----------------------------------------------------------
+
+    def collect(self) -> List[Dict[str, Any]]:
+        """Deterministic snapshot: families sorted by name, each with its
+        kind, help, and ``(sample name, label items, value)`` samples."""
+        with self._lock:
+            families = sorted(self._metrics.items())
+        snapshot: List[Dict[str, Any]] = []
+        for name, metric in families:
+            snapshot.append(
+                {
+                    "name": name,
+                    "kind": metric.kind,
+                    "help": metric.help,
+                    "samples": metric.samples(),
+                }
+            )
+        return snapshot
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        payload = [
+            {
+                "name": family["name"],
+                "kind": family["kind"],
+                "help": family["help"],
+                "samples": [
+                    {
+                        "name": sample_name,
+                        "labels": {k: v for k, v in key},
+                        "value": value,
+                    }
+                    for sample_name, key, value in family["samples"]
+                ],
+            }
+            for family in self.collect()
+        ]
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format 0.0.4.
+
+        HELP lines escape ``\\`` and newlines; label values additionally
+        escape ``"``.  Output is byte-deterministic for equal registry
+        contents (sorted families, series, and label names).
+        """
+        lines: List[str] = []
+        for family in self.collect():
+            name = family["name"]
+            if family["help"]:
+                lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+            lines.append(f"# TYPE {name} {family['kind']}")
+            for sample_name, key, value in family["samples"]:
+                lines.append(
+                    f"{sample_name}{_label_suffix(key)} {_format_value(value)}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def summary(self) -> str:
+        """Aligned human-readable table of every sample (the CLI view)."""
+        rows: List[Tuple[str, str, str]] = []
+        for family in self.collect():
+            for sample_name, key, value in family["samples"]:
+                label_text = ",".join(f"{k}={v}" for k, v in key)
+                rows.append((sample_name, label_text, _format_value(value)))
+        if not rows:
+            return "(no metrics recorded)"
+        name_width = max(len(r[0]) for r in rows)
+        label_width = max((len(r[1]) for r in rows), default=0)
+        lines = [
+            f"{'metric':<{name_width}}  {'labels':<{label_width}}  value",
+            "-" * (name_width + label_width + 9),
+        ]
+        for sample_name, label_text, value in rows:
+            lines.append(
+                f"{sample_name:<{name_width}}  {label_text:<{label_width}}  "
+                f"{value}"
+            )
+        return "\n".join(lines)
+
+
+#: The process-wide default registry the instrumented subsystems write to.
+_DEFAULT = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    return _DEFAULT
+
+
+def counter(
+    name: str, help: str = "", labelnames: Sequence[str] = ()
+) -> Counter:
+    """Get-or-create a counter on the default registry."""
+    return _DEFAULT.counter(name, help, labelnames)
+
+
+def gauge(name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+    """Get-or-create a gauge on the default registry."""
+    return _DEFAULT.gauge(name, help, labelnames)
+
+
+def histogram(
+    name: str,
+    help: str = "",
+    labelnames: Sequence[str] = (),
+    buckets: Sequence[float] = DEFAULT_BUCKETS,
+) -> Histogram:
+    """Get-or-create a histogram on the default registry."""
+    return _DEFAULT.histogram(name, help, labelnames, buckets)

@@ -37,6 +37,8 @@ from repro.dependability.availability import (
 )
 from repro.errors import FaultPlanError
 from repro.network.topology import Topology
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.resilience.faults import Fault, FaultPlan
 from repro.resilience.runner import (
     DiscoveryOutcome,
@@ -48,6 +50,22 @@ from repro.services.composite import CompositeService
 from repro.uml.objects import ObjectModel
 
 __all__ = ["CampaignResult", "CampaignReport", "run_campaign", "default_candidates"]
+
+_M_CAMPAIGNS = _metrics.counter(
+    "repro_campaign_runs_total", "Fault-injection campaigns executed"
+)
+_M_COMBINATIONS = _metrics.counter(
+    "repro_campaign_combinations_total",
+    "Fault combinations swept across campaigns",
+)
+_M_FAULTS_INJECTED = _metrics.counter(
+    "repro_campaign_faults_injected_total",
+    "Individual faults applied over all evaluated fault plans",
+)
+_M_MEMO_HITS = _metrics.counter(
+    "repro_campaign_memo_hits_total",
+    "Campaign evaluations answered from the resolved-plan memo",
+)
 
 
 @dataclass(frozen=True)
@@ -271,7 +289,13 @@ def run_campaign(
     def evaluate(resolved: FaultPlan) -> _Evaluation:
         cached = evaluations.get(resolved.fingerprint())
         if cached is not None:
+            _M_MEMO_HITS.inc()
             return cached
+        _M_FAULTS_INJECTED.inc(len(resolved))
+        with _trace.span("campaign.evaluate", faults=len(resolved)):
+            return _evaluate_fresh(resolved)
+
+    def _evaluate_fresh(resolved: FaultPlan) -> _Evaluation:
         overlay = resolved.apply(topology)
         outcome = discover_many_resilient(
             overlay,
@@ -319,12 +343,42 @@ def run_campaign(
         evaluations[resolved.fingerprint()] = evaluation
         return evaluation
 
+    _M_CAMPAIGNS.inc()
+    with _trace.span(
+        "campaign.run", service=service.name, k=k, ticks=ticks, kernel=kernel
+    ) as sweep_span:
+        results = _sweep(
+            fault_pool, k, ticks, evaluate, baseline, sweep_span
+        )
+    _metrics.gauge(
+        "repro_campaign_memo_entries",
+        "Distinct resolved fault plans evaluated by the last campaign",
+    ).set(len(evaluations))
+    return CampaignReport(
+        service_name=service.name,
+        topology_fingerprint=topology.fingerprint(),
+        baseline_availability=baseline,
+        pairs=pairs,
+        results=results,
+    )
+
+
+def _sweep(
+    fault_pool: List[Fault],
+    k: int,
+    ticks: int,
+    evaluate,
+    baseline: float,
+    sweep_span,
+) -> List[CampaignResult]:
+    """All 1..k-fault combinations, evaluated and ranked most severe first."""
     results: List[CampaignResult] = []
     for size in range(1, min(k, len(fault_pool)) + 1):
         for combo in combinations(fault_pool, size):
             plan = FaultPlan(combo)
             if len(plan) < size:
                 continue  # duplicate faults collapsed — same as a smaller combo
+            _M_COMBINATIONS.inc()
             tick_range = range(ticks) if not plan.is_resolved else range(1)
             unreachable: Dict[Tuple[str, str], None] = {}
             disconnected: Dict[str, None] = {}
@@ -372,10 +426,5 @@ def run_campaign(
             r.faults,
         )
     )
-    return CampaignReport(
-        service_name=service.name,
-        topology_fingerprint=topology.fingerprint(),
-        baseline_availability=baseline,
-        pairs=pairs,
-        results=results,
-    )
+    sweep_span.set(combinations=len(results))
+    return results

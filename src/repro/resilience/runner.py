@@ -39,6 +39,8 @@ from repro.core.engine import discover
 from repro.core.pathdiscovery import PathSet
 from repro.errors import PathDiscoveryTimeout
 from repro.network.topology import Topology
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.resilience.faults import _link_name
 from repro.resilience.overlay import FaultOverlayTopology
 
@@ -48,6 +50,20 @@ __all__ = [
     "DiscoveryOutcome",
     "discover_many_resilient",
 ]
+
+_M_PAIRS = _metrics.counter(
+    "repro_resilience_pairs_total",
+    "Resilient pair discoveries by final status",
+    labelnames=("status",),
+)
+_M_RETRIES = _metrics.counter(
+    "repro_resilience_retries_total",
+    "Discovery attempts retried after a worker error",
+)
+_M_TIMEOUTS = _metrics.counter(
+    "repro_resilience_timeouts_total",
+    "Discovery attempts abandoned at the pair deadline",
+)
 
 
 @dataclass(frozen=True)
@@ -242,6 +258,7 @@ def discover_many_resilient(
         started = time.perf_counter()
 
         def diag(status: str, reason: str = "", **kw) -> PairDiagnostic:
+            _M_PAIRS.labels(status=status).inc()
             return PairDiagnostic(
                 requester,
                 provider,
@@ -287,6 +304,7 @@ def discover_many_resilient(
             if not finished:
                 # enumeration is deterministic — retrying an expired
                 # deadline would expire again, so diagnose immediately
+                _M_TIMEOUTS.inc()
                 timeout_error = PathDiscoveryTimeout(
                     requester, provider, policy.pair_timeout or 0.0
                 )
@@ -308,8 +326,10 @@ def discover_many_resilient(
                     "ok", attempts=attempt, path_count=len(path_set.paths)
                 )
             last_error = error
-            if attempt <= policy.retries and policy.backoff > 0:
-                time.sleep(policy.backoff * (2 ** (attempt - 1)))
+            if attempt <= policy.retries:
+                _M_RETRIES.inc()
+                if policy.backoff > 0:
+                    time.sleep(policy.backoff * (2 ** (attempt - 1)))
         return diag(
             "error",
             f"{type(last_error).__name__}: {last_error}",
@@ -318,12 +338,31 @@ def discover_many_resilient(
 
     outcome = DiscoveryOutcome()
     jobs = policy.jobs
-    if jobs is not None and jobs > 1 and len(unique) > 1:
-        with ThreadPoolExecutor(max_workers=jobs) as executor:
-            futures = {pair: executor.submit(run_pair, pair) for pair in unique}
-            results = {pair: futures[pair].result() for pair in unique}
-    else:
-        results = {pair: run_pair(pair) for pair in unique}
+    tracer = _trace.get_tracer()
+
+    def traced_pair(pair: Tuple[str, str], parent=None) -> PairDiagnostic:
+        with tracer.context(parent):
+            with tracer.span(
+                "resilience.pair", requester=pair[0], provider=pair[1]
+            ) as span:
+                diag = run_pair(pair)
+                span.set(status=diag.status, attempts=diag.attempts)
+                return diag
+
+    with tracer.span(
+        "resilience.discover_many", pairs=len(unique), jobs=jobs or 1
+    ):
+        if jobs is not None and jobs > 1 and len(unique) > 1:
+            # capture the batch span: worker threads have empty span stacks
+            parent = tracer.current()
+            with ThreadPoolExecutor(max_workers=jobs) as executor:
+                futures = {
+                    pair: executor.submit(traced_pair, pair, parent)
+                    for pair in unique
+                }
+                results = {pair: futures[pair].result() for pair in unique}
+        else:
+            results = {pair: traced_pair(pair) for pair in unique}
     # rebuild stores in first-seen order (workers may finish out of order)
     ordered_sets = {
         pair: outcome.path_sets[pair]

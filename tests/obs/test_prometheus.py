@@ -1,0 +1,207 @@
+"""Property tests for the Prometheus text exposition exporter.
+
+A minimal exposition parser (independent of the exporter's own string
+building) round-trips the output: every escaped label value must come
+back byte-identical, sample values must survive formatting, label names
+must appear in sorted order, and equal registry contents must produce
+byte-identical text regardless of insertion order.
+"""
+
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+
+# -- minimal exposition parser -------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"')
+
+
+def _unescape(text):
+    out = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def parse_exposition(text):
+    """Parse exposition text into types, helps, and samples.
+
+    Returns ``(types, helps, samples)`` where samples maps
+    ``(sample_name, ((label, value), ...))`` to the parsed float, with
+    label values unescaped and label ordering preserved as written.
+    """
+    types = {}
+    helps = {}
+    samples = {}
+    # split strictly on \n: exposition only escapes \n, so exotic Unicode
+    # line boundaries (\x1e,  , ...) inside label values stay literal
+    for line in text.split("\n"):
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            types[name] = kind
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            helps[name] = _unescape(help_text)
+            continue
+        match = _SAMPLE_RE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        name, label_body, value_text = match.groups()
+        labels = tuple(
+            (label_name, _unescape(raw))
+            for label_name, raw in _LABEL_RE.findall(label_body or "")
+        )
+        if label_body:
+            # the label regex must consume the whole body (nothing skipped)
+            reconstructed = ",".join(
+                match.group(0) for match in _LABEL_RE.finditer(label_body)
+            )
+            assert reconstructed == label_body, (
+                f"label body not fully parsed: {label_body!r}"
+            )
+        samples[(name, labels)] = float(value_text)
+    return types, helps, samples
+
+
+# -- strategies ----------------------------------------------------------------
+
+label_values = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs",), blacklist_characters="\r"
+    ),
+    max_size=20,
+)
+finite_values = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9).map(float),
+    st.floats(
+        allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+    ),
+)
+help_texts = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs",), blacklist_characters="\r"
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    entries=st.dictionaries(
+        st.tuples(label_values, label_values),
+        finite_values,
+        min_size=1,
+        max_size=6,
+    ),
+    help_text=help_texts,
+)
+def test_labeled_gauge_round_trips(entries, help_text):
+    registry = MetricsRegistry()
+    g = registry.gauge("rt_gauge", help_text, labelnames=("zone", "alpha"))
+    for (zone, alpha), value in entries.items():
+        g.labels(zone=zone, alpha=alpha).set(value)
+
+    text = registry.to_prometheus()
+    types, helps, samples = parse_exposition(text)
+
+    assert types["rt_gauge"] == "gauge"
+    if help_text:
+        assert helps["rt_gauge"] == help_text
+    assert len(samples) == len(entries)
+    for (zone, alpha), value in entries.items():
+        # label names render sorted: alpha before zone
+        key = ("rt_gauge", (("alpha", alpha), ("zone", zone)))
+        assert key in samples, f"missing series for {zone!r}/{alpha!r}"
+        assert samples[key] == float(value)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    entries=st.dictionaries(
+        label_values, finite_values.map(abs), min_size=1, max_size=6
+    )
+)
+def test_exposition_is_insertion_order_independent(entries):
+    def build(items):
+        registry = MetricsRegistry()
+        registry.gauge("zz_last").set(1)
+        c = registry.counter("ordering_total", "help", labelnames=("key",))
+        for key, value in items:
+            c.labels(key=key).inc(value)
+        registry.counter("aa_first_total").inc()
+        return registry.to_prometheus()
+
+    forward = build(list(entries.items()))
+    backward = build(list(reversed(list(entries.items()))))
+    assert forward == backward
+    # families render sorted by name
+    family_order = [
+        line.split()[2] for line in forward.splitlines()
+        if line.startswith("# TYPE ")
+    ]
+    assert family_order == sorted(family_order)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=st.lists(st.floats(min_value=0.0, max_value=20.0), max_size=20))
+def test_histogram_exposition_is_cumulative_and_parseable(values):
+    registry = MetricsRegistry()
+    h = registry.histogram("rt_seconds", "latency", buckets=(0.5, 1.0, 5.0))
+    for value in values:
+        h.observe(value)
+
+    _, _, samples = parse_exposition(registry.to_prometheus())
+    buckets = [
+        count
+        for (name, labels), count in sorted(samples.items())
+        if name == "rt_seconds_bucket"
+    ]
+    # sorted() orders "+Inf" first lexicographically; recover by value
+    by_le = {
+        labels[0][1]: count
+        for (name, labels), count in samples.items()
+        if name == "rt_seconds_bucket"
+    }
+    ordered = [by_le["0.5"], by_le["1"], by_le["5"], by_le["+Inf"]]
+    assert ordered == sorted(ordered), "bucket counts must be cumulative"
+    assert by_le["+Inf"] == samples[("rt_seconds_count", ())] == len(values)
+    assert samples[("rt_seconds_sum", ())] == sum(values)
+    assert len(buckets) == 4
+
+
+def test_escaping_examples_are_exact():
+    registry = MetricsRegistry()
+    g = registry.gauge(
+        "esc", 'help with \\ and\nnewline', labelnames=("label",)
+    )
+    g.labels(label='quote " slash \\ nl \n end').set(1)
+    text = registry.to_prometheus()
+    assert '# HELP esc help with \\\\ and\\nnewline' in text
+    assert 'label="quote \\" slash \\\\ nl \\n end"' in text
+    assert text.endswith("\n")
+    _, helps, samples = parse_exposition(text)
+    assert helps["esc"] == 'help with \\ and\nnewline'
+    assert ("esc", (("label", 'quote " slash \\ nl \n end'),)) in samples
