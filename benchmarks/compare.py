@@ -36,8 +36,19 @@ from typing import Dict, List, Tuple
 def load_means(pattern: str) -> Dict[str, float]:
     """Map of benchmark fullname -> mean seconds, merged over every file
     matching *pattern* (a literal path or a glob); the smallest recorded
-    mean wins when a name appears in several files."""
-    paths = sorted(glob.glob(pattern)) or [pattern]
+    mean wins when a name appears in several files.
+
+    A pattern that matches nothing raises :class:`FileNotFoundError`: a
+    silently empty baseline would make every comparison pass vacuously,
+    masking missing-baseline regressions in CI.
+    """
+    paths = sorted(glob.glob(pattern))
+    if not paths:
+        raise FileNotFoundError(
+            f"no benchmark files match {pattern!r} — a missing baseline "
+            f"would make the comparison pass vacuously; record one first "
+            f"(pytest benchmarks -q --benchmark-json=...) or fix the glob"
+        )
     means: Dict[str, float] = {}
     for path in paths:
         with open(path) as handle:
@@ -93,8 +104,14 @@ def main(argv: List[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    try:
+        baseline = load_means(args.baseline)
+        candidate = load_means(args.candidate)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     regressions, improvements, unmatched = compare(
-        load_means(args.baseline), load_means(args.candidate), args.threshold
+        baseline, candidate, args.threshold
     )
     for line in unmatched:
         print(line)

@@ -24,6 +24,13 @@ Subcommands::
         Fault-injection campaign over the case-study service: sweep
         single- and k-fault combinations, rank by user-perceived impact.
 
+    upsim population [--users N] [--classes SPEC] [--shards K]
+        Population-scale evaluation of the case-study printing service:
+        generate N simulated users over the client positions, evaluate
+        per-user availability through the vectorized plane, and print
+        per-class percentiles plus the worst-served users.  SPEC is
+        ``NAME[:WEIGHT[:DEVICE_A[:JITTER]]],...``.
+
     upsim obs trace.json
         Pretty-print a trace file produced by ``--trace`` as an indented
         span tree.
@@ -224,6 +231,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="availability evaluator for the sweep (default: compiled BDD)",
     )
     _add_observability_args(campaign)
+
+    population = sub.add_parser(
+        "population",
+        help="population-scale availability of the case-study service",
+    )
+    population.add_argument(
+        "--users", type=int, default=10_000, help="population size"
+    )
+    population.add_argument(
+        "--classes",
+        default="std:4:0.98:0.05,gold:1:0.9999",
+        metavar="SPEC",
+        help="user classes as NAME[:WEIGHT[:DEVICE_A[:JITTER]]],... "
+        "(default: %(default)s)",
+    )
+    population.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shared-memory shard workers (default: single-process batching)",
+    )
+    population.add_argument("--printer", default="p2")
+    population.add_argument("--server", default="printS")
+    population.add_argument(
+        "--seed", type=int, default=0, help="population generator seed"
+    )
+    population.add_argument(
+        "--top", type=int, default=5, help="worst-served users to list"
+    )
+    population.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel path-discovery workers (default: serial)",
+    )
+    _add_observability_args(population)
 
     obs_cmd = sub.add_parser(
         "obs", help="pretty-print a trace file written by --trace"
@@ -486,6 +529,42 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_population(args: argparse.Namespace) -> int:
+    from repro.casestudy import (
+        CLIENTS,
+        printing_mapping,
+        printing_service,
+        usi_topology,
+    )
+    from repro.workload import (
+        Population,
+        evaluate_population,
+        parse_user_classes,
+    )
+
+    if args.users < 1:
+        raise AnalysisError(f"--users must be >= 1, got {args.users}")
+    classes = parse_user_classes(args.classes)
+    population = Population.generate(
+        args.users, classes, CLIENTS, seed=args.seed
+    )
+    report = evaluate_population(
+        usi_topology(),
+        printing_service(),
+        lambda client: printing_mapping(client, args.printer, args.server),
+        population,
+        shards=args.shards,
+        jobs=args.jobs,
+        top=args.top,
+    )
+    print(report.to_text())
+    if report.shards:
+        timings = ", ".join(f"{s:.3f}s" for s in report.shard_seconds)
+        print()
+        print(f"shard timings: {timings}")
+    return 0
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     try:
         data = _trace.load(args.tracefile)
@@ -679,6 +758,7 @@ def cmd_query(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "casestudy": cmd_casestudy,
     "campaign": cmd_campaign,
+    "population": cmd_population,
     "obs": cmd_obs,
     "generate": cmd_generate,
     "paths": cmd_paths,

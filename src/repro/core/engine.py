@@ -1100,7 +1100,10 @@ def discover_many(
     Duplicate pairs are enumerated once.  With ``jobs`` > 1 the distinct
     pairs fan out over a thread pool (the compiled arrays are shared and
     read-only); the result dict is keyed and built in first-seen pair
-    order either way, so stored results stay deterministic.
+    order either way, so stored results stay deterministic.  ``jobs``
+    must be >= 1 when given (``None`` means serial) — zero or negative
+    worker counts raise :class:`PathDiscoveryError` up front instead of
+    surfacing as an opaque executor error.
 
     A failing worker never surfaces as a bare future error: the raised
     :class:`PathDiscoveryError` names the (requester, provider) pair that
@@ -1109,6 +1112,11 @@ def discover_many(
     maps each failed pair to its exception instance instead of a
     :class:`PathSet`, so one bad pair cannot abort the whole batch.
     """
+    if jobs is not None and jobs < 1:
+        raise PathDiscoveryError(
+            f"jobs must be >= 1, got {jobs}; omit it (or pass None) for "
+            f"the serial default"
+        )
     unique: List[Tuple[str, str]] = list(dict.fromkeys(tuple(p) for p in pairs))
     compiled = compile_topology(topology)
     compiled.ensure_structure()  # share one decomposition across workers

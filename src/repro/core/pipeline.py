@@ -68,11 +68,18 @@ from repro.vpm.transform import Transformation
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import at load
     from repro.resilience.faults import FaultPlan
     from repro.resilience.runner import PairDiagnostic, ResiliencePolicy
+    from repro.workload.plane import PopulationReport as _PopulationReport
+    from repro.workload.population import Population
 
 __all__ = ["MethodologyPipeline", "PipelineReport", "StageReport"]
 
 #: Automated stages in execution order (paper step numbers 5-8).
 STAGES = ("import_uml", "import_mapping", "discover_paths", "generate_upsim")
+
+#: The optional population-scale stage (Step 9).  Deliberately *not* part
+#: of :data:`STAGES`: it only runs when a population is attached, and the
+#: incremental-invalidation tests pin the Step 5-8 stage list.
+POPULATION_STAGE = "evaluate_population"
 
 _M_RUNS = _metrics.counter(
     "repro_pipeline_runs_total", "MethodologyPipeline.run() invocations"
@@ -145,6 +152,9 @@ class PipelineReport:
 
     stages: List[StageReport] = field(default_factory=list)
     upsim: Optional[UPSIM] = None
+    #: population-scale evaluation result (optional Step 9; ``None``
+    #: unless a population was attached with ``set_population``)
+    population: Optional["_PopulationReport"] = None
     #: per-pair discovery outcomes (resilient runs; empty when strict)
     diagnostics: List["PairDiagnostic"] = field(default_factory=list)
     #: True when the run degraded: a stage failed, or at least one
@@ -180,6 +190,10 @@ class MethodologyPipeline:
         self._path_sets: Optional[Dict[str, PathSet]] = None
         self._diagnostics: List["PairDiagnostic"] = []
         self._discovery_mode: Optional[str] = None
+        self._population: Optional["Population"] = None
+        self._user_component: Optional[str] = None
+        self._population_report: Optional["_PopulationReport"] = None
+        self._population_shards: Optional[int] = None
         self.space: Optional[ModelSpace] = None
         self.upsim: Optional[UPSIM] = None
 
@@ -191,7 +205,7 @@ class MethodologyPipeline:
         Invalidates every automated stage: "changes to the network topology
         require updating … the network model and mapping"."""
         self._infrastructure = infrastructure
-        self._dirty |= set(STAGES)
+        self._dirty |= set(STAGES) | {POPULATION_STAGE}
         return self
 
     def set_service(self, service: CompositeService) -> "MethodologyPipeline":
@@ -200,7 +214,7 @@ class MethodologyPipeline:
         Substituting a service re-imports the UML models (the activity
         import is part of Step 5) and everything downstream."""
         self._service = service
-        self._dirty |= set(STAGES)
+        self._dirty |= set(STAGES) | {POPULATION_STAGE}
         return self
 
     def set_mapping(self, mapping: ServiceMapping) -> "MethodologyPipeline":
@@ -209,7 +223,8 @@ class MethodologyPipeline:
         Only invalidates Steps 6–8 — the documented cheap path for user
         mobility and service migration."""
         self._mapping = mapping
-        self._dirty |= {"import_mapping", "discover_paths", "generate_upsim"}
+        self._dirty |= {"import_mapping", "discover_paths", "generate_upsim",
+                        POPULATION_STAGE}
         return self
 
     def set_fault_plan(
@@ -234,12 +249,39 @@ class MethodologyPipeline:
                 plan = FaultPlan.parse(plan)
         self._fault_plan = plan
         self._fault_tick = tick
-        self._dirty |= {"discover_paths", "generate_upsim"}
+        self._dirty |= {"discover_paths", "generate_upsim", POPULATION_STAGE}
         return self
 
     @property
     def fault_plan(self) -> Optional["FaultPlan"]:
         return self._fault_plan
+
+    def set_population(
+        self,
+        population: Optional["Population"],
+        *,
+        user_component: Optional[str] = None,
+    ) -> "MethodologyPipeline":
+        """Attach (or clear, with ``None``) a user population for Step 9.
+
+        When a population is set, every :meth:`run` finishes with an
+        optional ninth stage: the mapping is treated as a *template*
+        describing one user position (*user_component*, defaulting to the
+        requester of the mapping's first pair), and the vectorized
+        evaluation plane (:func:`repro.workload.evaluate_population`)
+        computes per-user availability for every attachment in the
+        population.  The stage participates in incremental re-execution:
+        mapping-only updates re-run it, while an unchanged configuration
+        reuses the cached :class:`~repro.workload.PopulationReport`.
+        """
+        self._population = population
+        self._user_component = user_component
+        self._population_report = None
+        if population is None:
+            self._dirty.discard(POPULATION_STAGE)
+        else:
+            self._dirty.add(POPULATION_STAGE)
+        return self
 
     # -- Steps 5-8: automation ---------------------------------------------------
 
@@ -273,6 +315,7 @@ class MethodologyPipeline:
         max_depth: Optional[int] = None,
         max_paths: Optional[int] = None,
         jobs: Optional[int] = None,
+        shards: Optional[int] = None,
         resilience: Optional["ResiliencePolicy"] = None,
         kernel: Optional[str] = None,
     ) -> PipelineReport:
@@ -287,6 +330,10 @@ class MethodologyPipeline:
         the first failing stage or unreachable pair) to graceful
         degradation — see the module docstring.  ``resilience.jobs``
         overrides *jobs* when set.
+
+        ``shards`` fans the optional Step-9 population evaluation out
+        over shared-memory workers (see :meth:`set_population`); it is
+        ignored when no population is attached.
 
         ``kernel`` (``"bdd"``/``"ie"``/``"enum"``) pre-selects the
         availability evaluator for the analysis that follows Step 8:
@@ -323,6 +370,7 @@ class MethodologyPipeline:
                 self._run_stages(
                     report, max_depth, max_paths, jobs, None, kernel
                 )
+                self._run_population_stage(report, shards, jobs)
                 report.upsim = self.upsim
                 run_span.set(executed=len(report.executed_stages()))
                 return report
@@ -355,6 +403,11 @@ class MethodologyPipeline:
             report.diagnostics = list(self._diagnostics)
             if report.unreachable_pairs() or report.failed_stages():
                 report.partial = True
+            if not report.failed_stages():
+                # Step 9 only runs on a healthy Step 5-8 chain: a partial
+                # UPSIM means some positions are unreachable, and the
+                # population numbers would silently misrepresent them
+                self._run_population_stage(report, shards, jobs)
             report.upsim = self.upsim
             run_span.set(
                 executed=len(report.executed_stages()), partial=report.partial
@@ -486,6 +539,55 @@ class MethodologyPipeline:
                 # a reused Step 8 still warms the kernel cache (memoized —
                 # free when an earlier run already compiled the structure)
                 self._warm_kernel(kernel, resilient=resilience is not None)
+
+    def _run_population_stage(
+        self,
+        report: PipelineReport,
+        shards: Optional[int],
+        jobs: Optional[int],
+    ) -> None:
+        """Optional Step 9: population-scale evaluation (see
+        :meth:`set_population`).  A no-op when no population is attached;
+        otherwise executes or reuses like any other incremental stage.
+        A ``shards`` value different from the cached run's re-executes
+        (the numbers agree, but the recorded shard timings would lie).
+        """
+        if self._population is None:
+            return
+        assert self._mapping is not None and self._service is not None
+        if (
+            POPULATION_STAGE not in self._dirty
+            and self._population_report is not None
+            and self._population_shards == shards
+        ):
+            _reused_stage(report, POPULATION_STAGE)
+            report.population = self._population_report
+            return
+        from repro.workload.plane import evaluate_population
+        from repro.workload.population import mapping_for_user
+
+        with _executed_stage(report, POPULATION_STAGE) as entry:
+            user_component = self._user_component
+            if user_component is None:
+                pairs = self._mapping.pairs_for_service(self._service)
+                user_component = pairs[0].requester
+            factory = mapping_for_user(self._mapping, user_component)
+            self._population_report = evaluate_population(
+                self._topology(),
+                self._service,
+                factory,
+                self._population,
+                shards=shards,
+                jobs=jobs,
+            )
+            self._population_shards = shards
+            self._dirty.discard(POPULATION_STAGE)
+            if entry.span is not None:
+                entry.span.set(
+                    users=self._population.n_users,
+                    keys=self._population_report.keys,
+                )
+        report.population = self._population_report
 
     def _warm_kernel(self, kernel: str, *, resilient: bool) -> None:
         """Pre-compile the availability kernel for the generated UPSIM.

@@ -66,6 +66,8 @@ from repro.obs import trace as _trace
 __all__ = [
     "BDD",
     "AvailabilityKernel",
+    "perturbed_sweep",
+    "evaluate_perturbed_arrays",
     "compile_structure",
     "compile_pair",
     "structure_fingerprint",
@@ -406,6 +408,64 @@ class AvailabilityKernel:
             values[i + 2] = pv * values[high[i]] + (1.0 - pv) * values[low[i]]
         return values[self._root_pos].copy()
 
+    def flat_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """The linearized DAG as ``(var, low, high, root_pos)`` numpy
+        arrays — the shape the shared-memory sharding plane flattens into
+        one segment (see :mod:`repro.workload.sharding`).  ``var`` indexes
+        :attr:`variables`; ``low``/``high`` are positions in the
+        evaluation array (0/1 are the FALSE/TRUE terminals, interior node
+        *i* lives at position ``i + 2``)."""
+        return self._np_var, self._np_low, self._np_high, self._root_pos
+
+    def evaluate_perturbed(
+        self,
+        base: np.ndarray,
+        var: int,
+        values: np.ndarray,
+        *,
+        batch_rows: int = 65536,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """System availability when every variable holds its *base*
+        probability except variable *var*, which sweeps over *values*.
+
+        The population evaluation plane's workhorse: users sharing one
+        attachment point and service differ only in the availability of
+        their own access device, so the k distinct per-user annotations
+        collapse to one scalar base vector plus a k-vector at a single
+        decision variable.  Memory is O(k · nodes-above-*var*) instead of
+        the (k, n_variables) annotation matrix :meth:`evaluate_many`
+        needs, and the sweep is chunked at *batch_rows* rows.
+        """
+        base = np.asarray(base, dtype=np.float64)
+        if base.ndim != 1 or base.shape[0] != len(self.variables):
+            raise AnalysisError(
+                f"base probability vector must have shape "
+                f"({len(self.variables)},), got {base.shape}"
+            )
+        if not 0 <= var < len(self.variables):
+            raise AnalysisError(
+                f"perturbed variable index {var} out of range "
+                f"[0, {len(self.variables)})"
+            )
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 1:
+            raise AnalysisError(
+                f"perturbed values must be a 1-D array, got shape {values.shape}"
+            )
+        _count_evaluation(len(values))
+        return evaluate_perturbed_arrays(
+            self._np_var,
+            self._np_low,
+            self._np_high,
+            self._root_pos,
+            base,
+            var,
+            values,
+            batch_rows=batch_rows,
+            out=out,
+        )
+
     # -- importance -----------------------------------------------------------
 
     def birnbaum(self, availabilities: Mapping[str, float]) -> Dict[str, float]:
@@ -494,6 +554,81 @@ class AvailabilityKernel:
             combine=lambda name, low, high: [s | {name} for s in low]
             + list(high),
         )
+
+
+# -- perturbed evaluation (shared by kernel method and shard workers) --------
+
+
+def perturbed_sweep(
+    var_ix: np.ndarray,
+    low: np.ndarray,
+    high: np.ndarray,
+    root_pos: int,
+    base: np.ndarray,
+    var: int,
+    values: np.ndarray,
+) -> np.ndarray:
+    """One bottom-up sweep with a single vectorized variable.
+
+    Every variable carries its scalar ``base`` probability except *var*,
+    which carries the whole *values* vector.  Node results stay Python
+    floats until the sweep first touches *var*; only nodes whose subgraph
+    depends on the perturbed variable ever widen to k-vectors, so memory
+    is proportional to the perturbed cone, not to ``nodes × k``.
+
+    This module-level function is the **single implementation** evaluated
+    by :meth:`AvailabilityKernel.evaluate_perturbed` and by the
+    shared-memory shard workers of :mod:`repro.workload.sharding` — both
+    paths run the identical arithmetic, so their results agree bit for
+    bit with each other and (since numpy float64 scalar ops are the same
+    IEEE doubles) with the scalar :meth:`AvailabilityKernel.availability`
+    loop.
+    """
+    node_values: List[object] = [0.0] * (len(var_ix) + 2)
+    node_values[1] = 1.0
+    for i in range(len(var_ix)):
+        v = var_ix[i]
+        pv = values if v == var else base[v]
+        node_values[i + 2] = (
+            pv * node_values[high[i]] + (1.0 - pv) * node_values[low[i]]
+        )
+    root = node_values[root_pos]
+    if isinstance(root, np.ndarray):
+        return root
+    # the root never saw the perturbed variable (or k == 0): broadcast
+    return np.full(len(values), float(root))
+
+
+def evaluate_perturbed_arrays(
+    var_ix: np.ndarray,
+    low: np.ndarray,
+    high: np.ndarray,
+    root_pos: int,
+    base: np.ndarray,
+    var: int,
+    values: np.ndarray,
+    *,
+    batch_rows: int = 65536,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Chunked :func:`perturbed_sweep` over raw linearized-DAG arrays.
+
+    Operates purely on arrays (no kernel object), so shard workers can
+    call it directly on shared-memory views; *out* (when given) receives
+    the results in place — the sharding plane points it at the shared
+    result segment.
+    """
+    if batch_rows < 1:
+        raise AnalysisError(f"batch_rows must be >= 1, got {batch_rows}")
+    k = len(values)
+    if out is None:
+        out = np.empty(k, dtype=np.float64)
+    for start in range(0, k, batch_rows):
+        stop = min(start + batch_rows, k)
+        out[start:stop] = perturbed_sweep(
+            var_ix, low, high, root_pos, base, var, values[start:stop]
+        )
+    return out
 
 
 # -- variable orders ----------------------------------------------------------

@@ -1,0 +1,65 @@
+"""Population-scale user workloads: millions of users, vectorized end-to-end.
+
+The paper evaluates user-perceived properties for one requester/provider
+pair at a time; this package serves whole user *populations*:
+
+* :mod:`repro.workload.population` — the population model: user classes
+  (weight, device-availability profile, per-user jitter, demand,
+  mobility) distributed over attachment locations of the infrastructure;
+* :mod:`repro.workload.plane` — the numpy-vectorized evaluation plane:
+  users sharing an attachment point and service collapse to one compiled
+  structure query, distinct annotation rows batch through the BDD
+  kernel's vectorized sweep, and results scatter back per user;
+* :mod:`repro.workload.sharding` — shared-memory multicore sharding:
+  key-groups fan out over ``multiprocessing`` workers that evaluate the
+  flattened BDD node arrays directly from
+  ``multiprocessing.shared_memory`` segments, without re-compiling or
+  pickling any kernel.
+
+Quick start::
+
+    from repro.casestudy import CLIENTS, printing_mapping, printing_service, usi_topology
+    from repro.workload import Population, UserClass, evaluate_population
+
+    pop = Population.generate(
+        100_000,
+        (UserClass("std"), UserClass("gold", weight=0.2, device_availability=0.9999)),
+        CLIENTS,
+        seed=7,
+    )
+    report = evaluate_population(
+        usi_topology(),
+        printing_service(),
+        lambda client: printing_mapping(client, "p2"),
+        pop,
+    )
+    print(report.to_text())
+"""
+
+from repro.workload.population import (
+    Population,
+    UserClass,
+    mapping_for_user,
+    parse_user_classes,
+)
+from repro.workload.plane import (
+    ClassSummary,
+    PopulationReport,
+    WorstUser,
+    evaluate_population,
+    evaluate_population_naive,
+)
+from repro.workload.sharding import sharding_supported
+
+__all__ = [
+    "UserClass",
+    "Population",
+    "parse_user_classes",
+    "mapping_for_user",
+    "ClassSummary",
+    "WorstUser",
+    "PopulationReport",
+    "evaluate_population",
+    "evaluate_population_naive",
+    "sharding_supported",
+]

@@ -1,0 +1,439 @@
+"""The vectorized population evaluation plane: dedup → batch → shard.
+
+``evaluate_population`` turns "availability as perceived by each of a
+million users" into a handful of numpy sweeps:
+
+1. **Structure dedup** — users sharing an attachment point and service
+   collapse to one compiled structure query: per distinct attachment the
+   service mapping is instantiated once, path discovery runs once (the
+   engine's PathSet LRU shares the pairs that do not involve the user
+   across attachments), and the path-set groups compile into one memoized
+   :class:`~repro.dependability.bdd.AvailabilityKernel`.
+2. **Row dedup + batch** — within an attachment group the only per-user
+   annotation is the availability of the user's own access device
+   (class override × jitter), so ``np.unique`` collapses the group to its
+   distinct annotation rows and one
+   :meth:`~repro.dependability.bdd.AvailabilityKernel.evaluate_perturbed`
+   sweep evaluates them all, chunked over contiguous numpy arrays.
+3. **Shard** — when ``shards > 1`` the per-key batches fan out across
+   ``multiprocessing`` workers that read flattened BDD node arrays from a
+   ``multiprocessing.shared_memory`` segment
+   (:mod:`repro.workload.sharding`) — no kernel is re-compiled or
+   pickled.
+
+``evaluate_population_naive`` is the honest scalar oracle: a Python loop
+over users, one availability table and one
+:meth:`~repro.dependability.bdd.AvailabilityKernel.availability` call
+each (kernels still reused per attachment — the baseline is "no
+vectorization", not "no engine").  Both paths perform the same IEEE
+double arithmetic, so they agree to the last bit; the equivalence tests
+assert 1e-12.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.transformations import (
+    component_availabilities,
+    pair_path_sets,
+)
+from repro.core.engine import discover_many
+from repro.core.mapping import ServiceMapping
+from repro.dependability.bdd import (
+    AvailabilityKernel,
+    compile_structure,
+    order_from_topology,
+)
+from repro.errors import AnalysisError
+from repro.network.topology import Topology
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.services.composite import CompositeService
+from repro.workload.population import Population
+
+__all__ = [
+    "ClassSummary",
+    "WorstUser",
+    "PopulationReport",
+    "evaluate_population",
+    "evaluate_population_naive",
+]
+
+_M_USERS = _metrics.counter(
+    "repro_workload_users_evaluated_total",
+    "Users served by the population evaluation plane",
+)
+_M_ROWS = _metrics.counter(
+    "repro_workload_rows_evaluated_total",
+    "Deduplicated annotation rows actually swept through BDD kernels",
+)
+_M_DEDUP = _metrics.gauge(
+    "repro_workload_dedup_ratio",
+    "users / deduplicated rows of the most recent population evaluation",
+)
+_M_BATCH_ROWS = _metrics.histogram(
+    "repro_workload_batch_rows",
+    "Deduplicated rows per (attachment, service) key batch",
+)
+_M_SHARD_SECONDS = _metrics.histogram(
+    "repro_workload_shard_seconds",
+    "Wall time of each shared-memory shard worker",
+)
+
+
+@dataclass(frozen=True)
+class ClassSummary:
+    """Availability distribution of one user class across its users.
+
+    ``p50``/``p90``/``p99`` are *tail* values: the availability exceeded
+    by 50% / 90% / 99% of the class's users (so ``p99 <= p90 <= p50`` —
+    the deeper the tail, the worse the guaranteed experience).
+    """
+
+    name: str
+    users: int
+    mean: float
+    minimum: float
+    p50: float
+    p90: float
+    p99: float
+
+    def to_row(self) -> str:
+        return (
+            f"{self.name:<12} {self.users:>9} {self.mean:>13.9f} "
+            f"{self.p50:>13.9f} {self.p90:>13.9f} {self.p99:>13.9f} "
+            f"{self.minimum:>13.9f}"
+        )
+
+
+@dataclass(frozen=True)
+class WorstUser:
+    """One row of the worst-served-user drilldown."""
+
+    user: int
+    user_class: str
+    attachment: str
+    availability: float
+
+
+@dataclass
+class PopulationReport:
+    """End-to-end result of one population evaluation."""
+
+    #: per-user availability, population order (length ``n_users``)
+    availability: np.ndarray
+    #: distinct (attachment, service) keys evaluated
+    keys: int
+    #: deduplicated annotation rows swept through the kernels
+    rows: int
+    #: shard workers used (0 = single-process batching)
+    shards: int
+    #: wall seconds per shard (empty when unsharded)
+    shard_seconds: List[float] = field(default_factory=list)
+    class_summaries: List[ClassSummary] = field(default_factory=list)
+    worst: List[WorstUser] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def n_users(self) -> int:
+        return len(self.availability)
+
+    @property
+    def dedup_ratio(self) -> float:
+        return self.n_users / self.rows if self.rows else float(self.n_users)
+
+    def to_text(self) -> str:
+        lines = [
+            f"population: {self.n_users} users over {self.keys} "
+            f"attachment key(s); {self.rows} deduplicated row(s) "
+            f"(dedup {self.dedup_ratio:.1f}x); "
+            + (
+                f"{self.shards} shard(s)"
+                if self.shards
+                else "single-process batching"
+            )
+            + f"; {self.seconds:.3f}s",
+            "",
+            f"{'class':<12} {'users':>9} {'mean':>13} {'p50':>13} "
+            f"{'p90':>13} {'p99':>13} {'min':>13}",
+        ]
+        lines.append("-" * len(lines[-1]))
+        for summary in self.class_summaries:
+            lines.append(summary.to_row())
+        if self.worst:
+            lines.append("")
+            lines.append("worst-served users:")
+            for entry in self.worst:
+                lines.append(
+                    f"  user {entry.user} ({entry.user_class} @ "
+                    f"{entry.attachment}): A = {entry.availability:.9f}"
+                )
+        return "\n".join(lines)
+
+
+MappingFactory = Callable[[str], ServiceMapping]
+
+
+def _kernels_for_attachments(
+    topology: Topology,
+    service: CompositeService,
+    mapping_for: MappingFactory,
+    attachments: Sequence[str],
+    *,
+    include_links: bool,
+    jobs: Optional[int],
+) -> Dict[str, AvailabilityKernel]:
+    """One compiled kernel per attachment (the structure-dedup level).
+
+    Path discovery is batched through :func:`discover_many` so duplicate
+    pairs — the service legs that do not involve the user, identical for
+    every attachment — enumerate once; kernels memoize by structure
+    fingerprint in the shared LRU.
+    """
+    per_attachment_pairs: Dict[str, List[Tuple[str, str]]] = {}
+    all_pairs: List[Tuple[str, str]] = []
+    for attachment in attachments:
+        mapping = mapping_for(attachment)
+        seen: Dict[Tuple[str, str], Tuple[str, str]] = {}
+        for pair in mapping.pairs_for_service(service):
+            key = tuple(sorted((pair.requester, pair.provider)))
+            if key not in seen:
+                seen[key] = (pair.requester, pair.provider)
+        per_attachment_pairs[attachment] = list(seen.values())
+        all_pairs.extend(seen.values())
+
+    discovered = discover_many(topology, all_pairs, jobs=jobs)
+
+    kernels: Dict[str, AvailabilityKernel] = {}
+    for attachment in attachments:
+        groups = [
+            pair_path_sets(discovered[pair], include_links=include_links)
+            for pair in per_attachment_pairs[attachment]
+        ]
+        components = {c for group in groups for path in group for c in path}
+        order = order_from_topology(topology, components)
+        kernels[attachment] = compile_structure(groups, order=order)
+    return kernels
+
+
+def _summarize(
+    population: Population,
+    availability: np.ndarray,
+    report: PopulationReport,
+    top: int,
+) -> None:
+    """Fill per-class percentiles and the worst-served drilldown."""
+    for ci, user_class in enumerate(population.classes):
+        mask = population.class_index == ci
+        count = int(mask.sum())
+        if not count:
+            continue
+        values = availability[mask]
+        p50, p90, p99 = np.percentile(values, (50.0, 10.0, 1.0))
+        report.class_summaries.append(
+            ClassSummary(
+                name=user_class.name,
+                users=count,
+                mean=float(values.mean()),
+                minimum=float(values.min()),
+                p50=float(p50),
+                p90=float(p90),
+                p99=float(p99),
+            )
+        )
+    if top > 0 and len(availability):
+        worst_count = min(top, len(availability))
+        worst_ix = np.argpartition(availability, worst_count - 1)[:worst_count]
+        worst_ix = worst_ix[np.argsort(availability[worst_ix])]
+        for user in worst_ix:
+            report.worst.append(
+                WorstUser(
+                    user=int(user),
+                    user_class=population.classes[
+                        population.class_index[user]
+                    ].name,
+                    attachment=population.attachments[
+                        population.attachment_index[user]
+                    ],
+                    availability=float(availability[user]),
+                )
+            )
+
+
+def evaluate_population(
+    topology: Topology,
+    service: CompositeService,
+    mapping_for: MappingFactory,
+    population: Population,
+    *,
+    include_links: bool = True,
+    formula: str = "paper",
+    shards: Optional[int] = None,
+    jobs: Optional[int] = None,
+    batch_rows: int = 65536,
+    top: int = 5,
+) -> PopulationReport:
+    """Per-user availability for a whole population, vectorized.
+
+    *mapping_for* maps an attachment component name to the service
+    mapping of a user at that position (build one from a template with
+    :func:`repro.workload.mapping_for_user`).  ``shards`` > 1 fans the
+    per-key batches out over shared-memory workers when the platform
+    supports it (:func:`repro.workload.sharding.sharding_supported`);
+    otherwise the single-process batched path runs.  ``top`` sizes the
+    worst-served-user drilldown.
+    """
+    if shards is not None and shards < 1:
+        raise AnalysisError(f"shards must be >= 1, got {shards}")
+    if batch_rows < 1:
+        raise AnalysisError(f"batch_rows must be >= 1, got {batch_rows}")
+    started = time.perf_counter()
+    with _trace.span(
+        "workload.evaluate_population",
+        users=population.n_users,
+        shards=shards or 0,
+    ) as span:
+        table = component_availabilities(
+            topology, formula=formula, include_links=include_links
+        )
+        device_avail = population.device_availability(table)
+
+        present = np.unique(population.attachment_index)
+        attachments = [population.attachments[i] for i in present]
+        with _trace.span("workload.compile_keys", keys=len(attachments)):
+            kernels = _kernels_for_attachments(
+                topology,
+                service,
+                mapping_for,
+                attachments,
+                include_links=include_links,
+                jobs=jobs,
+            )
+
+        # Row dedup per key: one perturbed sweep over the distinct
+        # device-availability values of each attachment group.
+        availability = np.empty(population.n_users, dtype=np.float64)
+        tasks = []  # (kernel, base, var, values, user_rows, inverse)
+        total_rows = 0
+        for attachment_ix, attachment in zip(present, attachments):
+            kernel = kernels[attachment]
+            user_rows = np.flatnonzero(
+                population.attachment_index == attachment_ix
+            )
+            base = kernel.probability_vector(table)
+            var = kernel.index.get(attachment)
+            if var is None:
+                # the user's device is not part of the service structure:
+                # every user at this key perceives the same availability
+                # (perturbing variable 0 with its own base value is a no-op)
+                var = 0
+                unique_values = base[:1].copy()
+                inverse = np.zeros(len(user_rows), dtype=np.intp)
+            else:
+                unique_values, inverse = np.unique(
+                    device_avail[user_rows], return_inverse=True
+                )
+            _M_BATCH_ROWS.observe(len(unique_values))
+            total_rows += len(unique_values)
+            tasks.append((kernel, base, var, unique_values, user_rows, inverse))
+
+        report = PopulationReport(
+            availability=availability,
+            keys=len(attachments),
+            rows=total_rows,
+            shards=0,
+        )
+
+        use_shards = shards is not None and shards > 1 and len(tasks) > 1
+        if use_shards:
+            from repro.workload.sharding import (
+                evaluate_sharded,
+                sharding_supported,
+            )
+
+            if not sharding_supported():
+                use_shards = False
+        if use_shards:
+            assert shards is not None
+            with _trace.span(
+                "workload.shard_fanout", shards=shards, keys=len(tasks)
+            ):
+                results, shard_seconds = evaluate_sharded(
+                    [
+                        (kernel, base, var, values)
+                        for kernel, base, var, values, _, _ in tasks
+                    ],
+                    shards=shards,
+                    batch_rows=batch_rows,
+                )
+            report.shards = shards
+            report.shard_seconds = shard_seconds
+            for seconds in shard_seconds:
+                _M_SHARD_SECONDS.observe(seconds)
+            for (kernel, base, var, values, user_rows, inverse), row_avail in zip(
+                tasks, results
+            ):
+                availability[user_rows] = row_avail[inverse]
+        else:
+            for kernel, base, var, values, user_rows, inverse in tasks:
+                row_avail = kernel.evaluate_perturbed(
+                    base, var, values, batch_rows=batch_rows
+                )
+                availability[user_rows] = row_avail[inverse]
+
+        _M_USERS.inc(population.n_users)
+        _M_ROWS.inc(total_rows)
+        _M_DEDUP.set(report.dedup_ratio)
+        _summarize(population, availability, report, top)
+        report.seconds = time.perf_counter() - started
+        span.set(
+            keys=report.keys,
+            rows=report.rows,
+            dedup_ratio=round(report.dedup_ratio, 3),
+        )
+        return report
+
+
+def evaluate_population_naive(
+    topology: Topology,
+    service: CompositeService,
+    mapping_for: MappingFactory,
+    population: Population,
+    *,
+    include_links: bool = True,
+    formula: str = "paper",
+) -> np.ndarray:
+    """The scalar oracle: one Python-loop evaluation per user.
+
+    Kernels are still compiled once per attachment (the baseline measures
+    the per-user loop, not redundant compilation), but every user builds
+    their own availability table and runs their own scalar bottom-up
+    pass — exactly what a pre-plane caller would write.
+    """
+    table = component_availabilities(
+        topology, formula=formula, include_links=include_links
+    )
+    device_avail = population.device_availability(table)
+    present = np.unique(population.attachment_index)
+    attachments = [population.attachments[i] for i in present]
+    kernels = _kernels_for_attachments(
+        topology,
+        service,
+        mapping_for,
+        attachments,
+        include_links=include_links,
+        jobs=None,
+    )
+    availability = np.empty(population.n_users, dtype=np.float64)
+    for user in range(population.n_users):
+        attachment = population.attachments[population.attachment_index[user]]
+        kernel = kernels[attachment]
+        user_table = dict(table)
+        user_table[attachment] = float(device_avail[user])
+        availability[user] = kernel.availability(user_table)
+    return availability

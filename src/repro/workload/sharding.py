@@ -1,0 +1,262 @@
+"""Shared-memory multicore sharding of population key batches.
+
+For populations that exceed one core, the per-(attachment, service)
+batches of :mod:`repro.workload.plane` fan out across ``multiprocessing``
+workers.  The parent compiles every kernel (discovery and BDD caches stay
+warm in one process), flattens all the linearized node arrays plus the
+per-key base/annotation vectors into **one**
+:class:`multiprocessing.shared_memory.SharedMemory` segment, and forks
+workers that evaluate directly on views of that segment — no kernel is
+ever re-compiled or pickled, and results land in a shared output region
+the parent scatters from.
+
+Segment layout (one block, two typed regions)::
+
+    [ int64  | per task: var_ix | low | high          ]  node arrays
+    [ float64| per task: base | values                ]  annotations
+    [ float64| per task: out rows                     ]  results
+    [ float64| one slot per shard: worker wall seconds]  timings
+
+Workers are started with the **fork** method: the numpy views created by
+the parent before forking are inherited (the shared mapping stays valid
+in the child), so the child never attaches to the segment by name and
+never registers with the resource tracker — the parent alone owns the
+segment and unlinks it in a ``finally``, so ``/dev/shm`` is clean even
+when a worker dies.  Platforms without fork (Windows, some macOS
+configurations) report ``sharding_supported() == False`` and the plane
+falls back to single-process batching.
+
+Work distribution is greedy cost balancing: tasks sorted by estimated
+cost (BDD nodes × annotation rows) are assigned to the least-loaded
+shard, so one giant attachment group cannot serialize the fan-out.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.dependability.bdd import AvailabilityKernel, evaluate_perturbed_arrays
+from repro.errors import AnalysisError
+from repro.obs import trace as _trace
+
+__all__ = ["sharding_supported", "evaluate_sharded"]
+
+#: one sharded task: (kernel, base vector, perturbed variable, row values)
+Task = Tuple[AvailabilityKernel, np.ndarray, int, np.ndarray]
+
+#: a packed task's shared-memory views, ready for :func:`_worker`:
+#: (var_ix, low, high, root_pos, base, var, values, out)
+_TaskViews = Tuple[
+    np.ndarray, np.ndarray, np.ndarray, int, np.ndarray, int, np.ndarray, np.ndarray
+]
+
+
+def sharding_supported() -> bool:
+    """Whether the shared-memory fork fan-out can run on this platform."""
+    try:
+        import multiprocessing
+        import multiprocessing.shared_memory  # noqa: F401  (probe only)
+
+        multiprocessing.get_context("fork")
+    except (ImportError, ValueError, AttributeError):
+        return False
+    return True
+
+
+def _balance(costs: Sequence[int], shards: int) -> List[List[int]]:
+    """Greedy longest-processing-time assignment of task indices."""
+    assignments: List[List[int]] = [[] for _ in range(shards)]
+    loads = [0] * shards
+    for task_ix in sorted(range(len(costs)), key=lambda i: -costs[i]):
+        shard = loads.index(min(loads))
+        assignments[shard].append(task_ix)
+        loads[shard] += costs[task_ix]
+    return assignments
+
+
+def _pack(
+    shm, tasks: Sequence[Task], flats, int_bytes: int, float_count: int, shards: int
+) -> Tuple[List[_TaskViews], List[np.ndarray], np.ndarray]:
+    """Copy every task's arrays into the segment; return the typed views.
+
+    All views into ``shm.buf`` are created (and the only references kept)
+    here, so dropping the returned structures releases every buffer
+    export before the parent closes the mapping.
+    """
+
+    def int_view(offset: int, count: int) -> np.ndarray:
+        return np.frombuffer(
+            shm.buf, dtype=np.int64, count=count, offset=offset * 8
+        )
+
+    def float_view(offset: int, count: int) -> np.ndarray:
+        return np.frombuffer(
+            shm.buf, dtype=np.float64, count=count, offset=int_bytes + offset * 8
+        )
+
+    task_views: List[_TaskViews] = []
+    out_slices: List[np.ndarray] = []
+    int_offset = 0
+    float_offset = 0
+    out_offset = float_count
+    for (kernel, base, var, values), (var_ix, low, high, root_pos) in zip(
+        tasks, flats
+    ):
+        n = len(var_ix)
+        var_v = int_view(int_offset, n)
+        low_v = int_view(int_offset + n, n)
+        high_v = int_view(int_offset + 2 * n, n)
+        var_v[:] = var_ix
+        low_v[:] = low
+        high_v[:] = high
+        int_offset += 3 * n
+
+        base_v = float_view(float_offset, len(base))
+        base_v[:] = base
+        float_offset += len(base)
+        values_v = float_view(float_offset, len(values))
+        values_v[:] = values
+        float_offset += len(values)
+
+        out_v = float_view(out_offset, len(values))
+        out_offset += len(values)
+        out_slices.append(out_v)
+        task_views.append(
+            (var_v, low_v, high_v, root_pos, base_v, var, values_v, out_v)
+        )
+    timings = float_view(out_offset, shards)
+    timings[:] = 0.0
+    return task_views, out_slices, timings
+
+
+def _worker(
+    shard_id: int,
+    task_views: List[_TaskViews],
+    assignment: List[int],
+    timings: np.ndarray,
+    batch_rows: int,
+) -> None:
+    """Evaluate this shard's tasks on the inherited shared-memory views.
+
+    Runs the same :func:`repro.dependability.bdd.evaluate_perturbed_arrays`
+    as the single-process path, writing straight into the shared output
+    region — the arithmetic is identical, only the process differs.
+    """
+    started = time.perf_counter()
+    for task_ix in assignment:
+        var_ix, low, high, root_pos, base, var, values, out = task_views[task_ix]
+        evaluate_perturbed_arrays(
+            var_ix,
+            low,
+            high,
+            root_pos,
+            base,
+            var,
+            values,
+            batch_rows=batch_rows,
+            out=out,
+        )
+    timings[shard_id] = time.perf_counter() - started
+
+
+def evaluate_sharded(
+    tasks: Sequence[Task],
+    *,
+    shards: int,
+    batch_rows: int = 65536,
+    timeout: float = 600.0,
+) -> Tuple[List[np.ndarray], List[float]]:
+    """Evaluate population key batches across forked shard workers.
+
+    Returns ``(per-task result arrays in input order, per-shard wall
+    seconds)``.  Raises :class:`AnalysisError` when the platform cannot
+    shard or any worker fails; the shared segment is released in every
+    case.
+    """
+    if shards < 2:
+        raise AnalysisError(f"sharding needs shards >= 2, got {shards}")
+    if not sharding_supported():
+        raise AnalysisError(
+            "shared-memory sharding is not supported on this platform "
+            "(no fork start method); use the single-process batched path"
+        )
+    if not tasks:
+        return [], []
+
+    import multiprocessing
+    from multiprocessing import shared_memory
+
+    ctx = multiprocessing.get_context("fork")
+    shards = min(shards, len(tasks))
+
+    # -- measure the packed layout -------------------------------------------
+    flats = [kernel.flat_arrays() for kernel, _, _, _ in tasks]
+    int_count = sum(3 * len(var_ix) for var_ix, _, _, _ in flats)
+    float_count = sum(len(base) + len(values) for _, base, _, values in tasks)
+    out_count = sum(len(values) for _, _, _, values in tasks)
+    int_bytes = int_count * 8
+    total_bytes = int_bytes + (float_count + out_count + shards) * 8
+
+    shm = shared_memory.SharedMemory(create=True, size=max(total_bytes, 8))
+    task_views: object = None
+    out_slices: object = None
+    timings: object = None
+    try:
+        task_views, out_slices, timings = _pack(
+            shm, tasks, flats, int_bytes, float_count, shards
+        )
+        costs = [
+            (len(var_ix) + 1) * max(len(values), 1)
+            for (_, _, _, values), (var_ix, _, _, _) in zip(tasks, flats)
+        ]
+        assignments = _balance(costs, shards)
+
+        with _trace.span(
+            "workload.shards", shards=shards, segment_bytes=shm.size
+        ):
+            workers = [
+                ctx.Process(
+                    target=_worker,
+                    args=(
+                        shard_id,
+                        task_views,
+                        assignments[shard_id],
+                        timings,
+                        batch_rows,
+                    ),
+                )
+                for shard_id in range(shards)
+            ]
+            for worker in workers:
+                worker.start()
+            failed: List[str] = []
+            for shard_id, worker in enumerate(workers):
+                worker.join(timeout)
+                if worker.is_alive():
+                    worker.terminate()
+                    worker.join()
+                    failed.append(f"shard {shard_id}: timed out after {timeout}s")
+                elif worker.exitcode != 0:
+                    failed.append(
+                        f"shard {shard_id}: exit code {worker.exitcode}"
+                    )
+            if failed:
+                raise AnalysisError(
+                    "shared-memory shard worker(s) failed: " + "; ".join(failed)
+                )
+
+        results = [np.array(out_v, dtype=np.float64) for out_v in out_slices]
+        shard_seconds = [float(s) for s in timings]
+        return results, shard_seconds
+    finally:
+        # drop every exported view before closing the mapping, and unlink
+        # unconditionally so /dev/shm never leaks — even on worker failure
+        task_views = out_slices = timings = None
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - a stray export survived
+            pass
+        shm.unlink()

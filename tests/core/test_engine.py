@@ -247,6 +247,13 @@ class TestDiscoverMany:
         discover_many(usi_topo, self.PAIRS, use_cache=False)
         assert engine_stats()["enumerations"] == 2  # two unique pairs
 
+    @pytest.mark.parametrize("jobs", [0, -1, -8])
+    def test_jobs_below_one_raises(self, usi_topo, jobs):
+        """jobs=0 silently meant serial before; now it is rejected with a
+        message that names the fix (omit it / pass None)."""
+        with pytest.raises(PathDiscoveryError, match="jobs must be >= 1"):
+            discover_many(usi_topo, self.PAIRS, jobs=jobs)
+
 
 class TestPipelineSingleEnumeration:
     def test_one_enumeration_per_pair_per_run(

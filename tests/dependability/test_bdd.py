@@ -244,6 +244,78 @@ class TestEvaluateMany:
         kernel = compile_structure(groups)
         assert kernel.evaluate_many([]).shape == (0,)
 
+    def test_single_row(self, casestudy):
+        groups, table = casestudy
+        kernel = compile_structure(groups)
+        base = kernel.probability_vector(table)
+        batch = kernel.evaluate_many(base[np.newaxis, :])
+        assert batch.shape == (1,)
+        assert batch[0] == pytest.approx(kernel.availability(table), abs=1e-12)
+
+    def test_float32_matrix_upcasts(self, casestudy):
+        groups, table = casestudy
+        kernel = compile_structure(groups)
+        base = kernel.probability_vector(table)
+        matrix = np.repeat(base[np.newaxis, :], 2, axis=0).astype(np.float32)
+        batch = kernel.evaluate_many(matrix)
+        assert batch.dtype == np.float64
+        # float32 rounds the inputs, not the sweep: agreement at the
+        # float32 resolution of the annotations
+        assert batch[0] == pytest.approx(kernel.availability(table), abs=1e-6)
+
+    def test_mismatched_row_length_raises(self, casestudy):
+        groups, table = casestudy
+        kernel = compile_structure(groups)
+        short = dict(table)
+        short.pop(next(iter(short)))
+        with pytest.raises(AnalysisError):
+            kernel.evaluate_many([short])
+
+
+class TestEvaluatePerturbed:
+    """The population plane's one-variable sweep against evaluate_many."""
+
+    def test_matches_full_matrix_sweep(self, casestudy):
+        groups, table = casestudy
+        kernel = compile_structure(groups)
+        base = kernel.probability_vector(table)
+        var = len(kernel.variables) // 2
+        values = np.linspace(0.0, 1.0, 9)
+        matrix = np.repeat(base[np.newaxis, :], len(values), axis=0)
+        matrix[:, var] = values
+        perturbed = kernel.evaluate_perturbed(base, var, values)
+        assert np.array_equal(perturbed, kernel.evaluate_many(matrix))
+
+    def test_chunking_is_invariant(self, casestudy):
+        groups, table = casestudy
+        kernel = compile_structure(groups)
+        base = kernel.probability_vector(table)
+        values = np.linspace(0.1, 0.9, 23)
+        whole = kernel.evaluate_perturbed(base, 0, values)
+        chunked = kernel.evaluate_perturbed(base, 0, values, batch_rows=4)
+        assert np.array_equal(whole, chunked)
+
+    def test_empty_and_single_values(self, casestudy):
+        groups, table = casestudy
+        kernel = compile_structure(groups)
+        base = kernel.probability_vector(table)
+        assert kernel.evaluate_perturbed(base, 0, []).shape == (0,)
+        single = kernel.evaluate_perturbed(base, 0, [base[0]])
+        assert single[0] == pytest.approx(kernel.availability(table), abs=1e-12)
+
+    def test_validation(self, casestudy):
+        groups, table = casestudy
+        kernel = compile_structure(groups)
+        base = kernel.probability_vector(table)
+        with pytest.raises(AnalysisError, match="base probability vector"):
+            kernel.evaluate_perturbed(base[:-1], 0, [0.5])
+        with pytest.raises(AnalysisError, match="out of range"):
+            kernel.evaluate_perturbed(base, len(kernel.variables), [0.5])
+        with pytest.raises(AnalysisError, match="out of range"):
+            kernel.evaluate_perturbed(base, -1, [0.5])
+        with pytest.raises(AnalysisError, match="1-D"):
+            kernel.evaluate_perturbed(base, 0, [[0.5, 0.6]])
+
 
 # -- caching -------------------------------------------------------------------
 

@@ -46,6 +46,7 @@ class TestExports:
             "repro.analysis",
             "repro.casestudy",
             "repro.viz",
+            "repro.workload",
         ],
     )
     def test_all_names_resolve(self, module_name):

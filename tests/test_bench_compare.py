@@ -1,0 +1,90 @@
+"""The benchmark comparison gate (``benchmarks/compare.py``).
+
+Not part of the library, but it gates CI: a silently empty baseline
+glob would make every regression check pass vacuously, so the missing-
+baseline path is pinned here.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+COMPARE = Path(__file__).resolve().parent.parent / "benchmarks" / "compare.py"
+
+
+@pytest.fixture(scope="module")
+def compare_module():
+    spec = importlib.util.spec_from_file_location("bench_compare", COMPARE)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def write_bench(path: Path, means: dict) -> None:
+    path.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {"fullname": name, "stats": {"mean": mean}}
+                    for name, mean in means.items()
+                ]
+            }
+        )
+    )
+
+
+class TestMissingBaseline:
+    def test_empty_glob_raises(self, compare_module, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no benchmark files match"):
+            compare_module.load_means(str(tmp_path / "BENCH_*.json"))
+
+    def test_main_exits_two_with_message(
+        self, compare_module, tmp_path, capsys
+    ):
+        candidate = tmp_path / "candidate.json"
+        write_bench(candidate, {"bench::a": 0.5})
+        code = compare_module.main(
+            [str(tmp_path / "BENCH_*.json"), str(candidate)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "no benchmark files match" in err
+
+    def test_missing_candidate_also_fails(
+        self, compare_module, tmp_path, capsys
+    ):
+        baseline = tmp_path / "BENCH_x.json"
+        write_bench(baseline, {"bench::a": 0.5})
+        code = compare_module.main(
+            [str(baseline), str(tmp_path / "nope.json")]
+        )
+        assert code == 2
+        assert "no benchmark files match" in capsys.readouterr().err
+
+
+class TestComparison:
+    def test_regression_detected(self, compare_module, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_x.json"
+        candidate = tmp_path / "candidate.json"
+        write_bench(baseline, {"bench::a": 0.100, "bench::b": 0.100})
+        write_bench(candidate, {"bench::a": 0.150, "bench::b": 0.101})
+        code = compare_module.main(
+            [str(baseline), str(candidate), "--threshold", "0.20"]
+        )
+        assert code == 1  # exactly one regression beyond 20%
+        out = capsys.readouterr().out
+        assert "REGRESSIONS" in out and "bench::a" in out
+
+    def test_clean_run_exits_zero(self, compare_module, tmp_path, capsys):
+        baseline = tmp_path / "BENCH_x.json"
+        candidate = tmp_path / "candidate.json"
+        write_bench(baseline, {"bench::a": 0.100})
+        write_bench(candidate, {"bench::a": 0.101})
+        assert compare_module.main([str(baseline), str(candidate)]) == 0
+        assert "no regressions" in capsys.readouterr().out

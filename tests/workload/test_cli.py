@@ -1,0 +1,63 @@
+"""The ``upsim population`` subcommand."""
+
+from __future__ import annotations
+
+from repro.cli import main
+
+
+class TestPopulationCommand:
+    def test_default_run(self, capsys):
+        assert main(["population", "--users", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "population: 500 users" in out
+        assert "std" in out and "gold" in out
+        assert "worst-served users:" in out
+
+    def test_custom_classes_and_top(self, capsys):
+        assert (
+            main(
+                [
+                    "population",
+                    "--users",
+                    "300",
+                    "--classes",
+                    "mobile:1:0.97",
+                    "--top",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "mobile" in out
+        assert out.count("  user ") == 2
+
+    def test_sharded_run_prints_timings(self, capsys):
+        assert main(["population", "--users", "400", "--shards", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 shard(s)" in out
+        assert "shard timings:" in out
+
+    def test_seed_changes_population(self, capsys):
+        assert main(["population", "--users", "200", "--seed", "1"]) == 0
+        first = capsys.readouterr().out
+        assert main(["population", "--users", "200", "--seed", "2"]) == 0
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_bad_class_spec_maps_to_analysis_error(self, capsys):
+        assert main(["population", "--classes", "a:1:2:3:4"]) == 12
+        assert "error:" in capsys.readouterr().err
+
+    def test_zero_users_is_error(self, capsys):
+        assert main(["population", "--users", "0"]) == 12
+        assert "error:" in capsys.readouterr().err
+
+    def test_jobs_below_one_maps_to_path_discovery_error(self, capsys):
+        assert main(["population", "--users", "50", "--jobs", "0"]) == 11
+        err = capsys.readouterr().err
+        assert "jobs must be >= 1" in err
+
+    def test_casestudy_jobs_below_one_same_exit_code(self, capsys):
+        assert main(["casestudy", "--jobs", "-2"]) == 11
+        assert "jobs must be >= 1" in capsys.readouterr().err

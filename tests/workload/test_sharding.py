@@ -1,0 +1,146 @@
+"""Shared-memory shard fan-out: equivalence, cleanup, failure paths."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.casestudy import CLIENTS, printing_mapping
+from repro.errors import AnalysisError
+from repro.workload import Population, UserClass, evaluate_population
+from repro.workload import sharding
+from repro.workload.sharding import (
+    _balance,
+    evaluate_sharded,
+    sharding_supported,
+)
+
+needs_fork = pytest.mark.skipif(
+    not sharding_supported(), reason="no fork start method on this platform"
+)
+
+CLASSES = (
+    UserClass("std", weight=4, device_availability=0.98, jitter=0.05),
+    UserClass("gold", weight=1, device_availability=0.9999),
+)
+
+
+def usi_mapping(client):
+    return printing_mapping(client, "p2")
+
+
+def shm_entries():
+    """Names currently present in /dev/shm (POSIX shared memory)."""
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+class TestBalance:
+    def test_spreads_by_cost(self):
+        assignments = _balance([100, 1, 1, 1, 1], shards=2)
+        loads = [sum([100, 1, 1, 1, 1][i] for i in a) for a in assignments]
+        # the four small tasks all land opposite the giant one
+        assert sorted(loads) == [4, 100]
+
+    def test_every_task_assigned_once(self):
+        assignments = _balance([3, 5, 2, 8, 1, 1], shards=3)
+        flat = sorted(i for a in assignments for i in a)
+        assert flat == [0, 1, 2, 3, 4, 5]
+
+
+class TestEvaluateSharded:
+    def test_rejects_single_shard(self):
+        with pytest.raises(AnalysisError, match="shards >= 2"):
+            evaluate_sharded([], shards=1)
+
+    @needs_fork
+    def test_empty_tasks(self):
+        assert evaluate_sharded([], shards=2) == ([], [])
+
+    @needs_fork
+    def test_matches_single_process_and_releases_shm(
+        self, usi_topo, printing
+    ):
+        population = Population.generate(4000, CLASSES, CLIENTS, seed=9)
+        before = shm_entries()
+        serial = evaluate_population(
+            usi_topo, printing, usi_mapping, population
+        )
+        sharded = evaluate_population(
+            usi_topo, printing, usi_mapping, population, shards=2
+        )
+        assert shm_entries() == before  # segment unlinked
+        assert sharded.shards == 2
+        assert len(sharded.shard_seconds) == 2
+        assert all(s >= 0.0 for s in sharded.shard_seconds)
+        # same IEEE arithmetic, different process: bit-exact agreement
+        assert np.array_equal(serial.availability, sharded.availability)
+
+    @needs_fork
+    def test_worker_failure_cleans_up_and_raises(
+        self, usi_topo, printing, monkeypatch
+    ):
+        """A crashing worker must surface as AnalysisError with the shard
+        named, and the segment must still be unlinked.  Fork inherits the
+        monkeypatched worker body, so the crash happens in the child."""
+
+        def crash(*args, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(sharding, "_worker", crash)
+        population = Population.generate(1000, CLASSES, CLIENTS, seed=9)
+        before = shm_entries()
+        with pytest.raises(AnalysisError, match="shard worker"):
+            evaluate_population(
+                usi_topo, printing, usi_mapping, population, shards=2
+            )
+        assert shm_entries() == before
+
+    @needs_fork
+    def test_more_shards_than_tasks_clamps(self, usi_topo, printing):
+        # two attachment keys, eight requested shards -> clamped, correct
+        population = Population(
+            CLASSES,
+            ("t1", "t15"),
+            class_index=np.array([0, 1, 0, 1], dtype=np.int32),
+            attachment_index=np.array([0, 0, 1, 1], dtype=np.int32),
+        )
+        report = evaluate_population(
+            usi_topo, printing, usi_mapping, population, shards=8
+        )
+        serial = evaluate_population(
+            usi_topo, printing, usi_mapping, population
+        )
+        assert np.array_equal(report.availability, serial.availability)
+
+
+class TestFallbacks:
+    def test_single_key_population_skips_sharding(self, usi_topo, printing):
+        population = Population(
+            (UserClass("std"),),
+            ("t1",),
+            class_index=np.zeros(10, dtype=np.int32),
+            attachment_index=np.zeros(10, dtype=np.int32),
+        )
+        report = evaluate_population(
+            usi_topo, printing, usi_mapping, population, shards=4
+        )
+        assert report.shards == 0  # one task: nothing to fan out
+
+    def test_unsupported_platform_falls_back(
+        self, usi_topo, printing, monkeypatch
+    ):
+        monkeypatch.setattr(sharding, "sharding_supported", lambda: False)
+        population = Population.generate(500, CLASSES, CLIENTS, seed=1)
+        report = evaluate_population(
+            usi_topo, printing, usi_mapping, population, shards=4
+        )
+        assert report.shards == 0
+        naive_free = evaluate_population(
+            usi_topo, printing, usi_mapping, population
+        )
+        assert np.array_equal(report.availability, naive_free.availability)
