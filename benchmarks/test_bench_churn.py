@@ -1,0 +1,157 @@
+"""Benches for the live-churn engine (experiment ``churn``).
+
+Delta-aware incremental recomputation (`repro.core.churn`) must beat
+re-running the full pipeline per event: edge/node changes recompile only
+the touched biconnected blocks and re-derive only the affected BDD
+groups, so a sustained seeded stream over a campus topology is
+dominated by the few changed structures, not the whole evaluation.
+Floors:
+
+* smoke (CI): delta ≥1.5× the full-recompile oracle over 30 events on a
+  6-pair dual-homed campus, bit-equal results (1e-12);
+* full: delta ≥5× the oracle over 150 events on the 12-pair campus,
+  bit-equal results (1e-12).
+
+CI runs only the smoke; export ``REPRO_BENCH_FULL=1`` for the 150-event
+sweep.  Record a baseline with::
+
+    REPRO_BENCH_FULL=1 pytest benchmarks/test_bench_churn.py -q --benchmark-json=BENCH_churn.json
+
+and compare future runs with ``python benchmarks/compare.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.churn import ChurnPolicy, ChurnStream, LiveEvaluator
+from repro.network.generators import campus
+
+SMOKE_SPEEDUP_FLOOR = 1.5
+FULL_SPEEDUP_FLOOR = 5.0
+TOLERANCE = 1e-12
+SEED = 11
+FULL = os.environ.get("REPRO_BENCH_FULL") == "1"
+needs_full = pytest.mark.skipif(
+    not FULL, reason="sustained sweep; export REPRO_BENCH_FULL=1"
+)
+
+
+def _build_campus():
+    return campus(
+        dist_switches=3, edges_per_dist=2, clients_per_edge=2, dual_homed=True
+    ).object_model
+
+
+def _pairs(n_pairs: int):
+    model = _build_campus()
+    clients = sorted(
+        (inst.name for inst in model.instances if inst.name.startswith("client")),
+        key=lambda name: (len(name), name),
+    )
+    return [(client, "server") for client in clients[:n_pairs]]
+
+
+def _stream(pairs, n_events):
+    return list(ChurnStream(_build_campus(), pairs, seed=SEED).events(n_events))
+
+
+def _run(events, pairs, *, delta: bool) -> LiveEvaluator:
+    evaluator = LiveEvaluator(
+        _build_campus(), pairs, policy=ChurnPolicy(delta=delta)
+    )
+    report = evaluator.run(iter(events))
+    assert not report.quarantined
+    assert not evaluator.stale
+    return evaluator
+
+
+def _assert_bit_equal(delta_eval, oracle_eval):
+    a = delta_eval.snapshot().snapshot
+    b = oracle_eval.snapshot().snapshot
+    assert abs(a.availability - b.availability) <= TOLERANCE
+    assert a.disconnected == b.disconnected
+    for pair, value in a.pair_availability.items():
+        assert abs(value - b.pair_availability[pair]) <= TOLERANCE, pair
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_churn_smoke_delta_vs_full(benchmark):
+    """30 events over a 6-pair campus: the delta path must beat the
+    per-event full recompile and agree with it to 1e-12."""
+    pairs = _pairs(6)
+    events = _stream(pairs, 30)
+
+    delta_eval = benchmark.pedantic(
+        lambda: _run(events, pairs, delta=True), rounds=2, iterations=1
+    )
+    oracle_eval, full_seconds = _timed(
+        lambda: _run(events, pairs, delta=False)
+    )
+    _assert_bit_equal(delta_eval, oracle_eval)
+
+    _, delta_seconds = _timed(lambda: _run(events, pairs, delta=True))
+    speedup = full_seconds / delta_seconds
+    benchmark.extra_info["speedup_vs_full"] = speedup
+    assert speedup >= SMOKE_SPEEDUP_FLOOR, (
+        f"delta path only {speedup:.2f}x the full recompile "
+        f"(floor {SMOKE_SPEEDUP_FLOOR}x)"
+    )
+
+
+@needs_full
+def test_churn_sustained_150_events(benchmark):
+    """The acceptance floor: ≥5× over full recompilation on a sustained
+    150-event stream across all twelve campus client pairs."""
+    pairs = _pairs(12)
+    events = _stream(pairs, 150)
+
+    delta_eval = benchmark.pedantic(
+        lambda: _run(events, pairs, delta=True), rounds=1, iterations=1
+    )
+    oracle_eval, full_seconds = _timed(
+        lambda: _run(events, pairs, delta=False)
+    )
+    _assert_bit_equal(delta_eval, oracle_eval)
+
+    _, delta_seconds = _timed(lambda: _run(events, pairs, delta=True))
+    speedup = full_seconds / delta_seconds
+    benchmark.extra_info["speedup_vs_full"] = speedup
+    benchmark.extra_info["full_seconds"] = full_seconds
+    assert speedup >= FULL_SPEEDUP_FLOOR, (
+        f"delta path only {speedup:.2f}x the full recompile "
+        f"(floor {FULL_SPEEDUP_FLOOR}x)"
+    )
+
+
+@needs_full
+def test_churn_degraded_burst_recovers(benchmark):
+    """Robustness floor: an unmeetable deadline must leave the evaluator
+    serving the last-good epoch (stale, never inconsistent), and the
+    trailing catch-up clears the backlog."""
+    pairs = _pairs(6)
+    events = _stream(pairs, 60)
+    policy = ChurnPolicy(deadline=1e-6, coalesce_window=8)
+
+    def burst():
+        evaluator = LiveEvaluator(_build_campus(), pairs, policy=policy)
+        report = evaluator.run(iter(events), catch_up=False)
+        assert report.deadline_misses > 0
+        assert evaluator.stale  # serving last-good, flagged
+        view = evaluator.snapshot()
+        assert view.lag_events > 0
+        return evaluator
+
+    evaluator = benchmark.pedantic(burst, rounds=1, iterations=1)
+    # catch-up off the clock: coalesced backlog, then a fresh epoch
+    evaluator.policy = ChurnPolicy()
+    evaluator.run(iter([]), catch_up=True)
+    assert not evaluator.stale

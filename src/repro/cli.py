@@ -31,6 +31,15 @@ Subcommands::
         per-class percentiles plus the worst-served users.  SPEC is
         ``NAME[:WEIGHT[:DEVICE_A[:JITTER]]],...``.
 
+    upsim churn [--events N] [--seed S] [--deadline MS] [--full]
+        Live-churn evaluation on a generated campus network: drive a
+        deterministic seeded event stream (link cut/restore/flap,
+        component crash/restore) through the delta-aware
+        :class:`~repro.core.churn.LiveEvaluator` and report epochs,
+        deadline misses, coalescing, quarantined events and the final
+        availability snapshot.  ``--full`` switches to the
+        full-recompile oracle for comparison.
+
     upsim obs trace.json
         Pretty-print a trace file produced by ``--trace`` as an indented
         span tree.
@@ -267,6 +276,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel path-discovery workers (default: serial)",
     )
     _add_observability_args(population)
+
+    churn = sub.add_parser(
+        "churn",
+        help="live-churn evaluation with delta-aware recomputation",
+    )
+    churn.add_argument(
+        "--events", type=int, default=200, help="churn events to drive"
+    )
+    churn.add_argument(
+        "--seed", type=int, default=0, help="event stream seed"
+    )
+    churn.add_argument(
+        "--pairs", type=int, default=4, help="client→server pairs to evaluate"
+    )
+    churn.add_argument(
+        "--dist", type=int, default=2, help="campus distribution switches"
+    )
+    churn.add_argument(
+        "--edges", type=int, default=2, help="edge switches per distribution"
+    )
+    churn.add_argument(
+        "--clients", type=int, default=3, help="clients per edge switch"
+    )
+    churn.add_argument(
+        "--single-homed",
+        action="store_true",
+        help="drop the redundant edge uplinks (default: dual-homed)",
+    )
+    churn.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-event recompute deadline in milliseconds "
+        "(default: unbounded)",
+    )
+    churn.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="recompute retries before an event is quarantined",
+    )
+    churn.add_argument(
+        "--window",
+        type=int,
+        default=8,
+        help="events coalesced per catch-up attempt while degraded",
+    )
+    churn.add_argument(
+        "--full",
+        action="store_true",
+        help="full-recompile oracle instead of delta-aware recomputation",
+    )
+    churn.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    _add_observability_args(churn)
 
     obs_cmd = sub.add_parser(
         "obs", help="pretty-print a trace file written by --trace"
@@ -565,6 +631,85 @@ def cmd_population(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_churn(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.core.churn import ChurnPolicy, ChurnStream, LiveEvaluator
+    from repro.network.generators import campus
+
+    if args.events < 1:
+        raise AnalysisError(f"--events must be >= 1, got {args.events}")
+    builder = campus(
+        dist_switches=args.dist,
+        edges_per_dist=args.edges,
+        clients_per_edge=args.clients,
+        dual_homed=not args.single_homed,
+    )
+    model = builder.object_model
+    clients = sorted(
+        (inst.name for inst in model.instances if inst.name.startswith("client")),
+        key=lambda n: (len(n), n),
+    )
+    if args.pairs < 1 or args.pairs > len(clients):
+        raise TopologyError(
+            f"--pairs must be in [1, {len(clients)}] for this campus, "
+            f"got {args.pairs}"
+        )
+    pairs = [(client, "server") for client in clients[: args.pairs]]
+    policy = ChurnPolicy(
+        deadline=None if args.deadline is None else args.deadline / 1000.0,
+        max_retries=args.retries,
+        coalesce_window=args.window,
+        delta=not args.full,
+    )
+    evaluator = LiveEvaluator(model, pairs, policy=policy)
+    stream = ChurnStream(model, pairs, seed=args.seed)
+    report = evaluator.run(stream.events(args.events))
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    mode = "full-recompile oracle" if args.full else "delta-aware"
+    final = report.final
+    assert final is not None
+    print(
+        f"churn over campus({args.dist}x{args.edges}x{args.clients}, "
+        f"{'single' if args.single_homed else 'dual'}-homed), "
+        f"{len(pairs)} pair(s), mode: {mode}"
+    )
+    print(
+        f"  events {report.events}  applied {report.applied}  "
+        f"coalesced {report.coalesced}  quarantined {len(report.quarantined)}"
+    )
+    print(
+        f"  recomputes {report.recomputes}  epochs {report.epochs}  "
+        f"deadline misses {report.deadline_misses}  retries {report.retries}"
+    )
+    print(
+        f"  elapsed {report.elapsed:.3f}s "
+        f"({report.events / report.elapsed:.0f} events/s)"
+        if report.elapsed > 0
+        else f"  elapsed {report.elapsed:.3f}s"
+    )
+    snap = final.snapshot
+    staleness = (
+        f"stale ({final.lag_events} event(s) behind, "
+        f"{final.age_seconds:.3f}s old)"
+        if final.stale
+        else "fresh"
+    )
+    print(f"  final epoch {snap.epoch}: {staleness}")
+    print(f"  service availability: {snap.availability:.9f}")
+    for pair, value in sorted(snap.pair_availability.items()):
+        marker = "  (disconnected)" if tuple(sorted(pair)) in snap.disconnected else ""
+        print(f"    {pair[0]} -> {pair[1]}: {value:.9f}{marker}")
+    for parked in report.quarantined:
+        print(
+            f"  quarantined: {parked.event!r} after {parked.attempts} "
+            f"attempt(s): {parked.error}"
+        )
+    return 0
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     try:
         data = _trace.load(args.tracefile)
@@ -759,6 +904,7 @@ _COMMANDS = {
     "casestudy": cmd_casestudy,
     "campaign": cmd_campaign,
     "population": cmd_population,
+    "churn": cmd_churn,
     "obs": cmd_obs,
     "generate": cmd_generate,
     "paths": cmd_paths,

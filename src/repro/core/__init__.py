@@ -37,8 +37,12 @@ from repro.core.pathdiscovery import (
 )
 from repro.core.engine import (
     CompiledTopology,
+    block_cache_clear,
+    block_cache_info,
     compile_topology,
+    discover_delta,
     discover_many,
+    discover_many_delta,
     engine_stats,
     path_cache_clear,
     path_cache_info,
@@ -46,6 +50,26 @@ from repro.core.engine import (
 )
 from repro.core.pipeline import MethodologyPipeline, PipelineReport, StageReport
 from repro.core.upsim import UPSIM, generate_upsim, upsim_name
+
+# churn composes engine + dependability.bdd, whose import chains loop back
+# through this package — it must come after the modules above are bound
+from repro.core.churn import (
+    ChurnEvent,
+    ChurnPolicy,
+    ChurnReport,
+    ChurnStream,
+    ComponentCrash,
+    ComponentRestore,
+    EpochSnapshot,
+    LinkCut,
+    LinkFlap,
+    LinkRestore,
+    LiveEvaluator,
+    MigrateProvider,
+    MoveUser,
+    QuarantinedEvent,
+    SnapshotView,
+)
 
 __all__ = [
     "DiversityReport",
@@ -70,13 +94,32 @@ __all__ = [
     "count_paths",
     "iter_paths",
     "iter_paths_reference",
+    "ChurnEvent",
+    "ChurnPolicy",
+    "ChurnReport",
+    "ChurnStream",
+    "ComponentCrash",
+    "ComponentRestore",
+    "EpochSnapshot",
+    "LinkCut",
+    "LinkFlap",
+    "LinkRestore",
+    "LiveEvaluator",
+    "MigrateProvider",
+    "MoveUser",
+    "QuarantinedEvent",
+    "SnapshotView",
     "CompiledTopology",
     "compile_topology",
+    "discover_delta",
     "discover_many",
+    "discover_many_delta",
     "engine_stats",
     "reset_engine_stats",
     "path_cache_info",
     "path_cache_clear",
+    "block_cache_info",
+    "block_cache_clear",
     "UPSIM",
     "generate_upsim",
     "upsim_name",

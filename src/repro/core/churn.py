@@ -1,0 +1,1108 @@
+"""Live-churn engine: delta-aware recomputation with graceful degradation.
+
+:mod:`repro.core.dynamics` models *planned* changes: one operation, one
+full pipeline re-run, caller handles failures.  A live network is not
+that polite — links flap in bursts, components crash mid-evaluation, and
+the paper's Section V-A3 efficiency claim ("dynamic system changes
+[handled] by updating only individual models") only pays off if an event
+recomputes *only what it touched*.  This module is that claim under
+load:
+
+* :class:`ChurnStream` — a deterministic, seeded generator of churn
+  events (link cut/restore/flap, component crash/restore, service
+  migration, user move) over a live infrastructure model; the same seed
+  always yields the same event sequence, so delta and full-recompile
+  runs are comparable event for event.
+* :class:`LiveEvaluator` — applies events to the model and re-derives
+  path sets + availabilities through the delta path:
+  :func:`repro.core.engine.discover_delta_compiled` re-enumerates only
+  the biconnected blocks an edge/node change touched (content-addressed
+  block cache), and
+  :class:`repro.dependability.bdd.IncrementalAvailabilityKernel`
+  re-derives only the BDD groups whose path sets changed.
+* **Epoch snapshots** — readers always see a consistent
+  :class:`EpochSnapshot` (path sets + availabilities computed from one
+  model state); a snapshot is swapped in atomically only when its
+  recompute finished inside the deadline.
+* **Graceful degradation** — a recompute that overruns its per-event
+  deadline is abandoned (daemon worker, never adopted) and the evaluator
+  keeps serving the last-good epoch *explicitly flagged stale*, with the
+  staleness bound (events applied but not reflected, seconds since the
+  epoch) surfaced on every read.  While degraded, queued events coalesce
+  per edge/entity (last state wins) so one catch-up recompute absorbs a
+  whole burst.
+* **Poison-event quarantine** — an event whose application fails
+  validation, or whose recompute keeps failing after bounded
+  retry/backoff, is rolled back (the model returns to the last-good
+  state), parked in :attr:`LiveEvaluator.quarantine` and reported; it is
+  never fatal and never leaves the model half-mutated.
+
+Thread-safety of abandoned workers: the mutating thread compiles the
+topology (CSR arrays + fingerprint — a consistent frozen snapshot) and
+snapshots the availability table *before* handing work to the
+deadline-bounded worker, so an abandoned worker never reads the live
+model and can only populate content-addressed caches with entries that
+are correct for the fingerprint they are keyed under.
+
+Every stage emits ``dynamics.*`` trace spans and ``repro_dynamics_*``
+metrics through :mod:`repro.obs`; ``upsim churn`` drives the whole loop
+from the command line and ``benchmarks/test_bench_churn.py`` pins the
+delta-vs-full speedup floor (BENCH_churn.json).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.core.engine import (
+    CompiledTopology,
+    _enumerate,
+    compile_topology,
+    discover_delta_compiled,
+)
+from repro.core.pathdiscovery import PathSet
+from repro.errors import ReproError, TopologyError
+from repro.network.topology import Topology
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.uml.objects import Link, ObjectModel
+
+__all__ = [
+    "ChurnEvent",
+    "LinkCut",
+    "LinkRestore",
+    "LinkFlap",
+    "ComponentCrash",
+    "ComponentRestore",
+    "MigrateProvider",
+    "MoveUser",
+    "ChurnPolicy",
+    "ChurnStream",
+    "EpochSnapshot",
+    "SnapshotView",
+    "QuarantinedEvent",
+    "ChurnReport",
+    "LiveEvaluator",
+]
+
+
+# ---------------------------------------------------------------------------
+# events
+# ---------------------------------------------------------------------------
+
+
+class ChurnEvent:
+    """Base class of live-churn events.
+
+    Unlike the strict operations of :mod:`repro.core.dynamics` (which
+    raise on redundant changes), churn events are **state-setting**:
+    cutting an already-absent link or restoring a present one is a no-op.
+    Coalescing relies on this — after a burst is merged per
+    :meth:`coalesce_key` (last event wins), replaying only the survivors
+    must land the model in the same state as replaying the full burst.
+    """
+
+    def coalesce_key(self) -> Optional[Tuple]:
+        """Events sharing a key collapse to the latest one while the
+        evaluator is degraded; ``None`` never coalesces."""
+        return None
+
+    def apply(self, evaluator: "LiveEvaluator") -> Optional[Callable[[], None]]:
+        """Mutate the evaluator's model/pairs; return an undo (or None)."""
+        raise NotImplementedError
+
+
+def _edge_key(a: str, b: str) -> Tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class LinkCut(ChurnEvent):
+    """The link between *a* and *b* goes down (no-op if already down)."""
+
+    a: str
+    b: str
+
+    def coalesce_key(self) -> Tuple:
+        return ("link", _edge_key(self.a, self.b))
+
+    def apply(self, evaluator: "LiveEvaluator") -> Optional[Callable[[], None]]:
+        return evaluator._set_link(self.a, self.b, up=False)
+
+
+@dataclass(frozen=True)
+class LinkRestore(ChurnEvent):
+    """The link between *a* and *b* comes back (no-op if already up)."""
+
+    a: str
+    b: str
+
+    def coalesce_key(self) -> Tuple:
+        return ("link", _edge_key(self.a, self.b))
+
+    def apply(self, evaluator: "LiveEvaluator") -> Optional[Callable[[], None]]:
+        return evaluator._set_link(self.a, self.b, up=True)
+
+
+@dataclass(frozen=True)
+class LinkFlap(ChurnEvent):
+    """The link bounces: down and back up within one event.
+
+    Net connectivity is unchanged but the link is re-registered (new
+    insertion position), so the fingerprint moves and the delta path must
+    prove it can revalidate a whole epoch from caches.
+    """
+
+    a: str
+    b: str
+
+    def coalesce_key(self) -> Tuple:
+        return ("link", _edge_key(self.a, self.b))
+
+    def apply(self, evaluator: "LiveEvaluator") -> Optional[Callable[[], None]]:
+        undo_cut = evaluator._set_link(self.a, self.b, up=False)
+        if undo_cut is None:  # was already down: flap ends with it up
+            return evaluator._set_link(self.a, self.b, up=True)
+        undo_restore = evaluator._set_link(self.a, self.b, up=True)
+
+        def undo() -> None:
+            if undo_restore is not None:
+                undo_restore()
+            undo_cut()
+
+        return undo
+
+
+@dataclass(frozen=True)
+class ComponentCrash(ChurnEvent):
+    """Component *name* fails: it and its incident links leave the model."""
+
+    name: str
+
+    def coalesce_key(self) -> Tuple:
+        return ("component", self.name)
+
+    def apply(self, evaluator: "LiveEvaluator") -> Optional[Callable[[], None]]:
+        return evaluator._crash(self.name)
+
+
+@dataclass(frozen=True)
+class ComponentRestore(ChurnEvent):
+    """A crashed component returns, re-cabled to its surviving neighbors."""
+
+    name: str
+
+    def coalesce_key(self) -> Tuple:
+        return ("component", self.name)
+
+    def apply(self, evaluator: "LiveEvaluator") -> Optional[Callable[[], None]]:
+        return evaluator._restore(self.name)
+
+
+@dataclass(frozen=True)
+class MigrateProvider(ChurnEvent):
+    """Every pair served by *old* is now served by *new* (Section V-A3:
+    "migrating a service ... requires updating only the mapping")."""
+
+    old: str
+    new: str
+
+    def coalesce_key(self) -> Tuple:
+        return ("provider", self.old)
+
+    def apply(self, evaluator: "LiveEvaluator") -> Optional[Callable[[], None]]:
+        return evaluator._retarget(self.old, self.new, role=1)
+
+
+@dataclass(frozen=True)
+class MoveUser(ChurnEvent):
+    """Every pair requested from *old* is now requested from *new*."""
+
+    old: str
+    new: str
+
+    def coalesce_key(self) -> Tuple:
+        return ("requester", self.old)
+
+    def apply(self, evaluator: "LiveEvaluator") -> Optional[Callable[[], None]]:
+        return evaluator._retarget(self.old, self.new, role=0)
+
+
+# ---------------------------------------------------------------------------
+# policy / snapshots / reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChurnPolicy:
+    """Robustness knobs of the live evaluator.
+
+    ``deadline`` bounds each recompute attempt in seconds (None =
+    unbounded); a missed deadline degrades to stale serving instead of
+    blocking the event loop.  Recompute *errors* (not timeouts) retry up
+    to ``max_retries`` times with exponential backoff
+    (``backoff * 2**attempt`` seconds) before the event is quarantined
+    and rolled back.  While degraded, up to ``coalesce_window`` events
+    are absorbed per edge/entity before the next catch-up attempt.
+    ``delta=False`` turns the evaluator into its own full-recompile
+    oracle: fresh topology compilation, uncached enumeration and a fresh
+    BDD per event — the equivalence baseline for tests and benchmarks.
+    """
+
+    deadline: Optional[float] = None
+    max_retries: int = 2
+    backoff: float = 0.05
+    coalesce_window: int = 8
+    delta: bool = True
+
+
+@dataclass(frozen=True)
+class EpochSnapshot:
+    """One internally-consistent result set: every field derives from the
+    same model state (identified by ``fingerprint``)."""
+
+    epoch: int
+    fingerprint: str
+    path_sets: Mapping[Tuple[str, str], PathSet]
+    availability: float
+    pair_availability: Mapping[Tuple[str, str], float]
+    disconnected: Tuple[Tuple[str, str], ...]
+    applied_events: int
+    created_at: float
+
+
+@dataclass(frozen=True)
+class SnapshotView:
+    """What a reader gets: the last-good epoch plus its staleness bound.
+
+    ``stale`` is True whenever events have been applied to the model that
+    the snapshot does not reflect (degraded serving); ``lag_events`` and
+    ``age_seconds`` bound the staleness.  The epoch itself is always
+    internally consistent — degradation never mixes epochs.
+    """
+
+    snapshot: EpochSnapshot
+    stale: bool
+    lag_events: int
+    age_seconds: float
+
+
+@dataclass(frozen=True)
+class QuarantinedEvent:
+    """A parked poison event: what failed, how often it was retried, and
+    proof the model was rolled back (the evaluator keeps running)."""
+
+    event: ChurnEvent
+    error: str
+    attempts: int
+    rolled_back: bool
+
+
+@dataclass
+class ChurnReport:
+    """Tally of one :meth:`LiveEvaluator.run` (all counters cumulative
+    over the run, not the evaluator lifetime)."""
+
+    events: int = 0
+    applied: int = 0
+    coalesced: int = 0
+    recomputes: int = 0
+    epochs: int = 0
+    deadline_misses: int = 0
+    retries: int = 0
+    quarantined: List[QuarantinedEvent] = field(default_factory=list)
+    elapsed: float = 0.0
+    final: Optional[SnapshotView] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        final = self.final
+        return {
+            "events": self.events,
+            "applied": self.applied,
+            "coalesced": self.coalesced,
+            "recomputes": self.recomputes,
+            "epochs": self.epochs,
+            "deadline_misses": self.deadline_misses,
+            "retries": self.retries,
+            "quarantined": [
+                {
+                    "event": repr(q.event),
+                    "error": q.error,
+                    "attempts": q.attempts,
+                    "rolled_back": q.rolled_back,
+                }
+                for q in self.quarantined
+            ],
+            "elapsed_s": self.elapsed,
+            "final": None
+            if final is None
+            else {
+                "epoch": final.snapshot.epoch,
+                "availability": final.snapshot.availability,
+                "stale": final.stale,
+                "lag_events": final.lag_events,
+                "age_seconds": final.age_seconds,
+                "disconnected": [
+                    list(pair) for pair in final.snapshot.disconnected
+                ],
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+_M_EVENTS = _metrics.counter(
+    "repro_dynamics_events_total", "Churn events submitted to live evaluators"
+)
+_M_COALESCED = _metrics.counter(
+    "repro_dynamics_coalesced_total",
+    "Churn events absorbed by same-edge coalescing while degraded",
+)
+_M_RECOMPUTES = _metrics.counter(
+    "repro_dynamics_recomputes_total", "Delta recompute attempts"
+)
+_M_EPOCHS = _metrics.counter(
+    "repro_dynamics_epochs_total", "Consistent epochs published"
+)
+_M_DEADLINE_MISSES = _metrics.counter(
+    "repro_dynamics_deadline_misses_total",
+    "Recomputes abandoned at the per-event deadline",
+)
+_M_RETRIES = _metrics.counter(
+    "repro_dynamics_retries_total", "Recompute retries after errors"
+)
+_M_QUARANTINED = _metrics.counter(
+    "repro_dynamics_quarantined_total",
+    "Poison events parked in quarantine (with model rollback)",
+)
+_H_RECOMPUTE = _metrics.histogram(
+    "repro_dynamics_recompute_seconds",
+    "Wall time of successful recomputes",
+    buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
+)
+
+
+# ---------------------------------------------------------------------------
+# live evaluator
+# ---------------------------------------------------------------------------
+
+
+class _Computed:
+    """One recompute's outputs, built entirely from frozen inputs."""
+
+    __slots__ = ("path_sets", "availability", "pair_availability", "disconnected")
+
+    def __init__(self, path_sets, availability, pair_availability, disconnected):
+        self.path_sets = path_sets
+        self.availability = availability
+        self.pair_availability = pair_availability
+        self.disconnected = disconnected
+
+
+class LiveEvaluator:
+    """Sustained user-perceived evaluation of a mutating infrastructure.
+
+    *pairs* are the (requester, provider) endpoints under evaluation (the
+    mapping's communication pairs).  Events arrive through
+    :meth:`submit` / :meth:`run`; readers call :meth:`snapshot` at any
+    time and always receive a consistent epoch with an explicit staleness
+    bound.  See the module docstring for the degradation/quarantine
+    contract.
+    """
+
+    def __init__(
+        self,
+        infrastructure: ObjectModel,
+        pairs: Sequence[Tuple[str, str]],
+        *,
+        policy: Optional[ChurnPolicy] = None,
+    ):
+        if not pairs:
+            raise TopologyError("live evaluation requires at least one pair")
+        self.model = infrastructure
+        self.topology = Topology(infrastructure)
+        self.pairs: List[Tuple[str, str]] = [tuple(p) for p in pairs]
+        self.policy = policy or ChurnPolicy()
+        # deferred import: dependability.bdd imports core.engine, whose
+        # package import chain loops back through this module
+        from repro.dependability.bdd import IncrementalAvailabilityKernel
+
+        self._kernel = IncrementalAvailabilityKernel()
+        self._lock = threading.Lock()
+        self._snapshot: Optional[EpochSnapshot] = None
+        self._epoch = 0
+        self._applied = 0
+        self._queue: List[ChurnEvent] = []
+        self.quarantine: List[QuarantinedEvent] = []
+        self.stats = {
+            "events": 0,
+            "applied": 0,
+            "coalesced": 0,
+            "recomputes": 0,
+            "deadline_misses": 0,
+            "retries": 0,
+        }
+        self._down_links: Dict[Tuple[str, str], Link] = {}
+        self._crashed: Dict[str, Tuple[object, List[Link]]] = {}
+        # the initial epoch must exist before any event arrives; no
+        # deadline — a reader-visible evaluator starts consistent
+        self._recompute_unbounded()
+
+    # -- model mutation primitives (state-setting, with undo) ---------------
+
+    def _set_link(self, a: str, b: str, *, up: bool) -> Optional[Callable[[], None]]:
+        model = self.model
+        for end in (a, b):
+            if not model.has_instance(end):
+                raise TopologyError(f"component {end!r} not in the network")
+        present = model.find_link(a, b) is not None
+        key = _edge_key(a, b)
+        if up:
+            if present:
+                return None
+            remembered = self._down_links.pop(key, None)
+            if remembered is not None:
+                model.add_link(
+                    remembered.end1,
+                    remembered.end2,
+                    remembered.association,
+                    name=remembered.name,
+                )
+            else:
+                model.add_link(a, b)
+
+            def undo_up() -> None:
+                link = self.model.remove_link(a, b)
+                self._down_links[key] = link
+
+            return undo_up
+        if not present:
+            return None
+        link = model.remove_link(a, b)
+        self._down_links[key] = link
+
+        def undo_down() -> None:
+            self._down_links.pop(key, None)
+            self.model.add_link(
+                link.end1, link.end2, link.association, name=link.name
+            )
+
+        return undo_down
+
+    def _crash(self, name: str) -> Optional[Callable[[], None]]:
+        if name in self._crashed:
+            return None  # already down
+        if not self.model.has_instance(name):
+            raise TopologyError(f"component {name!r} not in the network")
+        if any(name in pair for pair in self.pairs):
+            raise TopologyError(
+                f"component {name!r} is an evaluation endpoint; crashing it "
+                f"would leave pairs without a requester/provider"
+            )
+        inst, links = self.model.remove_instance(name, cascade=True)
+        self._crashed[name] = (inst, links)
+
+        def undo() -> None:
+            self._restore(name)
+
+        return undo
+
+    def _restore(self, name: str) -> Optional[Callable[[], None]]:
+        entry = self._crashed.pop(name, None)
+        if entry is None:
+            return None  # never crashed (or already restored)
+        inst, links = entry
+        self.model.add_existing_instance(inst)
+        restored: List[Link] = []
+        for link in links:
+            other = link.end2.name if link.end1.name == name else link.end1.name
+            if self.model.has_instance(other) and (
+                self.model.find_link(name, other) is None
+            ):
+                restored.append(
+                    self.model.add_link(
+                        link.end1, link.end2, link.association, name=link.name
+                    )
+                )
+
+        def undo() -> None:
+            for link in restored:
+                self.model.remove_link(link.end1, link.end2)
+            removed_inst, _ = self.model.remove_instance(name)
+            self._crashed[name] = (removed_inst, links)
+
+        return undo
+
+    def _retarget(self, old: str, new: str, *, role: int) -> Callable[[], None]:
+        if not self.model.has_instance(new):
+            raise TopologyError(f"component {new!r} not in the network")
+        if not any(pair[role] == old for pair in self.pairs):
+            what = "provider" if role else "requester"
+            raise TopologyError(f"{old!r} is not a {what} of any pair")
+        before = list(self.pairs)
+        self.pairs = [
+            (new, p[1]) if role == 0 and p[0] == old
+            else (p[0], new) if role == 1 and p[1] == old
+            else p
+            for p in self.pairs
+        ]
+
+        def undo() -> None:
+            self.pairs = before
+
+        return undo
+
+    # -- recompute -----------------------------------------------------------
+
+    def _prepare(self) -> Tuple[CompiledTopology, Dict[str, float], Tuple[Tuple[str, str], ...]]:
+        """Freeze everything a worker needs, on the mutating thread."""
+        # deferred: analysis.transformations imports core.pathdiscovery,
+        # which would close an import cycle through repro.core.__init__
+        from repro.analysis.transformations import component_availabilities
+
+        if self.policy.delta:
+            compiled = compile_topology(self.topology)
+        else:
+            # full-recompile oracle: pay compilation from scratch
+            compiled = CompiledTopology.from_topology(self.topology)
+        availabilities = component_availabilities(self.model)
+        return compiled, availabilities, tuple(self.pairs)
+
+    def _compute(
+        self,
+        compiled: CompiledTopology,
+        availabilities: Mapping[str, float],
+        pairs: Tuple[Tuple[str, str], ...],
+    ) -> _Computed:
+        """The worker body: frozen inputs only — never the live model."""
+        # deferred imports: see __init__
+        from repro.dependability.bdd import compile_structure
+        from repro.dependability.cutsets import path_components
+
+        delta = self.policy.delta
+        path_sets: Dict[Tuple[str, str], PathSet] = {}
+        for pair in dict.fromkeys(pairs):
+            requester, provider = pair
+            if delta:
+                path_sets[pair] = discover_delta_compiled(
+                    compiled, requester, provider
+                )
+            else:
+                path_sets[pair] = _enumerate(
+                    compiled, requester, provider, None, None
+                )
+        # distinct unordered pairs, as in the pipeline (repeated pairs
+        # describe the same connectivity event — count once)
+        distinct: Dict[Tuple[str, str], PathSet] = {}
+        for pair, ps in path_sets.items():
+            key = tuple(sorted(pair))
+            distinct.setdefault(key, ps)
+        groups: List[List] = []
+        group_keys: List[Tuple[str, str]] = []
+        disconnected: List[Tuple[str, str]] = []
+        for key, ps in distinct.items():
+            if not ps.paths:
+                disconnected.append(key)
+                continue
+            groups.append(
+                [path_components(path) for path in ps.paths]
+            )
+            group_keys.append(key)
+        pair_availability: Dict[Tuple[str, str], float] = {
+            key: 0.0 for key in disconnected
+        }
+        system = 0.0 if disconnected else 1.0
+        if groups:
+            if delta:
+                kernel = self._kernel.recompile(
+                    groups, order_hint=self._order_hint(compiled, groups)
+                )
+            else:
+                kernel = compile_structure(groups, use_cache=False)
+            vector = np.array(
+                [availabilities.get(v, 0.0) for v in kernel.variables],
+                dtype=np.float64,
+            )
+            sys_av, group_avs = kernel.evaluate_vector(vector)
+            if not disconnected:
+                system = sys_av
+            for key, value in zip(group_keys, group_avs):
+                pair_availability[key] = value
+        full_pair = {
+            pair: pair_availability[tuple(sorted(pair))] for pair in path_sets
+        }
+        return _Computed(
+            path_sets,
+            system,
+            full_pair,
+            tuple(sorted(disconnected)),
+        )
+
+    @staticmethod
+    def _order_hint(
+        compiled: CompiledTopology, groups: Sequence[Sequence[frozenset]]
+    ) -> Tuple[str, ...]:
+        """:func:`repro.dependability.bdd.order_from_topology` from the
+        frozen compiled view (the live variant reads the model)."""
+        components = {c for group in groups for path in group for c in path}
+        index = compiled.index
+        n = compiled.n
+
+        def key(name: str) -> Tuple[int, int, int, str]:
+            node_id = index.get(name)
+            if node_id is not None:
+                return (node_id, 0, -1, name)
+            if "|" in name:
+                a, b = name.split("|", 1)
+                ia, ib = index.get(a), index.get(b)
+                if ia is not None and ib is not None:
+                    low, high = sorted((ia, ib))
+                    return (low, 1, high, name)
+            return (n, 2, 0, name)
+
+        return tuple(sorted(components, key=key))
+
+    def _adopt(self, compiled: CompiledTopology, computed: _Computed) -> None:
+        with self._lock:
+            self._epoch += 1
+            self._snapshot = EpochSnapshot(
+                epoch=self._epoch,
+                fingerprint=compiled.fingerprint,
+                path_sets=computed.path_sets,
+                availability=computed.availability,
+                pair_availability=computed.pair_availability,
+                disconnected=computed.disconnected,
+                applied_events=self._applied,
+                created_at=time.monotonic(),
+            )
+        _M_EPOCHS.inc()
+
+    def _recompute_unbounded(self) -> None:
+        compiled, availabilities, pairs = self._prepare()
+        self._adopt(compiled, self._compute(compiled, availabilities, pairs))
+
+    def _try_recompute(self) -> Tuple[bool, Optional[BaseException]]:
+        """One deadline-bounded, retry-wrapped recompute attempt.
+
+        Returns ``(adopted, last_error)``: ``(True, None)`` on success,
+        ``(False, None)`` on a deadline miss (degraded serving), and
+        ``(False, error)`` when every retry failed (caller quarantines).
+        """
+        policy = self.policy
+        self.stats["recomputes"] += 1
+        _M_RECOMPUTES.inc()
+        with _trace.span(
+            "dynamics.recompute",
+            deadline=policy.deadline or 0.0,
+            delta=policy.delta,
+        ) as span:
+            last_error: Optional[BaseException] = None
+            for attempt in range(policy.max_retries + 1):
+                if attempt:
+                    self.stats["retries"] += 1
+                    _M_RETRIES.inc()
+                    time.sleep(policy.backoff * (2 ** (attempt - 1)))
+                compiled, availabilities, pairs = self._prepare()
+                started = time.monotonic()
+                if policy.deadline is None:
+                    try:
+                        computed = self._compute(compiled, availabilities, pairs)
+                    except Exception as exc:  # noqa: BLE001 - quarantined
+                        last_error = exc
+                        continue
+                else:
+                    box: Dict[str, object] = {}
+
+                    def work(c=compiled, a=availabilities, p=pairs) -> None:
+                        try:
+                            box["result"] = self._compute(c, a, p)
+                        except Exception as exc:  # noqa: BLE001
+                            box["error"] = exc
+
+                    worker = threading.Thread(target=work, daemon=True)
+                    worker.start()
+                    worker.join(policy.deadline)
+                    if worker.is_alive():
+                        # abandoned: the worker only holds frozen inputs,
+                        # its (content-addressed) cache writes stay valid
+                        self.stats["deadline_misses"] += 1
+                        _M_DEADLINE_MISSES.inc()
+                        span.set(outcome="deadline")
+                        return False, None
+                    error = box.get("error")
+                    if error is not None:
+                        last_error = error  # type: ignore[assignment]
+                        continue
+                    computed = box["result"]  # type: ignore[assignment]
+                self._adopt(compiled, computed)
+                _H_RECOMPUTE.observe(time.monotonic() - started)
+                span.set(outcome="epoch", epoch=self._epoch, attempts=attempt + 1)
+                return True, None
+            span.set(outcome="error", attempts=policy.max_retries + 1)
+            return False, last_error
+
+    # -- event intake --------------------------------------------------------
+
+    def submit(self, event: ChurnEvent) -> None:
+        """Queue one event (processed by the next :meth:`pump`)."""
+        self.stats["events"] += 1
+        _M_EVENTS.inc()
+        self._queue.append(event)
+
+    def _coalesce(self) -> List[ChurnEvent]:
+        """Drain the queue, keeping only the last event per coalesce key
+        (in last-occurrence order); keyless events all survive."""
+        drained, self._queue = self._queue, []
+        survivors: "Dict[object, ChurnEvent]" = {}
+        unkeyed = 0
+        for event in drained:
+            key = event.coalesce_key()
+            if key is None:
+                unkeyed += 1
+                survivors[("unkeyed", unkeyed)] = event
+            else:
+                survivors.pop(key, None)  # re-insert at the back
+                survivors[key] = event
+        merged = len(drained) - len(survivors)
+        if merged:
+            self.stats["coalesced"] += merged
+            _M_COALESCED.inc(merged)
+        return list(survivors.values())
+
+    def pump(self) -> bool:
+        """Apply the (coalesced) queue, then attempt one recompute.
+
+        Returns True when a fresh epoch was adopted; False when the
+        evaluator is serving stale (deadline miss) or the queue only held
+        poison events.  Never raises on event failures — poison events
+        are quarantined with rollback.
+        """
+        events = self._coalesce()
+        applied: List[Tuple[ChurnEvent, Optional[Callable[[], None]]]] = []
+        for event in events:
+            with _trace.span(
+                "dynamics.event", kind=type(event).__name__
+            ) as span:
+                try:
+                    undo = event.apply(self)
+                except ReproError as exc:
+                    # validation poison: apply is atomic, nothing to undo
+                    self._quarantine(event, exc, attempts=1, rolled_back=True)
+                    span.set(outcome="quarantined")
+                    continue
+                self._applied += 1
+                self.stats["applied"] += 1
+                applied.append((event, undo))
+                span.set(outcome="applied")
+        if not applied:
+            # model unchanged; only recompute if a previous miss left us
+            # behind (opportunistic catch-up), otherwise stay fresh
+            if not self.snapshot().stale:
+                return True
+        adopted, error = self._try_recompute()
+        if adopted:
+            return True
+        if error is not None:
+            self._rollback_batch(applied, error)
+        return False
+
+    def _rollback_batch(
+        self,
+        applied: List[Tuple[ChurnEvent, Optional[Callable[[], None]]]],
+        error: BaseException,
+    ) -> None:
+        """Every retry failed: restore the last-good model state.
+
+        The recompute evaluated the batch's *combined* effect, so there
+        is no per-event blame — the whole batch is quarantined and undone
+        in reverse order (rare: recompute errors are injected faults or
+        genuine engine bugs, not normal churn).  After the rollback the
+        model matches the served epoch again, so staleness clears.
+        """
+        for _, undo in reversed(applied):
+            if undo is not None:
+                undo()
+        with self._lock:
+            self._applied -= len(applied)
+        for event, _ in applied:
+            self._quarantine(
+                event,
+                error,
+                attempts=self.policy.max_retries + 1,
+                rolled_back=True,
+            )
+
+    def _quarantine(
+        self,
+        event: ChurnEvent,
+        error: BaseException,
+        *,
+        attempts: int,
+        rolled_back: bool,
+    ) -> None:
+        self.quarantine.append(
+            QuarantinedEvent(
+                event=event,
+                error=f"{type(error).__name__}: {error}",
+                attempts=attempts,
+                rolled_back=rolled_back,
+            )
+        )
+        _M_QUARANTINED.inc()
+
+    # -- reads ---------------------------------------------------------------
+
+    def snapshot(self) -> SnapshotView:
+        """The last-good epoch plus its staleness bound (never blocks on
+        an in-flight recompute, never mixes epochs)."""
+        with self._lock:
+            snap = self._snapshot
+            applied = self._applied
+        assert snap is not None  # constructor publishes epoch 1
+        lag = applied - snap.applied_events
+        return SnapshotView(
+            snapshot=snap,
+            stale=lag > 0,
+            lag_events=lag,
+            age_seconds=time.monotonic() - snap.created_at,
+        )
+
+    @property
+    def stale(self) -> bool:
+        return self.snapshot().stale
+
+    # -- driving -------------------------------------------------------------
+
+    def run(
+        self,
+        events: Iterable[ChurnEvent],
+        *,
+        catch_up: bool = True,
+    ) -> ChurnReport:
+        """Drive a whole event stream through the evaluator.
+
+        Healthy steady state processes one event per recompute.  After a
+        deadline miss the evaluator degrades: it keeps *applying* events
+        (so the model is current) but batches recompute attempts every
+        ``policy.coalesce_window`` events, letting same-edge bursts
+        coalesce; each attempt that succeeds ends degradation.  With
+        *catch_up* (default) a final unbounded recompute guarantees the
+        returned snapshot is fresh — benchmarks and equivalence tests
+        rely on that.
+        """
+        report = ChurnReport()
+        base = dict(self.stats)
+        base_quarantined = len(self.quarantine)
+        base_epoch = self._epoch
+        started = time.monotonic()
+        degraded = False
+        pending = 0
+        with _trace.span("dynamics.run", delta=self.policy.delta):
+            for event in events:
+                report.events += 1
+                self.submit(event)
+                pending += 1
+                if degraded and pending < self.policy.coalesce_window:
+                    continue
+                fresh = self.pump()
+                pending = 0
+                degraded = not fresh and self.snapshot().stale
+            if self._queue:
+                self.pump()
+            if catch_up and self.snapshot().stale:
+                with _trace.span("dynamics.catch_up"):
+                    self.stats["recomputes"] += 1
+                    _M_RECOMPUTES.inc()
+                    self._recompute_unbounded()
+        report.applied = self.stats["applied"] - base["applied"]
+        report.coalesced = self.stats["coalesced"] - base["coalesced"]
+        report.recomputes = self.stats["recomputes"] - base["recomputes"]
+        report.deadline_misses = (
+            self.stats["deadline_misses"] - base["deadline_misses"]
+        )
+        report.retries = self.stats["retries"] - base["retries"]
+        report.quarantined = self.quarantine[base_quarantined:]
+        report.epochs = self._epoch - base_epoch
+        report.elapsed = time.monotonic() - started
+        report.final = self.snapshot()
+        return report
+
+
+# ---------------------------------------------------------------------------
+# deterministic event streams
+# ---------------------------------------------------------------------------
+
+
+class ChurnStream:
+    """Seeded, deterministic churn-event generator over a model.
+
+    The stream tracks its *own* mirror of link/component state (it never
+    reads the evaluator), so the same seed yields the identical event
+    sequence no matter how the consumer fares — the property the
+    delta-vs-oracle equivalence tests depend on.  Generated events are
+    always sensible with respect to the mirror: links are cut only while
+    up, restored only while down, components crash only while alive, and
+    evaluation endpoints are never crashed.
+    """
+
+    #: relative weights of (cut, restore, flap, crash, restore-component,
+    #: migrate, move).  Repair outweighs damage so a sustained stream
+    #: settles into a mostly-healthy network (~20% degraded) rather than
+    #: grinding everything down to disconnection
+    DEFAULT_WEIGHTS = (1.5, 6.0, 4.0, 0.5, 2.0, 0.5, 0.5)
+
+    def __init__(
+        self,
+        model: ObjectModel,
+        pairs: Sequence[Tuple[str, str]],
+        *,
+        seed: int = 0,
+        weights: Optional[Sequence[float]] = None,
+        mobility: bool = False,
+    ):
+        self._rng = np.random.default_rng(seed)
+        self._pairs = [tuple(p) for p in pairs]
+        self._protected = {name for pair in self._pairs for name in pair}
+        self._up: List[Tuple[str, str]] = sorted(
+            _edge_key(link.end1.name, link.end2.name) for link in model.links
+        )
+        self._down: List[Tuple[str, str]] = []
+        self._alive: List[str] = sorted(
+            inst.name
+            for inst in model.instances
+            if inst.name not in self._protected
+        )
+        self._crashed: List[str] = []
+        self._mobility = mobility
+        weights = tuple(
+            weights if weights is not None else self.DEFAULT_WEIGHTS
+        )
+        if len(weights) != 7:
+            raise TopologyError(
+                f"churn weights must have 7 entries, got {len(weights)}"
+            )
+        if not mobility:
+            weights = weights[:5] + (0.0, 0.0)
+        total = float(sum(weights))
+        if total <= 0:
+            raise TopologyError("churn weights must not all be zero")
+        self._weights = np.asarray(weights, dtype=np.float64) / total
+
+    def _pick(self, items: List) -> object:
+        return items[int(self._rng.integers(len(items)))]
+
+    def _link_endpoints(self, edge: Tuple[str, str]) -> bool:
+        """Is either endpoint of *edge* currently crashed in the mirror?"""
+        crashed = set(self._crashed)
+        return edge[0] in crashed or edge[1] in crashed
+
+    def events(self, n: int) -> Iterator[ChurnEvent]:
+        """Yield *n* deterministic events."""
+        for _ in range(n):
+            yield self._next()
+
+    def __iter__(self) -> Iterator[ChurnEvent]:  # endless
+        while True:
+            yield self._next()
+
+    def _next(self) -> ChurnEvent:
+        for _ in range(64):  # resample when a kind has no candidates
+            kind = int(self._rng.choice(7, p=self._weights))
+            event = self._emit(kind)
+            if event is not None:
+                return event
+        # pathological mirrors (everything down) fall back to a restore
+        if self._down:
+            return self._emit(1)  # type: ignore[return-value]
+        raise TopologyError("churn stream has no applicable events")
+
+    def _emit(self, kind: int) -> Optional[ChurnEvent]:
+        if kind == 0:  # cut
+            candidates = [e for e in self._up if not self._link_endpoints(e)]
+            if not candidates:
+                return None
+            edge = self._pick(candidates)
+            self._up.remove(edge)
+            self._down.append(edge)
+            return LinkCut(*edge)
+        if kind == 1:  # restore link
+            candidates = [e for e in self._down if not self._link_endpoints(e)]
+            if not candidates:
+                return None
+            edge = self._pick(candidates)
+            self._down.remove(edge)
+            self._up.append(edge)
+            return LinkRestore(*edge)
+        if kind == 2:  # flap (state unchanged)
+            candidates = [e for e in self._up if not self._link_endpoints(e)]
+            if not candidates:
+                return None
+            return LinkFlap(*self._pick(candidates))
+        if kind == 3:  # crash
+            if not self._alive:
+                return None
+            name = self._pick(self._alive)
+            self._alive.remove(name)
+            self._crashed.append(name)
+            # incident links leave the model with the component
+            gone = [e for e in self._up if name in e]
+            for edge in gone:
+                self._up.remove(edge)
+                self._down.append(edge)
+            return ComponentCrash(name)
+        if kind == 4:  # restore component
+            if not self._crashed:
+                return None
+            name = self._pick(self._crashed)
+            self._crashed.remove(name)
+            self._alive.append(name)
+            back = [
+                e
+                for e in self._down
+                if name in e and not self._link_endpoints(e)
+            ]
+            for edge in back:
+                self._down.remove(edge)
+                self._up.append(edge)
+            return ComponentRestore(name)
+        if kind == 5:  # migrate provider
+            providers = sorted({p for _, p in self._pairs})
+            targets = [n for n in self._alive if n not in self._protected]
+            if not providers or not targets:
+                return None
+            old = self._pick(providers)
+            new = self._pick(targets)
+            self._pairs = [
+                (r, new) if p == old else (r, p) for r, p in self._pairs
+            ]
+            self._protected = {n for pair in self._pairs for n in pair}
+            return MigrateProvider(old, new)  # type: ignore[arg-type]
+        # kind == 6: move user
+        requesters = sorted({r for r, _ in self._pairs})
+        targets = [n for n in self._alive if n not in self._protected]
+        if not requesters or not targets:
+            return None
+        old = self._pick(requesters)
+        new = self._pick(targets)
+        self._pairs = [
+            (new, p) if r == old else (r, p) for r, p in self._pairs
+        ]
+        self._protected = {n for pair in self._pairs for n in pair}
+        return MoveUser(old, new)  # type: ignore[arg-type]

@@ -25,7 +25,7 @@ claimed stages re-execute.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Tuple
+from typing import Callable, FrozenSet, List, Optional, Tuple
 
 from repro.core.mapping import ServiceMapping, ServiceMappingPair
 from repro.core.pipeline import MethodologyPipeline, PipelineReport
@@ -47,6 +47,11 @@ __all__ = [
 MODELS = ("network", "service", "mapping")
 
 
+#: Reverses one applied operation (transactional rollback); ``None``
+#: when the operation has nothing to undo.
+Undo = Optional[Callable[[], None]]
+
+
 class ChangeOperation:
     """Base class of dynamicity operations."""
 
@@ -54,7 +59,14 @@ class ChangeOperation:
         """Which input models this change type touches (Section V-A3)."""
         raise NotImplementedError
 
-    def apply(self, state: "DeploymentState") -> None:
+    def apply(self, state: "DeploymentState") -> Undo:
+        """Apply the change to *state*, returning an undo callable.
+
+        The undo restores the models to their pre-apply content;
+        :meth:`DeploymentState.apply` invokes it when the operation or
+        the incremental re-run fails, so a failed apply never leaves the
+        deployment half-mutated.
+        """
         raise NotImplementedError
 
 
@@ -72,13 +84,14 @@ class UserMove(ChangeOperation):
     def affected_models(self) -> FrozenSet[str]:
         return frozenset({"mapping"})
 
-    def apply(self, state: "DeploymentState") -> None:
+    def apply(self, state: "DeploymentState") -> Undo:
         if not state.topology_has(self.new_component):
             raise TopologyError(
                 f"target position {self.new_component!r} not in the network; "
                 f"model it first (that would be a ComponentAddition)"
             )
         state.mapping = _substitute(state.mapping, self.old_component, self.new_component)
+        return None  # model references are snapshot-restored by the caller
 
 
 @dataclass(frozen=True)
@@ -95,12 +108,13 @@ class ServiceMigration(ChangeOperation):
     def affected_models(self) -> FrozenSet[str]:
         return frozenset({"mapping"})
 
-    def apply(self, state: "DeploymentState") -> None:
+    def apply(self, state: "DeploymentState") -> Undo:
         if not state.topology_has(self.new_provider):
             raise TopologyError(
                 f"new provider {self.new_provider!r} not in the network"
             )
         state.mapping = _substitute(state.mapping, self.old_provider, self.new_provider)
+        return None
 
 
 @dataclass(frozen=True)
@@ -121,16 +135,27 @@ class LinkChange(ChangeOperation):
     def affected_models(self) -> FrozenSet[str]:
         return frozenset({"network", "mapping"})
 
-    def apply(self, state: "DeploymentState") -> None:
+    def apply(self, state: "DeploymentState") -> Undo:
+        model = state.infrastructure
+        for end in (self.end1, self.end2):
+            if not state.topology_has(end):
+                raise TopologyError(f"component {end!r} not in the network")
         if self.add:
-            state.infrastructure.add_link(self.end1, self.end2, self.connector)
-        else:
-            link = state.infrastructure.find_link(self.end1, self.end2)
-            if link is None:
+            if model.find_link(self.end1, self.end2) is not None:
                 raise TopologyError(
-                    f"no link between {self.end1!r} and {self.end2!r} to remove"
+                    f"link between {self.end1!r} and {self.end2!r} already "
+                    f"exists; adding it again would corrupt the model"
                 )
-            _remove_link(state.infrastructure, link)
+            link = model.add_link(self.end1, self.end2, self.connector)
+            return lambda: model.remove_link(link.end1, link.end2)
+        if model.find_link(self.end1, self.end2) is None:
+            raise TopologyError(
+                f"no link between {self.end1!r} and {self.end2!r} to remove"
+            )
+        link = model.remove_link(self.end1, self.end2)
+        return lambda: model.add_link(
+            link.end1, link.end2, link.association, name=link.name
+        )
 
 
 @dataclass(frozen=True)
@@ -145,9 +170,24 @@ class ComponentAddition(ChangeOperation):
     def affected_models(self) -> FrozenSet[str]:
         return frozenset({"network", "mapping"})
 
-    def apply(self, state: "DeploymentState") -> None:
-        state.infrastructure.add_instance(self.name, self.type_name)
-        state.infrastructure.add_link(self.name, self.attach_to, self.connector)
+    def apply(self, state: "DeploymentState") -> Undo:
+        model = state.infrastructure
+        if state.topology_has(self.name):
+            raise TopologyError(
+                f"component {self.name!r} already deployed; duplicate "
+                f"instance names would corrupt the model"
+            )
+        if not state.topology_has(self.attach_to):
+            raise TopologyError(
+                f"attachment point {self.attach_to!r} not in the network"
+            )
+        model.add_instance(self.name, self.type_name)
+        try:
+            model.add_link(self.name, self.attach_to, self.connector)
+        except Exception:
+            model.remove_instance(self.name)
+            raise
+        return lambda: model.remove_instance(self.name, cascade=True)
 
 
 @dataclass(frozen=True)
@@ -164,9 +204,10 @@ class ServiceSubstitution(ChangeOperation):
     def affected_models(self) -> FrozenSet[str]:
         return frozenset({"service", "mapping"})
 
-    def apply(self, state: "DeploymentState") -> None:
+    def apply(self, state: "DeploymentState") -> Undo:
         state.service = self.replacement
         state.mapping = self.replacement_mapping
+        return None
 
 
 def _substitute(mapping: ServiceMapping, old: str, new: str) -> ServiceMapping:
@@ -183,15 +224,6 @@ def _substitute(mapping: ServiceMapping, old: str, new: str) -> ServiceMapping:
         )
         for pair in mapping.pairs
     )
-
-
-def _remove_link(model: ObjectModel, link) -> None:
-    """Remove a link from an object model (maintenance scenario)."""
-    # ObjectModel deliberately has no public unlink (models are mostly
-    # append-only); the dynamics module owns this controlled mutation.
-    model._links.pop(link.name)
-    model._adjacency[link.end1.name].remove(link.name)
-    model._adjacency[link.end2.name].remove(link.name)
 
 
 class DeploymentState:
@@ -232,12 +264,31 @@ class DeploymentState:
         return self.pipeline.run(**kwargs)
 
     def apply(self, operation: ChangeOperation, **kwargs) -> PipelineReport:
-        """Apply *operation*, resync only the affected models, and re-run."""
-        operation.apply(self)
+        """Apply *operation*, resync only the affected models, and re-run.
+
+        The apply is **transactional**: if the operation itself or the
+        incremental re-run raises, the models are rolled back (reference
+        snapshots for service/mapping, the operation's undo for
+        infrastructure mutations), the pipeline is resynced to the
+        restored models, and nothing is appended to :attr:`history`.
+        """
+        before_service, before_mapping = self.service, self.mapping
+        undo: Undo = None
         touched = operation.affected_models()
+        try:
+            undo = operation.apply(self)
+            self._sync_pipeline(touched)
+            report = self.run(**kwargs)
+        except Exception:
+            self.service, self.mapping = before_service, before_mapping
+            if undo is not None:
+                undo()
+            # point the pipeline back at the restored model content; the
+            # affected stages re-run on the next successful apply
+            self._sync_pipeline(touched)
+            raise
         self.history.append((operation, touched))
-        self._sync_pipeline(touched)
-        return self.run(**kwargs)
+        return report
 
     @property
     def upsim(self):

@@ -48,6 +48,7 @@ DFS to that vertex union therefore removes no path and adds none.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -67,8 +68,13 @@ __all__ = [
     "count",
     "iterate",
     "discover_many",
+    "discover_delta",
+    "discover_delta_compiled",
+    "discover_many_delta",
     "path_cache_info",
     "path_cache_clear",
+    "block_cache_info",
+    "block_cache_clear",
     "engine_stats",
     "reset_engine_stats",
 ]
@@ -429,6 +435,34 @@ class CompiledTopology:
         block_entry, _, block = result[-1]
         result[-1] = (block_entry, t, block)
         return result
+
+    def block_digest(self, block: Sequence[int]) -> str:
+        """Content digest of one block's induced subgraph, id-independent.
+
+        Hashes the block's vertex *names* (sorted) together with each
+        vertex's in-block neighbor names in CSR adjacency order.  Two
+        compiled topologies — typically successive epochs of a churned
+        model — produce the same digest for a block iff the induced
+        subgraph *and its traversal order* are identical, so a cached
+        enumeration keyed on the digest replays the exact path sequence
+        the DFS would emit.  Unrelated mutations (a link flapping in a
+        different block, nodes added elsewhere) shift integer ids but
+        leave names and per-node neighbor order untouched, keeping the
+        digest — and therefore the cache entry — valid.
+        """
+        indptr, indices, names = self.indptr, self.indices, self.names
+        in_block = bytearray(self.n)
+        for w in block:
+            in_block[w] = 1
+        digest = hashlib.blake2b(digest_size=16)
+        for u in sorted(block, key=lambda w: names[w]):
+            digest.update(names[u].encode("utf-8"))
+            digest.update(b"\x1e")
+            for v in indices[indptr[u] : indptr[u + 1]]:
+                if in_block[v]:
+                    digest.update(names[v].encode("utf-8"))
+                    digest.update(b"\x1f")
+        return digest.hexdigest()
 
     # -- enumeration ---------------------------------------------------------
 
@@ -875,8 +909,16 @@ _COMPILED = _LRU(maxsize=64)
 #: per-result sizes are.
 _PATHS = _LRU(maxsize=1024, max_weight=2_000_000)
 
+#: Per-block enumerations keyed by (block content digest, entry, exit).
+#: Unlike the PathSet cache this key is *fingerprint-independent*: a
+#: topology mutation invalidates only the blocks it touches (their
+#: digests change), so churned models reuse every untouched block's
+#: enumeration — the delta-aware fast path of :func:`discover_delta`.
+_BLOCK_PATHS = _LRU(maxsize=4096, max_weight=2_000_000)
+
 _STATS_LOCK = threading.Lock()
-_STATS = {"compilations": 0, "enumerations": 0}
+_STATS = {"compilations": 0, "enumerations": 0, "block_enumerations": 0,
+          "delta_assemblies": 0}
 
 # -- observability: coarse counters + live cache gauges (repro.obs) ----------
 
@@ -908,6 +950,31 @@ _metrics.gauge(
     "repro_engine_path_cache_weight",
     "Total path elements retained in the PathSet LRU",
 ).set_function(lambda: _PATHS.total_weight)
+_M_BLOCK_ENUMERATIONS = _metrics.counter(
+    "repro_engine_block_enumerations_total",
+    "Per-block enumerations run by delta-aware discovery "
+    "(block-cache hits perform none)",
+)
+_M_DELTA_ASSEMBLIES = _metrics.counter(
+    "repro_engine_delta_assemblies_total",
+    "PathSets assembled by splicing cached per-block enumerations",
+)
+_metrics.gauge(
+    "repro_engine_block_cache_hits",
+    "Block-enumeration LRU hits since process start",
+).set_function(lambda: _BLOCK_PATHS.hits)
+_metrics.gauge(
+    "repro_engine_block_cache_misses",
+    "Block-enumeration LRU misses since process start",
+).set_function(lambda: _BLOCK_PATHS.misses)
+_metrics.gauge(
+    "repro_engine_block_cache_entries",
+    "Block enumerations currently memoized",
+).set_function(lambda: len(_BLOCK_PATHS.data))
+_metrics.gauge(
+    "repro_engine_block_cache_weight",
+    "Total path elements retained in the block-enumeration LRU",
+).set_function(lambda: _BLOCK_PATHS.total_weight)
 
 
 def engine_stats() -> Dict[str, int]:
@@ -917,6 +984,8 @@ def engine_stats() -> Dict[str, int]:
         stats = dict(_STATS)
     stats["path_cache_hits"] = _PATHS.hits
     stats["path_cache_misses"] = _PATHS.misses
+    stats["block_cache_hits"] = _BLOCK_PATHS.hits
+    stats["block_cache_misses"] = _BLOCK_PATHS.misses
     return stats
 
 
@@ -924,6 +993,8 @@ def reset_engine_stats() -> None:
     with _STATS_LOCK:
         _STATS["compilations"] = 0
         _STATS["enumerations"] = 0
+        _STATS["block_enumerations"] = 0
+        _STATS["delta_assemblies"] = 0
 
 
 def path_cache_info() -> Dict[str, int]:
@@ -940,6 +1011,23 @@ def path_cache_clear() -> None:
     change on topology mutation invalidates implicitly; this is the big
     hammer for tests and long-running services)."""
     _PATHS.clear()
+
+
+def block_cache_info() -> Dict[str, int]:
+    return {
+        "hits": _BLOCK_PATHS.hits,
+        "misses": _BLOCK_PATHS.misses,
+        "currsize": len(_BLOCK_PATHS.data),
+        "maxsize": _BLOCK_PATHS.maxsize,
+        "weight": _BLOCK_PATHS.total_weight,
+    }
+
+
+def block_cache_clear() -> None:
+    """Drop every memoized per-block enumeration (content-addressed
+    entries never go stale — this exists for tests and benchmarks that
+    need a cold delta path)."""
+    _BLOCK_PATHS.clear()
 
 
 def compile_topology(topology: Topology) -> CompiledTopology:
@@ -1160,3 +1248,150 @@ def discover_many(
                 }
                 return {pair: futures[pair].result() for pair in unique}
         return {pair: run_one(pair) for pair in unique}
+
+
+# ---------------------------------------------------------------------------
+# delta-aware discovery (block-level memoization for churned topologies)
+# ---------------------------------------------------------------------------
+
+
+def _segment_paths(
+    compiled: CompiledTopology, entry: int, exit_: int, block: Sequence[int]
+) -> Tuple[Tuple[str, ...], ...]:
+    """One segment's full path list, memoized by block content digest.
+
+    A bridge (two-vertex block) contributes exactly one path and skips
+    the cache.  Anything larger is keyed on
+    ``(block_digest, entry name, exit name)``: the digest covers the
+    induced subgraph *and* its traversal order, so a hit replays exactly
+    the sequence :meth:`CompiledTopology._iter_block` would emit — on a
+    churned topology only the blocks an event actually touched miss.
+    """
+    names = compiled.names
+    if len(block) == 2:
+        return ((names[entry], names[exit_]),)
+    key = (compiled.block_digest(block), names[entry], names[exit_])
+    cached = _BLOCK_PATHS.get(key)
+    if cached is not None:
+        return cached
+    # a simple path inside the block visits each vertex at most once, so
+    # len(block) links always over-covers the longest possible path
+    paths = tuple(compiled._iter_block(entry, exit_, block, len(block)))
+    with _STATS_LOCK:
+        _STATS["block_enumerations"] += 1
+    _M_BLOCK_ENUMERATIONS.inc()
+    _BLOCK_PATHS.put(key, paths, weight=sum(map(len, paths)) + 1)
+    return paths
+
+
+def discover_delta(
+    topology: Topology,
+    requester: str,
+    provider: str,
+    *,
+    use_cache: bool = True,
+) -> PathSet:
+    """Delta-aware all-paths discovery: splice cached block enumerations.
+
+    Equivalent to :func:`discover` with no depth/path bounds — same paths
+    in the same order — but factorized through the block-cut tree with a
+    *content-addressed* per-block cache: when the topology mutates, only
+    the biconnected blocks whose induced subgraph changed are
+    re-enumerated, and every untouched block's path list is spliced back
+    into the result.  This is the recompute primitive of the live-churn
+    engine (:mod:`repro.core.churn`): a link flap on a peripheral block
+    re-enumerates that block alone, not the whole pair.
+
+    The assembled PathSet is also registered in the fingerprint-keyed
+    PathSet LRU, so subsequent plain :func:`discover` calls (pipeline
+    Step 7, analysis) hit it without re-assembly.
+    """
+    _check_endpoints(topology, requester, provider)
+    return discover_delta_compiled(
+        compile_topology(topology), requester, provider, use_cache=use_cache
+    )
+
+
+def discover_delta_compiled(
+    compiled: CompiledTopology,
+    requester: str,
+    provider: str,
+    *,
+    use_cache: bool = True,
+) -> PathSet:
+    """:func:`discover_delta` over an already-compiled topology.
+
+    The live-churn evaluator compiles on the mutating thread (so the CSR
+    arrays and fingerprint are a consistent snapshot) and hands the frozen
+    compiled view to a deadline-bounded worker; an abandoned worker can
+    then never observe — or cache results derived from — a half-mutated
+    model.
+    """
+    with _trace.span(
+        "engine.discover_delta", requester=requester, provider=provider
+    ) as span:
+        key = (compiled.fingerprint, requester, provider, None, None)
+        if use_cache:
+            hit = _PATHS.get(key)
+            if hit is not None:
+                paths, truncated = hit
+                span.set(cached=True, paths=len(paths))
+                return PathSet(
+                    requester, provider, list(paths), truncated=truncated
+                )
+        s = compiled.node_id(requester)
+        t = compiled.node_id(provider)
+        result = PathSet(requester, provider)
+        if s == t:
+            result.paths.append((compiled.names[s],))
+        else:
+            segments = compiled.segments(s, t)
+            if segments is not None:
+                per_segment = [
+                    _segment_paths(compiled, entry, exit_, block)
+                    for entry, exit_, block in segments
+                ]
+                if all(per_segment):
+                    for combo in product(*per_segment):
+                        path = combo[0]
+                        for piece in combo[1:]:
+                            path = path + piece[1:]
+                        result.paths.append(path)
+        with _STATS_LOCK:
+            _STATS["delta_assemblies"] += 1
+        _M_DELTA_ASSEMBLIES.inc()
+        span.set(cached=False, paths=len(result.paths))
+        if use_cache:
+            weight = sum(map(len, result.paths)) + 1
+            _PATHS.put(key, (tuple(result.paths), False), weight=weight)
+        return result
+
+
+def discover_many_delta(
+    topology: Topology,
+    pairs: Iterable[Tuple[str, str]],
+    *,
+    use_cache: bool = True,
+) -> Dict[Tuple[str, str], PathSet]:
+    """Delta-aware discovery for many pairs (duplicates enumerated once).
+
+    Serial by design: the churn engine calls this once per event, and the
+    per-pair work after warm block caches is assembly-only — fan-out
+    overhead would dominate.  Worker failures name the failing pair,
+    matching :func:`discover_many`.
+    """
+    unique: List[Tuple[str, str]] = list(dict.fromkeys(tuple(p) for p in pairs))
+    compiled = compile_topology(topology)
+    compiled.ensure_structure()
+    with _trace.span("engine.discover_many_delta", pairs=len(unique)):
+        results: Dict[Tuple[str, str], PathSet] = {}
+        for requester, provider in unique:
+            try:
+                results[(requester, provider)] = discover_delta(
+                    topology, requester, provider, use_cache=use_cache
+                )
+            except PathDiscoveryError as exc:
+                raise PathDiscoveryError(
+                    f"pair ({requester!r}, {provider!r}): {exc}"
+                ) from exc
+        return results

@@ -66,6 +66,7 @@ from repro.obs import trace as _trace
 __all__ = [
     "BDD",
     "AvailabilityKernel",
+    "IncrementalAvailabilityKernel",
     "perturbed_sweep",
     "evaluate_perturbed_arrays",
     "compile_structure",
@@ -122,6 +123,21 @@ class BDD:
             self.high.append(high)
             self._unique[key] = node
         return node
+
+    def grow(self, nvar: int) -> None:
+        """Extend the variable universe to *nvar* (append-only).
+
+        New variables take the largest indices, so every existing node is
+        still correctly ordered and every apply/unique-table entry stays
+        valid; only the terminal sentinel (``var == nvar``) moves.
+        """
+        if nvar < self.nvar:
+            raise AnalysisError(
+                f"cannot shrink a BDD manager from {self.nvar} to {nvar} "
+                f"variables"
+            )
+        self.nvar = nvar
+        self.var[0] = self.var[1] = nvar
 
     def cube(self, variables: Iterable[int]) -> int:
         """The conjunction of positive literals — one path's success."""
@@ -224,6 +240,18 @@ _M_ITE_CACHE_HITS = _metrics.counter(
 _M_EVALUATIONS = _metrics.counter(
     "repro_bdd_evaluations_total",
     "Probability-vector evaluations on compiled kernels",
+)
+_M_GROUP_HITS = _metrics.counter(
+    "repro_bdd_group_root_hits_total",
+    "Pair-group roots reused across incremental recompiles",
+)
+_M_GROUP_MISSES = _metrics.counter(
+    "repro_bdd_group_root_misses_total",
+    "Pair-group roots built from scratch during incremental recompiles",
+)
+_M_REBUILDS = _metrics.counter(
+    "repro_bdd_incremental_rebuilds_total",
+    "Full manager rebuilds forced by order changes or garbage pressure",
 )
 _metrics.gauge(
     "repro_bdd_kernel_cache_hits", "Compiled-kernel LRU cache hits"
@@ -372,6 +400,30 @@ class AvailabilityKernel:
         _count_evaluation()
         values = self._values(p)
         return values[self._root_pos], tuple(values[g] for g in self._group_pos)
+
+    def evaluate_vector(
+        self, p: np.ndarray
+    ) -> Tuple[float, Tuple[float, ...]]:
+        """(system, per-group) availabilities for one kernel-ordered raw
+        vector — :meth:`evaluate_all` without the mapping validation.
+
+        The churn evaluator uses this with 0.0 defaults for variables
+        absent from the current model epoch: an incremental kernel's
+        variable set only grows, and variables no longer referenced by
+        any live group are unreachable from the evaluated roots, so their
+        probability never influences the result.
+        """
+        p = np.asarray(p, dtype=np.float64)
+        if p.ndim != 1 or p.shape[0] != len(self.variables):
+            raise AnalysisError(
+                f"probability vector must have shape "
+                f"({len(self.variables)},), got {p.shape}"
+            )
+        _count_evaluation()
+        values = self._values(p)
+        return values[self._root_pos], tuple(
+            values[g] for g in self._group_pos
+        )
 
     def evaluate_many(
         self,
@@ -784,6 +836,172 @@ def compile_pair(
 ) -> AvailabilityKernel:
     """Compile a single pair's path sets."""
     return compile_structure([list(path_sets)], order=order, use_cache=use_cache)
+
+
+def _group_digest(canonical_group: Tuple[Tuple[str, ...], ...]) -> str:
+    """blake2b digest of one canonicalized pair group — the unit of reuse
+    for :class:`IncrementalAvailabilityKernel`."""
+    digest = hashlib.blake2b(digest_size=16)
+    for path in canonical_group:
+        for component in path:
+            digest.update(component.encode("utf-8"))
+            digest.update(b"\x1f")
+        digest.update(b"\x1d")
+    return digest.hexdigest()
+
+
+class IncrementalAvailabilityKernel:
+    """A persistent BDD manager that recompiles only changed pair groups.
+
+    :func:`compile_structure` memoizes *whole structures*: one changed
+    path set gives a new structure fingerprint and rebuilds every group
+    from scratch.  Under topology churn most pairs are untouched by any
+    single event, so this class keeps one manager alive across epochs and
+    caches each pair group's root by its content digest — a recompile
+    after a link flap re-derives only the groups whose path sets actually
+    changed and re-ANDs the (mostly cached) roots into a fresh system
+    root.  This is the BDD half of the delta-aware invalidation story
+    (the engine half is :func:`repro.core.engine.discover_delta`).
+
+    Correctness constraints, and how they are met:
+
+    * an ROBDD manager requires one global variable order — the order is
+      held **stable across epochs**; components first seen in a later
+      epoch are *appended* (largest indices, see :meth:`BDD.grow`), which
+      keeps every existing node and cached group root valid;
+    * dead nodes accumulate as group structures change — when the
+      reachable fraction drops below ~1/4 the manager is rebuilt from
+      scratch (order re-derived, group cache cleared), bounding memory;
+    * the returned :class:`AvailabilityKernel` snapshots the reachable
+      DAG at construction (``_linearize`` copies into flat arrays), so
+      kernels handed to earlier epochs stay internally consistent while
+      later recompiles grow the shared manager.
+
+    Thread safety: :meth:`recompile` holds an internal lock; returned
+    kernels are immutable snapshots and safe to read concurrently.
+    """
+
+    #: full rebuild when reachable nodes are under this fraction of the
+    #: manager.  The slack must be generous: sequential OR chains leave
+    #: mostly-dead intermediates behind, so live/total sits well under
+    #: the fraction even in a healthy manager — a small slack makes every
+    #: recompile rebuild, discarding all cached group roots
+    _GC_FRACTION = 0.25
+    _GC_SLACK = 1 << 19
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._bdd: Optional[BDD] = None
+        self._order: Tuple[str, ...] = ()
+        self._group_roots: Dict[str, int] = {}
+        self.stats = {
+            "recompiles": 0,
+            "group_hits": 0,
+            "group_misses": 0,
+            "rebuilds": 0,
+        }
+
+    def _rebuild(
+        self,
+        canonical: Tuple[Tuple[Tuple[str, ...], ...], ...],
+        components: FrozenSet[str],
+        order_hint: Optional[Sequence[str]],
+    ) -> None:
+        if order_hint is not None:
+            ordered = tuple(n for n in order_hint if n in components)
+            ordered += tuple(sorted(components.difference(ordered)))
+        else:
+            ordered = frequency_order(canonical)
+        self._order = ordered
+        self._bdd = BDD(len(ordered))
+        self._group_roots = {}
+        self.stats["rebuilds"] += 1
+        _M_REBUILDS.inc()
+
+    def recompile(
+        self,
+        path_set_groups: Sequence[Sequence[FrozenSet[str]]],
+        *,
+        order_hint: Optional[Sequence[str]] = None,
+    ) -> AvailabilityKernel:
+        """Compile *path_set_groups* reusing cached group roots.
+
+        *order_hint* (e.g. :func:`order_from_topology`) seeds the
+        variable order on the first build and after a garbage rebuild; in
+        between it is ignored so the established order — and with it
+        every cached root — survives topology mutations that would
+        reshuffle CSR ids.
+        """
+        groups = [list(group) for group in path_set_groups]
+        if not groups:
+            raise AnalysisError(
+                "system_availability requires at least one group"
+            )
+        for group in groups:
+            if not group:
+                raise AnalysisError(
+                    "a pair with no path sets is never connected"
+                )
+        canonical = _canonical_groups(groups)
+        components = frozenset(
+            c for group in canonical for path in group for c in path
+        )
+        with self._lock, _trace.span(
+            "bdd.recompile_delta", groups=len(groups)
+        ) as span:
+            if self._bdd is None:
+                self._rebuild(canonical, components, order_hint)
+            elif not components.issubset(self._order):
+                grown = self._order + tuple(
+                    sorted(components.difference(self._order))
+                )
+                self._order = grown
+                self._bdd.grow(len(grown))
+            bdd = self._bdd
+            index = {name: i for i, name in enumerate(self._order)}
+            hits = misses = 0
+            group_roots: List[int] = []
+            for group in canonical:
+                digest = _group_digest(group)
+                root = self._group_roots.get(digest)
+                if root is None:
+                    misses += 1
+                    root = BDD.FALSE
+                    for path in group:
+                        root = bdd.apply_or(
+                            root, bdd.cube(index[c] for c in path)
+                        )
+                    self._group_roots[digest] = root
+                else:
+                    hits += 1
+                group_roots.append(root)
+            system = BDD.TRUE
+            for root in dict.fromkeys(group_roots):
+                system = bdd.apply_and(system, root)
+            kernel = AvailabilityKernel(
+                bdd,
+                system,
+                group_roots,
+                self._order,
+                structure_fingerprint(groups, self._order),
+            )
+            self.stats["recompiles"] += 1
+            self.stats["group_hits"] += hits
+            self.stats["group_misses"] += misses
+            _M_GROUP_HITS.inc(hits)
+            _M_GROUP_MISSES.inc(misses)
+            span.set(
+                group_hits=hits,
+                group_misses=misses,
+                nodes=len(bdd) - 2,
+                reachable=kernel.size,
+            )
+            # garbage pressure: schedule a fresh manager for the *next*
+            # recompile once dead nodes dominate
+            live = kernel.size + 2
+            if len(bdd) > self._GC_SLACK and live < len(bdd) * self._GC_FRACTION:
+                self._bdd = None
+            return kernel
 
 
 def system_availability_bdd(

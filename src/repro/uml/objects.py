@@ -259,6 +259,56 @@ class ObjectModel(NamedElement):
         self._adjacency[inst_b.name].append(link_name)
         return link
 
+    # -- controlled removal ----------------------------------------------------
+
+    def remove_link(
+        self, a: InstanceSpecification | str, b: InstanceSpecification | str
+    ) -> Link:
+        """Remove the link between *a* and *b* and return it.
+
+        Object models are mostly append-only; removal exists for the
+        dynamicity scenarios (maintenance, link churn — Section V-A3).
+        The adjacency index stays consistent, and the returned
+        :class:`Link` carries everything needed to restore the connection
+        (``add_link(link.end1, link.end2, link.association,
+        name=link.name)``).
+        """
+        name_a = a if isinstance(a, str) else a.name
+        name_b = b if isinstance(b, str) else b.name
+        for name in (name_a, name_b):
+            if name not in self._instances:
+                raise ModelError(f"object model has no instance {name!r}")
+        link = self.find_link(name_a, name_b)
+        if link is None:
+            raise ModelError(f"no link between {name_a!r} and {name_b!r} to remove")
+        del self._links[link.name]
+        self._adjacency[link.end1.name].remove(link.name)
+        self._adjacency[link.end2.name].remove(link.name)
+        return link
+
+    def remove_instance(
+        self, instance: InstanceSpecification | str, *, cascade: bool = False
+    ) -> Tuple[InstanceSpecification, List[Link]]:
+        """Remove an instance; with ``cascade=True`` its links go too.
+
+        Returns ``(instance, removed links)`` so callers can undo the
+        operation exactly (churn rollback).  Without *cascade* a still-
+        linked instance is an error — silent removal would leave dangling
+        link ends.
+        """
+        name = instance if isinstance(instance, str) else instance.name
+        inst = self.get_instance(name)
+        incident = self.links_of(name)
+        if incident and not cascade:
+            raise ModelError(
+                f"instance {name!r} still has {len(incident)} link(s); "
+                f"remove them first or pass cascade=True"
+            )
+        removed = [self.remove_link(link.end1, link.end2) for link in incident]
+        del self._instances[name]
+        del self._adjacency[name]
+        return inst, removed
+
     # -- access ----------------------------------------------------------------
 
     def get_instance(self, name: str) -> InstanceSpecification:

@@ -12,7 +12,7 @@ from repro.core.dynamics import (
     UserMove,
 )
 from repro.core.mapping import ServiceMapping, ServiceMappingPair
-from repro.errors import MappingError, TopologyError
+from repro.errors import MappingError, ModelError, TopologyError
 from repro.services.atomic import AtomicService
 from repro.services.composite import CompositeService
 
@@ -154,3 +154,92 @@ class TestHistory:
             uml_runs += "import_uml" in report.executed_stages()
             current = target
         assert uml_runs == 0
+
+
+class TestTopologyChangeValidation:
+    def test_duplicate_link_addition_rejected(self, deployment):
+        deployment.apply(LinkChange("file1", "p1"))
+        history_depth = len(deployment.history)
+        with pytest.raises(TopologyError, match="already"):
+            deployment.apply(LinkChange("file1", "p1"))
+        assert len(deployment.history) == history_depth
+
+    def test_duplicate_component_name_rejected(self, deployment):
+        with pytest.raises(TopologyError, match="already deployed"):
+            deployment.apply(ComponentAddition("t1", "Computer", "file1"))
+
+    def test_unknown_attachment_point_rejected(self, deployment):
+        with pytest.raises(TopologyError, match="attachment point"):
+            deployment.apply(ComponentAddition("newbox", "Computer", "ghost"))
+
+
+class TestTransactionalApply:
+    def test_failed_apply_rolls_back_topology(self, deployment, monkeypatch):
+        model = deployment.infrastructure
+        fingerprint_before = sorted(link.name for link in model.links)
+        history_before = len(deployment.history)
+
+        def boom(**kwargs):
+            raise TopologyError("downstream stage exploded")
+
+        monkeypatch.setattr(deployment, "run", boom)
+        with pytest.raises(TopologyError, match="exploded"):
+            deployment.apply(LinkChange("file1", "p1"))
+        assert sorted(link.name for link in model.links) == fingerprint_before
+        assert len(deployment.history) == history_before
+
+    def test_failed_apply_restores_removed_link(self, deployment, monkeypatch):
+        model = deployment.infrastructure
+        link = model.find_link("t1", "e1") or model.links[0]
+        a, b = link.end1.name, link.end2.name
+        monkeypatch.setattr(
+            deployment,
+            "run",
+            lambda **kwargs: (_ for _ in ()).throw(TopologyError("boom")),
+        )
+        with pytest.raises(TopologyError, match="boom"):
+            deployment.apply(LinkChange(a, b, add=False))
+        restored = model.find_link(a, b)
+        assert restored is not None
+        assert restored.name == link.name
+
+    def test_successful_apply_still_records_history(self, deployment):
+        before = len(deployment.history)
+        deployment.apply(LinkChange("file1", "p1"))
+        assert len(deployment.history) == before + 1
+
+
+class TestControlledRemoval:
+    def _model(self, deployment):
+        return deployment.infrastructure
+
+    def test_remove_link_returns_the_link(self, deployment):
+        model = self._model(deployment)
+        link = model.links[0]
+        a, b = link.end1.name, link.end2.name
+        removed = model.remove_link(a, b)
+        assert removed is link
+        assert model.find_link(a, b) is None
+
+    def test_remove_missing_link_raises(self, deployment):
+        model = self._model(deployment)
+        with pytest.raises(ModelError):
+            model.remove_link("t1", "p2")
+
+    def test_remove_instance_requires_cascade_when_cabled(self, deployment):
+        model = self._model(deployment)
+        with pytest.raises(ModelError):
+            model.remove_instance("t1")
+
+    def test_remove_instance_cascade_returns_severed_links(self, deployment):
+        model = self._model(deployment)
+        degree = len(model.links_of("t1"))
+        assert degree > 0
+        instance, severed = model.remove_instance("t1", cascade=True)
+        assert instance.name == "t1"
+        assert len(severed) == degree
+        assert not model.has_instance("t1")
+        assert all(
+            link.end1.name != "t1" and link.end2.name != "t1"
+            for link in model.links
+        )

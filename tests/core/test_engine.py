@@ -66,9 +66,11 @@ FAMILY_TOPOS = [Topology(builder.object_model) for _, builder in FAMILIES]
 @pytest.fixture(autouse=True)
 def _fresh_cache():
     path_cache_clear()
+    engine.block_cache_clear()
     reset_engine_stats()
     yield
     path_cache_clear()
+    engine.block_cache_clear()
 
 
 @pytest.mark.parametrize("topo", FAMILY_TOPOS, ids=FAMILY_IDS)
@@ -313,3 +315,112 @@ class TestPipelineSingleEnumeration:
                 serial.upsim.path_sets[key].paths
                 == threaded.upsim.path_sets[key].paths
             )
+
+
+@pytest.mark.parametrize("topo", FAMILY_TOPOS, ids=FAMILY_IDS)
+class TestDeltaDiscovery:
+    """Block-spliced delta assembly returns exactly the monolithic-DFS
+    sequence on every family."""
+
+    def test_matches_reference_sequence(self, topo):
+        reference = discover_paths_reference(topo, "client", "server")
+        result = engine.discover_delta(topo, "client", "server", use_cache=False)
+        assert result.paths == reference.paths
+        assert not result.truncated
+
+    def test_cached_delta_matches(self, topo):
+        first = engine.discover_delta(topo, "client", "server")
+        second = engine.discover_delta(topo, "client", "server")
+        assert first.paths == second.paths
+
+    def test_delta_result_feeds_plain_discover(self, topo):
+        """A delta result lands in the shared path cache, so a later
+        full-depth discover() is a pure cache hit."""
+        engine.discover_delta(topo, "client", "server")
+        before = engine_stats()
+        result = engine.discover(topo, "client", "server")
+        after = engine_stats()
+        assert after["enumerations"] == before["enumerations"]
+        assert result.paths == discover_paths_reference(
+            topo, "client", "server"
+        ).paths
+
+
+class TestBlockCacheReuse:
+    @staticmethod
+    def _two_block_topology():
+        """client - [ring block] - bridge - [K4 block] - server."""
+        from repro.network.builder import TopologyBuilder
+        from repro.network.generators import generic_specs
+
+        builder = TopologyBuilder("two-blocks")
+        for spec in generic_specs():
+            builder.device_type(spec)
+        builder.add("client", "GenClient")
+        builder.add("server", "GenServer")
+        for name in ("r1a", "r1b", "r1c", "r1d", "k2a", "k2b", "k2c", "k2d"):
+            builder.add(name, "DistSwitch")
+        for a, b in [("r1a", "r1b"), ("r1b", "r1c"), ("r1c", "r1d"),
+                     ("r1d", "r1a")]:
+            builder.connect(a, b)
+        for a, b in [("k2a", "k2b"), ("k2a", "k2c"), ("k2a", "k2d"),
+                     ("k2b", "k2c"), ("k2b", "k2d"), ("k2c", "k2d")]:
+            builder.connect(a, b)
+        builder.connect("client", "r1a")
+        builder.connect("r1c", "k2a")  # the cut vertex chain
+        builder.connect("k2c", "server")
+        return builder.object_model
+
+    def test_untouched_blocks_reused_after_mutation(self):
+        model = self._two_block_topology()
+        topo = Topology(model)
+        engine.discover_delta(topo, "client", "server", use_cache=False)
+        enumerated_first = engine_stats()["block_enumerations"]
+        assert enumerated_first == 2  # the ring and the K4
+        # cut a link inside the K4; the ring keeps its digest, so only
+        # the touched block is re-enumerated (K4 minus an edge is still
+        # biconnected)
+        model.remove_link("k2b", "k2d")
+        engine.discover_delta(topo, "client", "server", use_cache=False)
+        assert engine_stats()["block_enumerations"] == enumerated_first + 1
+        reference = discover_paths_reference(topo, "client", "server")
+        spliced = engine.discover_delta(
+            topo, "client", "server", use_cache=False
+        )
+        assert spliced.paths == reference.paths
+
+    def test_block_cache_info_shape(self):
+        info = engine.block_cache_info()
+        assert {"hits", "misses", "currsize", "maxsize", "weight"} <= set(info)
+
+    def test_digest_is_id_independent(self):
+        """Two structurally identical models share block digests, so a
+        twin model's delta discovery is enumeration-free."""
+        topo_a = Topology(campus(dist_switches=2, edges_per_dist=2,
+                                 clients_per_edge=2).object_model)
+        topo_b = Topology(campus(dist_switches=2, edges_per_dist=2,
+                                 clients_per_edge=2).object_model)
+        engine.discover_delta(topo_a, "client", "server", use_cache=False)
+        before = engine_stats()["block_enumerations"]
+        engine.discover_delta(topo_b, "client", "server", use_cache=False)
+        assert engine_stats()["block_enumerations"] == before
+
+
+class TestDiscoverManyDelta:
+    PAIRS = [("client", "server"), ("client2", "server"), ("client", "server")]
+
+    def test_matches_reference(self):
+        topo = Topology(
+            campus(dist_switches=3, edges_per_dist=2, clients_per_edge=2,
+                   dual_homed=True).object_model
+        )
+        results = engine.discover_many_delta(topo, self.PAIRS)
+        assert set(results) == {("client", "server"), ("client2", "server")}
+        for (requester, provider), path_set in results.items():
+            reference = discover_paths_reference(topo, requester, provider)
+            assert path_set.paths == reference.paths
+
+    def test_unknown_pair_names_the_pair(self):
+        topo = Topology(ring(6).object_model)
+        with pytest.raises(PathDiscoveryError, match="ghost"):
+            engine.discover_many_delta(topo, [("client", "ghost")])

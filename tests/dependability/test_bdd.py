@@ -468,3 +468,116 @@ class TestDegenerateStructures:
             1.0 - expected, abs=1e-15
         )
         assert isinstance(kernel, AvailabilityKernel)
+
+
+# -- incremental recompilation -------------------------------------------------
+
+
+class TestIncrementalKernel:
+    """IncrementalAvailabilityKernel: a persistent manager that reuses
+    per-group BDD roots across churn epochs."""
+
+    def _manager(self):
+        from repro.dependability.bdd import IncrementalAvailabilityKernel
+
+        return IncrementalAvailabilityKernel()
+
+    @pytest.mark.parametrize(
+        ("paths", "table"), FAMILY_CASES, ids=FAMILY_IDS
+    )
+    def test_matches_batch_compiler(self, paths, table):
+        manager = self._manager()
+        batch = compile_structure([paths], use_cache=False)
+        incremental = manager.recompile([paths])
+        assert incremental.availability(table) == pytest.approx(
+            batch.availability(table), abs=1e-12
+        )
+
+    def test_unchanged_groups_reuse_roots(self, casestudy):
+        groups, table = casestudy
+        manager = self._manager()
+        first = manager.recompile(groups)
+        misses = manager.stats["group_misses"]
+        second = manager.recompile(groups)
+        assert manager.stats["group_hits"] == len(groups)
+        assert manager.stats["group_misses"] == misses  # nothing rebuilt
+        assert second.availability(table) == pytest.approx(
+            first.availability(table), abs=1e-12
+        )
+
+    def test_partial_overlap_rebuilds_only_changed(self, casestudy):
+        groups, table = casestudy
+        manager = self._manager()
+        manager.recompile(groups)
+        mutated = [list(groups[0]) + [fs({"extra-component"})]] + [
+            list(g) for g in groups[1:]
+        ]
+        before_hits = manager.stats["group_hits"]
+        kernel = manager.recompile(mutated)
+        assert manager.stats["group_hits"] == before_hits + len(groups) - 1
+        oracle = compile_structure(mutated, use_cache=False)
+        enriched = dict(table, **{"extra-component": 0.5})
+        assert kernel.availability(enriched) == pytest.approx(
+            oracle.availability(enriched), abs=1e-12
+        )
+
+    def test_variable_growth_keeps_old_roots_valid(self):
+        manager = self._manager()
+        small = [[fs("ab"), fs("ac")]]
+        grown = [[fs("ab"), fs("ac")], [fs("cd"), fs("ce")]]
+        table = {c: 0.9 for c in "abcde"}
+        manager.recompile(small)
+        kernel = manager.recompile(grown)
+        assert manager.stats["group_hits"] == 1  # the small group survived
+        oracle = compile_structure(grown, use_cache=False)
+        assert kernel.availability(table) == pytest.approx(
+            oracle.availability(table), abs=1e-12
+        )
+
+    def test_order_stays_stable_across_epochs(self):
+        manager = self._manager()
+        groups = [[fs("ab"), fs("ac")]]
+        first = manager.recompile(groups, order_hint=["c", "a", "b"])
+        second = manager.recompile(
+            groups, order_hint=["b", "c", "a"]  # ignored: order is pinned
+        )
+        assert first.variables == second.variables
+
+    def test_gc_triggers_rebuild(self):
+        manager = self._manager()
+        manager._GC_SLACK = 0  # make the dead-node bound immediate
+        manager._GC_FRACTION = 1.0
+        table = {f"c{i}": 0.9 for i in range(40)}
+        for round_ in range(6):
+            # disjoint structures each round: every prior root dies
+            groups = [
+                [fs({f"c{round_ * 6 + i}", f"c{round_ * 6 + i + 1}"})]
+                for i in range(4)
+            ]
+            kernel = manager.recompile(groups)
+            oracle = compile_structure(groups, use_cache=False)
+            assert kernel.availability(table) == pytest.approx(
+                oracle.availability(table), abs=1e-12
+            )
+        assert manager.stats["rebuilds"] > 0
+
+    def test_evaluate_vector_matches_availability(self, casestudy):
+        groups, table = casestudy
+        kernel = compile_structure(groups)
+        vector = np.array([table[v] for v in kernel.variables])
+        system, per_group = kernel.evaluate_vector(vector)
+        assert system == pytest.approx(kernel.availability(table), abs=1e-15)
+        assert len(per_group) == len(groups)
+
+    def test_evaluate_vector_rejects_bad_shape(self, casestudy):
+        groups, _ = casestudy
+        kernel = compile_structure(groups)
+        with pytest.raises(AnalysisError):
+            kernel.evaluate_vector(np.zeros(len(kernel.variables) + 1))
+
+    def test_grow_rejects_shrink(self):
+        from repro.dependability.bdd import BDD
+
+        bdd = BDD(3)
+        with pytest.raises(AnalysisError):
+            bdd.grow(2)

@@ -157,3 +157,57 @@ class TestQuery:
         assert main(
             ["query", "--models", models, "--pattern-file", str(pattern)]
         ) == 5  # ModelSpaceError exit code
+
+
+class TestChurn:
+    def test_text_report(self, capsys):
+        code = main(["churn", "--events", "30", "--seed", "5", "--pairs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        assert "epoch" in out
+        assert "availability" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        code = main(
+            ["churn", "--events", "20", "--seed", "3", "--pairs", "2", "--json"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["events"] == 20
+        assert data["final"]["stale"] is False
+        assert data["final"]["epoch"] >= 1
+
+    def test_full_recompile_mode_agrees(self, capsys):
+        import json
+
+        main(["churn", "--events", "15", "--seed", "8", "--json"])
+        delta = json.loads(capsys.readouterr().out)
+        main(["churn", "--events", "15", "--seed", "8", "--json", "--full"])
+        full = json.loads(capsys.readouterr().out)
+        assert delta["final"]["availability"] == pytest.approx(
+            full["final"]["availability"], abs=1e-12
+        )
+
+    def test_deadline_misses_reported(self, capsys):
+        import json
+
+        code = main(
+            [
+                "churn",
+                "--events", "40",
+                "--seed", "1",
+                "--deadline", "0.000001",  # 1ns in ms: unmeetable
+                "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        # catch-up after the stream drains leaves the final epoch fresh
+        assert data["final"]["stale"] is False
+
+    def test_too_many_pairs_rejected(self, capsys):
+        code = main(["churn", "--pairs", "500"])
+        assert code == 8  # TopologyError
