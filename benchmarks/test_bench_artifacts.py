@@ -1,0 +1,175 @@
+"""Benches for the content-addressed artifact store (experiment
+``artifacts``).
+
+A fresh process pointed at a populated ``REPRO_STORE`` must warm-start:
+compiled CSR topologies, path enumerations and BDD kernels are mapped
+back zero-copy instead of being recompiled.  Each measurement runs the
+campus all-pairs availability workload in a **subprocess** (discovery +
+kernel compilation + evaluation for every client→server pair), timing
+only the compute portion inside the child — interpreter and import cost
+cancel out of the reported speedup.  Floors:
+
+* smoke (CI): warm start ≥6× the cold recompile on the 27-pair
+  dual-homed campus, ≥90% store hit rate, zero enumerations and zero
+  kernel compilations in the warm child, bit-identical availabilities
+  (exact ``==`` on hex-encoded floats, not a tolerance);
+* full: ≥10× on the heavier 24-pair campus(3, 4, 2) workload — the
+  acceptance pin — same hit-rate/recompile/bit-identity bars.
+
+CI runs only the smoke; export ``REPRO_BENCH_FULL=1`` for the full
+floor.  Record a baseline with::
+
+    REPRO_BENCH_FULL=1 pytest benchmarks/test_bench_artifacts.py -q --benchmark-json=BENCH_artifacts.json
+
+and compare future runs with ``python benchmarks/compare.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+SMOKE_SPEEDUP_FLOOR = 6.0
+FULL_SPEEDUP_FLOOR = 10.0
+HIT_RATE_FLOOR = 0.9
+FULL = os.environ.get("REPRO_BENCH_FULL") == "1"
+needs_full = pytest.mark.skipif(
+    not FULL, reason="heavier campus sweep; export REPRO_BENCH_FULL=1"
+)
+
+#: the campus all-pairs workload, parameterized by topology shape; the
+#: child times compute only (imports and process start excluded) and
+#: reports engine/kernel/store counters plus hex-exact availabilities
+CHILD = """\
+import json, sys, time
+
+from repro import store
+from repro.analysis.transformations import (
+    component_availabilities,
+    pair_path_sets,
+)
+from repro.core import engine
+from repro.dependability import bdd
+from repro.network.generators import campus
+from repro.network.topology import Topology
+
+dist, edges, clients_per_edge = (int(a) for a in sys.argv[1:4])
+model = campus(
+    dist_switches=dist,
+    edges_per_dist=edges,
+    clients_per_edge=clients_per_edge,
+    dual_homed=True,
+).object_model
+topology = Topology(model)
+clients = sorted(
+    (inst.name for inst in model.instances if inst.name.startswith("client")),
+    key=lambda n: (len(n), n),
+)
+
+start = time.perf_counter()
+table = component_availabilities(topology)
+values = []
+for client in clients:
+    path_set = engine.discover(topology, client, "server")
+    group = pair_path_sets(path_set)
+    components = {c for path in group for c in path}
+    order = bdd.order_from_topology(topology, components)
+    kernel = bdd.compile_structure([group], order=order)
+    values.append(kernel.availability(table))
+seconds = time.perf_counter() - start
+
+active = store.active_store()
+print(json.dumps({
+    "seconds": seconds,
+    "pairs": len(clients),
+    "engine": engine.engine_stats(),
+    "kernel": bdd.kernel_stats(),
+    "store": active.stats() if active is not None else None,
+    "availability": [value.hex() for value in values],
+}))
+"""
+
+
+def _run_child(shape, store_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    if store_dir is None:
+        env.pop("REPRO_STORE", None)
+    else:
+        env["REPRO_STORE"] = store_dir
+    result = subprocess.run(
+        [sys.executable, "-c", CHILD, *(str(n) for n in shape)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return json.loads(result.stdout)
+
+
+def _assert_warm_start(cold, warm, *, speedup_floor):
+    """The shared acceptance bars for a fresh-process warm start."""
+    assert warm["engine"]["enumerations"] == 0
+    assert warm["engine"]["compilations"] == 0
+    assert warm["kernel"]["compilations"] == 0
+    stats = warm["store"]
+    lookups = stats["hits"] + stats["misses"]
+    hit_rate = stats["hits"] / lookups if lookups else 0.0
+    assert hit_rate >= HIT_RATE_FLOOR, f"store hit rate {hit_rate:.2%}"
+    assert stats["writes"] == 0  # nothing recompiled, nothing rewritten
+    # mmap-loaded kernels are bit-identical, not merely close
+    assert warm["availability"] == cold["availability"]
+    speedup = cold["seconds"] / warm["seconds"]
+    assert speedup >= speedup_floor, (
+        f"warm start only {speedup:.1f}x the cold recompile "
+        f"(floor {speedup_floor}x: cold {cold['seconds']:.3f}s, "
+        f"warm {warm['seconds']:.3f}s)"
+    )
+    return speedup, hit_rate
+
+
+def test_artifacts_smoke_fresh_process_warm_start(benchmark, tmp_path):
+    """27-pair campus: populate the store once, then a fresh process
+    re-runs the whole workload ≥6× faster with zero recompilations."""
+    shape = (3, 3, 3)
+    store_dir = str(tmp_path / "store")
+    _run_child(shape, store_dir)  # populating run (write-through)
+    cold = _run_child(shape, None)  # pure recompile, no store at all
+    warm = benchmark.pedantic(
+        lambda: _run_child(shape, store_dir), rounds=2, iterations=1
+    )
+    speedup, hit_rate = _assert_warm_start(
+        cold, warm, speedup_floor=SMOKE_SPEEDUP_FLOOR
+    )
+    benchmark.extra_info["speedup_vs_cold"] = speedup
+    benchmark.extra_info["hit_rate"] = hit_rate
+    benchmark.extra_info["cold_seconds"] = cold["seconds"]
+    benchmark.extra_info["warm_seconds"] = warm["seconds"]
+
+
+@needs_full
+def test_artifacts_full_campus_warm_start(benchmark, tmp_path):
+    """The acceptance floor: ≥10× fresh-process warm start on the
+    heavier campus(3, 4, 2) all-pairs workload."""
+    shape = (3, 4, 2)
+    store_dir = str(tmp_path / "store")
+    _run_child(shape, store_dir)
+    cold = _run_child(shape, None)
+    warm = benchmark.pedantic(
+        lambda: _run_child(shape, store_dir), rounds=1, iterations=1
+    )
+    speedup, hit_rate = _assert_warm_start(
+        cold, warm, speedup_floor=FULL_SPEEDUP_FLOOR
+    )
+    benchmark.extra_info["speedup_vs_cold"] = speedup
+    benchmark.extra_info["hit_rate"] = hit_rate
+    benchmark.extra_info["cold_seconds"] = cold["seconds"]
+    benchmark.extra_info["warm_seconds"] = warm["seconds"]

@@ -44,10 +44,19 @@ Subcommands::
         Pretty-print a trace file produced by ``--trace`` as an indented
         span tree.
 
+    upsim store {ls|verify|gc} --store DIR
+        Inspect the content-addressed artifact store (:mod:`repro.store`):
+        list stored objects, verify every digest, or garbage-collect down
+        to ``--max-bytes``.
+
 ``casestudy`` and ``campaign`` accept ``--trace FILE.json`` (record a
 hierarchical span trace of the whole run) and ``--metrics`` (print the
 collected counters/gauges/histograms as a table plus the Prometheus text
-exposition) — see :mod:`repro.obs`.
+exposition) — see :mod:`repro.obs`.  They also accept ``--store DIR``
+(equivalent to setting ``REPRO_STORE=DIR``): compiled topologies, path
+enumerations and availability kernels are persisted there and mapped
+back zero-copy on the next run, so a fresh process warm-starts instead
+of recompiling.
 
 Model files use the XML dialect of :mod:`repro.uml.xmi`; mapping files use
 the Figure 3 schema of :mod:`repro.core.mapping`.
@@ -75,6 +84,7 @@ code  failure
   11  :class:`PathDiscoveryError`
   12  :class:`AnalysisError`
   13  :class:`FaultPlanError`
+  14  :class:`StoreError`
 ====  ========================
 """
 
@@ -85,6 +95,7 @@ import sys
 from types import SimpleNamespace
 from typing import List, Optional
 
+from repro import store as _artifact_store
 from repro.analysis import analyze_upsim
 from repro.core.engine import discover_many
 from repro.core.mapping import ServiceMapping
@@ -101,6 +112,7 @@ from repro.errors import (
     ReproError,
     SerializationError,
     ServiceError,
+    StoreError,
     TopologyError,
     UnreachablePairError,
 )
@@ -132,6 +144,7 @@ EXIT_CODES = (
     (TopologyError, 8),
     (AnalysisError, 12),
     (FaultPlanError, 13),
+    (StoreError, 14),
     (ModelError, 3),
 )
 
@@ -156,6 +169,14 @@ def _add_observability_args(parser: argparse.ArgumentParser) -> None:
         "--metrics",
         action="store_true",
         help="print collected metrics (table + Prometheus text exposition)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="content-addressed artifact store directory: compiled "
+        "engines/kernels persist here and warm-start the next run "
+        "(equivalent to REPRO_STORE=DIR)",
     )
 
 
@@ -333,6 +354,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable report"
     )
     _add_observability_args(churn)
+
+    store_cmd = sub.add_parser(
+        "store", help="inspect the content-addressed artifact store"
+    )
+    store_cmd.add_argument(
+        "action",
+        choices=("ls", "verify", "gc"),
+        help="ls: list stored objects; verify: recheck every digest; "
+        "gc: evict least-recently-used objects down to --max-bytes",
+    )
+    store_cmd.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="store directory (default: $REPRO_STORE)",
+    )
+    store_cmd.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="gc target size in bytes (default: $REPRO_STORE_MAX_BYTES)",
+    )
 
     obs_cmd = sub.add_parser(
         "obs", help="pretty-print a trace file written by --trace"
@@ -710,6 +753,43 @@ def cmd_churn(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_store(args: argparse.Namespace) -> int:
+    import os as _os
+
+    root = args.store or _os.environ.get(_artifact_store.ENV_STORE)
+    if not root:
+        raise StoreError(
+            "no store directory: pass --store DIR or set "
+            f"{_artifact_store.ENV_STORE}"
+        )
+    store = _artifact_store._store_for(root)
+    if args.action == "ls":
+        rows = sorted(store.objects(), key=lambda o: o.mtime, reverse=True)
+        header = f"{'digest':<32} {'kind':<8} {'bytes':>10}  key"
+        print(header)
+        print("-" * len(header))
+        for obj in rows:
+            print(
+                f"{obj.digest:<32} {obj.kind:<8} {obj.nbytes:>10}  "
+                + "/".join(obj.key)
+            )
+        total = sum(obj.nbytes for obj in rows)
+        print(f"({len(rows)} object(s), {total} bytes)")
+        return 0
+    if args.action == "verify":
+        ok, corrupt = store.verify_all()
+        print(f"verified {len(ok) + len(corrupt)} object(s): {len(ok)} ok")
+        for obj in corrupt:
+            print(f"  corrupt: {obj.digest} ({obj.kind}) at {obj.path}")
+        return 1 if corrupt else 0
+    removed, reclaimed = store.gc(args.max_bytes)
+    print(
+        f"gc removed {removed} object(s), reclaimed {reclaimed} bytes "
+        f"({store.total_bytes()} bytes remain)"
+    )
+    return 0
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     try:
         data = _trace.load(args.tracefile)
@@ -906,6 +986,7 @@ _COMMANDS = {
     "population": cmd_population,
     "churn": cmd_churn,
     "obs": cmd_obs,
+    "store": cmd_store,
     "generate": cmd_generate,
     "paths": cmd_paths,
     "analyze": cmd_analyze,
@@ -923,13 +1004,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     trace_path: Optional[str] = getattr(args, "trace", None)
     show_metrics: bool = getattr(args, "metrics", False)
+    store_dir: Optional[str] = getattr(args, "store", None)
     tracer = _trace.Tracer() if trace_path else _trace.NOOP_TRACER
     try:
+        if store_dir and args.command != "store":
+            _artifact_store.configure(store_dir)
         with _trace.activate(tracer):
             code = _COMMANDS[args.command](args)
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         code = exit_code_for(exc)
+    finally:
+        if store_dir and args.command != "store":
+            _artifact_store.reset()
     if trace_path:
         assert isinstance(tracer, _trace.Tracer)
         tracer.save(trace_path)

@@ -55,7 +55,10 @@ from concurrent.futures import ThreadPoolExecutor
 from itertools import product
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import PathDiscoveryError
+import numpy as np
+
+from repro import store as _store
+from repro.errors import PathDiscoveryError, StoreError
 from repro.network.topology import Topology
 from repro.core.pathdiscovery import Path, PathSet, _check_endpoints
 from repro.obs import metrics as _metrics
@@ -149,6 +152,8 @@ class CompiledTopology:
         "_is_cut",
         "_comp",
         "_tree_adj",
+        "_np_indptr",
+        "_np_indices",
     )
 
     def __init__(
@@ -170,6 +175,8 @@ class CompiledTopology:
         self._is_cut: Optional[bytearray] = None
         self._comp: Optional[List[int]] = None
         self._tree_adj: Optional[List[List[int]]] = None
+        self._np_indptr: Optional[np.ndarray] = None
+        self._np_indices: Optional[np.ndarray] = None
 
     # -- construction -------------------------------------------------------
 
@@ -188,6 +195,43 @@ class CompiledTopology:
                 indices.append(index[neighbor])
             indptr.append(len(indices))
         return cls(fingerprint, names, indptr, indices)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        fingerprint: str,
+        names: Tuple[str, ...],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+    ) -> "CompiledTopology":
+        """Rehydrate a compiled topology from stored CSR arrays.
+
+        The hot DFS loops index ``indptr``/``indices`` element-wise, where
+        plain Python lists beat ndarray scalar indexing, so the arrays
+        are expanded once here; the original (typically mmap-backed,
+        read-only) views are kept for :meth:`csr_arrays`.
+        """
+        compiled = cls(fingerprint, names, indptr.tolist(), indices.tolist())
+        compiled._np_indptr = indptr
+        compiled._np_indices = indices
+        return compiled
+
+    def csr_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The CSR adjacency as read-only ``(indptr, indices)`` int64
+        views — the persistable shape of the compiled topology.  Store-
+        loaded topologies return the zero-copy mmap views; freshly
+        compiled ones materialize (and cache) frozen copies, so callers
+        can never corrupt the shared compiled structure in place."""
+        if self._np_indptr is None or self._np_indices is None:
+            with self._lock:
+                if self._np_indptr is None or self._np_indices is None:
+                    indptr = np.array(self.indptr, dtype=np.int64)
+                    indices = np.array(self.indices, dtype=np.int64)
+                    indptr.flags.writeable = False
+                    indices.flags.writeable = False
+                    self._np_indptr = indptr
+                    self._np_indices = indices
+        return self._np_indptr, self._np_indices
 
     def node_id(self, name: str) -> int:
         try:
@@ -1030,18 +1074,67 @@ def block_cache_clear() -> None:
     _BLOCK_PATHS.clear()
 
 
+#: artifact kinds the engine persists (see :mod:`repro.store`)
+_KIND_CSR = "csr"
+_KIND_PATHSET = "pathset"
+
+
+def _compiled_from_store(
+    store: "_store.ArtifactStore", fingerprint: str
+) -> Optional[CompiledTopology]:
+    """Second-tier lookup: rehydrate stored CSR tables, or ``None``."""
+    artifact = store.get(_KIND_CSR, (fingerprint,))
+    if artifact is None:
+        return None
+    try:
+        return CompiledTopology.from_arrays(
+            fingerprint,
+            tuple(artifact.meta["names"]),
+            artifact.arrays["indptr"],
+            artifact.arrays["indices"],
+        )
+    except (KeyError, TypeError):  # foreign/legacy payload: recompile
+        return None
+
+
+def _compiled_to_store(
+    store: "_store.ArtifactStore", compiled: CompiledTopology
+) -> None:
+    """Write-through after a fresh compile; store trouble (disk full,
+    permissions) never aborts the computation that succeeded."""
+    indptr, indices = compiled.csr_arrays()
+    try:
+        store.put(
+            _KIND_CSR,
+            (compiled.fingerprint,),
+            {"indptr": indptr, "indices": indices},
+            {"names": list(compiled.names)},
+        )
+    except StoreError:
+        pass
+
+
 def compile_topology(topology: Topology) -> CompiledTopology:
     """Compile (or reuse) the integer-ID view of *topology*.
 
     The fingerprint is recomputed on every call — O(V + E) hashing, far
     cheaper than any enumeration — so a mutated read-through model is
-    never served stale arrays.
+    never served stale arrays.  On an in-process cache miss the
+    configured artifact store (``REPRO_STORE``) is consulted before
+    compiling; a fresh compile writes through so other processes
+    warm-start from it.
     """
     fingerprint = topology.fingerprint()
     cached = getattr(topology, "_compiled", None)
     if cached is not None and cached.fingerprint == fingerprint:
         return cached
     compiled = _COMPILED.get(fingerprint)
+    if compiled is None:
+        store = _store.active_store()
+        if store is not None:
+            compiled = _compiled_from_store(store, fingerprint)
+            if compiled is not None:
+                _COMPILED.put(fingerprint, compiled)
     if compiled is None:
         with _trace.span("engine.compile", fingerprint=fingerprint) as span:
             compiled = CompiledTopology.from_topology(topology, fingerprint)
@@ -1050,6 +1143,8 @@ def compile_topology(topology: Topology) -> CompiledTopology:
             _STATS["compilations"] += 1
         _M_COMPILATIONS.inc()
         _COMPILED.put(fingerprint, compiled)
+        if store is not None:
+            _compiled_to_store(store, compiled)
     try:
         topology._compiled = compiled  # type: ignore[attr-defined]
     except AttributeError:  # exotic Topology subclasses with __slots__
@@ -1101,6 +1196,38 @@ def _enumerate(
     return result
 
 
+def _paths_from_store(
+    store: "_store.ArtifactStore", store_key: Tuple[str, ...]
+) -> Optional[Tuple[Tuple[Path, ...], bool]]:
+    """Second-tier PathSet lookup: unpack a stored enumeration."""
+    artifact = store.get(_KIND_PATHSET, store_key)
+    if artifact is None:
+        return None
+    try:
+        paths = tuple(
+            _store.decode_paths(artifact.arrays, artifact.meta["names"])
+        )
+        truncated = bool(artifact.meta["truncated"])
+    except (KeyError, TypeError, IndexError):  # foreign payload: re-enumerate
+        return None
+    return paths, truncated
+
+
+def _paths_to_store(
+    store: "_store.ArtifactStore", store_key: Tuple[str, ...], result: PathSet
+) -> None:
+    arrays, names = _store.encode_paths(result.paths)
+    try:
+        store.put(
+            _KIND_PATHSET,
+            store_key,
+            arrays,
+            {"names": names, "truncated": result.truncated},
+        )
+    except StoreError:
+        pass
+
+
 def discover(
     topology: Topology,
     requester: str,
@@ -1110,13 +1237,28 @@ def discover(
     max_paths: Optional[int] = None,
     use_cache: bool = True,
 ) -> PathSet:
-    """Memoized all-paths discovery on the compiled topology."""
+    """Memoized all-paths discovery on the compiled topology.
+
+    Two cache tiers back this: the in-process PathSet LRU and, when an
+    artifact store is active (``REPRO_STORE``/``--store``), the on-disk
+    enumeration keyed by the same (fingerprint, endpoints, bounds)
+    tuple — a fresh process re-running a known campaign performs zero
+    enumerations.
+    """
     with _trace.span(
         "engine.discover", requester=requester, provider=provider
     ) as span:
         _check_endpoints(topology, requester, provider)
         compiled = compile_topology(topology)
         key = (compiled.fingerprint, requester, provider, max_depth, max_paths)
+        store = _store.active_store() if use_cache else None
+        store_key = (
+            compiled.fingerprint,
+            requester,
+            provider,
+            repr(max_depth),
+            repr(max_paths),
+        )
         if use_cache:
             hit = _PATHS.get(key)
             if hit is not None:
@@ -1125,11 +1267,23 @@ def discover(
                 return PathSet(
                     requester, provider, list(paths), truncated=truncated
                 )
+            if store is not None:
+                stored = _paths_from_store(store, store_key)
+                if stored is not None:
+                    paths, truncated = stored
+                    weight = sum(map(len, paths)) + 1
+                    _PATHS.put(key, (paths, truncated), weight=weight)
+                    span.set(cached=True, paths=len(paths))
+                    return PathSet(
+                        requester, provider, list(paths), truncated=truncated
+                    )
         result = _enumerate(compiled, requester, provider, max_depth, max_paths)
         span.set(cached=False, paths=len(result.paths))
         if use_cache:
             weight = sum(map(len, result.paths)) + 1
             _PATHS.put(key, (tuple(result.paths), result.truncated), weight=weight)
+            if store is not None:
+                _paths_to_store(store, store_key, result)
         return result
 
 

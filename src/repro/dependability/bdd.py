@@ -56,9 +56,10 @@ from typing import (
 
 import numpy as np
 
+from repro import store as _store
 from repro.core.engine import _LRU, compile_topology
 from repro.dependability.cutsets import minimize_sets
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, StoreError
 from repro.network.topology import Topology
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
@@ -340,10 +341,82 @@ class AvailabilityKernel:
         self._np_var = np.array(self._var_ix, dtype=np.intp)
         self._np_low = np.array(self._low_pos, dtype=np.intp)
         self._np_high = np.array(self._high_pos, dtype=np.intp)
+        # frozen: these views are shared with shard workers, cached across
+        # callers, and (for store-loaded kernels) mmap-backed — a caller
+        # mutating them in place would silently corrupt every consumer
+        self._np_var.flags.writeable = False
+        self._np_low.flags.writeable = False
+        self._np_high.flags.writeable = False
         self._root_pos = position[self.root]
         self._group_pos = tuple(position[r] for r in self.group_roots)
         #: number of interior (decision) nodes reachable from the roots
         self.size = len(interior)
+
+    @classmethod
+    def from_flat(
+        cls,
+        var_ix: np.ndarray,
+        low_pos: np.ndarray,
+        high_pos: np.ndarray,
+        root_pos: int,
+        group_pos: Sequence[int],
+        variables: Sequence[str],
+        fingerprint: str = "",
+    ) -> "AvailabilityKernel":
+        """Rebuild a kernel from its linearized arrays — no BDD manager.
+
+        This is the warm-start constructor: :mod:`repro.store` persists
+        exactly the :meth:`flat_arrays` shape (plus the group positions
+        and variable names), and every evaluation/importance/set query
+        runs on the linearized DAG alone, so a loaded kernel is fully
+        equivalent to the freshly compiled one — bit-identical results,
+        zero compilation work.  ``root``/``group_roots`` (manager node
+        ids) are ``None`` on such kernels; all queries go through the
+        position-space fields.
+        """
+        self = object.__new__(cls)
+        self._bdd = None
+        self.root = None
+        self.group_roots = None
+        self.variables = tuple(variables)
+        self.index = {name: i for i, name in enumerate(self.variables)}
+        self.fingerprint = fingerprint
+        var = np.asarray(var_ix, dtype=np.intp)
+        low = np.asarray(low_pos, dtype=np.intp)
+        high = np.asarray(high_pos, dtype=np.intp)
+        n = len(var)
+        if len(low) != n or len(high) != n:
+            raise AnalysisError(
+                f"flat kernel arrays disagree on node count: "
+                f"{n}/{len(low)}/{len(high)}"
+            )
+        if n and (
+            int(var.min()) < 0
+            or int(var.max()) >= len(self.variables)
+            or int(low.min()) < 0
+            or int(high.min()) < 0
+            or int(low.max()) >= n + 2
+            or int(high.max()) >= n + 2
+        ):
+            raise AnalysisError("flat kernel arrays reference out-of-range ids")
+        for array in (var, low, high):
+            if array.flags.writeable:
+                array.flags.writeable = False
+        self._np_var = var
+        self._np_low = low
+        self._np_high = high
+        self._var_ix = var.tolist()
+        self._low_pos = low.tolist()
+        self._high_pos = high.tolist()
+        self._root_pos = int(root_pos)
+        self._group_pos = tuple(int(g) for g in group_pos)
+        for pos in (self._root_pos, *self._group_pos):
+            if not 0 <= pos < n + 2:
+                raise AnalysisError(
+                    f"flat kernel root/group position {pos} out of range"
+                )
+        self.size = n
+        return self
 
     # -- probability vectors --------------------------------------------------
 
@@ -428,13 +501,18 @@ class AvailabilityKernel:
     def evaluate_many(
         self,
         tables: Union[np.ndarray, Sequence[Mapping[str, float]]],
+        *,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """System availability for k probability vectors in one vectorized
         sweep — the campaign/what-if batch fast path.
 
         *tables* is either a (k, n_variables) float array in kernel
         variable order (see :meth:`probability_vector`) or a sequence of
-        component→availability mappings.
+        component→availability mappings.  *out* (when given) receives the
+        k results in place and is returned — no trailing allocation/copy,
+        matching :meth:`evaluate_perturbed`'s discipline; it must be a
+        float64 vector of length k.
         """
         if isinstance(tables, np.ndarray):
             matrix = np.asarray(tables, dtype=np.float64)
@@ -448,8 +526,17 @@ class AvailabilityKernel:
                 [self.probability_vector(table) for table in tables]
             ) if tables else np.empty((0, len(self.variables)))
         k = matrix.shape[0]
+        if out is not None:
+            if (
+                not isinstance(out, np.ndarray)
+                or out.shape != (k,)
+                or out.dtype != np.float64
+            ):
+                raise AnalysisError(
+                    f"out must be a float64 array of shape ({k},)"
+                )
         if k == 0:
-            return np.empty(0, dtype=np.float64)
+            return out if out is not None else np.empty(0, dtype=np.float64)
         _count_evaluation(k)
         values = np.empty((len(self._var_ix) + 2, k), dtype=np.float64)
         values[0] = 0.0
@@ -458,15 +545,20 @@ class AvailabilityKernel:
         for i in range(len(var_ix)):
             pv = matrix[:, var_ix[i]]
             values[i + 2] = pv * values[high[i]] + (1.0 - pv) * values[low[i]]
-        return values[self._root_pos].copy()
+        if out is None:
+            return values[self._root_pos].copy()
+        out[:] = values[self._root_pos]
+        return out
 
     def flat_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
         """The linearized DAG as ``(var, low, high, root_pos)`` numpy
-        arrays — the shape the shared-memory sharding plane flattens into
-        one segment (see :mod:`repro.workload.sharding`).  ``var`` indexes
-        :attr:`variables`; ``low``/``high`` are positions in the
-        evaluation array (0/1 are the FALSE/TRUE terminals, interior node
-        *i* lives at position ``i + 2``)."""
+        arrays — the shape the sharding plane ships to workers and the
+        artifact store persists (see :mod:`repro.workload.sharding` and
+        :mod:`repro.store`).  ``var`` indexes :attr:`variables`;
+        ``low``/``high`` are positions in the evaluation array (0/1 are
+        the FALSE/TRUE terminals, interior node *i* lives at position
+        ``i + 2``).  The views are **read-only** — they are shared by
+        every consumer of this kernel (and may be mmap-backed)."""
         return self._np_var, self._np_low, self._np_high, self._root_pos
 
     def evaluate_perturbed(
@@ -552,39 +644,45 @@ class AvailabilityKernel:
     # -- cut / path sets ------------------------------------------------------
 
     def _bottom_up_sets(
-        self, root: int, terminal_false, terminal_true, combine
+        self, root_pos: int, terminal_false, terminal_true, combine
     ) -> List[FrozenSet[str]]:
         """Shared memoized bottom-up recursion (iterative: component
-        counts can exceed the interpreter recursion limit)."""
-        bdd = self._bdd
+        counts can exceed the interpreter recursion limit).
+
+        Runs in linearized *position* space — positions 0/1 are the
+        terminals, interior node *k* lives at ``k + 2`` — so it works
+        identically on manager-backed and store-loaded kernels: the
+        reachable DAG is the same either way.
+        """
+        var_ix, low_pos, high_pos = self._var_ix, self._low_pos, self._high_pos
         memo: Dict[int, Tuple[FrozenSet[str], ...]] = {
             0: terminal_false,
             1: terminal_true,
         }
-        stack = [root]
+        stack = [root_pos]
         while stack:
-            node = stack[-1]
-            if node in memo:
+            pos = stack[-1]
+            if pos in memo:
                 stack.pop()
                 continue
-            low, high = bdd.low[node], bdd.high[node]
+            low, high = low_pos[pos - 2], high_pos[pos - 2]
             pending = [child for child in (low, high) if child not in memo]
             if pending:
                 stack.extend(pending)
                 continue
             stack.pop()
-            name = self.variables[bdd.var[node]]
-            memo[node] = tuple(
+            name = self.variables[var_ix[pos - 2]]
+            memo[pos] = tuple(
                 minimize_sets(combine(name, memo[low], memo[high]))
             )
-        return list(memo[root])
+        return list(memo[root_pos])
 
     def minimal_path_sets(
         self, group: Optional[int] = None
     ) -> List[FrozenSet[str]]:
         """Minimal path sets (minimal variable sets forcing the function
         true), from the DAG itself — independent of the input path lists."""
-        root = self.root if group is None else self.group_roots[group]
+        root = self._root_pos if group is None else self._group_pos[group]
         return self._bottom_up_sets(
             root,
             terminal_false=(),
@@ -598,7 +696,7 @@ class AvailabilityKernel:
     ) -> List[FrozenSet[str]]:
         """Minimal cut sets (minimal variable sets forcing the function
         false) by the dual bottom-up recursion over the same DAG."""
-        root = self.root if group is None else self.group_roots[group]
+        root = self._root_pos if group is None else self._group_pos[group]
         return self._bottom_up_sets(
             root,
             terminal_false=(frozenset(),),
@@ -759,6 +857,58 @@ def structure_fingerprint(
     return digest.hexdigest()
 
 
+#: artifact kind the kernel tier persists (see :mod:`repro.store`)
+_KIND_KERNEL = "kernel"
+
+
+def _kernel_from_store(
+    store: "_store.ArtifactStore", fingerprint: str
+) -> Optional[AvailabilityKernel]:
+    """Second-tier lookup: rebuild a stored kernel's linearized DAG as
+    zero-copy mmap views, or ``None`` on miss/corruption/foreign data."""
+    artifact = store.get(_KIND_KERNEL, (fingerprint,))
+    if artifact is None:
+        return None
+    try:
+        return AvailabilityKernel.from_flat(
+            artifact.arrays["var"],
+            artifact.arrays["low"],
+            artifact.arrays["high"],
+            int(artifact.meta["root_pos"]),
+            artifact.arrays["group_pos"],
+            artifact.meta["variables"],
+            fingerprint,
+        )
+    except (KeyError, TypeError, ValueError, AnalysisError):
+        return None
+
+
+def _kernel_to_store(
+    store: "_store.ArtifactStore", kernel: AvailabilityKernel
+) -> None:
+    """Write a kernel's flat arrays through (works for plain and
+    incremental-snapshot kernels alike); store trouble never aborts the
+    compilation that produced the kernel."""
+    var, low, high, root_pos = kernel.flat_arrays()
+    try:
+        store.put(
+            _KIND_KERNEL,
+            (kernel.fingerprint,),
+            {
+                "var": np.asarray(var, dtype=np.int64),
+                "low": np.asarray(low, dtype=np.int64),
+                "high": np.asarray(high, dtype=np.int64),
+                "group_pos": np.asarray(kernel._group_pos, dtype=np.int64),
+            },
+            {
+                "root_pos": int(root_pos),
+                "variables": list(kernel.variables),
+            },
+        )
+    except StoreError:
+        pass
+
+
 def compile_structure(
     path_set_groups: Sequence[Sequence[FrozenSet[str]]],
     *,
@@ -772,6 +922,11 @@ def compile_structure(
     All groups compile into one shared manager: the system root is the
     conjunction of the group roots, and any component shared across pairs
     is a single decision level reused by every function that tests it.
+
+    With an artifact store active (``REPRO_STORE``/``--store``) an LRU
+    miss first tries the on-disk linearized arrays — a fresh process
+    evaluating known structures performs zero BDD construction — and a
+    fresh compile writes through for the next process.
     """
     groups = [list(group) for group in path_set_groups]
     if not groups:
@@ -792,10 +947,16 @@ def compile_structure(
                 f"variable order does not cover components {sorted(missing)}"
             )
     fingerprint = structure_fingerprint(groups, ordered)
+    store = _store.active_store() if use_cache else None
     if use_cache:
         cached = _KERNELS.get(fingerprint)
         if cached is not None:
             return cached
+        if store is not None:
+            loaded = _kernel_from_store(store, fingerprint)
+            if loaded is not None:
+                _KERNELS.put(fingerprint, loaded, weight=loaded.size + 2)
+                return loaded
 
     with _trace.span(
         "bdd.compile",
@@ -825,6 +986,8 @@ def compile_structure(
     _M_ITE_CACHE_HITS.inc(bdd.cache_hits)
     if use_cache:
         _KERNELS.put(fingerprint, kernel, weight=len(bdd))
+        if store is not None:
+            _kernel_to_store(store, kernel)
     return kernel
 
 

@@ -19,7 +19,8 @@ still being able to distinguish the subsystem that failed::
     │   ├── PathDiscoveryTimeout      a per-pair discovery deadline expired
     │   └── UnreachablePairError      a (requester, provider) pair has no path
     ├── AnalysisError                 dependability analysis failures
-    └── FaultPlanError                invalid fault-injection plan
+    ├── FaultPlanError                invalid fault-injection plan
+    └── StoreError                    artifact-store failures
 
 The three leaf classes under :class:`PathDiscoveryError` and
 :class:`FaultPlanError` belong to the resilience subsystem
@@ -134,3 +135,14 @@ class AnalysisError(ReproError):
 
 class FaultPlanError(ReproError):
     """Invalid fault-injection plan (unknown kind, bad spec, missing target...)."""
+
+
+class StoreError(ReproError):
+    """Content-addressed artifact store failure (bad container, unusable
+    store directory...).
+
+    Read-path integrity problems — a truncated or corrupted artifact —
+    are raised by the low-level container reader but are **absorbed** by
+    :meth:`repro.store.ArtifactStore.get`, which treats them as a cache
+    miss (delete + recompile), so they never abort an evaluation.
+    """

@@ -353,10 +353,14 @@ def evaluate_population(
         if use_shards:
             from repro.workload.sharding import (
                 evaluate_sharded,
+                sharding_mmap_supported,
                 sharding_supported,
             )
 
-            if not sharding_supported():
+            # fork is the fast path; the mmap artifact fan-out covers
+            # spawn-only platforms, so only bail to single-process when
+            # neither transport exists
+            if not (sharding_supported() or sharding_mmap_supported()):
                 use_shards = False
         if use_shards:
             assert shards is not None
@@ -370,6 +374,7 @@ def evaluate_population(
                     ],
                     shards=shards,
                     batch_rows=batch_rows,
+                    method="auto",
                 )
             report.shards = shards
             report.shard_seconds = shard_seconds

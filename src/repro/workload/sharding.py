@@ -22,9 +22,18 @@ the parent before forking are inherited (the shared mapping stays valid
 in the child), so the child never attaches to the segment by name and
 never registers with the resource tracker — the parent alone owns the
 segment and unlinks it in a ``finally``, so ``/dev/shm`` is clean even
-when a worker dies.  Platforms without fork (Windows, some macOS
-configurations) report ``sharding_supported() == False`` and the plane
-falls back to single-process batching.
+when a worker dies.
+
+Platforms without fork (Windows, some macOS configurations) use the
+**mmap** method instead: each task's kernel arrays and annotations are
+written once as :mod:`repro.store` artifact files in a scratch
+directory, and spawn-started workers map them read-only (zero copy, no
+pickling of kernels, no fork-inherited state).  ``method="auto"`` (the
+default, and what the evaluation plane passes) picks fork when
+available and mmap otherwise, so sharding now works on every start
+method; ``method="mmap"`` forces the artifact path — also useful to
+keep worker memory at exactly the mapped pages instead of a full COW
+heap.
 
 Work distribution is greedy cost balancing: tasks sorted by estimated
 cost (BDD nodes × annotation rows) are assigned to the least-loaded
@@ -33,16 +42,23 @@ shard, so one giant attachment group cannot serialize the fan-out.
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import store as _store
 from repro.dependability.bdd import AvailabilityKernel, evaluate_perturbed_arrays
 from repro.errors import AnalysisError
 from repro.obs import trace as _trace
 
-__all__ = ["sharding_supported", "evaluate_sharded"]
+__all__ = [
+    "sharding_supported",
+    "sharding_mmap_supported",
+    "evaluate_sharded",
+]
 
 #: one sharded task: (kernel, base vector, perturbed variable, row values)
 Task = Tuple[AvailabilityKernel, np.ndarray, int, np.ndarray]
@@ -64,6 +80,17 @@ def sharding_supported() -> bool:
     except (ImportError, ValueError, AttributeError):
         return False
     return True
+
+
+def sharding_mmap_supported() -> bool:
+    """Whether the artifact-file (mmap attach) fan-out can run — any
+    multiprocessing start method will do, fork included."""
+    try:
+        import multiprocessing
+
+        return bool(multiprocessing.get_all_start_methods())
+    except ImportError:
+        return False
 
 
 def _balance(costs: Sequence[int], shards: int) -> List[List[int]]:
@@ -162,29 +189,194 @@ def _worker(
     timings[shard_id] = time.perf_counter() - started
 
 
+def _join_workers(workers, timeout: float) -> None:
+    """Join every worker; terminate stragglers and raise one error that
+    names each failed shard (shared by the fork and mmap paths)."""
+    failed: List[str] = []
+    for shard_id, worker in enumerate(workers):
+        worker.join(timeout)
+        if worker.is_alive():
+            worker.terminate()
+            worker.join()
+            failed.append(f"shard {shard_id}: timed out after {timeout}s")
+        elif worker.exitcode != 0:
+            failed.append(f"shard {shard_id}: exit code {worker.exitcode}")
+    if failed:
+        raise AnalysisError(
+            "shared-memory shard worker(s) failed: " + "; ".join(failed)
+        )
+
+
+def _mmap_worker(
+    shard_id: int,
+    task_paths: List[str],
+    assignment: List[int],
+    out_dir: str,
+    batch_rows: int,
+) -> None:
+    """Evaluate this shard's tasks from mapped artifact files.
+
+    Module-level and picklable-argument-only, so it runs under **any**
+    start method (spawn re-imports this module in the child).  Each task
+    artifact is mapped read-only — the kernel arrays are never copied or
+    pickled — and results/timing land as plain ``.npy`` files the parent
+    gathers.  The arithmetic is the same
+    :func:`repro.dependability.bdd.evaluate_perturbed_arrays` as every
+    other path, so results agree bit for bit.
+    """
+    started = time.perf_counter()
+    for task_ix in assignment:
+        artifact = _store.open_artifact(task_paths[task_ix])
+        values = artifact.arrays["values"]
+        out = np.empty(len(values), dtype=np.float64)
+        evaluate_perturbed_arrays(
+            artifact.arrays["var"],
+            artifact.arrays["low"],
+            artifact.arrays["high"],
+            int(artifact.meta["root_pos"]),
+            artifact.arrays["base"],
+            int(artifact.meta["var"]),
+            values,
+            batch_rows=batch_rows,
+            out=out,
+        )
+        np.save(os.path.join(out_dir, f"out-{task_ix}.npy"), out)
+    np.save(
+        os.path.join(out_dir, f"time-{shard_id}.npy"),
+        np.array([time.perf_counter() - started]),
+    )
+
+
+def _evaluate_sharded_mmap(
+    tasks: Sequence[Task],
+    *,
+    shards: int,
+    batch_rows: int,
+    timeout: float,
+    start_method: Optional[str],
+) -> Tuple[List[np.ndarray], List[float]]:
+    """The artifact-file fan-out behind ``method="mmap"``."""
+    import multiprocessing
+
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "spawn" if "spawn" in methods else methods[0]
+    ctx = multiprocessing.get_context(start_method)
+    shards = min(shards, len(tasks))
+    with tempfile.TemporaryDirectory(prefix="repro-shard-") as scratch:
+        task_paths: List[str] = []
+        costs: List[int] = []
+        for i, (kernel, base, var, values) in enumerate(tasks):
+            var_ix, low, high, root_pos = kernel.flat_arrays()
+            path = os.path.join(scratch, f"task-{i}")
+            _store.write_artifact_file(
+                path,
+                "shard-task",
+                (str(i),),
+                {
+                    "var": np.asarray(var_ix, dtype=np.int64),
+                    "low": np.asarray(low, dtype=np.int64),
+                    "high": np.asarray(high, dtype=np.int64),
+                    "base": np.asarray(base, dtype=np.float64),
+                    "values": np.asarray(values, dtype=np.float64),
+                },
+                {"root_pos": int(root_pos), "var": int(var)},
+            )
+            task_paths.append(path)
+            costs.append((len(var_ix) + 1) * max(len(values), 1))
+        assignments = _balance(costs, shards)
+        with _trace.span(
+            "workload.shards", shards=shards, method=start_method
+        ):
+            workers = [
+                ctx.Process(
+                    target=_mmap_worker,
+                    args=(
+                        shard_id,
+                        task_paths,
+                        assignments[shard_id],
+                        scratch,
+                        batch_rows,
+                    ),
+                )
+                for shard_id in range(shards)
+            ]
+            for worker in workers:
+                worker.start()
+            _join_workers(workers, timeout)
+        try:
+            results = [
+                np.load(os.path.join(scratch, f"out-{i}.npy"))
+                for i in range(len(tasks))
+            ]
+            shard_seconds = [
+                float(
+                    np.load(os.path.join(scratch, f"time-{shard_id}.npy"))[0]
+                )
+                for shard_id in range(shards)
+            ]
+        except OSError as exc:  # pragma: no cover - worker wrote nothing
+            raise AnalysisError(
+                f"shard worker produced no result file: {exc}"
+            ) from exc
+        return results, shard_seconds
+
+
 def evaluate_sharded(
     tasks: Sequence[Task],
     *,
     shards: int,
     batch_rows: int = 65536,
     timeout: float = 600.0,
+    method: str = "auto",
+    start_method: Optional[str] = None,
 ) -> Tuple[List[np.ndarray], List[float]]:
-    """Evaluate population key batches across forked shard workers.
+    """Evaluate population key batches across shard worker processes.
+
+    ``method`` picks the fan-out transport: ``"fork"`` is the shared-
+    memory segment path (needs the fork start method), ``"mmap"`` writes
+    per-task artifact files and lets workers map them — it runs under
+    any start method (``start_method`` overrides the spawn-first
+    default) and therefore unlocks spawn-only platforms.  ``"auto"``
+    prefers fork and falls back to mmap.
 
     Returns ``(per-task result arrays in input order, per-shard wall
     seconds)``.  Raises :class:`AnalysisError` when the platform cannot
-    shard or any worker fails; the shared segment is released in every
-    case.
+    shard or any worker fails; scratch state (the shared segment or the
+    artifact directory) is released in every case.
     """
     if shards < 2:
         raise AnalysisError(f"sharding needs shards >= 2, got {shards}")
-    if not sharding_supported():
+    if method not in ("auto", "fork", "mmap"):
+        raise AnalysisError(
+            f"unknown sharding method {method!r} "
+            f"(expected auto, fork or mmap)"
+        )
+    if method == "auto":
+        if sharding_supported():
+            method = "fork"
+        elif sharding_mmap_supported():
+            method = "mmap"
+    if method == "auto" or (method == "fork" and not sharding_supported()):
         raise AnalysisError(
             "shared-memory sharding is not supported on this platform "
             "(no fork start method); use the single-process batched path"
         )
+    if method == "mmap" and not sharding_mmap_supported():
+        raise AnalysisError(
+            "mmap sharding is not supported on this platform "
+            "(multiprocessing unavailable)"
+        )
     if not tasks:
         return [], []
+    if method == "mmap":
+        return _evaluate_sharded_mmap(
+            tasks,
+            shards=shards,
+            batch_rows=batch_rows,
+            timeout=timeout,
+            start_method=start_method,
+        )
 
     import multiprocessing
     from multiprocessing import shared_memory
@@ -232,21 +424,7 @@ def evaluate_sharded(
             ]
             for worker in workers:
                 worker.start()
-            failed: List[str] = []
-            for shard_id, worker in enumerate(workers):
-                worker.join(timeout)
-                if worker.is_alive():
-                    worker.terminate()
-                    worker.join()
-                    failed.append(f"shard {shard_id}: timed out after {timeout}s")
-                elif worker.exitcode != 0:
-                    failed.append(
-                        f"shard {shard_id}: exit code {worker.exitcode}"
-                    )
-            if failed:
-                raise AnalysisError(
-                    "shared-memory shard worker(s) failed: " + "; ".join(failed)
-                )
+            _join_workers(workers, timeout)
 
         results = [np.array(out_v, dtype=np.float64) for out_v in out_slices]
         shard_seconds = [float(s) for s in timings]

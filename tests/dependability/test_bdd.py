@@ -271,6 +271,45 @@ class TestEvaluateMany:
         with pytest.raises(AnalysisError):
             kernel.evaluate_many([short])
 
+    def test_out_buffer_reused_bit_identical(self, casestudy):
+        """``out=`` writes results into a caller-owned buffer — no
+        trailing copy — and matches the allocating path exactly."""
+        groups, table = casestudy
+        kernel = compile_structure(groups)
+        base = kernel.probability_vector(table)
+        matrix = np.repeat(base[np.newaxis, :], 5, axis=0)
+        matrix[2] *= 0.95
+        expected = kernel.evaluate_many(matrix)
+        out = np.full(5, -1.0)
+        returned = kernel.evaluate_many(matrix, out=out)
+        assert returned is out  # the same buffer, not a copy
+        assert np.array_equal(out, expected)
+        # empty batches honor the buffer contract too
+        empty = np.empty(0)
+        assert kernel.evaluate_many([], out=empty) is empty
+
+    def test_out_buffer_shape_validated(self, casestudy):
+        groups, table = casestudy
+        kernel = compile_structure(groups)
+        base = kernel.probability_vector(table)
+        matrix = np.repeat(base[np.newaxis, :], 3, axis=0)
+        with pytest.raises(AnalysisError, match="out"):
+            kernel.evaluate_many(matrix, out=np.empty(2))
+        with pytest.raises(AnalysisError, match="out"):
+            kernel.evaluate_many(matrix, out=np.empty(3, dtype=np.float32))
+
+    def test_flat_arrays_read_only(self, casestudy):
+        """The linearized node tables are shared (LRU, shard workers,
+        artifact store) — callers must not be able to mutate them."""
+        groups, _ = casestudy
+        kernel = compile_structure(groups)
+        var_ix, low, high, root_pos = kernel.flat_arrays()
+        for array in (var_ix, low, high):
+            assert not array.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                array[0] = 0
+        assert 0 <= root_pos < kernel.size + 2
+
 
 class TestEvaluatePerturbed:
     """The population plane's one-variable sweep against evaluate_many."""

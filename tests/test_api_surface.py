@@ -47,6 +47,7 @@ class TestExports:
             "repro.casestudy",
             "repro.viz",
             "repro.workload",
+            "repro.store",
         ],
     )
     def test_all_names_resolve(self, module_name):

@@ -211,3 +211,110 @@ class TestChurn:
     def test_too_many_pairs_rejected(self, capsys):
         code = main(["churn", "--pairs", "500"])
         assert code == 8  # TopologyError
+
+
+class TestStoreCommand:
+    @pytest.fixture(autouse=True)
+    def _clean_store_config(self, monkeypatch):
+        from repro import store as store_mod
+
+        monkeypatch.delenv(store_mod.ENV_STORE, raising=False)
+        store_mod.reset()
+        # earlier tests leave the in-process LRUs warm; drop them so the
+        # runs below actually exercise the store tier (a warm LRU hit
+        # never needs the store, exactly like a long-lived service)
+        self._fresh_caches()
+        yield
+        store_mod.reset()
+
+    @staticmethod
+    def _fresh_caches():
+        from repro.core import engine
+        from repro.dependability import bdd
+
+        engine._COMPILED.clear()
+        engine.path_cache_clear()
+        engine.block_cache_clear()
+        engine.reset_engine_stats()
+        bdd.kernel_cache_clear()
+        bdd.reset_kernel_stats()
+
+    def test_run_with_store_then_ls_verify_gc(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "artifacts")
+        # a traced run with --store persists every compiled structure
+        code = main(["casestudy", "--store", store_dir])
+        assert code == 0
+        capsys.readouterr()
+
+        code = main(["store", "ls", "--store", store_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kernel" in out and "csr" in out and "pathset" in out
+
+        code = main(["store", "verify", "--store", store_dir])
+        assert code == 0
+        assert "0 ok" not in capsys.readouterr().out
+
+        code = main(["store", "gc", "--store", store_dir, "--max-bytes", "0"])
+        assert code == 0
+        assert "reclaimed" in capsys.readouterr().out
+
+        code = main(["store", "ls", "--store", store_dir])
+        assert code == 0
+        assert "(0 object(s), 0 bytes)" in capsys.readouterr().out
+
+    def test_verify_flags_corruption_with_exit_1(self, tmp_path, capsys):
+        from repro.store import ArtifactStore
+        import numpy as np
+
+        store_dir = tmp_path / "artifacts"
+        store = ArtifactStore(store_dir)
+        digest = store.put("csr", ("fp",), {"x": np.arange(4)})
+        path = store.object_path(digest)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        code = main(["store", "verify", "--store", str(store_dir)])
+        assert code == 1
+        assert "corrupt" in capsys.readouterr().out
+
+    def test_store_without_directory_maps_to_exit_14(self, capsys):
+        code = main(["store", "ls"])
+        assert code == 14  # StoreError
+        assert "no store directory" in capsys.readouterr().err
+
+    def test_env_variable_names_the_store(self, tmp_path, capsys, monkeypatch):
+        from repro import store as store_mod
+        from repro.store import ArtifactStore
+        import numpy as np
+
+        store_dir = tmp_path / "from-env"
+        ArtifactStore(store_dir).put("kernel", ("fp",), {"x": np.arange(3)})
+        monkeypatch.setenv(store_mod.ENV_STORE, str(store_dir))
+        code = main(["store", "ls"])
+        assert code == 0
+        assert "kernel" in capsys.readouterr().out
+
+    def test_gc_without_bound_errors(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "artifacts")
+        main(["casestudy", "--store", store_dir])
+        capsys.readouterr()
+        code = main(["store", "gc", "--store", store_dir])
+        assert code == 14
+        assert "size bound" in capsys.readouterr().err
+
+    def test_second_run_hits_the_store(self, tmp_path, capsys):
+        """--store on back-to-back runs: the repeat run performs zero
+        path enumerations (all three tiers served from disk)."""
+        from repro.core import engine
+        from repro.dependability import bdd
+
+        store_dir = str(tmp_path / "artifacts")
+        assert main(["casestudy", "--store", store_dir]) == 0
+        capsys.readouterr()
+        # forget everything the first run cached in this process
+        self._fresh_caches()
+        assert main(["casestudy", "--store", store_dir]) == 0
+        capsys.readouterr()
+        assert engine.engine_stats()["enumerations"] == 0
+        assert bdd.kernel_stats()["compilations"] == 0

@@ -14,11 +14,16 @@ from repro.workload import sharding
 from repro.workload.sharding import (
     _balance,
     evaluate_sharded,
+    sharding_mmap_supported,
     sharding_supported,
 )
 
 needs_fork = pytest.mark.skipif(
     not sharding_supported(), reason="no fork start method on this platform"
+)
+
+needs_mp = pytest.mark.skipif(
+    not sharding_mmap_supported(), reason="multiprocessing unavailable"
 )
 
 CLASSES = (
@@ -135,6 +140,7 @@ class TestFallbacks:
         self, usi_topo, printing, monkeypatch
     ):
         monkeypatch.setattr(sharding, "sharding_supported", lambda: False)
+        monkeypatch.setattr(sharding, "sharding_mmap_supported", lambda: False)
         population = Population.generate(500, CLASSES, CLIENTS, seed=1)
         report = evaluate_population(
             usi_topo, printing, usi_mapping, population, shards=4
@@ -144,3 +150,123 @@ class TestFallbacks:
             usi_topo, printing, usi_mapping, population
         )
         assert np.array_equal(report.availability, naive_free.availability)
+
+
+class TestMmapMethod:
+    """The artifact-file fan-out (spawn-safe sharding, PR 8)."""
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(AnalysisError, match="unknown sharding method"):
+            evaluate_sharded([], shards=2, method="threads")
+
+    @needs_mp
+    def test_empty_tasks(self):
+        assert evaluate_sharded([], shards=2, method="mmap") == ([], [])
+
+    @needs_mp
+    def test_matches_single_process(self, usi_topo, printing):
+        """mmap workers map read-only kernel artifacts and agree bit for
+        bit with the in-process path (fork start keeps the test fast;
+        spawn is exercised separately)."""
+        population = Population.generate(2000, CLASSES, CLIENTS, seed=9)
+        serial = evaluate_population(
+            usi_topo, printing, usi_mapping, population
+        )
+        tasks, rows = _collect_tasks(usi_topo, printing, population)
+        results, shard_seconds = evaluate_sharded(
+            tasks, shards=2, method="mmap", start_method="fork"
+        )
+        assert len(shard_seconds) == 2
+        assert all(s >= 0.0 for s in shard_seconds)
+        availability = np.empty(population.n_users, dtype=np.float64)
+        for (_, _, _, _, user_rows, inverse), row_avail in zip(rows, results):
+            availability[user_rows] = row_avail[inverse]
+        assert np.array_equal(serial.availability, availability)
+
+    @needs_mp
+    @pytest.mark.skipif(
+        "spawn" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="no spawn start method",
+    )
+    def test_spawn_start_method(self, usi_topo, printing):
+        """The mmap path must survive spawn: workers re-import the module
+        and rebuild everything from the artifact files alone."""
+        population = Population.generate(400, CLASSES, CLIENTS, seed=3)
+        serial = evaluate_population(
+            usi_topo, printing, usi_mapping, population
+        )
+        tasks, rows = _collect_tasks(usi_topo, printing, population)
+        results, _ = evaluate_sharded(
+            tasks, shards=2, method="mmap", start_method="spawn"
+        )
+        availability = np.empty(population.n_users, dtype=np.float64)
+        for (_, _, _, _, user_rows, inverse), row_avail in zip(rows, results):
+            availability[user_rows] = row_avail[inverse]
+        assert np.array_equal(serial.availability, availability)
+
+    @needs_mp
+    def test_auto_falls_back_to_mmap(self, usi_topo, printing, monkeypatch):
+        """With fork unavailable, shards must still fan out via mmap."""
+        monkeypatch.setattr(sharding, "sharding_supported", lambda: False)
+        population = Population.generate(500, CLASSES, CLIENTS, seed=1)
+        report = evaluate_population(
+            usi_topo, printing, usi_mapping, population, shards=2
+        )
+        assert report.shards == 2
+        serial = evaluate_population(
+            usi_topo, printing, usi_mapping, population
+        )
+        assert np.array_equal(report.availability, serial.availability)
+
+    @needs_mp
+    def test_worker_failure_raises(self, usi_topo, printing, monkeypatch):
+        def crash(*args, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(sharding, "_mmap_worker", crash)
+        population = Population.generate(400, CLASSES, CLIENTS, seed=2)
+        tasks, _ = _collect_tasks(usi_topo, printing, population)
+        with pytest.raises(AnalysisError, match="shard worker"):
+            # fork start inherits the monkeypatched worker body
+            evaluate_sharded(
+                tasks, shards=2, method="mmap", start_method="fork"
+            )
+
+
+def _collect_tasks(usi_topo, printing, population):
+    """Build the same per-key tasks the evaluation plane would fan out."""
+    from repro.analysis.transformations import component_availabilities
+    from repro.workload.plane import _kernels_for_attachments
+
+    table = component_availabilities(usi_topo)
+    device_avail = population.device_availability(table)
+    present = np.unique(population.attachment_index)
+    attachments = [population.attachments[i] for i in present]
+    kernels = _kernels_for_attachments(
+        usi_topo,
+        printing,
+        usi_mapping,
+        attachments,
+        include_links=True,
+        jobs=None,
+    )
+    tasks = []
+    rows = []
+    for attachment_ix, attachment in zip(present, attachments):
+        kernel = kernels[attachment]
+        user_rows = np.flatnonzero(
+            population.attachment_index == attachment_ix
+        )
+        base = kernel.probability_vector(table)
+        var = kernel.index.get(attachment)
+        if var is None:
+            var = 0
+            unique_values = base[:1].copy()
+            inverse = np.zeros(len(user_rows), dtype=np.intp)
+        else:
+            unique_values, inverse = np.unique(
+                device_avail[user_rows], return_inverse=True
+            )
+        tasks.append((kernel, base, var, unique_values))
+        rows.append((kernel, base, var, unique_values, user_rows, inverse))
+    return tasks, rows
