@@ -6,6 +6,7 @@ inclusion–exclusion, state enumeration), and renders per-pair reports.
 """
 
 from repro.analysis.exact import (
+    DEFAULT_KERNEL,
     KERNELS,
     MAX_COMPONENTS,
     pair_availability,
@@ -50,6 +51,7 @@ __all__ = [
     "pair_availability_reference",
     "system_path_sets",
     "KERNELS",
+    "DEFAULT_KERNEL",
     "MAX_COMPONENTS",
     "component_availabilities",
     "service_availability_kernel",

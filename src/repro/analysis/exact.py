@@ -40,11 +40,21 @@ __all__ = [
     "system_path_sets",
     "MAX_COMPONENTS",
     "KERNELS",
+    "DEFAULT_KERNEL",
 ]
 
 #: Recognized evaluation kernels: compiled BDD, inclusion–exclusion over
 #: system path sets, and the seed's state enumeration.
 KERNELS = ("bdd", "ie", "enum")
+
+#: The default evaluation kernel **everywhere** — ``system_availability``,
+#: ``analyze_upsim``, what-if impact, campaigns, the pipeline.  The
+#: compiled BDD is exact, has no component bound, and memoizes by
+#: structure; the enumeration stays available as the explicit
+#: ``kernel="enum"`` oracle.  (Historically ``exact.py`` defaulted to
+#: enum while the analysis layer defaulted to bdd; a single constant
+#: keeps every entry point agreeing.)
+DEFAULT_KERNEL = "bdd"
 
 #: Exact enumeration bound (2^22 states ≈ 34 MB of probabilities).
 MAX_COMPONENTS = 22
@@ -75,7 +85,7 @@ def system_availability(
     path_set_groups: Sequence[Sequence[FrozenSet[str]]],
     availabilities: Dict[str, float],
     *,
-    kernel: str = "enum",
+    kernel: str = DEFAULT_KERNEL,
 ) -> float:
     """Exact P(every group has at least one fully-available path set).
 
@@ -84,7 +94,8 @@ def system_availability(
     each physical component is one random variable, regardless of how many
     paths and pairs it appears in.
 
-    *kernel* selects the evaluation route: ``"enum"`` (default) is the
+    *kernel* selects the evaluation route (default
+    :data:`DEFAULT_KERNEL`): ``"enum"`` is the
     seed's vectorized state enumeration, bounded by :data:`MAX_COMPONENTS`;
     ``"bdd"`` compiles the structure into a memoized
     :class:`repro.dependability.bdd.AvailabilityKernel` (no component
@@ -201,7 +212,7 @@ def pair_availability(
     path_sets: Sequence[FrozenSet[str]],
     availabilities: Dict[str, float],
     *,
-    kernel: str = "enum",
+    kernel: str = DEFAULT_KERNEL,
 ) -> float:
     """Exact availability of a single requester/provider pair."""
     return system_availability([list(path_sets)], availabilities, kernel=kernel)

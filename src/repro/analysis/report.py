@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.analysis.exact import (
+    DEFAULT_KERNEL,
     KERNELS,
     MAX_COMPONENTS,
     pair_availability,
@@ -126,6 +127,10 @@ class AvailabilityReport:
     service_downtime_minutes_per_year: float
     importance: List[ImportanceRow] = field(default_factory=list)
     montecarlo: Optional[MCEstimate] = None
+    #: Extra user-perceived dimensions (a
+    #: :class:`repro.dimensions.DimensionReport`), present when
+    #: :func:`analyze_upsim` was called with ``dimensions=``.
+    dimensions: Optional[object] = None
 
     def pair(self, atomic_service: str) -> PairReport:
         for report in self.pairs:
@@ -164,6 +169,9 @@ class AvailabilityReport:
                 f"(95% CI [{low:.9f}, {high:.9f}], "
                 f"n={self.montecarlo.samples})"
             )
+        if self.dimensions is not None:
+            lines.append("")
+            lines.append(self.dimensions.to_text())
         if self.importance:
             lines.append("")
             lines.append("Component importance (Birnbaum ranking):")
@@ -188,7 +196,8 @@ def analyze_upsim(
     montecarlo_samples: int = 0,
     importance_components: int = 10,
     seed: int = 0,
-    kernel: str = "bdd",
+    kernel: str = DEFAULT_KERNEL,
+    dimensions: Optional[Sequence[str]] = None,
 ) -> AvailabilityReport:
     """Analyze a UPSIM end to end.
 
@@ -203,6 +212,12 @@ def analyze_upsim(
     importance_components:
         Number of node components to rank (0 disables).  Importance is
         evaluated against the exact service availability.
+    dimensions:
+        Registered dimension names to evaluate alongside the availability
+        analysis (one shared structure pass —
+        :func:`repro.dimensions.evaluate_dimensions`); the result lands
+        in :attr:`AvailabilityReport.dimensions` and its ``to_text()``
+        section.
     kernel:
         Evaluation route (see :data:`repro.analysis.exact.KERNELS`).  The
         default ``"bdd"`` compiles the service structure once and answers
@@ -219,7 +234,7 @@ def analyze_upsim(
     with _trace.span(
         "analysis.analyze_upsim", service=upsim.service_name, kernel=kernel
     ):
-        return _analyze_upsim_traced(
+        report = _analyze_upsim_traced(
             upsim,
             formula=formula,
             include_links=include_links,
@@ -228,6 +243,16 @@ def analyze_upsim(
             seed=seed,
             kernel=kernel,
         )
+        if dimensions:
+            from repro.dimensions import evaluate_dimensions
+
+            report.dimensions = evaluate_dimensions(
+                upsim,
+                list(dimensions),
+                include_links=include_links,
+                formula=formula,
+            )
+        return report
 
 
 def _analyze_upsim_traced(

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.analysis.exact import KERNELS, system_availability
+from repro.analysis.exact import DEFAULT_KERNEL, KERNELS, system_availability
 from repro.analysis.transformations import (
     component_availabilities,
     pair_path_sets,
@@ -72,7 +72,7 @@ def combined_failure_impact(
     *,
     include_links: bool = True,
     availabilities: Optional[Dict[str, float]] = None,
-    kernel: str = "bdd",
+    kernel: str = DEFAULT_KERNEL,
 ) -> FailureImpact:
     """Assess *components* (nodes and/or ``a|b`` link names) all being down
     at once — the k-fault scenario a resilience campaign sweeps.
@@ -172,7 +172,7 @@ def failure_impact(
     *,
     include_links: bool = True,
     availabilities: Optional[Dict[str, float]] = None,
-    kernel: str = "bdd",
+    kernel: str = DEFAULT_KERNEL,
 ) -> FailureImpact:
     """Assess the impact of *component* (a node or ``a|b`` link name) being
     down on every atomic service of the UPSIM."""
@@ -190,7 +190,7 @@ def impact_table(
     *,
     include_links: bool = False,
     components: Optional[Sequence[str]] = None,
-    kernel: str = "bdd",
+    kernel: str = DEFAULT_KERNEL,
 ) -> List[FailureImpact]:
     """Failure impact for every UPSIM component (or the given subset),
     ranked most severe first (hard outages before degradations, then by

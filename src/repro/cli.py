@@ -40,6 +40,14 @@ Subcommands::
         availability snapshot.  ``--full`` switches to the
         full-recompile oracle for comparison.
 
+    upsim dimensions ls
+        List the registered user-perceived dimensions
+        (:mod:`repro.dimensions`): name, evaluation mode, fold semiring,
+        probability rule, unit and description.  ``casestudy`` and
+        ``analyze`` accept ``--dimensions NAME,NAME,...`` to evaluate any
+        registered subset in one kernel pass alongside the availability
+        report.
+
     upsim obs trace.json
         Pretty-print a trace file produced by ``--trace`` as an indented
         span tree.
@@ -222,6 +230,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="availability evaluator: compiled BDD kernel (default), "
         "inclusion-exclusion, or reference state enumeration",
     )
+    case.add_argument(
+        "--dimensions",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated registered user-perceived dimensions to "
+        "evaluate alongside the availability report "
+        "(see 'upsim dimensions ls'), e.g. "
+        "availability,responsiveness,performability",
+    )
     _add_observability_args(case)
 
     campaign = sub.add_parser(
@@ -377,6 +394,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="gc target size in bytes (default: $REPRO_STORE_MAX_BYTES)",
     )
 
+    dimensions_cmd = sub.add_parser(
+        "dimensions",
+        help="inspect the user-perceived dimension registry",
+    )
+    dimensions_cmd.add_argument(
+        "action",
+        choices=("ls",),
+        help="ls: list the registered dimensions (built-in and any "
+        "loaded via the repro.dimensions registry)",
+    )
+
     obs_cmd = sub.add_parser(
         "obs", help="pretty-print a trace file written by --trace"
     )
@@ -427,6 +455,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("bdd", "ie", "enum"),
         default="bdd",
         help="availability evaluator (default: compiled BDD)",
+    )
+    analyze.add_argument(
+        "--dimensions",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated registered user-perceived dimensions to "
+        "evaluate alongside the availability report "
+        "(see 'upsim dimensions ls')",
     )
 
     validate = sub.add_parser("validate", help="constraint-check a model bundle")
@@ -501,6 +537,20 @@ def _run_pipeline(args: argparse.Namespace):
     report = pipeline.run(jobs=getattr(args, "jobs", None))
     assert report.upsim is not None
     return bundle, report.upsim
+
+
+def _parse_dimensions(args: argparse.Namespace) -> Optional[List[str]]:
+    """The --dimensions option as a name list (None when not given)."""
+    raw = getattr(args, "dimensions", None)
+    if raw is None:
+        return None
+    names = [name.strip() for name in raw.split(",") if name.strip()]
+    if not names:
+        raise AnalysisError(
+            "--dimensions needs at least one dimension name; "
+            "see 'upsim dimensions ls'"
+        )
+    return names
 
 
 def cmd_casestudy(args: argparse.Namespace) -> int:
@@ -604,7 +654,10 @@ def cmd_casestudy(args: argparse.Namespace) -> int:
     print()
     print(
         analyze_upsim(
-            upsim, montecarlo_samples=args.mc, kernel=args.kernel
+            upsim,
+            montecarlo_samples=args.mc,
+            kernel=args.kernel,
+            dimensions=_parse_dimensions(args),
         ).to_text()
     )
     return 0
@@ -790,6 +843,27 @@ def cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_dimensions(args: argparse.Namespace) -> int:
+    from repro.dimensions import default_registry
+
+    registry = default_registry()
+    header = (
+        f"{'name':<16} {'mode':<9} {'fold':<17} {'rule':<12} "
+        f"{'unit':<5} description"
+    )
+    print(header)
+    print("-" * len(header))
+    for dimension in registry:
+        rule = dimension.prob_rule if dimension.mode == "bdd-prob" else "-"
+        print(
+            f"{dimension.name:<16} {dimension.mode:<9} "
+            f"{dimension.semiring.name:<17} {rule:<12} "
+            f"{dimension.unit or '-':<5} {dimension.description}"
+        )
+    print(f"({len(registry)} dimension(s) registered)")
+    return 0
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     try:
         data = _trace.load(args.tracefile)
@@ -846,6 +920,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         include_links=not args.no_links,
         montecarlo_samples=args.mc,
         kernel=args.kernel,
+        dimensions=_parse_dimensions(args),
     )
     print(report.to_text())
     return 0
@@ -985,6 +1060,7 @@ _COMMANDS = {
     "campaign": cmd_campaign,
     "population": cmd_population,
     "churn": cmd_churn,
+    "dimensions": cmd_dimensions,
     "obs": cmd_obs,
     "store": cmd_store,
     "generate": cmd_generate,

@@ -610,7 +610,8 @@ class MethodologyPipeline:
     def analyze(self, **kwargs):
         """Section-VII availability analysis of the generated UPSIM
         (delegates to :func:`repro.analysis.report.analyze_upsim`; pass
-        ``kernel=...`` and friends through as keyword arguments)."""
+        ``kernel=...``, ``dimensions=[...]`` and friends through as
+        keyword arguments)."""
         if self.upsim is None:
             raise ReproError(
                 "pipeline has not produced a UPSIM yet; call run() first"
@@ -618,6 +619,20 @@ class MethodologyPipeline:
         from repro.analysis.report import analyze_upsim
 
         return analyze_upsim(self.upsim, **kwargs)
+
+    def evaluate_dimensions(self, names=None, **kwargs):
+        """Registry-backed multi-dimension evaluation of the Step-8 UPSIM
+        (delegates to :func:`repro.dimensions.evaluate_dimensions`): one
+        compile and one structure pass serve every selected
+        probability-valued dimension, reusing the kernel that
+        ``run(kernel="bdd")`` warms."""
+        if self.upsim is None:
+            raise ReproError(
+                "pipeline has not produced a UPSIM yet; call run() first"
+            )
+        from repro.dimensions import evaluate_dimensions
+
+        return evaluate_dimensions(self.upsim, names, **kwargs)
 
     # -- model-space bookkeeping ---------------------------------------------
 

@@ -31,6 +31,8 @@ __all__ = [
     "instance_availability",
     "link_availability",
     "downtime_minutes_per_year",
+    "service_availability",
+    "service_availability_reference",
 ]
 
 HOURS_PER_YEAR = 8760.0
@@ -132,3 +134,39 @@ def downtime_minutes_per_year(availability: float) -> float:
     if not 0.0 <= availability <= 1.0:
         raise AnalysisError(f"availability must be in [0, 1], got {availability}")
     return (1.0 - availability) * HOURS_PER_YEAR * 60.0
+
+
+def service_availability(
+    structure,
+    *,
+    annotations: Optional[Dict[str, Dict[str, float]]] = None,
+    include_links: bool = True,
+    formula: str = "paper",
+) -> float:
+    """Service-level availability — thin registry-backed delegate.
+
+    Routes through the registered ``availability`` dimension
+    (:func:`repro.dimensions.evaluate_dimensions`): one shared structure
+    compile, exact BDD evaluation.  *structure* is a UPSIM (annotations
+    resolve from the model via Formula 1) or raw path-set groups (pass
+    ``annotations={"availability": {...}}``).  The enumeration oracle is
+    :func:`service_availability_reference`.
+    """
+    from repro.dimensions import evaluate_dimensions
+
+    report = evaluate_dimensions(
+        structure,
+        ["availability"],
+        annotations=annotations,
+        include_links=include_links,
+        formula=formula,
+    )
+    return report["availability"].value
+
+
+def service_availability_reference(path_set_groups, availabilities) -> float:
+    """The seed's exact state-enumeration evaluator (the oracle the
+    registry path is differentially tested against)."""
+    from repro.analysis.exact import system_availability_reference
+
+    return system_availability_reference(path_set_groups, availabilities)

@@ -550,6 +550,53 @@ class AvailabilityKernel:
         out[:] = values[self._root_pos]
         return out
 
+    def evaluate_many_all(
+        self,
+        tables: Union[np.ndarray, Sequence[Mapping[str, float]]],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(system, per-group)`` availabilities for k probability vectors
+        in one vectorized sweep.
+
+        :meth:`evaluate_many` extended with the group roots: the same
+        bottom-up pass over the linearized DAG, but the per-group node
+        values are read off alongside the system root.  This is the
+        one-pass multi-dimension fast path (:mod:`repro.dimensions`
+        stacks one probability table per dimension and evaluates them
+        all in a single traversal).  Returns ``(roots, groups)`` with
+        shapes ``(k,)`` and ``(k, n_groups)``.
+        """
+        if isinstance(tables, np.ndarray):
+            matrix = np.asarray(tables, dtype=np.float64)
+            if matrix.ndim != 2 or matrix.shape[1] != len(self.variables):
+                raise AnalysisError(
+                    f"probability matrix must be (k, {len(self.variables)}), "
+                    f"got {matrix.shape}"
+                )
+        else:
+            matrix = np.stack(
+                [self.probability_vector(table) for table in tables]
+            ) if tables else np.empty((0, len(self.variables)))
+        k = matrix.shape[0]
+        n_groups = len(self._group_pos)
+        if k == 0:
+            return (
+                np.empty(0, dtype=np.float64),
+                np.empty((0, n_groups), dtype=np.float64),
+            )
+        _count_evaluation(k)
+        values = np.empty((len(self._var_ix) + 2, k), dtype=np.float64)
+        values[0] = 0.0
+        values[1] = 1.0
+        var_ix, low, high = self._var_ix, self._low_pos, self._high_pos
+        for i in range(len(var_ix)):
+            pv = matrix[:, var_ix[i]]
+            values[i + 2] = pv * values[high[i]] + (1.0 - pv) * values[low[i]]
+        roots = values[self._root_pos].copy()
+        groups = np.empty((k, n_groups), dtype=np.float64)
+        for j, pos in enumerate(self._group_pos):
+            groups[:, j] = values[pos]
+        return roots, groups
+
     def flat_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
         """The linearized DAG as ``(var, low, high, root_pos)`` numpy
         arrays — the shape the sharding plane ships to workers and the

@@ -32,9 +32,12 @@ from repro.errors import AnalysisError
 
 __all__ = [
     "expected_reward",
+    "expected_reward_reference",
     "expected_reward_mc",
     "reward_path_capacity",
     "reward_best_throughput",
+    "reward_connectivity",
+    "service_performability",
 ]
 
 #: Exact enumeration bound: 2^20 states is ~1M reward evaluations.
@@ -76,6 +79,66 @@ def expected_reward(
             continue
         total += probability * reward(dict(zip(names, states)))
     return total
+
+
+#: The legacy exact enumerator doubles as the oracle the registry-backed
+#: ``performability`` dimension is differentially tested against (PR-1
+#: ``*_reference`` convention).
+expected_reward_reference = expected_reward
+
+
+def reward_connectivity(
+    path_set_groups: Sequence[Sequence[FrozenSet[str]]],
+) -> RewardFn:
+    """Reward = fraction of requester/provider pairs currently connected.
+
+    The connectivity reward behind the registered ``performability``
+    dimension: each of the structure's distinct pairs contributes
+    ``1/n_pairs`` when at least one of its redundant paths is fully up.
+    Its expectation equals the mean of the per-pair availabilities, which
+    is exactly what one shared BDD pass reads off the group roots.
+    """
+    groups = [[frozenset(path) for path in group] for group in path_set_groups]
+    if not groups:
+        raise AnalysisError("reward_connectivity requires at least one group")
+    for group in groups:
+        if not group:
+            raise AnalysisError("a pair with no path sets is never connected")
+
+    def reward(state: Dict[str, bool]) -> float:
+        connected = sum(
+            1
+            for group in groups
+            if any(all(state[c] for c in path) for path in group)
+        )
+        return connected / len(groups)
+
+    return reward
+
+
+def service_performability(
+    structure,
+    *,
+    annotations: Dict[str, Dict[str, float]] | None = None,
+    include_links: bool = True,
+    formula: str = "paper",
+) -> float:
+    """Expected fraction of connected pairs — thin registry-backed
+    delegate through the ``performability`` dimension (mean of the pair
+    roots in the shared BDD pass).  Equals
+    ``expected_reward_reference(availabilities, reward_connectivity(groups))``
+    without the 2^n enumeration.
+    """
+    from repro.dimensions import evaluate_dimensions
+
+    report = evaluate_dimensions(
+        structure,
+        ["performability"],
+        annotations=annotations,
+        include_links=include_links,
+        formula=formula,
+    )
+    return report["performability"].value
 
 
 def expected_reward_mc(

@@ -26,6 +26,7 @@ evaluation that samples shared latencies once.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -37,6 +38,7 @@ __all__ = [
     "hypoexponential_cdf",
     "path_responsiveness",
     "pair_responsiveness",
+    "pair_responsiveness_reference",
     "ResponsivenessResult",
     "structure_completion_samples",
     "service_responsiveness",
@@ -49,9 +51,22 @@ def hypoexponential_cdf(rates: Sequence[float], deadline: float) -> float:
     Uses the phase-type representation: the CDF equals
     ``1 - e_1ᵀ exp(Q·t) 1`` with the bidiagonal generator ``Q`` holding
     ``-λ_i`` on the diagonal and ``λ_i`` on the superdiagonal.
+
+    Redundant path sets in a mapped topology overwhelmingly repeat the
+    same rate profile (annotation defaults make most paths of equal hop
+    count identical), so results are memoized per distinct
+    ``(rates, deadline)`` — each profile pays the matrix exponential
+    once per process.
     """
     if deadline < 0:
         return 0.0
+    return _hypoexponential_cdf(
+        tuple(float(rate) for rate in rates), float(deadline)
+    )
+
+
+@lru_cache(maxsize=4096)
+def _hypoexponential_cdf(rates: Tuple[float, ...], deadline: float) -> float:
     rates_arr = np.asarray(rates, dtype=np.float64)
     if rates_arr.size == 0:
         return 1.0
@@ -97,6 +112,14 @@ def pair_responsiveness(
 ) -> ResponsivenessResult:
     """Responsiveness over redundant paths.
 
+    Thin registry-backed delegate: the ``"independent"`` method is the
+    single fold implementation behind the registered ``responsiveness``
+    dimension (:func:`repro.dimensions.pair_responsiveness_fold`), so the
+    legacy API and :func:`repro.dimensions.evaluate_dimensions` can never
+    drift apart.  ``"montecarlo"`` (and the equivalence tests) run
+    through :func:`pair_responsiveness_reference`, the legacy evaluator
+    kept verbatim as the oracle.
+
     Parameters
     ----------
     paths:
@@ -114,6 +137,47 @@ def pair_responsiveness(
         ``"montecarlo"`` — sample shared component latencies (and up/down
         states) once per trial, exact in the limit.
     """
+    if not paths:
+        raise AnalysisError("pair responsiveness requires at least one path")
+    if deadline < 0:
+        raise AnalysisError(f"deadline must be >= 0, got {deadline}")
+    component_names = sorted({c for path in paths for c in path})
+    missing = [c for c in component_names if c not in mean_latency]
+    if missing:
+        raise AnalysisError(f"no mean latency for components {missing}")
+    if method == "independent":
+        from repro.dimensions.builtins import pair_responsiveness_fold
+
+        probability, per_path = pair_responsiveness_fold(
+            paths, mean_latency, deadline, availabilities=availabilities
+        )
+        return ResponsivenessResult(deadline, probability, per_path, method)
+    if method != "montecarlo":
+        raise AnalysisError(f"unknown responsiveness method {method!r}")
+    return pair_responsiveness_reference(
+        paths,
+        mean_latency,
+        deadline,
+        availabilities=availabilities,
+        method=method,
+        samples=samples,
+        seed=seed,
+    )
+
+
+def pair_responsiveness_reference(
+    paths: Sequence[Sequence[str]],
+    mean_latency: Dict[str, float],
+    deadline: float,
+    *,
+    availabilities: Optional[Dict[str, float]] = None,
+    method: str = "independent",
+    samples: int = 50_000,
+    seed: int = 0,
+) -> ResponsivenessResult:
+    """The legacy per-module evaluator, kept verbatim as the oracle the
+    registry fold is differentially tested against (PR-1 ``*_reference``
+    convention)."""
     if not paths:
         raise AnalysisError("pair responsiveness requires at least one path")
     if deadline < 0:

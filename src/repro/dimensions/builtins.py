@@ -1,0 +1,218 @@
+"""The five built-in user-perceived dimensions.
+
+Registered out of the box (Section VII of the paper names availability,
+responsiveness and performability as the properties the UPSIM enables;
+latency and cost are the two classic annotated-path measures the same
+structure supports):
+
+* **availability** — P(every distinct requester/provider pair is
+  connected).  Mode ``bdd-prob``/``root``: the Formula-1 component table
+  evaluated exactly through the shared BDD kernel.
+* **performability** — expected fraction of connected pairs (the
+  connectivity-reward of :mod:`repro.dependability.performability`).
+  Mode ``bdd-prob``/``mean-groups``; shares both the annotation table
+  and the kernel pass with availability.
+* **responsiveness** — P(some path of every pair is up *and* completes
+  within the deadline), the independence method of
+  :func:`repro.dependability.responsiveness.pair_responsiveness`
+  (availability-weighted hypoexponential race over redundant paths).
+  Mode ``custom``.
+* **latency** — best-path mean latency per pair, summed across the
+  pairs traversed in series.  Tropical (min, +) fold; exact under
+  component sharing.
+* **cost** — total cost of the distinct components supporting the
+  structure (each shared component paid once).  Set-union fold.
+
+USI case-study models only annotate MTBF/MTTR, so ``mean_latency_ms``
+and ``unit_cost`` default to 1.0 per component: out of the box, latency
+reads as best-path *hop count* and cost as the *component footprint* —
+meaningful graph measures on their own, and overridable per component
+via ``evaluate_dimensions(annotations={...})``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+
+from repro.dimensions.registry import AnnotationSpec, Dimension
+from repro.dimensions.semiring import PROBABILITY, SET_UNION, TROPICAL_MIN_SUM
+
+__all__ = [
+    "AVAILABILITY_SPEC",
+    "MEAN_LATENCY_SPEC",
+    "UNIT_COST_SPEC",
+    "builtin_dimensions",
+    "pair_responsiveness_fold",
+    "resolve_availability",
+]
+
+#: Default deadline (same unit as ``mean_latency_ms``) for the built-in
+#: responsiveness dimension; override per call with
+#: ``params={"responsiveness": {"deadline": ...}}``.
+DEFAULT_DEADLINE_MS = 10.0
+
+
+def resolve_availability(
+    model: Any, *, include_links: bool = True, formula: str = "paper"
+) -> Dict[str, float]:
+    """Formula (1) over every instance and link — the availability
+    annotation resolver (thin alias of
+    :func:`repro.analysis.transformations.component_availabilities`)."""
+    from repro.analysis.transformations import component_availabilities
+
+    return component_availabilities(
+        model, formula=formula, include_links=include_links
+    )
+
+
+#: Steady-state availability per component (Formula 1); shared by the
+#: availability, performability, and responsiveness dimensions — one
+#: resolution, one validated table, one kernel pass.
+AVAILABILITY_SPEC = AnnotationSpec(
+    key="availability",
+    description="steady-state availability, MTBF/(MTBF+MTTR) (Formula 1)",
+    lower=0.0,
+    upper=1.0,
+    resolver=resolve_availability,
+)
+
+#: Mean latency contribution per traversed component, in milliseconds.
+MEAN_LATENCY_SPEC = AnnotationSpec(
+    key="mean_latency_ms",
+    description="mean processing/forwarding latency per component (ms)",
+    lower=0.0,
+    exclusive_lower=True,
+    default=1.0,
+)
+
+#: Cost per supporting component, in abstract units.
+UNIT_COST_SPEC = AnnotationSpec(
+    key="unit_cost",
+    description="cost of keeping one component in the structure",
+    lower=0.0,
+    default=1.0,
+)
+
+
+def pair_responsiveness_fold(
+    paths: Sequence[Sequence[str]],
+    mean_latency: Mapping[str, float],
+    deadline: float,
+    *,
+    availabilities: Optional[Mapping[str, float]] = None,
+) -> Tuple[float, Tuple[float, ...]]:
+    """``(probability, per_path)`` of the independence-method race: each
+    path completes within *deadline* with its availability-weighted
+    hypoexponential CDF, redundant paths combine as ``1 - ∏(1 - p)``.
+
+    The single implementation behind both the registry's responsiveness
+    dimension and the thin
+    :func:`repro.dependability.responsiveness.pair_responsiveness`
+    delegate (``method="independent"``).
+    """
+    from repro.dependability.responsiveness import path_responsiveness
+
+    if not paths:
+        raise AnalysisError("pair responsiveness requires at least one path")
+    if deadline < 0:
+        raise AnalysisError(f"deadline must be >= 0, got {deadline}")
+    per_path = []
+    for path in paths:
+        missing = [c for c in path if c not in mean_latency]
+        if missing:
+            raise AnalysisError(f"no mean latency for components {missing}")
+        prob = path_responsiveness(
+            [mean_latency[c] for c in path], deadline
+        )
+        if availabilities is not None:
+            for component in path:
+                if component not in availabilities:
+                    raise AnalysisError(
+                        f"no availability for component {component!r}"
+                    )
+                prob *= availabilities[component]
+        per_path.append(prob)
+    miss = 1.0
+    for prob in per_path:
+        miss *= 1.0 - prob
+    return 1.0 - miss, tuple(per_path)
+
+
+def _evaluate_responsiveness(
+    ctx: Any, dimension: Dimension, params: Mapping[str, float]
+) -> Tuple[float, Tuple[float, ...]]:
+    """Custom evaluator: per-pair race probability, pairs in series."""
+    deadline = float(params["deadline"])
+    latency = ctx.table(dimension.annotation("mean_latency_ms"))
+    availability = ctx.table(dimension.annotation("availability"))
+    per_pair = []
+    value = 1.0
+    for group in ctx.groups:
+        pair_value, _ = pair_responsiveness_fold(
+            group, latency, deadline, availabilities=availability
+        )
+        per_pair.append(pair_value)
+        value *= pair_value
+    return value, tuple(per_pair)
+
+
+def builtin_dimensions() -> Tuple[Dimension, ...]:
+    """Fresh instances of the five built-ins, in canonical order."""
+    return (
+        Dimension(
+            name="availability",
+            description=(
+                "P(every requester/provider pair connected) — exact BDD"
+            ),
+            semiring=PROBABILITY,
+            annotations=(AVAILABILITY_SPEC,),
+            mode="bdd-prob",
+            prob_rule="root",
+            fmt="{:.9f}",
+        ),
+        Dimension(
+            name="responsiveness",
+            description=(
+                "P(every pair served within the deadline) — "
+                "availability-weighted hypoexponential race"
+            ),
+            semiring=PROBABILITY,
+            annotations=(MEAN_LATENCY_SPEC, AVAILABILITY_SPEC),
+            mode="custom",
+            evaluate=_evaluate_responsiveness,
+            params=(("deadline", DEFAULT_DEADLINE_MS),),
+            fmt="{:.9f}",
+        ),
+        Dimension(
+            name="performability",
+            description=(
+                "expected fraction of connected pairs (connectivity reward)"
+            ),
+            semiring=PROBABILITY,
+            annotations=(AVAILABILITY_SPEC,),
+            mode="bdd-prob",
+            prob_rule="mean-groups",
+            fmt="{:.9f}",
+        ),
+        Dimension(
+            name="latency",
+            description="best-path mean latency, pairs in series",
+            semiring=TROPICAL_MIN_SUM,
+            annotations=(MEAN_LATENCY_SPEC,),
+            mode="semiring",
+            unit="ms",
+            fmt="{:.3f}",
+            higher_is_better=False,
+        ),
+        Dimension(
+            name="cost",
+            description="total cost of the distinct supporting components",
+            semiring=SET_UNION,
+            annotations=(UNIT_COST_SPEC,),
+            mode="semiring",
+            fmt="{:.2f}",
+            higher_is_better=False,
+        ),
+    )

@@ -1,0 +1,463 @@
+"""The user-perceived dimension registry.
+
+A :class:`Dimension` bundles everything the engine needs to evaluate one
+user-perceived property over the compiled path-set structure:
+
+* a **name** and formatting metadata (unit, format string, polarity);
+* **annotation specs** — which per-component values it consumes, how to
+  resolve them from a UPSIM (Formula 1, a model attribute, or a flat
+  default) and how to validate them;
+* an **evaluation rule** — a fold :class:`~repro.dimensions.semiring.Semiring`
+  plus a *mode* selecting how the fold is applied:
+
+  - ``"bdd-prob"`` — exact under component sharing: the annotation is a
+    probability table evaluated through the shared
+    :class:`~repro.dependability.bdd.AvailabilityKernel` (one linearized
+    bottom-up pass serves every probability-valued dimension at once via
+    ``evaluate_many_all``); ``prob_rule`` picks the reported scalar —
+    the system root (``"root"``, availability-like) or the mean of the
+    pair roots (``"mean-groups"``, performability-like);
+  - ``"semiring"`` — the series–parallel fold itself is exact for the
+    dimension's algebra (tropical latency, set-union cost);
+  - ``"custom"`` — an arbitrary callable ``evaluate(ctx, dim)`` over the
+    shared :class:`~repro.dimensions.evaluate.EvaluationContext`
+    (responsiveness's availability-weighted hypoexponential race).
+
+The registry itself follows sotopia's ``CustomEvaluationDimension`` /
+``EvaluationDimensionBuilder`` pattern: dimensions are plain validated
+records registered by name, user-defined ones load from dicts
+(:func:`dimension_from_dict`) without touching core, and a *dimension-set
+fingerprint* (blake2b over the :meth:`Dimension.signature` of every
+selected dimension) keys dimension-aware kernel artifacts in the store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import AnalysisError
+
+from repro.dimensions.semiring import Semiring, named_semiring
+
+__all__ = [
+    "AnnotationSpec",
+    "Dimension",
+    "DimensionRegistry",
+    "MODES",
+    "PROB_RULES",
+    "dimension_from_dict",
+    "default_registry",
+    "register_dimension",
+    "get_dimension",
+    "dimension_names",
+]
+
+#: Evaluation modes a dimension may declare (see module docstring).
+MODES = ("bdd-prob", "semiring", "custom")
+
+#: Scalar rules for ``bdd-prob`` dimensions: the system root (probability
+#: that *every* pair is served) or the mean over pair roots (expected
+#: fraction of pairs served — the connectivity-reward performability).
+PROB_RULES = ("root", "mean-groups")
+
+
+@dataclass(frozen=True)
+class AnnotationSpec:
+    """One per-component annotation a dimension consumes.
+
+    ``resolver(model, include_links=..., formula=...)`` produces the
+    component→value table from a UPSIM/object model (e.g. Formula 1 for
+    availability).  Without a resolver, ``default`` is used for every
+    component; without either, the table must be supplied explicitly via
+    ``evaluate_dimensions(annotations={key: ...})``.  ``lower``/``upper``
+    bound the values (``exclusive_lower`` makes the lower bound strict —
+    mean latencies must be > 0).
+    """
+
+    key: str
+    description: str = ""
+    lower: float = -math.inf
+    upper: float = math.inf
+    exclusive_lower: bool = False
+    default: Optional[float] = None
+    resolver: Optional[Callable[..., Dict[str, float]]] = None
+
+    def __post_init__(self) -> None:
+        if not self.key or not self.key.replace("_", "").isalnum():
+            raise AnalysisError(
+                f"annotation key must be a non-empty [a-z0-9_] name, "
+                f"got {self.key!r}"
+            )
+        if self.lower > self.upper:
+            raise AnalysisError(
+                f"annotation {self.key!r} bounds are empty: "
+                f"[{self.lower}, {self.upper}]"
+            )
+        if self.default is not None:
+            try:
+                self.check(self.key, float(self.default))
+            except AnalysisError as exc:
+                raise AnalysisError(
+                    f"annotation {self.key!r} default violates its own "
+                    f"bounds: {exc}"
+                ) from None
+
+    def check(self, component: str, value: float) -> float:
+        """Validate one component's value against the declared bounds."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise AnalysisError(
+                f"{self.key} of {component!r} must be finite, got {value}"
+            )
+        below = (
+            value <= self.lower if self.exclusive_lower else value < self.lower
+        )
+        if below or value > self.upper:
+            bracket = "(" if self.exclusive_lower else "["
+            raise AnalysisError(
+                f"{self.key} of {component!r} must be in "
+                f"{bracket}{self.lower}, {self.upper}], got {value}"
+            )
+        return value
+
+    def resolve(
+        self,
+        model: Any,
+        components: Sequence[str],
+        *,
+        include_links: bool = True,
+        formula: str = "paper",
+    ) -> Dict[str, float]:
+        """The validated component→value table for *components*."""
+        if self.resolver is not None:
+            if model is None:
+                raise AnalysisError(
+                    f"annotation {self.key!r} resolves from a model; "
+                    f"pass a UPSIM or supply annotations={{{self.key!r}: ...}}"
+                )
+            table = self.resolver(
+                model, include_links=include_links, formula=formula
+            )
+        elif self.default is not None:
+            table = {component: self.default for component in components}
+        else:
+            raise AnalysisError(
+                f"annotation {self.key!r} has no resolver and no default; "
+                f"supply annotations={{{self.key!r}: ...}}"
+            )
+        missing = [c for c in components if c not in table]
+        if missing:
+            if self.default is None:
+                raise AnalysisError(
+                    f"no {self.key} annotation for components {missing}"
+                )
+            table = dict(table)
+            for component in missing:
+                table[component] = self.default
+        return {c: self.check(c, table[c]) for c in components}
+
+    def validate_table(
+        self, table: Mapping[str, float], components: Sequence[str]
+    ) -> Dict[str, float]:
+        """Validate an explicitly supplied table (annotation overrides)."""
+        missing = [c for c in components if c not in table]
+        if missing:
+            raise AnalysisError(
+                f"no {self.key} annotation for components {missing}"
+            )
+        return {c: self.check(c, table[c]) for c in components}
+
+    def signature(self) -> str:
+        resolver = (
+            getattr(self.resolver, "__qualname__", repr(self.resolver))
+            if self.resolver is not None
+            else "-"
+        )
+        return (
+            f"{self.key}|{self.lower}|{self.upper}|{self.exclusive_lower}"
+            f"|{self.default}|{resolver}"
+        )
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One registered user-perceived dimension (see module docstring)."""
+
+    name: str
+    description: str
+    semiring: Semiring
+    annotations: Tuple[AnnotationSpec, ...]
+    mode: str = "semiring"
+    prob_rule: str = "root"
+    evaluate: Optional[Callable[..., Tuple[float, Tuple[float, ...]]]] = None
+    params: Tuple[Tuple[str, float], ...] = ()
+    unit: str = ""
+    fmt: str = "{:.6f}"
+    higher_is_better: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name or "," in self.name:
+            raise AnalysisError(
+                f"dimension name must be non-empty without '/' or ',', "
+                f"got {self.name!r}"
+            )
+        if self.mode not in MODES:
+            raise AnalysisError(
+                f"dimension {self.name!r} has unknown mode {self.mode!r}; "
+                f"expected one of {MODES}"
+            )
+        if self.prob_rule not in PROB_RULES:
+            raise AnalysisError(
+                f"dimension {self.name!r} has unknown prob_rule "
+                f"{self.prob_rule!r}; expected one of {PROB_RULES}"
+            )
+        if not self.annotations:
+            raise AnalysisError(
+                f"dimension {self.name!r} declares no annotation specs"
+            )
+        keys = [spec.key for spec in self.annotations]
+        if len(set(keys)) != len(keys):
+            raise AnalysisError(
+                f"dimension {self.name!r} has duplicate annotation keys {keys}"
+            )
+        if self.mode == "custom" and self.evaluate is None:
+            raise AnalysisError(
+                f"custom dimension {self.name!r} needs an evaluate callable"
+            )
+        if self.mode != "custom" and self.evaluate is not None:
+            raise AnalysisError(
+                f"dimension {self.name!r} is {self.mode!r} but supplies an "
+                f"evaluate callable (only mode='custom' uses one)"
+            )
+
+    @property
+    def primary(self) -> AnnotationSpec:
+        """The annotation the fold consumes (first declared spec)."""
+        return self.annotations[0]
+
+    def annotation(self, key: str) -> AnnotationSpec:
+        for spec in self.annotations:
+            if spec.key == key:
+                return spec
+        raise AnalysisError(
+            f"dimension {self.name!r} has no annotation {key!r} "
+            f"(declares {[s.key for s in self.annotations]})"
+        )
+
+    def param(self, key: str, overrides: Optional[Mapping[str, float]] = None) -> float:
+        """One evaluation parameter, with per-call overrides applied."""
+        if overrides and key in overrides:
+            return float(overrides[key])
+        for name, value in self.params:
+            if name == key:
+                return value
+        raise AnalysisError(
+            f"dimension {self.name!r} has no parameter {key!r} "
+            f"(declares {[name for name, _ in self.params]})"
+        )
+
+    def signature(self) -> str:
+        """Stable identity string — the unit of the dimension-set
+        fingerprint that keys dimension-aware kernel artifacts.  Two
+        dimensions with different math never share a signature (custom
+        evaluate callables contribute their qualified name)."""
+        evaluate = (
+            getattr(self.evaluate, "__qualname__", repr(self.evaluate))
+            if self.evaluate is not None
+            else "-"
+        )
+        annotations = ";".join(spec.signature() for spec in self.annotations)
+        params = ";".join(f"{k}={v}" for k, v in self.params)
+        return (
+            f"{self.name}|{self.mode}|{self.prob_rule}|{self.semiring.name}"
+            f"|{annotations}|{params}|{evaluate}|{self.unit}"
+        )
+
+
+class DimensionRegistry:
+    """Named dimensions in registration order (sotopia's builder-registry
+    shape: plain records in a dict, validated on the way in)."""
+
+    def __init__(self, dimensions: Sequence[Dimension] = ()):
+        self._dimensions: Dict[str, Dimension] = {}
+        for dimension in dimensions:
+            self.register(dimension)
+
+    def register(
+        self, dimension: Dimension, *, replace: bool = False
+    ) -> Dimension:
+        if not isinstance(dimension, Dimension):
+            raise AnalysisError(
+                f"expected a Dimension, got {type(dimension).__name__}"
+            )
+        if dimension.name in self._dimensions and not replace:
+            raise AnalysisError(
+                f"dimension {dimension.name!r} is already registered "
+                f"(pass replace=True to override)"
+            )
+        self._dimensions[dimension.name] = dimension
+        return dimension
+
+    def unregister(self, name: str) -> None:
+        if name not in self._dimensions:
+            raise AnalysisError(f"dimension {name!r} is not registered")
+        del self._dimensions[name]
+
+    def get(self, name: str) -> Dimension:
+        try:
+            return self._dimensions[name]
+        except KeyError:
+            raise AnalysisError(
+                f"unknown dimension {name!r}; registered: {list(self.names())}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._dimensions)
+
+    def select(self, names: Optional[Sequence[str]] = None) -> Tuple[Dimension, ...]:
+        """The dimensions to evaluate: all registered (registration
+        order) when *names* is None, else the named ones in given order."""
+        if names is None:
+            return tuple(self._dimensions.values())
+        if not names:
+            raise AnalysisError("select at least one dimension")
+        return tuple(self.get(name) for name in names)
+
+    def fingerprint(self, names: Optional[Sequence[str]] = None) -> str:
+        """blake2b digest over the selected dimensions' signatures — the
+        dimension half of the dimension-aware kernel artifact key.  Any
+        change to a dimension's math (mode, semiring, annotations,
+        params, custom callable) changes the digest, so stored artifacts
+        can never be served to a dimension set they weren't built for."""
+        digest = hashlib.blake2b(digest_size=16)
+        for dimension in self.select(names):
+            digest.update(dimension.signature().encode("utf-8"))
+            digest.update(b"\x1e")
+        return digest.hexdigest()
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._dimensions
+
+    def __iter__(self) -> Iterator[Dimension]:
+        return iter(self._dimensions.values())
+
+    def __len__(self) -> int:
+        return len(self._dimensions)
+
+
+def dimension_from_dict(spec: Mapping[str, Any]) -> Dimension:
+    """Build a :class:`Dimension` from a plain dict — the sotopia
+    ``EvaluationDimensionBuilder.build_dimension_model`` path, letting
+    users declare custom dimensions in JSON/YAML without touching core.
+
+    Recognized keys: ``name`` (required), ``semiring`` (named algebra,
+    required), ``annotation`` (dict: ``key`` required, plus ``default``,
+    ``lower``, ``upper``, ``exclusive_lower``, ``description``),
+    ``prob_rule``, ``mode`` (``"semiring"`` or ``"bdd-prob"`` — custom
+    callables can't be expressed in data), ``description``, ``unit``,
+    ``fmt``, ``params``, ``higher_is_better``.
+    """
+    if not isinstance(spec, Mapping):
+        raise AnalysisError(
+            f"dimension spec must be a mapping, got {type(spec).__name__}"
+        )
+    unknown = set(spec) - {
+        "name",
+        "description",
+        "semiring",
+        "annotation",
+        "mode",
+        "prob_rule",
+        "params",
+        "unit",
+        "fmt",
+        "higher_is_better",
+    }
+    if unknown:
+        raise AnalysisError(
+            f"unknown dimension spec keys {sorted(unknown)}"
+        )
+    for required in ("name", "semiring"):
+        if required not in spec:
+            raise AnalysisError(f"dimension spec needs a {required!r} key")
+    mode = spec.get("mode", "semiring")
+    if mode == "custom":
+        raise AnalysisError(
+            "custom dimensions need a python evaluate callable; build a "
+            "Dimension directly instead of dimension_from_dict"
+        )
+    annotation = dict(spec.get("annotation", {}))
+    annotation.setdefault("key", "value")
+    annotation_kwargs = {
+        "key": annotation.pop("key"),
+        "description": annotation.pop("description", ""),
+    }
+    for bound in ("lower", "upper", "default"):
+        if bound in annotation:
+            annotation_kwargs[bound] = float(annotation.pop(bound))
+    if "exclusive_lower" in annotation:
+        annotation_kwargs["exclusive_lower"] = bool(
+            annotation.pop("exclusive_lower")
+        )
+    if annotation:
+        raise AnalysisError(
+            f"unknown annotation spec keys {sorted(annotation)}"
+        )
+    params = tuple(
+        sorted((str(k), float(v)) for k, v in dict(spec.get("params", {})).items())
+    )
+    return Dimension(
+        name=str(spec["name"]),
+        description=str(spec.get("description", "")),
+        semiring=named_semiring(str(spec["semiring"])),
+        annotations=(AnnotationSpec(**annotation_kwargs),),
+        mode=str(mode),
+        prob_rule=str(spec.get("prob_rule", "root")),
+        params=params,
+        unit=str(spec.get("unit", "")),
+        fmt=str(spec.get("fmt", "{:.6f}")),
+        higher_is_better=bool(spec.get("higher_is_better", True)),
+    )
+
+
+_DEFAULT: Optional[DimensionRegistry] = None
+
+
+def default_registry() -> DimensionRegistry:
+    """The process-wide registry, created on first use with the five
+    built-in dimensions registered (availability, responsiveness,
+    performability, latency, cost)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        from repro.dimensions.builtins import builtin_dimensions
+
+        _DEFAULT = DimensionRegistry(builtin_dimensions())
+    return _DEFAULT
+
+
+def register_dimension(
+    dimension: Dimension, *, replace: bool = False
+) -> Dimension:
+    """Register into the default registry (user-defined dimensions)."""
+    return default_registry().register(dimension, replace=replace)
+
+
+def get_dimension(name: str) -> Dimension:
+    return default_registry().get(name)
+
+
+def dimension_names() -> Tuple[str, ...]:
+    return default_registry().names()

@@ -1,0 +1,280 @@
+"""Fold semirings over series–parallel path structures.
+
+Every user-perceived dimension of the paper — availability,
+responsiveness, performability, latency, cost — is a per-component
+annotation *folded* over the same user–service path structure: values
+combine **in series** along a path (all components of the path are
+traversed) and **in parallel** across the redundant paths of a
+requester/provider pair, and the per-pair results combine **across
+pairs** into the service-level value (every atomic service must execute,
+Section V-A2).
+
+:class:`Semiring` captures exactly that triple of operators plus their
+identities, lifted over an arbitrary element domain:
+
+* ``lift(name, value)`` turns one component's annotation into a fold
+  element (usually the value itself; the set-union semiring lifts to the
+  singleton ``{name}``);
+* ``series``/``parallel``/``across`` combine elements (``across``
+  defaults to ``series``);
+* ``finish(element, annotations)`` maps the folded element back to the
+  reported float (usually the identity; the set-union semiring prices
+  the collected component set here).
+
+The declared :attr:`Semiring.laws` name the algebraic laws the operator
+pair satisfies; the hypothesis battery in
+``tests/dimensions/test_semiring_properties.py`` asserts every declared
+law on randomly drawn elements, and the differential battery asserts
+that on **component-disjoint** structures (where sharing cannot bite)
+the series–parallel fold agrees with the exact evaluators to 1e-12.
+
+Folds are exact whenever the element domain is deterministic (tropical
+latency, set-union cost — duplicate components are absorbed by ``min``
+and ``∪``); for probability-valued domains the fold is the classical
+independence approximation, and the exact value comes from the shared
+BDD kernel pass instead (see :mod:`repro.dimensions.evaluate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, FrozenSet, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+
+__all__ = [
+    "Semiring",
+    "LAWS",
+    "PROBABILITY",
+    "TROPICAL_MIN_SUM",
+    "SET_UNION",
+    "named_semiring",
+    "fold_path",
+    "fold_group",
+    "fold_structure",
+]
+
+#: Recognized law names a semiring may declare (and the property battery
+#: asserts): identities and associativity are mandatory for a meaningful
+#: fold; commutativity, distributivity and idempotence are per-domain.
+LAWS = (
+    "series-identity",
+    "parallel-identity",
+    "series-associative",
+    "parallel-associative",
+    "series-commutative",
+    "parallel-commutative",
+    "distributive",
+    "parallel-idempotent",
+)
+
+#: Element-domain hints for property-based law testing: the battery draws
+#: random elements from the declared domain.
+DOMAINS = ("unit-interval", "nonnegative", "component-set")
+
+
+def _identity_finish(element: Any, annotations: Mapping[str, float]) -> float:
+    return float(element)
+
+
+def _value_lift(name: str, value: float) -> Any:
+    return value
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """One dimension's fold algebra over the path structure.
+
+    ``series`` combines along a path, ``parallel`` across redundant
+    paths, ``across`` (default: ``series``) across requester/provider
+    pairs.  ``laws`` declares which of :data:`LAWS` hold; ``domain``
+    (one of :data:`DOMAINS`) tells the property battery what elements to
+    draw.
+    """
+
+    name: str
+    series: Callable[[Any, Any], Any]
+    series_identity: Any
+    parallel: Callable[[Any, Any], Any]
+    parallel_identity: Any
+    laws: Tuple[str, ...] = ()
+    domain: str = "unit-interval"
+    across: Optional[Callable[[Any, Any], Any]] = None
+    across_identity: Any = None
+    lift: Callable[[str, float], Any] = _value_lift
+    finish: Callable[[Any, Mapping[str, float]], float] = _identity_finish
+
+    def __post_init__(self) -> None:
+        unknown = [law for law in self.laws if law not in LAWS]
+        if unknown:
+            raise AnalysisError(
+                f"semiring {self.name!r} declares unknown laws {unknown}; "
+                f"recognized: {LAWS}"
+            )
+        if self.domain not in DOMAINS:
+            raise AnalysisError(
+                f"semiring {self.name!r} has unknown element domain "
+                f"{self.domain!r}; recognized: {DOMAINS}"
+            )
+
+    def combine_across(self, left: Any, right: Any) -> Any:
+        return (self.across or self.series)(left, right)
+
+    @property
+    def across_start(self) -> Any:
+        if self.across is None:
+            return self.series_identity
+        return self.across_identity
+
+
+def fold_path(
+    semiring: Semiring,
+    path: Sequence[str],
+    annotations: Mapping[str, float],
+) -> Any:
+    """Fold one path's component annotations in series (sorted component
+    order: every declared series op is associative, and the sort makes
+    the fold deterministic for set-typed paths)."""
+    element = semiring.series_identity
+    for component in sorted(path):
+        if component not in annotations:
+            raise AnalysisError(
+                f"no {semiring.name!r} annotation for component {component!r}"
+            )
+        element = semiring.series(
+            element, semiring.lift(component, annotations[component])
+        )
+    return element
+
+
+def fold_group(
+    semiring: Semiring,
+    group: Sequence[FrozenSet[str]],
+    annotations: Mapping[str, float],
+) -> Any:
+    """Fold one pair's redundant paths in parallel."""
+    if not group:
+        raise AnalysisError("a pair with no path sets is never connected")
+    element = semiring.parallel_identity
+    for path in group:
+        element = semiring.parallel(
+            element, fold_path(semiring, path, annotations)
+        )
+    return element
+
+
+def fold_structure(
+    semiring: Semiring,
+    groups: Sequence[Sequence[FrozenSet[str]]],
+    annotations: Mapping[str, float],
+) -> Tuple[float, Tuple[float, ...]]:
+    """``(service value, per-pair values)`` of the full series–parallel
+    fold: paths in series, redundant paths in parallel, pairs combined
+    with the ``across`` operator."""
+    if not groups:
+        raise AnalysisError("dimension fold requires at least one group")
+    per_pair = []
+    acc = semiring.across_start
+    for group in groups:
+        element = fold_group(semiring, group, annotations)
+        per_pair.append(semiring.finish(element, annotations))
+        acc = semiring.combine_across(acc, element)
+    return semiring.finish(acc, annotations), tuple(per_pair)
+
+
+# -- the named algebras the built-in dimensions use ---------------------------
+
+#: Probability algebra: series = independent conjunction (·), parallel =
+#: independent disjunction (a+b-ab).  Associative and commutative with
+#: identities 1/0; **not** distributive (the whole reason exact
+#: evaluation routes through the BDD under component sharing).
+PROBABILITY = Semiring(
+    name="probability",
+    series=lambda a, b: a * b,
+    series_identity=1.0,
+    parallel=lambda a, b: a + b - a * b,
+    parallel_identity=0.0,
+    laws=(
+        "series-identity",
+        "parallel-identity",
+        "series-associative",
+        "parallel-associative",
+        "series-commutative",
+        "parallel-commutative",
+    ),
+    domain="unit-interval",
+)
+
+#: Tropical (min, +) algebra: series adds along the path, parallel keeps
+#: the best (fastest/cheapest) path.  A true semiring — + distributes
+#: over min — and exact even under component sharing (deterministic
+#: values; duplicates are absorbed by min).
+TROPICAL_MIN_SUM = Semiring(
+    name="tropical-min-sum",
+    series=lambda a, b: a + b,
+    series_identity=0.0,
+    parallel=min,
+    parallel_identity=float("inf"),
+    laws=(
+        "series-identity",
+        "parallel-identity",
+        "series-associative",
+        "parallel-associative",
+        "series-commutative",
+        "parallel-commutative",
+        "distributive",
+        "parallel-idempotent",
+    ),
+    domain="nonnegative",
+)
+
+
+def _union(a: FrozenSet[str], b: FrozenSet[str]) -> FrozenSet[str]:
+    return a | b
+
+
+def _price(element: FrozenSet[str], annotations: Mapping[str, float]) -> float:
+    return float(sum(annotations[name] for name in element))
+
+
+#: Set-union algebra: the fold collects every component supporting the
+#: structure; ``finish`` prices the set against the annotation table.
+#: Union is associative, commutative, idempotent, and trivially
+#: distributive — and exact under sharing (a shared component is paid
+#: for once).
+SET_UNION = Semiring(
+    name="set-union",
+    series=_union,
+    series_identity=frozenset(),
+    parallel=_union,
+    parallel_identity=frozenset(),
+    laws=(
+        "series-identity",
+        "parallel-identity",
+        "series-associative",
+        "parallel-associative",
+        "series-commutative",
+        "parallel-commutative",
+        "distributive",
+        "parallel-idempotent",
+    ),
+    domain="component-set",
+    lift=lambda name, value: frozenset((name,)),
+    finish=_price,
+)
+
+_NAMED = {
+    semiring.name: semiring
+    for semiring in (PROBABILITY, TROPICAL_MIN_SUM, SET_UNION)
+}
+
+
+def named_semiring(name: str) -> Semiring:
+    """Look up one of the stock algebras by name (the
+    :func:`repro.dimensions.dimension_from_dict` builder path)."""
+    try:
+        return _NAMED[name]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown semiring {name!r}; known: {sorted(_NAMED)}"
+        ) from None

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.analysis.exact import KERNELS
+from repro.analysis.exact import DEFAULT_KERNEL, KERNELS
 from repro.analysis.whatif import combined_failure_impact
 from repro.analysis.transformations import component_availabilities
 from repro.core.mapping import ServiceMapping
@@ -227,7 +227,7 @@ def run_campaign(
     policy: Optional[ResiliencePolicy] = None,
     max_depth: Optional[int] = None,
     max_paths: Optional[int] = None,
-    kernel: str = "bdd",
+    kernel: str = DEFAULT_KERNEL,
 ) -> CampaignReport:
     """Sweep all 1..k-fault combinations of the candidate faults.
 

@@ -38,10 +38,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.analysis.transformations import (
-    component_availabilities,
-    pair_path_sets,
-)
+from repro.analysis.transformations import pair_path_sets
 from repro.core.engine import discover_many
 from repro.core.mapping import ServiceMapping
 from repro.dependability.bdd import (
@@ -133,6 +130,9 @@ class PopulationReport:
     rows: int
     #: shard workers used (0 = single-process batching)
     shards: int
+    #: registered dimension the per-user values belong to
+    #: (availability-shaped: mode ``bdd-prob``, ``prob_rule="root"``)
+    dimension: str = "availability"
     #: wall seconds per shard (empty when unsharded)
     shard_seconds: List[float] = field(default_factory=list)
     class_summaries: List[ClassSummary] = field(default_factory=list)
@@ -157,6 +157,11 @@ class PopulationReport:
                 if self.shards
                 else "single-process batching"
             )
+            + (
+                f"; dimension {self.dimension}"
+                if self.dimension != "availability"
+                else ""
+            )
             + f"; {self.seconds:.3f}s",
             "",
             f"{'class':<12} {'users':>9} {'mean':>13} {'p50':>13} "
@@ -177,6 +182,44 @@ class PopulationReport:
 
 
 MappingFactory = Callable[[str], ServiceMapping]
+
+
+def _dimension_table(
+    topology: Topology,
+    dimension: str,
+    *,
+    include_links: bool,
+    formula: str,
+) -> Dict[str, float]:
+    """Resolve *dimension* to its validated per-component table.
+
+    The plane's perturbed-sweep machinery assumes an availability-shaped
+    dimension: a probability table folded through the BDD with the system
+    root as the per-user value — registry mode ``"bdd-prob"`` with
+    ``prob_rule="root"``.  ``"mean-groups"`` (performability) and the
+    semiring/custom modes have no single root to perturb, so they are
+    rejected rather than silently mis-evaluated.
+    """
+    from repro.dependability.cutsets import link_component_name
+    from repro.dimensions import get_dimension
+
+    dim = get_dimension(dimension)
+    if dim.mode != "bdd-prob" or dim.prob_rule != "root":
+        raise AnalysisError(
+            f"evaluate_population requires an availability-shaped dimension "
+            f"(mode='bdd-prob', prob_rule='root'); {dim.name!r} has "
+            f"mode={dim.mode!r}, prob_rule={dim.prob_rule!r}"
+        )
+    model = topology.model
+    names = [instance.name for instance in model.instances]
+    if include_links:
+        names.extend(
+            link_component_name(link.end1.name, link.end2.name)
+            for link in model.links
+        )
+    return dim.primary.resolve(
+        topology, names, include_links=include_links, formula=formula
+    )
 
 
 def _kernels_for_attachments(
@@ -273,6 +316,7 @@ def evaluate_population(
     *,
     include_links: bool = True,
     formula: str = "paper",
+    dimension: str = "availability",
     shards: Optional[int] = None,
     jobs: Optional[int] = None,
     batch_rows: int = 65536,
@@ -282,10 +326,14 @@ def evaluate_population(
 
     *mapping_for* maps an attachment component name to the service
     mapping of a user at that position (build one from a template with
-    :func:`repro.workload.mapping_for_user`).  ``shards`` > 1 fans the
-    per-key batches out over shared-memory workers when the platform
-    supports it (:func:`repro.workload.sharding.sharding_supported`);
-    otherwise the single-process batched path runs.  ``top`` sizes the
+    :func:`repro.workload.mapping_for_user`).  *dimension* names any
+    registered availability-shaped dimension (mode ``"bdd-prob"`` with
+    ``prob_rule="root"``) from :mod:`repro.dimensions`; its annotation
+    table replaces Formula 1 while the dedup/batch/shard machinery is
+    reused unchanged.  ``shards`` > 1 fans the per-key batches out over
+    shared-memory workers when the platform supports it
+    (:func:`repro.workload.sharding.sharding_supported`); otherwise the
+    single-process batched path runs.  ``top`` sizes the
     worst-served-user drilldown.
     """
     if shards is not None and shards < 1:
@@ -298,8 +346,8 @@ def evaluate_population(
         users=population.n_users,
         shards=shards or 0,
     ) as span:
-        table = component_availabilities(
-            topology, formula=formula, include_links=include_links
+        table = _dimension_table(
+            topology, dimension, include_links=include_links, formula=formula
         )
         device_avail = population.device_availability(table)
 
@@ -347,6 +395,7 @@ def evaluate_population(
             keys=len(attachments),
             rows=total_rows,
             shards=0,
+            dimension=dimension,
         )
 
         use_shards = shards is not None and shards > 1 and len(tasks) > 1
@@ -412,6 +461,7 @@ def evaluate_population_naive(
     *,
     include_links: bool = True,
     formula: str = "paper",
+    dimension: str = "availability",
 ) -> np.ndarray:
     """The scalar oracle: one Python-loop evaluation per user.
 
@@ -420,8 +470,8 @@ def evaluate_population_naive(
     their own availability table and runs their own scalar bottom-up
     pass — exactly what a pre-plane caller would write.
     """
-    table = component_availabilities(
-        topology, formula=formula, include_links=include_links
+    table = _dimension_table(
+        topology, dimension, include_links=include_links, formula=formula
     )
     device_avail = population.device_availability(table)
     present = np.unique(population.attachment_index)

@@ -80,10 +80,15 @@ class TestSystemAvailability:
             system_availability([[fs("a")]], {"a": 1.5})
 
     def test_component_bound_enforced(self):
+        # the bound belongs to the enumeration kernel; the bdd default
+        # has no component limit, so it must be requested explicitly
         groups = [[fs({f"c{i}"}) for i in range(MAX_COMPONENTS + 1)]]
         table = {f"c{i}": 0.5 for i in range(MAX_COMPONENTS + 1)}
         with pytest.raises(AnalysisError):
-            system_availability(groups, table)
+            system_availability(groups, table, kernel="enum")
+        assert system_availability(groups, table) == pytest.approx(
+            1.0 - 0.5 ** (MAX_COMPONENTS + 1)
+        )
 
     def test_degenerate_probabilities(self):
         assert system_availability([[fs("a")]], {"a": 1.0}) == 1.0

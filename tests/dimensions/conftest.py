@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the dimension battery."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis.transformations import (
+    component_availabilities,
+    pair_path_sets,
+)
+from repro.core.pathdiscovery import discover_paths
+from repro.dimensions import default_registry
+from repro.network.topology import Topology
+
+
+@pytest.fixture()
+def registry_guard():
+    """Snapshot/restore the process-wide registry: tests that register
+    custom dimensions must not leak them into later tests."""
+    registry = default_registry()
+    before = dict(registry._dimensions)
+    yield registry
+    registry._dimensions.clear()
+    registry._dimensions.update(before)
+
+
+def structure_for(builder, pairs=(("client", "server"),), *, include_links=True):
+    """(groups, availability table, topology) of a generated network:
+    one path-set group per requester/provider pair."""
+    topology = Topology(builder.object_model)
+    groups: List = []
+    for requester, provider in pairs:
+        path_set = discover_paths(topology, requester, provider)
+        groups.append(pair_path_sets(path_set, include_links=include_links))
+    table: Dict[str, float] = component_availabilities(
+        topology, include_links=include_links
+    )
+    return groups, table, topology

@@ -1,0 +1,72 @@
+"""DEFAULT_KERNEL consistency: every availability entry point defaults
+to the same evaluator constant (historically ``exact.py`` defaulted to
+``enum`` while the analysis layer defaulted to ``bdd``)."""
+
+import inspect
+
+import pytest
+
+from repro.analysis.exact import (
+    DEFAULT_KERNEL,
+    KERNELS,
+    pair_availability,
+    system_availability,
+)
+from repro.analysis.report import analyze_upsim
+from repro.analysis.whatif import (
+    combined_failure_impact,
+    failure_impact,
+    impact_table,
+)
+from repro.resilience.campaign import run_campaign
+
+fs = frozenset
+
+pytestmark = pytest.mark.dimensions
+
+
+def kernel_default(func) -> str:
+    return inspect.signature(func).parameters["kernel"].default
+
+
+class TestSingleConstant:
+    def test_constant_is_registered_kernel(self):
+        assert DEFAULT_KERNEL in KERNELS
+        assert DEFAULT_KERNEL == "bdd"
+
+    @pytest.mark.parametrize(
+        "func",
+        [
+            system_availability,
+            pair_availability,
+            analyze_upsim,
+            combined_failure_impact,
+            failure_impact,
+            impact_table,
+            run_campaign,
+        ],
+        ids=lambda f: f.__name__,
+    )
+    def test_every_entry_point_defaults_to_it(self, func):
+        assert kernel_default(func) is DEFAULT_KERNEL
+
+
+class TestDefaultBehaviour:
+    def test_exact_default_matches_explicit_bdd(self):
+        table = {"x": 0.9, "a": 0.8, "b": 0.7}
+        groups = [[fs({"x", "a"}), fs({"x", "b"})], [fs({"x"})]]
+        assert system_availability(groups, table) == system_availability(
+            groups, table, kernel="bdd"
+        )
+
+    def test_enum_reference_still_selectable(self):
+        table = {"a": 0.25}
+        groups = [[fs("a")]]
+        assert system_availability(
+            groups, table, kernel="enum"
+        ) == pytest.approx(system_availability(groups, table), abs=1e-15)
+
+    def test_report_default_matches_exact_default(self, upsim_t1_p2):
+        report = analyze_upsim(upsim_t1_p2)
+        explicit = analyze_upsim(upsim_t1_p2, kernel=DEFAULT_KERNEL)
+        assert report.service_availability == explicit.service_availability

@@ -1,0 +1,222 @@
+"""Unit tests for the dimension registry: specs, records, registration,
+and the data-declared builder path."""
+
+import pytest
+
+from repro.dimensions import (
+    AVAILABILITY_SPEC,
+    AnnotationSpec,
+    Dimension,
+    DimensionRegistry,
+    PROBABILITY,
+    TROPICAL_MIN_SUM,
+    builtin_dimensions,
+    dimension_from_dict,
+    default_registry,
+    get_dimension,
+    register_dimension,
+)
+from repro.errors import AnalysisError
+
+pytestmark = pytest.mark.dimensions
+
+
+class TestAnnotationSpec:
+    def test_bounds_check(self):
+        spec = AnnotationSpec(key="availability", lower=0.0, upper=1.0)
+        assert spec.check("c", 0.5) == 0.5
+        with pytest.raises(AnalysisError):
+            spec.check("c", 1.5)
+        with pytest.raises(AnalysisError):
+            spec.check("c", float("nan"))
+
+    def test_exclusive_lower(self):
+        spec = AnnotationSpec(key="lat", lower=0.0, exclusive_lower=True)
+        with pytest.raises(AnalysisError):
+            spec.check("c", 0.0)
+        assert spec.check("c", 0.001) == 0.001
+
+    def test_invalid_key_and_bounds(self):
+        with pytest.raises(AnalysisError):
+            AnnotationSpec(key="")
+        with pytest.raises(AnalysisError):
+            AnnotationSpec(key="bad key")
+        with pytest.raises(AnalysisError):
+            AnnotationSpec(key="x", lower=2.0, upper=1.0)
+        with pytest.raises(AnalysisError):
+            AnnotationSpec(key="x", lower=0.0, upper=1.0, default=2.0)
+
+    def test_resolve_default_fill(self):
+        spec = AnnotationSpec(key="unit_cost", lower=0.0, default=3.0)
+        table = spec.resolve(None, ["a", "b"])
+        assert table == {"a": 3.0, "b": 3.0}
+
+    def test_resolve_without_resolver_or_default(self):
+        spec = AnnotationSpec(key="x")
+        with pytest.raises(AnalysisError, match="no resolver and no default"):
+            spec.resolve(None, ["a"])
+
+    def test_validate_table_missing_component(self):
+        spec = AnnotationSpec(key="availability", lower=0.0, upper=1.0)
+        with pytest.raises(AnalysisError, match="no availability"):
+            spec.validate_table({"a": 0.9}, ["a", "b"])
+
+
+class TestDimension:
+    def test_rejects_unknown_mode_and_rule(self):
+        with pytest.raises(AnalysisError):
+            Dimension(
+                name="x",
+                description="",
+                semiring=PROBABILITY,
+                annotations=(AVAILABILITY_SPEC,),
+                mode="nope",
+            )
+        with pytest.raises(AnalysisError):
+            Dimension(
+                name="x",
+                description="",
+                semiring=PROBABILITY,
+                annotations=(AVAILABILITY_SPEC,),
+                prob_rule="median",
+            )
+
+    def test_custom_requires_callable(self):
+        with pytest.raises(AnalysisError, match="evaluate callable"):
+            Dimension(
+                name="x",
+                description="",
+                semiring=PROBABILITY,
+                annotations=(AVAILABILITY_SPEC,),
+                mode="custom",
+            )
+
+    def test_non_custom_rejects_callable(self):
+        with pytest.raises(AnalysisError):
+            Dimension(
+                name="x",
+                description="",
+                semiring=PROBABILITY,
+                annotations=(AVAILABILITY_SPEC,),
+                mode="semiring",
+                evaluate=lambda ctx, dim, params: (1.0, ()),
+            )
+
+    def test_param_lookup_and_override(self):
+        dim = get_dimension("responsiveness")
+        assert dim.param("deadline") == 10.0
+        assert dim.param("deadline", {"deadline": 5.0}) == 5.0
+        with pytest.raises(AnalysisError):
+            dim.param("nope")
+
+    def test_signature_distinguishes_math(self):
+        base = builtin_dimensions()[0]
+        variant = Dimension(
+            name=base.name,
+            description=base.description,
+            semiring=base.semiring,
+            annotations=base.annotations,
+            mode=base.mode,
+            prob_rule="mean-groups",
+            fmt=base.fmt,
+        )
+        assert base.signature() != variant.signature()
+
+
+class TestRegistry:
+    def test_builtins_registered_in_order(self):
+        registry = default_registry()
+        assert registry.names() == (
+            "availability",
+            "responsiveness",
+            "performability",
+            "latency",
+            "cost",
+        )
+        assert len(registry) == 5
+        assert "availability" in registry
+
+    def test_register_replace_unregister(self):
+        registry = DimensionRegistry(builtin_dimensions())
+        extra = dimension_from_dict(
+            {"name": "hops", "semiring": "tropical-min-sum"}
+        )
+        registry.register(extra)
+        assert "hops" in registry
+        with pytest.raises(AnalysisError, match="already registered"):
+            registry.register(extra)
+        registry.register(extra, replace=True)
+        registry.unregister("hops")
+        assert "hops" not in registry
+        with pytest.raises(AnalysisError):
+            registry.unregister("hops")
+
+    def test_register_rejects_non_dimension(self):
+        with pytest.raises(AnalysisError, match="expected a Dimension"):
+            DimensionRegistry().register({"name": "x"})
+
+    def test_select_orders_and_validates(self):
+        registry = default_registry()
+        selected = registry.select(["cost", "availability"])
+        assert [d.name for d in selected] == ["cost", "availability"]
+        with pytest.raises(AnalysisError, match="unknown dimension"):
+            registry.select(["nope"])
+        with pytest.raises(AnalysisError, match="at least one"):
+            registry.select([])
+
+    def test_fingerprint_is_order_and_content_sensitive(self, registry_guard):
+        registry = registry_guard
+        fp_all = registry.fingerprint()
+        assert registry.fingerprint(["availability"]) != fp_all
+        assert registry.fingerprint(
+            ["availability", "cost"]
+        ) != registry.fingerprint(["cost", "availability"])
+        extra = dimension_from_dict({"name": "hops", "semiring": "set-union"})
+        register_dimension(extra)
+        assert registry.fingerprint() != fp_all
+
+
+class TestDimensionFromDict:
+    def test_minimal_spec(self):
+        dim = dimension_from_dict(
+            {
+                "name": "hops",
+                "semiring": "tropical-min-sum",
+                "annotation": {"key": "hop_ms", "default": 1.0, "lower": 0.0},
+                "unit": "ms",
+                "higher_is_better": False,
+            }
+        )
+        assert dim.name == "hops"
+        assert dim.mode == "semiring"
+        assert dim.semiring is TROPICAL_MIN_SUM
+        assert dim.primary.key == "hop_ms"
+        assert not dim.higher_is_better
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(AnalysisError, match="unknown dimension spec keys"):
+            dimension_from_dict(
+                {"name": "x", "semiring": "probability", "color": "red"}
+            )
+        with pytest.raises(AnalysisError, match="unknown annotation spec"):
+            dimension_from_dict(
+                {
+                    "name": "x",
+                    "semiring": "probability",
+                    "annotation": {"key": "v", "median": 2},
+                }
+            )
+
+    def test_rejects_missing_required_and_custom_mode(self):
+        with pytest.raises(AnalysisError, match="'name'"):
+            dimension_from_dict({"semiring": "probability"})
+        with pytest.raises(AnalysisError, match="'semiring'"):
+            dimension_from_dict({"name": "x"})
+        with pytest.raises(AnalysisError, match="custom"):
+            dimension_from_dict(
+                {"name": "x", "semiring": "probability", "mode": "custom"}
+            )
+
+    def test_rejects_unknown_semiring(self):
+        with pytest.raises(AnalysisError, match="unknown semiring"):
+            dimension_from_dict({"name": "x", "semiring": "lukasiewicz"})

@@ -1,0 +1,123 @@
+"""Store × dimension-registry interaction (fresh-process warm start).
+
+The dimension plane persists ``"dimkernel"`` artifacts keyed by
+*(structure fingerprint, dimension-set fingerprint)*.  The contract under
+test: a second process with the same dimension set warm-starts (hit, same
+fingerprint, bit-identical value), while a process that registered a
+custom dimension computes a *different* fingerprint and therefore misses
+— it must never load the artifact persisted for the built-in-only set.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.dimensions
+
+_SCRIPT = r"""
+import json, sys
+from repro.dimensions import (
+    default_registry,
+    dimension_from_dict,
+    evaluate_dimensions,
+    register_dimension,
+)
+
+fs = frozenset
+GROUPS = [[fs({"a", "x"}), fs({"b", "x"})], [fs({"x", "s"})]]
+TABLE = {"a": 0.9, "b": 0.8, "x": 0.99, "s": 0.95}
+
+names = ["availability", "performability"]
+if "--custom" in sys.argv:
+    register_dimension(
+        dimension_from_dict(
+            {
+                "name": "footprint",
+                "semiring": "set-union",
+                "annotation": {"key": "unit_cost", "default": 2.0, "lower": 0.0},
+                "higher_is_better": False,
+            }
+        )
+    )
+    names.append("footprint")
+
+report = evaluate_dimensions(
+    GROUPS, names, annotations={"availability": TABLE}
+)
+print(
+    json.dumps(
+        {
+            "fingerprint": report.dimension_fingerprint,
+            "store_event": report.store_event,
+            "availability": report["availability"].value,
+            "performability": report["performability"].value,
+            "footprint": (
+                report["footprint"].value if "footprint" in report else None
+            ),
+        }
+    )
+)
+"""
+
+
+def _run(store_dir, *extra_args):
+    env = dict(os.environ)
+    env["REPRO_STORE"] = str(store_dir)
+    env["PYTHONPATH"] = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", _SCRIPT, *extra_args],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(result.stdout.strip().splitlines()[-1])
+
+
+def test_warm_start_hits_only_matching_dimension_set(tmp_path):
+    store = tmp_path / "store"
+
+    first = _run(store)
+    assert first["store_event"] == "miss"
+
+    # same dimension set, fresh process: warm start, identical values
+    second = _run(store)
+    assert second["store_event"] == "hit"
+    assert second["fingerprint"] == first["fingerprint"]
+    assert second["availability"] == first["availability"]
+    assert second["performability"] == first["performability"]
+
+    # custom dimension registered: different fingerprint, must MISS —
+    # the stale built-in-only artifact is not acceptable for this set
+    custom = _run(store, "--custom")
+    assert custom["fingerprint"] != first["fingerprint"]
+    assert custom["store_event"] == "miss"
+    assert custom["availability"] == first["availability"]
+    assert custom["performability"] == first["performability"]
+    # 4 distinct components at unit cost 2.0
+    assert custom["footprint"] == pytest.approx(8.0)
+
+    # and the custom set now warm-starts against its own artifact
+    custom_again = _run(store, "--custom")
+    assert custom_again["store_event"] == "hit"
+    assert custom_again["fingerprint"] == custom["fingerprint"]
+    assert custom_again["footprint"] == custom["footprint"]
+
+
+def test_dimkernel_artifacts_are_keyed_separately(tmp_path):
+    store = tmp_path / "store"
+    _run(store)
+    _run(store, "--custom")
+
+    from repro.store import _store_for
+
+    objects = list(_store_for(str(store)).objects())
+    dimkernels = [obj for obj in objects if obj.kind == "dimkernel"]
+    # one artifact per dimension set, distinct keys
+    assert len(dimkernels) == 2
+    assert len({obj.key for obj in dimkernels}) == 2
