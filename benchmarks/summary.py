@@ -1,0 +1,137 @@
+"""Aggregate committed benchmark baselines into one report.
+
+Usage::
+
+    python -m benchmarks.summary                    # all BENCH_*.json
+    python -m benchmarks.summary 'BENCH_c*.json'    # a subset
+    python -m benchmarks.summary --json out.json    # machine-readable
+
+Every committed baseline (``BENCH_availability.json``,
+``BENCH_compile.json``, …) is a pytest-benchmark JSON file recording one
+subsystem's floors.  This module folds them into a single table — one
+row per benchmark with its source file, mean/min runtime and round
+count — so the whole performance surface is inspectable at a glance and
+CI can publish it as one artifact.  Files are matched by glob relative
+to the repository root (the directory holding ``benchmarks/``), so the
+command works from any checkout location.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Dict, List
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_PATTERN = "BENCH_*.json"
+
+
+def collect(pattern: str = DEFAULT_PATTERN) -> List[Dict[str, object]]:
+    """One row per benchmark across every file matching *pattern*.
+
+    Rows carry ``file``, ``name`` (the short test name), ``fullname``,
+    ``mean``, ``min`` and ``rounds``; they sort by file then mean
+    descending, so each subsystem's heaviest benchmark leads its block.
+    A pattern matching no files raises :class:`FileNotFoundError` — an
+    empty summary would read as "no benchmarks regressed" in CI.
+    """
+    resolved = pattern if os.path.isabs(pattern) else os.path.join(
+        REPO_ROOT, pattern
+    )
+    paths = sorted(glob.glob(resolved))
+    if not paths:
+        raise FileNotFoundError(
+            f"no benchmark files match {pattern!r} under {REPO_ROOT} — "
+            f"record one first (pytest benchmarks -q --benchmark-json=...)"
+        )
+    rows: List[Dict[str, object]] = []
+    for path in paths:
+        with open(path) as handle:
+            data = json.load(handle)
+        for bench in data.get("benchmarks", []):
+            stats = bench["stats"]
+            rows.append(
+                {
+                    "file": os.path.basename(path),
+                    "name": bench["name"],
+                    "fullname": bench["fullname"],
+                    "mean": stats["mean"],
+                    "min": stats["min"],
+                    "rounds": stats["rounds"],
+                }
+            )
+    rows.sort(key=lambda row: (row["file"], -float(row["mean"])))
+    return rows
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:8.3f}s "
+    if value >= 1e-3:
+        return f"{value * 1e3:8.3f}ms"
+    return f"{value * 1e6:8.3f}us"
+
+
+def to_text(rows: List[Dict[str, object]]) -> str:
+    """The human-readable table."""
+    name_width = max(len(str(row["name"])) for row in rows)
+    lines = [
+        f"{'file':28} {'benchmark':{name_width}} {'mean':>10} "
+        f"{'min':>10} {'rounds':>6}"
+    ]
+    lines.append("-" * len(lines[0]))
+    current = None
+    for row in rows:
+        label = row["file"] if row["file"] != current else ""
+        current = row["file"]
+        lines.append(
+            f"{label:28} {row['name']:{name_width}} "
+            f"{_fmt_seconds(float(row['mean'])):>10} "
+            f"{_fmt_seconds(float(row['min'])):>10} "
+            f"{row['rounds']:>6}"
+        )
+    files = len({row["file"] for row in rows})
+    lines.append("-" * len(lines[0]))
+    lines.append(f"{len(rows)} benchmark(s) across {files} baseline file(s)")
+    return "\n".join(lines)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.summary",
+        description="aggregate committed BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "pattern",
+        nargs="?",
+        default=DEFAULT_PATTERN,
+        help="glob for baseline files, relative to the repository root "
+        "(default: BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write the aggregated rows as JSON (use '-' for stdout)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        rows = collect(args.pattern)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json == "-":
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(rows, handle, indent=2, sort_keys=True)
+        print(to_text(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

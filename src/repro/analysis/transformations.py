@@ -159,15 +159,17 @@ def service_path_set_groups(
 
 
 def service_availability_kernel(
-    upsim: UPSIM, *, include_links: bool = True
+    upsim: UPSIM, *, include_links: bool = True, reorder: Optional[str] = None
 ):
     """The compiled BDD kernel of the whole service structure.
 
     Groups follow :func:`service_path_set_groups` order (distinct pairs),
     so ``kernel.group_roots[i]`` is the i-th distinct pair's function.
     The variable order comes from the engine's CSR ids
-    (:func:`repro.dependability.bdd.order_from_topology`), and the
-    compiled kernel is memoized by structure fingerprint — a campaign
+    (:func:`repro.dependability.bdd.order_from_topology`) and *reorder*
+    selects the dynamic-reordering mode on top of that seed order
+    (``None`` defers to the process-wide ``configure_compile`` default).
+    The compiled kernel is memoized by structure fingerprint — a campaign
     re-evaluating the same UPSIM under hundreds of fault combinations
     compiles once.
     """
@@ -176,4 +178,4 @@ def service_availability_kernel(
     groups = service_path_set_groups(upsim, include_links=include_links)
     components = {c for group in groups for path in group for c in path}
     order = order_from_topology(Topology(upsim.model), components)
-    return compile_structure(groups, order=order)
+    return compile_structure(groups, order=order, reorder=reorder)

@@ -188,6 +188,25 @@ def _add_observability_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_compile_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--reorder",
+        choices=("auto", "sift", "none"),
+        default=None,
+        help="BDD dynamic variable reordering: 'auto' sifts only "
+        "badly-bloated diagrams (default), 'sift' always runs a "
+        "sifting pass, 'none' keeps the seed order",
+    )
+    parser.add_argument(
+        "--compile-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="BDD compile workers for multi-structure fan-out "
+        "(default: in-process serial compilation)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="upsim",
@@ -239,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(see 'upsim dimensions ls'), e.g. "
         "availability,responsiveness,performability",
     )
+    _add_compile_args(case)
     _add_observability_args(case)
 
     campaign = sub.add_parser(
@@ -277,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="bdd",
         help="availability evaluator for the sweep (default: compiled BDD)",
     )
+    _add_compile_args(campaign)
     _add_observability_args(campaign)
 
     population = sub.add_parser(
@@ -313,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="parallel path-discovery workers (default: serial)",
     )
+    _add_compile_args(population)
     _add_observability_args(population)
 
     churn = sub.add_parser(
@@ -370,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument(
         "--json", action="store_true", help="machine-readable report"
     )
+    _add_compile_args(churn)
     _add_observability_args(churn)
 
     store_cmd = sub.add_parser(
@@ -445,6 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser("analyze", help="availability analysis of a UPSIM")
     add_model_args(analyze, True)
+    _add_compile_args(analyze)
     analyze.add_argument("--formula", choices=("paper", "exact"), default="paper")
     analyze.add_argument("--mc", type=int, default=0)
     analyze.add_argument(
@@ -758,7 +782,10 @@ def cmd_churn(args: argparse.Namespace) -> int:
         coalesce_window=args.window,
         delta=not args.full,
     )
-    evaluator = LiveEvaluator(model, pairs, policy=policy)
+    # the incremental kernel only understands explicit sift-at-epoch
+    # ("auto" is a compile_structure policy, meaningless mid-churn)
+    churn_reorder = "sift" if getattr(args, "reorder", None) == "sift" else "none"
+    evaluator = LiveEvaluator(model, pairs, policy=policy, reorder=churn_reorder)
     stream = ChurnStream(model, pairs, seed=args.seed)
     report = evaluator.run(stream.events(args.events))
     if args.json:
@@ -1082,7 +1109,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     show_metrics: bool = getattr(args, "metrics", False)
     store_dir: Optional[str] = getattr(args, "store", None)
     tracer = _trace.Tracer() if trace_path else _trace.NOOP_TRACER
+    reorder_opt: Optional[str] = getattr(args, "reorder", None)
+    compile_jobs_opt: Optional[int] = getattr(args, "compile_jobs", None)
     try:
+        if reorder_opt is not None or compile_jobs_opt is not None:
+            from repro.dependability.bdd import configure_compile
+
+            configure_compile(reorder=reorder_opt, jobs=compile_jobs_opt)
         if store_dir and args.command != "store":
             _artifact_store.configure(store_dir)
         with _trace.activate(tracer):

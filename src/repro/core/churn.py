@@ -453,6 +453,7 @@ class LiveEvaluator:
         pairs: Sequence[Tuple[str, str]],
         *,
         policy: Optional[ChurnPolicy] = None,
+        reorder: str = "none",
     ):
         if not pairs:
             raise TopologyError("live evaluation requires at least one pair")
@@ -464,7 +465,10 @@ class LiveEvaluator:
         # package import chain loops back through this module
         from repro.dependability.bdd import IncrementalAvailabilityKernel
 
-        self._kernel = IncrementalAvailabilityKernel()
+        # reorder="sift" sifts the manager at epoch boundaries (fresh
+        # build / garbage rebuild) only — in between, the stable order
+        # keeps every cached group root valid
+        self._kernel = IncrementalAvailabilityKernel(reorder=reorder)
         self._lock = threading.Lock()
         self._snapshot: Optional[EpochSnapshot] = None
         self._epoch = 0

@@ -318,6 +318,8 @@ class MethodologyPipeline:
         shards: Optional[int] = None,
         resilience: Optional["ResiliencePolicy"] = None,
         kernel: Optional[str] = None,
+        reorder: Optional[str] = None,
+        compile_jobs: Optional[int] = None,
     ) -> PipelineReport:
         """Execute the automated Steps 5–8, skipping up-to-date stages.
 
@@ -341,6 +343,12 @@ class MethodologyPipeline:
         memoized BDD kernel as part of Step 8, so the first
         :meth:`analyze` (and every campaign evaluation of this UPSIM)
         starts from a warm cache.
+
+        ``reorder`` selects the BDD dynamic variable-reordering mode for
+        the Step-8 compile ("auto"/"sift"/"none"; ``None`` defers to
+        :func:`repro.dependability.bdd.configure_compile`), and
+        ``compile_jobs`` > 1 fans the Step-9 population kernel compiles
+        out over the persistent compile pool.
         """
         self._require_inputs()
         assert self._infrastructure and self._service and self._mapping
@@ -368,9 +376,9 @@ class MethodologyPipeline:
         with _trace.span("pipeline.run", mode=mode, jobs=jobs or 1) as run_span:
             if resilience is None:
                 self._run_stages(
-                    report, max_depth, max_paths, jobs, None, kernel
+                    report, max_depth, max_paths, jobs, None, kernel, reorder
                 )
-                self._run_population_stage(report, shards, jobs)
+                self._run_population_stage(report, shards, jobs, compile_jobs)
                 report.upsim = self.upsim
                 run_span.set(executed=len(report.executed_stages()))
                 return report
@@ -379,7 +387,13 @@ class MethodologyPipeline:
             # recorded, its dependents are skipped, and the report returns
             try:
                 self._run_stages(
-                    report, max_depth, max_paths, jobs, resilience, kernel
+                    report,
+                    max_depth,
+                    max_paths,
+                    jobs,
+                    resilience,
+                    kernel,
+                    reorder,
                 )
             except ReproError as exc:
                 failed = (
@@ -407,7 +421,7 @@ class MethodologyPipeline:
                 # Step 9 only runs on a healthy Step 5-8 chain: a partial
                 # UPSIM means some positions are unreachable, and the
                 # population numbers would silently misrepresent them
-                self._run_population_stage(report, shards, jobs)
+                self._run_population_stage(report, shards, jobs, compile_jobs)
             report.upsim = self.upsim
             run_span.set(
                 executed=len(report.executed_stages()), partial=report.partial
@@ -422,6 +436,7 @@ class MethodologyPipeline:
         jobs: Optional[int],
         resilience: Optional["ResiliencePolicy"],
         kernel: Optional[str] = None,
+        reorder: Optional[str] = None,
     ) -> None:
         assert self._infrastructure and self._service and self._mapping
 
@@ -531,20 +546,27 @@ class MethodologyPipeline:
                     raise
                 self._mark_upsim_entities()
                 if kernel is not None:
-                    self._warm_kernel(kernel, resilient=resilience is not None)
+                    self._warm_kernel(
+                        kernel,
+                        resilient=resilience is not None,
+                        reorder=reorder,
+                    )
                 self._dirty.discard("generate_upsim")
         else:
             _reused_stage(report, "generate_upsim")
             if kernel is not None and self.upsim is not None:
                 # a reused Step 8 still warms the kernel cache (memoized —
                 # free when an earlier run already compiled the structure)
-                self._warm_kernel(kernel, resilient=resilience is not None)
+                self._warm_kernel(
+                    kernel, resilient=resilience is not None, reorder=reorder
+                )
 
     def _run_population_stage(
         self,
         report: PipelineReport,
         shards: Optional[int],
         jobs: Optional[int],
+        compile_jobs: Optional[int] = None,
     ) -> None:
         """Optional Step 9: population-scale evaluation (see
         :meth:`set_population`).  A no-op when no population is attached;
@@ -579,6 +601,7 @@ class MethodologyPipeline:
                 self._population,
                 shards=shards,
                 jobs=jobs,
+                compile_jobs=compile_jobs,
             )
             self._population_shards = shards
             self._dirty.discard(POPULATION_STAGE)
@@ -589,7 +612,13 @@ class MethodologyPipeline:
                 )
         report.population = self._population_report
 
-    def _warm_kernel(self, kernel: str, *, resilient: bool) -> None:
+    def _warm_kernel(
+        self,
+        kernel: str,
+        *,
+        resilient: bool,
+        reorder: Optional[str] = None,
+    ) -> None:
         """Pre-compile the availability kernel for the generated UPSIM.
 
         Only ``"bdd"`` has structure to compile; the reference kernels
@@ -602,7 +631,9 @@ class MethodologyPipeline:
         from repro.analysis.transformations import service_availability_kernel
 
         try:
-            service_availability_kernel(self.upsim, include_links=True)
+            service_availability_kernel(
+                self.upsim, include_links=True, reorder=reorder
+            )
         except ReproError:
             if not resilient:
                 raise

@@ -1,0 +1,254 @@
+"""Sifting-based dynamic variable reordering for the BDD plane.
+
+Variable order decides ROBDD size — a bad order can be exponentially
+larger than the best one — and the seed heuristics
+(:func:`~repro.dependability.bdd.order_from_topology`, frequency order)
+only see the input structure, not the compiled diagram.  This module
+implements Rudell-style sifting over an already-compiled manager: each
+variable is moved through every decision level by repeated
+**adjacent-level swaps**, parked at the level minimizing live node
+count, with a growth bound aborting hopeless directions early.
+
+The swap primitive is the classic in-place one: a level-``i`` node that
+depends on level ``i+1`` is relabeled to the lower variable and its
+cofactor grid transposed (its node id — and therefore every reference
+from levels above — survives untouched); nodes independent of the other
+level just change depth.  Canonicity of the source manager guarantees
+the rebuilt nodes are distinct from each other and from the moved
+nodes, so no forwarding pointers are ever needed; nodes orphaned by a
+rebuild are dereferenced with cascade deletion once the whole level is
+processed.
+
+:func:`sift` works on the reachable subgraph only (construction garbage
+neither costs swap time nor distorts the size signal) and returns a
+freshly compacted manager with variables renumbered to their new
+levels, plus the old→new node-id mapping and the level permutation —
+the compile layer uses those to translate roots, cached group roots,
+and the kernel's variable naming.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["sift"]
+
+#: abort a sift direction once the live count exceeds this multiple of
+#: the best size seen for the variable being sifted
+_DEFAULT_MAX_GROWTH = 1.2
+
+
+class _SiftState:
+    """Mutable level-indexed view of a manager's reachable subgraph.
+
+    ``tables[level]`` maps ``(low, high) → node id`` for the nodes
+    currently decided at *level*; ``perm[level]`` is the original
+    variable index living there and ``var_level`` its inverse.  ``ref``
+    counts parents plus external root references, so swaps can delete
+    nodes the instant they become unreachable.
+    """
+
+    __slots__ = (
+        "lvl",
+        "lo",
+        "hi",
+        "ref",
+        "tables",
+        "perm",
+        "var_level",
+        "size",
+        "next_id",
+        "nlevels",
+    )
+
+    @classmethod
+    def from_manager(cls, bdd, roots: Sequence[int]) -> "_SiftState":
+        n = bdd.nvar
+        state = cls()
+        state.nlevels = n
+        state.lvl = {}
+        state.lo = {}
+        state.hi = {}
+        state.tables = [dict() for _ in range(n)]
+        state.perm = list(range(n))
+        state.var_level = list(range(n))
+        var_l, low_l, high_l = bdd._var_l, bdd._low_l, bdd._high_l
+        seen = {0, 1}
+        stack = list(roots)
+        order: List[int] = []
+        while stack:
+            nid = stack.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            order.append(nid)
+            stack.append(low_l[nid])
+            stack.append(high_l[nid])
+        state.size = len(order)
+        state.next_id = max(order) + 1 if order else 2
+        ref: Dict[int, int] = {0: 0, 1: 0}
+        for nid in order:
+            v, lo, hi = var_l[nid], low_l[nid], high_l[nid]
+            state.lvl[nid] = v
+            state.lo[nid] = lo
+            state.hi[nid] = hi
+            state.tables[v][(lo, hi)] = nid
+            ref[lo] = ref.get(lo, 0) + 1
+            ref[hi] = ref.get(hi, 0) + 1
+        for root in roots:
+            ref[root] = ref.get(root, 0) + 1
+        state.ref = ref
+        return state
+
+    def swap(self, i: int) -> None:
+        """Exchange decision levels ``i`` and ``i+1`` in place."""
+        lvl, lo, hi, ref = self.lvl, self.lo, self.hi, self.ref
+        tab_x = self.tables[i]
+        tab_y = self.tables[i + 1]
+        rebuilt: List[Tuple[int, int, int, int, int, int, int]] = []
+        moved_down: List[Tuple[Tuple[int, int], int]] = []
+        for key, a in tab_x.items():
+            f0, f1 = key
+            dep0 = lvl.get(f0, -1) == i + 1
+            dep1 = lvl.get(f1, -1) == i + 1
+            if dep0 or dep1:
+                f00, f01 = (lo[f0], hi[f0]) if dep0 else (f0, f0)
+                f10, f11 = (lo[f1], hi[f1]) if dep1 else (f1, f1)
+                rebuilt.append((a, f0, f1, f00, f01, f10, f11))
+            else:
+                moved_down.append((key, a))
+        new_tab_i: Dict[Tuple[int, int], int] = {}
+        for key, b in tab_y.items():
+            lvl[b] = i
+            new_tab_i[key] = b
+        new_tab_i1: Dict[Tuple[int, int], int] = {}
+        for key, a in moved_down:
+            lvl[a] = i + 1
+            new_tab_i1[key] = a
+        self.tables[i] = new_tab_i
+        self.tables[i + 1] = new_tab_i1
+
+        def mkred_low(left: int, right: int) -> int:
+            # reduced node at the new lower level i+1, +1 reference for
+            # the caller
+            if left == right:
+                ref[left] += 1
+                return left
+            key = (left, right)
+            node = new_tab_i1.get(key)
+            if node is None:
+                node = self.next_id
+                self.next_id = node + 1
+                lvl[node] = i + 1
+                lo[node] = left
+                hi[node] = right
+                ref[node] = 0
+                ref[left] += 1
+                ref[right] += 1
+                new_tab_i1[key] = node
+                self.size += 1
+            ref[node] += 1
+            return node
+
+        # rebuild pass first, derefs deferred: a child about to lose its
+        # reference from A may be re-referenced by A's new cofactors
+        dead: List[int] = []
+        for a, f0, f1, f00, f01, f10, f11 in rebuilt:
+            h0 = mkred_low(f00, f10)
+            h1 = mkred_low(f01, f11)
+            lo[a] = h0
+            hi[a] = h1
+            lvl[a] = i
+            new_tab_i[(h0, h1)] = a
+            dead.append(f0)
+            dead.append(f1)
+        while dead:
+            nid = dead.pop()
+            if nid < 2:
+                continue
+            ref[nid] -= 1
+            if ref[nid] == 0:
+                del self.tables[lvl[nid]][(lo[nid], hi[nid])]
+                dead.append(lo[nid])
+                dead.append(hi[nid])
+                del lvl[nid], lo[nid], hi[nid], ref[nid]
+                self.size -= 1
+        px, py = self.perm[i], self.perm[i + 1]
+        self.perm[i], self.perm[i + 1] = py, px
+        self.var_level[px] = i + 1
+        self.var_level[py] = i
+
+
+def sift(
+    bdd,
+    roots: Sequence[int],
+    *,
+    max_growth: float = _DEFAULT_MAX_GROWTH,
+    max_swaps: int = 0,
+) -> Tuple[object, Dict[int, int], List[int], Dict[str, int]]:
+    """One bounded sifting pass over the subgraph reachable from *roots*.
+
+    Variables are sifted largest-level-first; each is swept to the
+    bottom, then to the top, then parked at the best level seen (the
+    *max_growth* bound aborts directions that only bloat the diagram).
+    *max_swaps* caps exploratory swaps (0 picks a quadratic default);
+    parking swaps always complete so the state stays consistent.
+
+    Returns ``(new_bdd, mapping, perm, stats)``: a compacted manager of
+    *bdd*'s class whose variable ``v`` **is** decision level ``v``, the
+    old→new node-id mapping (terminals included), the permutation with
+    ``perm[level]`` = original variable index, and the pass counters.
+    """
+    n = bdd.nvar
+    state = _SiftState.from_manager(bdd, roots)
+    live_before = state.size
+    swaps = 0
+    budget = max_swaps if max_swaps > 0 else max(64, 8 * n * n)
+    if n > 1 and state.size:
+        by_size = sorted(
+            range(n), key=lambda v: -len(state.tables[state.var_level[v]])
+        )
+        for v in by_size:
+            if swaps >= budget:
+                break
+            cur = state.var_level[v]
+            best_size = state.size
+            best_level = cur
+            while cur < n - 1 and swaps < budget:
+                state.swap(cur)
+                swaps += 1
+                cur += 1
+                if state.size < best_size:
+                    best_size = state.size
+                    best_level = cur
+                elif state.size > best_size * max_growth:
+                    break
+            while cur > 0 and swaps < budget:
+                state.swap(cur - 1)
+                swaps += 1
+                cur -= 1
+                if state.size < best_size:
+                    best_size = state.size
+                    best_level = cur
+                elif state.size > best_size * max_growth and cur <= best_level:
+                    break
+            while cur < best_level:
+                state.swap(cur)
+                swaps += 1
+                cur += 1
+            while cur > best_level:
+                state.swap(cur - 1)
+                swaps += 1
+                cur -= 1
+    new_bdd = bdd.__class__(n)
+    mapping: Dict[int, int] = {0: 0, 1: 1}
+    for level in range(n - 1, -1, -1):
+        for (left, right), nid in state.tables[level].items():
+            mapping[nid] = new_bdd.mk(level, mapping[left], mapping[right])
+    stats = {
+        "swaps": swaps,
+        "live_before": live_before,
+        "live_after": state.size,
+        "passes": 1,
+    }
+    return new_bdd, mapping, list(state.perm), stats

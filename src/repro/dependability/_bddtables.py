@@ -1,0 +1,422 @@
+"""Open-addressed int64 hash tables for the array-native BDD plane.
+
+The dict-of-tuples unique table and tuple-keyed apply/ITE cache of the
+original compiler allocate one tuple plus one dict entry per node and
+per memoized operation — on composition-scale structures (hundreds of
+variables, 10^5-10^6 nodes) that is the dominant cost of compilation,
+in both time and resident memory.  This module replaces both with
+open-addressed linear-probing tables over NumPy ``int64`` storage:
+
+* :class:`UniqueTable` stores **node ids only** — the key of a slot is
+  read back from the manager's ``var``/``low``/``high`` parallel arrays,
+  so the table adds 8 bytes per slot regardless of key width, and a bulk
+  probe is three vectorized gathers plus a compare;
+* :class:`ComputedTable` memoizes apply/ITE results under explicit
+  ``(op, f, g, h)`` int64 key columns (binary operations leave ``h`` at
+  the reserved 0 sentinel — their ``op`` tags never collide with ITE's).
+
+Both tables keep power-of-two capacities (slot index = ``hash & mask``),
+grow at a ~60% load factor, and rehash with the same vectorized claim
+loop the bulk insert uses — a rehash is one array pass, not a
+key-by-key dict rebuild.  Scalar and bulk entry points share the same
+storage, so the iterative worklist operations (`BDD.apply_and` on a few
+nodes) and the breadth-first vectorized apply (thousands of requests per
+level) interoperate on one manager.
+
+Probe/rehash tallies accumulate on the table objects; the compile layer
+flushes them into the ``repro_bdd_table_*`` metrics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.dependability.bdd import BDD
+
+__all__ = ["UniqueTable", "ComputedTable"]
+
+_M64 = (1 << 64) - 1
+#: 64-bit mixing constants (golden-ratio / xxhash family primes)
+_K1 = 0x9E3779B97F4A7C15
+_K2 = 0xC2B2AE3D27D4EB4F
+_K3 = 0x165667B19E3779F9
+_K4 = 0x27D4EB2F165667C5
+
+_NK1 = np.uint64(_K1)
+_NK2 = np.uint64(_K2)
+_NK3 = np.uint64(_K3)
+_NK4 = np.uint64(_K4)
+_N31 = np.uint64(31)
+
+#: slots per entry kept ≥ 1/0.6 — linear probing stays short-chained
+_LOAD_NUM, _LOAD_DEN = 3, 5
+
+
+def _hash3(a: int, b: int, c: int) -> int:
+    h = (a * _K1 + b * _K2 + c * _K3) & _M64
+    return (h ^ (h >> 31)) & _M64
+
+
+def _hash4(a: int, b: int, c: int, d: int) -> int:
+    h = (a * _K1 + b * _K2 + c * _K3 + d * _K4) & _M64
+    return (h ^ (h >> 31)) & _M64
+
+
+def _hash3v(a, b, c) -> np.ndarray:
+    """Vectorized :func:`_hash3` (uint64 wrap-around arithmetic)."""
+    h = (
+        a.astype(np.uint64) * _NK1
+        + b.astype(np.uint64) * _NK2
+        + c.astype(np.uint64) * _NK3
+    )
+    return h ^ (h >> _N31)
+
+
+def _hash4v(a, b, c, d) -> np.ndarray:
+    h = (
+        a.astype(np.uint64) * _NK1
+        + b.astype(np.uint64) * _NK2
+        + c.astype(np.uint64) * _NK3
+        + d.astype(np.uint64) * _NK4
+    )
+    return h ^ (h >> _N31)
+
+
+class UniqueTable:
+    """Open-addressed slot table guaranteeing one node per (var, low,
+    high) triple.
+
+    Slots hold node ids (or -1 when empty); the key of an occupied slot
+    is *read from the owner's node arrays*, never duplicated here.  The
+    owner must provide ``_var``/``_low``/``_high`` int64 buffers, the
+    scalar mirrors ``_var_l``/``_low_l``/``_high_l``, and the
+    ``_append_node``/``_append_nodes`` allocators.
+    """
+
+    __slots__ = ("slots", "mask", "fill", "probes", "rehashes")
+
+    def __init__(self, capacity: int = 1 << 10):
+        if capacity & (capacity - 1):
+            raise ValueError(f"capacity must be a power of two: {capacity}")
+        self.slots = np.full(capacity, -1, dtype=np.int64)
+        self.mask = capacity - 1
+        self.fill = 0
+        self.probes = 0
+        self.rehashes = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.mask + 1
+
+    def _reserve(self, owner: "BDD", extra: int) -> None:
+        """Grow (power-of-two doubling) until *extra* more entries fit
+        under the load factor."""
+        capacity = self.mask + 1
+        while (self.fill + extra) * _LOAD_DEN > capacity * _LOAD_NUM:
+            capacity *= 2
+        if capacity != self.mask + 1:
+            self._rehash(owner, capacity)
+
+    def _rehash(self, owner: "BDD", capacity: int) -> None:
+        """One vectorized pass re-claiming every live node id."""
+        self.slots = np.full(capacity, -1, dtype=np.int64)
+        self.mask = capacity - 1
+        self.rehashes += 1
+        n = owner._n
+        if n <= 2:
+            return
+        ids = np.arange(2, n, dtype=np.int64)
+        var = owner._var[2:n]
+        low = owner._low[2:n]
+        high = owner._high[2:n]
+        h = (_hash3v(var, low, high) & np.uint64(self.mask)).astype(np.int64)
+        slots = self.slots
+        pending = np.arange(n - 2)
+        while pending.size:
+            self.probes += pending.size
+            hp = h[pending]
+            cand = slots[hp]
+            empty = cand < 0
+            if empty.any():
+                eslots = hp[empty]
+                uniq, first = np.unique(eslots, return_index=True)
+                winners = pending[empty][first]
+                slots[uniq] = ids[winners]
+                placed = np.zeros(pending.size, dtype=bool)
+                placed[np.flatnonzero(empty)[first]] = True
+                pending = pending[~placed]
+                # losers of the claim round and collided survivors both
+                # advance; winners are done
+                h[pending] = (h[pending] + 1) & self.mask
+            else:
+                h[pending] = (hp + 1) & self.mask
+
+    # -- scalar ---------------------------------------------------------------
+
+    def lookup_or_insert(self, owner: "BDD", v: int, lo: int, hi: int) -> int:
+        """The unique node id for (v, lo, hi), allocating on first use."""
+        mask = self.mask
+        slots = self.slots
+        var_l, low_l, high_l = owner._var_l, owner._low_l, owner._high_l
+        h = _hash3(v, lo, hi) & mask
+        while True:
+            self.probes += 1
+            node = int(slots[h])
+            if node < 0:
+                node = owner._append_node(v, lo, hi)
+                slots[h] = node
+                self.fill += 1
+                if self.fill * _LOAD_DEN > (mask + 1) * _LOAD_NUM:
+                    self._rehash(owner, (mask + 1) * 2)
+                return node
+            if var_l[node] == v and low_l[node] == lo and high_l[node] == hi:
+                return node
+            h = (h + 1) & mask
+
+    # -- bulk -----------------------------------------------------------------
+
+    def insert_many(
+        self, owner: "BDD", v: int, lo: np.ndarray, hi: np.ndarray
+    ) -> np.ndarray:
+        """Node ids for a batch of **distinct** (v, lo, hi) keys sharing
+        one variable — existing nodes found, missing ones allocated, all
+        in vectorized probe/claim rounds."""
+        k = lo.size
+        if not k:
+            return np.empty(0, dtype=np.int64)
+        self._reserve(owner, k)
+        out = np.empty(k, dtype=np.int64)
+        vvec = np.full(k, v, dtype=np.int64)
+        h = (_hash3v(vvec, lo, hi) & np.uint64(self.mask)).astype(np.int64)
+        slots = self.slots
+        pending = np.arange(k)
+        while pending.size:
+            # re-read each round: _append_nodes may have reallocated the
+            # owner buffers, and last round's winners are this round's
+            # collision candidates
+            var_a, low_a, high_a = owner._var, owner._low, owner._high
+            self.probes += pending.size
+            hp = h[pending]
+            cand = slots[hp]
+            occupied = cand >= 0
+            done = np.zeros(pending.size, dtype=bool)
+            if occupied.any():
+                cids = cand[occupied]
+                match = (
+                    (var_a[cids] == v)
+                    & (low_a[cids] == lo[pending[occupied]])
+                    & (high_a[cids] == hi[pending[occupied]])
+                )
+                if match.any():
+                    rows = np.flatnonzero(occupied)[match]
+                    out[pending[rows]] = cids[match]
+                    done[rows] = True
+            empty = ~occupied
+            if empty.any():
+                eslots = hp[empty]
+                uniq, first = np.unique(eslots, return_index=True)
+                rows = np.flatnonzero(empty)[first]
+                winners = pending[rows]
+                ids = owner._append_nodes(v, lo[winners], hi[winners])
+                slots[uniq] = ids
+                out[winners] = ids
+                self.fill += ids.size
+                done[rows] = True
+            pending = pending[~done]
+            h[pending] = (h[pending] + 1) & self.mask
+        return out
+
+
+class ComputedTable:
+    """Open-addressed apply/ITE memo: ``(op, f, g, h) → result``.
+
+    Keys live in four explicit int64 columns (``op`` is -1 on empty
+    slots); binary operations pass ``h = 0``, which cannot collide with
+    ITE keys because the op tags differ.  Same growth/probing discipline
+    as :class:`UniqueTable`.
+    """
+
+    __slots__ = ("ka", "kb", "kc", "kd", "val", "mask", "fill", "probes",
+                 "rehashes")
+
+    def __init__(self, capacity: int = 1 << 10):
+        if capacity & (capacity - 1):
+            raise ValueError(f"capacity must be a power of two: {capacity}")
+        self.ka = np.full(capacity, -1, dtype=np.int64)
+        self.kb = np.empty(capacity, dtype=np.int64)
+        self.kc = np.empty(capacity, dtype=np.int64)
+        self.kd = np.empty(capacity, dtype=np.int64)
+        self.val = np.empty(capacity, dtype=np.int64)
+        self.mask = capacity - 1
+        self.fill = 0
+        self.probes = 0
+        self.rehashes = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.mask + 1
+
+    def _reserve(self, extra: int) -> None:
+        capacity = self.mask + 1
+        while (self.fill + extra) * _LOAD_DEN > capacity * _LOAD_NUM:
+            capacity *= 2
+        if capacity != self.mask + 1:
+            self._rehash(capacity)
+
+    def _rehash(self, capacity: int) -> None:
+        live = np.flatnonzero(self.ka >= 0)
+        ka, kb = self.ka[live], self.kb[live]
+        kc, kd = self.kc[live], self.kd[live]
+        val = self.val[live]
+        self.ka = np.full(capacity, -1, dtype=np.int64)
+        self.kb = np.empty(capacity, dtype=np.int64)
+        self.kc = np.empty(capacity, dtype=np.int64)
+        self.kd = np.empty(capacity, dtype=np.int64)
+        self.val = np.empty(capacity, dtype=np.int64)
+        self.mask = capacity - 1
+        self.rehashes += 1
+        if live.size:
+            self._put_rows(ka, kb, kc, kd, val)
+
+    def _put_rows(self, ka, kb, kc, kd, val) -> None:
+        """Vectorized claim loop over distinct keys (insert or update)."""
+        mask = self.mask
+        h = (_hash4v(ka, kb, kc, kd) & np.uint64(mask)).astype(np.int64)
+        pending = np.arange(ka.size)
+        while pending.size:
+            self.probes += pending.size
+            hp = h[pending]
+            occ = self.ka[hp] >= 0
+            done = np.zeros(pending.size, dtype=bool)
+            if occ.any():
+                rows = np.flatnonzero(occ)
+                sel = hp[rows]
+                p = pending[rows]
+                same = (
+                    (self.ka[sel] == ka[p])
+                    & (self.kb[sel] == kb[p])
+                    & (self.kc[sel] == kc[p])
+                    & (self.kd[sel] == kd[p])
+                )
+                if same.any():
+                    upd = sel[same]
+                    self.val[upd] = val[p[same]]
+                    done[rows[same]] = True
+            empty = ~occ
+            if empty.any():
+                eslots = hp[empty]
+                uniq, first = np.unique(eslots, return_index=True)
+                rows = np.flatnonzero(empty)[first]
+                p = pending[rows]
+                self.ka[uniq] = ka[p]
+                self.kb[uniq] = kb[p]
+                self.kc[uniq] = kc[p]
+                self.kd[uniq] = kd[p]
+                self.val[uniq] = val[p]
+                self.fill += uniq.size
+                done[rows] = True
+            pending = pending[~done]
+            h[pending] = (h[pending] + 1) & mask
+
+    # -- scalar ---------------------------------------------------------------
+
+    def get(self, op: int, f: int, g: int, h4: int = 0):
+        mask = self.mask
+        h = _hash4(op, f, g, h4) & mask
+        ka = self.ka
+        while True:
+            self.probes += 1
+            a = int(ka[h])
+            if a < 0:
+                return None
+            if (
+                a == op
+                and int(self.kb[h]) == f
+                and int(self.kc[h]) == g
+                and int(self.kd[h]) == h4
+            ):
+                return int(self.val[h])
+            h = (h + 1) & mask
+
+    def put(self, op: int, f: int, g: int, result: int, h4: int = 0) -> None:
+        self._reserve(1)
+        mask = self.mask
+        h = _hash4(op, f, g, h4) & mask
+        ka = self.ka
+        while True:
+            self.probes += 1
+            a = int(ka[h])
+            if a < 0:
+                ka[h] = op
+                self.kb[h] = f
+                self.kc[h] = g
+                self.kd[h] = h4
+                self.val[h] = result
+                self.fill += 1
+                return
+            if (
+                a == op
+                and int(self.kb[h]) == f
+                and int(self.kc[h]) == g
+                and int(self.kd[h]) == h4
+            ):
+                self.val[h] = result
+                return
+            h = (h + 1) & mask
+
+    # -- bulk -----------------------------------------------------------------
+
+    def get_many(
+        self, op: int, f: np.ndarray, g: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(values, found)`` for a batch of binary-op keys."""
+        k = f.size
+        values = np.empty(k, dtype=np.int64)
+        found = np.zeros(k, dtype=bool)
+        if not k:
+            return values, found
+        mask = self.mask
+        opv = np.full(k, op, dtype=np.int64)
+        zero = np.zeros(k, dtype=np.int64)
+        h = (_hash4v(opv, f, g, zero) & np.uint64(mask)).astype(np.int64)
+        pending = np.arange(k)
+        while pending.size:
+            self.probes += pending.size
+            hp = h[pending]
+            a = self.ka[hp]
+            empty = a < 0
+            done = empty.copy()  # empty slot ends the probe chain: miss
+            occ = ~empty
+            if occ.any():
+                rows = np.flatnonzero(occ)
+                sel = hp[rows]
+                p = pending[rows]
+                same = (
+                    (a[rows] == op)
+                    & (self.kb[sel] == f[p])
+                    & (self.kc[sel] == g[p])
+                    & (self.kd[sel] == 0)
+                )
+                if same.any():
+                    hit = p[same]
+                    values[hit] = self.val[sel[same]]
+                    found[hit] = True
+                    done[rows[same]] = True
+            pending = pending[~done]
+            h[pending] = (h[pending] + 1) & mask
+        return values, found
+
+    def put_many(
+        self, op: int, f: np.ndarray, g: np.ndarray, result: np.ndarray
+    ) -> None:
+        """Insert a batch of **distinct** binary-op keys."""
+        if not f.size:
+            return
+        self._reserve(f.size)
+        opv = np.full(f.size, op, dtype=np.int64)
+        zero = np.zeros(f.size, dtype=np.int64)
+        self._put_rows(opv, f.astype(np.int64), g.astype(np.int64), zero,
+                       result.astype(np.int64))

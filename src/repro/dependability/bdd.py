@@ -39,6 +39,7 @@ the fallback orders by descending occurrence frequency.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import threading
 from collections import Counter
@@ -58,6 +59,8 @@ import numpy as np
 
 from repro import store as _store
 from repro.core.engine import _LRU, compile_topology
+from repro.dependability import _bddreorder
+from repro.dependability._bddtables import ComputedTable, UniqueTable
 from repro.dependability.cutsets import minimize_sets
 from repro.errors import AnalysisError, StoreError
 from repro.network.topology import Topology
@@ -71,7 +74,9 @@ __all__ = [
     "perturbed_sweep",
     "evaluate_perturbed_arrays",
     "compile_structure",
+    "compile_many",
     "compile_pair",
+    "configure_compile",
     "structure_fingerprint",
     "frequency_order",
     "order_from_topology",
@@ -84,15 +89,36 @@ __all__ = [
 ]
 
 
+#: apply-operation tags (double as :class:`ComputedTable` key prefixes)
+_OP_AND = 0
+_OP_OR = 1
+_OP_ITE = 2
+
+#: below this many requests the bulk paths fall back to scalar loops —
+#: numpy call overhead beats vectorization on tiny batches, which keeps
+#: small compiles (and the 10k-deep series chain) at dict-era speed
+_SCALAR_CUTOFF = 4
+
+
 class BDD:
     """A reduced ordered BDD manager over variables ``0 … nvar-1``.
 
-    Nodes live in parallel arrays (``var``/``low``/``high``) indexed by
-    node id; ids 0 and 1 are the FALSE/TRUE terminals (their ``var`` is
-    the out-of-range sentinel ``nvar``, which makes "smallest variable on
-    top" comparisons uniform).  The unique table guarantees one node per
-    (var, low, high) triple, so structurally equal functions are pointer
-    equal and the apply caches can key on ids alone.
+    Nodes live in parallel **int64 numpy buffers** (``_var``/``_low``/
+    ``_high``, capacity-doubled) indexed by node id, with plain-list
+    mirrors serving the scalar hot loops; ids 0 and 1 are the FALSE/TRUE
+    terminals (their ``var`` is the out-of-range sentinel ``nvar``, which
+    makes "smallest variable on top" comparisons uniform).  The
+    open-addressed :class:`~repro.dependability._bddtables.UniqueTable`
+    guarantees one node per (var, low, high) triple, so structurally
+    equal functions are pointer equal and the apply caches can key on ids
+    alone.
+
+    Construction is never recursive: the scalar ``apply_*``/``ite``
+    operations run an explicit worklist, and :meth:`apply_many` batches
+    whole frontiers of apply requests through vectorized
+    level-synchronous sweeps — deep composition structures cannot hit the
+    interpreter recursion limit, and wide ones amortize per-node Python
+    overhead across numpy calls.
     """
 
     FALSE = 0
@@ -100,30 +126,134 @@ class BDD:
 
     def __init__(self, nvar: int):
         self.nvar = nvar
-        self.var: List[int] = [nvar, nvar]
-        self.low: List[int] = [0, 1]
-        self.high: List[int] = [0, 1]
-        self._unique: Dict[Tuple[int, int, int], int] = {}
-        self._cache: Dict[Tuple[int, ...], int] = {}
+        capacity = 1 << 10
+        self._var = np.empty(capacity, dtype=np.int64)
+        self._low = np.empty(capacity, dtype=np.int64)
+        self._high = np.empty(capacity, dtype=np.int64)
+        self._var[0] = self._var[1] = nvar
+        self._low[0], self._low[1] = 0, 1
+        self._high[0], self._high[1] = 0, 1
+        self._n = 2
+        self._var_l: List[int] = [nvar, nvar]
+        self._low_l: List[int] = [0, 1]
+        self._high_l: List[int] = [0, 1]
+        self._unique = UniqueTable()
+        self._computed = ComputedTable()
         #: memoized apply/ITE results reused during construction
         self.cache_hits = 0
 
+    # node fields are exposed as the list mirrors so callers keep the
+    # seed-era ``bdd.var[node]`` access pattern
+    @property
+    def var(self) -> List[int]:
+        return self._var_l
+
+    @property
+    def low(self) -> List[int]:
+        return self._low_l
+
+    @property
+    def high(self) -> List[int]:
+        return self._high_l
+
     def __len__(self) -> int:
-        return len(self.var)
+        return self._n
+
+    def table_stats(self) -> Dict[str, int]:
+        """Probe/rehash tallies of both open-addressed tables."""
+        return {
+            "unique_probes": self._unique.probes,
+            "unique_rehashes": self._unique.rehashes,
+            "unique_capacity": self._unique.capacity,
+            "unique_fill": self._unique.fill,
+            "computed_probes": self._computed.probes,
+            "computed_rehashes": self._computed.rehashes,
+            "computed_capacity": self._computed.capacity,
+            "computed_fill": self._computed.fill,
+            "nodes": self._n,
+        }
+
+    # -- allocation -----------------------------------------------------------
+
+    def _grow_buffers(self, need: int) -> None:
+        capacity = self._var.size
+        while capacity < need:
+            capacity *= 2
+        for name in ("_var", "_low", "_high"):
+            old = getattr(self, name)
+            buf = np.empty(capacity, dtype=np.int64)
+            buf[: self._n] = old[: self._n]
+            setattr(self, name, buf)
+
+    def _append_node(self, v: int, lo: int, hi: int) -> int:
+        node = self._n
+        if node >= self._var.size:
+            self._grow_buffers(node + 1)
+        self._var[node] = v
+        self._low[node] = lo
+        self._high[node] = hi
+        self._n = node + 1
+        self._var_l.append(v)
+        self._low_l.append(lo)
+        self._high_l.append(hi)
+        return node
+
+    def _append_nodes(
+        self, v: int, lo: np.ndarray, hi: np.ndarray
+    ) -> np.ndarray:
+        k = lo.size
+        start = self._n
+        if start + k > self._var.size:
+            self._grow_buffers(start + k)
+        self._var[start : start + k] = v
+        self._low[start : start + k] = lo
+        self._high[start : start + k] = hi
+        self._n = start + k
+        self._var_l.extend([v] * k)
+        self._low_l.extend(lo.tolist())
+        self._high_l.extend(hi.tolist())
+        return np.arange(start, start + k, dtype=np.int64)
 
     def mk(self, variable: int, low: int, high: int) -> int:
         """The unique node for (variable, low, high), reduced."""
         if low == high:
             return low
-        key = (variable, low, high)
-        node = self._unique.get(key)
-        if node is None:
-            node = len(self.var)
-            self.var.append(variable)
-            self.low.append(low)
-            self.high.append(high)
-            self._unique[key] = node
-        return node
+        return self._unique.lookup_or_insert(self, variable, low, high)
+
+    def mk_many(
+        self, variable: int, low: np.ndarray, high: np.ndarray
+    ) -> np.ndarray:
+        """Unique node ids for a batch of (variable, low, high) requests
+        (requests may repeat; reduction and hash-consing are applied
+        exactly as in :meth:`mk`)."""
+        low = np.asarray(low, dtype=np.int64)
+        high = np.asarray(high, dtype=np.int64)
+        k = low.size
+        if k <= _SCALAR_CUTOFF:
+            return np.fromiter(
+                (
+                    self.mk(variable, int(lo), int(hi))
+                    for lo, hi in zip(low, high)
+                ),
+                dtype=np.int64,
+                count=k,
+            )
+        out = np.empty(k, dtype=np.int64)
+        same = low == high
+        out[same] = low[same]
+        todo = ~same
+        if todo.any():
+            lo_t = low[todo]
+            hi_t = high[todo]
+            keys = (lo_t << 32) | hi_t
+            _, first, inv = np.unique(
+                keys, return_index=True, return_inverse=True
+            )
+            ids = self._unique.insert_many(
+                self, variable, lo_t[first], hi_t[first]
+            )
+            out[todo] = ids[inv]
+        return out
 
     def grow(self, nvar: int) -> None:
         """Extend the variable universe to *nvar* (append-only).
@@ -138,7 +268,8 @@ class BDD:
                 f"variables"
             )
         self.nvar = nvar
-        self.var[0] = self.var[1] = nvar
+        self._var[0] = self._var[1] = nvar
+        self._var_l[0] = self._var_l[1] = nvar
 
     def cube(self, variables: Iterable[int]) -> int:
         """The conjunction of positive literals — one path's success."""
@@ -147,79 +278,371 @@ class BDD:
             node = self.mk(variable, self.FALSE, node)
         return node
 
-    def _cofactors(self, node: int, variable: int) -> Tuple[int, int]:
-        if self.var[node] == variable:
-            return self.low[node], self.high[node]
-        return node, node
+    def cube_many(self, paths: Sequence[Iterable[int]]) -> np.ndarray:
+        """One :meth:`cube` root per path, built level-synchronously:
+        all paths' literals at the deepest variable become one
+        :meth:`mk_many` call, then the next level up, and so on."""
+        k = len(paths)
+        out = np.full(k, self.TRUE, dtype=np.int64)
+        rows_l: List[int] = []
+        vars_l: List[int] = []
+        for row, path in enumerate(paths):
+            distinct = set(path)
+            rows_l.extend([row] * len(distinct))
+            vars_l.extend(distinct)
+        if not vars_l:
+            return out
+        va = np.array(vars_l, dtype=np.int64)
+        ra = np.array(rows_l, dtype=np.int64)
+        order = np.argsort(-va, kind="stable")
+        va = va[order]
+        ra = ra[order]
+        boundaries = np.flatnonzero(np.diff(va)) + 1
+        start = 0
+        for stop in [*boundaries.tolist(), va.size]:
+            v = int(va[start])
+            rows = ra[start:stop]
+            if rows.size <= _SCALAR_CUTOFF:
+                for row in rows.tolist():
+                    out[row] = self.mk(v, self.FALSE, int(out[row]))
+            else:
+                out[rows] = self.mk_many(
+                    v, np.zeros(rows.size, dtype=np.int64), out[rows]
+                )
+            start = stop
+        return out
+
+    # -- scalar apply / ITE (iterative worklists) -----------------------------
+
+    def _apply_scalar(self, op: int, f: int, g: int) -> int:
+        """AND/OR of two nodes via an explicit two-phase worklist (CALL
+        frames expand cofactors, RESUME frames fold children) — no
+        interpreter recursion, identical memoization to the seed-era
+        recursive apply."""
+        computed = self._computed
+        var_l, low_l, high_l = self._var_l, self._low_l, self._high_l
+        hits = 0
+        results: List[int] = []
+        stack: List[Tuple[int, ...]] = [(0, f, g)]
+        while stack:
+            frame = stack.pop()
+            if frame[0] == 0:  # CALL
+                _, a, b = frame
+                if op == _OP_AND:
+                    if a == 0 or b == 0:
+                        results.append(0)
+                        continue
+                    if a == 1:
+                        results.append(b)
+                        continue
+                    if b == 1 or a == b:
+                        results.append(a)
+                        continue
+                else:
+                    if a == 1 or b == 1:
+                        results.append(1)
+                        continue
+                    if a == 0:
+                        results.append(b)
+                        continue
+                    if b == 0 or a == b:
+                        results.append(a)
+                        continue
+                if a > b:
+                    a, b = b, a
+                cached = computed.get(op, a, b)
+                if cached is not None:
+                    hits += 1
+                    results.append(cached)
+                    continue
+                top = min(var_l[a], var_l[b])
+                if var_l[a] == top:
+                    a0, a1 = low_l[a], high_l[a]
+                else:
+                    a0 = a1 = a
+                if var_l[b] == top:
+                    b0, b1 = low_l[b], high_l[b]
+                else:
+                    b0 = b1 = b
+                stack.append((1, a, b, top))  # RESUME
+                stack.append((0, a1, b1))
+                stack.append((0, a0, b0))
+            else:  # RESUME
+                _, a, b, top = frame
+                r1 = results.pop()
+                r0 = results.pop()
+                node = self.mk(top, r0, r1)
+                computed.put(op, a, b, node)
+                results.append(node)
+        if hits:
+            self.cache_hits += hits
+            _note_cache_hits(hits)
+        return results.pop()
 
     def apply_and(self, f: int, g: int) -> int:
-        if f == 0 or g == 0:
-            return 0
-        if f == 1:
-            return g
-        if g == 1 or f == g:
-            return f
-        if f > g:
-            f, g = g, f
-        key = (0, f, g)
-        result = self._cache.get(key)
-        if result is None:
-            top = min(self.var[f], self.var[g])
-            f0, f1 = self._cofactors(f, top)
-            g0, g1 = self._cofactors(g, top)
-            result = self.mk(top, self.apply_and(f0, g0), self.apply_and(f1, g1))
-            self._cache[key] = result
-        else:
-            self.cache_hits += 1
-        return result
+        return self._apply_scalar(_OP_AND, f, g)
 
     def apply_or(self, f: int, g: int) -> int:
-        if f == 1 or g == 1:
-            return 1
-        if f == 0:
-            return g
-        if g == 0 or f == g:
-            return f
-        if f > g:
-            f, g = g, f
-        key = (1, f, g)
-        result = self._cache.get(key)
-        if result is None:
-            top = min(self.var[f], self.var[g])
-            f0, f1 = self._cofactors(f, top)
-            g0, g1 = self._cofactors(g, top)
-            result = self.mk(top, self.apply_or(f0, g0), self.apply_or(f1, g1))
-            self._cache[key] = result
-        else:
-            self.cache_hits += 1
-        return result
+        return self._apply_scalar(_OP_OR, f, g)
 
     def ite(self, f: int, g: int, h: int) -> int:
         """if-then-else — the general apply, needed for voting gates."""
-        if f == 1:
-            return g
-        if f == 0:
-            return h
-        if g == h:
-            return g
-        if g == 1 and h == 0:
-            return f
-        key = (2, f, g, h)
-        result = self._cache.get(key)
-        if result is None:
-            top = min(self.var[f], self.var[g], self.var[h])
-            f0, f1 = self._cofactors(f, top)
-            g0, g1 = self._cofactors(g, top)
-            h0, h1 = self._cofactors(h, top)
-            result = self.mk(top, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
-            self._cache[key] = result
-        else:
-            self.cache_hits += 1
-        return result
+        computed = self._computed
+        var_l, low_l, high_l = self._var_l, self._low_l, self._high_l
+        hits = 0
+        results: List[int] = []
+        stack: List[Tuple[int, ...]] = [(0, f, g, h)]
+        while stack:
+            frame = stack.pop()
+            if frame[0] == 0:  # CALL
+                _, a, b, c = frame
+                if a == 1:
+                    results.append(b)
+                    continue
+                if a == 0:
+                    results.append(c)
+                    continue
+                if b == c:
+                    results.append(b)
+                    continue
+                if b == 1 and c == 0:
+                    results.append(a)
+                    continue
+                cached = computed.get(_OP_ITE, a, b, c)
+                if cached is not None:
+                    hits += 1
+                    results.append(cached)
+                    continue
+                top = min(var_l[a], var_l[b], var_l[c])
+                a0, a1 = (
+                    (low_l[a], high_l[a]) if var_l[a] == top else (a, a)
+                )
+                b0, b1 = (
+                    (low_l[b], high_l[b]) if var_l[b] == top else (b, b)
+                )
+                c0, c1 = (
+                    (low_l[c], high_l[c]) if var_l[c] == top else (c, c)
+                )
+                stack.append((1, a, b, c, top))  # RESUME
+                stack.append((0, a1, b1, c1))
+                stack.append((0, a0, b0, c0))
+            else:  # RESUME
+                _, a, b, c, top = frame
+                r1 = results.pop()
+                r0 = results.pop()
+                node = self.mk(top, r0, r1)
+                computed.put(_OP_ITE, a, b, node, c)
+                results.append(node)
+        if hits:
+            self.cache_hits += hits
+            _note_cache_hits(hits)
+        return results.pop()
+
+    # -- bulk apply (level-synchronous breadth-first) -------------------------
+
+    @staticmethod
+    def _rules_vec(op: int, f: np.ndarray, g: np.ndarray) -> np.ndarray:
+        """Vectorized terminal rules: result id, or -1 when the request
+        needs cofactor expansion."""
+        if op == _OP_AND:
+            return np.where(
+                (f == 0) | (g == 0),
+                0,
+                np.where(f == 1, g, np.where((g == 1) | (f == g), f, -1)),
+            ).astype(np.int64)
+        return np.where(
+            (f == 1) | (g == 1),
+            1,
+            np.where(f == 0, g, np.where((g == 0) | (f == g), f, -1)),
+        ).astype(np.int64)
+
+    def apply_many(self, op: int, f: np.ndarray, g: np.ndarray) -> np.ndarray:
+        """AND/OR over k (f, g) request pairs in one breadth-first sweep.
+
+        Requests are bucketed by their top variable; each level resolves
+        terminal rules vectorized, probes the computed table in bulk,
+        expands the misses' cofactors, and defers child results as
+        (level, slot) references.  A bottom-up pass then materializes
+        nodes level by level through :meth:`mk_many` — per-node Python
+        overhead is amortized over whole frontiers.  Results are exactly
+        those of :meth:`apply_and`/:meth:`apply_or` (same manager, same
+        canonical nodes, same memo semantics).
+        """
+        f = np.asarray(f, dtype=np.int64)
+        g = np.asarray(g, dtype=np.int64)
+        k = f.size
+        if k == 0:
+            return np.empty(0, dtype=np.int64)
+        if k <= _SCALAR_CUTOFF:
+            return np.fromiter(
+                (
+                    self._apply_scalar(op, int(a), int(b))
+                    for a, b in zip(f, g)
+                ),
+                dtype=np.int64,
+                count=k,
+            )
+        out = np.empty(k, dtype=np.int64)
+        resolved = self._rules_vec(op, f, g)
+        pend = resolved < 0
+        out[~pend] = resolved[~pend]
+        if not pend.any():
+            return out
+        pf = np.minimum(f[pend], g[pend])
+        pg = np.maximum(f[pend], g[pend])
+        nvar = self.nvar
+        cand_f: List[List[np.ndarray]] = [[] for _ in range(nvar)]
+        cand_g: List[List[np.ndarray]] = [[] for _ in range(nvar)]
+        cand_n = [0] * nvar
+        hits = 0
+
+        def push(fa: np.ndarray, ga: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+            """Queue requests on their top-variable level; returns
+            (level, slot-in-level) references."""
+            var_a = self._var
+            levels = np.minimum(var_a[fa], var_a[ga])
+            idx = np.empty(fa.size, dtype=np.int64)
+            order = np.argsort(levels, kind="stable")
+            ls = levels[order]
+            bounds = np.flatnonzero(np.diff(ls)) + 1
+            start = 0
+            for stop in [*bounds.tolist(), ls.size]:
+                v = int(ls[start])
+                rows = order[start:stop]
+                base = cand_n[v]
+                cand_f[v].append(fa[rows])
+                cand_g[v].append(ga[rows])
+                cand_n[v] = base + rows.size
+                idx[rows] = np.arange(base, base + rows.size)
+                start = stop
+            return levels, idx
+
+        root_lev, root_idx = push(pf, pg)
+        lvl_inv: List[Optional[np.ndarray]] = [None] * nvar
+        lvl_res: List[Optional[np.ndarray]] = [None] * nvar
+        lvl_work: List[Optional[tuple]] = [None] * nvar
+        processed: List[int] = []
+        computed = self._computed
+        for v in range(nvar):
+            if cand_n[v] == 0:
+                continue
+            processed.append(v)
+            fa = (
+                cand_f[v][0]
+                if len(cand_f[v]) == 1
+                else np.concatenate(cand_f[v])
+            )
+            ga = (
+                cand_g[v][0]
+                if len(cand_g[v]) == 1
+                else np.concatenate(cand_g[v])
+            )
+            cand_f[v] = cand_g[v] = []  # free the chunks
+            keys = (fa << 32) | ga
+            _, first, inv = np.unique(
+                keys, return_index=True, return_inverse=True
+            )
+            uf = fa[first]
+            ug = ga[first]
+            lvl_inv[v] = inv
+            res = np.empty(uf.size, dtype=np.int64)
+            cached, found = computed.get_many(op, uf, ug)
+            nhits = int(found.sum())
+            if nhits:
+                hits += nhits
+                res[found] = cached[found]
+            lvl_res[v] = res
+            todo = np.flatnonzero(~found)
+            if not todo.size:
+                continue
+            var_a, low_a, high_a = self._var, self._low, self._high
+            ft = uf[todo]
+            gt = ug[todo]
+            f_at = var_a[ft] == v
+            g_at = var_a[gt] == v
+            f0 = np.where(f_at, low_a[ft], ft)
+            f1 = np.where(f_at, high_a[ft], ft)
+            g0 = np.where(g_at, low_a[gt], gt)
+            g1 = np.where(g_at, high_a[gt], gt)
+            refs = []
+            for ca, cb in ((f0, g0), (f1, g1)):
+                rv = self._rules_vec(op, ca, cb)
+                cpend = rv < 0
+                clev = np.full(ca.size, -1, dtype=np.int64)
+                cidx = rv
+                if cpend.any():
+                    cf = np.minimum(ca[cpend], cb[cpend])
+                    cg = np.maximum(ca[cpend], cb[cpend])
+                    levs, idxs = push(cf, cg)
+                    clev[cpend] = levs
+                    cidx[cpend] = idxs
+                refs.append((clev, cidx))
+            lvl_work[v] = (todo, ft, gt, refs)
+
+        def resolve(levels: np.ndarray, idxs: np.ndarray) -> np.ndarray:
+            vals = np.empty(levels.size, dtype=np.int64)
+            direct = levels < 0
+            vals[direct] = idxs[direct]
+            rest = np.flatnonzero(~direct)
+            if rest.size:
+                levs = levels[rest]
+                for lv in np.unique(levs).tolist():
+                    rows = rest[levs == lv]
+                    vals[rows] = lvl_res[lv][lvl_inv[lv][idxs[rows]]]
+            return vals
+
+        for v in reversed(processed):
+            work = lvl_work[v]
+            if work is None:
+                continue
+            todo, ft, gt, ((l0, i0), (l1, i1)) = work
+            lo = resolve(l0, i0)
+            hi = resolve(l1, i1)
+            ids = self.mk_many(v, lo, hi)
+            lvl_res[v][todo] = ids
+            computed.put_many(op, ft, gt, ids)
+        out[pend] = resolve(root_lev, root_idx)
+        if hits:
+            self.cache_hits += hits
+            _note_cache_hits(hits)
+        return out
+
+    def reduce_many(
+        self, op: int, groups: Sequence[np.ndarray]
+    ) -> List[int]:
+        """Fold each group of node ids under *op* (AND/OR) by balanced
+        binary reduction, batching every group's pair list into one
+        :meth:`apply_many` call per round.  ROBDD canonicity makes the
+        result independent of association order, so this equals the
+        sequential seed-era fold node-for-node."""
+        identity = self.TRUE if op == _OP_AND else self.FALSE
+        cur = [np.asarray(group, dtype=np.int64) for group in groups]
+        while max((c.size for c in cur), default=0) > 1:
+            fa_parts: List[np.ndarray] = []
+            ga_parts: List[np.ndarray] = []
+            metas: List[Tuple[int, np.ndarray]] = []
+            for arr in cur:
+                npairs = arr.size // 2
+                fa_parts.append(arr[0 : 2 * npairs : 2])
+                ga_parts.append(arr[1 : 2 * npairs : 2])
+                metas.append((npairs, arr[2 * npairs :]))
+            fa = np.concatenate(fa_parts)
+            ga = np.concatenate(ga_parts)
+            res = self.apply_many(op, fa, ga)
+            nxt: List[np.ndarray] = []
+            pos = 0
+            for npairs, carry in metas:
+                chunk = res[pos : pos + npairs]
+                pos += npairs
+                nxt.append(
+                    np.concatenate((chunk, carry)) if carry.size else chunk
+                )
+            cur = nxt
+        return [int(c[0]) if c.size else identity for c in cur]
 
 
 _STATS_LOCK = threading.Lock()
-_STATS = {"compilations": 0, "evaluations": 0}
+_STATS = {"compilations": 0, "evaluations": 0, "cache_hits": 0}
 
 #: Compiled kernels keyed by structure fingerprint.  The weight budget
 #: (total BDD nodes retained) mirrors the engine's PathSet cache: a sweep
@@ -269,10 +692,49 @@ _metrics.gauge(
 ).set_function(lambda: _KERNELS.total_weight)
 
 
+_M_TABLE_PROBES = _metrics.counter(
+    "repro_bdd_table_probes_total",
+    "Open-addressed unique/computed table probe steps during compiles",
+)
+_M_TABLE_REHASHES = _metrics.counter(
+    "repro_bdd_table_rehashes_total",
+    "Open-addressed table growth rehashes during compiles",
+)
+_M_REORDER_PASSES = _metrics.counter(
+    "repro_bdd_reorder_passes_total",
+    "Sifting reorder passes run over compiled managers",
+)
+_M_REORDER_SWAPS = _metrics.counter(
+    "repro_bdd_reorder_swaps_total",
+    "Adjacent-level swaps performed while sifting",
+)
+_M_REORDER_NODES_SAVED = _metrics.counter(
+    "repro_bdd_reorder_nodes_saved_total",
+    "Decision nodes eliminated by sifting reorders",
+)
+
+
 def _count_evaluation(count: int = 1) -> None:
     with _STATS_LOCK:
         _STATS["evaluations"] += count
     _M_EVALUATIONS.inc(count)
+
+
+def _note_cache_hits(count: int) -> None:
+    """Flush apply/ITE memo hits into the stats/metrics layer as they
+    happen — :func:`kernel_stats` reflects hits live, not only at
+    :func:`compile_structure` exit."""
+    with _STATS_LOCK:
+        _STATS["cache_hits"] += count
+    _M_ITE_CACHE_HITS.inc(count)
+
+
+def _flush_table_metrics(bdd: "BDD") -> None:
+    stats = bdd.table_stats()
+    _M_TABLE_PROBES.inc(stats["unique_probes"] + stats["computed_probes"])
+    _M_TABLE_REHASHES.inc(
+        stats["unique_rehashes"] + stats["computed_rehashes"]
+    )
 
 
 class AvailabilityKernel:
@@ -320,37 +782,49 @@ class AvailabilityKernel:
         Positions 0 and 1 are the FALSE/TRUE terminals.
         """
         bdd = self._bdd
-        reachable: set = {0, 1}
-        stack = [self.root, *self.group_roots]
-        while stack:
-            node = stack.pop()
-            if node in reachable:
-                continue
-            reachable.add(node)
-            stack.append(bdd.low[node])
-            stack.append(bdd.high[node])
-        interior = sorted(
-            (n for n in reachable if n > 1), key=lambda n: (-bdd.var[n], n)
+        n = bdd._n
+        var_a = bdd._var[:n]
+        low_a = bdd._low[:n]
+        high_a = bdd._high[:n]
+        reached = np.zeros(n, dtype=bool)
+        reached[0] = reached[1] = True
+        roots = np.unique(
+            np.array([self.root, *self.group_roots], dtype=np.int64)
         )
-        position = {0: 0, 1: 1}
-        for offset, node in enumerate(interior):
-            position[node] = offset + 2
-        self._var_ix = [bdd.var[n] for n in interior]
-        self._low_pos = [position[bdd.low[n]] for n in interior]
-        self._high_pos = [position[bdd.high[n]] for n in interior]
-        self._np_var = np.array(self._var_ix, dtype=np.intp)
-        self._np_low = np.array(self._low_pos, dtype=np.intp)
-        self._np_high = np.array(self._high_pos, dtype=np.intp)
+        frontier = roots[~reached[roots]]
+        reached[frontier] = True
+        # wave-order BFS: each round gathers both children of the whole
+        # frontier at once — reachability is a few array passes, not a
+        # per-node Python loop
+        while frontier.size:
+            kids = np.unique(
+                np.concatenate((low_a[frontier], high_a[frontier]))
+            )
+            kids = kids[~reached[kids]]
+            reached[kids] = True
+            frontier = kids
+        interior = np.flatnonzero(reached)
+        interior = interior[interior > 1]
+        interior = interior[np.lexsort((interior, -var_a[interior]))]
+        position = np.zeros(n, dtype=np.int64)
+        position[1] = 1
+        position[interior] = np.arange(2, interior.size + 2)
+        self._np_var = var_a[interior].astype(np.intp)
+        self._np_low = position[low_a[interior]].astype(np.intp)
+        self._np_high = position[high_a[interior]].astype(np.intp)
+        self._var_ix = self._np_var.tolist()
+        self._low_pos = self._np_low.tolist()
+        self._high_pos = self._np_high.tolist()
         # frozen: these views are shared with shard workers, cached across
         # callers, and (for store-loaded kernels) mmap-backed — a caller
         # mutating them in place would silently corrupt every consumer
         self._np_var.flags.writeable = False
         self._np_low.flags.writeable = False
         self._np_high.flags.writeable = False
-        self._root_pos = position[self.root]
-        self._group_pos = tuple(position[r] for r in self.group_roots)
+        self._root_pos = int(position[self.root])
+        self._group_pos = tuple(int(position[r]) for r in self.group_roots)
         #: number of interior (decision) nodes reachable from the roots
-        self.size = len(interior)
+        self.size = int(interior.size)
 
     @classmethod
     def from_flat(
@@ -956,25 +1430,63 @@ def _kernel_to_store(
         pass
 
 
-def compile_structure(
-    path_set_groups: Sequence[Sequence[FrozenSet[str]]],
-    *,
-    order: Optional[Sequence[str]] = None,
-    use_cache: bool = True,
-) -> AvailabilityKernel:
-    """Compile path-set groups (the :func:`system_availability` input
-    shape) into an :class:`AvailabilityKernel`, memoized by structure
-    fingerprint.
+#: process-wide compile-plane defaults, set by :func:`configure_compile`
+#: (the CLI's ``--reorder``/``--compile-jobs`` land here)
+_REORDER_MODES = ("auto", "sift", "none")
+_COMPILE_DEFAULTS = {"reorder": "auto", "jobs": 1}
 
-    All groups compile into one shared manager: the system root is the
-    conjunction of the group roots, and any component shared across pairs
-    is a single decision level reused by every function that tests it.
+#: ``reorder="auto"`` sifts only when the compiled manager is both large
+#: and bloated relative to its input (nodes ≥ growth × total path-set
+#: incidences) — well-ordered structures never pay the sifting pass
+_AUTO_MIN_NODES = 2048
+_AUTO_GROWTH = 8
 
-    With an artifact store active (``REPRO_STORE``/``--store``) an LRU
-    miss first tries the on-disk linearized arrays — a fresh process
-    evaluating known structures performs zero BDD construction — and a
-    fresh compile writes through for the next process.
+
+def _resolve_reorder(reorder: Optional[str]) -> str:
+    mode = _COMPILE_DEFAULTS["reorder"] if reorder is None else reorder
+    if mode not in _REORDER_MODES:
+        raise AnalysisError(
+            f"unknown reorder mode {mode!r}; choose one of "
+            f"{', '.join(_REORDER_MODES)}"
+        )
+    return mode
+
+
+def configure_compile(
+    *, reorder: Optional[str] = None, jobs: Optional[int] = None
+) -> Dict[str, object]:
+    """Set process-wide compile-plane defaults; returns the active ones.
+
+    *reorder* is the default dynamic-reordering mode ("auto" sifts only
+    badly-bloated managers, "sift" always, "none" never); *jobs* is the
+    default worker count for :func:`compile_many` fan-out.
     """
+    if reorder is not None:
+        if reorder not in _REORDER_MODES:
+            raise AnalysisError(
+                f"unknown reorder mode {reorder!r}; choose one of "
+                f"{', '.join(_REORDER_MODES)}"
+            )
+        _COMPILE_DEFAULTS["reorder"] = reorder
+    if jobs is not None:
+        jobs = int(jobs)
+        if jobs < 1:
+            raise AnalysisError(f"compile jobs must be >= 1, got {jobs}")
+        _COMPILE_DEFAULTS["jobs"] = jobs
+    return dict(_COMPILE_DEFAULTS)
+
+
+def _prepare_structure(
+    path_set_groups: Sequence[Sequence[FrozenSet[str]]],
+    order: Optional[Sequence[str]],
+    mode: str,
+) -> Tuple[List[List[FrozenSet[str]]], Tuple[str, ...], str, str]:
+    """Validate inputs and resolve ``(groups, ordered, fingerprint,
+    cache_key)``.  The cache key is the structure fingerprint, tagged
+    only under explicit ``reorder="sift"`` — "auto"/"none" kernels are
+    interchangeable (sifting preserves the evaluated function exactly,
+    and auto only fires on structures neither mode pins), so they share
+    the untagged key and the warm-start tiers stay mode-agnostic."""
     groups = [list(group) for group in path_set_groups]
     if not groups:
         raise AnalysisError("system_availability requires at least one group")
@@ -987,22 +1499,112 @@ def compile_structure(
     if order is None:
         ordered = frequency_order(groups)
     else:
-        ordered = tuple(name for name in order if name in components)
+        order_list = list(order)
+        if len(set(order_list)) != len(order_list):
+            counts = Counter(order_list)
+            dupes = sorted(n for n, c in counts.items() if c > 1)
+            raise AnalysisError(
+                f"variable order contains duplicate components {dupes}"
+            )
+        ordered = tuple(name for name in order_list if name in components)
         missing = components.difference(ordered)
         if missing:
             raise AnalysisError(
                 f"variable order does not cover components {sorted(missing)}"
             )
     fingerprint = structure_fingerprint(groups, ordered)
+    cache_key = (
+        fingerprint + "|reorder=sift" if mode == "sift" else fingerprint
+    )
+    return groups, ordered, fingerprint, cache_key
+
+
+def _build_group_roots(
+    bdd: BDD, index: Mapping[str, int], groups: Sequence[Sequence[FrozenSet[str]]]
+) -> List[int]:
+    """All groups' OR-of-cubes roots through the bulk plane: one
+    :meth:`BDD.cube_many` over every path of every group, then one
+    balanced OR reduction per round across all groups at once."""
+    paths: List[List[int]] = []
+    slices: List[Tuple[int, int]] = []
+    start = 0
+    for group in groups:
+        converted = [[index[c] for c in path] for path in group]
+        paths.extend(converted)
+        slices.append((start, start + len(converted)))
+        start += len(converted)
+    roots = bdd.cube_many(paths)
+    return bdd.reduce_many(_OP_OR, [roots[a:b] for a, b in slices])
+
+
+def _sift_compiled(
+    bdd: BDD,
+    system: int,
+    group_roots: Sequence[int],
+    variables: Tuple[str, ...],
+) -> Tuple[BDD, int, List[int], Tuple[str, ...]]:
+    """Run a sifting pass over a freshly compiled manager and translate
+    the roots and variable naming into the reordered manager."""
+    with _trace.span("bdd.reorder", variables=len(variables)) as span:
+        new_bdd, mapping, perm, stats = _bddreorder.sift(
+            bdd, [system, *group_roots]
+        )
+        span.set(
+            swaps=stats["swaps"],
+            nodes_before=stats["live_before"],
+            nodes_after=stats["live_after"],
+        )
+    _M_REORDER_PASSES.inc()
+    _M_REORDER_SWAPS.inc(stats["swaps"])
+    saved = stats["live_before"] - stats["live_after"]
+    if saved > 0:
+        _M_REORDER_NODES_SAVED.inc(saved)
+    new_bdd.cache_hits = bdd.cache_hits
+    return (
+        new_bdd,
+        mapping[system],
+        [mapping[root] for root in group_roots],
+        tuple(variables[perm[level]] for level in range(len(variables))),
+    )
+
+
+def compile_structure(
+    path_set_groups: Sequence[Sequence[FrozenSet[str]]],
+    *,
+    order: Optional[Sequence[str]] = None,
+    use_cache: bool = True,
+    reorder: Optional[str] = None,
+) -> AvailabilityKernel:
+    """Compile path-set groups (the :func:`system_availability` input
+    shape) into an :class:`AvailabilityKernel`, memoized by structure
+    fingerprint.
+
+    All groups compile into one shared manager: the system root is the
+    conjunction of the group roots, and any component shared across pairs
+    is a single decision level reused by every function that tests it.
+    Construction goes through the array-native bulk plane (open-addressed
+    tables + level-synchronous apply batches); *reorder* selects the
+    dynamic variable-reordering mode ("auto" by default — sifting fires
+    only on managers that blew up relative to their input structure).
+
+    With an artifact store active (``REPRO_STORE``/``--store``) an LRU
+    miss first tries the on-disk linearized arrays — a fresh process
+    evaluating known structures performs zero BDD construction — and a
+    fresh compile writes through for the next process.
+    """
+    mode = _resolve_reorder(reorder)
+    groups, ordered, fingerprint, cache_key = _prepare_structure(
+        path_set_groups, order, mode
+    )
     store = _store.active_store() if use_cache else None
     if use_cache:
-        cached = _KERNELS.get(fingerprint)
+        cached = _KERNELS.get(cache_key)
         if cached is not None:
             return cached
         if store is not None:
-            loaded = _kernel_from_store(store, fingerprint)
+            loaded = _kernel_from_store(store, cache_key)
             if loaded is not None:
-                _KERNELS.put(fingerprint, loaded, weight=loaded.size + 2)
+                _KERNELS.put(cache_key, loaded, weight=loaded.size + 2)
                 return loaded
 
     with _trace.span(
@@ -1013,26 +1615,32 @@ def compile_structure(
     ) as span:
         bdd = BDD(len(ordered))
         index = {name: i for i, name in enumerate(ordered)}
-        group_roots: List[int] = []
-        for group in groups:
-            root = BDD.FALSE
-            for path in group:
-                root = bdd.apply_or(root, bdd.cube(index[c] for c in path))
-            group_roots.append(root)
-        system = BDD.TRUE
-        for root in dict.fromkeys(group_roots):
-            system = bdd.apply_and(system, root)
+        group_roots = _build_group_roots(bdd, index, groups)
+        unique_roots = list(dict.fromkeys(group_roots))
+        system = bdd.reduce_many(
+            _OP_AND, [np.array(unique_roots, dtype=np.int64)]
+        )[0]
+        variables = tuple(ordered)
+        incidences = sum(len(path) for group in groups for path in group)
+        if mode == "sift" or (
+            mode == "auto"
+            and len(bdd) - 2 >= _AUTO_MIN_NODES
+            and len(bdd) - 2 >= _AUTO_GROWTH * max(1, incidences)
+        ):
+            bdd, system, group_roots, variables = _sift_compiled(
+                bdd, system, group_roots, variables
+            )
         kernel = AvailabilityKernel(
-            bdd, system, group_roots, ordered, fingerprint
+            bdd, system, group_roots, variables, cache_key
         )
         span.set(nodes=len(bdd) - 2, ite_cache_hits=bdd.cache_hits)
     with _STATS_LOCK:
         _STATS["compilations"] += 1
     _M_COMPILATIONS.inc()
     _M_NODES_ALLOCATED.inc(len(bdd) - 2)
-    _M_ITE_CACHE_HITS.inc(bdd.cache_hits)
+    _flush_table_metrics(bdd)
     if use_cache:
-        _KERNELS.put(fingerprint, kernel, weight=len(bdd))
+        _KERNELS.put(cache_key, kernel, weight=len(bdd))
         if store is not None:
             _kernel_to_store(store, kernel)
     return kernel
@@ -1043,9 +1651,230 @@ def compile_pair(
     *,
     order: Optional[Sequence[str]] = None,
     use_cache: bool = True,
+    reorder: Optional[str] = None,
 ) -> AvailabilityKernel:
     """Compile a single pair's path sets."""
-    return compile_structure([list(path_sets)], order=order, use_cache=use_cache)
+    return compile_structure(
+        [list(path_sets)], order=order, use_cache=use_cache, reorder=reorder
+    )
+
+
+# -- parallel fan-out ---------------------------------------------------------
+
+_POOL = None
+_POOL_JOBS = 0
+_POOL_LOCK = threading.Lock()
+
+
+def _pool_shutdown() -> None:
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is not None:
+            _POOL.shutdown(wait=False, cancel_futures=True)
+            _POOL = None
+
+
+atexit.register(_pool_shutdown)
+
+
+def _get_pool(jobs: int):
+    """The persistent spawn-context process pool (recreated only when
+    the worker count changes)."""
+    global _POOL, _POOL_JOBS
+    import concurrent.futures
+    import multiprocessing
+
+    with _POOL_LOCK:
+        if _POOL is None or _POOL_JOBS != jobs:
+            if _POOL is not None:
+                _POOL.shutdown(wait=True)
+            _POOL = concurrent.futures.ProcessPoolExecutor(
+                max_workers=jobs,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+            _POOL_JOBS = jobs
+        return _POOL
+
+
+def _compile_worker(payload):
+    """Pool worker: compile a bucket of structures.
+
+    With a shared artifact store the worker only needs to write through
+    (the parent mmap-loads the result zero-copy); without one it ships
+    the linearized arrays back over the pipe.
+    """
+    tasks, store_root, mode = payload
+    if store_root is not None:
+        _store.configure(store_root)
+    results = []
+    for idx, groups, order in tasks:
+        kernel = compile_structure(
+            groups, order=order, use_cache=True, reorder=mode
+        )
+        if store_root is not None:
+            results.append((idx, None))
+        else:
+            var, low, high, root_pos = kernel.flat_arrays()
+            results.append(
+                (
+                    idx,
+                    (
+                        np.asarray(var, dtype=np.int64),
+                        np.asarray(low, dtype=np.int64),
+                        np.asarray(high, dtype=np.int64),
+                        int(root_pos),
+                        tuple(kernel._group_pos),
+                        tuple(kernel.variables),
+                        kernel.fingerprint,
+                    ),
+                )
+            )
+    return results
+
+
+def compile_many(
+    structures: Sequence[Sequence[Sequence[FrozenSet[str]]]],
+    *,
+    orders: Optional[Sequence[Optional[Sequence[str]]]] = None,
+    order: Optional[Sequence[str]] = None,
+    use_cache: bool = True,
+    reorder: Optional[str] = None,
+    jobs: Optional[int] = None,
+) -> List[AvailabilityKernel]:
+    """Compile many independent structures, fanning out across a
+    persistent process pool when ``jobs > 1``.
+
+    Structures already warm in the LRU or the artifact store never reach
+    the pool; the rest are LPT-balanced across workers by total path-set
+    incidence (the compile-cost proxy).  With an active store, workers
+    write through and the parent mmap-loads zero-copy; without one the
+    flat arrays travel back over the result pipe.  Kernels compiled in a
+    worker are store/flat-backed (no manager), which every evaluation and
+    set query supports.
+    """
+    mode = _resolve_reorder(reorder)
+    n = len(structures)
+    if orders is None:
+        per_order: List[Optional[Sequence[str]]] = [order] * n
+    else:
+        if len(orders) != n:
+            raise AnalysisError(
+                f"orders must match structures: {len(orders)} != {n}"
+            )
+        per_order = list(orders)
+    jobs = int(_COMPILE_DEFAULTS["jobs"] if jobs is None else jobs)
+    if jobs < 1:
+        raise AnalysisError(f"compile jobs must be >= 1, got {jobs}")
+    if jobs <= 1 or n <= 1:
+        return [
+            compile_structure(
+                s, order=o, use_cache=use_cache, reorder=mode
+            )
+            for s, o in zip(structures, per_order)
+        ]
+    prepared = [
+        _prepare_structure(s, o, mode)
+        for s, o in zip(structures, per_order)
+    ]
+    results: List[Optional[AvailabilityKernel]] = [None] * n
+    store = _store.active_store() if use_cache else None
+    with _trace.span("bdd.compile.many", structures=n, jobs=jobs) as span:
+        todo: List[int] = []
+        for i, (_, _, _, cache_key) in enumerate(prepared):
+            if use_cache:
+                cached = _KERNELS.get(cache_key)
+                if cached is not None:
+                    results[i] = cached
+                    continue
+                if store is not None:
+                    loaded = _kernel_from_store(store, cache_key)
+                    if loaded is not None:
+                        _KERNELS.put(
+                            cache_key, loaded, weight=loaded.size + 2
+                        )
+                        results[i] = loaded
+                        continue
+            todo.append(i)
+        shipped = 0
+        if todo:
+            costs = sorted(
+                (
+                    (
+                        sum(
+                            len(path)
+                            for group in prepared[i][0]
+                            for path in group
+                        ),
+                        i,
+                    )
+                    for i in todo
+                ),
+                reverse=True,
+            )
+            buckets: List[List[int]] = [
+                [] for _ in range(min(jobs, len(todo)))
+            ]
+            loads = [0] * len(buckets)
+            for cost, i in costs:
+                slot = loads.index(min(loads))
+                buckets[slot].append(i)
+                loads[slot] += cost
+            pool = _get_pool(jobs)
+            store_root = str(store.root) if store is not None else None
+            futures = [
+                pool.submit(
+                    _compile_worker,
+                    (
+                        [
+                            (i, prepared[i][0], prepared[i][1])
+                            for i in bucket
+                        ],
+                        store_root,
+                        mode,
+                    ),
+                )
+                for bucket in buckets
+                if bucket
+            ]
+            for future in futures:
+                try:
+                    worker_results = future.result()
+                except Exception:
+                    continue  # bucket falls back to local compilation
+                for idx, flat in worker_results:
+                    shipped += 1
+                    if flat is None:
+                        if store is not None:
+                            loaded = _kernel_from_store(
+                                store, prepared[idx][3]
+                            )
+                            if loaded is not None:
+                                results[idx] = loaded
+                    else:
+                        try:
+                            results[idx] = AvailabilityKernel.from_flat(
+                                *flat[:4],
+                                group_pos=flat[4],
+                                variables=flat[5],
+                                fingerprint=flat[6],
+                            )
+                        except AnalysisError:
+                            results[idx] = None
+            for i in todo:
+                if results[i] is None:
+                    results[i] = compile_structure(
+                        structures[i],
+                        order=per_order[i],
+                        use_cache=use_cache,
+                        reorder=mode,
+                    )
+                elif use_cache:
+                    kernel = results[i]
+                    _KERNELS.put(
+                        kernel.fingerprint, kernel, weight=kernel.size + 2
+                    )
+        span.set(compiled=len(todo), shipped=shipped)
+    return results
 
 
 def _group_digest(canonical_group: Tuple[Tuple[str, ...], ...]) -> str:
@@ -1099,11 +1928,21 @@ class IncrementalAvailabilityKernel:
     _GC_FRACTION = 0.25
     _GC_SLACK = 1 << 19
 
-    def __init__(self) -> None:
+    def __init__(self, reorder: str = "none") -> None:
+        if reorder not in ("none", "sift"):
+            raise AnalysisError(
+                f"unknown incremental reorder mode {reorder!r}; "
+                f"choose 'none' or 'sift'"
+            )
         self._lock = threading.Lock()
         self._bdd: Optional[BDD] = None
         self._order: Tuple[str, ...] = ()
         self._group_roots: Dict[str, int] = {}
+        self._reorder = reorder
+        #: sifting is only legal at epoch boundaries (a fresh build or a
+        #: garbage rebuild): in between, the established order keeps every
+        #: cached group root valid
+        self._sift_pending = False
         self.stats = {
             "recompiles": 0,
             "group_hits": 0,
@@ -1125,8 +1964,44 @@ class IncrementalAvailabilityKernel:
         self._order = ordered
         self._bdd = BDD(len(ordered))
         self._group_roots = {}
+        self._sift_pending = self._reorder == "sift"
         self.stats["rebuilds"] += 1
         _M_REBUILDS.inc()
+
+    def _sift_epoch(
+        self, system: int, group_roots: List[int]
+    ) -> Tuple[int, List[int]]:
+        """Sift the freshly rebuilt manager, remapping the digest cache,
+        the current roots, and the established variable order into the
+        reordered manager (subsequent epochs grow it unchanged)."""
+        bdd = self._bdd
+        cached_roots = list(self._group_roots.values())
+        with _trace.span(
+            "bdd.reorder", variables=len(self._order)
+        ) as span:
+            new_bdd, mapping, perm, stats = _bddreorder.sift(
+                bdd, [system, *group_roots, *cached_roots]
+            )
+            span.set(
+                swaps=stats["swaps"],
+                nodes_before=stats["live_before"],
+                nodes_after=stats["live_after"],
+            )
+        _M_REORDER_PASSES.inc()
+        _M_REORDER_SWAPS.inc(stats["swaps"])
+        saved = stats["live_before"] - stats["live_after"]
+        if saved > 0:
+            _M_REORDER_NODES_SAVED.inc(saved)
+        new_bdd.cache_hits = bdd.cache_hits
+        self._bdd = new_bdd
+        self._order = tuple(
+            self._order[perm[level]] for level in range(len(self._order))
+        )
+        self._group_roots = {
+            digest: mapping[root]
+            for digest, root in self._group_roots.items()
+        }
+        return mapping[system], [mapping[root] for root in group_roots]
 
     def recompile(
         self,
@@ -1170,24 +2045,32 @@ class IncrementalAvailabilityKernel:
             bdd = self._bdd
             index = {name: i for i, name in enumerate(self._order)}
             hits = misses = 0
-            group_roots: List[int] = []
-            for group in canonical:
+            group_roots: List[int] = [0] * len(canonical)
+            missed: List[Tuple[int, str, Tuple[Tuple[str, ...], ...]]] = []
+            for slot, group in enumerate(canonical):
                 digest = _group_digest(group)
                 root = self._group_roots.get(digest)
                 if root is None:
                     misses += 1
-                    root = BDD.FALSE
-                    for path in group:
-                        root = bdd.apply_or(
-                            root, bdd.cube(index[c] for c in path)
-                        )
-                    self._group_roots[digest] = root
+                    missed.append((slot, digest, group))
                 else:
                     hits += 1
-                group_roots.append(root)
-            system = BDD.TRUE
-            for root in dict.fromkeys(group_roots):
-                system = bdd.apply_and(system, root)
+                    group_roots[slot] = root
+            if missed:
+                built = _build_group_roots(
+                    bdd, index, [group for _, _, group in missed]
+                )
+                for (slot, digest, _), root in zip(missed, built):
+                    self._group_roots[digest] = root
+                    group_roots[slot] = root
+            unique_roots = list(dict.fromkeys(group_roots))
+            system = bdd.reduce_many(
+                _OP_AND, [np.array(unique_roots, dtype=np.int64)]
+            )[0]
+            if self._sift_pending and len(bdd) > 2:
+                self._sift_pending = False
+                system, group_roots = self._sift_epoch(system, group_roots)
+                bdd = self._bdd
             kernel = AvailabilityKernel(
                 bdd,
                 system,
@@ -1255,6 +2138,7 @@ def reset_kernel_stats() -> None:
     with _STATS_LOCK:
         _STATS["compilations"] = 0
         _STATS["evaluations"] = 0
+        _STATS["cache_hits"] = 0
 
 
 def kernel_cache_info() -> Dict[str, int]:

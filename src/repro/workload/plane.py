@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,7 +43,7 @@ from repro.core.engine import discover_many
 from repro.core.mapping import ServiceMapping
 from repro.dependability.bdd import (
     AvailabilityKernel,
-    compile_structure,
+    compile_many,
     order_from_topology,
 )
 from repro.errors import AnalysisError
@@ -230,13 +230,16 @@ def _kernels_for_attachments(
     *,
     include_links: bool,
     jobs: Optional[int],
+    compile_jobs: Optional[int] = None,
 ) -> Dict[str, AvailabilityKernel]:
     """One compiled kernel per attachment (the structure-dedup level).
 
     Path discovery is batched through :func:`discover_many` so duplicate
     pairs — the service legs that do not involve the user, identical for
     every attachment — enumerate once; kernels memoize by structure
-    fingerprint in the shared LRU.
+    fingerprint in the shared LRU.  *compile_jobs* > 1 fans cold compiles
+    out over the persistent :func:`compile_many` process pool (cached
+    structures never reach it).
     """
     per_attachment_pairs: Dict[str, List[Tuple[str, str]]] = {}
     all_pairs: List[Tuple[str, str]] = []
@@ -252,16 +255,18 @@ def _kernels_for_attachments(
 
     discovered = discover_many(topology, all_pairs, jobs=jobs)
 
-    kernels: Dict[str, AvailabilityKernel] = {}
+    structures: List[List[List[FrozenSet[str]]]] = []
+    orders: List[Tuple[str, ...]] = []
     for attachment in attachments:
         groups = [
             pair_path_sets(discovered[pair], include_links=include_links)
             for pair in per_attachment_pairs[attachment]
         ]
         components = {c for group in groups for path in group for c in path}
-        order = order_from_topology(topology, components)
-        kernels[attachment] = compile_structure(groups, order=order)
-    return kernels
+        structures.append(groups)
+        orders.append(order_from_topology(topology, components))
+    compiled = compile_many(structures, orders=orders, jobs=compile_jobs)
+    return dict(zip(attachments, compiled))
 
 
 def _summarize(
@@ -319,6 +324,7 @@ def evaluate_population(
     dimension: str = "availability",
     shards: Optional[int] = None,
     jobs: Optional[int] = None,
+    compile_jobs: Optional[int] = None,
     batch_rows: int = 65536,
     top: int = 5,
 ) -> PopulationReport:
@@ -361,6 +367,7 @@ def evaluate_population(
                 attachments,
                 include_links=include_links,
                 jobs=jobs,
+                compile_jobs=compile_jobs,
             )
 
         # Row dedup per key: one perturbed sweep over the distinct

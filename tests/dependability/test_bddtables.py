@@ -1,0 +1,326 @@
+"""Units for the array-native BDD substrate (:mod:`repro.dependability._bddtables`).
+
+The open-addressed tables and the bulk construction entry points
+(``mk_many``, ``cube_many``, ``apply_many``/``reduce_many``) are exact
+drop-ins for the scalar paths — every test here pins bulk-vs-scalar
+agreement, rehash survival, and the no-recursion guarantee that lets the
+compiler absorb arbitrarily deep structures under the default Python
+recursion limit.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+import numpy as np
+import pytest
+
+from repro.dependability._bddtables import ComputedTable, UniqueTable
+from repro.dependability.bdd import (
+    _OP_AND,
+    _OP_OR,
+    BDD,
+    AvailabilityKernel,
+    compile_structure,
+    kernel_cache_clear,
+    kernel_stats,
+    reset_kernel_stats,
+)
+
+
+class TestUniqueTable:
+    def test_capacity_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            UniqueTable(capacity=48)
+
+    def test_scalar_insert_is_canonical(self):
+        bdd = BDD(4)
+        a = bdd.mk(0, 0, 1)
+        b = bdd.mk(0, 0, 1)
+        assert a == b
+        assert len(bdd) == 3  # two terminals + one decision node
+
+    def test_rehash_preserves_lookups(self):
+        bdd = BDD(1)
+        table = bdd._unique
+        start_capacity = table.capacity
+        nodes = {}
+        # chains of distinct (lo, hi) pairs force fill past the load
+        # factor several times over
+        prev = 1
+        for i in range(4 * start_capacity):
+            prev = bdd.mk(0, 0, prev) if i % 2 else bdd.mk(0, prev, 1)
+            nodes[i] = prev
+        assert table.capacity > start_capacity
+        assert table.rehashes >= 1
+        # every node id is still found, not re-allocated
+        before = len(bdd)
+        rebuilt = 1
+        for i in range(4 * start_capacity):
+            rebuilt = bdd.mk(0, 0, rebuilt) if i % 2 else bdd.mk(0, rebuilt, 1)
+        assert len(bdd) == before
+
+    def test_insert_many_matches_scalar(self):
+        rng = random.Random(7)
+        scalar = BDD(3)
+        bulk = BDD(3)
+        base_s = [scalar.mk(2, 0, 1), scalar.mk(1, 0, 1), 0, 1]
+        base_b = [bulk.mk(2, 0, 1), bulk.mk(1, 0, 1), 0, 1]
+        pairs = []
+        seen = set()
+        for _ in range(200):
+            lo, hi = rng.randrange(4), rng.randrange(4)
+            if lo != hi and (lo, hi) not in seen:
+                seen.add((lo, hi))
+                pairs.append((lo, hi))
+        for lo, hi in pairs:
+            scalar.mk(0, base_s[lo], base_s[hi])
+        lo_arr = np.array([base_b[lo] for lo, _ in pairs], dtype=np.int64)
+        hi_arr = np.array([base_b[hi] for _, hi in pairs], dtype=np.int64)
+        got = bulk._unique.insert_many(bulk, 0, lo_arr, hi_arr)
+        # same node count (allocation order may differ), every returned
+        # id carries its key, distinct keys got distinct ids, and the
+        # batch is idempotent
+        assert len(bulk) == len(scalar)
+        assert np.unique(got).size == len(pairs)
+        for i, node in enumerate(got.tolist()):
+            assert bulk._var_l[node] == 0
+            assert bulk._low_l[node] == lo_arr[i]
+            assert bulk._high_l[node] == hi_arr[i]
+        again = bulk._unique.insert_many(bulk, 0, lo_arr, hi_arr)
+        assert again.tolist() == got.tolist()
+        assert len(bulk) == len(scalar)
+
+    def test_insert_many_growth_mid_batch(self):
+        """A batch large enough to reallocate the owner node buffers in
+        flight: last round's winners become probe candidates for this
+        round's losers, so the comparison must read the *current* owner
+        buffers, not a stale pre-growth snapshot (regression: IndexError
+        on grown managers)."""
+        bdd = BDD(2)
+        # push the node arrays close to their growth boundary first
+        chain = [1]
+        while len(bdd) < bdd._var.size - 4:
+            chain.append(bdd.mk(1, 0, chain[-1]))
+        k = 300  # guarantees growth and intra-batch slot collisions
+        lo = np.zeros(k, dtype=np.int64)
+        hi = np.array(chain[-k:], dtype=np.int64)
+        ids = bdd._unique.insert_many(bdd, 0, lo, hi)
+        assert np.unique(ids).size == k
+        for i, node in enumerate(ids.tolist()):
+            assert bdd._var_l[node] == 0
+            assert bdd._low_l[node] == 0
+            assert bdd._high_l[node] == hi[i]
+
+
+class TestComputedTable:
+    def test_miss_returns_none(self):
+        table = ComputedTable()
+        assert table.get(_OP_AND, 5, 9) is None
+
+    def test_put_then_get(self):
+        table = ComputedTable()
+        table.put(_OP_AND, 5, 9, 42)
+        assert table.get(_OP_AND, 5, 9) == 42
+        assert table.get(_OP_OR, 5, 9) is None
+
+    def test_ite_keys_do_not_collide_with_binary(self):
+        table = ComputedTable()
+        table.put(2, 5, 9, 7, 3)  # ITE(5, 9, 3)
+        table.put(_OP_AND, 5, 9, 11)
+        assert table.get(2, 5, 9, 3) == 7
+        assert table.get(_OP_AND, 5, 9) == 11
+
+    def test_rehash_preserves_entries(self):
+        table = ComputedTable(capacity=1 << 4)
+        entries = [(i, i * 3 + 1, (i * 7 + 2) % 1000) for i in range(200)]
+        for f, g, val in entries:
+            table.put(_OP_OR, f, g, val)
+        assert table.rehashes >= 1
+        for f, g, val in entries:
+            assert table.get(_OP_OR, f, g) == val
+
+    def test_bulk_matches_scalar(self):
+        rng = random.Random(13)
+        table = ComputedTable()
+        keys = sorted({(rng.randrange(500), rng.randrange(500)) for _ in range(150)})
+        stored = keys[::2]
+        f = np.array([k[0] for k in stored], dtype=np.int64)
+        g = np.array([k[1] for k in stored], dtype=np.int64)
+        vals = np.arange(f.size, dtype=np.int64)
+        table.put_many(_OP_AND, f, g, vals)
+        qf = np.array([k[0] for k in keys], dtype=np.int64)
+        qg = np.array([k[1] for k in keys], dtype=np.int64)
+        values, found = table.get_many(_OP_AND, qf, qg)
+        for i, key in enumerate(keys):
+            scalar = table.get(_OP_AND, key[0], key[1])
+            if key in set(stored):
+                assert found[i] and scalar == values[i]
+            else:
+                assert not found[i] and scalar is None
+
+    def test_empty_batches(self):
+        table = ComputedTable()
+        empty = np.empty(0, dtype=np.int64)
+        values, found = table.get_many(_OP_AND, empty, empty)
+        assert values.size == 0 and found.size == 0
+        table.put_many(_OP_AND, empty, empty, empty)
+        assert table.fill == 0
+
+
+class TestBulkConstruction:
+    def _random_structure(self, rng, n_components=8, n_groups=3):
+        pool = [f"c{i}" for i in range(n_components)]
+        return [
+            [
+                frozenset(rng.sample(pool, rng.randrange(1, 5)))
+                for _ in range(rng.randrange(1, 5))
+            ]
+            for _ in range(n_groups)
+        ]
+
+    def test_cube_many_matches_scalar_cube(self):
+        """In one manager, canonicity makes bulk and scalar construction
+        return the *same node ids* — not just equivalent functions."""
+        rng = random.Random(99)
+        bdd = BDD(10)
+        paths = [
+            [rng.randrange(10) for _ in range(rng.randrange(1, 7))]
+            for _ in range(60)
+        ]
+        got = bdd.cube_many(paths)
+        expected = [bdd.cube(path) for path in paths]
+        assert got.tolist() == expected
+
+    def test_cube_many_deduplicates_within_path(self):
+        bdd = BDD(4)
+        assert bdd.cube_many([[2, 0, 2, 0]]).tolist() == [bdd.cube([0, 2])]
+
+    def test_reduce_many_matches_sequential_fold(self):
+        rng = random.Random(5)
+        for _ in range(10):
+            cubes_spec = [
+                [rng.randrange(8) for _ in range(rng.randrange(1, 5))]
+                for _ in range(rng.randrange(1, 9))
+            ]
+            scalar = BDD(8)
+            seq = scalar.FALSE
+            for spec in cubes_spec:
+                seq = scalar.apply_or(seq, scalar.cube(spec))
+            bulk = BDD(8)
+            roots = bulk.cube_many(cubes_spec)
+            (folded,) = bulk.reduce_many(_OP_OR, [roots])
+            # managers allocate in different orders; compare semantics
+            names = [f"v{i}" for i in range(8)]
+            k_seq = AvailabilityKernel(scalar, seq, [seq], names)
+            k_bulk = AvailabilityKernel(bulk, folded, [folded], names)
+            assert k_seq.size == k_bulk.size  # canonicity: same diagram
+            table = {f"v{i}": 0.5 + 0.04 * i for i in range(8)}
+            assert k_seq.availability(table) == pytest.approx(
+                k_bulk.availability(table), abs=1e-15
+            )
+
+    def test_reduce_many_empty_group_yields_identity(self):
+        bdd = BDD(2)
+        empty = np.empty(0, dtype=np.int64)
+        assert bdd.reduce_many(_OP_AND, [empty]) == [bdd.TRUE]
+        assert bdd.reduce_many(_OP_OR, [empty]) == [bdd.FALSE]
+
+    def test_compiled_semantics_match_over_random_structures(self):
+        rng = random.Random(21)
+        for _ in range(15):
+            structure = self._random_structure(rng)
+            kernel = compile_structure(structure, use_cache=False)
+            table = {v: rng.uniform(0.2, 0.99) for v in kernel.variables}
+            # reference: direct minimal path set evaluation through the
+            # inclusion-exclusion-free perturbed enumeration
+            from repro.analysis.exact import system_availability_reference
+
+            assert kernel.availability(table) == pytest.approx(
+                system_availability_reference(structure, table), abs=1e-12
+            )
+
+    def test_table_stats_exposed(self):
+        bdd = BDD(3)
+        bdd.apply_or(bdd.mk(0, 0, 1), bdd.mk(2, 0, 1))
+        stats = bdd.table_stats()
+        for key in (
+            "unique_capacity",
+            "unique_fill",
+            "unique_probes",
+            "unique_rehashes",
+            "computed_capacity",
+            "computed_fill",
+            "computed_probes",
+            "computed_rehashes",
+        ):
+            assert key in stats
+        assert stats["unique_probes"] > 0
+
+
+class TestNoRecursion:
+    def test_deep_series_chain_under_default_recursion_limit(self):
+        """A 10k-component series chain (one path touching every
+        variable) compiles and evaluates without ever approaching the
+        interpreter's default recursion limit — the seed's recursive
+        mk/apply would blow past it."""
+        depth = 10_000
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(1000)  # the interpreter default, pinned
+        try:
+            structure = [[frozenset({f"c{i:05d}" for i in range(depth)})]]
+            kernel = compile_structure(structure, use_cache=False)
+            assert kernel.size == depth
+            table = {f"c{i:05d}": 0.999999 for i in range(depth)}
+            value = kernel.availability(table)
+            assert value == pytest.approx(0.999999**depth, rel=1e-9)
+            # cut-set extraction is quadratic on chains (set union per
+            # node) — exercise its recursion depth on a shorter chain
+            small = [[frozenset({f"s{i:04d}" for i in range(1200)})]]
+            cuts = compile_structure(small, use_cache=False).minimal_cut_sets()
+            assert len(cuts) == 1200
+            assert all(len(cut) == 1 for cut in cuts)
+        finally:
+            sys.setrecursionlimit(limit)
+
+    def test_deep_alternating_fold_under_default_recursion_limit(self):
+        """Long parallel-of-singletons folds exercise apply/reduce depth."""
+        width = 5_000
+        structure = [[frozenset({f"p{i:05d}"}) for i in range(width)]]
+        kernel = compile_structure(structure, use_cache=False)
+        table = {f"p{i:05d}": 0.5 for i in range(width)}
+        assert kernel.availability(table) == pytest.approx(1.0, abs=1e-12)
+
+
+class TestCacheHitAccounting:
+    def test_cache_hits_counter_is_live_and_monotonic(self):
+        kernel_cache_clear()
+        reset_kernel_stats()
+        assert kernel_stats()["cache_hits"] == 0
+        # shared components across groups force repeated subproblems
+        structure = [
+            [frozenset({"a", "b"}), frozenset({"a", "c"})],
+            [frozenset({"a", "b"}), frozenset({"b", "c"})],
+        ]
+        compile_structure(structure, use_cache=False)
+        first = kernel_stats()["cache_hits"]
+        compile_structure(structure, use_cache=False)
+        second = kernel_stats()["cache_hits"]
+        assert second >= first >= 0
+        reset_kernel_stats()
+        assert kernel_stats()["cache_hits"] == 0
+
+    def test_scalar_apply_hits_flow_into_stats(self):
+        kernel_cache_clear()
+        reset_kernel_stats()
+        bdd = BDD(3)
+        x, y = bdd.mk(0, 0, 1), bdd.mk(1, 0, 1)
+        z = bdd.mk(2, 0, 1)
+        f = bdd.apply_and(x, y)
+        bdd.apply_or(f, z)
+        before = kernel_stats()["cache_hits"]
+        bdd.apply_and(x, y)  # exact repeat: memoized
+        after = kernel_stats()["cache_hits"]
+        assert after >= before + 1
+        assert bdd.cache_hits >= 1
